@@ -1,0 +1,81 @@
+//! Criterion benches: one per paper table/figure (generation cost of each
+//! experiment) plus the core simulation kernels they exercise.
+//!
+//! Run with `cargo bench -p lowvolt-bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowvolt_bench::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_register_capacitance", |b| {
+        b.iter(|| black_box(experiments::fig1::series()))
+    });
+    g.bench_function("fig2_subthreshold_iv", |b| {
+        b.iter(|| black_box(experiments::fig2::series()))
+    });
+    g.bench_function("fig3_iso_delay_curves", |b| {
+        b.iter(|| black_box(experiments::fig3::series()))
+    });
+    g.bench_function("fig4_energy_optimum", |b| {
+        b.iter(|| black_box(experiments::fig4::run()))
+    });
+    g.bench_function("fig6_soias_iv", |b| {
+        b.iter(|| black_box(experiments::fig6::series()))
+    });
+    g.bench_function("fig8_random_activity", |b| {
+        b.iter(|| black_box(experiments::fig8::measure()))
+    });
+    g.bench_function("fig9_correlated_activity", |b| {
+        b.iter(|| black_box(experiments::fig9::measure()))
+    });
+    g.bench_function("fig10_tradeoff_surface", |b| {
+        b.iter(|| black_box(experiments::fig10::surface()))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_espresso_profile", |b| {
+        b.iter(|| black_box(experiments::tables::profile_espresso()))
+    });
+    g.bench_function("table2_li_profile", |b| {
+        b.iter(|| black_box(experiments::tables::profile_li()))
+    });
+    g.bench_function("table3_idea_profile", |b| {
+        b.iter(|| black_box(experiments::tables::profile_idea()))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("leakage_blind", |b| {
+        b.iter(|| black_box(experiments::ablations::leakage_blind()))
+    });
+    g.bench_function("activity_dependence", |b| {
+        b.iter(|| black_box(experiments::ablations::activity_dependence()))
+    });
+    g.bench_function("granularity", |b| {
+        b.iter(|| black_box(experiments::ablations::granularity()))
+    });
+    g.bench_function("technology_four_way", |b| {
+        b.iter(|| black_box(experiments::ablations::technology_four_way()))
+    });
+    g.bench_function("capacitance_nonlinearity", |b| {
+        b.iter(|| black_box(experiments::ablations::capacitance_nonlinearity()))
+    });
+    g.bench_function("adder_glitch", |b| {
+        b.iter(|| black_box(experiments::ablations::adder_glitch()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_ablations);
+criterion_main!(benches);

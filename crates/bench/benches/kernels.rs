@@ -1,0 +1,107 @@
+//! Criterion benches for the simulation kernels underneath the
+//! experiments: gate-level event simulation, the guest-program
+//! interpreter, and the device-model hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lowvolt_circuit::adder::ripple_carry_adder;
+use lowvolt_circuit::multiplier::array_multiplier;
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::units::Volts;
+use lowvolt_isa::asm::assemble;
+use lowvolt_isa::cpu::Cpu;
+use lowvolt_isa::profile::Profiler;
+use lowvolt_workloads::idea;
+
+fn bench_gate_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate_sim");
+    let cycles = 200u64;
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("rca8_random_cycles", |b| {
+        let mut n = Netlist::new();
+        let adder = ripple_carry_adder(&mut n, 8);
+        let inputs = adder.input_nodes();
+        b.iter(|| {
+            let mut sim = Simulator::new(&n);
+            let mut src = PatternSource::random(inputs.len(), 3);
+            black_box(sim.measure_activity(&mut src, &inputs, cycles as usize, 8))
+        })
+    });
+    g.bench_function("mult8x8_random_cycles", |b| {
+        let mut n = Netlist::new();
+        let mult = array_multiplier(&mut n, 8).expect("valid width");
+        let inputs = mult.input_nodes();
+        b.iter(|| {
+            let mut sim = Simulator::new(&n);
+            let mut src = PatternSource::random(inputs.len(), 3);
+            black_box(sim.measure_activity(&mut src, &inputs, cycles as usize, 8))
+        })
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    let program = assemble(&idea::program(10)).expect("assembles");
+    // Instruction count of one run, for throughput reporting.
+    let mut probe = Cpu::new(program.clone());
+    probe.run(100_000_000).expect("runs");
+    g.throughput(Throughput::Elements(probe.steps()));
+    g.bench_function("idea_10_blocks", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(program.clone());
+            cpu.run(100_000_000).expect("runs");
+            black_box(cpu.steps())
+        })
+    });
+    g.bench_function("idea_10_blocks_profiled", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(program.clone());
+            let mut profiler = Profiler::standard();
+            cpu.run_profiled(100_000_000, &mut profiler).expect("runs");
+            black_box(profiler.report().total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch_level(c: &mut Criterion) {
+    use lowvolt_circuit::switch_registers::{static_tg_register, switched_cap_per_cycle};
+    use lowvolt_circuit::switchlevel::SwitchNetlist;
+    let mut g = c.benchmark_group("switch_level");
+    g.bench_function("static_tg_register_16_cycles", |b| {
+        let mut n = SwitchNetlist::new();
+        let p = static_tg_register(&mut n);
+        b.iter(|| black_box(switched_cap_per_cycle(&n, p, 16)))
+    });
+    g.finish();
+}
+
+fn bench_device_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    let m = Mosfet::nmos_with_vt(Volts(0.25));
+    g.bench_function("drain_current_sweep_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let vgs = Volts(f64::from(i) * 0.003);
+                acc += m.drain_current(vgs, Volts(1.0)).0;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_sim,
+    bench_interpreter,
+    bench_switch_level,
+    bench_device_models
+);
+criterion_main!(benches);

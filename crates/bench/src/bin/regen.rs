@@ -1,0 +1,66 @@
+//! `regen` — regenerates every table and figure of the paper as text.
+//!
+//! Usage:
+//!
+//! ```text
+//! regen                   # run every experiment
+//! regen list              # list experiment ids
+//! regen fig4 table3       # run selected experiments
+//! regen --csv out/ fig1   # additionally write plottable series as CSV
+//! ```
+
+use lowvolt_bench::all_experiments;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv needs a directory");
+            std::process::exit(2);
+        }
+        csv_dir = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let experiments = all_experiments();
+    if args.first().is_some_and(|a| a == "list") {
+        for e in &experiments {
+            println!("{:22} {}", e.id, e.title);
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.is_empty() {
+        experiments.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match experiments.iter().find(|e| e.id == *arg) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("unknown experiment `{arg}`; try `regen list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+    for e in selected {
+        println!("==================================================================");
+        println!("{} — {}", e.id, e.title);
+        println!("==================================================================");
+        println!("{}", (e.run)());
+        if let (Some(dir), Some(series)) = (&csv_dir, e.series) {
+            let path = format!("{dir}/{}.csv", e.id);
+            match std::fs::write(&path, series().to_csv()) {
+                Ok(()) => println!("(series written to {path})"),
+                Err(err) => eprintln!("cannot write {path}: {err}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use super::paper_operating_point;
+use lowvolt_circuit::adder::{carry_lookahead_adder, ripple_carry_adder};
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_circuit::registers::{RegisterCapModel, RegisterStyle};
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_core::activity::ActivityVars;
+use lowvolt_core::energy::BlockParams;
+use lowvolt_core::granularity::{compare_granularities, ControlGranularity};
+use lowvolt_core::mtcmos::MtcmosSizer;
+use lowvolt_core::optimizer::FixedThroughputOptimizer;
+use lowvolt_core::report::{fmt_sig, Table};
+use lowvolt_device::body::BodyEffect;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Amps, Seconds, Volts};
+
+fn optimizer(activity: f64) -> FixedThroughputOptimizer {
+    let ring = RingOscillator::paper_default();
+    let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+    FixedThroughputOptimizer::new(ring, target, activity).expect("static target")
+}
+
+/// Leakage-aware vs leakage-blind optimisation: the paper's complaint is
+/// that contemporary estimators ignored sub-threshold leakage; a
+/// leakage-blind optimiser drives V_T to zero and pays for it.
+#[must_use]
+pub fn leakage_blind() -> String {
+    let opt = optimizer(1.0);
+    let t_op = Seconds(1e-6);
+    let aware = opt.optimum(t_op).expect("feasible");
+    // A leakage-blind tool minimises switching energy only → picks the
+    // smallest feasible V_T on the sweep grid.
+    let blind = (0..=90)
+        .filter_map(|i| opt.evaluate(Volts(0.005 * f64::from(i)), t_op).ok())
+        .min_by(|a, b| a.switching.0.total_cmp(&b.switching.0))
+        .expect("sweep is non-empty");
+    let mut t = Table::new(["optimiser", "V_T (V)", "V_DD (V)", "E_believed (J)", "E_actual (J)"]);
+    t.push_row([
+        "leakage-aware".to_string(),
+        format!("{:.3}", aware.vt.0),
+        format!("{:.3}", aware.vdd.0),
+        fmt_sig(aware.total().0, 3),
+        fmt_sig(aware.total().0, 3),
+    ]);
+    t.push_row([
+        "leakage-blind".to_string(),
+        format!("{:.3}", blind.vt.0),
+        format!("{:.3}", blind.vdd.0),
+        fmt_sig(blind.switching.0, 3),
+        fmt_sig(blind.total().0, 3),
+    ]);
+    format!(
+        "{t}\nthe blind pick believes {} J but actually burns {} J — {:.1}x worse than the aware optimum\n",
+        fmt_sig(blind.switching.0, 3),
+        fmt_sig(blind.total().0, 3),
+        blind.total().0 / aware.total().0,
+    )
+}
+
+/// Optimum operating point vs switching activity (§3: "The switching
+/// activity plays a major role in determining the optimum threshold and
+/// power supply voltage").
+#[must_use]
+pub fn activity_dependence() -> String {
+    let mut t = Table::new(["alpha", "opt V_T (V)", "opt V_DD (V)", "E (J)"]);
+    for alpha in [1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
+        let best = optimizer(alpha).optimum(Seconds(1e-6)).expect("feasible");
+        t.push_row([
+            format!("{alpha}"),
+            format!("{:.3}", best.vt.0),
+            format!("{:.3}", best.vdd.0),
+            fmt_sig(best.total().0, 3),
+        ]);
+    }
+    format!("{t}\nlower activity -> leakage dominates -> higher optimal V_T and V_DD\n")
+}
+
+/// Chip vs block vs per-transistor V_T control on the X-server design.
+#[must_use]
+pub fn granularity() -> String {
+    let (model, soias, _) = paper_operating_point();
+    let blocks = vec![
+        (
+            BlockParams::adder_8bit(),
+            ActivityVars::new(0.1394, 0.0046, 0.5).expect("feasible"),
+        ),
+        (
+            BlockParams::shifter_8bit(),
+            ActivityVars::new(0.0218, 0.0174, 0.5).expect("feasible"),
+        ),
+        (
+            BlockParams::multiplier_8x8(),
+            ActivityVars::new(0.00166, 0.00166, 0.5).expect("feasible"),
+        ),
+    ];
+    let cmp = compare_granularities(&model, &soias, &blocks, 0.2, 1e-4).expect("valid design");
+    let mut t = Table::new(["granularity", "E per cycle (J)", "vs block"]);
+    for g in ControlGranularity::ALL {
+        t.push_row([
+            g.to_string(),
+            fmt_sig(cmp.energy(g).0, 3),
+            format!("{:.2}x", cmp.energy(g).0 / cmp.block.0),
+        ]);
+    }
+    format!(
+        "{t}\nbest granularity: {} (the paper's chosen model of operation)\n",
+        cmp.best()
+    )
+}
+
+/// The four §4 leakage-control technologies on the same bursty block.
+#[must_use]
+pub fn technology_four_way() -> String {
+    let (model, soias, soi) = paper_operating_point();
+    let mtcmos = Technology::mtcmos(Volts(0.084), Volts(0.55), Volts(1.0)).expect("valid");
+    let substrate = Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.084)), Volts(2.0))
+        .expect("valid");
+    let block = BlockParams::adder_8bit();
+    let activity = ActivityVars::new(0.05, 0.005, 0.5).expect("feasible");
+    let mut t = Table::new([
+        "technology",
+        "standby V_T (V)",
+        "E per cycle (J)",
+        "vs fixed-V_T SOI",
+    ]);
+    let base = model.energy_per_cycle(&soi, &block, activity).0;
+    for tech in [&soi, &soias, &mtcmos, &substrate] {
+        let e = model.energy_per_cycle(tech, &block, activity).0;
+        t.push_row([
+            tech.name().to_string(),
+            format!("{:.3}", tech.standby_vt().0),
+            fmt_sig(e, 3),
+            format!("{:.3}x", e / base),
+        ]);
+    }
+    // MTCMOS sizing sidebar.
+    let sizer = MtcmosSizer::new(Amps(1e-3), Volts(1.0), Volts(0.084), Volts(0.55))
+        .expect("valid sizer");
+    let design = sizer.size_for_penalty(0.05).expect("feasible");
+    format!(
+        "{t}\nMTCMOS sleep device for 5% delay penalty: {:.1} um wide, {:.0} mV rail droop\nsubstrate bias note: raising V_T a few hundred mV costs volts of bias (square-root law)\n",
+        design.width.0,
+        design.rail_droop.0 * 1e3,
+    )
+}
+
+/// Constant-capacitance vs voltage-dependent capacitance energy estimates
+/// (Fig. 1's "necessary to take capacitive non-linearities into account").
+#[must_use]
+pub fn capacitance_nonlinearity() -> String {
+    let model = RegisterCapModel::new(RegisterStyle::C2mos, Volts(0.5));
+    let c_at_1v = model.switched_capacitance(Volts(1.0), 1.0);
+    let mut t = Table::new([
+        "V_DD (V)",
+        "E true (J)",
+        "E constant-C (J)",
+        "underestimate",
+    ]);
+    for i in 0..=8 {
+        let vdd = Volts(1.0 + 0.25 * f64::from(i));
+        let true_e = model.energy_per_cycle(vdd, 1.0).0;
+        let const_e = c_at_1v.0 * vdd.0 * vdd.0;
+        t.push_row([
+            format!("{:.2}", vdd.0),
+            fmt_sig(true_e, 3),
+            fmt_sig(const_e, 3),
+            format!("{:.1}%", (1.0 - const_e / true_e) * 100.0),
+        ]);
+    }
+    format!("{t}\na constant-C model calibrated at 1 V undercounts switching energy as V_DD rises\n")
+}
+
+/// Ripple-carry vs carry-lookahead glitch energy at equal function.
+#[must_use]
+pub fn adder_glitch() -> String {
+    let measure = |cla: bool| {
+        let mut n = Netlist::new();
+        let inputs = if cla {
+            carry_lookahead_adder(&mut n, 16).expect("valid width").input_nodes()
+        } else {
+            ripple_carry_adder(&mut n, 16).input_nodes()
+        };
+        let mut sim = Simulator::new(&n);
+        let mut src = PatternSource::random(inputs.len(), 77);
+        let report = sim.measure_activity(&mut src, &inputs, 540, 40);
+        (
+            n.gate_count(),
+            report.mean_transition_probability(),
+            report.switched_capacitance_per_cycle().to_femtofarads(),
+        )
+    };
+    let (g_rca, a_rca, c_rca) = measure(false);
+    let (g_cla, a_cla, c_cla) = measure(true);
+    let mut t = Table::new(["adder", "gates", "mean alpha", "switched cap (fF/cycle)"]);
+    t.push_row([
+        "ripple-carry".to_string(),
+        g_rca.to_string(),
+        format!("{a_rca:.3}"),
+        format!("{c_rca:.1}"),
+    ]);
+    t.push_row([
+        "carry-lookahead".to_string(),
+        g_cla.to_string(),
+        format!("{a_cla:.3}"),
+        format!("{c_cla:.1}"),
+    ]);
+    format!(
+        "{t}\nthe lookahead tree spends {:.0}% more gates but its flatter carry arrival cuts per-node glitching ({:.3} vs {:.3} mean alpha)\n",
+        (g_cla as f64 / g_rca as f64 - 1.0) * 100.0,
+        a_cla,
+        a_rca,
+    )
+}
+
+/// Architectural voltage scaling (intro ref \[1\]) with leakage accounted:
+/// energy vs degree of parallelism for low- and high-V_T implementations.
+#[must_use]
+pub fn parallelism() -> String {
+    use lowvolt_core::scaling::{ParallelScaling, DEFAULT_OVERHEAD_PER_WAY};
+    let mut out = String::new();
+    for vt in [0.45, 0.15] {
+        let ring = RingOscillator::paper_default();
+        let base = ring.stage_delay(Volts(2.5), Volts(vt));
+        let model = ParallelScaling::new(
+            ring,
+            Volts(vt),
+            base,
+            Seconds(1e-6),
+            DEFAULT_OVERHEAD_PER_WAY,
+        )
+        .expect("valid model");
+        let mut t = Table::new(["ways", "V_DD (V)", "E_switch (J)", "E_leak (J)", "E_total (J)"]);
+        for p in model.sweep(16) {
+            t.push_row([
+                p.ways.to_string(),
+                format!("{:.3}", p.vdd.0),
+                fmt_sig(p.switching.0, 3),
+                fmt_sig(p.leakage.0, 3),
+                fmt_sig(p.total().0, 3),
+            ]);
+        }
+        let best = model.best(16).expect("feasible");
+        out.push_str(&format!(
+            "V_T = {vt} V:\n{t}best: {} ways at {:.3} V ({} J/op)\n\n",
+            best.ways,
+            best.vdd.0,
+            fmt_sig(best.total().0, 3)
+        ));
+    }
+    out.push_str("leakage bounds the parallelism win: the low-V_T design's optimum is shallower.\n");
+    out
+}
+
+/// Process-corner and temperature spread of the key device quantities.
+#[must_use]
+pub fn corners() -> String {
+    use lowvolt_device::corners::{Condition, Corner};
+    use lowvolt_device::mosfet::Mosfet;
+    use lowvolt_device::units::Kelvin;
+    let nominal = Mosfet::nmos_with_vt(Volts(0.25));
+    let mut t = Table::new([
+        "condition",
+        "V_T (V)",
+        "I_on @1V (A)",
+        "I_off @1V (A)",
+    ]);
+    for corner in Corner::ALL {
+        for temp_k in [300.0, 358.0] {
+            let cond = Condition {
+                corner,
+                temperature: Kelvin(temp_k),
+            };
+            let d = cond.apply(&nominal);
+            t.push_row([
+                format!("{corner} @ {:.0} K", temp_k),
+                format!("{:.3}", d.vt0().0),
+                fmt_sig(d.on_current(Volts(1.0)).0, 3),
+                fmt_sig(d.off_current(Volts(1.0)).0, 3),
+            ]);
+        }
+    }
+    format!(
+        "{t}\nthe fast/hot corner sets the leakage budget; the slow/hot corner sets timing.\n"
+    )
+}
+
+/// The transistor-stack effect: why series devices (MTCMOS, NAND
+/// pull-downs) leak an order of magnitude less.
+#[must_use]
+pub fn stack_effect() -> String {
+    use lowvolt_device::mosfet::Mosfet;
+    use lowvolt_device::stack::two_stack_leakage;
+    let mut t = Table::new([
+        "device",
+        "single off (A)",
+        "2-stack off (A)",
+        "reduction",
+        "V_x (mV)",
+    ]);
+    for (label, dibl) in [("long-channel (no DIBL)", 0.0), ("short-channel (DIBL 0.07)", 0.07)] {
+        let d = Mosfet::nmos_with_vt(Volts(0.2)).with_dibl(dibl);
+        let s = two_stack_leakage(&d, Volts(1.0)).expect("solves");
+        t.push_row([
+            label.to_string(),
+            fmt_sig(d.off_current(Volts(1.0)).0, 3),
+            fmt_sig(s.current.0, 3),
+            format!("{:.1}x", s.reduction_factor),
+            format!("{:.0}", s.intermediate.0 * 1e3),
+        ]);
+    }
+    format!("{t}\nthe classic ~10x stack factor is DIBL-driven.\n")
+}
+
+/// The FIR continuous-mode profile (our §3-class extension workload).
+#[must_use]
+pub fn fir_profile() -> String {
+    use lowvolt_isa::asm::assemble;
+    use lowvolt_isa::cpu::Cpu;
+    use lowvolt_isa::profile::Profiler;
+    let program = assemble(&lowvolt_workloads::fir::program(300, 42)).expect("assembles");
+    let strict = {
+        let mut cpu = Cpu::new(program.clone());
+        let mut p = Profiler::standard();
+        cpu.run_profiled(100_000_000, &mut p).expect("runs");
+        p.report()
+    };
+    let relaxed = {
+        let mut cpu = Cpu::new(program);
+        let mut p = Profiler::standard().with_hysteresis(12);
+        cpu.run_profiled(100_000_000, &mut p).expect("runs");
+        p.report()
+    };
+    format!(
+        "workload: 8-tap FIR filter (continuous DSP)\nstrict run counting (paper definition):\n{strict}\nwith 12-instruction power-management hysteresis:\n{relaxed}\nthe MAC loop keeps the multiplier in long runs: bga collapses under hysteresis\nwhile fga is unchanged — the continuous-mode signature of the paper's §3 class.\n"
+    )
+}
+
+
+/// Transistor-level cross-check of Fig. 1's premise: per-cycle switched
+/// capacitance of real register netlists orders by clocked-device count,
+/// measured by the switch-level simulator.
+#[must_use]
+pub fn switchlevel_registers() -> String {
+    use lowvolt_circuit::switch_registers::{
+        c2mos_register, npass_latch, static_tg_register, switched_cap_per_cycle, SwRegisterPorts,
+    };
+    use lowvolt_circuit::switchlevel::SwitchNetlist;
+    let mut t = Table::new([
+        "register",
+        "transistors",
+        "switched cap (fF/cycle)",
+        "style",
+    ]);
+    let measure = |name: &str,
+                   style: &str,
+                   build: fn(&mut SwitchNetlist) -> SwRegisterPorts,
+                   t: &mut Table| {
+        let mut n = SwitchNetlist::new();
+        let p = build(&mut n);
+        let cap = switched_cap_per_cycle(&n, p, 16);
+        t.push_row([
+            name.to_string(),
+            n.transistor_count().to_string(),
+            format!("{cap:.1}"),
+            style.to_string(),
+        ]);
+    };
+    measure("static TG master-slave", "8 clocked devices", static_tg_register, &mut t);
+    measure("C2MOS master-slave", "4 clocked devices", c2mos_register, &mut t);
+    measure("n-pass dynamic latch", "1 clocked device", npass_latch, &mut t);
+    format!(
+        "{t}\nswitch-level simulation (pass gates, dynamic nodes, charge storage) confirms\nthe Fig. 1 premise: switched capacitance orders by clock load.\n"
+    )
+}
+
+/// Sensitivity tornado around the Fig. 4 nominal optimum.
+#[must_use]
+pub fn sensitivity() -> String {
+    use lowvolt_core::sensitivity::{analyse, DesignPoint};
+    let report = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible nominal");
+    let mut t = Table::new([
+        "parameter (+/-20%)",
+        "opt V_T range (V)",
+        "opt V_DD range (V)",
+        "energy swing",
+    ]);
+    for e in &report.entries {
+        t.push_row([
+            e.parameter.to_string(),
+            format!("{:.3}..{:.3}", e.vt_range.0, e.vt_range.1),
+            format!("{:.3}..{:.3}", e.vdd_range.0, e.vdd_range.1),
+            format!("{:+.1}%", e.energy_swing * 100.0),
+        ]);
+    }
+    format!(
+        "nominal optimum: V_T = {:.3} V, V_DD = {:.3} V\n{t}\nthe delay target dominates; activity and throughput shift the optimum V_T.\n",
+        report.nominal_vt.0, report.nominal_vdd.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn leakage_blind_is_worse() {
+        let out = super::leakage_blind();
+        assert!(out.contains("worse than the aware optimum"));
+    }
+
+    #[test]
+    fn granularity_prefers_block() {
+        let out = super::granularity();
+        assert!(out.contains("best granularity: block"));
+    }
+
+    #[test]
+    fn four_technologies_reported() {
+        let out = super::technology_four_way();
+        assert!(out.contains("soias"));
+        assert!(out.contains("mtcmos"));
+        assert!(out.contains("substrate-bias"));
+        assert!(out.contains("soi-fixed-vt"));
+    }
+
+    #[test]
+    fn constant_c_underestimates_at_high_vdd() {
+        let out = super::capacitance_nonlinearity();
+        assert!(out.contains("undercounts"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 10: "Log(E_SOIAS / E_SOI) as a function of activity variables" —
+//! the trade-off surface, its breakeven contour, and the application
+//! operating points (continuous vs X-server).
+
+use super::paper_operating_point;
+use lowvolt_core::activity::ActivityVars;
+use lowvolt_core::energy::BlockParams;
+use lowvolt_core::report::Table;
+use lowvolt_core::tradeoff::{place_point, OperatingPoint, TradeoffSurface};
+
+/// The paper's §5.4 operating points: `(name, fga, bga)` — top set for
+/// the continuously-active processor, bottom set for the 20 %-active X
+/// server, with the printed X-server numbers used verbatim.
+pub const PAPER_POINTS: [(&str, f64, f64); 6] = [
+    ("adder (continuous)", 0.697, 0.115),
+    ("shifter (continuous)", 0.545, 0.435),
+    ("multiplier (continuous)", 0.0415, 0.0415),
+    ("adder (x-server)", 0.697 * 0.2, 0.023),
+    ("shifter (x-server)", 0.109, 0.087),
+    ("multiplier (x-server)", 0.0083, 0.0083),
+];
+
+fn block_for(name: &str) -> BlockParams {
+    if name.starts_with("shifter") {
+        BlockParams::shifter_8bit()
+    } else if name.starts_with("multiplier") {
+        BlockParams::multiplier_8x8()
+    } else {
+        BlockParams::adder_8bit()
+    }
+}
+
+/// Places every paper point on the surface.
+#[must_use]
+pub fn operating_points() -> Vec<OperatingPoint> {
+    let (model, soias, soi) = paper_operating_point();
+    PAPER_POINTS
+        .iter()
+        .map(|&(name, fga, bga)| {
+            let activity = ActivityVars::new(fga, bga, 0.5).expect("paper points are feasible");
+            place_point(&model, &soias, &soi, &block_for(name), name, activity)
+        })
+        .collect()
+}
+
+/// Evaluates the surface over the plotted region.
+#[must_use]
+pub fn surface() -> TradeoffSurface {
+    let (model, soias, soi) = paper_operating_point();
+    TradeoffSurface::evaluate(
+        &model,
+        &soias,
+        &soi,
+        &BlockParams::adder_8bit(),
+        0.5,
+        (1e-3, 1.0),
+        (1e-4, 1.0),
+        61,
+    )
+    .expect("static ranges")
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn run() -> String {
+    let mut out = String::new();
+    let s = surface();
+    out.push_str("log10(E_SOIAS / E_SOI) samples (rows: fga, cols: bga, '.' = infeasible):\n");
+    let mut grid = Table::new(["fga \\ bga", "1e-4", "1e-3", "1e-2", "1e-1", "1"]);
+    for fi in [0usize, 15, 30, 45, 60] {
+        let mut row = vec![format!("{:.3}", s.fga_axis()[fi])];
+        for bi in [0usize, 15, 30, 45, 60] {
+            let v = s.value(fi, bi);
+            row.push(if v.is_nan() {
+                ".".to_string()
+            } else {
+                format!("{v:+.2}")
+            });
+        }
+        grid.push_row(row);
+    }
+    out.push_str(&grid.to_string());
+    out.push_str("\nbreakeven contour (SOIAS loses above it):\n");
+    let contour = s.breakeven_contour();
+    if contour.is_empty() {
+        out.push_str("  none inside the plotted region: SOIAS wins everywhere feasible\n");
+    }
+    for (fga, bga) in contour {
+        out.push_str(&format!("  fga = {fga:.3} -> bga = {bga:.4}\n"));
+    }
+    out.push_str("\napplication operating points:\n");
+    let mut pts = Table::new(["point", "fga", "bga", "log10 ratio", "saving"]);
+    for p in operating_points() {
+        pts.push_row([
+            p.name.clone(),
+            format!("{:.4}", p.activity.fga),
+            format!("{:.4}", p.activity.bga),
+            format!("{:+.3}", p.log_ratio),
+            format!("{:.1}%", p.saving * 100.0),
+        ]);
+    }
+    out.push_str(&pts.to_string());
+    out.push_str(
+        "\npaper reference savings (X-server): adder 43%, shifter 80%, multiplier 97%\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn x_server_savings_ordering_holds() {
+        let pts = super::operating_points();
+        let get = |n: &str| pts.iter().find(|p| p.name == n).expect("present").saving;
+        let adder = get("adder (x-server)");
+        let shifter = get("shifter (x-server)");
+        let mult = get("multiplier (x-server)");
+        assert!(mult > shifter && shifter > adder, "{mult} > {shifter} > {adder}");
+        assert!(adder > 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 2: "Sub-threshold conduction in CMOS circuits" — log I_D vs V_gs
+//! for V_T = 0.25 V and V_T = 0.4 V at V_ds = 1 V.
+
+use lowvolt_core::report::{fmt_sig, Table};
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::units::Volts;
+
+/// The plotted series.
+#[must_use]
+pub fn series() -> Table {
+    let lo = Mosfet::nmos_with_vt(Volts(0.25));
+    let hi = Mosfet::nmos_with_vt(Volts(0.4));
+    let mut table = Table::new(["V_gs (V)", "I_D @ V_T=0.25 (A)", "I_D @ V_T=0.4 (A)"]);
+    for i in 0..=20 {
+        let vgs = Volts(0.05 * f64::from(i));
+        table.push_row([
+            format!("{:.2}", vgs.0),
+            fmt_sig(lo.drain_current(vgs, Volts(1.0)).0, 3),
+            fmt_sig(hi.drain_current(vgs, Volts(1.0)).0, 3),
+        ]);
+    }
+    table
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn run() -> String {
+    let lo = Mosfet::nmos_with_vt(Volts(0.25));
+    let hi = Mosfet::nmos_with_vt(Volts(0.4));
+    let off_lo = lo.off_current(Volts(1.0)).0;
+    let off_hi = hi.off_current(Volts(1.0)).0;
+    format!(
+        "{}\noff-current (V_gs = 0): {} A at V_T=0.25 vs {} A at V_T=0.4 ({:.0}x, {:.1} decades)\nsub-threshold slope: {:.1} mV/dec\n",
+        series(),
+        fmt_sig(off_lo, 3),
+        fmt_sig(off_hi, 3),
+        off_lo / off_hi,
+        (off_lo / off_hi).log10(),
+        lo.subthreshold_slope().0 * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn off_current_contrast_present() {
+        let out = super::run();
+        assert!(out.contains("decades"));
+    }
+}

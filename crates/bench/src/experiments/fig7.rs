@@ -1,0 +1,58 @@
+//! Fig. 7: "Activity variables for SOIAS" — demonstrated in circuit
+//! simulation rather than as a timing diagram.
+//!
+//! A clock-gated registered adder module is driven with different enable
+//! duty cycles; the measured internal switching tracks the duty (`fga`),
+//! confirming that "when the module is inactive, gated clocks can be
+//! used to shut down the unit to eliminate switching".
+
+use lowvolt_circuit::sequential::measure_gated_activity;
+use lowvolt_core::report::Table;
+
+/// Enable duty cycles swept.
+pub const DUTIES: [f64; 5] = [1.0, 0.5, 0.2, 0.1, 0.05];
+
+/// The measured series.
+#[must_use]
+pub fn series() -> Table {
+    let mut table = Table::new([
+        "enable duty",
+        "measured fga",
+        "transitions/cycle",
+        "vs always-on",
+    ]);
+    let baseline = measure_gated_activity(8, 400, 1.0, 1996);
+    for duty in DUTIES {
+        let m = measure_gated_activity(8, 400, duty, 1996);
+        table.push_row([
+            format!("{duty:.2}"),
+            format!("{:.3}", m.fga),
+            format!("{:.2}", m.transitions_per_cycle),
+            format!(
+                "{:.0}%",
+                m.transitions_per_cycle / baseline.transitions_per_cycle * 100.0
+            ),
+        ]);
+    }
+    table
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn run() -> String {
+    format!(
+        "{}\ninternal switching tracks the gated-clock duty: fga is a physical knob, not\njust a bookkeeping variable. (Register clock pins keep a small duty-independent\nresidue — the free-running clock net itself.)\n",
+        series()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn switching_falls_with_duty() {
+        let out = super::run();
+        assert!(out.contains("enable duty"));
+        let t = super::series();
+        assert_eq!(t.row_count(), super::DUTIES.len());
+    }
+}

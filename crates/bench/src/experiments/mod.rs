@@ -1,0 +1,220 @@
+//! Experiment registry: every paper table/figure plus ablations.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod tables;
+
+use lowvolt_core::energy::BurstEnergyModel;
+use lowvolt_device::soias::SoiasDevice;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Hertz, Volts};
+
+/// One runnable experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Short id used on the `regen` command line (`fig1`, `table3`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Produces the experiment's full text output.
+    pub run: fn() -> String,
+    /// For figure experiments with a plottable series: produces the series
+    /// as a table for CSV export (`regen --csv DIR`).
+    pub series: Option<fn() -> lowvolt_core::report::Table>,
+}
+
+/// All experiments, in paper order followed by the ablations.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "Fig. 1: switched capacitance vs V_DD for three registers",
+            run: fig1::run,
+            series: Some(fig1::series),
+        },
+        Experiment {
+            id: "fig2",
+            title: "Fig. 2: sub-threshold I_D vs V_gs for two thresholds",
+            run: fig2::run,
+            series: Some(fig2::series),
+        },
+        Experiment {
+            id: "fig3",
+            title: "Fig. 3: iso-delay V_DD vs V_T (ring oscillator)",
+            run: fig3::run,
+            series: Some(fig3::series),
+        },
+        Experiment {
+            id: "fig4",
+            title: "Fig. 4: energy vs V_T at fixed throughput (optimum V_DD/V_T)",
+            run: fig4::run,
+            series: None,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Fig. 6: SOIAS I-V under back-gate control",
+            run: fig6::run,
+            series: Some(fig6::series),
+        },
+        Experiment {
+            id: "fig7",
+            title: "Fig. 7: activity variables demonstrated on a gated-clock module",
+            run: fig7::run,
+            series: None,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Fig. 8: adder transition histogram, random inputs",
+            run: fig8::run,
+            series: None,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Fig. 9: adder transition histogram, correlated inputs",
+            run: fig9::run,
+            series: None,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Fig. 10: log(E_SOIAS/E_SOI) surface, breakeven, app points",
+            run: fig10::run,
+            series: None,
+        },
+        Experiment {
+            id: "table1",
+            title: "Table 1: profiling results for espresso",
+            run: tables::table1,
+            series: None,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2: profiling results for li",
+            run: tables::table2,
+            series: None,
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3: profiling results for IDEA",
+            run: tables::table3,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-leakage",
+            title: "Ablation: leakage-aware vs leakage-blind V_T optimisation",
+            run: ablations::leakage_blind,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-activity",
+            title: "Ablation: optimum (V_DD, V_T) vs switching activity",
+            run: ablations::activity_dependence,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-granularity",
+            title: "Ablation: V_T control granularity (chip/block/transistor)",
+            run: ablations::granularity,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-technology",
+            title: "Ablation: four leakage-control technologies head to head",
+            run: ablations::technology_four_way,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-capnonlin",
+            title: "Ablation: constant-C vs voltage-dependent capacitance",
+            run: ablations::capacitance_nonlinearity,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-glitch",
+            title: "Ablation: ripple-carry vs carry-lookahead glitch energy",
+            run: ablations::adder_glitch,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-parallelism",
+            title: "Ablation: architectural voltage scaling with leakage",
+            run: ablations::parallelism,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-corners",
+            title: "Ablation: process-corner and temperature spread",
+            run: ablations::corners,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-stack",
+            title: "Ablation: transistor-stack leakage effect",
+            run: ablations::stack_effect,
+            series: None,
+        },
+        Experiment {
+            id: "fig1-switchlevel",
+            title: "Fig. 1 cross-check: transistor-level register switched capacitance",
+            run: ablations::switchlevel_registers,
+            series: None,
+        },
+        Experiment {
+            id: "ablation-sensitivity",
+            title: "Ablation: sensitivity of the optimum to design parameters",
+            run: ablations::sensitivity,
+            series: None,
+        },
+        Experiment {
+            id: "fir-profile",
+            title: "Extension: FIR filter profile (continuous DSP class)",
+            run: ablations::fir_profile,
+            series: None,
+        },
+    ]
+}
+
+/// The shared Fig. 10-style operating point: 1 V supply, 1 MHz clock,
+/// SOIAS vs a fixed-low-V_T SOI baseline built from the *same* device.
+#[must_use]
+pub fn paper_operating_point() -> (BurstEnergyModel, Technology, Technology) {
+    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).expect("static parameters");
+    let device = SoiasDevice::paper_fig6();
+    let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
+    let soias = Technology::soias(device, Volts(3.0)).expect("static parameters");
+    (model, soias, soi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let all = all_experiments();
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert_eq!(all.len(), 24);
+    }
+
+    #[test]
+    fn every_experiment_produces_output() {
+        // Smoke-run the cheap ones here; heavy ones have their own tests.
+        for e in all_experiments() {
+            if ["fig1", "fig2", "fig6"].contains(&e.id) {
+                let out = (e.run)();
+                assert!(out.len() > 100, "{} output too small", e.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end test of the `regen` binary: every registered experiment
+//! must run to completion through the real executable, and the CSV export
+//! must produce parseable files.
+
+use std::process::Command;
+
+fn regen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_regen"))
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = regen().arg("list").output().expect("regen runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
+        "table2", "table3",
+    ] {
+        assert!(text.contains(id), "missing {id} in `regen list`");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_a_clean_error() {
+    let out = regen().arg("figure-nine-hundred").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("figure-nine-hundred"));
+}
+
+#[test]
+fn cheap_experiments_run_through_the_binary() {
+    // The full set is exercised (in release) by the recorded regen runs;
+    // here the *binary path* is validated on the fast experiments so the
+    // debug-mode test stays quick.
+    let out = regen()
+        .args(["fig1", "fig2", "fig6", "ablation-stack"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Fig. 1"));
+    assert!(text.contains("decades"));
+    assert!(text.contains("DIBL"));
+}
+
+#[test]
+fn csv_export_writes_parseable_series() {
+    let dir = std::env::temp_dir().join("lowvolt_regen_csv_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = regen()
+        .args(["--csv", dir.to_str().expect("utf-8 temp path"), "fig1", "fig6"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    for id in ["fig1", "fig6"] {
+        let csv = std::fs::read_to_string(dir.join(format!("{id}.csv"))).expect("csv written");
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header row");
+        let columns = header.split(',').count();
+        assert!(columns >= 3, "{id}: header `{header}`");
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), columns, "{id}: ragged row `{line}`");
+            rows += 1;
+        }
+        assert!(rows >= 20, "{id}: only {rows} data rows");
+    }
+}

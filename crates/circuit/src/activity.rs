@@ -1,0 +1,280 @@
+//! Per-node transition-activity reports and histograms.
+//!
+//! An [`ActivityReport`] is the output of
+//! [`Simulator::measure_activity`](crate::sim::Simulator::measure_activity):
+//! rising/falling transition counts and lumped capacitance per node, over a
+//! known number of measured cycles. From it one derives the paper's node
+//! activity factor `α_{0→1}`, the switched capacitance `Σ α·C_L`, and the
+//! transition-probability histograms of Figs. 8–9.
+
+use crate::netlist::NodeId;
+use lowvolt_device::units::{Farads, Joules, Volts};
+
+/// Transition statistics for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeActivity {
+    /// The node.
+    pub node: NodeId,
+    /// The node's name.
+    pub name: String,
+    /// `0 → 1` (power-consuming) transitions counted.
+    pub rising: u64,
+    /// `1 → 0` transitions counted.
+    pub falling: u64,
+    /// The node's lumped capacitance.
+    pub capacitance: Farads,
+    /// Whether the node is a primary input (stimulus, not circuit,
+    /// activity).
+    pub is_primary_input: bool,
+}
+
+impl NodeActivity {
+    /// The paper's per-node activity factor `α_{0→1}`: power-consuming
+    /// transitions per cycle. May exceed 1 when glitching multiplies
+    /// transitions.
+    #[must_use]
+    pub fn transition_probability(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.rising as f64 / cycles as f64
+        }
+    }
+}
+
+/// A full activity measurement over a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityReport {
+    entries: Vec<NodeActivity>,
+    cycles: u64,
+}
+
+/// A binned histogram of per-node transition probabilities (Figs. 8–9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityHistogram {
+    /// Width of each probability bin.
+    pub bin_width: f64,
+    /// Node counts per bin; bin `i` covers
+    /// `[i·bin_width, (i+1)·bin_width)`.
+    pub counts: Vec<usize>,
+}
+
+impl ActivityHistogram {
+    /// Number of nodes represented.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    #[must_use]
+    pub fn bin_start(&self, i: usize) -> f64 {
+        i as f64 * self.bin_width
+    }
+}
+
+impl std::fmt::Display for ActivityHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(c * 50 / peak);
+            writeln!(
+                f,
+                "[{:5.3}-{:5.3}) {:4} {}",
+                self.bin_start(i),
+                self.bin_start(i + 1),
+                c,
+                bar
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl ActivityReport {
+    /// Builds a report from per-node entries and the measured cycle count.
+    #[must_use]
+    pub fn new(entries: Vec<NodeActivity>, cycles: u64) -> ActivityReport {
+        ActivityReport { entries, cycles }
+    }
+
+    /// Number of measured cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// All node entries.
+    #[must_use]
+    pub fn entries(&self) -> &[NodeActivity] {
+        &self.entries
+    }
+
+    /// Entries for internal (non-primary-input) nodes — what the Fig. 8–9
+    /// histograms plot.
+    pub fn internal_entries(&self) -> impl Iterator<Item = &NodeActivity> {
+        self.entries.iter().filter(|e| !e.is_primary_input)
+    }
+
+    /// The entry for a specific node, if present.
+    #[must_use]
+    pub fn entry(&self, node: NodeId) -> Option<&NodeActivity> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// Mean `α_{0→1}` over internal nodes.
+    #[must_use]
+    pub fn mean_transition_probability(&self) -> f64 {
+        let (sum, count) = self
+            .internal_entries()
+            .fold((0.0, 0usize), |(s, c), e| {
+                (s + e.transition_probability(self.cycles), c + 1)
+            });
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Capacitance-weighted mean activity — the effective `α` to pair with
+    /// the total module capacitance in `P = α·C·V²·f`.
+    #[must_use]
+    pub fn weighted_transition_probability(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for e in self.internal_entries() {
+            num += e.transition_probability(self.cycles) * e.capacitance.0;
+            den += e.capacitance.0;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Average switched capacitance per cycle, `Σ_nodes α_{0→1}·C_L` over
+    /// internal nodes.
+    #[must_use]
+    pub fn switched_capacitance_per_cycle(&self) -> Farads {
+        if self.cycles == 0 {
+            return Farads::ZERO;
+        }
+        let total: f64 = self
+            .internal_entries()
+            .map(|e| e.rising as f64 * e.capacitance.0)
+            .sum();
+        Farads(total / self.cycles as f64)
+    }
+
+    /// Average switching energy per cycle at a given supply,
+    /// `Σ α·C_L·V_DD²`.
+    #[must_use]
+    pub fn switching_energy_per_cycle(&self, vdd: Volts) -> Joules {
+        self.switched_capacitance_per_cycle() * vdd * vdd
+    }
+
+    /// Histogram of internal-node transition probabilities with `bins`
+    /// equal-width bins spanning `[0, max_probability]` (Figs. 8–9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> ActivityHistogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let max = self
+            .internal_entries()
+            .map(|e| e.transition_probability(self.cycles))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let bin_width = max / bins as f64 * (1.0 + 1e-12);
+        let mut counts = vec![0usize; bins];
+        for e in self.internal_entries() {
+            let p = e.transition_probability(self.cycles);
+            let idx = ((p / bin_width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        ActivityHistogram { bin_width, counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, rising: u64, cap_ff: f64, input: bool) -> NodeActivity {
+        NodeActivity {
+            node: NodeId(id),
+            name: format!("n{id}"),
+            rising,
+            falling: rising,
+            capacitance: Farads::from_femtofarads(cap_ff),
+            is_primary_input: input,
+        }
+    }
+
+    fn report() -> ActivityReport {
+        ActivityReport::new(
+            vec![
+                entry(0, 100, 5.0, true),  // primary input: excluded
+                entry(1, 50, 10.0, false), // α = 0.5
+                entry(2, 10, 20.0, false), // α = 0.1
+                entry(3, 0, 10.0, false),  // α = 0
+            ],
+            100,
+        )
+    }
+
+    #[test]
+    fn transition_probability_per_node() {
+        let r = report();
+        assert!((r.entry(NodeId(1)).unwrap().transition_probability(100) - 0.5).abs() < 1e-12);
+        assert_eq!(r.entry(NodeId(9)), None);
+    }
+
+    #[test]
+    fn mean_excludes_primary_inputs() {
+        let r = report();
+        let mean = r.mean_transition_probability();
+        assert!((mean - (0.5 + 0.1 + 0.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_weights_by_capacitance() {
+        let r = report();
+        let w = r.weighted_transition_probability();
+        let expected = (0.5 * 10.0 + 0.1 * 20.0) / 40.0;
+        assert!((w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switched_capacitance_sums_alpha_c() {
+        let r = report();
+        let c = r.switched_capacitance_per_cycle().to_femtofarads();
+        let expected = 0.5 * 10.0 + 0.1 * 20.0;
+        assert!((c - expected).abs() < 1e-9);
+        let e = r.switching_energy_per_cycle(Volts(2.0));
+        assert!((e.0 - expected * 1e-15 * 4.0).abs() < 1e-25);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_internal_nodes() {
+        let r = report();
+        let h = r.histogram(5);
+        assert_eq!(h.total_nodes(), 3);
+        // Max α is 0.5, so node 1 lands in the last bin.
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        // Display renders one line per bin.
+        assert_eq!(h.to_string().lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ActivityReport::new(vec![], 0);
+        assert_eq!(r.mean_transition_probability(), 0.0);
+        assert_eq!(r.switched_capacitance_per_cycle(), Farads::ZERO);
+        assert_eq!(r.histogram(4).total_nodes(), 0);
+    }
+}

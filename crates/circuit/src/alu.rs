@@ -1,0 +1,200 @@
+//! A complete multi-function ALU block — the kind of "functional unit"
+//! whose standby state the paper's §5.2 model controls as one block.
+//!
+//! Operations (selected by a 2-bit opcode): ADD, SUB (two's complement
+//! via inverted operand and carry-in), AND, XOR. Built from the full
+//! adder chain plus an operand-conditioning stage and an output mux, so
+//! its activity profile mixes carry-chain glitching with mux steering.
+
+use crate::cells::full_adder;
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// Opcode encodings for [`alu`] (drive `op` with these values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `a + b`
+    Add = 0,
+    /// `a - b`
+    Sub = 1,
+    /// `a & b`
+    And = 2,
+    /// `a ^ b`
+    Xor = 3,
+}
+
+impl AluOp {
+    /// All operations.
+    pub const ALL: [AluOp; 4] = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Xor];
+
+    /// The 2-bit encoding, little-endian.
+    #[must_use]
+    pub fn bits(self) -> [bool; 2] {
+        let v = self as usize;
+        [v & 1 == 1, v & 2 == 2]
+    }
+
+    /// Computes the reference result for a given width mask.
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64, mask: u64) -> u64 {
+        match self {
+            AluOp::Add => (a + b) & mask,
+            AluOp::Sub => a.wrapping_sub(b) & mask,
+            AluOp::And => a & b & mask,
+            AluOp::Xor => (a ^ b) & mask,
+        }
+    }
+}
+
+/// Ports of a generated ALU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AluPorts {
+    /// Operand A, little-endian.
+    pub a: Vec<NodeId>,
+    /// Operand B, little-endian.
+    pub b: Vec<NodeId>,
+    /// Opcode bits, little-endian (see [`AluOp`]).
+    pub op: Vec<NodeId>,
+    /// Result bits, little-endian.
+    pub result: Vec<NodeId>,
+    /// Carry/borrow out of the adder chain (valid for ADD/SUB).
+    pub carry_out: NodeId,
+}
+
+impl AluPorts {
+    /// Operand width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+
+    /// All input nodes in the order `a ++ b ++ op`.
+    #[must_use]
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.a.clone();
+        v.extend_from_slice(&self.b);
+        v.extend_from_slice(&self.op);
+        v
+    }
+}
+
+/// Generates a `width`-bit ALU.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn alu(n: &mut Netlist, width: usize) -> AluPorts {
+    assert!(width > 0, "alu width must be positive");
+    let a: Vec<_> = (0..width).map(|i| n.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..width).map(|i| n.input(format!("b{i}"))).collect();
+    let op: Vec<_> = (0..2).map(|i| n.input(format!("op{i}"))).collect();
+    // op0 = 1 selects SUB within the arithmetic pair and XOR within the
+    // logic pair; op1 = 1 selects the logic pair.
+    let sub = op[0];
+    let logic = op[1];
+
+    // Arithmetic path: b conditioned by SUB (xor), carry-in = SUB.
+    let mut carry = sub;
+    let mut arith = Vec::with_capacity(width);
+    for i in 0..width {
+        let b_cond = n.gate(GateKind::Xor2, &[b[i], sub]);
+        let fa = full_adder(n, a[i], b_cond, carry);
+        arith.push(fa.sum);
+        carry = fa.carry;
+    }
+    // Logic path: AND and XOR, muxed by op0.
+    let mut result = Vec::with_capacity(width);
+    for i in 0..width {
+        let and_bit = n.gate(GateKind::And2, &[a[i], b[i]]);
+        let xor_bit = n.gate(GateKind::Xor2, &[a[i], b[i]]);
+        let logic_bit = n.gate(GateKind::Mux2, &[sub, and_bit, xor_bit]);
+        result.push(n.gate(GateKind::Mux2, &[logic, arith[i], logic_bit]));
+    }
+    AluPorts {
+        a,
+        b,
+        op,
+        result,
+        carry_out: carry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{bits_of, Bit};
+    use crate::sim::Simulator;
+
+    #[test]
+    fn exhaustive_4bit_all_ops() {
+        let mut n = Netlist::new();
+        let ports = alu(&mut n, 4);
+        let mut sim = Simulator::new(&n);
+        for op in AluOp::ALL {
+            let [op0, op1] = op.bits();
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    sim.set_bus(&ports.a, &bits_of(a, 4));
+                    sim.set_bus(&ports.b, &bits_of(b, 4));
+                    sim.set_input(ports.op[0], Bit::from(op0));
+                    sim.set_input(ports.op[1], Bit::from(op1));
+                    sim.settle().unwrap();
+                    let got = sim.read_bus(&ports.result).expect("known result");
+                    assert_eq!(got, op.apply(a, b, 0xf), "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_8bit_all_ops() {
+        let mut n = Netlist::new();
+        let ports = alu(&mut n, 8);
+        let mut sim = Simulator::new(&n);
+        let mut seed = 11u64;
+        for _ in 0..200 {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = seed >> 8 & 0xff;
+            let b = seed >> 24 & 0xff;
+            let op = AluOp::ALL[(seed >> 40 & 3) as usize];
+            let [op0, op1] = op.bits();
+            sim.set_bus(&ports.a, &bits_of(a, 8));
+            sim.set_bus(&ports.b, &bits_of(b, 8));
+            sim.set_input(ports.op[0], Bit::from(op0));
+            sim.set_input(ports.op[1], Bit::from(op1));
+            sim.settle().unwrap();
+            assert_eq!(
+                sim.read_bus(&ports.result),
+                Some(op.apply(a, b, 0xff)),
+                "{op:?} {a} {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_carry_out_is_not_borrow() {
+        let mut n = Netlist::new();
+        let ports = alu(&mut n, 4);
+        let mut sim = Simulator::new(&n);
+        let [op0, op1] = AluOp::Sub.bits();
+        sim.set_bus(&ports.a, &bits_of(5, 4));
+        sim.set_bus(&ports.b, &bits_of(3, 4));
+        sim.set_input(ports.op[0], Bit::from(op0));
+        sim.set_input(ports.op[1], Bit::from(op1));
+        sim.settle().unwrap();
+        // 5 - 3: no borrow → carry_out = 1 in two's-complement subtract.
+        assert_eq!(sim.value(ports.carry_out), Bit::One);
+        sim.set_bus(&ports.a, &bits_of(3, 4));
+        sim.set_bus(&ports.b, &bits_of(5, 4));
+        sim.settle().unwrap();
+        assert_eq!(sim.value(ports.carry_out), Bit::Zero, "borrow occurred");
+    }
+
+    #[test]
+    fn opcode_encoding_roundtrip() {
+        assert_eq!(AluOp::Add.bits(), [false, false]);
+        assert_eq!(AluOp::Sub.bits(), [true, false]);
+        assert_eq!(AluOp::And.bits(), [false, true]);
+        assert_eq!(AluOp::Xor.bits(), [true, true]);
+        assert_eq!(AluOp::Sub.apply(3, 5, 0xf), 14);
+    }
+}

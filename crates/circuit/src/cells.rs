@@ -1,0 +1,111 @@
+//! Compound standard cells built from primitive gates.
+
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// Output ports of a half adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HalfAdderPorts {
+    /// Sum output `a ⊕ b`.
+    pub sum: NodeId,
+    /// Carry output `a · b`.
+    pub carry: NodeId,
+}
+
+/// Output ports of a full adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullAdderPorts {
+    /// Sum output `a ⊕ b ⊕ cin`.
+    pub sum: NodeId,
+    /// Carry output (majority of the inputs).
+    pub carry: NodeId,
+}
+
+/// Instantiates a half adder (one XOR, one AND).
+pub fn half_adder(n: &mut Netlist, a: NodeId, b: NodeId) -> HalfAdderPorts {
+    HalfAdderPorts {
+        sum: n.gate(GateKind::Xor2, &[a, b]),
+        carry: n.gate(GateKind::And2, &[a, b]),
+    }
+}
+
+/// Instantiates the textbook static-CMOS full adder: two cascaded XORs for
+/// the sum and an AND-OR majority for the carry. The two-level structure
+/// is what makes ripple-carry chains glitch under skewed arrivals.
+pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> FullAdderPorts {
+    let p = n.gate(GateKind::Xor2, &[a, b]);
+    let sum = n.gate(GateKind::Xor2, &[p, cin]);
+    let g = n.gate(GateKind::And2, &[a, b]);
+    let t = n.gate(GateKind::And2, &[p, cin]);
+    let carry = n.gate(GateKind::Or2, &[g, t]);
+    FullAdderPorts { sum, carry }
+}
+
+/// Instantiates a positive-edge D flip-flop and returns its Q node.
+pub fn dff(n: &mut Netlist, clk: NodeId, d: NodeId) -> NodeId {
+    n.gate(GateKind::Dff, &[clk, d])
+}
+
+/// Instantiates a `width`-bit register bank sharing one clock; returns the
+/// Q bus in the same bit order as `d`.
+pub fn register(n: &mut Netlist, clk: NodeId, d: &[NodeId]) -> Vec<NodeId> {
+    d.iter().map(|&bit| dff(n, clk, bit)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Bit;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let fa = full_adder(&mut n, a, b, c);
+        let mut sim = Simulator::new(&n);
+        for bits in 0..8u8 {
+            let (av, bv, cv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            sim.set_input(a, Bit::from(av));
+            sim.set_input(b, Bit::from(bv));
+            sim.set_input(c, Bit::from(cv));
+            sim.settle().unwrap();
+            let total = u8::from(av) + u8::from(bv) + u8::from(cv);
+            assert_eq!(sim.value(fa.sum), Bit::from(total & 1 == 1), "sum at {bits:03b}");
+            assert_eq!(sim.value(fa.carry), Bit::from(total >= 2), "carry at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let ha = half_adder(&mut n, a, b);
+        let mut sim = Simulator::new(&n);
+        for bits in 0..4u8 {
+            let (av, bv) = (bits & 1 != 0, bits & 2 != 0);
+            sim.set_input(a, Bit::from(av));
+            sim.set_input(b, Bit::from(bv));
+            sim.settle().unwrap();
+            assert_eq!(sim.value(ha.sum), Bit::from(av ^ bv));
+            assert_eq!(sim.value(ha.carry), Bit::from(av && bv));
+        }
+    }
+
+    #[test]
+    fn register_bank_latches_on_edge() {
+        let mut n = Netlist::new();
+        let clk = n.input("clk");
+        let d: Vec<_> = (0..4).map(|i| n.input(format!("d{i}"))).collect();
+        let q = register(&mut n, clk, &d);
+        let mut sim = Simulator::new(&n);
+        sim.set_input(clk, Bit::Zero);
+        sim.set_bus(&d, &crate::logic::bits_of(0b1011, 4));
+        sim.settle().unwrap();
+        sim.set_input(clk, Bit::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.read_bus(&q), Some(0b1011));
+    }
+}

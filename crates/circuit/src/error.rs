@@ -1,0 +1,80 @@
+//! Error type for netlist construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by netlist construction and simulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate was created with the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The gate kind's name.
+        kind: &'static str,
+        /// Expected input count.
+        expected: usize,
+        /// Supplied input count.
+        got: usize,
+    },
+    /// A node id does not belong to the netlist.
+    UnknownNode(usize),
+    /// The simulation exceeded its event budget without settling
+    /// (combinational loop or oscillation).
+    DidNotSettle {
+        /// The budget that was exhausted.
+        event_budget: usize,
+    },
+    /// A datapath generator was asked for an unsupported width.
+    InvalidWidth {
+        /// The rejected width.
+        width: usize,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(f, "{kind} gate expects {expected} inputs, got {got}"),
+            CircuitError::UnknownNode(id) => write!(f, "node id {id} is not in this netlist"),
+            CircuitError::DidNotSettle { event_budget } => write!(
+                f,
+                "simulation did not settle within {event_budget} events (combinational loop?)"
+            ),
+            CircuitError::InvalidWidth { width, constraint } => {
+                write!(f, "invalid datapath width {width}: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CircuitError::ArityMismatch {
+            kind: "nand2",
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("nand2"));
+        assert!(CircuitError::UnknownNode(7).to_string().contains('7'));
+        assert!(CircuitError::DidNotSettle { event_budget: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(CircuitError::InvalidWidth {
+            width: 0,
+            constraint: "must be positive"
+        }
+        .to_string()
+        .contains("positive"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Array multiplier generator.
+//!
+//! Builds an unsigned `width × width → 2·width` multiplier from AND-gate
+//! partial products accumulated row by row with half/full adders — the
+//! textbook array structure. Multipliers are the paper's highest-leverage
+//! block for SOIAS standby savings (Fig. 10 reports 97 % for a multiplier
+//! used 0.83 % of the time), so activity measurement on this datapath
+//! anchors that experiment.
+
+use crate::cells::{full_adder, half_adder};
+use crate::error::CircuitError;
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// Ports of a generated array multiplier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplierPorts {
+    /// Operand A, little-endian.
+    pub a: Vec<NodeId>,
+    /// Operand B, little-endian.
+    pub b: Vec<NodeId>,
+    /// Product bits, little-endian, `2·width` wide.
+    pub product: Vec<NodeId>,
+}
+
+impl MultiplierPorts {
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+
+    /// All input nodes in the order `a ++ b`.
+    #[must_use]
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.a.clone();
+        v.extend_from_slice(&self.b);
+        v
+    }
+}
+
+/// Generates an unsigned array multiplier.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidWidth`] if `width` is zero or exceeds 32
+/// (the product would not fit the simulator's 64-bit bus readers).
+pub fn array_multiplier(n: &mut Netlist, width: usize) -> Result<MultiplierPorts, CircuitError> {
+    if width == 0 || width > 32 {
+        return Err(CircuitError::InvalidWidth {
+            width,
+            constraint: "must be in 1..=32",
+        });
+    }
+    let a: Vec<_> = (0..width).map(|i| n.input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..width).map(|i| n.input(format!("b{i}"))).collect();
+
+    // acc[p] holds the running partial-sum bit at product position p.
+    let mut acc: Vec<Option<NodeId>> = vec![None; 2 * width];
+    for (j, &bj) in b.iter().enumerate() {
+        let mut carry: Option<NodeId> = None;
+        for (i, &ai) in a.iter().enumerate() {
+            let pp = n.gate(GateKind::And2, &[ai, bj]);
+            let pos = i + j;
+            let (sum, new_carry) = match (acc[pos], carry) {
+                (Some(s), Some(c)) => {
+                    let fa = full_adder(n, s, pp, c);
+                    (fa.sum, Some(fa.carry))
+                }
+                (Some(s), None) => {
+                    let ha = half_adder(n, s, pp);
+                    (ha.sum, Some(ha.carry))
+                }
+                (None, Some(c)) => {
+                    let ha = half_adder(n, pp, c);
+                    (ha.sum, Some(ha.carry))
+                }
+                (None, None) => (pp, None),
+            };
+            acc[pos] = Some(sum);
+            carry = new_carry;
+        }
+        // Ripple any remaining carry into the higher accumulator bits.
+        let mut pos = j + width;
+        while let Some(c) = carry {
+            match acc[pos] {
+                Some(s) => {
+                    let ha = half_adder(n, s, c);
+                    acc[pos] = Some(ha.sum);
+                    carry = Some(ha.carry);
+                }
+                None => {
+                    acc[pos] = Some(c);
+                    carry = None;
+                }
+            }
+            pos += 1;
+        }
+    }
+    // Unused high positions can only remain when width == 1; represent
+    // them with a constant-zero buffer of the (never-set) carry — instead,
+    // simply require every position to be populated, which the row loop
+    // guarantees for width >= 1 except the very top bit of width 1.
+    let product: Vec<NodeId> = acc
+        .into_iter()
+        .enumerate()
+        .map(|(p, slot)| match slot {
+            Some(node) => node,
+            // Position 2w−1 of a 1×1 multiplier is structurally zero:
+            // realise it as a·b AND NOT(a·b) = 0 … simpler: a AND ¬a.
+            None => {
+                let na = n.gate(GateKind::Not, &[a[0]]);
+                let z = n.gate(GateKind::And2, &[a[0], na]);
+                debug_assert_eq!(p, 2 * width - 1);
+                z
+            }
+        })
+        .collect();
+    Ok(MultiplierPorts { a, b, product })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::bits_of;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn exhaustive_4x4() {
+        let mut n = Netlist::new();
+        let p = array_multiplier(&mut n, 4).unwrap();
+        let mut sim = Simulator::new(&n);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_bus(&p.a, &bits_of(a, 4));
+                sim.set_bus(&p.b, &bits_of(b, 4));
+                sim.settle().unwrap();
+                assert_eq!(sim.read_bus(&p.product), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_8x8() {
+        let mut n = Netlist::new();
+        let p = array_multiplier(&mut n, 8).unwrap();
+        let mut sim = Simulator::new(&n);
+        let mut seed = 7u64;
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = seed >> 8 & 0xff;
+            let b = seed >> 24 & 0xff;
+            sim.set_bus(&p.a, &bits_of(a, 8));
+            sim.set_bus(&p.b, &bits_of(b, 8));
+            sim.settle().unwrap();
+            assert_eq!(sim.read_bus(&p.product), Some(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_multiplier() {
+        let mut n = Netlist::new();
+        let p = array_multiplier(&mut n, 1).unwrap();
+        let mut sim = Simulator::new(&n);
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                sim.set_bus(&p.a, &bits_of(a, 1));
+                sim.set_bus(&p.b, &bits_of(b, 1));
+                sim.settle().unwrap();
+                assert_eq!(sim.read_bus(&p.product), Some(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        let mut n = Netlist::new();
+        assert!(array_multiplier(&mut n, 0).is_err());
+        assert!(array_multiplier(&mut n, 33).is_err());
+    }
+
+    #[test]
+    fn product_width_is_double() {
+        let mut n = Netlist::new();
+        let p = array_multiplier(&mut n, 6).unwrap();
+        assert_eq!(p.product.len(), 12);
+        assert_eq!(p.width(), 6);
+        assert_eq!(p.input_nodes().len(), 12);
+    }
+}

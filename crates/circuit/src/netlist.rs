@@ -1,0 +1,508 @@
+//! Gate-level netlist representation.
+//!
+//! A [`Netlist`] owns a set of named nodes and gates. Every node carries a
+//! lumped capacitance that is accumulated structurally as gates are
+//! attached: each gate input adds MOS gate capacitance to the node driving
+//! it, and each gate output contributes drain junction plus local wiring
+//! capacitance. These per-node capacitances are what turn transition
+//! counts into switched capacitance (the paper's `α·C_L` product).
+
+use crate::error::CircuitError;
+use crate::logic::Bit;
+use lowvolt_device::units::Farads;
+
+/// Identifier of a node (wire) within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a gate within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// The raw index of this gate.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The logic function a gate computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Non-inverting buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `[sel, a, b]`, output `a` when
+    /// `sel = 0`, `b` when `sel = 1`.
+    Mux2,
+    /// Positive-edge-triggered D flip-flop; inputs are `[clk, d]`.
+    Dff,
+}
+
+impl GateKind {
+    /// Number of inputs this gate kind requires.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2
+            | GateKind::Dff => 2,
+            GateKind::And3 | GateKind::Or3 | GateKind::Nand3 | GateKind::Nor3 | GateKind::Mux2 => {
+                3
+            }
+        }
+    }
+
+    /// Short lowercase name, used in diagnostics and auto-generated node
+    /// names.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And2 => "and2",
+            GateKind::And3 => "and3",
+            GateKind::Or2 => "or2",
+            GateKind::Or3 => "or3",
+            GateKind::Nand2 => "nand2",
+            GateKind::Nand3 => "nand3",
+            GateKind::Nor2 => "nor2",
+            GateKind::Nor3 => "nor3",
+            GateKind::Xor2 => "xor2",
+            GateKind::Xnor2 => "xnor2",
+            GateKind::Mux2 => "mux2",
+            GateKind::Dff => "dff",
+        }
+    }
+
+    /// Number of transistor gates each input of this cell drives — the
+    /// structural input-loading weight used for capacitance accumulation.
+    #[must_use]
+    pub fn input_load_units(self, input_index: usize) -> f64 {
+        match self {
+            GateKind::Buf | GateKind::Not => 2.0,
+            GateKind::And2 | GateKind::Or2 | GateKind::Nand2 | GateKind::Nor2 => 2.0,
+            GateKind::And3 | GateKind::Or3 | GateKind::Nand3 | GateKind::Nor3 => 2.0,
+            // Static CMOS XOR/XNOR present both true and complement loads.
+            GateKind::Xor2 | GateKind::Xnor2 => 4.0,
+            // Mux select drives the pass network plus its local inverter.
+            GateKind::Mux2 => {
+                if input_index == 0 {
+                    4.0
+                } else {
+                    2.0
+                }
+            }
+            // Flip-flop clock pin loads several clocked transistor pairs.
+            GateKind::Dff => {
+                if input_index == 0 {
+                    4.0
+                } else {
+                    3.0
+                }
+            }
+        }
+    }
+
+    /// Evaluates the combinational function over three-valued inputs.
+    ///
+    /// For [`GateKind::Dff`] this returns [`Bit::X`]; the simulator handles
+    /// flip-flop state separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match [`GateKind::arity`]. The
+    /// netlist builder enforces arity, so simulation never hits this.
+    #[must_use]
+    pub fn evaluate(self, inputs: &[Bit]) -> Bit {
+        assert_eq!(inputs.len(), self.arity(), "{} arity", self.name());
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => inputs[0].not(),
+            GateKind::And2 => inputs[0].and(inputs[1]),
+            GateKind::And3 => inputs[0].and(inputs[1]).and(inputs[2]),
+            GateKind::Or2 => inputs[0].or(inputs[1]),
+            GateKind::Or3 => inputs[0].or(inputs[1]).or(inputs[2]),
+            GateKind::Nand2 => inputs[0].and(inputs[1]).not(),
+            GateKind::Nand3 => inputs[0].and(inputs[1]).and(inputs[2]).not(),
+            GateKind::Nor2 => inputs[0].or(inputs[1]).not(),
+            GateKind::Nor3 => inputs[0].or(inputs[1]).or(inputs[2]).not(),
+            GateKind::Xor2 => inputs[0].xor(inputs[1]),
+            GateKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+            GateKind::Mux2 => match inputs[0] {
+                Bit::Zero => inputs[1],
+                Bit::One => inputs[2],
+                Bit::X => {
+                    // If both data inputs agree, the select doesn't matter.
+                    if inputs[1] == inputs[2] {
+                        inputs[1]
+                    } else {
+                        Bit::X
+                    }
+                }
+            },
+            GateKind::Dff => Bit::X,
+        }
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The logic function.
+    pub kind: GateKind,
+    /// Input nodes, in [`GateKind`]-defined order.
+    pub inputs: Vec<NodeId>,
+    /// Output node.
+    pub output: NodeId,
+    /// Propagation delay in simulator ticks (≥ 1).
+    pub delay: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    cap_ff: f64,
+    is_input: bool,
+}
+
+/// Gate capacitance of one transistor-gate load unit, fF (a ~1 µm-wide
+/// device at 0.44 µm length on 9 nm oxide).
+pub const UNIT_GATE_CAP_FF: f64 = 1.7;
+
+/// Drain-junction capacitance contributed by a cell's output stage, fF.
+pub const DRAIN_JUNCTION_CAP_FF: f64 = 2.4;
+
+/// Local interconnect capacitance per node, fF.
+pub const WIRE_CAP_FF: f64 = 1.6;
+
+/// A gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    gates: Vec<Gate>,
+    fanout: Vec<Vec<GateId>>,
+    inputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Adds a named internal node and returns its id.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            cap_ff: WIRE_CAP_FF,
+            is_input: false,
+        });
+        self.fanout.push(Vec::new());
+        id
+    }
+
+    /// Adds a primary-input node and returns its id.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.node(name);
+        self.nodes[id.0].is_input = true;
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate of `kind` whose output drives the existing node
+    /// `output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`] if the input count is wrong
+    /// for the kind, or [`CircuitError::UnknownNode`] if any node id is
+    /// foreign.
+    pub fn gate_into(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NodeId],
+        output: NodeId,
+    ) -> Result<GateId, CircuitError> {
+        if inputs.len() != kind.arity() {
+            return Err(CircuitError::ArityMismatch {
+                kind: kind.name(),
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            if n.0 >= self.nodes.len() {
+                return Err(CircuitError::UnknownNode(n.0));
+            }
+        }
+        let id = GateId(self.gates.len());
+        for (i, &n) in inputs.iter().enumerate() {
+            self.nodes[n.0].cap_ff += kind.input_load_units(i) * UNIT_GATE_CAP_FF;
+            self.fanout[n.0].push(id);
+        }
+        self.nodes[output.0].cap_ff += DRAIN_JUNCTION_CAP_FF;
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay: 1,
+        });
+        Ok(id)
+    }
+
+    /// Adds a gate of `kind`, creating a fresh auto-named output node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or foreign node ids; use
+    /// [`Netlist::gate_into`] for a fallible variant. Generator code uses
+    /// this method with statically correct arities.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> NodeId {
+        let out = self.node(format!("{}_{}", kind.name(), self.gates.len()));
+        self.gate_into(kind, inputs, out)
+            .expect("fresh node and static arity");
+        out
+    }
+
+    /// Sets the propagation delay (in ticks) of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero (zero-delay loops would hang the
+    /// simulator) or the gate id is foreign.
+    pub fn set_delay(&mut self, gate: GateId, delay: u32) {
+        assert!(delay >= 1, "gate delay must be at least one tick");
+        self.gates[gate.0].delay = delay;
+    }
+
+    /// Adds extra (wire) capacitance to a node, in farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is foreign.
+    pub fn add_capacitance(&mut self, node: NodeId, extra: Farads) {
+        self.nodes[node.0].cap_ff += extra.0 * 1e15;
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates, indexable by [`GateId`].
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary-input nodes in creation order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Gates driven by (having an input on) `node`.
+    #[must_use]
+    pub fn fanout(&self, node: NodeId) -> &[GateId] {
+        &self.fanout[node.0]
+    }
+
+    /// Lumped capacitance of a node.
+    #[must_use]
+    pub fn node_capacitance(&self, node: NodeId) -> Farads {
+        Farads::from_femtofarads(self.nodes[node.0].cap_ff)
+    }
+
+    /// Name of a node.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Whether a node is a primary input.
+    #[must_use]
+    pub fn is_primary_input(&self, node: NodeId) -> bool {
+        self.nodes[node.0].is_input
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Total capacitance over all nodes (a size metric for reports).
+    #[must_use]
+    pub fn total_capacitance(&self) -> Farads {
+        Farads::from_femtofarads(self.nodes.iter().map(|n| n.cap_ff).sum())
+    }
+
+    /// Gate-kind census: `(kind, count)` pairs for every kind present,
+    /// most frequent first — the composition summary synthesis reports
+    /// print.
+    #[must_use]
+    pub fn gate_census(&self) -> Vec<(GateKind, usize)> {
+        let mut counts: std::collections::HashMap<GateKind, usize> = std::collections::HashMap::new();
+        for g in &self.gates {
+            *counts.entry(g.kind).or_insert(0) += 1;
+        }
+        let mut v: Vec<(GateKind, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.name().cmp(b.0.name())));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Nand2.arity(), 2);
+        assert_eq!(GateKind::Mux2.arity(), 3);
+        assert_eq!(GateKind::Dff.arity(), 2);
+    }
+
+    #[test]
+    fn evaluate_basic_gates() {
+        use Bit::{One, Zero};
+        assert_eq!(GateKind::Nand2.evaluate(&[One, One]), Zero);
+        assert_eq!(GateKind::Nand2.evaluate(&[One, Zero]), One);
+        assert_eq!(GateKind::Nor3.evaluate(&[Zero, Zero, Zero]), One);
+        assert_eq!(GateKind::Xor2.evaluate(&[One, Zero]), One);
+        assert_eq!(GateKind::Xnor2.evaluate(&[One, One]), One);
+        assert_eq!(GateKind::And3.evaluate(&[One, One, One]), One);
+        assert_eq!(GateKind::Or3.evaluate(&[Zero, Zero, One]), One);
+        assert_eq!(GateKind::Buf.evaluate(&[Zero]), Zero);
+    }
+
+    #[test]
+    fn mux_select_semantics() {
+        use Bit::{One, X, Zero};
+        // inputs: [sel, a, b]
+        assert_eq!(GateKind::Mux2.evaluate(&[Zero, One, Zero]), One);
+        assert_eq!(GateKind::Mux2.evaluate(&[One, One, Zero]), Zero);
+        // Unknown select, but agreeing data: known output.
+        assert_eq!(GateKind::Mux2.evaluate(&[X, One, One]), One);
+        assert_eq!(GateKind::Mux2.evaluate(&[X, One, Zero]), X);
+    }
+
+    #[test]
+    fn build_accumulates_capacitance() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let base = n.node_capacitance(a).to_femtofarads();
+        let _y = n.gate(GateKind::Not, &[a]);
+        let loaded = n.node_capacitance(a).to_femtofarads();
+        assert!((loaded - base - 2.0 * UNIT_GATE_CAP_FF).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_tracks_gates() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y1 = n.gate(GateKind::Not, &[a]);
+        let _y2 = n.gate(GateKind::Not, &[a]);
+        assert_eq!(n.fanout(a).len(), 2);
+        assert_eq!(n.fanout(y1).len(), 0);
+        assert_eq!(n.gate_count(), 2);
+    }
+
+    #[test]
+    fn gate_into_validates() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let out = n.node("out");
+        assert_eq!(
+            n.gate_into(GateKind::Nand2, &[a], out),
+            Err(CircuitError::ArityMismatch {
+                kind: "nand2",
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            n.gate_into(GateKind::Not, &[NodeId(99)], out),
+            Err(CircuitError::UnknownNode(99))
+        );
+        assert!(n.gate_into(GateKind::Nand2, &[a, a], out).is_ok());
+    }
+
+    #[test]
+    fn primary_inputs_recorded() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let _g = n.gate(GateKind::And2, &[a, b]);
+        assert_eq!(n.primary_inputs(), &[a, b]);
+        assert!(n.is_primary_input(a));
+        assert!(!n.is_primary_input(NodeId(2)));
+    }
+
+    #[test]
+    fn gate_census_counts_by_kind() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.gate(GateKind::Xor2, &[a, b]);
+        let _ = n.gate(GateKind::Xor2, &[x, a]);
+        let _ = n.gate(GateKind::And2, &[a, b]);
+        let census = n.gate_census();
+        assert_eq!(census[0], (GateKind::Xor2, 2));
+        assert_eq!(census[1], (GateKind::And2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be at least one")]
+    fn zero_delay_rejected() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        n.gate(GateKind::Not, &[a]);
+        n.set_delay(GateId(0), 0);
+    }
+}

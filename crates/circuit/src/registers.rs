@@ -1,0 +1,198 @@
+//! Switched-capacitance models for the three registers of the paper's
+//! Fig. 1.
+//!
+//! Fig. 1 plots "switched capacitance as a function of operating power
+//! supply voltage for three different registers" — C²MOS, TSPC-R, and the
+//! LCLR low-clock-load register — and shows capacitance *rising* with
+//! `V_DD` because of the gate-capacitance non-linearity. Each register is
+//! modelled by its transistor inventory: clocked gate area (switched every
+//! cycle), data-path gate area (switched with the data activity), and
+//! junction/wire parasitics.
+
+use lowvolt_device::capacitance::{GateCapacitance, JunctionCapacitance};
+use lowvolt_device::units::{Farads, Volts};
+
+/// The register circuit styles compared in Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterStyle {
+    /// Clocked-CMOS master–slave register: the heaviest clock load of the
+    /// three (eight clocked transistors).
+    C2mos,
+    /// True single-phase-clock register.
+    Tspc,
+    /// Low clock-load register (from the BodyLAN link controller the
+    /// paper's Fig. 1 cites) — the lightest clock load.
+    Lclr,
+}
+
+impl RegisterStyle {
+    /// All three styles in the order Fig. 1's legend lists them.
+    pub const ALL: [RegisterStyle; 3] = [RegisterStyle::Lclr, RegisterStyle::Tspc, RegisterStyle::C2mos];
+
+    /// Display name matching the figure legend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RegisterStyle::C2mos => "C2MOS",
+            RegisterStyle::Tspc => "TSPCR",
+            RegisterStyle::Lclr => "LCLR",
+        }
+    }
+
+    /// Number of clocked transistors in one bit of this register style.
+    #[must_use]
+    pub fn clocked_transistors(self) -> usize {
+        match self {
+            RegisterStyle::C2mos => 8,
+            RegisterStyle::Tspc => 5,
+            RegisterStyle::Lclr => 2,
+        }
+    }
+
+    /// Number of data-path transistors in one bit.
+    #[must_use]
+    pub fn data_transistors(self) -> usize {
+        match self {
+            RegisterStyle::C2mos => 8,
+            RegisterStyle::Tspc => 6,
+            RegisterStyle::Lclr => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for RegisterStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Voltage-dependent switched-capacitance model of one register bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterCapModel {
+    style: RegisterStyle,
+    clock_gates: GateCapacitance,
+    data_gates: GateCapacitance,
+    junctions: JunctionCapacitance,
+    wire: Farads,
+}
+
+/// Gate area of one register transistor, µm² (≈1.6 µm wide at 0.44 µm).
+pub const TRANSISTOR_GATE_AREA_UM2: f64 = 0.7;
+
+impl RegisterCapModel {
+    /// Builds the Fig. 1 model for a style with a given device threshold.
+    #[must_use]
+    pub fn new(style: RegisterStyle, vt: Volts) -> RegisterCapModel {
+        let clocked_area = style.clocked_transistors() as f64 * TRANSISTOR_GATE_AREA_UM2;
+        let data_area = style.data_transistors() as f64 * TRANSISTOR_GATE_AREA_UM2;
+        let junction_ff = (style.clocked_transistors() + style.data_transistors()) as f64 * 0.5;
+        RegisterCapModel {
+            style,
+            clock_gates: GateCapacitance::from_area(clocked_area, vt),
+            data_gates: GateCapacitance::from_area(data_area, vt),
+            junctions: JunctionCapacitance::with_c_j0(Farads::from_femtofarads(junction_ff)),
+            wire: Farads::from_femtofarads(3.0),
+        }
+    }
+
+    /// The register style.
+    #[must_use]
+    pub fn style(&self) -> RegisterStyle {
+        self.style
+    }
+
+    /// Switched capacitance per clock cycle at supply `vdd` with data
+    /// transition activity `data_activity` (the clock always switches;
+    /// data nodes switch with the data).
+    ///
+    /// This is the quantity Fig. 1 plots (at full data activity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive or `data_activity` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn switched_capacitance(&self, vdd: Volts, data_activity: f64) -> Farads {
+        assert!(
+            (0.0..=1.0).contains(&data_activity),
+            "data activity must lie in [0, 1]"
+        );
+        let clock = self.clock_gates.effective_switched(vdd).0;
+        let data = self.data_gates.effective_switched(vdd).0 * data_activity;
+        let junction = self.junctions.effective_switched(vdd).0;
+        Farads(clock + data + junction + self.wire.0)
+    }
+
+    /// Switching energy per cycle, `C_sw(V_DD)·V_DD²`.
+    #[must_use]
+    pub fn energy_per_cycle(&self, vdd: Volts, data_activity: f64) -> lowvolt_device::units::Joules {
+        self.switched_capacitance(vdd, data_activity) * vdd * vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacitance_rises_with_vdd_for_all_styles() {
+        // The central claim of Fig. 1.
+        for style in RegisterStyle::ALL {
+            let m = RegisterCapModel::new(style, Volts(0.5));
+            let mut prev = 0.0;
+            for vdd in [1.0, 1.5, 2.0, 2.5, 3.0] {
+                let c = m.switched_capacitance(Volts(vdd), 1.0).to_femtofarads();
+                assert!(c > prev, "{style}: cap must rise with vdd");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_style_ordering() {
+        // The clock-heavy C²MOS switches the most capacitance, the
+        // low-clock-load register the least clocked portion.
+        let c2mos = RegisterCapModel::new(RegisterStyle::C2mos, Volts(0.5));
+        let tspc = RegisterCapModel::new(RegisterStyle::Tspc, Volts(0.5));
+        let lclr = RegisterCapModel::new(RegisterStyle::Lclr, Volts(0.5));
+        for vdd in [1.0, 2.0, 3.0] {
+            let v = Volts(vdd);
+            // At zero data activity the ordering is pure clock load.
+            let cc = c2mos.switched_capacitance(v, 0.0).0;
+            let ct = tspc.switched_capacitance(v, 0.0).0;
+            let cl = lclr.switched_capacitance(v, 0.0).0;
+            assert!(cc > ct && ct > cl, "clock-load ordering at {vdd} V");
+        }
+    }
+
+    #[test]
+    fn fig1_magnitude_is_tens_of_femtofarads() {
+        let m = RegisterCapModel::new(RegisterStyle::C2mos, Volts(0.5));
+        let c = m.switched_capacitance(Volts(3.0), 1.0).to_femtofarads();
+        assert!(c > 20.0 && c < 120.0, "c = {c} fF");
+    }
+
+    #[test]
+    fn data_activity_scales_data_portion_only() {
+        let m = RegisterCapModel::new(RegisterStyle::Tspc, Volts(0.5));
+        let idle = m.switched_capacitance(Volts(2.0), 0.0).0;
+        let busy = m.switched_capacitance(Volts(2.0), 1.0).0;
+        assert!(busy > idle);
+    }
+
+    #[test]
+    fn energy_scales_with_v_squared_and_capacitance() {
+        let m = RegisterCapModel::new(RegisterStyle::Lclr, Volts(0.5));
+        let e1 = m.energy_per_cycle(Volts(1.0), 0.5).0;
+        let e2 = m.energy_per_cycle(Volts(2.0), 0.5).0;
+        // More than 4x because capacitance also grows with V_DD.
+        assert!(e2 > 4.0 * e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "data activity")]
+    fn bad_activity_rejected() {
+        let m = RegisterCapModel::new(RegisterStyle::Lclr, Volts(0.5));
+        let _ = m.switched_capacitance(Volts(1.0), 1.5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Ring-oscillator delay and energy evaluation.
+//!
+//! The paper's Figs. 3–4 are measured on ring-oscillator structures "by
+//! adjusting the V_T … and V_DD for a fixed delay". This module provides
+//! the analytic equivalent: an `N`-stage ring whose stage delay follows
+//! the alpha-power law and whose leakage follows the device model, so the
+//! iso-delay supply solve and the energy-versus-threshold sweep can be
+//! reproduced.
+
+use lowvolt_device::delay::StageDelay;
+use lowvolt_device::error::DeviceError;
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::on_current::AlphaPowerLaw;
+use lowvolt_device::units::{Amps, Farads, Hertz, Joules, Micrometers, Seconds, Volts};
+
+/// An `N`-stage inverter ring oscillator with per-stage load `C` and
+/// alpha-power-law drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingOscillator {
+    stages: usize,
+    stage: StageDelay,
+    /// Leakage template; its threshold is overridden per query.
+    leak_template: Mosfet,
+    stage_load: Farads,
+}
+
+/// Default per-stage load for the paper-scale ring (gate + junction +
+/// local wire of a minimum inverter driving its twin).
+pub const DEFAULT_STAGE_LOAD: Farads = Farads(20e-15);
+
+/// Number of stages in the paper's ring ("a 101 stage ring oscillator" is
+/// typical of such measurements; any odd count works).
+pub const DEFAULT_STAGES: usize = 101;
+
+impl RingOscillator {
+    /// A default paper-scale ring: 101 stages of 2 µm devices driving
+    /// 20 fF each.
+    #[must_use]
+    pub fn paper_default() -> RingOscillator {
+        RingOscillator::new(DEFAULT_STAGES, DEFAULT_STAGE_LOAD, Micrometers(2.0))
+            .expect("default parameters are valid")
+    }
+
+    /// Creates a ring with `stages` stages, per-stage load `stage_load`,
+    /// and device width `width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `stages` is even or
+    /// less than 3, or the load/width is non-positive.
+    pub fn new(
+        stages: usize,
+        stage_load: Farads,
+        width: Micrometers,
+    ) -> Result<RingOscillator, DeviceError> {
+        if stages < 3 || stages.is_multiple_of(2) {
+            return Err(DeviceError::InvalidParameter {
+                name: "stages",
+                value: stages as f64,
+                constraint: "must be an odd count of at least 3",
+            });
+        }
+        let drive = AlphaPowerLaw::with_width(width);
+        let stage = StageDelay::new(drive, stage_load, 0.5)?;
+        Ok(RingOscillator {
+            stages,
+            stage,
+            leak_template: Mosfet::nmos_with_vt(Volts(0.4)).with_width(width),
+            stage_load,
+        })
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Per-stage load capacitance.
+    #[must_use]
+    pub fn stage_load(&self) -> Farads {
+        self.stage_load
+    }
+
+    /// Single-stage propagation delay at an operating point.
+    #[must_use]
+    pub fn stage_delay(&self, vdd: Volts, vt: Volts) -> Seconds {
+        self.stage.delay(vdd, vt)
+    }
+
+    /// Oscillation period `T = 2·N·t_d`.
+    #[must_use]
+    pub fn period(&self, vdd: Volts, vt: Volts) -> Seconds {
+        Seconds(2.0 * self.stages as f64 * self.stage_delay(vdd, vt).0)
+    }
+
+    /// Oscillation frequency.
+    #[must_use]
+    pub fn frequency(&self, vdd: Volts, vt: Volts) -> Hertz {
+        Hertz(1.0 / self.period(vdd, vt).0)
+    }
+
+    /// Supply voltage at which a single stage meets `target` delay for a
+    /// given threshold — one point of the Fig. 3 iso-delay locus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::SolveFailed`] if even `v_max` is too slow.
+    pub fn supply_for_stage_delay(
+        &self,
+        target: Seconds,
+        vt: Volts,
+        v_max: Volts,
+    ) -> Result<Volts, DeviceError> {
+        self.stage.supply_for_delay(target, vt, v_max)
+    }
+
+    /// Total idle (leakage) current of the ring: each stage leaks through
+    /// whichever device is off, so `N` off-devices at threshold `vt`.
+    #[must_use]
+    pub fn leakage_current(&self, vdd: Volts, vt: Volts) -> Amps {
+        let device = self.leak_template.clone().with_vt(vt);
+        Amps(self.stages as f64 * device.off_current(vdd).0)
+    }
+
+    /// Energy consumed per *operation period* `t_op` while the ring
+    /// oscillates at its natural frequency scaled to a duty of one full
+    /// set of transitions per period:
+    /// `E = N·C·V_DD² + I_leak·V_DD·t_op` — the Fig. 4 quantity, where
+    /// `t_op` is the (fixed) throughput period, not the ring's own period.
+    #[must_use]
+    pub fn energy_per_operation(&self, vdd: Volts, vt: Volts, t_op: Seconds) -> Joules {
+        let switching = Joules(self.stages as f64 * self.stage_load.0 * vdd.0 * vdd.0);
+        let leakage = self.leakage_current(vdd, vt) * vdd * t_op;
+        switching + leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_rejects_even_or_tiny_rings() {
+        assert!(RingOscillator::new(4, DEFAULT_STAGE_LOAD, Micrometers(2.0)).is_err());
+        assert!(RingOscillator::new(1, DEFAULT_STAGE_LOAD, Micrometers(2.0)).is_err());
+        assert!(RingOscillator::new(5, DEFAULT_STAGE_LOAD, Micrometers(2.0)).is_ok());
+    }
+
+    #[test]
+    fn frequency_rises_with_supply() {
+        let r = RingOscillator::paper_default();
+        let f1 = r.frequency(Volts(1.0), Volts(0.4));
+        let f2 = r.frequency(Volts(2.0), Volts(0.4));
+        assert!(f2.0 > f1.0);
+    }
+
+    #[test]
+    fn period_is_2n_stage_delays() {
+        let r = RingOscillator::paper_default();
+        let td = r.stage_delay(Volts(1.5), Volts(0.4));
+        let t = r.period(Volts(1.5), Volts(0.4));
+        assert!((t.0 - 2.0 * 101.0 * td.0).abs() / t.0 < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_delays() {
+        // The Fig. 2 annotations quote stage delays from tens of ps to ns
+        // across the supply range; our model should land in that regime.
+        let r = RingOscillator::paper_default();
+        let fast = r.stage_delay(Volts(3.0), Volts(0.4)).0;
+        let slow = r.stage_delay(Volts(0.6), Volts(0.5)).0;
+        assert!(fast > 1e-12 && fast < 1e-9, "fast = {fast}");
+        assert!(slow > fast * 10.0, "slow = {slow}");
+    }
+
+    #[test]
+    fn iso_delay_locus_monotone() {
+        let r = RingOscillator::paper_default();
+        let target = r.stage_delay(Volts(1.5), Volts(0.5));
+        let mut prev = f64::INFINITY;
+        for vt in [0.5, 0.4, 0.3, 0.2, 0.1] {
+            let v = r
+                .supply_for_stage_delay(target, Volts(vt), Volts(3.3))
+                .expect("solvable");
+            assert!(v.0 < prev);
+            prev = v.0;
+        }
+    }
+
+    #[test]
+    fn energy_tradeoff_creates_optimum() {
+        // Lower V_T permits lower V_DD at iso-delay (less switching
+        // energy) but leaks more: the total must turn back up at very low
+        // V_T — the Fig. 4 U-shape.
+        let r = RingOscillator::paper_default();
+        let target = r.stage_delay(Volts(1.2), Volts(0.45));
+        let t_op = Seconds(1e-6); // 1 MHz throughput
+        let energy_at = |vt: f64| {
+            let vdd = r
+                .supply_for_stage_delay(target, Volts(vt), Volts(3.3))
+                .expect("solvable");
+            r.energy_per_operation(vdd, Volts(vt), t_op).0
+        };
+        let high = energy_at(0.45);
+        let mid = energy_at(0.20);
+        let low = energy_at(0.01);
+        assert!(mid < high, "lowering vt from 0.45 to 0.2 must save energy");
+        assert!(low > mid, "leakage must dominate at near-zero vt");
+    }
+
+    #[test]
+    fn leakage_scales_with_stage_count() {
+        let small = RingOscillator::new(11, DEFAULT_STAGE_LOAD, Micrometers(2.0)).unwrap();
+        let big = RingOscillator::new(33, DEFAULT_STAGE_LOAD, Micrometers(2.0)).unwrap();
+        let r = big.leakage_current(Volts(1.0), Volts(0.3)).0
+            / small.leakage_current(Volts(1.0), Volts(0.3)).0;
+        assert!((r - 3.0).abs() < 1e-9);
+    }
+}

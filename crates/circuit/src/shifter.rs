@@ -1,0 +1,140 @@
+//! Logarithmic barrel shifter generator.
+//!
+//! The shifter is one of the three functional blocks the paper profiles
+//! (adder / shifter / multiplier); this generator provides its gate-level
+//! realisation for activity measurement.
+
+use crate::error::CircuitError;
+use crate::netlist::{GateKind, Netlist, NodeId};
+
+/// Ports of a generated barrel shifter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShifterPorts {
+    /// Data input, little-endian.
+    pub data: Vec<NodeId>,
+    /// Shift amount, little-endian (`log2(width)` bits).
+    pub amount: Vec<NodeId>,
+    /// The bit shifted into vacated positions (drive low for a logical
+    /// shift, tie to the sign bit externally for an arithmetic shift).
+    pub fill: NodeId,
+    /// Shifted output, little-endian.
+    pub out: Vec<NodeId>,
+}
+
+impl ShifterPorts {
+    /// Data width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.data.len()
+    }
+
+    /// All input nodes in the order `data ++ amount ++ [fill]`.
+    #[must_use]
+    pub fn input_nodes(&self) -> Vec<NodeId> {
+        let mut v = self.data.clone();
+        v.extend_from_slice(&self.amount);
+        v.push(self.fill);
+        v
+    }
+}
+
+/// Generates a right barrel shifter of power-of-two `width` using
+/// `log2(width)` mux stages; stage `k` shifts by `2^k` when its select bit
+/// is high.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidWidth`] unless `width` is a power of two
+/// of at least 2.
+pub fn barrel_shifter_right(n: &mut Netlist, width: usize) -> Result<ShifterPorts, CircuitError> {
+    if width < 2 || !width.is_power_of_two() {
+        return Err(CircuitError::InvalidWidth {
+            width,
+            constraint: "must be a power of two >= 2",
+        });
+    }
+    let stages = width.trailing_zeros() as usize;
+    let data: Vec<_> = (0..width).map(|i| n.input(format!("d{i}"))).collect();
+    let amount: Vec<_> = (0..stages).map(|i| n.input(format!("sh{i}"))).collect();
+    let fill = n.input("fill");
+    let mut current = data.clone();
+    for (k, &sel) in amount.iter().enumerate() {
+        let step = 1usize << k;
+        let mut next = Vec::with_capacity(width);
+        for i in 0..width {
+            let shifted_in = if i + step < width {
+                current[i + step]
+            } else {
+                fill
+            };
+            // Mux2 inputs are [sel, a, b]: sel=0 passes through, sel=1
+            // takes the shifted bit.
+            next.push(n.gate(GateKind::Mux2, &[sel, current[i], shifted_in]));
+        }
+        current = next;
+    }
+    Ok(ShifterPorts {
+        data,
+        amount,
+        fill,
+        out: current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::{bits_of, Bit};
+    use crate::sim::Simulator;
+
+    #[test]
+    fn exhaustive_8bit_logical_shift() {
+        let mut n = Netlist::new();
+        let p = barrel_shifter_right(&mut n, 8).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(p.fill, Bit::Zero);
+        for value in [0u64, 1, 0x80, 0xa5, 0xff, 0x5a] {
+            for sh in 0..8u64 {
+                sim.set_bus(&p.data, &bits_of(value, 8));
+                sim.set_bus(&p.amount, &bits_of(sh, 3));
+                sim.settle().unwrap();
+                assert_eq!(
+                    sim.read_bus(&p.out),
+                    Some(value >> sh),
+                    "{value:#x} >> {sh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_shift_via_fill() {
+        let mut n = Netlist::new();
+        let p = barrel_shifter_right(&mut n, 8).unwrap();
+        let mut sim = Simulator::new(&n);
+        // Negative value: sign bit high, fill driven high.
+        sim.set_input(p.fill, Bit::One);
+        sim.set_bus(&p.data, &bits_of(0x90, 8));
+        sim.set_bus(&p.amount, &bits_of(2, 3));
+        sim.settle().unwrap();
+        // 0x90 asr 2 (8-bit) = 0xe4.
+        assert_eq!(sim.read_bus(&p.out), Some(0xe4));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut n = Netlist::new();
+        assert!(barrel_shifter_right(&mut n, 6).is_err());
+        assert!(barrel_shifter_right(&mut n, 1).is_err());
+        assert!(barrel_shifter_right(&mut n, 0).is_err());
+    }
+
+    #[test]
+    fn port_orders() {
+        let mut n = Netlist::new();
+        let p = barrel_shifter_right(&mut n, 4).unwrap();
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.amount.len(), 2);
+        assert_eq!(p.input_nodes().len(), 4 + 2 + 1);
+    }
+}

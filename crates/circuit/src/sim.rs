@@ -1,0 +1,400 @@
+//! Event-driven logic simulation with transition-activity extraction.
+//!
+//! The simulator advances a tick-based event queue with per-gate transport
+//! delays: when a gate's input changes, the gate is evaluated against the
+//! circuit state *at that instant* and the resulting value is scheduled
+//! one gate delay later. Skewed input arrivals therefore produce real
+//! output pulses — such as the carry-chain races of a ripple adder — which
+//! propagate and are counted. This mirrors what the paper's switch-level
+//! flow (IRSIM) measures: functional plus glitch transitions. Re-evaluations
+//! within the same tick coalesce to the final value, so zero-width pulses
+//! are never counted.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::activity::{ActivityReport, NodeActivity};
+use crate::error::CircuitError;
+use crate::logic::Bit;
+use crate::netlist::{GateKind, Netlist, NodeId};
+use crate::stimulus::PatternSource;
+
+/// Default number of events [`Simulator::settle`] will process before
+/// concluding the circuit oscillates.
+pub const DEFAULT_EVENT_BUDGET: usize = 4_000_000;
+
+/// An event-driven simulator over a borrowed [`Netlist`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Bit>,
+    queue: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Value captured at schedule time for each pending `(time, gate)`
+    /// event; later same-tick re-evaluations overwrite it, so exactly one
+    /// update per gate per tick is applied.
+    pending: HashMap<(u64, usize), Bit>,
+    time: u64,
+    rising: Vec<u64>,
+    falling: Vec<u64>,
+    counting: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with every node in the unknown state.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Simulator<'a> {
+        Simulator {
+            netlist,
+            values: vec![Bit::X; netlist.node_count()],
+            queue: BinaryHeap::new(),
+            pending: HashMap::new(),
+            time: 0,
+            rising: vec![0; netlist.node_count()],
+            falling: vec![0; netlist.node_count()],
+            counting: false,
+        }
+    }
+
+    /// Current simulation time in ticks.
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Current value of a node.
+    #[must_use]
+    pub fn value(&self, node: NodeId) -> Bit {
+        self.values[node.index()]
+    }
+
+    /// Power-consuming (`0 → 1`) transitions recorded on a node while
+    /// counting was enabled.
+    #[must_use]
+    pub fn rising_count(&self, node: NodeId) -> u64 {
+        self.rising[node.index()]
+    }
+
+    /// `1 → 0` transitions recorded on a node while counting was enabled.
+    #[must_use]
+    pub fn falling_count(&self, node: NodeId) -> u64 {
+        self.falling[node.index()]
+    }
+
+    /// Enables or disables transition counting (disabled initially so that
+    /// power-up initialisation is excluded).
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+    }
+
+    /// Clears all transition counters.
+    pub fn reset_counters(&mut self) {
+        self.rising.fill(0);
+        self.falling.fill(0);
+    }
+
+    /// Drives a node to a value at the current time, propagating to its
+    /// fanout on subsequent [`Simulator::settle`].
+    pub fn set_input(&mut self, node: NodeId, value: Bit) {
+        if self.values[node.index()] != value {
+            self.change_node(node, value);
+        }
+    }
+
+    /// Drives a little-endian bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != nodes.len()`.
+    pub fn set_bus(&mut self, nodes: &[NodeId], bits: &[Bit]) {
+        assert_eq!(nodes.len(), bits.len(), "bus width mismatch");
+        for (&n, &b) in nodes.iter().zip(bits) {
+            self.set_input(n, b);
+        }
+    }
+
+    /// Reads a little-endian bus as an integer; `None` if any bit is X.
+    #[must_use]
+    pub fn read_bus(&self, nodes: &[NodeId]) -> Option<u64> {
+        let bits: Vec<Bit> = nodes.iter().map(|&n| self.value(n)).collect();
+        crate::logic::value_of(&bits)
+    }
+
+    /// Processes events until the circuit is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DidNotSettle`] if more than `budget` events
+    /// fire, which indicates an oscillating combinational loop.
+    pub fn settle_with_budget(&mut self, budget: usize) -> Result<(), CircuitError> {
+        let mut spent = 0usize;
+        while let Some(Reverse((t, g))) = self.queue.pop() {
+            let new_value = self
+                .pending
+                .remove(&(t, g))
+                .expect("queue entries always have a pending value");
+            self.time = t;
+            spent += 1;
+            if spent > budget {
+                return Err(CircuitError::DidNotSettle {
+                    event_budget: budget,
+                });
+            }
+            let output = self.netlist.gates()[g].output;
+            if self.values[output.index()] != new_value {
+                self.change_node(output, new_value);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Simulator::settle_with_budget`] with [`DEFAULT_EVENT_BUDGET`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DidNotSettle`] on oscillation.
+    pub fn settle(&mut self) -> Result<(), CircuitError> {
+        self.settle_with_budget(DEFAULT_EVENT_BUDGET)
+    }
+
+    /// Applies one input vector and settles the circuit — one "cycle" of a
+    /// combinational activity measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector width mismatches `inputs`, or if the circuit
+    /// oscillates (combinational feedback), which generator-produced
+    /// netlists cannot do.
+    pub fn apply_vector(&mut self, inputs: &[NodeId], bits: &[Bit]) {
+        self.set_bus(inputs, bits);
+        self.settle().expect("generator netlists are acyclic");
+    }
+
+    /// Runs the paper's §5.3 activity-measurement flow: applies `cycles`
+    /// pattern vectors to `inputs`, discarding the first `warmup` cycles,
+    /// and returns the per-node transition report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup >= cycles` or the source width mismatches the
+    /// input count.
+    #[must_use]
+    pub fn measure_activity(
+        &mut self,
+        source: &mut PatternSource,
+        inputs: &[NodeId],
+        cycles: usize,
+        warmup: usize,
+    ) -> ActivityReport {
+        assert!(warmup < cycles, "warmup must leave cycles to measure");
+        self.set_counting(false);
+        self.reset_counters();
+        for _ in 0..warmup {
+            let v = source.next_pattern();
+            self.apply_vector(inputs, &v);
+        }
+        self.set_counting(true);
+        let measured = cycles - warmup;
+        for _ in 0..measured {
+            let v = source.next_pattern();
+            self.apply_vector(inputs, &v);
+        }
+        self.set_counting(false);
+        let entries = self
+            .netlist
+            .node_ids()
+            .map(|n| NodeActivity {
+                node: n,
+                name: self.netlist.node_name(n).to_string(),
+                rising: self.rising[n.index()],
+                falling: self.falling[n.index()],
+                capacitance: self.netlist.node_capacitance(n),
+                is_primary_input: self.netlist.is_primary_input(n),
+            })
+            .collect();
+        ActivityReport::new(entries, measured as u64)
+    }
+
+    fn change_node(&mut self, node: NodeId, value: Bit) {
+        let old = self.values[node.index()];
+        self.values[node.index()] = value;
+        if self.counting {
+            match (old, value) {
+                (Bit::Zero, Bit::One) => self.rising[node.index()] += 1,
+                (Bit::One, Bit::Zero) => self.falling[node.index()] += 1,
+                _ => {}
+            }
+        }
+        for &g in self.netlist.fanout(node) {
+            let gate = &self.netlist.gates()[g.index()];
+            let fire_at = self.time + u64::from(gate.delay);
+            if gate.kind == GateKind::Dff {
+                // Only a clean rising clock edge captures data.
+                if gate.inputs[0] == node && old == Bit::Zero && value == Bit::One {
+                    let captured = self.values[gate.inputs[1].index()];
+                    self.schedule(fire_at, g.index(), captured);
+                }
+            } else {
+                let inputs: Vec<Bit> = gate
+                    .inputs
+                    .iter()
+                    .map(|&n| self.values[n.index()])
+                    .collect();
+                let evaluated = gate.kind.evaluate(&inputs);
+                self.schedule(fire_at, g.index(), evaluated);
+            }
+        }
+    }
+
+    fn schedule(&mut self, time: u64, gate: usize, value: Bit) {
+        if self.pending.insert((time, gate), value).is_none() {
+            self.queue.push(Reverse((time, gate)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::bits_of;
+    use crate::netlist::{GateKind, Netlist};
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y1 = n.gate(GateKind::Not, &[a]);
+        let y2 = n.gate(GateKind::Not, &[y1]);
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Bit::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y1), Bit::One);
+        assert_eq!(sim.value(y2), Bit::Zero);
+        let t0 = sim.time();
+        sim.set_input(a, Bit::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y2), Bit::One);
+        // Two gate delays elapse between the edge and quiescence.
+        assert_eq!(sim.time() - t0, 2);
+    }
+
+    #[test]
+    fn unknowns_resolve_after_driving() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.gate(GateKind::Nand2, &[a, b]);
+        let mut sim = Simulator::new(&n);
+        assert_eq!(sim.value(y), Bit::X);
+        // A dominant zero resolves the output even with b unknown.
+        sim.set_input(a, Bit::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Bit::One);
+    }
+
+    #[test]
+    fn transition_counting_rising_only_when_enabled() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Buf, &[a]);
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Bit::Zero);
+        sim.settle().unwrap();
+        // Not counting yet.
+        assert_eq!(sim.rising_count(y), 0);
+        sim.set_counting(true);
+        for _ in 0..3 {
+            sim.set_input(a, Bit::One);
+            sim.settle().unwrap();
+            sim.set_input(a, Bit::Zero);
+            sim.settle().unwrap();
+        }
+        assert_eq!(sim.rising_count(y), 3);
+        assert_eq!(sim.falling_count(y), 3);
+        assert_eq!(sim.rising_count(a), 3);
+        sim.reset_counters();
+        assert_eq!(sim.rising_count(y), 0);
+    }
+
+    #[test]
+    fn glitch_propagates_through_unequal_paths() {
+        // y = a AND (NOT a through two inverters) — a static-1 hazard:
+        // a rising edge reaches the AND directly one tick before the
+        // inverted-path change arrives, producing a real glitch.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let inv1 = n.gate(GateKind::Not, &[a]);
+        let y = n.gate(GateKind::And2, &[a, inv1]);
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Bit::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Bit::Zero);
+        sim.set_counting(true);
+        sim.set_input(a, Bit::One);
+        sim.settle().unwrap();
+        // Final value is 0 (a AND !a), but a glitch pulsed high.
+        assert_eq!(sim.value(y), Bit::Zero);
+        assert_eq!(sim.rising_count(y), 1, "hazard glitch must be counted");
+        assert_eq!(sim.falling_count(y), 1);
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        let mut n = Netlist::new();
+        let clk = n.input("clk");
+        let d = n.input("d");
+        let q = n.gate(GateKind::Dff, &[clk, d]);
+        let mut sim = Simulator::new(&n);
+        sim.set_input(clk, Bit::Zero);
+        sim.set_input(d, Bit::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), Bit::X, "no edge yet");
+        // Falling D after the fact must not matter: capture is edge-timed.
+        sim.set_input(clk, Bit::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), Bit::One);
+        sim.set_input(clk, Bit::Zero);
+        sim.set_input(d, Bit::Zero);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), Bit::One, "q holds between edges");
+        sim.set_input(clk, Bit::One);
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), Bit::Zero);
+    }
+
+    #[test]
+    fn ring_of_inverters_reports_oscillation() {
+        let mut n = Netlist::new();
+        let a = n.node("loop");
+        let y1 = n.gate(GateKind::Not, &[a]);
+        let y2 = n.gate(GateKind::Not, &[y1]);
+        let y3 = n.gate(GateKind::Not, &[y2]);
+        n.gate_into(GateKind::Buf, &[y3], a).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Bit::Zero);
+        let err = sim.settle_with_budget(10_000).unwrap_err();
+        assert!(matches!(err, CircuitError::DidNotSettle { .. }));
+    }
+
+    #[test]
+    fn bus_helpers_roundtrip() {
+        let mut n = Netlist::new();
+        let bus: Vec<_> = (0..4).map(|i| n.input(format!("b{i}"))).collect();
+        let mut sim = Simulator::new(&n);
+        sim.set_bus(&bus, &bits_of(0b1010, 4));
+        assert_eq!(sim.read_bus(&bus), Some(0b1010));
+    }
+
+    #[test]
+    fn measure_activity_excludes_warmup() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _y = n.gate(GateKind::Not, &[a]);
+        let mut sim = Simulator::new(&n);
+        let mut src = PatternSource::counting(1, 0); // a toggles 0,1,0,1,…
+        let report = sim.measure_activity(&mut src, &[a], 10, 2);
+        assert_eq!(report.cycles(), 8);
+        // Toggling input rises every other cycle: 4 rising edges in 8.
+        let a_entry = report.entry(a).unwrap();
+        assert_eq!(a_entry.rising, 4);
+    }
+}

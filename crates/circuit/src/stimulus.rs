@@ -1,0 +1,258 @@
+//! Input-pattern generators for activity measurement.
+//!
+//! The paper's Figs. 8–9 contrast an adder driven by *random* patterns
+//! with one driven by *correlated* patterns ("one of the inputs fixed at 0
+//! and the other input increments from 0 to 255"), demonstrating that
+//! "node transition activity is a very strong function of signal
+//! statistics". This module provides both kinds of sources, plus
+//! composition so multi-port datapaths can mix them.
+
+use crate::logic::{bits_of, Bit};
+
+/// A deterministic pseudo-random or structured source of input vectors.
+#[derive(Debug, Clone)]
+pub struct PatternSource {
+    width: usize,
+    kind: SourceKind,
+}
+
+#[derive(Debug, Clone)]
+enum SourceKind {
+    Random { state: u64 },
+    Counting { next: u64 },
+    GrayCounting { next: u64 },
+    Constant { bits: Vec<Bit> },
+    Concat { parts: Vec<PatternSource> },
+    Replay { vectors: Vec<Vec<Bit>>, next: usize },
+}
+
+/// SplitMix64 step — a tiny, well-distributed PRNG, kept inline so the
+/// simulation substrate stays dependency-free and runs are reproducible
+/// from a single seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PatternSource {
+    /// Uniformly random patterns of `width` bits from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn random(width: usize, seed: u64) -> PatternSource {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        PatternSource {
+            width,
+            kind: SourceKind::Random { state: seed },
+        }
+    }
+
+    /// Binary-counting patterns starting at `start` (wraps at `2^width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn counting(width: usize, start: u64) -> PatternSource {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        PatternSource {
+            width,
+            kind: SourceKind::Counting { next: start },
+        }
+    }
+
+    /// Gray-coded counting patterns (exactly one input bit toggles per
+    /// cycle) — the most correlated stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn gray_counting(width: usize, start: u64) -> PatternSource {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        PatternSource {
+            width,
+            kind: SourceKind::GrayCounting { next: start },
+        }
+    }
+
+    /// A constant pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    #[must_use]
+    pub fn constant(bits: Vec<Bit>) -> PatternSource {
+        assert!(!bits.is_empty(), "constant pattern must be non-empty");
+        PatternSource {
+            width: bits.len(),
+            kind: SourceKind::Constant { bits },
+        }
+    }
+
+    /// A constant all-zero pattern of `width` bits.
+    #[must_use]
+    pub fn zeros(width: usize) -> PatternSource {
+        PatternSource::constant(vec![Bit::Zero; width])
+    }
+
+    /// Concatenates sources: each cycle's vector is the concatenation of
+    /// one vector from each part, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    #[must_use]
+    pub fn concat(parts: Vec<PatternSource>) -> PatternSource {
+        assert!(!parts.is_empty(), "concat needs at least one part");
+        PatternSource {
+            width: parts.iter().map(PatternSource::width).sum(),
+            kind: SourceKind::Concat { parts },
+        }
+    }
+
+    /// Replays a fixed list of vectors, cycling when exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or its vectors have differing widths.
+    #[must_use]
+    pub fn replay(vectors: Vec<Vec<Bit>>) -> PatternSource {
+        assert!(!vectors.is_empty(), "replay needs at least one vector");
+        let width = vectors[0].len();
+        assert!(
+            vectors.iter().all(|v| v.len() == width),
+            "replay vectors must share a width"
+        );
+        PatternSource {
+            width,
+            kind: SourceKind::Replay { vectors, next: 0 },
+        }
+    }
+
+    /// Width of the vectors this source produces.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Produces the next input vector.
+    #[must_use]
+    pub fn next_pattern(&mut self) -> Vec<Bit> {
+        match &mut self.kind {
+            SourceKind::Random { state } => {
+                let v = splitmix64(state);
+                bits_of(v, self.width)
+            }
+            SourceKind::Counting { next } => {
+                let v = *next;
+                *next = next.wrapping_add(1);
+                bits_of(v, self.width)
+            }
+            SourceKind::GrayCounting { next } => {
+                let v = *next;
+                *next = next.wrapping_add(1);
+                bits_of(v ^ (v >> 1), self.width)
+            }
+            SourceKind::Constant { bits } => bits.clone(),
+            SourceKind::Concat { parts } => {
+                let mut out = Vec::with_capacity(self.width);
+                for p in parts {
+                    out.extend(p.next_pattern());
+                }
+                out
+            }
+            SourceKind::Replay { vectors, next } => {
+                let v = vectors[*next].clone();
+                *next = (*next + 1) % vectors.len();
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::value_of;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = PatternSource::random(16, 7);
+        let mut b = PatternSource::random(16, 7);
+        for _ in 0..10 {
+            assert_eq!(a.next_pattern(), b.next_pattern());
+        }
+        let mut c = PatternSource::random(16, 8);
+        assert_ne!(a.next_pattern(), c.next_pattern());
+    }
+
+    #[test]
+    fn counting_increments_and_wraps() {
+        let mut s = PatternSource::counting(2, 2);
+        assert_eq!(value_of(&s.next_pattern()), Some(2));
+        assert_eq!(value_of(&s.next_pattern()), Some(3));
+        assert_eq!(value_of(&s.next_pattern()), Some(0));
+    }
+
+    #[test]
+    fn gray_counting_toggles_one_bit() {
+        let mut s = PatternSource::gray_counting(8, 0);
+        let mut prev = s.next_pattern();
+        for _ in 0..50 {
+            let cur = s.next_pattern();
+            let differing = prev
+                .iter()
+                .zip(&cur)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(differing, 1);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn concat_joins_widths_in_order() {
+        let mut s = PatternSource::concat(vec![
+            PatternSource::zeros(3),
+            PatternSource::counting(2, 1),
+        ]);
+        assert_eq!(s.width(), 5);
+        let v = s.next_pattern();
+        assert_eq!(&v[..3], &[Bit::Zero, Bit::Zero, Bit::Zero]);
+        assert_eq!(value_of(&v[3..]), Some(1));
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut s = PatternSource::replay(vec![
+            vec![Bit::One, Bit::Zero],
+            vec![Bit::Zero, Bit::One],
+        ]);
+        let a = s.next_pattern();
+        let b = s.next_pattern();
+        let a2 = s.next_pattern();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_bits_are_balanced() {
+        let mut s = PatternSource::random(1, 99);
+        let ones: usize = (0..10_000)
+            .filter(|_| s.next_pattern()[0] == Bit::One)
+            .count();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_rejected() {
+        let _ = PatternSource::random(0, 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! A switch-level (transistor-level) simulator — the IRSIM analogue.
+//!
+//! The paper's §5.3 extracts node activity with a switch-level simulator:
+//! "Switch level simulators provide a compromise between simulation speed
+//! and accuracy. Our experiences with switch-level simulators shows that
+//! the estimated switched capacitance using calibrated technology files
+//! fits measured results within 10%." The gate-level engine in
+//! [`crate::sim`] covers combinational datapaths; this module covers what
+//! gate-level cannot: pass-transistor networks, clocked (tri-state)
+//! inverters, dynamic nodes with charge storage, and drive fights — the
+//! circuit styles the Fig. 1 registers are built from.
+//!
+//! The model: transistors are voltage-controlled switches between two
+//! channel terminals. A node's value is solved from its *definite* and
+//! *possible* conduction paths to the rails and to externally driven
+//! nodes (`X` gates make a path possible but not definite). A node with
+//! no possible path to any driver retains its previous value — charge
+//! storage on a dynamic node.
+
+use crate::logic::Bit;
+
+/// A node in a switch-level netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwNodeId(usize);
+
+impl SwNodeId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Transistor channel type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwKind {
+    /// N-channel: conducts when the gate is high.
+    N,
+    /// P-channel: conducts when the gate is low.
+    P,
+}
+
+/// One transistor: a switch between `a` and `b` controlled by `gate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transistor {
+    /// Channel type.
+    pub kind: SwKind,
+    /// Gate node.
+    pub gate: SwNodeId,
+    /// One channel terminal.
+    pub a: SwNodeId,
+    /// The other channel terminal.
+    pub b: SwNodeId,
+}
+
+/// Conduction state of a switch for a given gate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conduction {
+    On,
+    Off,
+    Maybe,
+}
+
+impl Transistor {
+    fn conduction(&self, gate_value: Bit) -> Conduction {
+        match (self.kind, gate_value) {
+            (SwKind::N, Bit::One) | (SwKind::P, Bit::Zero) => Conduction::On,
+            (SwKind::N, Bit::Zero) | (SwKind::P, Bit::One) => Conduction::Off,
+            (_, Bit::X) => Conduction::Maybe,
+        }
+    }
+}
+
+/// A transistor-level netlist with named nodes and the two supply rails.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchNetlist {
+    names: Vec<String>,
+    is_input: Vec<bool>,
+    transistors: Vec<Transistor>,
+    vdd: Option<SwNodeId>,
+    gnd: Option<SwNodeId>,
+    /// Per-node gate capacitance load in fF (gates attached), for
+    /// switched-capacitance accounting.
+    cap_ff: Vec<f64>,
+}
+
+/// Gate capacitance charged to a node per transistor gate attached, fF.
+pub const GATE_CAP_FF: f64 = 1.7;
+
+/// Diffusion capacitance charged to a node per channel terminal, fF.
+pub const DIFFUSION_CAP_FF: f64 = 0.8;
+
+impl SwitchNetlist {
+    /// Creates a netlist with `vdd` and `gnd` rails pre-made.
+    #[must_use]
+    pub fn new() -> SwitchNetlist {
+        let mut n = SwitchNetlist::default();
+        let vdd = n.node("vdd");
+        let gnd = n.node("gnd");
+        n.vdd = Some(vdd);
+        n.gnd = Some(gnd);
+        n
+    }
+
+    /// Adds a named internal node.
+    pub fn node(&mut self, name: impl Into<String>) -> SwNodeId {
+        let id = SwNodeId(self.names.len());
+        self.names.push(name.into());
+        self.is_input.push(false);
+        self.cap_ff.push(0.5); // local wire
+        id
+    }
+
+    /// Adds an externally driven input node.
+    pub fn input(&mut self, name: impl Into<String>) -> SwNodeId {
+        let id = self.node(name);
+        self.is_input[id.0] = true;
+        id
+    }
+
+    /// The positive supply rail.
+    #[must_use]
+    pub fn vdd(&self) -> SwNodeId {
+        self.vdd.expect("rails are created by new()")
+    }
+
+    /// The ground rail.
+    #[must_use]
+    pub fn gnd(&self) -> SwNodeId {
+        self.gnd.expect("rails are created by new()")
+    }
+
+    /// Adds a transistor.
+    pub fn transistor(&mut self, kind: SwKind, gate: SwNodeId, a: SwNodeId, b: SwNodeId) {
+        self.cap_ff[gate.0] += GATE_CAP_FF;
+        self.cap_ff[a.0] += DIFFUSION_CAP_FF;
+        self.cap_ff[b.0] += DIFFUSION_CAP_FF;
+        self.transistors.push(Transistor { kind, gate, a, b });
+    }
+
+    /// Convenience: a static CMOS inverter from `input` to a fresh output.
+    pub fn inverter(&mut self, input: SwNodeId, name: impl Into<String>) -> SwNodeId {
+        let out = self.node(name);
+        let (vdd, gnd) = (self.vdd(), self.gnd());
+        self.transistor(SwKind::P, input, vdd, out);
+        self.transistor(SwKind::N, input, gnd, out);
+        out
+    }
+
+    /// Convenience: a clocked (tri-state) inverter — the C²MOS branch.
+    /// Drives `out` with `!input` while `clk` is high (and `nclk` low);
+    /// high-impedance otherwise.
+    pub fn clocked_inverter(
+        &mut self,
+        input: SwNodeId,
+        clk: SwNodeId,
+        nclk: SwNodeId,
+        out: SwNodeId,
+    ) {
+        let (vdd, gnd) = (self.vdd(), self.gnd());
+        let mid_p = self.node("c2mos_p");
+        let mid_n = self.node("c2mos_n");
+        self.transistor(SwKind::P, input, vdd, mid_p);
+        self.transistor(SwKind::P, nclk, mid_p, out);
+        self.transistor(SwKind::N, clk, out, mid_n);
+        self.transistor(SwKind::N, input, mid_n, gnd);
+    }
+
+    /// Convenience: a transmission gate between `a` and `b`, on while
+    /// `clk` is high.
+    pub fn transmission_gate(&mut self, a: SwNodeId, b: SwNodeId, clk: SwNodeId, nclk: SwNodeId) {
+        self.transistor(SwKind::N, clk, a, b);
+        self.transistor(SwKind::P, nclk, a, b);
+    }
+
+    /// Number of transistors.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Node count (including rails).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Node capacitance in fF.
+    #[must_use]
+    pub fn node_cap_ff(&self, node: SwNodeId) -> f64 {
+        self.cap_ff[node.0]
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn node_name(&self, node: SwNodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// All node ids, rails included.
+    pub fn node_ids(&self) -> impl Iterator<Item = SwNodeId> + '_ {
+        (0..self.names.len()).map(SwNodeId)
+    }
+}
+
+/// Switch-level simulator state.
+#[derive(Debug, Clone)]
+pub struct SwitchSim<'a> {
+    netlist: &'a SwitchNetlist,
+    values: Vec<Bit>,
+    rising: Vec<u64>,
+    falling: Vec<u64>,
+    counting: bool,
+}
+
+/// Relaxation passes before declaring non-convergence.
+const MAX_PASSES: usize = 200;
+
+impl<'a> SwitchSim<'a> {
+    /// Creates a simulator with rails driven and everything else unknown.
+    #[must_use]
+    pub fn new(netlist: &'a SwitchNetlist) -> SwitchSim<'a> {
+        let mut values = vec![Bit::X; netlist.node_count()];
+        values[netlist.vdd().0] = Bit::One;
+        values[netlist.gnd().0] = Bit::Zero;
+        SwitchSim {
+            netlist,
+            values,
+            rising: vec![0; netlist.node_count()],
+            falling: vec![0; netlist.node_count()],
+            counting: false,
+        }
+    }
+
+    /// Current value of a node.
+    #[must_use]
+    pub fn value(&self, node: SwNodeId) -> Bit {
+        self.values[node.0]
+    }
+
+    /// Enables or disables transition counting.
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+    }
+
+    /// Clears the transition counters.
+    pub fn reset_counters(&mut self) {
+        self.rising.fill(0);
+        self.falling.fill(0);
+    }
+
+    /// `0 → 1` transitions recorded on a node.
+    #[must_use]
+    pub fn rising_count(&self, node: SwNodeId) -> u64 {
+        self.rising[node.0]
+    }
+
+    /// Switched capacitance accumulated so far: `Σ rising(node)·C(node)`
+    /// over internal nodes, in fF.
+    #[must_use]
+    pub fn switched_cap_ff(&self) -> f64 {
+        (0..self.netlist.node_count())
+            .filter(|&i| !self.netlist.is_input[i])
+            .map(|i| self.rising[i] as f64 * self.netlist.cap_ff[i])
+            .sum()
+    }
+
+    /// Drives an input node and re-solves the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not an input, or if the network fails to
+    /// converge (a genuine astable loop, impossible for the latch/register
+    /// structures this module targets).
+    pub fn set_input(&mut self, node: SwNodeId, value: Bit) {
+        assert!(
+            self.netlist.is_input[node.0],
+            "{} is not an input",
+            self.netlist.node_name(node)
+        );
+        self.write(node, value);
+        self.settle();
+    }
+
+    fn write(&mut self, node: SwNodeId, value: Bit) {
+        let old = self.values[node.0];
+        if old == value {
+            return;
+        }
+        if self.counting {
+            match (old, value) {
+                (Bit::Zero, Bit::One) => self.rising[node.0] += 1,
+                (Bit::One, Bit::Zero) => self.falling[node.0] += 1,
+                _ => {}
+            }
+        }
+        self.values[node.0] = value;
+    }
+
+    /// Relaxes the whole network to a fixed point.
+    ///
+    /// Gauss–Seidel style: nodes are re-solved one at a time *in place*
+    /// (in creation order), so feedback structures — keeper loops,
+    /// cross-coupled stages — converge instead of limit-cycling the way a
+    /// whole-network snapshot update would.
+    fn settle(&mut self) {
+        for _ in 0..MAX_PASSES {
+            if !self.relax_once() {
+                return;
+            }
+        }
+        panic!("switch network failed to converge (astable structure)");
+    }
+
+    fn is_driven(&self, i: usize) -> bool {
+        self.netlist.is_input[i] || i == self.netlist.vdd().0 || i == self.netlist.gnd().0
+    }
+
+    /// One in-place pass over all undriven nodes; returns whether anything
+    /// changed.
+    fn relax_once(&mut self) -> bool {
+        let mut any_change = false;
+        for i in 0..self.netlist.node_count() {
+            if self.is_driven(i) {
+                continue;
+            }
+            let new = self.solve_node(i);
+            if new != self.values[i] {
+                self.write(SwNodeId(i), new);
+                any_change = true;
+            }
+        }
+        any_change
+    }
+
+    /// Solves one node's value from the drivers reachable through
+    /// currently conducting channels.
+    ///
+    /// A BFS from the node walks channel edges whose switches are `On`
+    /// (definite) or `Maybe` (possible); path quality is the weaker of
+    /// the edges crossed. Reached driver nodes contribute their value at
+    /// the path's quality.
+    fn solve_node(&self, start: usize) -> Bit {
+        // Path quality per node: 0 = unvisited, 1 = possible, 2 = definite.
+        let n = self.netlist.node_count();
+        let mut quality = vec![0u8; n];
+        quality[start] = 2;
+        let mut queue = vec![start];
+        let mut def1 = false;
+        let mut pos1 = false;
+        let mut def0 = false;
+        let mut pos0 = false;
+        let mut posx = false;
+        while let Some(node) = queue.pop() {
+            let q_here = quality[node];
+            for t in &self.netlist.transistors {
+                let (from, to) = if t.a.0 == node {
+                    (t.a.0, t.b.0)
+                } else if t.b.0 == node {
+                    (t.b.0, t.a.0)
+                } else {
+                    continue;
+                };
+                debug_assert_eq!(from, node);
+                let cond = t.conduction(self.values[t.gate.0]);
+                if cond == Conduction::Off {
+                    continue;
+                }
+                let q_edge = if cond == Conduction::On { 2 } else { 1 };
+                let q_new = q_here.min(q_edge);
+                if self.is_driven(to) {
+                    let definite = q_new == 2;
+                    match self.values[to] {
+                        Bit::One => {
+                            pos1 = true;
+                            def1 |= definite;
+                        }
+                        Bit::Zero => {
+                            pos0 = true;
+                            def0 |= definite;
+                        }
+                        Bit::X => posx = true,
+                    }
+                } else if q_new > quality[to] {
+                    quality[to] = q_new;
+                    queue.push(to);
+                }
+            }
+        }
+        let stored = self.values[start];
+        if !pos1 && !pos0 && !posx {
+            // Floating: charge storage retains the previous value.
+            stored
+        } else if def1 && !pos0 && !posx {
+            Bit::One
+        } else if def0 && !pos1 && !posx {
+            Bit::Zero
+        } else if (pos1 && pos0)
+            || posx
+            || (pos1 && !def1 && stored != Bit::One)
+            || (pos0 && !def0 && stored != Bit::Zero)
+        {
+            // Fight, X-driver, or an uncertain path that could change the
+            // stored value: unknown.
+            Bit::X
+        } else {
+            // Only possible drive agreeing with the stored value.
+            stored
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_inverts() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y");
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::Zero);
+        assert_eq!(sim.value(y), Bit::One);
+        sim.set_input(a, Bit::One);
+        assert_eq!(sim.value(y), Bit::Zero);
+    }
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y1 = n.inverter(a, "y1");
+        let y2 = n.inverter(y1, "y2");
+        let y3 = n.inverter(y2, "y3");
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::One);
+        assert_eq!(sim.value(y3), Bit::Zero);
+    }
+
+    #[test]
+    fn transmission_gate_passes_and_isolates() {
+        let mut n = SwitchNetlist::new();
+        let d = n.input("d");
+        let clk = n.input("clk");
+        let nclk = n.input("nclk");
+        let stored = n.node("stored");
+        n.transmission_gate(d, stored, clk, nclk);
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(clk, Bit::One);
+        sim.set_input(nclk, Bit::Zero);
+        sim.set_input(d, Bit::One);
+        assert_eq!(sim.value(stored), Bit::One, "gate open: data passes");
+        // Close the gate, change the data: the node retains its charge.
+        sim.set_input(clk, Bit::Zero);
+        sim.set_input(nclk, Bit::One);
+        sim.set_input(d, Bit::Zero);
+        assert_eq!(sim.value(stored), Bit::One, "dynamic node holds charge");
+    }
+
+    #[test]
+    fn clocked_inverter_tristates() {
+        let mut n = SwitchNetlist::new();
+        let d = n.input("d");
+        let clk = n.input("clk");
+        let nclk = n.input("nclk");
+        let out = n.node("out");
+        n.clocked_inverter(d, clk, nclk, out);
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(clk, Bit::One);
+        sim.set_input(nclk, Bit::Zero);
+        sim.set_input(d, Bit::Zero);
+        assert_eq!(sim.value(out), Bit::One);
+        sim.set_input(d, Bit::One);
+        assert_eq!(sim.value(out), Bit::Zero);
+        // Tri-stated: output holds.
+        sim.set_input(clk, Bit::Zero);
+        sim.set_input(nclk, Bit::One);
+        sim.set_input(d, Bit::Zero);
+        assert_eq!(sim.value(out), Bit::Zero, "hi-Z node retains");
+    }
+
+    #[test]
+    fn drive_fight_produces_x() {
+        let mut n = SwitchNetlist::new();
+        let mid = n.node("mid");
+        let on = n.input("on");
+        let (vdd, gnd) = (n.vdd(), n.gnd());
+        // Both an N to ground and an N to vdd, same gate: fight when on.
+        n.transistor(SwKind::N, on, vdd, mid);
+        n.transistor(SwKind::N, on, gnd, mid);
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(on, Bit::One);
+        assert_eq!(sim.value(mid), Bit::X, "rail fight is unknown");
+        sim.set_input(on, Bit::Zero);
+        assert_eq!(sim.value(mid), Bit::X, "floating after a fight stays X");
+    }
+
+    #[test]
+    fn unknown_gate_poisons_stored_value_conservatively() {
+        let mut n = SwitchNetlist::new();
+        let d = n.input("d");
+        let clk = n.input("clk");
+        let nclk = n.input("nclk");
+        let stored = n.node("stored");
+        n.transmission_gate(d, stored, clk, nclk);
+        let mut sim = SwitchSim::new(&n);
+        // Store a 1 through the open gate.
+        sim.set_input(clk, Bit::One);
+        sim.set_input(nclk, Bit::Zero);
+        sim.set_input(d, Bit::One);
+        assert_eq!(sim.value(stored), Bit::One);
+        // Unknown clock with conflicting data: the stored node may or may
+        // not be overwritten → X. (Close into the unknown state first so
+        // the conflicting data never passes through a definitely-open
+        // gate.)
+        sim.set_input(clk, Bit::X);
+        sim.set_input(nclk, Bit::X);
+        sim.set_input(d, Bit::Zero);
+        assert_eq!(sim.value(stored), Bit::X);
+    }
+
+    #[test]
+    fn agreeing_possible_drive_keeps_value() {
+        let mut n = SwitchNetlist::new();
+        let d = n.input("d");
+        let clk = n.input("clk");
+        let nclk = n.input("nclk");
+        let stored = n.node("stored");
+        n.transmission_gate(d, stored, clk, nclk);
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(clk, Bit::One);
+        sim.set_input(nclk, Bit::Zero);
+        sim.set_input(d, Bit::One);
+        // Unknown clock but the data agrees with what is stored: value is
+        // certain either way.
+        sim.set_input(clk, Bit::X);
+        sim.set_input(nclk, Bit::X);
+        assert_eq!(sim.value(stored), Bit::One);
+    }
+
+    #[test]
+    fn transition_counting_and_switched_cap() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y");
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::Zero);
+        sim.set_counting(true);
+        for _ in 0..5 {
+            sim.set_input(a, Bit::One);
+            sim.set_input(a, Bit::Zero);
+        }
+        assert_eq!(sim.rising_count(y), 5);
+        assert!(sim.switched_cap_ff() > 0.0);
+        sim.reset_counters();
+        assert_eq!(sim.rising_count(y), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an input")]
+    fn driving_internal_node_rejected() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y");
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(y, Bit::One);
+    }
+}

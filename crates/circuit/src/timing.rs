@@ -1,0 +1,159 @@
+//! Critical-path timing extraction from the event-driven simulator.
+//!
+//! The settle time after an input event, measured in gate-delay ticks, is
+//! the excited path depth; maximised over a vector set it estimates the
+//! critical path. Combined with the device-level stage delay this turns
+//! tick counts into seconds — the performance side of every
+//! supply-scaling trade-off in the paper.
+
+use crate::logic::Bit;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Simulator;
+use crate::stimulus::PatternSource;
+use lowvolt_device::delay::StageDelay;
+use lowvolt_device::units::{Seconds, Volts};
+
+/// Result of a timing measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Longest observed settle time, in gate-delay ticks.
+    pub critical_ticks: u64,
+    /// Mean settle time over the vector set, in ticks.
+    pub mean_ticks_x100: u64,
+    /// Vectors applied.
+    pub vectors: usize,
+}
+
+impl TimingReport {
+    /// Mean settle time in ticks (fractional).
+    #[must_use]
+    pub fn mean_ticks(&self) -> f64 {
+        self.mean_ticks_x100 as f64 / 100.0
+    }
+
+    /// Converts the critical path to seconds given a per-stage delay
+    /// model at an operating point.
+    #[must_use]
+    pub fn critical_delay(&self, stage: &StageDelay, vdd: Volts, vt: Volts) -> Seconds {
+        Seconds(self.critical_ticks as f64 * stage.delay(vdd, vt).0)
+    }
+}
+
+/// Measures settle times of a combinational netlist over `vectors`
+/// pseudo-random vectors from `source`.
+///
+/// # Panics
+///
+/// Panics if the source width mismatches `inputs`, if `vectors` is zero,
+/// or if the netlist oscillates.
+#[must_use]
+pub fn measure_timing(
+    netlist: &Netlist,
+    inputs: &[NodeId],
+    source: &mut PatternSource,
+    vectors: usize,
+) -> TimingReport {
+    assert!(vectors > 0, "need at least one vector");
+    let mut sim = Simulator::new(netlist);
+    // Initialise to all-zero so the first measured vector starts known.
+    sim.apply_vector(inputs, &vec![Bit::Zero; inputs.len()]);
+    let mut worst = 0u64;
+    let mut total = 0u64;
+    for _ in 0..vectors {
+        let v = source.next_pattern();
+        let t0 = sim.time();
+        sim.apply_vector(inputs, &v);
+        let elapsed = sim.time() - t0;
+        worst = worst.max(elapsed);
+        total += elapsed;
+    }
+    TimingReport {
+        critical_ticks: worst,
+        mean_ticks_x100: total * 100 / vectors as u64,
+        vectors,
+    }
+}
+
+/// Applies the canonical worst-case carry-propagation stimulus to an
+/// adder (`a = 1…1`, `b = 0`, toggle carry-in) and returns the excited
+/// path length in ticks.
+#[must_use]
+pub fn adder_carry_path_ticks(
+    netlist: &Netlist,
+    ports: &crate::adder::AdderPorts,
+) -> u64 {
+    let mut sim = Simulator::new(netlist);
+    let width = ports.width();
+    sim.set_bus(&ports.a, &crate::logic::bits_of(u64::MAX, width));
+    sim.set_bus(&ports.b, &crate::logic::bits_of(0, width));
+    sim.set_input(ports.cin, Bit::Zero);
+    sim.settle().expect("adders are acyclic");
+    let t0 = sim.time();
+    sim.set_input(ports.cin, Bit::One);
+    sim.settle().expect("adders are acyclic");
+    sim.time() - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::{carry_lookahead_adder, ripple_carry_adder};
+    use lowvolt_device::on_current::AlphaPowerLaw;
+    use lowvolt_device::units::{Farads, Micrometers};
+
+    #[test]
+    fn ripple_critical_path_scales_with_width() {
+        let ticks = |w: usize| {
+            let mut n = Netlist::new();
+            let p = ripple_carry_adder(&mut n, w);
+            adder_carry_path_ticks(&n, &p)
+        };
+        let t8 = ticks(8);
+        let t16 = ticks(16);
+        let t32 = ticks(32);
+        assert!(t16 > t8 && t32 > t16);
+        // Carry chain: roughly 2 ticks per bit (and+or per stage).
+        assert!((t32 - t16) as f64 / (t16 - t8) as f64 > 1.5);
+    }
+
+    #[test]
+    fn lookahead_beats_ripple_on_the_carry_stimulus() {
+        let mut n1 = Netlist::new();
+        let rca = ripple_carry_adder(&mut n1, 16);
+        let mut n2 = Netlist::new();
+        let cla = carry_lookahead_adder(&mut n2, 16).unwrap();
+        assert!(adder_carry_path_ticks(&n2, &cla) < adder_carry_path_ticks(&n1, &rca));
+    }
+
+    #[test]
+    fn random_timing_bounded_by_carry_stimulus() {
+        let mut n = Netlist::new();
+        let p = ripple_carry_adder(&mut n, 12);
+        let worst = adder_carry_path_ticks(&n, &p);
+        let mut src = PatternSource::random(p.input_nodes().len(), 5);
+        let report = measure_timing(&n, &p.input_nodes(), &mut src, 150);
+        assert!(report.critical_ticks <= worst);
+        assert!(report.mean_ticks() > 0.0);
+        assert!(report.mean_ticks() <= report.critical_ticks as f64);
+        assert_eq!(report.vectors, 150);
+    }
+
+    #[test]
+    fn tick_to_seconds_conversion() {
+        let report = TimingReport {
+            critical_ticks: 20,
+            mean_ticks_x100: 900,
+            vectors: 10,
+        };
+        let stage = StageDelay::new(
+            AlphaPowerLaw::with_width(Micrometers(2.0)),
+            Farads::from_femtofarads(20.0),
+            0.5,
+        )
+        .unwrap();
+        let slow = report.critical_delay(&stage, Volts(1.0), Volts(0.4));
+        let fast = report.critical_delay(&stage, Volts(2.5), Volts(0.4));
+        assert!(slow.0 > fast.0);
+        assert!((report.mean_ticks() - 9.0).abs() < 1e-12);
+    }
+}

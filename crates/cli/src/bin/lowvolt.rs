@@ -1,0 +1,19 @@
+//! The `lowvolt` command-line tool. All logic lives in `lowvolt_cli`;
+//! this binary parses, dispatches, prints, and sets the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = lowvolt_cli::parse(&args);
+    match lowvolt_cli::run_command(&parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

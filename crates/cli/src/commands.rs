@@ -1,0 +1,468 @@
+//! Subcommand implementations. Each returns its full report as a string;
+//! the binary prints it.
+
+use std::fmt;
+
+use crate::args::Parsed;
+use lowvolt_circuit::adder::ripple_carry_adder;
+use lowvolt_circuit::alu::alu;
+use lowvolt_circuit::multiplier::array_multiplier;
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_circuit::shifter::barrel_shifter_right;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_core::activity::ActivityVars;
+use lowvolt_core::energy::{BlockParams, BurstEnergyModel};
+use lowvolt_core::optimizer::FixedThroughputOptimizer;
+use lowvolt_core::report::{fmt_sig, Table};
+use lowvolt_device::body::BodyEffect;
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::soias::SoiasDevice;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Hertz, Seconds, Volts};
+use lowvolt_isa::bblocks::BlockProfile;
+use lowvolt_isa::cpu::Cpu;
+use lowvolt_isa::profile::Profiler;
+
+/// A command failed: carries the message shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError(s)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lowvolt — low-voltage digital system design toolkit
+
+USAGE:
+  lowvolt profile  (<file.s> | --example idea|espresso|li|fir) [--budget N]
+                   [--hysteresis N] [--blocks] [--duty D]
+  lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
+                   [--patterns random|counting] [--cycles N] [--seed N]
+  lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
+  lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
+                   [--vdd V] [--mhz F]
+  lowvolt iv       [--vt V] [--soias] [--vds V]
+  lowvolt disasm   (<file.s> | --example idea|espresso|li|fir)
+  lowvolt help
+
+Run any experiment of the paper with the separate `regen` binary.";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for unknown commands,
+/// bad arguments, or failed runs.
+pub fn run_command(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed.command.as_str() {
+        "profile" => profile(parsed),
+        "activity" => activity(parsed),
+        "optimize" => optimize(parsed),
+        "compare" => compare(parsed),
+        "iv" => iv(parsed),
+        "disasm" => disasm(parsed),
+        "help" | "" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn example_source(name: &str) -> Result<String, CliError> {
+    match name {
+        "idea" => Ok(lowvolt_workloads::idea::program(50)),
+        "espresso" => Ok(lowvolt_workloads::espresso::program(120, 42)),
+        "li" => Ok(lowvolt_workloads::li::program(9, 42, 5)),
+        "fir" => Ok(lowvolt_workloads::fir::program(200, 42)),
+        other => Err(CliError(format!(
+            "unknown example `{other}` (idea, espresso, li, fir)"
+        ))),
+    }
+}
+
+fn profile(parsed: &Parsed) -> Result<String, CliError> {
+    let source = if let Some(example) = parsed.get("example") {
+        example_source(example)?
+    } else if let Some(path) = parsed.positional.first() {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?
+    } else {
+        return Err(CliError(
+            "profile needs a source file or --example NAME".to_string(),
+        ));
+    };
+    let budget = parsed.get_u64("budget")?.unwrap_or(200_000_000);
+    let hysteresis = parsed.get_u64("hysteresis")?.unwrap_or(1);
+    let duty = parsed.get_f64("duty")?;
+    let mut out = String::new();
+
+    let report = if let Some(duty) = duty {
+        let schedule = lowvolt_workloads::bursty::BurstSchedule::with_duty(1_000, duty);
+        out.push_str(&format!(
+            "bursty execution: duty {:.3} ({} on / {} idle)\n",
+            schedule.duty(),
+            schedule.burst_len,
+            schedule.idle_len
+        ));
+        lowvolt_workloads::bursty::profile_bursty(&source, schedule, budget, hysteresis)
+            .map_err(CliError)?
+    } else {
+        let program = lowvolt_isa::assemble(&source).map_err(|e| CliError(e.to_string()))?;
+        let mut cpu = Cpu::new(program.clone());
+        let mut profiler = Profiler::standard().with_hysteresis(hysteresis);
+        if parsed.has("blocks") {
+            let mut blocks = BlockProfile::new(&program);
+            let mut executed = 0u64;
+            while !cpu.halted() {
+                if executed >= budget {
+                    return Err(CliError(format!("budget of {budget} instructions exhausted")));
+                }
+                blocks.record_pc(cpu.pc());
+                if let Some(inst) = cpu.step().map_err(|e| CliError(e.to_string()))? {
+                    profiler.record(&inst);
+                    executed += 1;
+                }
+            }
+            out.push_str("hot basic blocks (dynamic instructions):\n");
+            let mut t = Table::new(["range", "static len", "dynamic instrs"]);
+            for (b, dynamic) in blocks.hottest(5) {
+                t.push_row([
+                    format!("[{}..{})", b.start, b.end),
+                    b.len().to_string(),
+                    dynamic.to_string(),
+                ]);
+            }
+            out.push_str(&t.to_string());
+            out.push('\n');
+        } else {
+            cpu.run_profiled(budget, &mut profiler)
+                .map_err(|e| CliError(e.to_string()))?;
+        }
+        if !cpu.output().is_empty() {
+            out.push_str(&format!("program output: {}\n\n", cpu.output()));
+        }
+        profiler.report()
+    };
+    out.push_str(&report.to_string());
+    Ok(out)
+}
+
+fn activity(parsed: &Parsed) -> Result<String, CliError> {
+    let circuit = parsed.get("circuit").unwrap_or("adder8");
+    let cycles = parsed.get_u64("cycles")?.unwrap_or(520) as usize;
+    let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let mut n = Netlist::new();
+    let inputs = match circuit {
+        "adder8" => ripple_carry_adder(&mut n, 8).input_nodes(),
+        "adder16" => ripple_carry_adder(&mut n, 16).input_nodes(),
+        "shifter8" => barrel_shifter_right(&mut n, 8)
+            .map_err(|e| CliError(e.to_string()))?
+            .input_nodes(),
+        "mult8" => array_multiplier(&mut n, 8)
+            .map_err(|e| CliError(e.to_string()))?
+            .input_nodes(),
+        "alu8" => alu(&mut n, 8).input_nodes(),
+        other => {
+            return Err(CliError(format!(
+                "unknown circuit `{other}` (adder8, adder16, shifter8, mult8, alu8)"
+            )))
+        }
+    };
+    let mut source = match parsed.get("patterns").unwrap_or("random") {
+        "random" => PatternSource::random(inputs.len(), seed),
+        "counting" => PatternSource::counting(inputs.len().min(64), 0),
+        other => {
+            return Err(CliError(format!(
+                "unknown pattern kind `{other}` (random, counting)"
+            )))
+        }
+    };
+    let mut sim = Simulator::new(&n);
+    let warmup = (cycles / 10).max(4);
+    let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup);
+    Ok(format!(
+        "circuit: {circuit} ({} gates, {} nodes)\n{}\nmean alpha = {:.4}\ncapacitance-weighted alpha = {:.4}\nswitched capacitance = {:.1} fF/cycle\n",
+        n.gate_count(),
+        n.node_count(),
+        report.histogram(12),
+        report.mean_transition_probability(),
+        report.weighted_transition_probability(),
+        report.switched_capacitance_per_cycle().to_femtofarads(),
+    ))
+}
+
+fn optimize(parsed: &Parsed) -> Result<String, CliError> {
+    let delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
+    let mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
+    let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
+    let ring = RingOscillator::paper_default();
+    let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
+        .map_err(|e| CliError(e.to_string()))?;
+    let t_op = Seconds(1e-6 / mhz);
+    let mut out = format!(
+        "delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n"
+    );
+    let mut t = Table::new(["V_T (V)", "V_DD (V)", "E_total (J/op)"]);
+    let vts: Vec<Volts> = (1..=20).map(|i| Volts(0.03 * f64::from(i))).collect();
+    for p in opt.energy_curve(&vts, t_op) {
+        t.push_row([
+            format!("{:.2}", p.vt.0),
+            format!("{:.3}", p.vdd.0),
+            fmt_sig(p.total().0, 3),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    let best = opt.optimum(t_op).map_err(|e| CliError(e.to_string()))?;
+    out.push_str(&format!(
+        "\noptimum: V_T = {:.3} V, V_DD = {:.3} V, {} J/op\n",
+        best.vt.0,
+        best.vdd.0,
+        fmt_sig(best.total().0, 3)
+    ));
+    Ok(out)
+}
+
+fn compare(parsed: &Parsed) -> Result<String, CliError> {
+    let fga = parsed
+        .get_f64("fga")?
+        .ok_or_else(|| CliError("compare requires --fga".to_string()))?;
+    let bga = parsed
+        .get_f64("bga")?
+        .ok_or_else(|| CliError("compare requires --bga".to_string()))?;
+    let alpha = parsed.get_f64("alpha")?.unwrap_or(0.5);
+    let vdd = Volts(parsed.get_f64("vdd")?.unwrap_or(1.0));
+    let mhz = parsed.get_f64("mhz")?.unwrap_or(1.0);
+    let block = match parsed.get("block").unwrap_or("adder") {
+        "adder" => BlockParams::adder_8bit(),
+        "shifter" => BlockParams::shifter_8bit(),
+        "multiplier" => BlockParams::multiplier_8x8(),
+        other => {
+            return Err(CliError(format!(
+                "unknown block `{other}` (adder, shifter, multiplier)"
+            )))
+        }
+    };
+    let activity = ActivityVars::new(fga, bga, alpha).map_err(|e| CliError(e.to_string()))?;
+    let model = BurstEnergyModel::new(vdd, Hertz(mhz * 1e6)).map_err(|e| CliError(e.to_string()))?;
+    let device = SoiasDevice::paper_fig6();
+    let technologies = [
+        Technology::soi_fixed_vt_device(device.front_device(Volts(3.0))),
+        Technology::soias(device, Volts(3.0)).map_err(|e| CliError(e.to_string()))?,
+        Technology::mtcmos(Volts(0.084), Volts(0.55), vdd).map_err(|e| CliError(e.to_string()))?,
+        Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.084)), Volts(2.0))
+            .map_err(|e| CliError(e.to_string()))?,
+    ];
+    let base = model.energy_per_cycle(&technologies[0], &block, activity).0;
+    let mut best: (String, f64) = (technologies[0].name().to_string(), base);
+    let mut t = Table::new(["technology", "E/cycle (J)", "vs fixed-V_T SOI"]);
+    for tech in &technologies {
+        let e = model.energy_per_cycle(tech, &block, activity).0;
+        if e < best.1 {
+            best = (tech.name().to_string(), e);
+        }
+        t.push_row([
+            tech.name().to_string(),
+            fmt_sig(e, 3),
+            format!("{:.3}x", e / base),
+        ]);
+    }
+    Ok(format!(
+        "block: {}, activity: {activity}\n{t}\nrecommendation: {} ({} J/cycle)\n",
+        block.name,
+        best.0,
+        fmt_sig(best.1, 3)
+    ))
+}
+
+fn iv(parsed: &Parsed) -> Result<String, CliError> {
+    let vds = Volts(parsed.get_f64("vds")?.unwrap_or(1.0));
+    let mut out = String::new();
+    if parsed.has("soias") {
+        let d = SoiasDevice::paper_fig6();
+        let mut t = Table::new(["V_gf (V)", "I_D @ V_gb=0 (A)", "I_D @ V_gb=3 (A)"]);
+        for i in 0..=20 {
+            let vgf = Volts(0.05 * f64::from(i));
+            t.push_row([
+                format!("{:.2}", vgf.0),
+                fmt_sig(d.front_device(Volts(0.0)).drain_current(vgf, vds).0, 3),
+                fmt_sig(d.front_device(Volts(3.0)).drain_current(vgf, vds).0, 3),
+            ]);
+        }
+        out.push_str(&format!(
+            "SOIAS device, V_ds = {} V; V_T = {:.3} / {:.3} V\n{t}",
+            vds.0,
+            d.vt(Volts(0.0)).0,
+            d.vt(Volts(3.0)).0
+        ));
+    } else {
+        let vt = Volts(parsed.get_f64("vt")?.unwrap_or(0.25));
+        let m = Mosfet::nmos_with_vt(vt);
+        let mut t = Table::new(["V_gs (V)", "I_D (A)"]);
+        for i in 0..=20 {
+            let vgs = Volts(0.05 * f64::from(i));
+            t.push_row([
+                format!("{:.2}", vgs.0),
+                fmt_sig(m.drain_current(vgs, vds).0, 3),
+            ]);
+        }
+        out.push_str(&format!(
+            "NMOS, V_T = {} V, V_ds = {} V, S_th = {:.1} mV/dec\n{t}",
+            vt.0,
+            vds.0,
+            m.subthreshold_slope().0 * 1e3
+        ));
+    }
+    Ok(out)
+}
+
+fn disasm(parsed: &Parsed) -> Result<String, CliError> {
+    let source = if let Some(example) = parsed.get("example") {
+        example_source(example)?
+    } else if let Some(path) = parsed.positional.first() {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?
+    } else {
+        return Err(CliError(
+            "disasm needs a source file or --example NAME".to_string(),
+        ));
+    };
+    let program = lowvolt_isa::assemble(&source).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "{} instructions, entry @{}\n\n{}",
+        program.insts.len(),
+        program.entry,
+        program.listing()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        run_command(&parse(
+            &args.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("frobnicate"));
+    }
+
+    #[test]
+    fn profile_example_idea() {
+        let out = run(&["profile", "--example", "idea", "--budget", "100000000"]).unwrap();
+        assert!(out.contains("Total Instructions"));
+        assert!(out.contains("Multiplications"));
+        assert!(out.contains("program output:"));
+    }
+
+    #[test]
+    fn profile_with_blocks() {
+        let out = run(&["profile", "--example", "fir", "--blocks"]).unwrap();
+        assert!(out.contains("hot basic blocks"));
+        assert!(out.contains("dynamic instrs"));
+    }
+
+    #[test]
+    fn profile_with_duty() {
+        let out = run(&["profile", "--example", "idea", "--duty", "0.2"]).unwrap();
+        assert!(out.contains("bursty execution"));
+        assert!(out.contains("Total Instructions"));
+    }
+
+    #[test]
+    fn profile_needs_a_source() {
+        let err = run(&["profile"]).unwrap_err();
+        assert!(err.0.contains("--example"));
+        let err = run(&["profile", "--example", "nonsuch"]).unwrap_err();
+        assert!(err.0.contains("nonsuch"));
+        let err = run(&["profile", "/definitely/not/a/file.s"]).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+    }
+
+    #[test]
+    fn activity_circuits() {
+        let out = run(&["activity", "--circuit", "adder8", "--cycles", "100"]).unwrap();
+        assert!(out.contains("mean alpha"));
+        assert!(out.contains("40 gates"));
+        let out = run(&["activity", "--circuit", "alu8", "--cycles", "60"]).unwrap();
+        assert!(out.contains("switched capacitance"));
+        let err = run(&["activity", "--circuit", "gpu"]).unwrap_err();
+        assert!(err.0.contains("gpu"));
+    }
+
+    #[test]
+    fn optimize_reports_sub_1v_optimum() {
+        let out = run(&["optimize", "--delay-ps", "150"]).unwrap();
+        assert!(out.contains("optimum: V_T"));
+        let vdd: f64 = out
+            .split("V_DD = ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .expect("vdd parses");
+        assert!(vdd < 1.2, "vdd = {vdd}");
+    }
+
+    #[test]
+    fn compare_recommends_a_standby_technology_when_idle() {
+        let out = run(&["compare", "--fga", "0.01", "--bga", "0.001"]).unwrap();
+        assert!(out.contains("recommendation:"));
+        assert!(!out.contains("recommendation: soi-fixed-vt"), "{out}");
+        let err = run(&["compare", "--bga", "0.1"]).unwrap_err();
+        assert!(err.0.contains("--fga"));
+    }
+
+    #[test]
+    fn iv_tables() {
+        let out = run(&["iv", "--vt", "0.4"]).unwrap();
+        assert!(out.contains("V_T = 0.4"));
+        assert!(out.contains("mV/dec"));
+        let out = run(&["iv", "--soias"]).unwrap();
+        assert!(out.contains("V_gb=3"));
+    }
+
+    #[test]
+    fn disasm_lists_instructions() {
+        let out = run(&["disasm", "--example", "fir"]).unwrap();
+        assert!(out.contains("entry @"));
+        assert!(out.contains("mult"));
+        assert!(out.contains("main:"));
+        let err = run(&["disasm"]).unwrap_err();
+        assert!(err.0.contains("--example"));
+    }
+
+    #[test]
+    fn profile_reads_a_real_file() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.s");
+        std::fs::write(
+            &path,
+            ".text\nli $a0, 7\nli $v0, 1\nsyscall\nli $v0, 10\nsyscall\n",
+        )
+        .unwrap();
+        let out = run(&["profile", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("program output: 7"));
+    }
+}

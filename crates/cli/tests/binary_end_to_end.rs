@@ -1,0 +1,42 @@
+//! End-to-end tests of the `lowvolt` binary itself: exit codes, stderr
+//! routing, and a full profile run through the real executable.
+
+use std::process::Command;
+
+fn lowvolt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lowvolt"))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = lowvolt().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn errors_go_to_stderr_with_nonzero_exit() {
+    let out = lowvolt().arg("explode").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("explode"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn profile_example_through_the_binary() {
+    let out = lowvolt()
+        .args(["profile", "--example", "fir", "--budget", "100000000"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Total Instructions"));
+    assert!(text.contains("Multiplications"));
+}
+
+#[test]
+fn iv_through_the_binary() {
+    let out = lowvolt().args(["iv", "--vt", "0.3"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mV/dec"));
+}

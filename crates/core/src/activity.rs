@@ -1,0 +1,165 @@
+//! The §5.1 activity variables.
+//!
+//! Three quantities characterise how a block consumes energy in a bursty
+//! system (paper Fig. 7):
+//!
+//! - `fga` — "the fraction of time the module … is active",
+//! - `bga` — "the probability of a power consuming transition on the
+//!   backgate" (one per run of consecutive active cycles), and
+//! - `α` — "the individual node transition activity (assuming the module
+//!   is always turned on) which is a strong function of signal
+//!   statistics".
+
+use crate::error::CoreError;
+use lowvolt_isa::profile::UnitStats;
+
+/// A validated `(fga, bga, α)` triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityVars {
+    /// Fraction of cycles the block is active.
+    pub fga: f64,
+    /// Standby-control transitions per cycle (run starts).
+    pub bga: f64,
+    /// Node transition activity while active.
+    pub alpha: f64,
+}
+
+impl ActivityVars {
+    /// Validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidActivity`] unless
+    /// `0 ≤ bga ≤ fga ≤ 1` and `α ≥ 0` (glitching can push `α` past 1, so
+    /// no upper bound there).
+    pub fn new(fga: f64, bga: f64, alpha: f64) -> Result<ActivityVars, CoreError> {
+        if !(0.0..=1.0).contains(&fga) {
+            return Err(CoreError::InvalidActivity {
+                name: "fga",
+                value: fga,
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        if bga < 0.0 || bga > fga + 1e-12 {
+            return Err(CoreError::InvalidActivity {
+                name: "bga",
+                value: bga,
+                constraint: "must lie in [0, fga] (a run needs an active cycle)",
+            });
+        }
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(CoreError::InvalidActivity {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        Ok(ActivityVars { fga, bga, alpha })
+    }
+
+    /// A continuously-active block (`fga = 1`), whose standby control
+    /// switches once and never again (`bga ≈ 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidActivity`] for a bad `alpha`.
+    pub fn always_on(alpha: f64) -> Result<ActivityVars, CoreError> {
+        ActivityVars::new(1.0, 0.0, alpha)
+    }
+
+    /// Builds the triple from an instruction-profiler unit report plus a
+    /// circuit-level `α` — the paper's complete tool flow (§5.3): ATOM
+    /// supplies `fga`/`bga`, the switch-level simulator supplies `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidActivity`] if the combination violates
+    /// the invariants (it cannot for genuine profiler output).
+    pub fn from_profile(stats: &UnitStats, alpha: f64) -> Result<ActivityVars, CoreError> {
+        ActivityVars::new(stats.fga, stats.bga, alpha)
+    }
+
+    /// Scales the block activity by a system duty cycle: a block used
+    /// `fga` of the time inside bursts that occupy `duty` of all cycles
+    /// has system-level activity `duty·fga` (and proportionally scaled
+    /// run rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidActivity`] if `duty` is outside
+    /// `[0, 1]`.
+    pub fn scaled_by_duty(&self, duty: f64) -> Result<ActivityVars, CoreError> {
+        if !(0.0..=1.0).contains(&duty) {
+            return Err(CoreError::InvalidActivity {
+                name: "duty",
+                value: duty,
+                constraint: "must lie in [0, 1]",
+            });
+        }
+        ActivityVars::new(self.fga * duty, self.bga * duty, self.alpha)
+    }
+}
+
+impl std::fmt::Display for ActivityVars {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fga={:.4}, bga={:.4}, alpha={:.4}",
+            self.fga, self.bga, self.alpha
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_bounds() {
+        assert!(ActivityVars::new(0.5, 0.1, 0.3).is_ok());
+        assert!(ActivityVars::new(1.5, 0.1, 0.3).is_err());
+        assert!(ActivityVars::new(0.5, 0.6, 0.3).is_err(), "bga > fga");
+        assert!(ActivityVars::new(0.5, -0.1, 0.3).is_err());
+        assert!(ActivityVars::new(0.5, 0.1, -1.0).is_err());
+        assert!(ActivityVars::new(0.5, 0.1, f64::NAN).is_err());
+        // Glitching α above 1 is legitimate.
+        assert!(ActivityVars::new(0.5, 0.1, 1.8).is_ok());
+    }
+
+    #[test]
+    fn always_on_has_unit_fga() {
+        let a = ActivityVars::always_on(0.4).unwrap();
+        assert_eq!(a.fga, 1.0);
+        assert_eq!(a.bga, 0.0);
+    }
+
+    #[test]
+    fn duty_scaling() {
+        let a = ActivityVars::new(0.8, 0.1, 0.5).unwrap();
+        let s = a.scaled_by_duty(0.25).unwrap();
+        assert!((s.fga - 0.2).abs() < 1e-12);
+        assert!((s.bga - 0.025).abs() < 1e-12);
+        assert_eq!(s.alpha, 0.5);
+        assert!(a.scaled_by_duty(2.0).is_err());
+    }
+
+    #[test]
+    fn from_profile_roundtrips() {
+        let stats = UnitStats {
+            unit: lowvolt_isa::FunctionalUnit::Adder,
+            uses: 697,
+            runs: 23,
+            fga: 0.697,
+            bga: 0.023,
+        };
+        let a = ActivityVars::from_profile(&stats, 0.5).unwrap();
+        assert_eq!(a.fga, 0.697);
+        assert_eq!(a.bga, 0.023);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = ActivityVars::new(0.5, 0.1, 0.3).unwrap();
+        assert!(a.to_string().contains("fga=0.5000"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Burst-mode per-cycle energy models — the paper's Eqs. 3–4,
+//! generalised over [`Technology`].
+//!
+//! ```text
+//! E_SOI   = fga·α·C_fg·V_DD²  +  I_leak(low)·V_DD·t_cyc            (Eq. 3)
+//!
+//! E_SOIAS = fga·α·C_fg·V_DD²  +  bga·C_bg·V_bg²
+//!         + fga·I_leak(low)·V_DD·t_cyc
+//!         + (1−fga)·I_leak(high)·V_DD·t_cyc                         (Eq. 4)
+//! ```
+//!
+//! A technology without a standby mode pays Eq. 3's always-on leakage; a
+//! technology with one pays Eq. 4's control overhead (`bga·C_ctrl·V_ctrl²`
+//! — back-gate, sleep-transistor gate, or well capacitance) plus the
+//! two-state leakage mix. The same code therefore evaluates conventional
+//! SOI, SOIAS, MTCMOS, and substrate-biased bulk on equal terms.
+
+use crate::activity::ActivityVars;
+use crate::error::CoreError;
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Amps, Farads, Hertz, Joules, Seconds, Volts};
+
+/// Physical parameters of one functional block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockParams {
+    /// Block name (for reports).
+    pub name: String,
+    /// Total front-gate switched capacitance `C_fg` at full node activity
+    /// (`α = 1`): the sum of node capacitances that can toggle per cycle.
+    pub switched_cap: Farads,
+    /// Total MOS gate area, µm² — sets the standby-control capacitance.
+    pub gate_area_um2: f64,
+    /// Total effective off-device width, µm — sets the leakage scale.
+    pub leak_width_um: f64,
+}
+
+/// Gate area charged to each logic gate when deriving block parameters
+/// from a netlist (two ~0.9 µm² transistor gates).
+pub const GATE_AREA_PER_GATE_UM2: f64 = 1.8;
+
+/// Effective leaking width charged to each logic gate (one off-device of
+/// the complementary pair, ~1 µm).
+pub const LEAK_WIDTH_PER_GATE_UM: f64 = 1.0;
+
+impl BlockParams {
+    /// Derives block parameters from a generated netlist: the switched
+    /// capacitance is the netlist's total node capacitance, gate area and
+    /// leakage width scale with its gate count.
+    #[must_use]
+    pub fn from_netlist(name: impl Into<String>, netlist: &Netlist) -> BlockParams {
+        let gates = netlist.gate_count() as f64;
+        BlockParams {
+            name: name.into(),
+            switched_cap: netlist.total_capacitance(),
+            gate_area_um2: gates * GATE_AREA_PER_GATE_UM2,
+            leak_width_um: gates * LEAK_WIDTH_PER_GATE_UM,
+        }
+    }
+
+    /// The paper's example block: an 8-bit ripple-carry adder.
+    #[must_use]
+    pub fn adder_8bit() -> BlockParams {
+        let mut n = Netlist::new();
+        let _ = lowvolt_circuit::adder::ripple_carry_adder(&mut n, 8);
+        BlockParams::from_netlist("adder", &n)
+    }
+
+    /// An 8-bit barrel shifter block.
+    #[must_use]
+    pub fn shifter_8bit() -> BlockParams {
+        let mut n = Netlist::new();
+        let _ = lowvolt_circuit::shifter::barrel_shifter_right(&mut n, 8)
+            .expect("8 is a power of two");
+        BlockParams::from_netlist("shifter", &n)
+    }
+
+    /// An 8×8 array multiplier block.
+    #[must_use]
+    pub fn multiplier_8x8() -> BlockParams {
+        let mut n = Netlist::new();
+        let _ = lowvolt_circuit::multiplier::array_multiplier(&mut n, 8).expect("valid width");
+        BlockParams::from_netlist("multiplier", &n)
+    }
+}
+
+/// Per-cycle energy decomposition of one block under one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Front-gate switching energy `fga·α·C_fg·V_DD²`.
+    pub switching: Joules,
+    /// Standby-control overhead `bga·C_ctrl·V_ctrl²`.
+    pub control: Joules,
+    /// Leakage while in the active (low-V_T) state.
+    pub leak_active: Joules,
+    /// Leakage while in the standby (high-V_T) state.
+    pub leak_standby: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per cycle.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.switching + self.control + self.leak_active + self.leak_standby
+    }
+}
+
+/// The burst-mode energy model: a supply/clock operating point that
+/// evaluates Eq. 3 / Eq. 4 for any technology and block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstEnergyModel {
+    vdd: Volts,
+    clock: Hertz,
+}
+
+impl BurstEnergyModel {
+    /// Creates a model at the given supply and clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if either is non-positive.
+    pub fn new(vdd: Volts, clock: Hertz) -> Result<BurstEnergyModel, CoreError> {
+        if vdd.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "vdd",
+                value: vdd.0,
+                constraint: "must be positive",
+            });
+        }
+        if clock.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "clock",
+                value: clock.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(BurstEnergyModel { vdd, clock })
+    }
+
+    /// Operating supply.
+    #[must_use]
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Clock frequency.
+    #[must_use]
+    pub fn clock(&self) -> Hertz {
+        self.clock
+    }
+
+    /// Cycle time `t_cyc`.
+    #[must_use]
+    pub fn cycle_time(&self) -> Seconds {
+        self.clock.period()
+    }
+
+    /// Per-cycle energy decomposition for a block on a technology.
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        tech: &Technology,
+        block: &BlockParams,
+        activity: ActivityVars,
+    ) -> EnergyBreakdown {
+        let t_cyc = self.cycle_time();
+        let switching = Joules(
+            activity.fga * activity.alpha * block.switched_cap.0 * self.vdd.0 * self.vdd.0,
+        );
+        let i_low = Amps(tech.active_off_current_per_um(self.vdd).0 * block.leak_width_um);
+        if tech.has_standby_mode() {
+            let c_ctrl = tech.control_capacitance(block.gate_area_um2);
+            let v_ctrl = tech.control_swing();
+            let control = Joules(activity.bga * c_ctrl.0 * v_ctrl.0 * v_ctrl.0);
+            let i_high = Amps(tech.standby_off_current_per_um(self.vdd).0 * block.leak_width_um);
+            EnergyBreakdown {
+                switching,
+                control,
+                leak_active: (i_low * self.vdd * t_cyc) * activity.fga,
+                leak_standby: (i_high * self.vdd * t_cyc) * (1.0 - activity.fga),
+            }
+        } else {
+            // Eq. 3: fixed low threshold, "the device is continually
+            // leaking".
+            EnergyBreakdown {
+                switching,
+                control: Joules::ZERO,
+                leak_active: i_low * self.vdd * t_cyc,
+                leak_standby: Joules::ZERO,
+            }
+        }
+    }
+
+    /// Total per-cycle energy (Eq. 3 or Eq. 4 by technology).
+    #[must_use]
+    pub fn energy_per_cycle(
+        &self,
+        tech: &Technology,
+        block: &BlockParams,
+        activity: ActivityVars,
+    ) -> Joules {
+        self.breakdown(tech, block, activity).total()
+    }
+
+    /// `log10(E_a / E_b)` — the Fig. 10 surface value for one activity
+    /// point, negative where technology `a` wins.
+    #[must_use]
+    pub fn log_energy_ratio(
+        &self,
+        tech_a: &Technology,
+        tech_b: &Technology,
+        block: &BlockParams,
+        activity: ActivityVars,
+    ) -> f64 {
+        let ea = self.energy_per_cycle(tech_a, block, activity).0;
+        let eb = self.energy_per_cycle(tech_b, block, activity).0;
+        (ea / eb).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvolt_device::soias::SoiasDevice;
+
+    fn model() -> BurstEnergyModel {
+        BurstEnergyModel::new(Volts(1.0), Hertz(20e6)).expect("valid")
+    }
+
+    fn soi() -> Technology {
+        Technology::soi_fixed_vt(Volts(0.084))
+    }
+
+    fn soias() -> Technology {
+        Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).expect("valid")
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BurstEnergyModel::new(Volts(0.0), Hertz(1e6)).is_err());
+        assert!(BurstEnergyModel::new(Volts(1.0), Hertz(0.0)).is_err());
+    }
+
+    #[test]
+    fn eq3_structure_for_fixed_vt() {
+        // For SOI the leakage term must not depend on fga.
+        let m = model();
+        let block = BlockParams::adder_8bit();
+        let busy = ActivityVars::new(0.9, 0.01, 0.5).unwrap();
+        let idle = ActivityVars::new(0.01, 0.01, 0.5).unwrap();
+        let b_busy = m.breakdown(&soi(), &block, busy);
+        let b_idle = m.breakdown(&soi(), &block, idle);
+        assert_eq!(b_busy.leak_active, b_idle.leak_active);
+        assert_eq!(b_busy.control, Joules::ZERO);
+        assert!(b_busy.switching.0 > b_idle.switching.0);
+    }
+
+    #[test]
+    fn eq4_leakage_mix_follows_fga() {
+        let m = model();
+        let block = BlockParams::adder_8bit();
+        let mostly_idle = ActivityVars::new(0.05, 0.01, 0.5).unwrap();
+        let b = m.breakdown(&soias(), &block, mostly_idle);
+        // 95% of the time in the high-V_T state whose leakage is ~4
+        // decades lower: standby leakage must be far below what active
+        // leakage would be at fga = 1.
+        let always = ActivityVars::new(1.0, 0.0, 0.5).unwrap();
+        let b_on = m.breakdown(&soias(), &block, always);
+        assert!(b.leak_standby.0 < 0.01 * b_on.leak_active.0);
+        assert!(b.control.0 > 0.0);
+    }
+
+    #[test]
+    fn soias_wins_for_bursty_loses_for_continuous() {
+        // The central Fig. 10 claim.
+        let m = model();
+        let block = BlockParams::adder_8bit();
+        let bursty = ActivityVars::new(0.01, 0.001, 0.5).unwrap();
+        let continuous = ActivityVars::new(1.0, 0.0, 0.5).unwrap();
+        let r_bursty = m.log_energy_ratio(&soias(), &soi(), &block, bursty);
+        let r_cont = m.log_energy_ratio(&soias(), &soi(), &block, continuous);
+        assert!(r_bursty < 0.0, "SOIAS must win when mostly idle: {r_bursty}");
+        assert!(
+            r_cont >= -0.02,
+            "SOIAS cannot beat SOI when always on: {r_cont}"
+        );
+    }
+
+    #[test]
+    fn control_energy_scales_with_bga() {
+        let m = model();
+        let block = BlockParams::adder_8bit();
+        let low = ActivityVars::new(0.5, 0.001, 0.5).unwrap();
+        let high = ActivityVars::new(0.5, 0.4, 0.5).unwrap();
+        let c_low = m.breakdown(&soias(), &block, low).control.0;
+        let c_high = m.breakdown(&soias(), &block, high).control.0;
+        assert!((c_high / c_low - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn block_presets_are_ordered_by_size() {
+        let adder = BlockParams::adder_8bit();
+        let shifter = BlockParams::shifter_8bit();
+        let mult = BlockParams::multiplier_8x8();
+        assert!(mult.switched_cap.0 > adder.switched_cap.0);
+        assert!(mult.gate_area_um2 > shifter.gate_area_um2);
+        assert!(adder.switched_cap.to_femtofarads() > 50.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let m = model();
+        let block = BlockParams::multiplier_8x8();
+        let a = ActivityVars::new(0.3, 0.05, 0.4).unwrap();
+        let b = m.breakdown(&soias(), &block, a);
+        let sum = b.switching.0 + b.control.0 + b.leak_active.0 + b.leak_standby.0;
+        assert!((b.total().0 - sum).abs() <= f64::EPSILON * sum);
+    }
+
+    #[test]
+    fn slower_clock_raises_leakage_share() {
+        // Leakage integrates over the cycle: at fixed V_DD, halving the
+        // clock doubles per-cycle leakage energy but not switching.
+        let block = BlockParams::adder_8bit();
+        let a = ActivityVars::new(1.0, 0.0, 0.5).unwrap();
+        let fast = BurstEnergyModel::new(Volts(1.0), Hertz(40e6)).unwrap();
+        let slow = BurstEnergyModel::new(Volts(1.0), Hertz(10e6)).unwrap();
+        let bf = fast.breakdown(&soi(), &block, a);
+        let bs = slow.breakdown(&soi(), &block, a);
+        assert_eq!(bf.switching, bs.switching);
+        assert!((bs.leak_active.0 / bf.leak_active.0 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the CAD layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by model construction and optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An activity variable is outside its valid range.
+    InvalidActivity {
+        /// Which variable.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A model parameter is outside its valid range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An optimisation found no feasible point.
+    Infeasible {
+        /// What was being optimised.
+        what: &'static str,
+    },
+    /// A device-layer error bubbled up.
+    Device(lowvolt_device::DeviceError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidActivity {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid activity {name} = {value}: {constraint}"),
+            CoreError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            CoreError::Infeasible { what } => write!(f, "no feasible point for {what}"),
+            CoreError::Device(e) => write!(f, "device model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lowvolt_device::DeviceError> for CoreError {
+    fn from(e: lowvolt_device::DeviceError) -> CoreError {
+        CoreError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidActivity {
+            name: "fga",
+            value: 1.5,
+            constraint: "must lie in [0, 1]",
+        };
+        assert!(e.to_string().contains("fga"));
+        let d = CoreError::from(lowvolt_device::DeviceError::SolveFailed { what: "vdd" });
+        assert!(d.to_string().contains("vdd"));
+        assert!(Error::source(&d).is_some());
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end design power estimation.
+//!
+//! The paper's methodology (§5) flows: profile the application to get per-
+//! block `fga`/`bga` → simulate the blocks at switch level to get `α` →
+//! feed the activity triples and a technology choice into the energy
+//! models. [`DesignEstimator`] is that final stage: a set of blocks, one
+//! technology and operating point, and a per-block / whole-design power
+//! report that makes leakage explicit (the paper's complaint about
+//! then-current estimators being leakage-blind).
+
+use crate::activity::ActivityVars;
+use crate::energy::{BlockParams, BurstEnergyModel, EnergyBreakdown};
+use crate::error::CoreError;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Joules, Watts};
+
+/// Power estimate for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockEstimate {
+    /// Block name.
+    pub name: String,
+    /// The activity used.
+    pub activity: ActivityVars,
+    /// Per-cycle energy decomposition.
+    pub energy: EnergyBreakdown,
+    /// Average power at the model's clock.
+    pub power: Watts,
+}
+
+/// Whole-design estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEstimate {
+    /// Per-block results.
+    pub blocks: Vec<BlockEstimate>,
+    /// Total average power.
+    pub total_power: Watts,
+    /// Total per-cycle energy.
+    pub total_energy_per_cycle: Joules,
+    /// Leakage share of total power (active + standby leakage).
+    pub leakage_fraction: f64,
+}
+
+/// A design under estimation: blocks with activities, one technology.
+#[derive(Debug, Clone)]
+pub struct DesignEstimator {
+    model: BurstEnergyModel,
+    technology: Technology,
+    blocks: Vec<(BlockParams, ActivityVars)>,
+}
+
+impl DesignEstimator {
+    /// Creates an estimator at an operating point for a technology.
+    #[must_use]
+    pub fn new(model: BurstEnergyModel, technology: Technology) -> DesignEstimator {
+        DesignEstimator {
+            model,
+            technology,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Adds a block (builder style).
+    #[must_use]
+    pub fn with_block(mut self, params: BlockParams, activity: ActivityVars) -> DesignEstimator {
+        self.blocks.push((params, activity));
+        self
+    }
+
+    /// Number of blocks added.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs the estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if no blocks were added.
+    pub fn estimate(&self) -> Result<DesignEstimate, CoreError> {
+        if self.blocks.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "blocks",
+                value: 0.0,
+                constraint: "estimate needs at least one block",
+            });
+        }
+        let t_cyc = self.model.cycle_time();
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        let mut total_energy = 0.0;
+        let mut total_leak = 0.0;
+        for (params, activity) in &self.blocks {
+            let energy = self.model.breakdown(&self.technology, params, *activity);
+            total_energy += energy.total().0;
+            total_leak += energy.leak_active.0 + energy.leak_standby.0;
+            blocks.push(BlockEstimate {
+                name: params.name.clone(),
+                activity: *activity,
+                energy,
+                power: energy.total() / t_cyc,
+            });
+        }
+        Ok(DesignEstimate {
+            blocks,
+            total_power: Joules(total_energy) / t_cyc,
+            total_energy_per_cycle: Joules(total_energy),
+            leakage_fraction: if total_energy == 0.0 {
+                0.0
+            } else {
+                total_leak / total_energy
+            },
+        })
+    }
+
+    /// Re-estimates the same design on a different technology — the
+    /// paper's "overall methodology to evaluate trade-offs between
+    /// various low-power technologies".
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DesignEstimator::estimate`].
+    pub fn estimate_on(&self, technology: &Technology) -> Result<DesignEstimate, CoreError> {
+        DesignEstimator {
+            model: self.model,
+            technology: technology.clone(),
+            blocks: self.blocks.clone(),
+        }
+        .estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvolt_device::soias::SoiasDevice;
+    use lowvolt_device::units::{Hertz, Volts};
+
+    fn estimator() -> DesignEstimator {
+        let model = BurstEnergyModel::new(Volts(1.0), Hertz(20e6)).unwrap();
+        let tech = Technology::soi_fixed_vt(Volts(0.084));
+        DesignEstimator::new(model, tech)
+            .with_block(
+                BlockParams::adder_8bit(),
+                ActivityVars::new(0.697, 0.023, 0.5).unwrap(),
+            )
+            .with_block(
+                BlockParams::shifter_8bit(),
+                ActivityVars::new(0.109, 0.087, 0.5).unwrap(),
+            )
+            .with_block(
+                BlockParams::multiplier_8x8(),
+                ActivityVars::new(0.0083, 0.0083, 0.4).unwrap(),
+            )
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let e = estimator().estimate().unwrap();
+        assert_eq!(e.blocks.len(), 3);
+        let sum: f64 = e.blocks.iter().map(|b| b.power.0).sum();
+        assert!((sum - e.total_power.0).abs() / e.total_power.0 < 1e-9);
+        assert!(e.leakage_fraction > 0.0 && e.leakage_fraction < 1.0);
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        let model = BurstEnergyModel::new(Volts(1.0), Hertz(20e6)).unwrap();
+        let tech = Technology::soi_fixed_vt(Volts(0.2));
+        assert!(DesignEstimator::new(model, tech).estimate().is_err());
+    }
+
+    #[test]
+    fn technology_comparison_flow() {
+        let est = estimator();
+        let soi = est.estimate().unwrap();
+        let soias = est
+            .estimate_on(&Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).unwrap())
+            .unwrap();
+        // For this mostly-idle block mix, SOIAS cuts total power.
+        assert!(soias.total_power.0 < soi.total_power.0);
+        // And the leakage share drops dramatically.
+        assert!(soias.leakage_fraction < soi.leakage_fraction);
+    }
+
+    #[test]
+    fn leakage_visible_for_idle_blocks() {
+        // A leakage-blind estimator would assign the idle multiplier
+        // almost no power; the paper's point is that it still leaks.
+        let e = estimator().estimate().unwrap();
+        let mult = e.blocks.iter().find(|b| b.name == "multiplier").unwrap();
+        let leak = mult.energy.leak_active.0 + mult.energy.leak_standby.0;
+        assert!(
+            leak > mult.energy.switching.0,
+            "an idle fixed-low-vt multiplier is leakage-dominated"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! V_T-control granularity — the paper's §5.2 design question.
+//!
+//! "The degree of V_T control ranges from affecting individual
+//! transistors to switching the V_T of the entire chip at once. …
+//! controlling each transistor in a digital system individually would
+//! require a great deal of additional wiring to route the back gate
+//! control signals. Switching the entire chip, while requiring little
+//! wiring overhead, is only useful for systems which are idle for long
+//! periods … We have chosen to assume a model of operation in which
+//! functional units, or blocks, share a common V_T."
+//!
+//! This module evaluates all three granularities on the same design so
+//! that block-level control can be shown to be the sweet spot.
+
+use crate::activity::ActivityVars;
+use crate::energy::{BlockParams, BurstEnergyModel};
+use crate::error::CoreError;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::Joules;
+
+/// The three control granularities of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlGranularity {
+    /// One control for the whole chip: standby only when *everything* is
+    /// idle.
+    Chip,
+    /// One control per functional block (the paper's chosen model).
+    Block,
+    /// One control per transistor: maximal leakage saving, massive
+    /// control-wiring capacitance.
+    PerTransistor,
+}
+
+impl ControlGranularity {
+    /// All granularities, coarse to fine.
+    pub const ALL: [ControlGranularity; 3] = [
+        ControlGranularity::Chip,
+        ControlGranularity::Block,
+        ControlGranularity::PerTransistor,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlGranularity::Chip => "chip",
+            ControlGranularity::Block => "block",
+            ControlGranularity::PerTransistor => "per-transistor",
+        }
+    }
+}
+
+impl std::fmt::Display for ControlGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Multiplier on the control capacitance when every transistor gets its
+/// own routed control wire (§5.2's "great deal of additional wiring").
+/// A per-transistor back gate is a femtofarad-scale load at the end of a
+/// dedicated routed wire plus its own driver; the wire and driver
+/// capacitance dwarf the gate itself by an order of magnitude.
+pub const PER_TRANSISTOR_WIRING_FACTOR: f64 = 12.0;
+
+/// Per-granularity energy for a design of blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GranularityComparison {
+    /// Energy per cycle at chip-level control.
+    pub chip: Joules,
+    /// Energy per cycle at block-level control.
+    pub block: Joules,
+    /// Energy per cycle at per-transistor control.
+    pub per_transistor: Joules,
+}
+
+impl GranularityComparison {
+    /// The granularity with the lowest energy.
+    #[must_use]
+    pub fn best(&self) -> ControlGranularity {
+        let mut best = (ControlGranularity::Chip, self.chip.0);
+        for (g, e) in [
+            (ControlGranularity::Block, self.block.0),
+            (ControlGranularity::PerTransistor, self.per_transistor.0),
+        ] {
+            if e < best.1 {
+                best = (g, e);
+            }
+        }
+        best.0
+    }
+
+    /// Energy for a given granularity.
+    #[must_use]
+    pub fn energy(&self, g: ControlGranularity) -> Joules {
+        match g {
+            ControlGranularity::Chip => self.chip,
+            ControlGranularity::Block => self.block,
+            ControlGranularity::PerTransistor => self.per_transistor,
+        }
+    }
+}
+
+/// Evaluates the three granularities for a design.
+///
+/// - `blocks` are `(parameters, activity)` pairs; activities are
+///   system-level (duty already folded in).
+/// - `system_duty` is the fraction of cycles *any* block is active —
+///   chip-level control can only sleep outside it.
+/// - `system_bga` is the chip-level wake rate (session bursts per cycle).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidActivity`] if `system_duty` is outside
+/// `[0, 1]`, the duty is smaller than some block's `fga` (the chip cannot
+/// be idle while a block runs), or `blocks` is empty.
+pub fn compare_granularities(
+    model: &BurstEnergyModel,
+    tech: &Technology,
+    blocks: &[(BlockParams, ActivityVars)],
+    system_duty: f64,
+    system_bga: f64,
+) -> Result<GranularityComparison, CoreError> {
+    if blocks.is_empty() {
+        return Err(CoreError::InvalidActivity {
+            name: "blocks",
+            value: 0.0,
+            constraint: "need at least one block",
+        });
+    }
+    if !(0.0..=1.0).contains(&system_duty) {
+        return Err(CoreError::InvalidActivity {
+            name: "system_duty",
+            value: system_duty,
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    for (p, a) in blocks {
+        if a.fga > system_duty + 1e-12 {
+            return Err(CoreError::InvalidActivity {
+                name: "system_duty",
+                value: system_duty,
+                constraint: "must cover every block's fga",
+            });
+        }
+        let _ = p;
+    }
+
+    // Block-level: straight Eq. 4 per block.
+    let block_energy: f64 = blocks
+        .iter()
+        .map(|(p, a)| model.energy_per_cycle(tech, p, *a).0)
+        .sum();
+
+    // Chip-level: every block shares the chip's standby schedule — low
+    // V_T (active leakage) whenever the *chip* is busy, one shared
+    // control toggled at the session rate.
+    let mut chip_energy = 0.0;
+    let total_area: f64 = blocks.iter().map(|(p, _)| p.gate_area_um2).sum();
+    for (p, a) in blocks {
+        let chip_activity = ActivityVars::new(system_duty, 0.0, a.alpha * a.fga / system_duty.max(1e-12))?;
+        // switching must reflect the block's own fga·α, so fold it into
+        // alpha while the leakage follows the chip duty.
+        let b = model.breakdown(tech, p, chip_activity);
+        chip_energy += b.switching.0 + b.leak_active.0 + b.leak_standby.0;
+    }
+    let c_ctrl = tech.control_capacitance(total_area);
+    let v_ctrl = tech.control_swing();
+    chip_energy += system_bga * c_ctrl.0 * v_ctrl.0 * v_ctrl.0;
+
+    // Per-transistor: the block only leaks at low V_T while actually
+    // switching (leakage window ≈ fga·α instead of fga), but every
+    // control transition drags the wiring-amplified capacitance and
+    // toggles at the node rate (bga → fga·α).
+    let mut per_transistor = 0.0;
+    for (p, a) in blocks {
+        let window = (a.fga * a.alpha).min(1.0);
+        let fine = ActivityVars::new(window, window, a.alpha / a.alpha.max(1e-12))?;
+        // fine.alpha = 1 within the window: switching identical to Eq. 4.
+        let mut b = model.breakdown(tech, p, fine);
+        b.switching = Joules(a.fga * a.alpha * p.switched_cap.0 * model.vdd().0 * model.vdd().0);
+        let c_fine = tech.control_capacitance(p.gate_area_um2).0 * PER_TRANSISTOR_WIRING_FACTOR;
+        let control = window * c_fine * v_ctrl.0 * v_ctrl.0;
+        per_transistor += b.switching.0 + control + b.leak_active.0 + b.leak_standby.0;
+    }
+
+    Ok(GranularityComparison {
+        chip: Joules(chip_energy),
+        block: Joules(block_energy),
+        per_transistor: Joules(per_transistor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvolt_device::soias::SoiasDevice;
+    use lowvolt_device::units::{Hertz, Volts};
+
+    fn setup() -> (BurstEnergyModel, Technology) {
+        (
+            BurstEnergyModel::new(Volts(1.0), Hertz(20e6)).unwrap(),
+            Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).unwrap(),
+        )
+    }
+
+    fn x_server_blocks() -> Vec<(BlockParams, ActivityVars)> {
+        vec![
+            (
+                BlockParams::adder_8bit(),
+                ActivityVars::new(0.1394, 0.0046, 0.5).unwrap(), // 0.697·0.2
+            ),
+            (
+                BlockParams::shifter_8bit(),
+                ActivityVars::new(0.0218, 0.0174, 0.5).unwrap(),
+            ),
+            (
+                BlockParams::multiplier_8x8(),
+                ActivityVars::new(0.00166, 0.00166, 0.5).unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn block_level_wins_for_x_server() {
+        // The paper's chosen model should be the sweet spot: chip-level
+        // leaves idle blocks hot during bursts; per-transistor pays
+        // wiring energy on every use.
+        let (model, tech) = setup();
+        let cmp = compare_granularities(&model, &tech, &x_server_blocks(), 0.2, 1e-4).unwrap();
+        assert_eq!(cmp.best(), ControlGranularity::Block, "{cmp:?}");
+        assert!(cmp.block.0 < cmp.chip.0);
+        assert!(cmp.block.0 < cmp.per_transistor.0);
+    }
+
+    #[test]
+    fn chip_level_fine_for_fully_synchronised_blocks() {
+        // If every block is busy exactly when the chip is, chip-level
+        // control loses nothing (and saves control energy).
+        let (model, tech) = setup();
+        let duty = 0.2;
+        let blocks = vec![(
+            BlockParams::adder_8bit(),
+            ActivityVars::new(duty, 0.001, 0.5).unwrap(),
+        )];
+        let cmp = compare_granularities(&model, &tech, &blocks, duty, 0.001).unwrap();
+        let gap = (cmp.chip.0 - cmp.block.0).abs() / cmp.block.0;
+        assert!(gap < 0.2, "chip ≈ block for synchronised use: {gap}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (model, tech) = setup();
+        assert!(compare_granularities(&model, &tech, &[], 0.5, 0.0).is_err());
+        let blocks = x_server_blocks();
+        assert!(compare_granularities(&model, &tech, &blocks, 1.5, 0.0).is_err());
+        // Duty below a block's fga is inconsistent.
+        assert!(compare_granularities(&model, &tech, &blocks, 0.01, 0.0).is_err());
+    }
+
+    #[test]
+    fn energy_accessor_and_names() {
+        let (model, tech) = setup();
+        let cmp = compare_granularities(&model, &tech, &x_server_blocks(), 0.2, 1e-4).unwrap();
+        for g in ControlGranularity::ALL {
+            assert!(cmp.energy(g).0 > 0.0);
+            assert!(!g.name().is_empty());
+        }
+        assert_eq!(ControlGranularity::Block.to_string(), "block");
+    }
+}

@@ -1,0 +1,235 @@
+//! MTCMOS sleep-transistor sizing.
+//!
+//! In the multi-threshold option (§4, ref \[6\]) "the logic circuits are
+//! implemented using low threshold devices and the low-V_T transistors are
+//! gated using high threshold switches which are in series. … circuits
+//! resume normal low threshold high speed operation, assuming proper
+//! device sizing." This module quantifies that *proper sizing*: the sleep
+//! device's linear-region resistance drops the virtual rail, which slows
+//! the low-V_T logic; widening it restores speed at the cost of area and
+//! sleep-control energy.
+
+use crate::error::CoreError;
+use lowvolt_device::on_current::AlphaPowerLaw;
+use lowvolt_device::units::{Amps, Micrometers, Volts};
+
+/// A sized sleep transistor and its consequences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepTransistorDesign {
+    /// Chosen sleep-device width.
+    pub width: Micrometers,
+    /// Virtual-rail droop at peak current.
+    pub rail_droop: Volts,
+    /// Fractional delay penalty of the gated logic.
+    pub delay_penalty: f64,
+}
+
+/// Sizing model: block peak current, supply, and the two thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtcmosSizer {
+    /// Peak switching current drawn by the gated block.
+    peak_current: Amps,
+    /// Supply voltage.
+    vdd: Volts,
+    /// Logic (low) threshold.
+    low_vt: Volts,
+    /// Sleep-device (high) threshold.
+    high_vt: Volts,
+    /// Per-width linear-region conductance model of the sleep device.
+    drive: AlphaPowerLaw,
+}
+
+impl MtcmosSizer {
+    /// Creates a sizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the current is not
+    /// positive, `high_vt ≤ low_vt`, or `vdd ≤ high_vt` (the sleep device
+    /// could not turn on).
+    pub fn new(
+        peak_current: Amps,
+        vdd: Volts,
+        low_vt: Volts,
+        high_vt: Volts,
+    ) -> Result<MtcmosSizer, CoreError> {
+        if peak_current.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "peak_current",
+                value: peak_current.0,
+                constraint: "must be positive",
+            });
+        }
+        if high_vt.0 <= low_vt.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "high_vt",
+                value: high_vt.0,
+                constraint: "must exceed low_vt",
+            });
+        }
+        if vdd.0 <= high_vt.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "vdd",
+                value: vdd.0,
+                constraint: "must exceed high_vt to turn the sleep device on",
+            });
+        }
+        Ok(MtcmosSizer {
+            peak_current,
+            vdd,
+            low_vt,
+            high_vt,
+            drive: AlphaPowerLaw::with_width(Micrometers(1.0)),
+        })
+    }
+
+    /// Virtual-rail droop for a given sleep width: the `V_ds` at which a
+    /// linear-region sleep device of that width carries the peak current.
+    ///
+    /// Solved by bisection on the monotone triode I–V curve. If even the
+    /// saturated device cannot pass the current the virtual rail has no
+    /// equilibrium below `V_dsat` — it collapses, and the full supply is
+    /// reported as droop.
+    #[must_use]
+    pub fn rail_droop(&self, width: Micrometers) -> Volts {
+        let per_um = |vds: f64| {
+            self.drive
+                .drain_current(self.vdd, Volts(vds), self.high_vt)
+                .0
+        };
+        let need = self.peak_current.0 / width.0.max(1e-12);
+        let vdsat = self.drive.saturation_voltage(self.vdd, self.high_vt);
+        if per_um(vdsat.0) <= need {
+            return self.vdd;
+        }
+        let (mut lo, mut hi) = (0.0f64, vdsat.0);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if per_um(mid) < need {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Volts(0.5 * (lo + hi))
+    }
+
+    /// Delay penalty of the gated logic for a given sleep width: the
+    /// alpha-power delay with the effective supply reduced by the droop,
+    /// relative to an ungated block.
+    #[must_use]
+    pub fn delay_penalty(&self, width: Micrometers) -> f64 {
+        let droop = self.rail_droop(width);
+        let alpha = self.drive.alpha();
+        let nominal = self.vdd.0 / (self.vdd.0 - self.low_vt.0).powf(alpha);
+        let v_eff = self.vdd.0 - droop.0;
+        if v_eff <= self.low_vt.0 {
+            return f64::INFINITY;
+        }
+        let gated = v_eff / (v_eff - self.low_vt.0).powf(alpha);
+        gated / nominal - 1.0
+    }
+
+    /// Sizes the sleep transistor for a maximum delay penalty, by
+    /// doubling then bisecting on the monotone penalty-vs-width curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] if the penalty target is not
+    /// positive or cannot be met below 10⁶ µm of width.
+    pub fn size_for_penalty(&self, max_penalty: f64) -> Result<SleepTransistorDesign, CoreError> {
+        if max_penalty <= 0.0 {
+            return Err(CoreError::Infeasible {
+                what: "sleep transistor sizing (penalty must be positive)",
+            });
+        }
+        let mut hi = 1.0f64;
+        while self.delay_penalty(Micrometers(hi)) > max_penalty {
+            hi *= 2.0;
+            if hi > 1e6 {
+                return Err(CoreError::Infeasible {
+                    what: "sleep transistor sizing",
+                });
+            }
+        }
+        let mut lo = hi / 2.0;
+        if hi <= 1.0 {
+            lo = 1e-3;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.delay_penalty(Micrometers(mid)) > max_penalty {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let width = Micrometers(hi);
+        Ok(SleepTransistorDesign {
+            width,
+            rail_droop: self.rail_droop(width),
+            delay_penalty: self.delay_penalty(width),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizer() -> MtcmosSizer {
+        MtcmosSizer::new(Amps(2e-3), Volts(1.0), Volts(0.2), Volts(0.55)).expect("valid")
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(MtcmosSizer::new(Amps(0.0), Volts(1.0), Volts(0.2), Volts(0.55)).is_err());
+        assert!(MtcmosSizer::new(Amps(1e-3), Volts(1.0), Volts(0.6), Volts(0.55)).is_err());
+        assert!(MtcmosSizer::new(Amps(1e-3), Volts(0.5), Volts(0.2), Volts(0.55)).is_err());
+    }
+
+    #[test]
+    fn wider_sleep_device_droops_less() {
+        let s = sizer();
+        let narrow = s.rail_droop(Micrometers(10.0));
+        let wide = s.rail_droop(Micrometers(100.0));
+        assert!(wide.0 < narrow.0);
+        assert!(wide.0 > 0.0);
+    }
+
+    #[test]
+    fn penalty_monotone_in_width() {
+        let s = sizer();
+        let p1 = s.delay_penalty(Micrometers(20.0));
+        let p2 = s.delay_penalty(Micrometers(80.0));
+        assert!(p2 < p1);
+    }
+
+    #[test]
+    fn sizing_meets_target() {
+        let s = sizer();
+        for target in [0.02, 0.05, 0.10] {
+            let d = s.size_for_penalty(target).expect("feasible");
+            assert!(d.delay_penalty <= target * 1.001, "penalty {}", d.delay_penalty);
+            // Don't waste area: the target should be close to met.
+            assert!(d.delay_penalty > target * 0.5, "oversized at {target}");
+        }
+    }
+
+    #[test]
+    fn tighter_penalty_needs_wider_device() {
+        let s = sizer();
+        let loose = s.size_for_penalty(0.10).unwrap();
+        let tight = s.size_for_penalty(0.02).unwrap();
+        assert!(tight.width.0 > loose.width.0);
+    }
+
+    #[test]
+    fn undersized_width_penalty_is_infinite_or_large() {
+        // A sliver of a sleep device cannot carry milliamps.
+        let s = sizer();
+        let p = s.delay_penalty(Micrometers(0.1));
+        assert!(p > 1.0 || p.is_infinite());
+        assert!(s.size_for_penalty(-0.1).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Joint `V_DD` / `V_T` selection at fixed throughput — the paper's §3.
+//!
+//! "Reducing the threshold voltage allows the supply voltage to be scaled
+//! down (and therefore lower switching power) without loss in
+//! performance. … at some point, the threshold voltage and supply
+//! reduction is offset by an increase in the leakage currents, resulting
+//! in an optimum threshold voltage and power supply voltage."
+//!
+//! The optimiser holds the stage delay of a ring oscillator constant
+//! (Fig. 3's iso-delay locus), integrates leakage over the throughput
+//! period, and finds the energy-minimising `(V_DD, V_T)` (Fig. 4).
+
+use crate::error::CoreError;
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_device::units::{Joules, Seconds, Volts};
+
+/// One evaluated operating point of the fixed-throughput sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyPoint {
+    /// Threshold voltage.
+    pub vt: Volts,
+    /// Supply voltage meeting the delay target at this threshold.
+    pub vdd: Volts,
+    /// Switching energy per operation.
+    pub switching: Joules,
+    /// Leakage energy per operation period.
+    pub leakage: Joules,
+}
+
+impl EnergyPoint {
+    /// Total energy per operation.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.switching + self.leakage
+    }
+}
+
+/// Fixed-throughput `V_DD`/`V_T` optimiser over a ring-oscillator
+/// performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedThroughputOptimizer {
+    ring: RingOscillator,
+    target_stage_delay: Seconds,
+    v_max: Volts,
+    /// Node activity scaling of the switching term (`α`); the ring's own
+    /// oscillation corresponds to 1.
+    activity: f64,
+}
+
+/// Highest supply the optimiser will consider (the paper's era norm).
+pub const DEFAULT_V_MAX: Volts = Volts(3.3);
+
+impl FixedThroughputOptimizer {
+    /// Optimiser over the default paper-scale ring with a given stage
+    /// delay target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the target is not
+    /// positive.
+    pub fn paper_ring(target_stage_delay: Seconds) -> Result<FixedThroughputOptimizer, CoreError> {
+        FixedThroughputOptimizer::new(RingOscillator::paper_default(), target_stage_delay, 1.0)
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive delay
+    /// target or activity outside `(0, +∞)`.
+    pub fn new(
+        ring: RingOscillator,
+        target_stage_delay: Seconds,
+        activity: f64,
+    ) -> Result<FixedThroughputOptimizer, CoreError> {
+        if target_stage_delay.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "target_stage_delay",
+                value: target_stage_delay.0,
+                constraint: "must be positive",
+            });
+        }
+        if activity <= 0.0 || !activity.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "activity",
+                value: activity,
+                constraint: "must be positive and finite",
+            });
+        }
+        Ok(FixedThroughputOptimizer {
+            ring,
+            target_stage_delay,
+            v_max: DEFAULT_V_MAX,
+            activity,
+        })
+    }
+
+    /// The delay target.
+    #[must_use]
+    pub fn target_stage_delay(&self) -> Seconds {
+        self.target_stage_delay
+    }
+
+    /// Supply voltage meeting the delay target at a threshold — one point
+    /// of Fig. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Device`] if even `V_max` is too slow at this
+    /// threshold.
+    pub fn iso_delay_supply(&self, vt: Volts) -> Result<Volts, CoreError> {
+        Ok(self
+            .ring
+            .supply_for_stage_delay(self.target_stage_delay, vt, self.v_max)?)
+    }
+
+    /// Sweeps the iso-delay locus over thresholds (skipping infeasible
+    /// ones) — the Fig. 3 curve.
+    #[must_use]
+    pub fn iso_delay_curve(&self, vts: &[Volts]) -> Vec<(Volts, Volts)> {
+        vts.iter()
+            .filter_map(|&vt| self.iso_delay_supply(vt).ok().map(|vdd| (vt, vdd)))
+            .collect()
+    }
+
+    /// Evaluates one operating point at a given throughput period
+    /// (`t_op` = 1/throughput; leakage integrates over it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Device`] if the threshold is infeasible.
+    pub fn evaluate(&self, vt: Volts, t_op: Seconds) -> Result<EnergyPoint, CoreError> {
+        let vdd = self.iso_delay_supply(vt)?;
+        let switching = Joules(
+            self.activity
+                * self.ring.stages() as f64
+                * self.ring.stage_load().0
+                * vdd.0
+                * vdd.0,
+        );
+        let leakage = self.ring.leakage_current(vdd, vt) * vdd * t_op;
+        Ok(EnergyPoint {
+            vt,
+            vdd,
+            switching,
+            leakage,
+        })
+    }
+
+    /// The Fig. 4 sweep: energy per operation along the iso-delay locus.
+    #[must_use]
+    pub fn energy_curve(&self, vts: &[Volts], t_op: Seconds) -> Vec<EnergyPoint> {
+        vts.iter()
+            .filter_map(|&vt| self.evaluate(vt, t_op).ok())
+            .collect()
+    }
+
+    /// Finds the energy-minimising `(V_DD, V_T)` point: a coarse grid over
+    /// `V_T ∈ [0, 0.8 V]` refined by golden-section search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] if no threshold admits the delay
+    /// target.
+    pub fn optimum(&self, t_op: Seconds) -> Result<EnergyPoint, CoreError> {
+        let coarse: Vec<EnergyPoint> = (0..=160)
+            .filter_map(|i| {
+                let vt = Volts(0.005 * f64::from(i));
+                self.evaluate(vt, t_op).ok()
+            })
+            .collect();
+        let best = coarse
+            .iter()
+            .min_by(|a, b| a.total().0.total_cmp(&b.total().0))
+            .copied()
+            .ok_or(CoreError::Infeasible {
+                what: "fixed-throughput vdd/vt optimum",
+            })?;
+        // Golden-section refinement around the coarse winner.
+        let mut lo = (best.vt.0 - 0.005).max(0.0);
+        let mut hi = best.vt.0 + 0.005;
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        for _ in 0..60 {
+            let x1 = hi - phi * (hi - lo);
+            let x2 = lo + phi * (hi - lo);
+            let e1 = self.evaluate(Volts(x1), t_op).map(|p| p.total().0);
+            let e2 = self.evaluate(Volts(x2), t_op).map(|p| p.total().0);
+            match (e1, e2) {
+                (Ok(a), Ok(b)) => {
+                    if a < b {
+                        hi = x2;
+                    } else {
+                        lo = x1;
+                    }
+                }
+                (Ok(_), Err(_)) => hi = x2,
+                (Err(_), Ok(_)) => lo = x1,
+                (Err(_), Err(_)) => break,
+            }
+        }
+        self.evaluate(Volts(0.5 * (lo + hi)), t_op)
+            .or(Ok(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimizer() -> FixedThroughputOptimizer {
+        // A mid-speed target: the delay of the default ring at 1.5 V with
+        // a 0.45 V threshold.
+        let ring = RingOscillator::paper_default();
+        let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid")
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let ring = RingOscillator::paper_default();
+        assert!(FixedThroughputOptimizer::new(ring.clone(), Seconds(0.0), 1.0).is_err());
+        assert!(FixedThroughputOptimizer::new(ring, Seconds(1e-9), -1.0).is_err());
+    }
+
+    #[test]
+    fn fig3_iso_delay_curve_is_monotone() {
+        let opt = optimizer();
+        let vts: Vec<Volts> = (0..=9).map(|i| Volts(0.05 * f64::from(i))).collect();
+        let curve = opt.iso_delay_curve(&vts);
+        assert!(curve.len() >= 8);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 .0 > pair[0].1 .0, "vdd rises with vt");
+        }
+    }
+
+    #[test]
+    fn fig4_curve_is_u_shaped() {
+        let opt = optimizer();
+        let vts: Vec<Volts> = (1..=90).map(|i| Volts(0.005 * f64::from(i))).collect();
+        let curve = opt.energy_curve(&vts, Seconds(1e-6));
+        let totals: Vec<f64> = curve.iter().map(|p| p.total().0).collect();
+        let min_idx = totals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        // Interior minimum: energy falls then rises.
+        assert!(min_idx > 0 && min_idx < totals.len() - 1, "min at {min_idx}");
+        assert!(totals[0] > totals[min_idx] * 1.05, "leakage wall at low vt");
+        assert!(
+            *totals.last().unwrap() > totals[min_idx] * 1.05,
+            "switching wall at high vt"
+        );
+    }
+
+    #[test]
+    fn optimum_is_below_one_volt() {
+        // The paper: "It is interesting to note that the optimum voltage
+        // is significantly lower than 1 V!"
+        let opt = optimizer();
+        let best = opt.optimum(Seconds(1e-6)).expect("feasible");
+        assert!(best.vdd.0 < 1.0, "vdd = {}", best.vdd);
+        assert!(best.vt.0 > 0.02 && best.vt.0 < 0.5, "vt = {}", best.vt);
+    }
+
+    #[test]
+    fn optimum_beats_grid_neighbours() {
+        let opt = optimizer();
+        let t_op = Seconds(1e-6);
+        let best = opt.optimum(t_op).unwrap();
+        for dv in [-0.02, -0.01, 0.01, 0.02] {
+            if let Ok(p) = opt.evaluate(Volts(best.vt.0 + dv), t_op) {
+                assert!(
+                    p.total().0 >= best.total().0 * (1.0 - 1e-9),
+                    "neighbour at {dv:+} beats optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slower_throughput_raises_optimal_vt() {
+        // More idle time per operation → leakage matters more → higher
+        // optimal threshold (the paper's activity dependence).
+        let opt = optimizer();
+        let fast = opt.optimum(Seconds(1e-7)).unwrap();
+        let slow = opt.optimum(Seconds(1e-4)).unwrap();
+        assert!(
+            slow.vt.0 > fast.vt.0 + 0.01,
+            "slow {} vs fast {}",
+            slow.vt,
+            fast.vt
+        );
+    }
+
+    #[test]
+    fn lower_activity_raises_optimal_vt() {
+        // "a circuit which has very low switching activity will require a
+        // high-threshold voltage".
+        let ring = RingOscillator::paper_default();
+        let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        let busy = FixedThroughputOptimizer::new(ring.clone(), target, 1.0).unwrap();
+        let quiet = FixedThroughputOptimizer::new(ring, target, 0.01).unwrap();
+        let t_op = Seconds(1e-6);
+        let b = busy.optimum(t_op).unwrap();
+        let q = quiet.optimum(t_op).unwrap();
+        assert!(q.vt.0 > b.vt.0, "quiet {} vs busy {}", q.vt, b.vt);
+    }
+
+    #[test]
+    fn infeasible_target_reported() {
+        let ring = RingOscillator::paper_default();
+        let opt = FixedThroughputOptimizer::new(ring, Seconds(1e-15), 1.0).unwrap();
+        assert!(opt.iso_delay_supply(Volts(0.4)).is_err());
+        assert!(matches!(
+            opt.optimum(Seconds(1e-6)),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! The three CMOS power components of the paper's §2.
+//!
+//! ```text
+//!     P_switching = α₀→₁ · C_L · V_DD² · f_clk            (Eq. 1)
+//!     P_short     ≲ 10 % of P_switching with matched slopes
+//!     P_leak      = I_leak · V_DD    (sub-threshold, Eq. 2)
+//! ```
+
+use lowvolt_device::units::{Amps, Farads, Hertz, Volts, Watts};
+
+/// Switching (dynamic) power, the paper's Eq. 1.
+///
+/// # Panics
+///
+/// Panics if `alpha` is negative (glitch-inflated values above 1 are
+/// allowed).
+#[must_use]
+pub fn switching_power(alpha: f64, load: Farads, vdd: Volts, clock: Hertz) -> Watts {
+    assert!(alpha >= 0.0, "activity factor must be non-negative");
+    Watts(alpha * load.0 * vdd.0 * vdd.0 * clock.0)
+}
+
+/// Short-circuit power estimate.
+///
+/// "By sizing transistors such that the input and output rise times are
+/// approximately equal, the short circuit component can be kept to less
+/// than 10 % of the total power." The estimate scales that bound by the
+/// input/output slope ratio: matched slopes (`ratio = 1`) give the 10 %
+/// figure, slower inputs linearly more.
+///
+/// # Panics
+///
+/// Panics if `slope_ratio` is not positive.
+#[must_use]
+pub fn short_circuit_power(switching: Watts, slope_ratio: f64) -> Watts {
+    assert!(slope_ratio > 0.0, "slope ratio must be positive");
+    Watts(switching.0 * 0.10 * slope_ratio)
+}
+
+/// Leakage power from an off-state current.
+#[must_use]
+pub fn leakage_power(leak: Amps, vdd: Volts) -> Watts {
+    leak * vdd
+}
+
+/// A full §2 decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic (switching) component.
+    pub switching: Watts,
+    /// Short-circuit component.
+    pub short_circuit: Watts,
+    /// Sub-threshold leakage component.
+    pub leakage: Watts,
+}
+
+impl PowerBreakdown {
+    /// Computes all three components for one operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or `slope_ratio` non-positive.
+    #[must_use]
+    pub fn evaluate(
+        alpha: f64,
+        load: Farads,
+        vdd: Volts,
+        clock: Hertz,
+        leak: Amps,
+        slope_ratio: f64,
+    ) -> PowerBreakdown {
+        let switching = switching_power(alpha, load, vdd, clock);
+        PowerBreakdown {
+            switching,
+            short_circuit: short_circuit_power(switching, slope_ratio),
+            leakage: leakage_power(leak, vdd),
+        }
+    }
+
+    /// Total power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.switching + self.short_circuit + self.leakage
+    }
+
+    /// Leakage share of the total (the quantity "current power estimation
+    /// tools … do not take into account").
+    #[must_use]
+    pub fn leakage_fraction(&self) -> f64 {
+        if self.total().0 == 0.0 {
+            0.0
+        } else {
+            self.leakage.0 / self.total().0
+        }
+    }
+}
+
+impl std::fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "switching {:.3e} W + short-circuit {:.3e} W + leakage {:.3e} W = {:.3e} W",
+            self.switching.0,
+            self.short_circuit.0,
+            self.leakage.0,
+            self.total().0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_scales_quadratically_with_vdd() {
+        let p1 = switching_power(0.5, Farads(10e-12), Volts(1.0), Hertz(1e6));
+        let p2 = switching_power(0.5, Farads(10e-12), Volts(2.0), Hertz(1e6));
+        assert!((p2.0 / p1.0 - 4.0).abs() < 1e-12);
+        // And linearly with everything else.
+        let p3 = switching_power(1.0, Farads(10e-12), Volts(1.0), Hertz(1e6));
+        assert!((p3.0 / p1.0 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_slopes_cap_short_circuit_at_ten_percent() {
+        let sw = Watts(1.0);
+        assert!((short_circuit_power(sw, 1.0).0 - 0.1).abs() < 1e-12);
+        assert!(short_circuit_power(sw, 2.0).0 > short_circuit_power(sw, 1.0).0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_fraction() {
+        let b = PowerBreakdown::evaluate(
+            0.25,
+            Farads(20e-12),
+            Volts(1.0),
+            Hertz(10e6),
+            Amps(5e-6),
+            1.0,
+        );
+        let total = b.switching.0 + b.short_circuit.0 + b.leakage.0;
+        assert!((b.total().0 - total).abs() < 1e-18);
+        assert!(b.leakage_fraction() > 0.0 && b.leakage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn leakage_dominates_at_low_activity() {
+        // The §3 observation: low-activity circuits want higher V_T.
+        let busy = PowerBreakdown::evaluate(
+            0.5,
+            Farads(20e-12),
+            Volts(1.0),
+            Hertz(1e6),
+            Amps(1e-6),
+            1.0,
+        );
+        let idle = PowerBreakdown::evaluate(
+            0.001,
+            Farads(20e-12),
+            Volts(1.0),
+            Hertz(1e6),
+            Amps(1e-6),
+            1.0,
+        );
+        assert!(idle.leakage_fraction() > 0.9 * busy.leakage_fraction());
+        assert!(idle.leakage_fraction() > 0.5);
+        assert!(busy.leakage_fraction() < 0.5);
+    }
+
+    #[test]
+    fn zero_power_fraction_is_zero() {
+        let b = PowerBreakdown {
+            switching: Watts::ZERO,
+            short_circuit: Watts::ZERO,
+            leakage: Watts::ZERO,
+        };
+        assert_eq!(b.leakage_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Architectural voltage scaling: parallelism traded for supply voltage.
+//!
+//! The paper's introduction cites "an architectural voltage scaling
+//! strategy which trades off silicon area for lower power consumption"
+//! (ref \[1\]): duplicate a datapath N ways, clock each copy N× slower,
+//! and the relaxed delay target lets the supply drop — switching energy
+//! falls as `V_DD²`. This module adds what the 1996 paper insists on:
+//! the *leakage* of N copies integrates over the lengthened per-unit
+//! cycle, so with low-V_T devices the benefit saturates and reverses at
+//! finite N.
+
+use crate::error::CoreError;
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_device::units::{Joules, Seconds, Volts};
+
+/// One evaluated parallelism point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelPoint {
+    /// Degree of parallelism.
+    pub ways: usize,
+    /// Supply each way runs at.
+    pub vdd: Volts,
+    /// Switching energy per operation (including interconnect overhead).
+    pub switching: Joules,
+    /// Leakage energy per operation across all ways.
+    pub leakage: Joules,
+}
+
+impl ParallelPoint {
+    /// Total energy per operation.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.switching + self.leakage
+    }
+}
+
+/// The parallel-datapath scaling model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelScaling {
+    ring: RingOscillator,
+    /// Threshold voltage of the implementation devices.
+    vt: Volts,
+    /// Stage-delay budget of the single-unit (N = 1) design.
+    base_stage_delay: Seconds,
+    /// System throughput period (one result must emerge every `t_op`).
+    t_op: Seconds,
+    /// Fractional switched-capacitance overhead added per extra way
+    /// (routing, distribution, output muxing).
+    overhead_per_way: f64,
+    /// Ceiling on the usable supply.
+    v_max: Volts,
+}
+
+/// Default interconnect/muxing overhead per added way (the classic
+/// figure from the architecture-driven scaling literature is 10–20 %).
+pub const DEFAULT_OVERHEAD_PER_WAY: f64 = 0.15;
+
+impl ParallelScaling {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the base delay or
+    /// throughput period is non-positive, or the overhead is negative.
+    pub fn new(
+        ring: RingOscillator,
+        vt: Volts,
+        base_stage_delay: Seconds,
+        t_op: Seconds,
+        overhead_per_way: f64,
+    ) -> Result<ParallelScaling, CoreError> {
+        if base_stage_delay.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "base_stage_delay",
+                value: base_stage_delay.0,
+                constraint: "must be positive",
+            });
+        }
+        if t_op.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "t_op",
+                value: t_op.0,
+                constraint: "must be positive",
+            });
+        }
+        if overhead_per_way < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "overhead_per_way",
+                value: overhead_per_way,
+                constraint: "must be non-negative",
+            });
+        }
+        Ok(ParallelScaling {
+            ring,
+            vt,
+            base_stage_delay,
+            t_op,
+            overhead_per_way,
+            v_max: Volts(3.3),
+        })
+    }
+
+    /// Evaluates an `n`-way parallel implementation: each way gets an
+    /// `n×` relaxed delay budget, the supply is re-solved, switching
+    /// carries the interconnect overhead, and all `n` ways leak for the
+    /// full operation period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `n = 0` or
+    /// [`CoreError::Device`] if the relaxed target is still infeasible.
+    pub fn evaluate(&self, n: usize) -> Result<ParallelPoint, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "ways",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        let relaxed = Seconds(self.base_stage_delay.0 * n as f64);
+        let vdd = self
+            .ring
+            .supply_for_stage_delay(relaxed, self.vt, self.v_max)?;
+        let c_op = self.ring.stages() as f64 * self.ring.stage_load().0;
+        let overhead = 1.0 + self.overhead_per_way * (n as f64 - 1.0);
+        let switching = Joules(c_op * overhead * vdd.0 * vdd.0);
+        let leakage =
+            (self.ring.leakage_current(vdd, self.vt) * vdd * self.t_op) * (n as f64);
+        Ok(ParallelPoint {
+            ways: n,
+            vdd,
+            switching,
+            leakage,
+        })
+    }
+
+    /// Sweeps 1..=`max_ways` and returns every feasible point.
+    #[must_use]
+    pub fn sweep(&self, max_ways: usize) -> Vec<ParallelPoint> {
+        (1..=max_ways)
+            .filter_map(|n| self.evaluate(n).ok())
+            .collect()
+    }
+
+    /// The energy-minimising degree of parallelism up to `max_ways`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] if no point is feasible.
+    pub fn best(&self, max_ways: usize) -> Result<ParallelPoint, CoreError> {
+        self.sweep(max_ways)
+            .into_iter()
+            .min_by(|a, b| a.total().0.total_cmp(&b.total().0))
+            .ok_or(CoreError::Infeasible {
+                what: "parallel scaling sweep",
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A design whose single-unit implementation needs a healthy supply.
+    fn model(vt: f64) -> ParallelScaling {
+        let ring = RingOscillator::paper_default();
+        let base = ring.stage_delay(Volts(2.5), Volts(vt));
+        ParallelScaling::new(
+            ring,
+            Volts(vt),
+            base,
+            Seconds(1e-6),
+            DEFAULT_OVERHEAD_PER_WAY,
+        )
+        .expect("valid model")
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let ring = RingOscillator::paper_default();
+        assert!(ParallelScaling::new(ring.clone(), Volts(0.4), Seconds(0.0), Seconds(1e-6), 0.1)
+            .is_err());
+        assert!(ParallelScaling::new(
+            ring.clone(),
+            Volts(0.4),
+            Seconds(1e-9),
+            Seconds(0.0),
+            0.1
+        )
+        .is_err());
+        assert!(
+            ParallelScaling::new(ring, Volts(0.4), Seconds(1e-9), Seconds(1e-6), -0.1).is_err()
+        );
+    }
+
+    #[test]
+    fn supply_falls_with_parallelism() {
+        let m = model(0.4);
+        let p1 = m.evaluate(1).unwrap();
+        let p2 = m.evaluate(2).unwrap();
+        let p4 = m.evaluate(4).unwrap();
+        assert!(p2.vdd.0 < p1.vdd.0);
+        assert!(p4.vdd.0 < p2.vdd.0);
+        assert!((p1.vdd.0 - 2.5).abs() < 1e-6, "reference point recovered");
+    }
+
+    #[test]
+    fn two_way_parallelism_saves_energy_at_high_vt() {
+        // The classic architecture-driven result: V² wins over the
+        // overhead when leakage is negligible (high V_T).
+        let m = model(0.5);
+        let p1 = m.evaluate(1).unwrap();
+        let p2 = m.evaluate(2).unwrap();
+        assert!(
+            p2.total().0 < 0.7 * p1.total().0,
+            "2-way should save >30%: {} vs {}",
+            p2.total().0,
+            p1.total().0
+        );
+    }
+
+    #[test]
+    fn benefit_saturates_and_reverses() {
+        // This paper's addition: leakage of N low-V_T copies eventually
+        // wins, so energy vs N is U-shaped for low V_T.
+        let m = model(0.15);
+        let sweep = m.sweep(32);
+        assert!(sweep.len() >= 16);
+        let best = m.best(32).unwrap();
+        assert!(best.ways > 1, "some parallelism helps");
+        assert!(best.ways < 32, "but not unboundedly: best = {}", best.ways);
+        let last = sweep.last().unwrap();
+        assert!(
+            last.total().0 > best.total().0,
+            "the tail of the sweep is past the optimum"
+        );
+        // At the far end leakage dominates switching.
+        assert!(last.leakage.0 > last.switching.0);
+    }
+
+    #[test]
+    fn higher_vt_tolerates_more_parallelism() {
+        let lo = model(0.15).best(32).unwrap();
+        let hi = model(0.45).best(32).unwrap();
+        assert!(
+            hi.ways >= lo.ways,
+            "low leakage sustains deeper parallelism: {} vs {}",
+            hi.ways,
+            lo.ways
+        );
+    }
+
+    #[test]
+    fn zero_ways_rejected() {
+        assert!(model(0.4).evaluate(0).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Sensitivity analysis of the fixed-throughput optimum.
+//!
+//! "The optimum selection of technology, circuit, and system parameters
+//! … depends on the application being implemented, node and module
+//! switching activities, module access patterns, etc." — the paper's
+//! point that no single (V_DD, V_T) is right for everyone. This module
+//! quantifies it: finite-difference sensitivities of the optimal
+//! operating point and its energy to the parameters a designer actually
+//! controls or mis-estimates (activity, throughput, load, sub-threshold
+//! slope via temperature).
+
+use crate::error::CoreError;
+use crate::optimizer::FixedThroughputOptimizer;
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_device::units::{Seconds, Volts};
+
+/// One parameter's influence on the optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityEntry {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// Relative perturbation applied (e.g. 0.2 = ±20 %).
+    pub perturbation: f64,
+    /// Optimal V_T at the low and high ends, volts.
+    pub vt_range: (f64, f64),
+    /// Optimal V_DD at the low and high ends, volts.
+    pub vdd_range: (f64, f64),
+    /// Relative energy swing `(E_hi − E_lo) / E_nominal`.
+    pub energy_swing: f64,
+}
+
+/// Full sensitivity report around a nominal design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityReport {
+    /// Nominal optimal threshold.
+    pub nominal_vt: Volts,
+    /// Nominal optimal supply.
+    pub nominal_vdd: Volts,
+    /// Per-parameter entries, largest energy swing first.
+    pub entries: Vec<SensitivityEntry>,
+}
+
+/// Nominal design-point description for the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Node activity `α`.
+    pub activity: f64,
+    /// Iso-delay target per stage.
+    pub stage_delay: Seconds,
+    /// Throughput period the leakage integrates over.
+    pub t_op: Seconds,
+}
+
+impl DesignPoint {
+    /// The Fig. 4-style nominal point: full activity, mid-speed target,
+    /// 1 MHz throughput.
+    #[must_use]
+    pub fn paper_nominal() -> DesignPoint {
+        let ring = RingOscillator::paper_default();
+        DesignPoint {
+            activity: 1.0,
+            stage_delay: ring.stage_delay(Volts(1.5), Volts(0.45)),
+            t_op: Seconds(1e-6),
+        }
+    }
+}
+
+fn optimum_at(
+    activity: f64,
+    stage_delay: Seconds,
+    t_op: Seconds,
+) -> Result<(f64, f64, f64), CoreError> {
+    let opt = FixedThroughputOptimizer::new(RingOscillator::paper_default(), stage_delay, activity)?;
+    let best = opt.optimum(t_op)?;
+    Ok((best.vt.0, best.vdd.0, best.total().0))
+}
+
+/// Runs the analysis: each parameter is swung by ±`perturbation`
+/// (relative) around the design point, re-optimising everything else.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the nominal or any perturbed point is
+/// infeasible (choose a `perturbation` below 1).
+pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityReport, CoreError> {
+    if !(0.0 < perturbation && perturbation < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "perturbation",
+            value: perturbation,
+            constraint: "must lie in (0, 1)",
+        });
+    }
+    let (nominal_vt, nominal_vdd, nominal_e) =
+        optimum_at(point.activity, point.stage_delay, point.t_op)?;
+    let lo = 1.0 - perturbation;
+    let hi = 1.0 + perturbation;
+    let mut entries = Vec::new();
+    // Activity.
+    {
+        let a = optimum_at(point.activity * lo, point.stage_delay, point.t_op)?;
+        let b = optimum_at(point.activity.min(1.0 / hi) * hi, point.stage_delay, point.t_op)?;
+        entries.push(SensitivityEntry {
+            parameter: "activity (alpha)",
+            perturbation,
+            vt_range: (a.0, b.0),
+            vdd_range: (a.1, b.1),
+            energy_swing: (b.2 - a.2) / nominal_e,
+        });
+    }
+    // Performance target.
+    {
+        let a = optimum_at(point.activity, Seconds(point.stage_delay.0 * lo), point.t_op)?;
+        let b = optimum_at(point.activity, Seconds(point.stage_delay.0 * hi), point.t_op)?;
+        entries.push(SensitivityEntry {
+            parameter: "delay target",
+            perturbation,
+            vt_range: (a.0, b.0),
+            vdd_range: (a.1, b.1),
+            energy_swing: (b.2 - a.2) / nominal_e,
+        });
+    }
+    // Throughput period (idle leakage window).
+    {
+        let a = optimum_at(point.activity, point.stage_delay, Seconds(point.t_op.0 * lo))?;
+        let b = optimum_at(point.activity, point.stage_delay, Seconds(point.t_op.0 * hi))?;
+        entries.push(SensitivityEntry {
+            parameter: "throughput period",
+            perturbation,
+            vt_range: (a.0, b.0),
+            vdd_range: (a.1, b.1),
+            energy_swing: (b.2 - a.2) / nominal_e,
+        });
+    }
+    entries.sort_by(|x, y| y.energy_swing.abs().total_cmp(&x.energy_swing.abs()));
+    Ok(SensitivityReport {
+        nominal_vt: Volts(nominal_vt),
+        nominal_vdd: Volts(nominal_vdd),
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_fig4_optimum() {
+        let r = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible");
+        assert!((r.nominal_vt.0 - 0.182).abs() < 0.02, "vt = {}", r.nominal_vt);
+        assert!(r.nominal_vdd.0 < 1.0);
+        assert_eq!(r.entries.len(), 3);
+    }
+
+    #[test]
+    fn delay_target_is_the_dominant_knob() {
+        // Energy scales ~V² along the iso-delay locus; relaxing the delay
+        // target moves V_DD directly, so it must dominate the swing.
+        let r = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible");
+        assert_eq!(r.entries[0].parameter, "delay target");
+        assert!(r.entries[0].energy_swing.abs() > 0.05);
+    }
+
+    #[test]
+    fn directions_are_physical() {
+        let r = analyse(DesignPoint::paper_nominal(), 0.3).expect("feasible");
+        for e in &r.entries {
+            match e.parameter {
+                // More activity → switching matters more → lower optimal V_T.
+                "activity (alpha)" => assert!(e.vt_range.1 <= e.vt_range.0 + 1e-6, "{e:?}"),
+                // A slower target → lower supply at equal V_T.
+                "delay target" => assert!(e.vdd_range.1 < e.vdd_range.0, "{e:?}"),
+                // A longer idle window → leakage integrates longer → higher V_T.
+                "throughput period" => assert!(e.vt_range.1 >= e.vt_range.0 - 1e-6, "{e:?}"),
+                other => panic!("unexpected parameter {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_perturbation_rejected() {
+        assert!(analyse(DesignPoint::paper_nominal(), 0.0).is_err());
+        assert!(analyse(DesignPoint::paper_nominal(), 1.0).is_err());
+    }
+}

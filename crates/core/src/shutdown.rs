@@ -1,0 +1,340 @@
+//! Event-driven shutdown policies.
+//!
+//! §4 frames the opportunity: "An obvious mechanism for saving energy is
+//! to shut down parts of the system hardware that are idle … analyzing
+//! several traces obtained from real X sessions indicates that the
+//! processor spends more than 95 % of its time in the off state
+//! suggesting large energy reductions under ideal shutdown conditions"
+//! (ref \[4\], *Predictive System Shutdown*). This module evaluates the
+//! classic policy ladder — always-on, fixed timeout, predictive, oracle —
+//! over busy/idle interval traces.
+
+use lowvolt_device::units::{Joules, Seconds, Watts};
+
+/// One interval of a session trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interval {
+    /// Busy for the given duration.
+    Busy(Seconds),
+    /// Idle for the given duration.
+    Idle(Seconds),
+}
+
+/// A busy/idle session trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTrace {
+    intervals: Vec<Interval>,
+}
+
+impl SessionTrace {
+    /// Builds a trace from explicit intervals.
+    #[must_use]
+    pub fn new(intervals: Vec<Interval>) -> SessionTrace {
+        SessionTrace { intervals }
+    }
+
+    /// Generates a pseudo-random bursty trace: exponential-ish busy and
+    /// idle durations around the given means (deterministic per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not positive or `pairs` is zero.
+    #[must_use]
+    pub fn bursty(pairs: usize, mean_busy: Seconds, mean_idle: Seconds, seed: u64) -> SessionTrace {
+        assert!(pairs > 0, "need at least one busy/idle pair");
+        assert!(
+            mean_busy.0 > 0.0 && mean_idle.0 > 0.0,
+            "interval means must be positive"
+        );
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut exp = |mean: f64| {
+            // SplitMix64 → uniform (0,1] → exponential.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+            -mean * (1.0 - u).max(1e-16).ln()
+        };
+        let mut intervals = Vec::with_capacity(2 * pairs);
+        for _ in 0..pairs {
+            intervals.push(Interval::Busy(Seconds(exp(mean_busy.0))));
+            intervals.push(Interval::Idle(Seconds(exp(mean_idle.0))));
+        }
+        SessionTrace { intervals }
+    }
+
+    /// The intervals.
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Total trace duration.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds(
+            self.intervals
+                .iter()
+                .map(|i| match i {
+                    Interval::Busy(d) | Interval::Idle(d) => d.0,
+                })
+                .sum(),
+        )
+    }
+
+    /// Fraction of time idle.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        let idle: f64 = self
+            .intervals
+            .iter()
+            .map(|i| match i {
+                Interval::Idle(d) => d.0,
+                Interval::Busy(_) => 0.0,
+            })
+            .sum();
+        let total = self.duration().0;
+        if total == 0.0 {
+            0.0
+        } else {
+            idle / total
+        }
+    }
+}
+
+/// Power/energy parameters of the managed hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerStates {
+    /// Power while computing.
+    pub active: Watts,
+    /// Power while idle but not shut down (clock gated, still leaking at
+    /// low V_T).
+    pub idle: Watts,
+    /// Power while shut down (high-V_T standby leakage).
+    pub sleep: Watts,
+    /// Energy cost of one shutdown/wake round trip (state save, control
+    /// swing, pipeline refill).
+    pub wake_energy: Joules,
+}
+
+impl PowerStates {
+    /// The idle duration above which sleeping pays:
+    /// `t_be = E_wake / (P_idle − P_sleep)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sleep >= idle` (sleeping would never pay).
+    #[must_use]
+    pub fn breakeven(&self) -> Seconds {
+        assert!(
+            self.sleep.0 < self.idle.0,
+            "sleep power must be below idle power"
+        );
+        Seconds(self.wake_energy.0 / (self.idle.0 - self.sleep.0))
+    }
+}
+
+/// A shutdown policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Never shut down.
+    AlwaysOn,
+    /// Shut down after the idle period has lasted this long.
+    Timeout(Seconds),
+    /// Predict each idle period as an exponential average of history
+    /// (weight = 0.5) and shut down immediately when the prediction
+    /// exceeds breakeven (ref \[4\]'s approach).
+    Predictive,
+    /// Clairvoyant: shut down exactly when the interval is longer than
+    /// breakeven (the paper's "ideal shutdown conditions").
+    Oracle,
+}
+
+impl Policy {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Policy::AlwaysOn => "always-on".into(),
+            Policy::Timeout(t) => format!("timeout({:.0e} s)", t.0),
+            Policy::Predictive => "predictive".into(),
+            Policy::Oracle => "oracle".into(),
+        }
+    }
+}
+
+/// Result of evaluating a policy over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShutdownReport {
+    /// Total energy over the trace.
+    pub energy: Joules,
+    /// Number of shutdowns taken.
+    pub shutdowns: usize,
+    /// Fraction of idle time actually spent asleep.
+    pub sleep_fraction: f64,
+}
+
+/// Evaluates a policy on a trace.
+#[must_use]
+pub fn evaluate(trace: &SessionTrace, states: &PowerStates, policy: Policy) -> ShutdownReport {
+    let breakeven = states.breakeven();
+    let mut energy = 0.0;
+    let mut shutdowns = 0usize;
+    let mut slept = 0.0f64;
+    let mut idle_total = 0.0f64;
+    let mut predicted = breakeven.0; // prior guess: exactly breakeven
+    for interval in trace.intervals() {
+        match *interval {
+            Interval::Busy(d) => energy += states.active.0 * d.0,
+            Interval::Idle(d) => {
+                idle_total += d.0;
+                let (on_time, sleep_time, slept_now) = match policy {
+                    Policy::AlwaysOn => (d.0, 0.0, false),
+                    Policy::Timeout(t) => {
+                        if d.0 > t.0 {
+                            (t.0, d.0 - t.0, true)
+                        } else {
+                            (d.0, 0.0, false)
+                        }
+                    }
+                    Policy::Predictive => {
+                        let sleep_now = predicted > breakeven.0;
+                        predicted = 0.5 * predicted + 0.5 * d.0;
+                        if sleep_now {
+                            (0.0, d.0, true)
+                        } else {
+                            (d.0, 0.0, false)
+                        }
+                    }
+                    Policy::Oracle => {
+                        if d.0 > breakeven.0 {
+                            (0.0, d.0, true)
+                        } else {
+                            (d.0, 0.0, false)
+                        }
+                    }
+                };
+                energy += states.idle.0 * on_time + states.sleep.0 * sleep_time;
+                if slept_now {
+                    energy += states.wake_energy.0;
+                    shutdowns += 1;
+                    slept += sleep_time;
+                }
+            }
+        }
+    }
+    ShutdownReport {
+        energy: Joules(energy),
+        shutdowns,
+        sleep_fraction: if idle_total == 0.0 { 0.0 } else { slept / idle_total },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states() -> PowerStates {
+        PowerStates {
+            active: Watts(100e-3),
+            idle: Watts(10e-3),
+            sleep: Watts(10e-6),
+            wake_energy: Joules(1e-3),
+        }
+    }
+
+    fn x_trace() -> SessionTrace {
+        // >95 % idle, like the paper's X sessions.
+        SessionTrace::bursty(200, Seconds(0.02), Seconds(0.5), 42)
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = x_trace();
+        assert!(t.idle_fraction() > 0.9, "idle = {}", t.idle_fraction());
+        assert!(t.duration().0 > 0.0);
+        assert_eq!(t.intervals().len(), 400);
+        // Deterministic per seed.
+        assert_eq!(t, SessionTrace::bursty(200, Seconds(0.02), Seconds(0.5), 42));
+    }
+
+    #[test]
+    fn breakeven_formula() {
+        let s = states();
+        let be = s.breakeven();
+        assert!((be.0 - 1e-3 / (10e-3 - 10e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_ladder_ordering() {
+        // oracle <= predictive/timeout <= always-on for a bursty trace.
+        let t = x_trace();
+        let s = states();
+        let on = evaluate(&t, &s, Policy::AlwaysOn).energy.0;
+        let to = evaluate(&t, &s, Policy::Timeout(Seconds(0.2))).energy.0;
+        let pr = evaluate(&t, &s, Policy::Predictive).energy.0;
+        let or = evaluate(&t, &s, Policy::Oracle).energy.0;
+        assert!(or <= to && or <= pr && or <= on, "oracle is a lower bound");
+        assert!(to < on, "timeout must beat always-on on a >95% idle trace");
+        assert!(pr < on, "predictive must beat always-on");
+        // With long idle gaps the oracle removes almost all idle energy.
+        assert!(or < 0.5 * on, "large reduction under ideal shutdown");
+    }
+
+    #[test]
+    fn always_on_never_sleeps() {
+        let r = evaluate(&x_trace(), &states(), Policy::AlwaysOn);
+        assert_eq!(r.shutdowns, 0);
+        assert_eq!(r.sleep_fraction, 0.0);
+    }
+
+    #[test]
+    fn oracle_skips_short_gaps() {
+        let s = states();
+        let short = s.breakeven().0 * 0.5;
+        let long = s.breakeven().0 * 10.0;
+        let t = SessionTrace::new(vec![
+            Interval::Busy(Seconds(0.01)),
+            Interval::Idle(Seconds(short)),
+            Interval::Busy(Seconds(0.01)),
+            Interval::Idle(Seconds(long)),
+        ]);
+        let r = evaluate(&t, &s, Policy::Oracle);
+        assert_eq!(r.shutdowns, 1, "only the long gap is worth sleeping");
+    }
+
+    #[test]
+    fn timeout_pays_the_tail() {
+        let s = states();
+        let t = SessionTrace::new(vec![
+            Interval::Busy(Seconds(0.01)),
+            Interval::Idle(Seconds(1.0)),
+        ]);
+        let to = evaluate(&t, &s, Policy::Timeout(Seconds(0.1)));
+        let or = evaluate(&t, &s, Policy::Oracle);
+        assert!(to.energy.0 > or.energy.0, "timeout wastes the first 100 ms");
+        assert_eq!(to.shutdowns, 1);
+        assert!(to.sleep_fraction > 0.85);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::AlwaysOn.name(), "always-on");
+        assert!(Policy::Timeout(Seconds(1e-3)).name().contains("timeout"));
+        assert_eq!(Policy::Oracle.name(), "oracle");
+    }
+
+    #[test]
+    #[should_panic(expected = "sleep power must be below idle power")]
+    fn degenerate_power_states_rejected() {
+        let s = PowerStates {
+            active: Watts(1.0),
+            idle: Watts(0.1),
+            sleep: Watts(0.2),
+            wake_energy: Joules(1e-3),
+        };
+        let _ = s.breakeven();
+    }
+}

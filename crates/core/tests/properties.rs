@@ -1,0 +1,142 @@
+//! Property-based tests for the CAD-layer invariants.
+
+use lowvolt_core::activity::ActivityVars;
+use lowvolt_core::energy::{BlockParams, BurstEnergyModel};
+use lowvolt_core::optimizer::FixedThroughputOptimizer;
+use lowvolt_core::shutdown::{evaluate, Policy, PowerStates, SessionTrace};
+use lowvolt_circuit::ring::RingOscillator;
+use lowvolt_device::soias::SoiasDevice;
+use lowvolt_device::technology::Technology;
+use lowvolt_device::units::{Hertz, Joules, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+fn soias() -> Technology {
+    Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).unwrap()
+}
+
+fn soi() -> Technology {
+    Technology::soi_fixed_vt_device(SoiasDevice::paper_fig6().front_device(Volts(3.0)))
+}
+
+proptest! {
+    /// Per-cycle energies are finite, positive, and the breakdown sums to
+    /// the total for any feasible activity point.
+    #[test]
+    fn energy_finite_positive(
+        fga in 1e-4f64..1.0,
+        bga_frac in 0.0f64..1.0,
+        alpha in 0.01f64..1.5,
+        vdd in 0.5f64..3.0,
+        mhz in 0.5f64..100.0,
+    ) {
+        let activity = ActivityVars::new(fga, fga * bga_frac, alpha).unwrap();
+        let model = BurstEnergyModel::new(Volts(vdd), Hertz(mhz * 1e6)).unwrap();
+        let block = BlockParams::adder_8bit();
+        for tech in [soias(), soi()] {
+            let b = model.breakdown(&tech, &block, activity);
+            let total = b.total().0;
+            prop_assert!(total.is_finite() && total > 0.0);
+            let sum = b.switching.0 + b.control.0 + b.leak_active.0 + b.leak_standby.0;
+            prop_assert!((total - sum).abs() <= 1e-12 * total.max(1e-30));
+        }
+    }
+
+    /// Eq. 4 energy is monotone in each activity variable separately.
+    #[test]
+    fn energy_monotone_in_activity(
+        fga in 1e-3f64..0.9,
+        bga_frac in 0.0f64..0.9,
+        alpha in 0.05f64..1.0,
+    ) {
+        let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).unwrap();
+        let block = BlockParams::adder_8bit();
+        let tech = soias();
+        let base = ActivityVars::new(fga, fga * bga_frac, alpha).unwrap();
+        let e0 = model.energy_per_cycle(&tech, &block, base).0;
+        let more_fga = ActivityVars::new(fga * 1.1, fga * bga_frac, alpha).unwrap();
+        prop_assert!(model.energy_per_cycle(&tech, &block, more_fga).0 >= e0 - e0 * 1e-12);
+        let more_bga = ActivityVars::new(fga, fga * bga_frac.min(0.9) + fga * 0.05, alpha).unwrap();
+        prop_assert!(model.energy_per_cycle(&tech, &block, more_bga).0 >= e0 - e0 * 1e-12);
+        let more_alpha = ActivityVars::new(fga, fga * bga_frac, alpha * 1.1).unwrap();
+        prop_assert!(model.energy_per_cycle(&tech, &block, more_alpha).0 >= e0 - e0 * 1e-12);
+    }
+
+    /// The fixed-throughput optimum never loses to any point on its own
+    /// feasible sweep grid.
+    #[test]
+    fn optimum_is_global_on_grid(t_op_us in 0.1f64..100.0) {
+        let ring = RingOscillator::paper_default();
+        let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        let opt = FixedThroughputOptimizer::new(ring, target, 1.0).unwrap();
+        let t_op = Seconds(t_op_us * 1e-6);
+        let best = opt.optimum(t_op).unwrap();
+        for i in 0..40 {
+            let vt = Volts(0.02 * f64::from(i));
+            if let Ok(p) = opt.evaluate(vt, t_op) {
+                prop_assert!(
+                    p.total().0 >= best.total().0 * (1.0 - 1e-9),
+                    "grid point vt={} beats optimum", vt
+                );
+            }
+        }
+    }
+
+    /// Iso-delay supplies always reproduce the delay target.
+    #[test]
+    fn iso_delay_supplies_hit_target(vt in 0.0f64..0.6) {
+        let ring = RingOscillator::paper_default();
+        let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        let opt = FixedThroughputOptimizer::new(ring.clone(), target, 1.0).unwrap();
+        let vdd = opt.iso_delay_supply(Volts(vt)).unwrap();
+        let achieved = ring.stage_delay(vdd, Volts(vt));
+        prop_assert!((achieved.0 - target.0).abs() / target.0 < 1e-3);
+    }
+
+    /// The shutdown oracle lower-bounds every other policy on arbitrary
+    /// bursty traces.
+    #[test]
+    fn oracle_is_a_lower_bound(
+        pairs in 5usize..60,
+        mean_busy_ms in 1.0f64..50.0,
+        mean_idle_ms in 1.0f64..500.0,
+        timeout_ms in 0.1f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = SessionTrace::bursty(
+            pairs,
+            Seconds(mean_busy_ms * 1e-3),
+            Seconds(mean_idle_ms * 1e-3),
+            seed,
+        );
+        let states = PowerStates {
+            active: Watts(0.1),
+            idle: Watts(0.01),
+            sleep: Watts(1e-5),
+            wake_energy: Joules(1e-4),
+        };
+        let oracle = evaluate(&trace, &states, Policy::Oracle).energy.0;
+        for policy in [
+            Policy::AlwaysOn,
+            Policy::Timeout(Seconds(timeout_ms * 1e-3)),
+            Policy::Predictive,
+        ] {
+            let e = evaluate(&trace, &states, policy).energy.0;
+            prop_assert!(e >= oracle - 1e-12, "{} beat the oracle", policy.name());
+        }
+    }
+
+    /// Technology savings: the SOIAS-vs-SOI ratio improves (falls) as fga
+    /// falls at fixed bga, for a leakage-dominated operating point.
+    #[test]
+    fn ratio_improves_with_idleness(fga_hi in 0.2f64..1.0, shrink in 0.1f64..0.9) {
+        let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).unwrap();
+        let block = BlockParams::adder_8bit();
+        let fga_lo = fga_hi * shrink;
+        let bga = (fga_lo * 0.1).min(0.01);
+        let a_hi = ActivityVars::new(fga_hi, bga, 0.5).unwrap();
+        let a_lo = ActivityVars::new(fga_lo, bga, 0.5).unwrap();
+        let r_hi = model.log_energy_ratio(&soias(), &soi(), &block, a_hi);
+        let r_lo = model.log_energy_ratio(&soias(), &soi(), &block, a_lo);
+        prop_assert!(r_lo <= r_hi + 1e-9, "idler block must favour SOIAS at least as much");
+    }
+}

@@ -1,0 +1,174 @@
+//! Bulk-CMOS body (substrate-bias) effect.
+//!
+//! The paper (§4) describes dynamically raising `V_T` during idle periods
+//! by reverse-biasing the substrate, and notes the key drawback: "the
+//! threshold voltage changes in a square root fashion with respect to
+//! source to bulk voltage and therefore a large voltage may be required to
+//! change V_T by a few hundred mV". This module implements exactly that
+//! square-root law so the trade-off can be quantified.
+
+use crate::error::DeviceError;
+use crate::units::Volts;
+
+/// Body-effect model `V_T(V_sb) = V_T0 + γ(√(2φ_F + V_sb) − √(2φ_F))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyEffect {
+    /// Zero-bias threshold voltage.
+    vt0: Volts,
+    /// Body-effect coefficient γ, in V^½.
+    gamma: f64,
+    /// Surface potential `2φ_F`, in volts.
+    surface_potential: Volts,
+}
+
+/// Typical body-effect coefficient for a 0.5 µm bulk process, V^½.
+pub const DEFAULT_GAMMA: f64 = 0.4;
+
+/// Typical surface potential `2φ_F` ≈ 0.7 V.
+pub const DEFAULT_SURFACE_POTENTIAL: Volts = Volts(0.7);
+
+impl BodyEffect {
+    /// Model with default γ and surface potential.
+    #[must_use]
+    pub fn with_vt0(vt0: Volts) -> BodyEffect {
+        BodyEffect {
+            vt0,
+            gamma: DEFAULT_GAMMA,
+            surface_potential: DEFAULT_SURFACE_POTENTIAL,
+        }
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `gamma` is negative or
+    /// the surface potential is non-positive.
+    pub fn new(vt0: Volts, gamma: f64, surface_potential: Volts) -> Result<BodyEffect, DeviceError> {
+        if gamma < 0.0 || !gamma.is_finite() {
+            return Err(DeviceError::InvalidParameter {
+                name: "gamma",
+                value: gamma,
+                constraint: "must be non-negative",
+            });
+        }
+        if surface_potential.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "surface_potential",
+                value: surface_potential.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(BodyEffect {
+            vt0,
+            gamma,
+            surface_potential,
+        })
+    }
+
+    /// Zero-bias threshold voltage.
+    #[must_use]
+    pub fn vt0(&self) -> Volts {
+        self.vt0
+    }
+
+    /// Threshold voltage under a source-to-bulk reverse bias `V_sb ≥ 0`.
+    ///
+    /// Forward bias (negative `V_sb`) is supported down to the point where
+    /// `2φ_F + V_sb` reaches zero, beyond which it clamps.
+    #[must_use]
+    pub fn vt(&self, vsb: Volts) -> Volts {
+        let base = (self.surface_potential.0 + vsb.0).max(0.0).sqrt();
+        let zero = self.surface_potential.0.sqrt();
+        Volts(self.vt0.0 + self.gamma * (base - zero))
+    }
+
+    /// Substrate bias required to *raise* the threshold by `delta_vt ≥ 0`.
+    ///
+    /// Inverting the square-root law:
+    /// `V_sb = (ΔV_T/γ + √(2φ_F))² − 2φ_F`.
+    ///
+    /// This is the quantity the paper warns about — a few hundred mV of
+    /// `ΔV_T` costs several volts of bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `delta_vt` is negative
+    /// or `gamma` is zero (no body effect to exploit).
+    pub fn bias_for_vt_shift(&self, delta_vt: Volts) -> Result<Volts, DeviceError> {
+        if delta_vt.0 < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "delta_vt",
+                value: delta_vt.0,
+                constraint: "must be non-negative",
+            });
+        }
+        if self.gamma == 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "gamma",
+                value: 0.0,
+                constraint: "must be positive to shift vt via substrate bias",
+            });
+        }
+        let root = delta_vt.0 / self.gamma + self.surface_potential.0.sqrt();
+        Ok(Volts(root * root - self.surface_potential.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bias_gives_vt0() {
+        let b = BodyEffect::with_vt0(Volts(0.3));
+        assert!((b.vt(Volts::ZERO).0 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_bias_raises_vt_sublinearly() {
+        let b = BodyEffect::with_vt0(Volts(0.3));
+        let d1 = b.vt(Volts(1.0)).0 - b.vt0().0;
+        let d2 = b.vt(Volts(2.0)).0 - b.vt0().0;
+        assert!(d1 > 0.0);
+        assert!(d2 > d1);
+        // Square-root law: doubling the bias gives less than double the shift.
+        assert!(d2 < 2.0 * d1);
+    }
+
+    #[test]
+    fn forward_bias_lowers_vt() {
+        let b = BodyEffect::with_vt0(Volts(0.3));
+        assert!(b.vt(Volts(-0.3)).0 < 0.3);
+    }
+
+    #[test]
+    fn bias_solve_roundtrips() {
+        let b = BodyEffect::with_vt0(Volts(0.25));
+        let bias = b.bias_for_vt_shift(Volts(0.2)).expect("solvable");
+        let achieved = b.vt(bias).0 - b.vt0().0;
+        assert!((achieved - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hundreds_of_mv_shift_needs_volts_of_bias() {
+        // The paper's §4 warning, quantified: a 300 mV threshold shift on a
+        // typical process needs multiple volts of substrate bias.
+        let b = BodyEffect::with_vt0(Volts(0.25));
+        let bias = b.bias_for_vt_shift(Volts(0.3)).expect("solvable");
+        assert!(bias.0 > 1.5, "bias = {bias}");
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BodyEffect::new(Volts(0.3), -0.1, Volts(0.7)).is_err());
+        assert!(BodyEffect::new(Volts(0.3), 0.4, Volts(0.0)).is_err());
+        assert!(BodyEffect::new(Volts(0.3), 0.4, Volts(0.7)).is_ok());
+    }
+
+    #[test]
+    fn negative_shift_rejected() {
+        let b = BodyEffect::with_vt0(Volts(0.3));
+        assert!(b.bias_for_vt_shift(Volts(-0.1)).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Voltage-dependent load-capacitance models.
+//!
+//! The paper's Fig. 1 shows that the *switched* capacitance of real
+//! registers rises with `V_DD`, "attributed to the increase in gate
+//! capacitance with voltage", and concludes that "it is necessary to take
+//! capacitive non-linearities into account for accurate estimation of
+//! power consumption".
+//!
+//! The mechanism: a MOS gate in depletion (below threshold) presents only
+//! the series combination of `C_ox` and the depletion capacitance; once
+//! inverted it presents the full `C_ox`. A digital node swinging `0→V_DD`
+//! therefore spends a larger fraction of its swing at full `C_ox` as
+//! `V_DD` grows, so the *swing-averaged* (effective switched) capacitance
+//! increases with supply. Junction capacitance works the other way
+//! (reverse bias widens the depletion region), but the gate term dominates.
+
+use crate::error::DeviceError;
+use crate::units::{Farads, Volts};
+
+/// Oxide capacitance per unit area for a 9 nm gate oxide, fF/µm².
+pub const COX_PER_AREA_FF_UM2: f64 = 3.84;
+
+/// A voltage-dependent MOS gate capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateCapacitance {
+    /// Full inversion/accumulation capacitance `C_ox · area`.
+    c_ox: Farads,
+    /// Threshold voltage at which the channel inverts.
+    vt: Volts,
+    /// Depletion-region capacitance as a fraction of `C_ox` (0 < f < 1).
+    depletion_fraction: f64,
+    /// Width of the depletion→inversion transition, volts.
+    transition_width: Volts,
+}
+
+impl GateCapacitance {
+    /// Gate capacitance of `area_um2` µm² of 9 nm-oxide gate with a given
+    /// threshold, using typical depletion parameters.
+    #[must_use]
+    pub fn from_area(area_um2: f64, vt: Volts) -> GateCapacitance {
+        GateCapacitance {
+            c_ox: Farads::from_femtofarads(COX_PER_AREA_FF_UM2 * area_um2),
+            vt,
+            depletion_fraction: 0.45,
+            transition_width: Volts(0.12),
+        }
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `c_ox` or
+    /// `transition_width` is non-positive, or `depletion_fraction` is
+    /// outside `(0, 1)`.
+    pub fn new(
+        c_ox: Farads,
+        vt: Volts,
+        depletion_fraction: f64,
+        transition_width: Volts,
+    ) -> Result<GateCapacitance, DeviceError> {
+        if c_ox.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "c_ox",
+                value: c_ox.0,
+                constraint: "must be positive",
+            });
+        }
+        if !(0.0 < depletion_fraction && depletion_fraction < 1.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "depletion_fraction",
+                value: depletion_fraction,
+                constraint: "must lie in (0, 1)",
+            });
+        }
+        if transition_width.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "transition_width",
+                value: transition_width.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(GateCapacitance {
+            c_ox,
+            vt,
+            depletion_fraction,
+            transition_width,
+        })
+    }
+
+    /// Full-inversion capacitance.
+    #[must_use]
+    pub fn c_ox(&self) -> Farads {
+        self.c_ox
+    }
+
+    /// Small-signal gate capacitance at a gate bias `v`:
+    /// a logistic blend from the depleted value to full `C_ox` centred at
+    /// the threshold voltage.
+    #[must_use]
+    pub fn at_bias(&self, v: Volts) -> Farads {
+        let x = (v.0 - self.vt.0) / self.transition_width.0;
+        let sigmoid = 1.0 / (1.0 + (-x).exp());
+        Farads(self.c_ox.0 * (self.depletion_fraction + (1.0 - self.depletion_fraction) * sigmoid))
+    }
+
+    /// Effective *switched* capacitance for a full `0 → V_DD` swing: the
+    /// swing average `(1/V_DD)·∫₀^{V_DD} C(v) dv`, evaluated analytically.
+    ///
+    /// Monotonically non-decreasing in `V_DD` — the Fig. 1 effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    #[must_use]
+    pub fn effective_switched(&self, vdd: Volts) -> Farads {
+        assert!(vdd.0 > 0.0, "swing must be positive");
+        let w = self.transition_width.0;
+        // ∫ sigmoid((v−vt)/w) dv = w·softplus((v−vt)/w)
+        let softplus = |x: f64| if x > 34.0 { x } else { x.exp().ln_1p() };
+        let integral_sigmoid =
+            w * (softplus((vdd.0 - self.vt.0) / w) - softplus((0.0 - self.vt.0) / w));
+        let avg = self.depletion_fraction
+            + (1.0 - self.depletion_fraction) * integral_sigmoid / vdd.0;
+        Farads(self.c_ox.0 * avg)
+    }
+}
+
+/// A reverse-biased junction (drain/source diffusion) capacitance
+/// `C_j(V) = C_j0 / (1 + V/φ_b)^m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JunctionCapacitance {
+    /// Zero-bias capacitance.
+    c_j0: Farads,
+    /// Built-in potential `φ_b`.
+    builtin: Volts,
+    /// Grading coefficient `m` (0.3 for graded, 0.5 for abrupt junctions).
+    grading: f64,
+}
+
+impl JunctionCapacitance {
+    /// Junction with typical built-in potential (0.9 V) and grading (0.5).
+    #[must_use]
+    pub fn with_c_j0(c_j0: Farads) -> JunctionCapacitance {
+        JunctionCapacitance {
+            c_j0,
+            builtin: Volts(0.9),
+            grading: 0.5,
+        }
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `c_j0` or `builtin` is
+    /// non-positive or `grading` is outside `(0, 1)`.
+    pub fn new(c_j0: Farads, builtin: Volts, grading: f64) -> Result<JunctionCapacitance, DeviceError> {
+        if c_j0.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "c_j0",
+                value: c_j0.0,
+                constraint: "must be positive",
+            });
+        }
+        if builtin.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "builtin",
+                value: builtin.0,
+                constraint: "must be positive",
+            });
+        }
+        if !(0.0 < grading && grading < 1.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "grading",
+                value: grading,
+                constraint: "must lie in (0, 1)",
+            });
+        }
+        Ok(JunctionCapacitance {
+            c_j0,
+            builtin,
+            grading,
+        })
+    }
+
+    /// Small-signal junction capacitance at reverse bias `v ≥ 0`.
+    #[must_use]
+    pub fn at_bias(&self, v: Volts) -> Farads {
+        Farads(self.c_j0.0 / (1.0 + v.0.max(0.0) / self.builtin.0).powf(self.grading))
+    }
+
+    /// Swing-averaged junction capacitance for a `0 → V_DD` node swing
+    /// (analytic integral of the grading law). Decreases with `V_DD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    #[must_use]
+    pub fn effective_switched(&self, vdd: Volts) -> Farads {
+        assert!(vdd.0 > 0.0, "swing must be positive");
+        let m = self.grading;
+        let phi = self.builtin.0;
+        // ∫₀^V C_j0 (1+v/φ)^(−m) dv = C_j0·φ/(1−m)·[(1+V/φ)^(1−m) − 1]
+        let integral = self.c_j0.0 * phi / (1.0 - m) * ((1.0 + vdd.0 / phi).powf(1.0 - m) - 1.0);
+        Farads(integral / vdd.0)
+    }
+}
+
+/// The total capacitance hanging on a circuit node: MOS gates driven by
+/// the node, junctions of devices whose drains connect to it, and fixed
+/// interconnect capacitance.
+///
+/// This is the paper's non-linear `C_L` decomposition "consisting of gate,
+/// junction, and interconnect components".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeCapacitance {
+    /// Gate loads driven by this node.
+    pub gates: Vec<GateCapacitance>,
+    /// Junction loads on this node.
+    pub junctions: Vec<JunctionCapacitance>,
+    /// Bias-independent wiring capacitance.
+    pub wire: Farads,
+}
+
+impl NodeCapacitance {
+    /// An empty node-capacitance bundle.
+    #[must_use]
+    pub fn new() -> NodeCapacitance {
+        NodeCapacitance::default()
+    }
+
+    /// Adds a gate load (builder style).
+    #[must_use]
+    pub fn with_gate(mut self, g: GateCapacitance) -> NodeCapacitance {
+        self.gates.push(g);
+        self
+    }
+
+    /// Adds a junction load (builder style).
+    #[must_use]
+    pub fn with_junction(mut self, j: JunctionCapacitance) -> NodeCapacitance {
+        self.junctions.push(j);
+        self
+    }
+
+    /// Sets the wire capacitance (builder style).
+    #[must_use]
+    pub fn with_wire(mut self, wire: Farads) -> NodeCapacitance {
+        self.wire = wire;
+        self
+    }
+
+    /// Effective switched capacitance of the node for a full-rail swing at
+    /// the given supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    #[must_use]
+    pub fn effective_switched(&self, vdd: Volts) -> Farads {
+        let gate: f64 = self
+            .gates
+            .iter()
+            .map(|g| g.effective_switched(vdd).0)
+            .sum();
+        let junction: f64 = self
+            .junctions
+            .iter()
+            .map(|j| j.effective_switched(vdd).0)
+            .sum();
+        Farads(gate + junction + self.wire.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_cap_rises_through_threshold() {
+        let g = GateCapacitance::from_area(10.0, Volts(0.5));
+        let below = g.at_bias(Volts(0.0)).0;
+        let above = g.at_bias(Volts(1.5)).0;
+        assert!(above > 1.5 * below);
+        assert!((above - g.c_ox().0).abs() / g.c_ox().0 < 0.01);
+    }
+
+    #[test]
+    fn effective_gate_cap_increases_with_vdd() {
+        // The Fig. 1 effect.
+        let g = GateCapacitance::from_area(10.0, Volts(0.6));
+        let mut prev = 0.0;
+        for vdd in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let c = g.effective_switched(Volts(vdd)).0;
+            assert!(c > prev, "effective cap must rise with vdd");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn effective_gate_cap_bounded_by_cox() {
+        let g = GateCapacitance::from_area(10.0, Volts(0.6));
+        for vdd in [0.5, 1.0, 2.0, 3.0] {
+            let c = g.effective_switched(Volts(vdd)).0;
+            assert!(c > g.c_ox().0 * 0.44);
+            assert!(c < g.c_ox().0 * 1.000_001);
+        }
+    }
+
+    #[test]
+    fn effective_matches_numerical_integral() {
+        let g = GateCapacitance::from_area(5.0, Volts(0.45));
+        let vdd = 2.3;
+        let steps = 20_000;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let v = (i as f64 + 0.5) / steps as f64 * vdd;
+            acc += g.at_bias(Volts(v)).0;
+        }
+        let numeric = acc / steps as f64;
+        let analytic = g.effective_switched(Volts(vdd)).0;
+        assert!((numeric - analytic).abs() / analytic < 1e-4);
+    }
+
+    #[test]
+    fn junction_cap_falls_with_bias_and_vdd() {
+        let j = JunctionCapacitance::with_c_j0(Farads::from_femtofarads(5.0));
+        assert!(j.at_bias(Volts(2.0)).0 < j.at_bias(Volts(0.0)).0);
+        assert!(j.effective_switched(Volts(3.0)).0 < j.effective_switched(Volts(1.0)).0);
+    }
+
+    #[test]
+    fn junction_effective_matches_numerical_integral() {
+        let j = JunctionCapacitance::with_c_j0(Farads::from_femtofarads(5.0));
+        let vdd = 2.0;
+        let steps = 20_000;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let v = (i as f64 + 0.5) / steps as f64 * vdd;
+            acc += j.at_bias(Volts(v)).0;
+        }
+        let numeric = acc / steps as f64;
+        let analytic = j.effective_switched(Volts(vdd)).0;
+        assert!((numeric - analytic).abs() / analytic < 1e-4);
+    }
+
+    #[test]
+    fn node_cap_sums_components() {
+        let node = NodeCapacitance::new()
+            .with_gate(GateCapacitance::from_area(10.0, Volts(0.5)))
+            .with_junction(JunctionCapacitance::with_c_j0(Farads::from_femtofarads(4.0)))
+            .with_wire(Farads::from_femtofarads(2.0));
+        let c = node.effective_switched(Volts(1.5));
+        assert!(c.to_femtofarads() > 2.0);
+        // Must exceed the wire alone and be below the zero-bias sum + wire.
+        let upper = 10.0 * COX_PER_AREA_FF_UM2 + 4.0 + 2.0;
+        assert!(c.to_femtofarads() < upper);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(GateCapacitance::new(Farads(0.0), Volts(0.5), 0.4, Volts(0.1)).is_err());
+        assert!(GateCapacitance::new(Farads(1e-15), Volts(0.5), 1.5, Volts(0.1)).is_err());
+        assert!(GateCapacitance::new(Farads(1e-15), Volts(0.5), 0.4, Volts(0.0)).is_err());
+        assert!(JunctionCapacitance::new(Farads(0.0), Volts(0.9), 0.5).is_err());
+        assert!(JunctionCapacitance::new(Farads(1e-15), Volts(0.0), 0.5).is_err());
+        assert!(JunctionCapacitance::new(Farads(1e-15), Volts(0.9), 1.2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "swing must be positive")]
+    fn zero_swing_panics() {
+        let g = GateCapacitance::from_area(10.0, Volts(0.5));
+        let _ = g.effective_switched(Volts(0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Process corners and environmental conditions.
+//!
+//! Low-voltage design margins are corner-dominated: at `V_DD` near `V_T`,
+//! a ±50 mV threshold shift moves delay by tens of percent and leakage by
+//! an order of magnitude. The corner model perturbs a nominal device by
+//! the classic slow/typical/fast parameter shifts and an operating
+//! temperature, so every higher-level analysis can be re-run across
+//! corners.
+
+use crate::mosfet::Mosfet;
+use crate::units::{Kelvin, Volts};
+
+/// A classic three-corner process model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Slow process: high `V_T`, low transconductance.
+    Slow,
+    /// Typical process.
+    Typical,
+    /// Fast process: low `V_T`, high transconductance.
+    Fast,
+}
+
+impl Corner {
+    /// All corners, slow to fast.
+    pub const ALL: [Corner; 3] = [Corner::Slow, Corner::Typical, Corner::Fast];
+
+    /// Threshold-voltage shift applied to the nominal device.
+    #[must_use]
+    pub fn vt_shift(self) -> Volts {
+        match self {
+            Corner::Slow => Volts(0.05),
+            Corner::Typical => Volts(0.0),
+            Corner::Fast => Volts(-0.05),
+        }
+    }
+
+    /// Transconductance multiplier applied to the nominal device.
+    #[must_use]
+    pub fn k_prime_factor(self) -> f64 {
+        match self {
+            Corner::Slow => 0.85,
+            Corner::Typical => 1.0,
+            Corner::Fast => 1.15,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Corner::Slow => "slow",
+            Corner::Typical => "typical",
+            Corner::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An operating condition: process corner plus junction temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Process corner.
+    pub corner: Corner,
+    /// Junction temperature.
+    pub temperature: Kelvin,
+}
+
+impl Condition {
+    /// Nominal: typical process at room temperature.
+    #[must_use]
+    pub fn nominal() -> Condition {
+        Condition {
+            corner: Corner::Typical,
+            temperature: Kelvin::ROOM,
+        }
+    }
+
+    /// The worst *leakage* condition: fast process, hot junction.
+    #[must_use]
+    pub fn worst_leakage() -> Condition {
+        Condition {
+            corner: Corner::Fast,
+            temperature: Kelvin(358.0), // 85 °C
+        }
+    }
+
+    /// The worst *speed* condition: slow process, hot junction (mobility-
+    /// limited regime typical of the era's supply levels).
+    #[must_use]
+    pub fn worst_speed() -> Condition {
+        Condition {
+            corner: Corner::Slow,
+            temperature: Kelvin(358.0),
+        }
+    }
+
+    /// Applies this condition to a nominal device.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the nominal device's parameters were already at the
+    /// validation boundary such that the corner shift leaves the valid
+    /// range — not possible for devices built by this crate's
+    /// constructors.
+    #[must_use]
+    pub fn apply(&self, nominal: &Mosfet) -> Mosfet {
+        let vt = Volts(nominal.vt0().0 + self.corner.vt_shift().0);
+        Mosfet::new(
+            nominal.polarity(),
+            vt,
+            nominal.ideality(),
+            nominal.width(),
+            nominal.length(),
+            nominal.k_prime() * self.corner.k_prime_factor(),
+        )
+        .expect("corner shifts stay within the valid parameter range")
+        .at_temperature(self.temperature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> Mosfet {
+        Mosfet::nmos_with_vt(Volts(0.25))
+    }
+
+    #[test]
+    fn corner_ordering_on_current() {
+        let vdd = Volts(1.0);
+        let on = |c: Corner| {
+            Condition {
+                corner: c,
+                temperature: Kelvin::ROOM,
+            }
+            .apply(&nominal())
+            .on_current(vdd)
+            .0
+        };
+        assert!(on(Corner::Slow) < on(Corner::Typical));
+        assert!(on(Corner::Typical) < on(Corner::Fast));
+    }
+
+    #[test]
+    fn corner_ordering_leakage() {
+        let off = |c: Corner| {
+            Condition {
+                corner: c,
+                temperature: Kelvin::ROOM,
+            }
+            .apply(&nominal())
+            .off_current(Volts(1.0))
+            .0
+        };
+        // A 100 mV slow→fast V_T swing is >1 decade of leakage.
+        assert!(off(Corner::Fast) > 10.0 * off(Corner::Slow));
+    }
+
+    #[test]
+    fn worst_leakage_condition_dominates() {
+        let nominal_leak = Condition::nominal().apply(&nominal()).off_current(Volts(1.0)).0;
+        let worst_leak = Condition::worst_leakage()
+            .apply(&nominal())
+            .off_current(Volts(1.0))
+            .0;
+        assert!(
+            worst_leak > 10.0 * nominal_leak,
+            "fast+hot: {worst_leak} vs nominal {nominal_leak}"
+        );
+    }
+
+    #[test]
+    fn worst_speed_condition_is_slowest() {
+        // Compare drive at a low supply where V_T dominates.
+        let vdd = Volts(0.8);
+        let nominal_on = Condition::nominal().apply(&nominal()).on_current(vdd).0;
+        let worst_on = Condition::worst_speed().apply(&nominal()).on_current(vdd).0;
+        assert!(worst_on < nominal_on);
+    }
+
+    #[test]
+    fn names_and_shift_signs() {
+        assert_eq!(Corner::Slow.to_string(), "slow");
+        assert!(Corner::Slow.vt_shift().0 > 0.0);
+        assert!(Corner::Fast.vt_shift().0 < 0.0);
+        assert_eq!(Corner::Typical.k_prime_factor(), 1.0);
+        assert_eq!(Condition::nominal().corner, Corner::Typical);
+    }
+}

@@ -1,0 +1,203 @@
+//! Alpha-power-law gate-delay model.
+//!
+//! A CMOS stage driving load `C_L` switches in
+//! `t_d = k_d · C_L · V_DD / I_Dsat(V_DD)`, which with the alpha-power law
+//! becomes the familiar
+//!
+//! ```text
+//!     t_d = k · C_L · V_DD / (V_DD − V_T)^α
+//! ```
+//!
+//! This expression is the engine behind the paper's Figs. 3–4: holding
+//! `t_d` constant defines the iso-performance contour `V_DD(V_T)`, along
+//! which switching energy falls but leakage rises as `V_T` is reduced.
+
+use crate::error::DeviceError;
+use crate::on_current::AlphaPowerLaw;
+use crate::units::{Farads, Seconds, Volts};
+
+/// Gate-delay model for a stage with a given drive and load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelay {
+    drive: AlphaPowerLaw,
+    load: Farads,
+    /// Dimensionless delay fitting coefficient (≈0.5 for the 50 % swing
+    /// point of a step-driven stage).
+    k_delay: f64,
+}
+
+impl StageDelay {
+    /// Creates a stage-delay model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `load` or `k_delay` is
+    /// non-positive.
+    pub fn new(drive: AlphaPowerLaw, load: Farads, k_delay: f64) -> Result<StageDelay, DeviceError> {
+        if load.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "load",
+                value: load.0,
+                constraint: "must be positive",
+            });
+        }
+        if k_delay <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "k_delay",
+                value: k_delay,
+                constraint: "must be positive",
+            });
+        }
+        Ok(StageDelay {
+            drive,
+            load,
+            k_delay,
+        })
+    }
+
+    /// The drive model.
+    #[must_use]
+    pub fn drive(&self) -> &AlphaPowerLaw {
+        &self.drive
+    }
+
+    /// The load capacitance.
+    #[must_use]
+    pub fn load(&self) -> Farads {
+        self.load
+    }
+
+    /// Propagation delay at the given supply and threshold.
+    ///
+    /// Returns `Seconds(f64::INFINITY)` when `V_DD ≤ V_T` (the gate cannot
+    /// switch; the device never turns on above threshold).
+    #[must_use]
+    pub fn delay(&self, vdd: Volts, vt: Volts) -> Seconds {
+        let isat = self.drive.saturation_current(vdd, vt);
+        if isat.0 <= 0.0 {
+            return Seconds(f64::INFINITY);
+        }
+        Seconds(self.k_delay * self.load.0 * vdd.0 / isat.0)
+    }
+
+    /// Solves for the supply voltage that achieves a target delay at a
+    /// given threshold — one point of the paper's Fig. 3 iso-delay curve.
+    ///
+    /// Uses bisection over `V_DD ∈ (V_T, v_max]`; the delay is strictly
+    /// decreasing in `V_DD` over that interval for `α > 1`, so the root is
+    /// unique when it exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::SolveFailed`] if even `v_max` cannot meet the
+    /// target delay.
+    pub fn supply_for_delay(
+        &self,
+        target: Seconds,
+        vt: Volts,
+        v_max: Volts,
+    ) -> Result<Volts, DeviceError> {
+        let fail = DeviceError::SolveFailed {
+            what: "iso-delay vdd",
+        };
+        if target.0 <= 0.0 || self.delay(v_max, vt).0 > target.0 {
+            return Err(fail);
+        }
+        let mut lo = vt.0.max(0.0) + 1e-9;
+        let mut hi = v_max.0;
+        // delay(lo) is huge, delay(hi) <= target: bisect on delay - target.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.delay(Volts(mid), vt).0 > target.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let v = Volts(0.5 * (lo + hi));
+        if self.delay(v, vt).is_finite() {
+            Ok(v)
+        } else {
+            Err(fail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::on_current::AlphaPowerLaw;
+    use crate::units::Micrometers;
+
+    fn stage() -> StageDelay {
+        StageDelay::new(
+            AlphaPowerLaw::with_width(Micrometers(2.0)),
+            Farads::from_femtofarads(20.0),
+            0.5,
+        )
+        .expect("valid stage")
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let d = AlphaPowerLaw::with_width(Micrometers(2.0));
+        assert!(StageDelay::new(d.clone(), Farads(0.0), 0.5).is_err());
+        assert!(StageDelay::new(d, Farads(1e-15), -1.0).is_err());
+    }
+
+    #[test]
+    fn delay_decreases_with_supply() {
+        let s = stage();
+        let d1 = s.delay(Volts(1.0), Volts(0.4));
+        let d2 = s.delay(Volts(2.0), Volts(0.4));
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn delay_increases_with_threshold() {
+        let s = stage();
+        let d1 = s.delay(Volts(1.0), Volts(0.2));
+        let d2 = s.delay(Volts(1.0), Volts(0.6));
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn below_threshold_delay_is_infinite() {
+        let s = stage();
+        assert!(s.delay(Volts(0.3), Volts(0.4)).0.is_infinite());
+    }
+
+    #[test]
+    fn iso_delay_solve_roundtrips() {
+        let s = stage();
+        let vt = Volts(0.35);
+        let vdd = Volts(1.3);
+        let t = s.delay(vdd, vt);
+        let solved = s.supply_for_delay(t, vt, Volts(3.3)).expect("solvable");
+        assert!((solved.0 - vdd.0).abs() < 1e-6, "solved = {solved}");
+    }
+
+    #[test]
+    fn iso_delay_supply_falls_as_vt_falls() {
+        // The essence of the paper's Fig. 3.
+        let s = stage();
+        let target = s.delay(Volts(2.0), Volts(0.6));
+        let mut prev = f64::INFINITY;
+        for vt_mv in [600.0, 450.0, 300.0, 150.0, 50.0] {
+            let v = s
+                .supply_for_delay(target, Volts(vt_mv * 1e-3), Volts(3.3))
+                .expect("solvable");
+            assert!(v.0 < prev, "vdd should fall monotonically with vt");
+            prev = v.0;
+        }
+    }
+
+    #[test]
+    fn unreachable_delay_errors() {
+        let s = stage();
+        assert!(s
+            .supply_for_delay(Seconds(1e-18), Volts(0.4), Volts(3.3))
+            .is_err());
+        assert!(s.supply_for_delay(Seconds(0.0), Volts(0.4), Volts(3.3)).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for device-model construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a device model is constructed with, or evaluated at,
+/// a non-physical operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A model parameter is outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be positive"`.
+        constraint: &'static str,
+    },
+    /// A bias-point solve failed to converge.
+    SolveFailed {
+        /// What was being solved for.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            DeviceError::SolveFailed { what } => {
+                write!(f, "bias solve failed to converge for {what}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DeviceError::InvalidParameter {
+            name: "vt0",
+            value: -3.0,
+            constraint: "must lie within the supply range",
+        };
+        let s = e.to_string();
+        assert!(s.contains("vt0"));
+        assert!(s.contains("-3"));
+        let e2 = DeviceError::SolveFailed { what: "iso-delay vdd" };
+        assert!(e2.to_string().contains("iso-delay vdd"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # lowvolt-device
+//!
+//! Device-physics substrate for low-voltage digital design: analytic MOSFET
+//! models sufficient to reproduce the device-level arguments of
+//! Chandrakasan et al., *"Design Considerations and Tools for Low-voltage
+//! Digital System Design"* (DAC 1996).
+//!
+//! The crate provides:
+//!
+//! - strongly-typed physical [`units`],
+//! - the exponential sub-threshold conduction law of the paper's Eq. 2
+//!   ([`subthreshold`]),
+//! - a unified EKV-style DC drain-current model smooth across weak and
+//!   strong inversion ([`mosfet::Mosfet::drain_current`]),
+//! - the Sakurai–Newton alpha-power-law drive-current and gate-delay models
+//!   used for voltage-scaling studies ([`on_current`], [`delay`]),
+//! - bulk body effect and SOIAS back-gate threshold coupling ([`body`],
+//!   [`soias`]),
+//! - voltage-dependent gate/junction capacitance ([`capacitance`]), and
+//! - technology descriptors tying these together ([`technology`]).
+//!
+//! # Example
+//!
+//! Reproduce the paper's Fig. 2 observation that lowering `V_T` from 0.4 V
+//! to 0.25 V raises the off-current by orders of magnitude:
+//!
+//! ```
+//! use lowvolt_device::units::Volts;
+//! use lowvolt_device::mosfet::Mosfet;
+//!
+//! let lo = Mosfet::nmos_with_vt(Volts(0.25));
+//! let hi = Mosfet::nmos_with_vt(Volts(0.40));
+//! let off_lo = lo.drain_current(Volts(0.0), Volts(1.0));
+//! let off_hi = hi.drain_current(Volts(0.0), Volts(1.0));
+//! assert!(off_lo.0 > 50.0 * off_hi.0);
+//! ```
+
+pub mod body;
+pub mod capacitance;
+pub mod corners;
+pub mod delay;
+pub mod error;
+pub mod mosfet;
+pub mod on_current;
+pub mod soias;
+pub mod stack;
+pub mod subthreshold;
+pub mod technology;
+pub mod thermal;
+pub mod units;
+
+pub use error::DeviceError;
+pub use mosfet::{Mosfet, Polarity};
+pub use technology::Technology;

@@ -1,0 +1,570 @@
+//! MOSFET device description and unified DC drain-current model.
+//!
+//! The drain current uses the EKV interpolation, which is smooth and
+//! physically correct across weak inversion (the exponential sub-threshold
+//! law of the paper's Eq. 2), moderate inversion, and strong inversion
+//! (square law), in both the linear and saturation drain regimes. This is
+//! the model behind the I–V figures (paper Figs. 2 and 6).
+//!
+//! The separate alpha-power-law model in [`crate::on_current`] is used for
+//! delay/energy estimation, where velocity saturation matters more than
+//! smoothness.
+
+use crate::error::DeviceError;
+use crate::subthreshold;
+use crate::thermal::thermal_voltage;
+use crate::units::{Amps, Kelvin, Micrometers, Volts};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// n-channel device.
+    Nmos,
+    /// p-channel device.
+    Pmos,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "nmos"),
+            Polarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// An analytic MOSFET.
+///
+/// All voltages supplied to the evaluation methods are *source-referenced
+/// magnitudes*: for a PMOS device pass `|V_gs|` and `|V_ds|`. The polarity
+/// tag selects default transconductance and lets circuit layers distinguish
+/// pull-up from pull-down networks.
+///
+/// ```
+/// use lowvolt_device::mosfet::Mosfet;
+/// use lowvolt_device::units::Volts;
+///
+/// let m = Mosfet::nmos_with_vt(Volts(0.4));
+/// // Sub-threshold current grows exponentially with V_gs:
+/// let i1 = m.drain_current(Volts(0.10), Volts(1.0));
+/// let i2 = m.drain_current(Volts(0.20), Volts(1.0));
+/// assert!(i2.0 / i1.0 > 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    polarity: Polarity,
+    vt0: Volts,
+    ideality: f64,
+    width: Micrometers,
+    length: Micrometers,
+    /// Process transconductance `µ·C_ox` in A/V².
+    k_prime: f64,
+    /// Channel-length-modulation coefficient, 1/V.
+    lambda: f64,
+    /// Drain-induced barrier lowering coefficient η, V/V: the effective
+    /// threshold drops by `η·V_ds`. Zero by default (long-channel).
+    dibl: f64,
+    temperature: Kelvin,
+}
+
+/// Default drawn channel length, matching the paper's Fig. 6 device
+/// (`L_eff = 0.44 µm`).
+pub const DEFAULT_LENGTH: Micrometers = Micrometers(0.44);
+
+/// Default device width.
+pub const DEFAULT_WIDTH: Micrometers = Micrometers(2.0);
+
+/// Default NMOS process transconductance `µ_n·C_ox`, A/V².
+pub const DEFAULT_KPRIME_NMOS: f64 = 100e-6;
+
+/// Default PMOS process transconductance `µ_p·C_ox`, A/V².
+pub const DEFAULT_KPRIME_PMOS: f64 = 40e-6;
+
+/// Default sub-threshold ideality factor (S ≈ 80 mV/dec at 300 K, inside
+/// the paper's quoted 60–90 mV/dec range).
+pub const DEFAULT_IDEALITY: f64 = 1.35;
+
+impl Mosfet {
+    /// Creates an NMOS device with the default geometry and the given
+    /// zero-bias threshold voltage.
+    #[must_use]
+    pub fn nmos_with_vt(vt0: Volts) -> Mosfet {
+        Mosfet {
+            polarity: Polarity::Nmos,
+            vt0,
+            ideality: DEFAULT_IDEALITY,
+            width: DEFAULT_WIDTH,
+            length: DEFAULT_LENGTH,
+            k_prime: DEFAULT_KPRIME_NMOS,
+            lambda: 0.0,
+            dibl: 0.0,
+            temperature: Kelvin::ROOM,
+        }
+    }
+
+    /// Creates a PMOS device with the default geometry and the given
+    /// zero-bias threshold-voltage *magnitude*.
+    #[must_use]
+    pub fn pmos_with_vt(vt0: Volts) -> Mosfet {
+        Mosfet {
+            polarity: Polarity::Pmos,
+            k_prime: DEFAULT_KPRIME_PMOS,
+            ..Mosfet::nmos_with_vt(vt0)
+        }
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if any of the geometry or
+    /// process parameters is non-positive, if `ideality < 1`, or if `vt0`
+    /// lies outside the plausible `[-1 V, +2 V]` range.
+    pub fn new(
+        polarity: Polarity,
+        vt0: Volts,
+        ideality: f64,
+        width: Micrometers,
+        length: Micrometers,
+        k_prime: f64,
+    ) -> Result<Mosfet, DeviceError> {
+        if !(-1.0..=2.0).contains(&vt0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "vt0",
+                value: vt0.0,
+                constraint: "must lie in [-1 V, 2 V]",
+            });
+        }
+        if ideality < 1.0 || !ideality.is_finite() {
+            return Err(DeviceError::InvalidParameter {
+                name: "ideality",
+                value: ideality,
+                constraint: "must be >= 1",
+            });
+        }
+        if width.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "width",
+                value: width.0,
+                constraint: "must be positive",
+            });
+        }
+        if length.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "length",
+                value: length.0,
+                constraint: "must be positive",
+            });
+        }
+        if k_prime <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "k_prime",
+                value: k_prime,
+                constraint: "must be positive",
+            });
+        }
+        Ok(Mosfet {
+            polarity,
+            vt0,
+            ideality,
+            width,
+            length,
+            k_prime,
+            lambda: 0.0,
+            dibl: 0.0,
+            temperature: Kelvin::ROOM,
+        })
+    }
+
+    /// Returns a copy with the given threshold voltage.
+    #[must_use]
+    pub fn with_vt(mut self, vt0: Volts) -> Mosfet {
+        self.vt0 = vt0;
+        self
+    }
+
+    /// Returns a copy with the given sub-threshold ideality factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideality < 1`.
+    #[must_use]
+    pub fn with_ideality(mut self, ideality: f64) -> Mosfet {
+        assert!(ideality >= 1.0, "ideality factor must be >= 1");
+        self.ideality = ideality;
+        self
+    }
+
+    /// Returns a copy with the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive.
+    #[must_use]
+    pub fn with_width(mut self, width: Micrometers) -> Mosfet {
+        assert!(width.0 > 0.0, "width must be positive");
+        self.width = width;
+        self
+    }
+
+    /// Returns a copy with the given channel-length-modulation coefficient.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Mosfet {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Returns a copy with the given DIBL coefficient `η` (the effective
+    /// threshold falls by `η·V_ds`, raising leakage at high drain bias —
+    /// the short-channel effect that makes supply scaling itself a
+    /// leakage lever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dibl` is negative.
+    #[must_use]
+    pub fn with_dibl(mut self, dibl: f64) -> Mosfet {
+        assert!(dibl >= 0.0, "dibl coefficient must be non-negative");
+        self.dibl = dibl;
+        self
+    }
+
+    /// Returns a copy evaluated at the given temperature.
+    #[must_use]
+    pub fn at_temperature(mut self, temperature: Kelvin) -> Mosfet {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Channel polarity.
+    #[must_use]
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Zero-bias threshold voltage.
+    #[must_use]
+    pub fn vt0(&self) -> Volts {
+        self.vt0
+    }
+
+    /// Sub-threshold ideality factor `n`.
+    #[must_use]
+    pub fn ideality(&self) -> f64 {
+        self.ideality
+    }
+
+    /// Device width.
+    #[must_use]
+    pub fn width(&self) -> Micrometers {
+        self.width
+    }
+
+    /// Device length.
+    #[must_use]
+    pub fn length(&self) -> Micrometers {
+        self.length
+    }
+
+    /// Process transconductance `µ·C_ox` in A/V².
+    #[must_use]
+    pub fn k_prime(&self) -> f64 {
+        self.k_prime
+    }
+
+    /// Evaluation temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Aspect ratio `W/L`.
+    #[must_use]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.width.0 / self.length.0
+    }
+
+    /// EKV specific current `I_S = 2·n·µC_ox·(W/L)·V_t²`: the current scale
+    /// at the boundary between weak and strong inversion.
+    #[must_use]
+    pub fn specific_current(&self) -> Amps {
+        let vt = thermal_voltage(self.temperature).0;
+        Amps(2.0 * self.ideality * self.k_prime * self.aspect_ratio() * vt * vt)
+    }
+
+    /// Unified DC drain current at a source-referenced bias point.
+    ///
+    /// Uses the EKV interpolation
+    /// `I_D = I_S·(ln²(1+e^{(v_p)/(2V_t)}) − ln²(1+e^{(v_p−V_ds)/(2V_t)}))`
+    /// with pinch-off voltage `v_p = (V_gs − V_T0)/n`, multiplied by the
+    /// optional channel-length-modulation factor `(1 + λ·V_ds)`.
+    ///
+    /// In weak inversion this reduces to the paper's Eq. 2 exponential
+    /// (including the `(1 − e^{−V_ds/V_t})` drain term); in strong
+    /// inversion it reduces to the familiar square-law linear/saturation
+    /// expressions.
+    ///
+    /// Negative `vds` values are clamped to zero (the model is
+    /// source-referenced; swap terminals for reverse conduction).
+    #[must_use]
+    pub fn drain_current(&self, vgs: Volts, vds: Volts) -> Amps {
+        let vds = vds.max(Volts::ZERO);
+        let vt = thermal_voltage(self.temperature).0;
+        let vt_eff = self.vt0.0 - self.dibl * vds.0;
+        let vp = (vgs.0 - vt_eff) / self.ideality;
+        let forward = softplus(vp / (2.0 * vt)).powi(2);
+        let reverse = softplus((vp - vds.0) / (2.0 * vt)).powi(2);
+        let clm = 1.0 + self.lambda * vds.0;
+        Amps(self.specific_current().0 * (forward - reverse).max(0.0) * clm)
+    }
+
+    /// Off-state leakage current `I_D(V_gs = 0, V_ds = V_dd)`.
+    ///
+    /// This is the quantity the paper's leakage-energy terms
+    /// (`I_leak(low)`, `I_leak(high)` in Eqs. 3–4) refer to.
+    #[must_use]
+    pub fn off_current(&self, vdd: Volts) -> Amps {
+        self.drain_current(Volts::ZERO, vdd)
+    }
+
+    /// On-state current `I_D(V_gs = V_dd, V_ds = V_dd)` from the unified
+    /// model. For delay estimation prefer
+    /// [`crate::on_current::AlphaPowerLaw`], which models velocity
+    /// saturation.
+    #[must_use]
+    pub fn on_current(&self, vdd: Volts) -> Amps {
+        self.drain_current(vdd, vdd)
+    }
+
+    /// Sub-threshold slope of this device in volts per decade. See
+    /// [`crate::thermal::subthreshold_slope`].
+    #[must_use]
+    pub fn subthreshold_slope(&self) -> Volts {
+        crate::thermal::subthreshold_slope(self.ideality, self.temperature)
+    }
+
+    /// The idealised weak-inversion current of the paper's Eq. 2,
+    /// `I = K·e^{(V_gs−V_T)/(n·V_t)}·(1 − e^{−V_ds/V_t})`, with `K` set to
+    /// this device's specific current. Exposed for model cross-validation;
+    /// [`Mosfet::drain_current`] agrees with it deep in weak inversion.
+    #[must_use]
+    pub fn eq2_subthreshold_current(&self, vgs: Volts, vds: Volts) -> Amps {
+        subthreshold::eq2_current(
+            self.specific_current(),
+            vgs,
+            vds,
+            self.vt0,
+            self.ideality,
+            self.temperature,
+        )
+    }
+}
+
+/// Numerically-stable `ln(1 + e^x)`.
+fn softplus(x: f64) -> f64 {
+    if x > 34.0 {
+        // e^x overflows the addition's significance long before f64 range.
+        x
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos(vt: f64) -> Mosfet {
+        Mosfet::nmos_with_vt(Volts(vt))
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Mosfet::new(
+            Polarity::Nmos,
+            Volts(5.0),
+            1.3,
+            DEFAULT_WIDTH,
+            DEFAULT_LENGTH,
+            1e-4
+        )
+        .is_err());
+        assert!(Mosfet::new(
+            Polarity::Nmos,
+            Volts(0.4),
+            0.5,
+            DEFAULT_WIDTH,
+            DEFAULT_LENGTH,
+            1e-4
+        )
+        .is_err());
+        assert!(Mosfet::new(
+            Polarity::Nmos,
+            Volts(0.4),
+            1.3,
+            Micrometers(-1.0),
+            DEFAULT_LENGTH,
+            1e-4
+        )
+        .is_err());
+        assert!(Mosfet::new(
+            Polarity::Nmos,
+            Volts(0.4),
+            1.3,
+            DEFAULT_WIDTH,
+            DEFAULT_LENGTH,
+            0.0
+        )
+        .is_err());
+        assert!(Mosfet::new(
+            Polarity::Pmos,
+            Volts(0.4),
+            1.3,
+            DEFAULT_WIDTH,
+            DEFAULT_LENGTH,
+            4e-5
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn subthreshold_is_exponential_with_correct_slope() {
+        let m = nmos(0.4);
+        // One slope-voltage increase in V_gs must raise current ~10x.
+        let s = m.subthreshold_slope().0;
+        let i1 = m.drain_current(Volts(0.05), Volts(1.0));
+        let i2 = m.drain_current(Volts(0.05 + s), Volts(1.0));
+        let ratio = i2.0 / i1.0;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn matches_eq2_deep_in_weak_inversion() {
+        let m = nmos(0.5);
+        for vgs in [0.0, 0.1, 0.2] {
+            let unified = m.drain_current(Volts(vgs), Volts(1.0)).0;
+            let eq2 = m.eq2_subthreshold_current(Volts(vgs), Volts(1.0)).0;
+            // EKV's ln²(1+e^{x/2}) ≈ e^x/... agrees with the pure
+            // exponential to within a few percent deep below threshold.
+            let rel = (unified - eq2).abs() / eq2;
+            assert!(rel < 0.10, "vgs={vgs}: unified={unified}, eq2={eq2}");
+        }
+    }
+
+    #[test]
+    fn strong_inversion_square_law_saturation() {
+        let m = nmos(0.4);
+        // Saturation current should scale ~quadratically with overdrive.
+        let i1 = m.drain_current(Volts(1.4), Volts(2.0)).0;
+        let i2 = m.drain_current(Volts(2.4), Volts(3.0)).0;
+        let ratio = i2 / i1; // (2/1)² = 4 expected
+        assert!((ratio - 4.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn linear_region_current_proportional_to_vds() {
+        let m = nmos(0.4);
+        let i1 = m.drain_current(Volts(1.5), Volts(0.05)).0;
+        let i2 = m.drain_current(Volts(1.5), Volts(0.10)).0;
+        let ratio = i2 / i1;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn off_current_drops_about_a_decade_per_slope_of_vt() {
+        let m_lo = nmos(0.25);
+        let m_hi = nmos(0.40);
+        let decades = (m_lo.off_current(Volts(1.0)).0 / m_hi.off_current(Volts(1.0)).0).log10();
+        let expected = 0.15 / m_lo.subthreshold_slope().0;
+        assert!(
+            (decades - expected).abs() < 0.1,
+            "decades = {decades}, expected = {expected}"
+        );
+    }
+
+    #[test]
+    fn saturation_current_independent_of_vds_without_clm() {
+        let m = nmos(0.4);
+        let i1 = m.drain_current(Volts(1.0), Volts(1.5)).0;
+        let i2 = m.drain_current(Volts(1.0), Volts(3.0)).0;
+        assert!((i1 - i2).abs() / i1 < 1e-6);
+    }
+
+    #[test]
+    fn clm_raises_saturation_current() {
+        let m = nmos(0.4).with_lambda(0.1);
+        let i1 = m.drain_current(Volts(1.0), Volts(1.5)).0;
+        let i2 = m.drain_current(Volts(1.0), Volts(3.0)).0;
+        assert!(i2 > i1);
+    }
+
+    #[test]
+    fn negative_vds_clamps_to_zero_current() {
+        let m = nmos(0.4);
+        assert_eq!(m.drain_current(Volts(1.0), Volts(-0.5)).0, 0.0);
+    }
+
+    #[test]
+    fn width_scales_current_linearly() {
+        let m1 = nmos(0.4);
+        let m2 = nmos(0.4).with_width(Micrometers(4.0));
+        let r = m2.on_current(Volts(1.0)).0 / m1.on_current(Volts(1.0)).0;
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmos_has_lower_transconductance_by_default() {
+        let n = Mosfet::nmos_with_vt(Volts(0.4));
+        let p = Mosfet::pmos_with_vt(Volts(0.4));
+        assert!(p.on_current(Volts(1.5)).0 < n.on_current(Volts(1.5)).0);
+        assert_eq!(p.polarity(), Polarity::Pmos);
+    }
+
+    #[test]
+    fn hotter_device_leaks_more() {
+        let cold = nmos(0.4).at_temperature(Kelvin(300.0));
+        let hot = nmos(0.4).at_temperature(Kelvin(360.0));
+        assert!(hot.off_current(Volts(1.0)).0 > 5.0 * cold.off_current(Volts(1.0)).0);
+    }
+
+    #[test]
+    fn softplus_stable_for_large_inputs() {
+        assert_eq!(softplus(1000.0), 1000.0);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(softplus(-50.0) > 0.0);
+        assert!(softplus(-50.0) < 1e-20);
+    }
+}
+
+#[cfg(test)]
+mod dibl_tests {
+    use super::*;
+
+    #[test]
+    fn dibl_raises_leakage_with_drain_bias() {
+        let plain = Mosfet::nmos_with_vt(Volts(0.3));
+        let short = Mosfet::nmos_with_vt(Volts(0.3)).with_dibl(0.08);
+        // At low V_ds the two agree; at high V_ds the DIBL device leaks
+        // an order of magnitude more.
+        let lo_ratio = short.off_current(Volts(0.1)).0 / plain.off_current(Volts(0.1)).0;
+        let hi_ratio = short.off_current(Volts(2.0)).0 / plain.off_current(Volts(2.0)).0;
+        assert!(lo_ratio < 1.5, "lo_ratio = {lo_ratio}");
+        assert!(hi_ratio > 10.0, "hi_ratio = {hi_ratio}");
+    }
+
+    #[test]
+    fn dibl_makes_supply_scaling_a_leakage_lever() {
+        // With DIBL, halving V_DD cuts leakage super-linearly — one more
+        // reason the paper's voltage scaling saves energy.
+        let short = Mosfet::nmos_with_vt(Volts(0.3)).with_dibl(0.08);
+        let high = short.off_current(Volts(2.0)).0;
+        let low = short.off_current(Volts(1.0)).0;
+        assert!(high / low > 5.0, "ratio = {}", high / low);
+    }
+
+    #[test]
+    #[should_panic(expected = "dibl coefficient")]
+    fn negative_dibl_rejected() {
+        let _ = Mosfet::nmos_with_vt(Volts(0.3)).with_dibl(-0.1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sakurai–Newton alpha-power-law drive-current model.
+//!
+//! Short-channel devices are velocity-saturated, so the saturation current
+//! grows as `(V_gs − V_T)^α` with `α` between 1 (full velocity saturation)
+//! and 2 (long-channel square law). This is the standard model behind
+//! voltage-scaling delay analyses — including the fixed-throughput
+//! `V_DD`/`V_T` trade-off of the paper's Figs. 3–4 — because the delay of a
+//! gate is `t_d ∝ C_L·V_DD / I_Dsat(V_DD)`.
+
+use crate::error::DeviceError;
+use crate::units::{Amps, Micrometers, Volts};
+
+/// Alpha-power-law drive model for a device (or a characterised gate's
+/// effective pull-down path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaPowerLaw {
+    /// Velocity-saturation index `α` (1 ≤ α ≤ 2).
+    alpha: f64,
+    /// Drivability factor `P_c` in A per metre of width per V^α.
+    drivability: f64,
+    /// Drain-saturation-voltage factor `P_v` in V^(1−α/2).
+    vsat_factor: f64,
+    /// Device width.
+    width: Micrometers,
+}
+
+/// Default velocity-saturation index for a half-micron-class process; the
+/// original alpha-power-law paper extracted α ≈ 1.3 for such devices.
+pub const DEFAULT_ALPHA: f64 = 1.3;
+
+/// Default drivability factor `P_c` (A / µm / V^α). Chosen so a 2 µm-wide
+/// device delivers ≈0.3 mA at `V_gs − V_T = 1 V`, typical of a 0.5 µm
+/// process.
+pub const DEFAULT_DRIVABILITY: f64 = 150e-6;
+
+/// Default saturation-voltage factor `P_v` (V^(1−α/2)): `V_dsat ≈ 0.6 V`
+/// at 1 V of overdrive.
+pub const DEFAULT_VSAT_FACTOR: f64 = 0.6;
+
+impl AlphaPowerLaw {
+    /// Model with the default half-micron-class parameters and the given
+    /// width.
+    #[must_use]
+    pub fn with_width(width: Micrometers) -> AlphaPowerLaw {
+        AlphaPowerLaw {
+            alpha: DEFAULT_ALPHA,
+            drivability: DEFAULT_DRIVABILITY,
+            vsat_factor: DEFAULT_VSAT_FACTOR,
+            width,
+        }
+    }
+
+    /// Fully-specified constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `alpha` is outside
+    /// `[1, 2]` or any factor is non-positive.
+    pub fn new(
+        alpha: f64,
+        drivability: f64,
+        vsat_factor: f64,
+        width: Micrometers,
+    ) -> Result<AlphaPowerLaw, DeviceError> {
+        if !(1.0..=2.0).contains(&alpha) {
+            return Err(DeviceError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must lie in [1, 2]",
+            });
+        }
+        if drivability <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "drivability",
+                value: drivability,
+                constraint: "must be positive",
+            });
+        }
+        if vsat_factor <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "vsat_factor",
+                value: vsat_factor,
+                constraint: "must be positive",
+            });
+        }
+        if width.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "width",
+                value: width.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(AlphaPowerLaw {
+            alpha,
+            drivability,
+            vsat_factor,
+            width,
+        })
+    }
+
+    /// Velocity-saturation index `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Device width.
+    #[must_use]
+    pub fn width(&self) -> Micrometers {
+        self.width
+    }
+
+    /// Saturation drain current `I_Dsat = P_c·W·(V_gs − V_T)^α`, zero when
+    /// the overdrive is non-positive.
+    #[must_use]
+    pub fn saturation_current(&self, vgs: Volts, vt: Volts) -> Amps {
+        let overdrive = vgs.0 - vt.0;
+        if overdrive <= 0.0 {
+            return Amps::ZERO;
+        }
+        Amps(self.drivability * self.width.0 * overdrive.powf(self.alpha))
+    }
+
+    /// Drain saturation voltage `V_dsat = P_v·(V_gs − V_T)^(α/2)`.
+    #[must_use]
+    pub fn saturation_voltage(&self, vgs: Volts, vt: Volts) -> Volts {
+        let overdrive = (vgs.0 - vt.0).max(0.0);
+        Volts(self.vsat_factor * overdrive.powf(self.alpha / 2.0))
+    }
+
+    /// Drain current including the triode (linear) region:
+    /// `I_D = I_Dsat·(2 − V_ds/V_dsat)·(V_ds/V_dsat)` below `V_dsat`.
+    #[must_use]
+    pub fn drain_current(&self, vgs: Volts, vds: Volts, vt: Volts) -> Amps {
+        let isat = self.saturation_current(vgs, vt);
+        if isat.0 == 0.0 {
+            return Amps::ZERO;
+        }
+        let vdsat = self.saturation_voltage(vgs, vt);
+        if vds.0 >= vdsat.0 || vdsat.0 == 0.0 {
+            isat
+        } else {
+            let x = vds.0 / vdsat.0;
+            Amps(isat.0 * (2.0 - x) * x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AlphaPowerLaw {
+        AlphaPowerLaw::with_width(Micrometers(2.0))
+    }
+
+    #[test]
+    fn constructor_rejects_bad_alpha() {
+        assert!(AlphaPowerLaw::new(0.9, 1e-4, 0.6, Micrometers(2.0)).is_err());
+        assert!(AlphaPowerLaw::new(2.1, 1e-4, 0.6, Micrometers(2.0)).is_err());
+        assert!(AlphaPowerLaw::new(1.3, -1.0, 0.6, Micrometers(2.0)).is_err());
+        assert!(AlphaPowerLaw::new(1.3, 1e-4, 0.0, Micrometers(2.0)).is_err());
+        assert!(AlphaPowerLaw::new(1.3, 1e-4, 0.6, Micrometers(0.0)).is_err());
+        assert!(AlphaPowerLaw::new(1.3, 1e-4, 0.6, Micrometers(2.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_overdrive_means_zero_current() {
+        let m = model();
+        assert_eq!(m.saturation_current(Volts(0.4), Volts(0.4)), Amps::ZERO);
+        assert_eq!(m.drain_current(Volts(0.2), Volts(1.0), Volts(0.4)), Amps::ZERO);
+    }
+
+    #[test]
+    fn current_scales_with_overdrive_to_the_alpha() {
+        let m = model();
+        let i1 = m.saturation_current(Volts(1.4), Volts(0.4)).0;
+        let i2 = m.saturation_current(Volts(2.4), Volts(0.4)).0;
+        assert!((i2 / i1 - 2f64.powf(DEFAULT_ALPHA)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triode_region_continuous_at_vdsat() {
+        let m = model();
+        let vgs = Volts(1.5);
+        let vt = Volts(0.4);
+        let vdsat = m.saturation_voltage(vgs, vt);
+        let just_below = m.drain_current(vgs, Volts(vdsat.0 * 0.999_999), vt).0;
+        let at = m.drain_current(vgs, vdsat, vt).0;
+        assert!((just_below - at).abs() / at < 1e-4);
+    }
+
+    #[test]
+    fn triode_current_rises_with_vds() {
+        let m = model();
+        let vgs = Volts(1.5);
+        let vt = Volts(0.4);
+        let lo = m.drain_current(vgs, Volts(0.05), vt).0;
+        let hi = m.drain_current(vgs, Volts(0.2), vt).0;
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn default_magnitude_is_plausible() {
+        // ~0.3 mA at 1 V overdrive for a 2 µm device.
+        let m = model();
+        let i = m.saturation_current(Volts(1.4), Volts(0.4)).0;
+        assert!(i > 1e-4 && i < 1e-3, "i = {i}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The paper's Eq. 2 sub-threshold conduction law, standalone.
+//!
+//! ```text
+//!                (V_gs − V_T) / (n·V_t)        −V_ds / V_t
+//!     I  =  K · e                        · (1 − e           )
+//! ```
+//!
+//! where `K` is a technology-dependent prefactor, `V_t = kT/q` is the
+//! thermal voltage, and `n = 1 + Ω·t_ox/D` is the ideality factor. For
+//! `V_ds ≳ 0.1 V` the drain term saturates and the current becomes
+//! independent of `V_ds`, exactly as the paper notes.
+
+use crate::thermal::thermal_voltage;
+use crate::units::{Amps, Kelvin, Volts};
+
+/// Evaluates the paper's Eq. 2.
+///
+/// `prefactor` is the technology constant `K`; [`crate::mosfet::Mosfet`]
+/// uses its EKV specific current for this role so the two models agree in
+/// deep weak inversion.
+///
+/// ```
+/// use lowvolt_device::subthreshold::eq2_current;
+/// use lowvolt_device::units::{Amps, Kelvin, Volts};
+///
+/// // V_ds term saturates above ~0.1 V: currents at 0.5 V and 1.0 V match.
+/// let i_half = eq2_current(Amps(1e-6), Volts(0.1), Volts(0.5), Volts(0.4), 1.5, Kelvin::ROOM);
+/// let i_full = eq2_current(Amps(1e-6), Volts(0.1), Volts(1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+/// assert!((i_half.0 - i_full.0).abs() / i_full.0 < 1e-6);
+/// ```
+#[must_use]
+pub fn eq2_current(
+    prefactor: Amps,
+    vgs: Volts,
+    vds: Volts,
+    vt0: Volts,
+    ideality: f64,
+    temperature: Kelvin,
+) -> Amps {
+    let vt = thermal_voltage(temperature).0;
+    let gate = ((vgs.0 - vt0.0) / (ideality * vt)).exp();
+    let drain = 1.0 - (-vds.0.max(0.0) / vt).exp();
+    Amps(prefactor.0 * gate * drain)
+}
+
+/// Number of decades the off-current falls when the threshold voltage is
+/// raised by `delta_vt`, i.e. `ΔV_T / S_th`.
+///
+/// The paper's Fig. 6 caption corresponds to ≈4 decades for a 0.364 V
+/// threshold shift on a device with S ≈ 90 mV/dec.
+#[must_use]
+pub fn decades_per_vt_shift(delta_vt: Volts, ideality: f64, temperature: Kelvin) -> f64 {
+    delta_vt.0 / crate::thermal::subthreshold_slope(ideality, temperature).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ideality_for_slope;
+
+    #[test]
+    fn exponential_in_gate_voltage() {
+        let i0 = eq2_current(Amps(1e-6), Volts(0.0), Volts(1.0), Volts(0.4), 1.0, Kelvin::ROOM);
+        let i1 = eq2_current(Amps(1e-6), Volts(0.06), Volts(1.0), Volts(0.4), 1.0, Kelvin::ROOM);
+        // 60 mV at n=1 and 300 K ≈ one decade.
+        let decades = (i1.0 / i0.0).log10();
+        assert!((decades - 1.0).abs() < 0.05, "decades = {decades}");
+    }
+
+    #[test]
+    fn drain_term_linear_for_tiny_vds() {
+        // For V_ds << V_t, (1 − e^{−V_ds/V_t}) ≈ V_ds/V_t.
+        let i_small =
+            eq2_current(Amps(1e-6), Volts(0.1), Volts(0.001), Volts(0.4), 1.5, Kelvin::ROOM);
+        let i_double =
+            eq2_current(Amps(1e-6), Volts(0.1), Volts(0.002), Volts(0.4), 1.5, Kelvin::ROOM);
+        let ratio = i_double.0 / i_small.0;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn negative_vds_yields_zero() {
+        let i = eq2_current(Amps(1e-6), Volts(0.1), Volts(-1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+        assert_eq!(i.0, 0.0);
+    }
+
+    #[test]
+    fn fig6_anchor_four_decades() {
+        // Fig. 6: V_T 0.448 V → 0.084 V is "~4 Dec" of off-current change.
+        // That implies S ≈ 0.364/4 ≈ 91 mV/dec.
+        let n = ideality_for_slope(Volts(0.091), Kelvin::ROOM);
+        let decades = decades_per_vt_shift(Volts(0.448 - 0.084), n, Kelvin::ROOM);
+        assert!((decades - 4.0).abs() < 0.05, "decades = {decades}");
+    }
+
+    #[test]
+    fn prefactor_scales_linearly() {
+        let a = eq2_current(Amps(1e-6), Volts(0.1), Volts(1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+        let b = eq2_current(Amps(3e-6), Volts(0.1), Volts(1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+        assert!((b.0 / a.0 - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,341 @@
+//! Technology descriptors for the leakage-control options of the paper's §4.
+//!
+//! A [`Technology`] answers, for a block of logic, four questions that the
+//! burst-mode energy models need:
+//!
+//! 1. what is the device threshold (and hence leakage and speed) while the
+//!    block is **active**,
+//! 2. what is the threshold/leakage while the block is **idle**,
+//! 3. what voltage swing and capacitance does toggling between the two
+//!    states cost (the `bga·C_bg·V_bg²` overhead of Eq. 4), and
+//! 4. what is the drive current available for delay estimation.
+//!
+//! Four concrete constructions cover the paper's §4 options: fixed-V_T SOI
+//! (the baseline of Eq. 3), back-gated SOIAS, multi-threshold CMOS sleep
+//! transistors, and substrate-biased triple-well bulk.
+
+use crate::body::BodyEffect;
+use crate::error::DeviceError;
+use crate::mosfet::Mosfet;
+use crate::soias::SoiasDevice;
+use crate::units::{Amps, Farads, Micrometers, Volts};
+
+/// Which §4 leakage-control mechanism a technology uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechnologyKind {
+    /// Fixed low threshold, no standby control (conventional SOI; Eq. 3).
+    SoiFixedVt,
+    /// Back-gated SOIAS dynamic threshold (Eq. 4).
+    Soias,
+    /// Multi-threshold CMOS: low-V_T logic gated by high-V_T sleep devices.
+    Mtcmos,
+    /// Triple-well bulk CMOS with dynamic substrate bias.
+    SubstrateBias,
+}
+
+impl std::fmt::Display for TechnologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TechnologyKind::SoiFixedVt => "soi-fixed-vt",
+            TechnologyKind::Soias => "soias",
+            TechnologyKind::Mtcmos => "mtcmos",
+            TechnologyKind::SubstrateBias => "substrate-bias",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A process/circuit technology option for one block of logic.
+///
+/// ```
+/// use lowvolt_device::technology::Technology;
+/// use lowvolt_device::soias::SoiasDevice;
+/// use lowvolt_device::units::Volts;
+///
+/// let soias = Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0))?;
+/// // Standby leakage is orders of magnitude below active leakage:
+/// let active = soias.active_off_current_per_um(Volts(1.0)).0;
+/// let standby = soias.standby_off_current_per_um(Volts(1.0)).0;
+/// assert!(standby < active / 1000.0);
+/// # Ok::<(), lowvolt_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    name: String,
+    kind: TechnologyKind,
+    active_device: Mosfet,
+    standby_device: Mosfet,
+    /// Voltage swing on the control node when entering/leaving standby.
+    control_swing: Volts,
+    /// Control-node capacitance per µm² of controlled gate area, F/µm².
+    control_cap_per_area: f64,
+}
+
+/// Fraction of a block's gate area spent on MTCMOS sleep devices; sleep
+/// transistors are sized around 5–20 % of the gated logic in practice.
+pub const MTCMOS_SLEEP_AREA_FRACTION: f64 = 0.10;
+
+/// Well capacitance per µm² of block area for substrate-bias control,
+/// F/µm². Wells are large-area junctions, so this is the dominant cost of
+/// the substrate-bias approach.
+pub const WELL_CAP_PER_AREA: f64 = 0.8e-15;
+
+impl Technology {
+    /// Conventional SOI with a fixed (low) threshold — the paper's `E_SOI`
+    /// baseline. No standby state: the standby device equals the active
+    /// device and the control swing is zero.
+    #[must_use]
+    pub fn soi_fixed_vt(vt: Volts) -> Technology {
+        let device = Mosfet::nmos_with_vt(vt);
+        Technology {
+            name: format!("soi-fixed-vt({} mV)", (vt.0 * 1e3).round()),
+            kind: TechnologyKind::SoiFixedVt,
+            active_device: device.clone(),
+            standby_device: device,
+            control_swing: Volts::ZERO,
+            control_cap_per_area: 0.0,
+        }
+    }
+
+    /// Conventional fixed-V_T SOI built from an explicit device — use
+    /// this to form an apples-to-apples Eq. 3 baseline sharing the exact
+    /// device (threshold, slope, geometry) of another technology's active
+    /// state.
+    #[must_use]
+    pub fn soi_fixed_vt_device(device: Mosfet) -> Technology {
+        Technology {
+            name: format!("soi-fixed-vt({} mV)", (device.vt0().0 * 1e3).round()),
+            kind: TechnologyKind::SoiFixedVt,
+            active_device: device.clone(),
+            standby_device: device,
+            control_swing: Volts::ZERO,
+            control_cap_per_area: 0.0,
+        }
+    }
+
+    /// Back-gated SOIAS: active at `active_back_bias` (low V_T), standby
+    /// at zero back bias (high V_T).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if the bias is not
+    /// positive (a zero bias would make active and standby identical).
+    pub fn soias(device: SoiasDevice, active_back_bias: Volts) -> Result<Technology, DeviceError> {
+        if active_back_bias.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "active_back_bias",
+                value: active_back_bias.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(Technology {
+            name: format!("soias(bias {} V)", active_back_bias.0),
+            kind: TechnologyKind::Soias,
+            active_device: device.front_device(active_back_bias),
+            standby_device: device.front_device(Volts::ZERO),
+            control_swing: active_back_bias,
+            control_cap_per_area: device.geometry().back_gate_capacitance_per_area() * 1e-12,
+        })
+    }
+
+    /// Multi-threshold CMOS: logic built from `low_vt` devices, gated by
+    /// series `high_vt` sleep transistors. In standby the sleep device's
+    /// sub-threshold current bounds the block leakage; the control cost is
+    /// switching the sleep transistors' gates through the full supply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `high_vt ≤ low_vt`.
+    pub fn mtcmos(low_vt: Volts, high_vt: Volts, vdd: Volts) -> Result<Technology, DeviceError> {
+        if high_vt.0 <= low_vt.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "high_vt",
+                value: high_vt.0,
+                constraint: "must exceed low_vt",
+            });
+        }
+        let sleep_gate_cap =
+            crate::capacitance::COX_PER_AREA_FF_UM2 * 1e-15 * MTCMOS_SLEEP_AREA_FRACTION;
+        Ok(Technology {
+            name: format!(
+                "mtcmos({}/{} mV)",
+                (low_vt.0 * 1e3).round(),
+                (high_vt.0 * 1e3).round()
+            ),
+            kind: TechnologyKind::Mtcmos,
+            active_device: Mosfet::nmos_with_vt(low_vt),
+            standby_device: Mosfet::nmos_with_vt(high_vt),
+            control_swing: vdd,
+            control_cap_per_area: sleep_gate_cap,
+        })
+    }
+
+    /// Triple-well bulk CMOS with dynamic substrate bias: active at zero
+    /// body bias, standby with `standby_bias` of reverse bias raising the
+    /// threshold through the square-root body effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `standby_bias` is not
+    /// positive.
+    pub fn substrate_bias(body: BodyEffect, standby_bias: Volts) -> Result<Technology, DeviceError> {
+        if standby_bias.0 <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "standby_bias",
+                value: standby_bias.0,
+                constraint: "must be positive",
+            });
+        }
+        Ok(Technology {
+            name: format!("substrate-bias({} V)", standby_bias.0),
+            kind: TechnologyKind::SubstrateBias,
+            active_device: Mosfet::nmos_with_vt(body.vt0()),
+            standby_device: Mosfet::nmos_with_vt(body.vt(standby_bias)),
+            control_swing: standby_bias,
+            control_cap_per_area: WELL_CAP_PER_AREA,
+        })
+    }
+
+    /// Human-readable technology name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which control mechanism this technology uses.
+    #[must_use]
+    pub fn kind(&self) -> TechnologyKind {
+        self.kind
+    }
+
+    /// The representative device while the block is active.
+    #[must_use]
+    pub fn active_device(&self) -> &Mosfet {
+        &self.active_device
+    }
+
+    /// The representative device (or series-limiting device) in standby.
+    #[must_use]
+    pub fn standby_device(&self) -> &Mosfet {
+        &self.standby_device
+    }
+
+    /// Threshold voltage during active operation.
+    #[must_use]
+    pub fn active_vt(&self) -> Volts {
+        self.active_device.vt0()
+    }
+
+    /// Effective threshold voltage in standby.
+    #[must_use]
+    pub fn standby_vt(&self) -> Volts {
+        self.standby_device.vt0()
+    }
+
+    /// Active-state off-current per µm of transistor width — the
+    /// `I_leak(low)` of Eqs. 3–4, width-normalised.
+    #[must_use]
+    pub fn active_off_current_per_um(&self, vdd: Volts) -> Amps {
+        Amps(self.active_device.off_current(vdd).0 / self.active_device.width().0)
+    }
+
+    /// Standby off-current per µm of width — the `I_leak(high)` of Eq. 4.
+    #[must_use]
+    pub fn standby_off_current_per_um(&self, vdd: Volts) -> Amps {
+        Amps(self.standby_device.off_current(vdd).0 / self.standby_device.width().0)
+    }
+
+    /// Capacitance of the standby-control node for a block with the given
+    /// total gate area — the `C_bg` of Eq. 4 (or sleep-gate / well
+    /// capacitance for the other mechanisms).
+    #[must_use]
+    pub fn control_capacitance(&self, gate_area_um2: f64) -> Farads {
+        Farads(self.control_cap_per_area * gate_area_um2)
+    }
+
+    /// Voltage swing of the standby-control node (`V_bg` of Eq. 4).
+    #[must_use]
+    pub fn control_swing(&self) -> Volts {
+        self.control_swing
+    }
+
+    /// Whether this technology has a distinct standby state at all.
+    #[must_use]
+    pub fn has_standby_mode(&self) -> bool {
+        self.kind != TechnologyKind::SoiFixedVt
+    }
+
+    /// Channel length of the active device.
+    #[must_use]
+    pub fn channel_length(&self) -> Micrometers {
+        self.active_device.length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soi_has_no_standby() {
+        let t = Technology::soi_fixed_vt(Volts(0.2));
+        assert!(!t.has_standby_mode());
+        assert_eq!(t.active_vt(), t.standby_vt());
+        assert_eq!(t.control_swing(), Volts::ZERO);
+        assert_eq!(t.control_capacitance(1000.0), Farads::ZERO);
+    }
+
+    #[test]
+    fn soias_standby_is_much_less_leaky() {
+        let t = Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).expect("valid");
+        let active = t.active_off_current_per_um(Volts(1.0)).0;
+        let standby = t.standby_off_current_per_um(Volts(1.0)).0;
+        assert!(standby < active * 1e-3, "active={active}, standby={standby}");
+        assert!(t.has_standby_mode());
+        assert!(t.control_capacitance(100.0).0 > 0.0);
+    }
+
+    #[test]
+    fn mtcmos_orders_thresholds() {
+        assert!(Technology::mtcmos(Volts(0.4), Volts(0.2), Volts(1.0)).is_err());
+        let t = Technology::mtcmos(Volts(0.2), Volts(0.55), Volts(1.0)).expect("valid");
+        assert!(t.standby_vt() > t.active_vt());
+        assert_eq!(t.control_swing(), Volts(1.0));
+    }
+
+    #[test]
+    fn substrate_bias_raises_standby_vt_by_sqrt_law() {
+        let body = BodyEffect::with_vt0(Volts(0.25));
+        let t = Technology::substrate_bias(body, Volts(2.0)).expect("valid");
+        assert!(t.standby_vt() > t.active_vt());
+        // The square-root law buys only a few hundred mV for 2 V of bias.
+        let shift = t.standby_vt().0 - t.active_vt().0;
+        assert!(shift > 0.1 && shift < 0.5, "shift = {shift}");
+    }
+
+    #[test]
+    fn well_cap_exceeds_soias_back_gate_cap() {
+        // The paper prefers SOIAS partly because the back-gate control
+        // capacitance is small; a well is a large junction.
+        let soias = Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).expect("valid");
+        let bulk = Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.25)), Volts(2.0))
+            .expect("valid");
+        assert!(bulk.control_capacitance(100.0).0 > soias.control_capacitance(100.0).0);
+    }
+
+    #[test]
+    fn invalid_biases_rejected() {
+        assert!(Technology::soias(SoiasDevice::paper_fig6(), Volts(0.0)).is_err());
+        assert!(
+            Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.25)), Volts(-1.0)).is_err()
+        );
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(TechnologyKind::SoiFixedVt.to_string(), "soi-fixed-vt");
+        assert_eq!(TechnologyKind::Soias.to_string(), "soias");
+        assert_eq!(TechnologyKind::Mtcmos.to_string(), "mtcmos");
+        assert_eq!(TechnologyKind::SubstrateBias.to_string(), "substrate-bias");
+    }
+}

@@ -1,0 +1,95 @@
+//! Thermal voltage and sub-threshold slope.
+//!
+//! The paper (§2) characterises sub-threshold conduction by the slope
+//! `S_th`, "the amount of voltage required to drop the subthreshold current
+//! by one decade", quoting typical room-temperature values of 60–90 mV per
+//! decade with 60 mV/dec as the ideal lower limit.
+
+use crate::units::{Kelvin, Volts};
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Thermal voltage `V_t = kT/q`.
+///
+/// At 300 K this is ≈ 25.85 mV.
+///
+/// ```
+/// use lowvolt_device::thermal::thermal_voltage;
+/// use lowvolt_device::units::Kelvin;
+///
+/// let vt = thermal_voltage(Kelvin::ROOM);
+/// assert!((vt.0 - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(temperature: Kelvin) -> Volts {
+    Volts(BOLTZMANN * temperature.0 / ELEMENTARY_CHARGE)
+}
+
+/// Sub-threshold slope `S_th = n · V_t · ln(10)` in volts per decade of
+/// current.
+///
+/// `n` is the sub-threshold ideality factor `1 + Ω·t_ox/D` from the paper's
+/// Eq. 2 discussion; `n = 1` gives the ideal ≈60 mV/dec limit at room
+/// temperature.
+///
+/// ```
+/// use lowvolt_device::thermal::subthreshold_slope;
+/// use lowvolt_device::units::Kelvin;
+///
+/// let ideal = subthreshold_slope(1.0, Kelvin::ROOM);
+/// assert!((ideal.0 - 0.0595).abs() < 1e-3); // ≈60 mV/dec
+/// let typical = subthreshold_slope(1.5, Kelvin::ROOM);
+/// assert!((typical.0 - 0.0893).abs() < 1e-3); // ≈90 mV/dec
+/// ```
+#[must_use]
+pub fn subthreshold_slope(ideality: f64, temperature: Kelvin) -> Volts {
+    Volts(ideality * thermal_voltage(temperature).0 * std::f64::consts::LN_10)
+}
+
+/// Ideality factor `n` that yields a given sub-threshold slope at a given
+/// temperature. Inverse of [`subthreshold_slope`].
+#[must_use]
+pub fn ideality_for_slope(slope: Volts, temperature: Kelvin) -> f64 {
+    slope.0 / (thermal_voltage(temperature).0 * std::f64::consts::LN_10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn room_temperature_thermal_voltage() {
+        let vt = thermal_voltage(Kelvin::ROOM);
+        assert!((vt.0 - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn slope_bounds_match_paper() {
+        // Paper: "typical values for S_th lie between 60 to 90 mV/(decade
+        // current), with 60 mV/dec being the lower limit."
+        let lower = subthreshold_slope(1.0, Kelvin::ROOM);
+        let upper = subthreshold_slope(1.5, Kelvin::ROOM);
+        assert!(lower.0 > 0.058 && lower.0 < 0.062);
+        assert!(upper.0 > 0.086 && upper.0 < 0.092);
+    }
+
+    #[test]
+    fn slope_scales_with_temperature() {
+        let cold = subthreshold_slope(1.0, Kelvin(250.0));
+        let hot = subthreshold_slope(1.0, Kelvin(400.0));
+        assert!(hot.0 > cold.0);
+        assert!((hot.0 / cold.0 - 400.0 / 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideality_roundtrip() {
+        for n in [1.0, 1.2, 1.5, 2.0] {
+            let s = subthreshold_slope(n, Kelvin::ROOM);
+            assert!((ideality_for_slope(s, Kelvin::ROOM) - n).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Strongly-typed physical quantities.
+//!
+//! Each unit is a transparent `f64` newtype ([C-NEWTYPE]) so that a supply
+//! voltage can never be passed where a capacitance is expected. Arithmetic
+//! within a unit (`+`, `-`, scaling by `f64`) is provided for every type,
+//! and the dimension-crossing products that the energy models need
+//! (`V × A = W`, `W × s = J`, `F × V = C`, …) are implemented explicitly.
+//!
+//! ```
+//! use lowvolt_device::units::{Volts, Farads, Joules};
+//!
+//! let vdd = Volts(1.5);
+//! let c = Farads(20e-15);
+//! let e: Joules = c * vdd * vdd; // C·V² switching energy
+//! assert!((e.0 - 45e-15).abs() < 1e-18);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// `true` if the quantity is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+unit!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+unit!(
+    /// Length in micrometres (the natural unit for device geometry).
+    Micrometers,
+    "um"
+);
+
+impl Volts {
+    /// Room-temperature-scale millivolt constructor for readability.
+    #[must_use]
+    pub fn from_millivolts(mv: f64) -> Volts {
+        Volts(mv * 1e-3)
+    }
+}
+
+impl Farads {
+    /// Femtofarad constructor (gate capacitances are naturally fF-scale).
+    #[must_use]
+    pub fn from_femtofarads(ff: f64) -> Farads {
+        Farads(ff * 1e-15)
+    }
+
+    /// This capacitance expressed in femtofarads.
+    #[must_use]
+    pub fn to_femtofarads(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Seconds {
+    /// Nanosecond constructor.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Picosecond constructor.
+    #[must_use]
+    pub fn from_picos(ps: f64) -> Seconds {
+        Seconds(ps * 1e-12)
+    }
+}
+
+impl Kelvin {
+    /// Standard room temperature, 300 K.
+    pub const ROOM: Kelvin = Kelvin(300.0);
+}
+
+// ---- dimension-crossing arithmetic ----
+
+/// `P = V · I`
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// `P = I · V`
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// `E = P · t`
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `E = t · P`
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `Q = C · V`
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// `E = Q · V` (completes the `C·V²` chain)
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    fn mul(self, rhs: Volts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// `Q = I · t`
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// `I = Q / t`
+impl Div<Seconds> for Coulombs {
+    type Output = Amps;
+    fn div(self, rhs: Seconds) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+/// `P = E / t`
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// `t = E / P`
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Hertz {
+    /// Period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "zero frequency has no period");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// Frequency with this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    #[must_use]
+    pub fn frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "zero period has no frequency");
+        Hertz(1.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switching_energy_chain() {
+        let e: Joules = Farads(10e-15) * Volts(2.0) * Volts(2.0);
+        assert!((e.0 - 40e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(2.0) * Seconds(3.0);
+        assert_eq!(e, Joules(6.0));
+        let e2 = Seconds(3.0) * Watts(2.0);
+        assert_eq!(e2, e);
+    }
+
+    #[test]
+    fn leakage_energy_chain() {
+        // I_leak · V_DD · t_cyc, as in the paper's Eq. 3.
+        let e: Joules = (Amps(1e-9) * Volts(1.0)) * Seconds(1e-6);
+        assert!((e.0 - 1e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn period_frequency_roundtrip() {
+        let f = Hertz(1e6);
+        assert!((f.period().frequency().0 - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn like_ratio_is_dimensionless() {
+        let r: f64 = Volts(3.0) / Volts(1.5);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Volts(0.5) < Volts(1.0));
+        assert_eq!(Volts(0.5).max(Volts(1.0)), Volts(1.0));
+        assert_eq!(Volts(0.5).min(Volts(1.0)), Volts(0.5));
+        assert_eq!(Volts(-2.0).abs(), Volts(2.0));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Farads = [Farads(1.0), Farads(2.5)].into_iter().sum();
+        assert_eq!(total, Farads(3.5));
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(Volts(1.5).to_string(), "1.5 V");
+        assert_eq!(Hertz(1e6).to_string(), "1000000 Hz");
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert!((Volts::from_millivolts(250.0).0 - 0.25).abs() < 1e-15);
+        assert!((Farads::from_femtofarads(33.0).0 - 33e-15).abs() < 1e-28);
+        assert!((Farads(33e-15).to_femtofarads() - 33.0).abs() < 1e-9);
+        assert!((Seconds::from_nanos(2.0).0 - 2e-9).abs() < 1e-20);
+        assert!((Seconds::from_picos(42.0).0 - 42e-12).abs() < 1e-22);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz(0.0).period();
+    }
+}

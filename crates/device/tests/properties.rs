@@ -1,0 +1,148 @@
+//! Property-based tests for the device-model invariants.
+
+use lowvolt_device::body::BodyEffect;
+use lowvolt_device::capacitance::{GateCapacitance, JunctionCapacitance};
+use lowvolt_device::delay::StageDelay;
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::on_current::AlphaPowerLaw;
+use lowvolt_device::soias::SoiasDevice;
+use lowvolt_device::units::{Farads, Micrometers, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Drain current is monotonically non-decreasing in V_gs at fixed V_ds.
+    #[test]
+    fn drain_current_monotone_in_vgs(
+        vt in 0.05f64..0.8,
+        v1 in 0.0f64..3.0,
+        dv in 0.001f64..1.0,
+        vds in 0.05f64..3.0,
+    ) {
+        let m = Mosfet::nmos_with_vt(Volts(vt));
+        let i1 = m.drain_current(Volts(v1), Volts(vds)).0;
+        let i2 = m.drain_current(Volts(v1 + dv), Volts(vds)).0;
+        prop_assert!(i2 >= i1);
+    }
+
+    /// Drain current is monotonically non-decreasing in V_ds (no CLM).
+    #[test]
+    fn drain_current_monotone_in_vds(
+        vt in 0.05f64..0.8,
+        vgs in 0.0f64..2.0,
+        v1 in 0.0f64..3.0,
+        dv in 0.001f64..1.0,
+    ) {
+        let m = Mosfet::nmos_with_vt(Volts(vt));
+        let i1 = m.drain_current(Volts(vgs), Volts(v1)).0;
+        let i2 = m.drain_current(Volts(vgs), Volts(v1 + dv)).0;
+        prop_assert!(i2 >= i1 - i1.abs() * 1e-12);
+    }
+
+    /// Raising the threshold never raises the current.
+    #[test]
+    fn current_antitone_in_vt(
+        vt in 0.05f64..0.6,
+        dvt in 0.001f64..0.4,
+        vgs in 0.0f64..2.0,
+        vds in 0.05f64..3.0,
+    ) {
+        let lo = Mosfet::nmos_with_vt(Volts(vt));
+        let hi = Mosfet::nmos_with_vt(Volts(vt + dvt));
+        prop_assert!(hi.drain_current(Volts(vgs), Volts(vds)).0
+            <= lo.drain_current(Volts(vgs), Volts(vds)).0);
+    }
+
+    /// Currents are always finite and non-negative.
+    #[test]
+    fn current_finite_nonnegative(
+        vt in -0.5f64..1.5,
+        vgs in -2.0f64..5.0,
+        vds in -2.0f64..5.0,
+    ) {
+        let m = Mosfet::nmos_with_vt(Volts(vt));
+        let i = m.drain_current(Volts(vgs), Volts(vds));
+        prop_assert!(i.0.is_finite());
+        prop_assert!(i.0 >= 0.0);
+    }
+
+    /// Body effect: reverse bias never lowers V_T, and the marginal shift
+    /// shrinks with bias (concavity of the square-root law).
+    #[test]
+    fn body_effect_concave(vt0 in 0.1f64..0.6, v in 0.0f64..3.0) {
+        let b = BodyEffect::with_vt0(Volts(vt0));
+        let d1 = b.vt(Volts(v + 0.5)).0 - b.vt(Volts(v)).0;
+        let d2 = b.vt(Volts(v + 1.0)).0 - b.vt(Volts(v + 0.5)).0;
+        prop_assert!(d1 >= 0.0);
+        prop_assert!(d2 <= d1 + 1e-12);
+    }
+
+    /// Body-effect bias solve always round-trips.
+    #[test]
+    fn body_bias_roundtrip(vt0 in 0.1f64..0.6, shift in 0.0f64..0.5) {
+        let b = BodyEffect::with_vt0(Volts(vt0));
+        let bias = b.bias_for_vt_shift(Volts(shift)).unwrap();
+        let achieved = b.vt(bias).0 - vt0;
+        prop_assert!((achieved - shift).abs() < 1e-9);
+    }
+
+    /// SOIAS threshold is antitone in back bias and bias_for_vt inverts vt.
+    #[test]
+    fn soias_vt_antitone_and_invertible(bias in 0.0f64..3.5) {
+        let d = SoiasDevice::paper_fig6();
+        let vt = d.vt(Volts(bias));
+        prop_assert!(vt.0 <= d.vt(Volts(0.0)).0 + 1e-12);
+        let solved = d.bias_for_vt(vt).unwrap();
+        prop_assert!((d.vt(solved).0 - vt.0).abs() < 1e-9);
+    }
+
+    /// Effective switched gate capacitance is monotone in V_DD and bounded
+    /// by [depletion_fraction·C_ox, C_ox].
+    #[test]
+    fn gate_cap_monotone_bounded(
+        area in 0.5f64..100.0,
+        vt in 0.1f64..0.8,
+        v1 in 0.2f64..3.0,
+        dv in 0.01f64..1.0,
+    ) {
+        let g = GateCapacitance::from_area(area, Volts(vt));
+        let c1 = g.effective_switched(Volts(v1)).0;
+        let c2 = g.effective_switched(Volts(v1 + dv)).0;
+        prop_assert!(c2 >= c1 - c1 * 1e-12);
+        prop_assert!(c1 <= g.c_ox().0 * (1.0 + 1e-12));
+        prop_assert!(c1 >= g.c_ox().0 * 0.45 * (1.0 - 1e-12));
+    }
+
+    /// Junction capacitance is antitone in V_DD.
+    #[test]
+    fn junction_cap_antitone(
+        c0 in 0.5f64..20.0,
+        v1 in 0.2f64..3.0,
+        dv in 0.01f64..1.0,
+    ) {
+        let j = JunctionCapacitance::with_c_j0(Farads::from_femtofarads(c0));
+        let a = j.effective_switched(Volts(v1)).0;
+        let b = j.effective_switched(Volts(v1 + dv)).0;
+        prop_assert!(b <= a + a * 1e-12);
+    }
+
+    /// The iso-delay supply solve honours its contract: the returned supply
+    /// meets the target delay to solver tolerance and never exceeds v_max.
+    #[test]
+    fn iso_delay_solution_meets_target(
+        vt in 0.05f64..0.7,
+        load_ff in 1.0f64..100.0,
+        vdd_ref in 0.9f64..3.0,
+    ) {
+        prop_assume!(vdd_ref > vt + 0.2);
+        let stage = StageDelay::new(
+            AlphaPowerLaw::with_width(Micrometers(2.0)),
+            Farads::from_femtofarads(load_ff),
+            0.5,
+        ).unwrap();
+        let target = stage.delay(Volts(vdd_ref), Volts(vt));
+        let solved = stage.supply_for_delay(target, Volts(vt), Volts(3.3)).unwrap();
+        prop_assert!(solved.0 <= 3.3 + 1e-9);
+        let achieved = stage.delay(solved, Volts(vt));
+        prop_assert!((achieved.0 - target.0).abs() / target.0 < 1e-3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Pixie-style basic-block profiling.
+//!
+//! The paper's §5.3: "For microprocessor applications, various code
+//! profiling packages exist … generally designed to pinpoint code
+//! inefficiencies by noting the number of executions of subroutines or
+//! modules". Pixie worked by counting *basic-block* executions; this
+//! module reproduces that layer: it partitions a program's text segment
+//! into basic blocks, counts executions as the CPU runs, and reports the
+//! hot blocks — the level at which shutdown regions and clock-gating
+//! domains get chosen.
+
+use std::collections::BTreeSet;
+
+use crate::asm::Program;
+use crate::inst::Inst;
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: u32,
+    /// One past the last instruction.
+    pub end: u32,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for discovered blocks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Whether an instruction ends a basic block, and where it can go.
+fn control_targets(inst: &Inst) -> Option<Vec<u32>> {
+    match *inst {
+        Inst::Beq { target, .. }
+        | Inst::Bne { target, .. }
+        | Inst::Blez { target, .. }
+        | Inst::Bgtz { target, .. }
+        | Inst::Bltz { target, .. }
+        | Inst::Bgez { target, .. } => Some(vec![target]),
+        Inst::J { target } | Inst::Jal { target } => Some(vec![target]),
+        Inst::Jr { .. } | Inst::Jalr { .. } | Inst::Syscall => Some(vec![]),
+        _ => None,
+    }
+}
+
+/// The static basic-block partition of a program plus execution counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    blocks: Vec<BasicBlock>,
+    counts: Vec<u64>,
+    /// Block index covering each instruction.
+    block_of: Vec<u32>,
+    last_block: Option<u32>,
+}
+
+impl BlockProfile {
+    /// Discovers the basic blocks of a program.
+    ///
+    /// Leaders are: the entry point, every branch/jump target, and every
+    /// instruction following a control transfer (including syscalls,
+    /// whose exit service never returns but whose other services do).
+    #[must_use]
+    pub fn new(program: &Program) -> BlockProfile {
+        let len = program.insts.len() as u32;
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(program.entry.min(len));
+        leaders.insert(0);
+        for (i, inst) in program.insts.iter().enumerate() {
+            if let Some(targets) = control_targets(inst) {
+                for t in targets {
+                    leaders.insert(t.min(len));
+                }
+                leaders.insert(i as u32 + 1);
+            }
+        }
+        // Indirect-jump targets (jr through jump tables / returns) are
+        // any instruction after a jal: conservatively, every text label
+        // is also a leader.
+        for &t in program.text_labels.values() {
+            leaders.insert(t.min(len));
+        }
+        leaders.insert(len);
+        let bounds: Vec<u32> = leaders.into_iter().collect();
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; len as usize];
+        for w in bounds.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            let id = blocks.len() as u32;
+            blocks.push(BasicBlock { start, end });
+            for i in start..end {
+                block_of[i as usize] = id;
+            }
+        }
+        let counts = vec![0; blocks.len()];
+        BlockProfile {
+            blocks,
+            counts,
+            block_of,
+            last_block: None,
+        }
+    }
+
+    /// Records that the instruction at `pc` executed. Call once per step
+    /// with the pre-execution PC; block entries are detected from block
+    /// membership changes and block starts.
+    pub fn record_pc(&mut self, pc: u32) {
+        let Some(&block) = self.block_of.get(pc as usize) else {
+            return;
+        };
+        let entered = match self.last_block {
+            Some(prev) => prev != block || pc == self.blocks[block as usize].start,
+            None => true,
+        };
+        // Re-entering the same block at its start (a self-loop) counts.
+        if entered && pc == self.blocks[block as usize].start {
+            self.counts[block as usize] += 1;
+        } else if entered {
+            // Entered mid-block (only possible via an indirect jump to a
+            // non-leader, which our leader set precludes; count anyway to
+            // stay conservative).
+            self.counts[block as usize] += 1;
+        }
+        self.last_block = Some(block);
+    }
+
+    /// The discovered blocks.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Execution count of block `i`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total dynamic instructions attributed to counted block entries.
+    #[must_use]
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.blocks
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, &c)| u64::from(b.len()) * c)
+            .sum()
+    }
+
+    /// The hottest blocks by dynamic instruction count, descending.
+    #[must_use]
+    pub fn hottest(&self, top: usize) -> Vec<(BasicBlock, u64)> {
+        let mut v: Vec<(BasicBlock, u64)> = self
+            .blocks
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, &c)| (*b, u64::from(b.len()) * c))
+            .collect();
+        v.sort_by_key(|&(_, dynamic)| std::cmp::Reverse(dynamic));
+        v.truncate(top);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cpu::Cpu;
+
+    fn looped_program() -> Program {
+        assemble(
+            r#"
+            .text
+            main:
+                li   $t0, 10
+            loop:
+                addi $t0, $t0, -1
+                bgtz $t0, loop
+                li   $v0, 10
+                syscall
+        "#,
+        )
+        .expect("assembles")
+    }
+
+    /// Drives the CPU while feeding the block profile.
+    fn run_with_blocks(program: Program) -> BlockProfile {
+        let mut profile = BlockProfile::new(&program);
+        let mut cpu = Cpu::new(program);
+        while !cpu.halted() {
+            profile.record_pc(cpu.pc());
+            cpu.step().expect("test program runs");
+        }
+        profile
+    }
+
+    #[test]
+    fn discovers_loop_structure() {
+        let program = looped_program();
+        let profile = BlockProfile::new(&program);
+        // Blocks: [main prologue], [loop body], [exit sequence].
+        assert_eq!(profile.blocks().len(), 3);
+        assert_eq!(profile.blocks()[1].len(), 2, "loop body: addi + bgtz");
+    }
+
+    #[test]
+    fn counts_loop_iterations() {
+        let profile = run_with_blocks(looped_program());
+        assert_eq!(profile.count(0), 1, "prologue once");
+        assert_eq!(profile.count(1), 10, "loop body ten times");
+        assert_eq!(profile.count(2), 1, "exit once");
+    }
+
+    #[test]
+    fn dynamic_instruction_attribution_matches_cpu() {
+        let program = looped_program();
+        let profile = run_with_blocks(program.clone());
+        let mut cpu = Cpu::new(program);
+        cpu.run(10_000).expect("runs");
+        assert_eq!(profile.dynamic_instructions(), cpu.steps());
+    }
+
+    #[test]
+    fn hottest_block_is_the_loop() {
+        let profile = run_with_blocks(looped_program());
+        let hottest = profile.hottest(1);
+        assert_eq!(hottest.len(), 1);
+        assert_eq!(hottest[0].1, 20, "10 iterations x 2 instructions");
+    }
+
+    #[test]
+    fn call_heavy_program_blocks() {
+        let program = assemble(
+            r#"
+            .text
+            main:
+                li   $s0, 5
+            call_loop:
+                jal  helper
+                addi $s0, $s0, -1
+                bgtz $s0, call_loop
+                li   $v0, 10
+                syscall
+            helper:
+                add  $t0, $zero, $zero
+                jr   $ra
+        "#,
+        )
+        .expect("assembles");
+        let profile = run_with_blocks(program);
+        // The helper body must have been entered five times.
+        let helper_count = profile
+            .blocks()
+            .iter()
+            .zip(0..)
+            .find(|(b, _)| b.len() == 2 && b.start >= 5)
+            .map(|(_, i)| profile.count(i))
+            .expect("helper block exists");
+        assert_eq!(helper_count, 5);
+    }
+
+    #[test]
+    fn empty_block_helpers() {
+        let b = BasicBlock { start: 3, end: 3 };
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Functional-block model: which datapath block each instruction uses.
+//!
+//! The paper (§5.3): "The first step in measuring functional block
+//! activity is to determine which assembly language instructions use which
+//! functional blocks. This requires that certain assumptions about the
+//! implementation be made. For instance, the ALU adder is generally used
+//! to compute load and store addresses and for comparison instructions. In
+//! our implementation, all add, compare, load, and store instructions use
+//! the ALU adder."
+//!
+//! [`BlockMap::standard`] encodes exactly that assumption; alternative
+//! implementations can be expressed by building a custom map.
+
+use std::collections::HashMap;
+
+use crate::inst::Inst;
+
+/// A datapath functional block whose standby state can be controlled
+/// independently (the paper's model of operation: "functional units, or
+/// blocks, share a common V_T").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunctionalUnit {
+    /// The ALU adder (also used for compares and load/store addresses).
+    Adder,
+    /// The barrel shifter.
+    Shifter,
+    /// The multiply/divide unit.
+    Multiplier,
+}
+
+impl FunctionalUnit {
+    /// All units in the order the paper's tables list them.
+    pub const ALL: [FunctionalUnit; 3] = [
+        FunctionalUnit::Adder,
+        FunctionalUnit::Shifter,
+        FunctionalUnit::Multiplier,
+    ];
+
+    /// Table row label used in the paper ("Additions", "Shifts",
+    /// "Multiplications").
+    #[must_use]
+    pub fn table_label(self) -> &'static str {
+        match self {
+            FunctionalUnit::Adder => "Additions",
+            FunctionalUnit::Shifter => "Shifts",
+            FunctionalUnit::Multiplier => "Multiplications",
+        }
+    }
+
+    /// Short block name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FunctionalUnit::Adder => "adder",
+            FunctionalUnit::Shifter => "shifter",
+            FunctionalUnit::Multiplier => "multiplier",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            FunctionalUnit::Adder => 0,
+            FunctionalUnit::Shifter => 1,
+            FunctionalUnit::Multiplier => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A compact set of functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitSet(u8);
+
+impl UnitSet {
+    /// The empty set.
+    pub const EMPTY: UnitSet = UnitSet(0);
+
+    /// A singleton set.
+    #[must_use]
+    pub fn of(unit: FunctionalUnit) -> UnitSet {
+        UnitSet(1 << unit.index())
+    }
+
+    /// Union with another set.
+    #[must_use]
+    pub fn with(self, unit: FunctionalUnit) -> UnitSet {
+        UnitSet(self.0 | 1 << unit.index())
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(self, unit: FunctionalUnit) -> bool {
+        self.0 & (1 << unit.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the contained units.
+    pub fn iter(self) -> impl Iterator<Item = FunctionalUnit> {
+        FunctionalUnit::ALL.into_iter().filter(move |u| self.contains(*u))
+    }
+}
+
+/// Maps instruction mnemonics to the functional units they exercise.
+#[derive(Debug, Clone)]
+pub struct BlockMap {
+    by_mnemonic: HashMap<&'static str, UnitSet>,
+}
+
+impl BlockMap {
+    /// The paper's standard mapping: adds, subtracts, compares, branches
+    /// (comparison), loads and stores (address generation) use the adder;
+    /// shift instructions use the shifter; multiply/divide use the
+    /// multiplier; pure logic ops, moves from HI/LO, jumps and syscalls
+    /// use none of the profiled blocks.
+    #[must_use]
+    pub fn standard() -> BlockMap {
+        let adder = UnitSet::of(FunctionalUnit::Adder);
+        let shifter = UnitSet::of(FunctionalUnit::Shifter);
+        let multiplier = UnitSet::of(FunctionalUnit::Multiplier);
+        let mut by_mnemonic = HashMap::new();
+        for m in [
+            "add", "sub", "addi", "slt", "sltu", "slti", "sltiu", "lw", "sw", "lb", "lbu", "sb",
+            "beq", "bne", "blez", "bgtz", "bltz", "bgez",
+        ] {
+            by_mnemonic.insert(m, adder);
+        }
+        for m in ["sll", "srl", "sra", "sllv", "srlv", "srav"] {
+            by_mnemonic.insert(m, shifter);
+        }
+        for m in ["mult", "multu", "div", "divu"] {
+            by_mnemonic.insert(m, multiplier);
+        }
+        BlockMap { by_mnemonic }
+    }
+
+    /// An empty map to extend with [`BlockMap::map`].
+    #[must_use]
+    pub fn empty() -> BlockMap {
+        BlockMap {
+            by_mnemonic: HashMap::new(),
+        }
+    }
+
+    /// Adds (or extends) a mnemonic's unit set — how "a different
+    /// implementation might use the ALU adder for more or fewer
+    /// instructions" is expressed.
+    #[must_use]
+    pub fn map(mut self, mnemonic: &'static str, unit: FunctionalUnit) -> BlockMap {
+        let entry = self.by_mnemonic.entry(mnemonic).or_insert(UnitSet::EMPTY);
+        *entry = entry.with(unit);
+        self
+    }
+
+    /// The units an instruction uses.
+    #[must_use]
+    pub fn units_for(&self, inst: &Inst) -> UnitSet {
+        self.by_mnemonic
+            .get(inst.mnemonic())
+            .copied()
+            .unwrap_or(UnitSet::EMPTY)
+    }
+}
+
+impl Default for BlockMap {
+    fn default() -> Self {
+        BlockMap::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    #[test]
+    fn standard_mapping_follows_the_paper() {
+        let m = BlockMap::standard();
+        let r = |i: Inst| m.units_for(&i);
+        let adder = UnitSet::of(FunctionalUnit::Adder);
+        // "all add, compare, load, and store instructions use the ALU adder"
+        assert_eq!(
+            r(Inst::Add { rd: Reg(8), rs: Reg(9), rt: Reg(10) }),
+            adder
+        );
+        assert_eq!(r(Inst::Lw { rt: Reg(8), base: Reg(29), offset: 0 }), adder);
+        assert_eq!(r(Inst::Sw { rt: Reg(8), base: Reg(29), offset: 0 }), adder);
+        assert_eq!(r(Inst::Slt { rd: Reg(8), rs: Reg(9), rt: Reg(10) }), adder);
+        assert_eq!(
+            r(Inst::Beq { rs: Reg(8), rt: Reg(9), target: 0 }),
+            adder
+        );
+        assert_eq!(
+            r(Inst::Sll { rd: Reg(8), rt: Reg(9), shamt: 2 }),
+            UnitSet::of(FunctionalUnit::Shifter)
+        );
+        assert_eq!(
+            r(Inst::Mult { rs: Reg(8), rt: Reg(9) }),
+            UnitSet::of(FunctionalUnit::Multiplier)
+        );
+        // Logic, jumps and syscalls touch none of the profiled blocks.
+        assert!(r(Inst::Or { rd: Reg(8), rs: Reg(9), rt: Reg(10) }).is_empty());
+        assert!(r(Inst::J { target: 0 }).is_empty());
+        assert!(r(Inst::Syscall).is_empty());
+        assert!(r(Inst::Nop).is_empty());
+    }
+
+    #[test]
+    fn unit_set_operations() {
+        let s = UnitSet::of(FunctionalUnit::Adder).with(FunctionalUnit::Multiplier);
+        assert!(s.contains(FunctionalUnit::Adder));
+        assert!(!s.contains(FunctionalUnit::Shifter));
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![FunctionalUnit::Adder, FunctionalUnit::Multiplier]
+        );
+        assert!(UnitSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn custom_map_extends() {
+        // An implementation where logical ops also occupy the adder block.
+        let m = BlockMap::standard().map("or", FunctionalUnit::Adder);
+        let or = Inst::Or {
+            rd: Reg(8),
+            rs: Reg(9),
+            rt: Reg(10),
+        };
+        assert!(m.units_for(&or).contains(FunctionalUnit::Adder));
+    }
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(FunctionalUnit::Adder.table_label(), "Additions");
+        assert_eq!(FunctionalUnit::Shifter.table_label(), "Shifts");
+        assert_eq!(FunctionalUnit::Multiplier.table_label(), "Multiplications");
+    }
+}

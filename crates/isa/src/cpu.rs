@@ -1,0 +1,632 @@
+//! The interpreter.
+//!
+//! A straightforward fetch–decode–execute loop over pre-decoded
+//! instructions. There are no branch delay slots: branches take effect on
+//! the next instruction, which keeps guest programs simple without
+//! changing any instruction-mix statistics.
+
+use std::collections::VecDeque;
+
+use crate::asm::Program;
+use crate::error::ExecError;
+use crate::inst::{Inst, Reg};
+use crate::mem::{Memory, DATA_BASE, STACK_TOP};
+use crate::profile::Profiler;
+
+/// Syscall numbers understood by [`Cpu`] (selected via `$v0`).
+pub mod syscalls {
+    /// Print `$a0` as a signed decimal integer.
+    pub const PRINT_INT: u32 = 1;
+    /// Print the NUL-terminated string at address `$a0`.
+    pub const PRINT_STRING: u32 = 4;
+    /// Pop one integer from the scripted input queue into `$v0`.
+    pub const READ_INT: u32 = 5;
+    /// Halt the program; `$a0` is the exit code.
+    pub const EXIT: u32 = 10;
+    /// Print the low byte of `$a0` as a character.
+    pub const PRINT_CHAR: u32 = 11;
+}
+
+/// An executing program instance.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    pc: u32,
+    program: Program,
+    mem: Memory,
+    halted: bool,
+    exit_code: u32,
+    output: String,
+    input_queue: VecDeque<i32>,
+    steps: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with the program loaded: data segment copied to
+    /// [`DATA_BASE`], `$sp` at [`STACK_TOP`], and the PC at the program
+    /// entry point.
+    #[must_use]
+    pub fn new(program: Program) -> Cpu {
+        let mut mem = Memory::new();
+        mem.write_bytes(DATA_BASE, &program.data);
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.0 as usize] = STACK_TOP;
+        let pc = program.entry;
+        Cpu {
+            regs,
+            hi: 0,
+            lo: 0,
+            pc,
+            program,
+            mem,
+            halted: false,
+            exit_code: 0,
+            output: String::new(),
+            input_queue: VecDeque::new(),
+            steps: 0,
+        }
+    }
+
+    /// Reads a register (`$zero` always reads 0).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.regs[r.0 as usize]
+        }
+    }
+
+    /// Writes a register (writes to `$zero` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = value;
+        }
+    }
+
+    /// Whether the program has executed an exit syscall.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Exit code passed to the exit syscall.
+    #[must_use]
+    pub fn exit_code(&self) -> u32 {
+        self.exit_code
+    }
+
+    /// Everything printed so far.
+    #[must_use]
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Number of instructions executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current program counter (instruction index).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Queues an integer for the `read_int` syscall.
+    pub fn push_input(&mut self, value: i32) {
+        self.input_queue.push_back(value);
+    }
+
+    /// Direct access to memory (for loading test fixtures or inspecting
+    /// results).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The loaded program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes one instruction; returns it for instrumentation, or `None`
+    /// if the program has already halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on PC escape, bad memory access, unknown
+    /// syscall, or exhausted input.
+    pub fn step(&mut self) -> Result<Option<Inst>, ExecError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let len = self.program.insts.len();
+        let Some(&inst) = self.program.insts.get(self.pc as usize) else {
+            return Err(ExecError::PcOutOfRange { pc: self.pc, len });
+        };
+        self.steps += 1;
+        let mut next_pc = self.pc + 1;
+        match inst {
+            Inst::Add { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)));
+            }
+            Inst::Sub { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)));
+            }
+            Inst::And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Inst::Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Inst::Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Inst::Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
+            Inst::Slt { rd, rs, rt } => {
+                self.set_reg(rd, u32::from((self.reg(rs) as i32) < self.reg(rt) as i32));
+            }
+            Inst::Sltu { rd, rs, rt } => {
+                self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt)));
+            }
+            Inst::Sllv { rd, rt, rs } => {
+                self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 31));
+            }
+            Inst::Srlv { rd, rt, rs } => {
+                self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 31));
+            }
+            Inst::Srav { rd, rt, rs } => {
+                self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32);
+            }
+            Inst::Sll { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) << shamt),
+            Inst::Srl { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) >> shamt),
+            Inst::Sra { rd, rt, shamt } => {
+                self.set_reg(rd, ((self.reg(rt) as i32) >> shamt) as u32);
+            }
+            Inst::Mult { rs, rt } => {
+                let p = i64::from(self.reg(rs) as i32) * i64::from(self.reg(rt) as i32);
+                self.hi = (p as u64 >> 32) as u32;
+                self.lo = p as u32;
+            }
+            Inst::Multu { rs, rt } => {
+                let p = u64::from(self.reg(rs)) * u64::from(self.reg(rt));
+                self.hi = (p >> 32) as u32;
+                self.lo = p as u32;
+            }
+            Inst::Div { rs, rt } => {
+                let (n, d) = (self.reg(rs) as i32, self.reg(rt) as i32);
+                if d != 0 {
+                    self.lo = n.wrapping_div(d) as u32;
+                    self.hi = n.wrapping_rem(d) as u32;
+                }
+            }
+            Inst::Divu { rs, rt } => {
+                let (n, d) = (self.reg(rs), self.reg(rt));
+                if let (Some(q), Some(r)) = (n.checked_div(d), n.checked_rem(d)) {
+                    self.lo = q;
+                    self.hi = r;
+                }
+            }
+            Inst::Mfhi { rd } => self.set_reg(rd, self.hi),
+            Inst::Mflo { rd } => self.set_reg(rd, self.lo),
+            Inst::Addi { rt, rs, imm } => {
+                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32));
+            }
+            Inst::Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & u32::from(imm)),
+            Inst::Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | u32::from(imm)),
+            Inst::Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ u32::from(imm)),
+            Inst::Slti { rt, rs, imm } => {
+                self.set_reg(rt, u32::from((self.reg(rs) as i32) < i32::from(imm)));
+            }
+            Inst::Sltiu { rt, rs, imm } => {
+                self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32));
+            }
+            Inst::Lui { rt, imm } => self.set_reg(rt, u32::from(imm) << 16),
+            Inst::Lw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                let v = self.mem.read_word(addr)?;
+                self.set_reg(rt, v);
+            }
+            Inst::Sw { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.mem.write_word(addr, self.reg(rt))?;
+            }
+            Inst::Lb { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.set_reg(rt, self.mem.read_byte(addr) as i8 as i32 as u32);
+            }
+            Inst::Lbu { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.set_reg(rt, u32::from(self.mem.read_byte(addr)));
+            }
+            Inst::Sb { rt, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                self.mem.write_byte(addr, self.reg(rt) as u8);
+            }
+            Inst::Beq { rs, rt, target } => {
+                if self.reg(rs) == self.reg(rt) {
+                    next_pc = target;
+                }
+            }
+            Inst::Bne { rs, rt, target } => {
+                if self.reg(rs) != self.reg(rt) {
+                    next_pc = target;
+                }
+            }
+            Inst::Blez { rs, target } => {
+                if self.reg(rs) as i32 <= 0 {
+                    next_pc = target;
+                }
+            }
+            Inst::Bgtz { rs, target } => {
+                if self.reg(rs) as i32 > 0 {
+                    next_pc = target;
+                }
+            }
+            Inst::Bltz { rs, target } => {
+                if (self.reg(rs) as i32) < 0 {
+                    next_pc = target;
+                }
+            }
+            Inst::Bgez { rs, target } => {
+                if self.reg(rs) as i32 >= 0 {
+                    next_pc = target;
+                }
+            }
+            Inst::J { target } => next_pc = target,
+            Inst::Jal { target } => {
+                self.set_reg(Reg::RA, self.pc + 1);
+                next_pc = target;
+            }
+            Inst::Jr { rs } => next_pc = self.reg(rs),
+            Inst::Jalr { rd, rs } => {
+                let t = self.reg(rs);
+                self.set_reg(rd, self.pc + 1);
+                next_pc = t;
+            }
+            Inst::Syscall => self.syscall()?,
+            Inst::Nop => {}
+        }
+        self.pc = next_pc;
+        Ok(Some(inst))
+    }
+
+    fn syscall(&mut self) -> Result<(), ExecError> {
+        let service = self.reg(Reg::V0);
+        let a0 = self.reg(Reg::A0);
+        match service {
+            syscalls::PRINT_INT => {
+                self.output.push_str(&(a0 as i32).to_string());
+            }
+            syscalls::PRINT_STRING => {
+                let s = self.mem.read_cstring(a0);
+                self.output.push_str(&s);
+            }
+            syscalls::READ_INT => {
+                let v = self
+                    .input_queue
+                    .pop_front()
+                    .ok_or(ExecError::InputExhausted)?;
+                self.set_reg(Reg::V0, v as u32);
+            }
+            syscalls::EXIT => {
+                self.halted = true;
+                self.exit_code = a0;
+            }
+            syscalls::PRINT_CHAR => {
+                self.output.push(char::from(a0 as u8));
+            }
+            other => return Err(ExecError::UnknownSyscall(other)),
+        }
+        Ok(())
+    }
+
+    /// Runs until exit or until `budget` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepBudgetExceeded`] if the budget runs out,
+    /// or any error from [`Cpu::step`].
+    pub fn run(&mut self, budget: u64) -> Result<u64, ExecError> {
+        let start = self.steps;
+        while !self.halted {
+            if self.steps - start >= budget {
+                return Err(ExecError::StepBudgetExceeded { budget });
+            }
+            self.step()?;
+        }
+        Ok(self.steps - start)
+    }
+
+    /// Runs like [`Cpu::run`] while feeding every executed instruction to
+    /// a [`Profiler`] — the ATOM instrumentation hook.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::run`].
+    pub fn run_profiled(&mut self, budget: u64, profiler: &mut Profiler) -> Result<u64, ExecError> {
+        let start = self.steps;
+        while !self.halted {
+            if self.steps - start >= budget {
+                return Err(ExecError::StepBudgetExceeded { budget });
+            }
+            if let Some(inst) = self.step()? {
+                profiler.record(&inst);
+            }
+        }
+        Ok(self.steps - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> Cpu {
+        let program = assemble(src).expect("test programs assemble");
+        let mut cpu = Cpu::new(program);
+        cpu.run(1_000_000).expect("test programs run to exit");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $t0, 6
+            li   $t1, 7
+            mult $t0, $t1
+            mflo $a0
+            li   $v0, 1
+            syscall
+            li   $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "42");
+        assert!(cpu.halted());
+    }
+
+    #[test]
+    fn signed_arithmetic_wraps_and_compares() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $t0, -5
+            li   $t1, 3
+            add  $t2, $t0, $t1     # -2
+            slt  $t3, $t2, $zero   # 1
+            sltu $t4, $t2, $zero   # 0 (unsigned -2 is huge)
+            move $a0, $t3
+            li   $v0, 1
+            syscall
+            move $a0, $t4
+            li   $v0, 1
+            syscall
+            li   $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "10");
+    }
+
+    #[test]
+    fn shifts_behave() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $t0, -16
+            sra  $t1, $t0, 2      # -4
+            srl  $t2, $t0, 28     # 0xf
+            sll  $t3, $t0, 1     # -32
+            move $a0, $t1
+            li $v0, 1
+            syscall
+            li $a0, 32
+            li $v0, 11
+            syscall
+            move $a0, $t2
+            li $v0, 1
+            syscall
+            li $a0, 32
+            li $v0, 11
+            syscall
+            move $a0, $t3
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "-4 15 -32");
+    }
+
+    #[test]
+    fn division_and_remainder() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $t0, 17
+            li   $t1, 5
+            div  $t0, $t1
+            mflo $a0          # 3
+            li $v0, 1
+            syscall
+            mfhi $a0          # 2
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "32");
+    }
+
+    #[test]
+    fn division_by_zero_leaves_hilo() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $t0, 9
+            li   $t1, 4
+            div  $t0, $t1     # lo=2, hi=1
+            div  $t0, $zero   # unchanged
+            mflo $a0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "2");
+    }
+
+    #[test]
+    fn memory_and_data_segment() {
+        let cpu = run_asm(
+            r#"
+            .data
+            values: .word 10, 20, 30
+            msg:    .asciiz "sum="
+            .text
+            la   $t0, values
+            lw   $t1, 0($t0)
+            lw   $t2, 4($t0)
+            lw   $t3, 8($t0)
+            add  $t1, $t1, $t2
+            add  $t1, $t1, $t3
+            la   $a0, msg
+            li   $v0, 4
+            syscall
+            move $a0, $t1
+            li   $v0, 1
+            syscall
+            li   $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "sum=60");
+    }
+
+    #[test]
+    fn byte_loads_sign_and_zero_extend() {
+        let cpu = run_asm(
+            r#"
+            .data
+            b: .byte 0xff
+            .text
+            la   $t0, b
+            lb   $a0, 0($t0)   # -1
+            li $v0, 1
+            syscall
+            lbu  $a0, 0($t0)   # 255
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "-1255");
+    }
+
+    #[test]
+    fn calls_and_stack() {
+        let cpu = run_asm(
+            r#"
+            .text
+            main:
+                li   $a0, 5
+                jal  double
+                move $a0, $v0
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            double:
+                addi $sp, $sp, -4
+                sw   $ra, 0($sp)
+                add  $v0, $a0, $a0
+                lw   $ra, 0($sp)
+                addi $sp, $sp, 4
+                jr   $ra
+        "#,
+        );
+        assert_eq!(cpu.output(), "10");
+    }
+
+    #[test]
+    fn read_int_from_scripted_queue() {
+        let program = assemble(
+            r#"
+            .text
+            li $v0, 5
+            syscall
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        "#,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(program.clone());
+        cpu.push_input(-123);
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.output(), "-123");
+        // Without input the same program errors.
+        let mut starved = Cpu::new(program);
+        assert_eq!(starved.run(1000), Err(ExecError::InputExhausted));
+    }
+
+    #[test]
+    fn budget_exhaustion_detected() {
+        let program = assemble(
+            r#"
+            .text
+            spin: j spin
+        "#,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(program);
+        assert_eq!(
+            cpu.run(100),
+            Err(ExecError::StepBudgetExceeded { budget: 100 })
+        );
+    }
+
+    #[test]
+    fn pc_escape_detected() {
+        let program = assemble(
+            r#"
+            .text
+            nop
+        "#,
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(program);
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(ExecError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let cpu = run_asm(
+            r#"
+            .text
+            li   $zero, 99
+            move $a0, $zero
+            li   $v0, 1
+            syscall
+            li   $v0, 10
+            syscall
+        "#,
+        );
+        assert_eq!(cpu.output(), "0");
+    }
+}

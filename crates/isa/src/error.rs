@@ -1,0 +1,99 @@
+//! Error types for assembly and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line the error occurred on (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl AssembleError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AssembleError {
+        AssembleError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+/// Error produced while executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter left the text segment without an exit syscall.
+    PcOutOfRange {
+        /// The offending instruction index.
+        pc: u32,
+        /// The number of instructions in the program.
+        len: usize,
+    },
+    /// A load or store touched an unmapped or misaligned address.
+    BadMemoryAccess {
+        /// The offending byte address.
+        address: u32,
+        /// Why the access was rejected.
+        reason: &'static str,
+    },
+    /// An unknown syscall number was requested.
+    UnknownSyscall(u32),
+    /// A `read_int` syscall found the scripted input queue empty.
+    InputExhausted,
+    /// The step budget was exhausted before the program exited.
+    StepBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} outside program of {len} instructions")
+            }
+            ExecError::BadMemoryAccess { address, reason } => {
+                write!(f, "bad memory access at {address:#010x}: {reason}")
+            }
+            ExecError::UnknownSyscall(n) => write!(f, "unknown syscall {n}"),
+            ExecError::InputExhausted => write!(f, "scripted input queue exhausted"),
+            ExecError::StepBudgetExceeded { budget } => {
+                write!(f, "program did not exit within {budget} steps")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AssembleError::new(3, "bad register")
+            .to_string()
+            .contains("line 3"));
+        assert!(ExecError::BadMemoryAccess {
+            address: 0x13,
+            reason: "misaligned word"
+        }
+        .to_string()
+        .contains("0x00000013"));
+        assert!(ExecError::StepBudgetExceeded { budget: 5 }
+            .to_string()
+            .contains('5'));
+    }
+}

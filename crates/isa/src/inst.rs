@@ -1,0 +1,312 @@
+//! Instruction set definition.
+//!
+//! A classic 32-register RISC load/store ISA. Branch and jump targets are
+//! pre-resolved *instruction indices* (the assembler resolves labels), so
+//! the interpreter never does address arithmetic on the text segment.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers. Register 0 is hardwired zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register `$zero`.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary `$at`.
+    pub const AT: Reg = Reg(1);
+    /// First result register `$v0`.
+    pub const V0: Reg = Reg(2);
+    /// Second result register `$v1`.
+    pub const V1: Reg = Reg(3);
+    /// First argument register `$a0`.
+    pub const A0: Reg = Reg(4);
+    /// Stack pointer `$sp`.
+    pub const SP: Reg = Reg(29);
+    /// Return address `$ra`.
+    pub const RA: Reg = Reg(31);
+
+    /// Canonical MIPS-style register names, indexable by register number.
+    pub const NAMES: [&'static str; 32] = [
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+        "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp",
+        "sp", "fp", "ra",
+    ];
+
+    /// Looks a register up by name (without the `$`), accepting both
+    /// symbolic (`t0`) and numeric (`8`) forms.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Reg> {
+        if let Some(i) = Self::NAMES.iter().position(|&n| n == name) {
+            return Some(Reg(i as u8));
+        }
+        name.parse::<u8>().ok().filter(|&i| i < 32).map(Reg)
+    }
+
+    /// The canonical name of this register.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// A decoded instruction.
+///
+/// `target` fields of branches and jumps are instruction indices into the
+/// program's text segment. Variant fields follow the uniform MIPS
+/// field convention — `rd` destination, `rs`/`rt` sources, `base`+`offset`
+/// for memory operands, `shamt` shift amounts, `imm` immediates — so the
+/// fields are not documented individually.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = rs + rt` (wrapping).
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt` (wrapping).
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs as i32) < (rt as i32)`.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs < rt` (unsigned).
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rt << (rs & 31)`.
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd = rt >> (rs & 31)` (logical).
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd = (rt as i32) >> (rs & 31)` (arithmetic).
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd = rt << shamt`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` (logical).
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = (rt as i32) >> shamt` (arithmetic).
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    /// `(hi, lo) = rs * rt` (signed 64-bit product).
+    Mult { rs: Reg, rt: Reg },
+    /// `(hi, lo) = rs * rt` (unsigned 64-bit product).
+    Multu { rs: Reg, rt: Reg },
+    /// `lo = rs / rt`, `hi = rs % rt` (signed; division by zero leaves
+    /// hi/lo unchanged, as on real hardware).
+    Div { rs: Reg, rt: Reg },
+    /// Unsigned divide.
+    Divu { rs: Reg, rt: Reg },
+    /// `rd = hi`.
+    Mfhi { rd: Reg },
+    /// `rd = lo`.
+    Mflo { rd: Reg },
+    /// `rt = rs + imm` (sign-extended, wrapping).
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = rs & imm` (zero-extended).
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs | imm` (zero-extended).
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs ^ imm` (zero-extended).
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = (rs as i32) < imm`.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = rs < imm` (unsigned compare of sign-extended imm).
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// `rt = mem32[rs + offset]`.
+    Lw { rt: Reg, base: Reg, offset: i16 },
+    /// `mem32[rs + offset] = rt`.
+    Sw { rt: Reg, base: Reg, offset: i16 },
+    /// `rt = sign_extend(mem8[rs + offset])`.
+    Lb { rt: Reg, base: Reg, offset: i16 },
+    /// `rt = zero_extend(mem8[rs + offset])`.
+    Lbu { rt: Reg, base: Reg, offset: i16 },
+    /// `mem8[rs + offset] = rt & 0xff`.
+    Sb { rt: Reg, base: Reg, offset: i16 },
+    /// Branch to `target` if `rs == rt`.
+    Beq { rs: Reg, rt: Reg, target: u32 },
+    /// Branch to `target` if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, target: u32 },
+    /// Branch if `rs <= 0` (signed).
+    Blez { rs: Reg, target: u32 },
+    /// Branch if `rs > 0` (signed).
+    Bgtz { rs: Reg, target: u32 },
+    /// Branch if `rs < 0` (signed).
+    Bltz { rs: Reg, target: u32 },
+    /// Branch if `rs >= 0` (signed).
+    Bgez { rs: Reg, target: u32 },
+    /// Unconditional jump.
+    J { target: u32 },
+    /// Jump and link: `ra = pc + 1`, jump to `target`.
+    Jal { target: u32 },
+    /// Jump to the address (instruction index) in `rs`.
+    Jr { rs: Reg },
+    /// `rd = pc + 1`, jump to index in `rs`.
+    Jalr { rd: Reg, rs: Reg },
+    /// Environment call; `$v0` selects the service.
+    Syscall,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Mnemonic of this instruction (the key the profiler aggregates by).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Add { .. } => "add",
+            Inst::Sub { .. } => "sub",
+            Inst::And { .. } => "and",
+            Inst::Or { .. } => "or",
+            Inst::Xor { .. } => "xor",
+            Inst::Nor { .. } => "nor",
+            Inst::Slt { .. } => "slt",
+            Inst::Sltu { .. } => "sltu",
+            Inst::Sllv { .. } => "sllv",
+            Inst::Srlv { .. } => "srlv",
+            Inst::Srav { .. } => "srav",
+            Inst::Sll { .. } => "sll",
+            Inst::Srl { .. } => "srl",
+            Inst::Sra { .. } => "sra",
+            Inst::Mult { .. } => "mult",
+            Inst::Multu { .. } => "multu",
+            Inst::Div { .. } => "div",
+            Inst::Divu { .. } => "divu",
+            Inst::Mfhi { .. } => "mfhi",
+            Inst::Mflo { .. } => "mflo",
+            Inst::Addi { .. } => "addi",
+            Inst::Andi { .. } => "andi",
+            Inst::Ori { .. } => "ori",
+            Inst::Xori { .. } => "xori",
+            Inst::Slti { .. } => "slti",
+            Inst::Sltiu { .. } => "sltiu",
+            Inst::Lui { .. } => "lui",
+            Inst::Lw { .. } => "lw",
+            Inst::Sw { .. } => "sw",
+            Inst::Lb { .. } => "lb",
+            Inst::Lbu { .. } => "lbu",
+            Inst::Sb { .. } => "sb",
+            Inst::Beq { .. } => "beq",
+            Inst::Bne { .. } => "bne",
+            Inst::Blez { .. } => "blez",
+            Inst::Bgtz { .. } => "bgtz",
+            Inst::Bltz { .. } => "bltz",
+            Inst::Bgez { .. } => "bgez",
+            Inst::J { .. } => "j",
+            Inst::Jal { .. } => "jal",
+            Inst::Jr { .. } => "jr",
+            Inst::Jalr { .. } => "jalr",
+            Inst::Syscall => "syscall",
+            Inst::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Add { rd, rs, rt }
+            | Inst::Sub { rd, rs, rt }
+            | Inst::And { rd, rs, rt }
+            | Inst::Or { rd, rs, rt }
+            | Inst::Xor { rd, rs, rt }
+            | Inst::Nor { rd, rs, rt }
+            | Inst::Slt { rd, rs, rt }
+            | Inst::Sltu { rd, rs, rt } => {
+                write!(f, "{} {rd}, {rs}, {rt}", self.mnemonic())
+            }
+            Inst::Sllv { rd, rt, rs } | Inst::Srlv { rd, rt, rs } | Inst::Srav { rd, rt, rs } => {
+                write!(f, "{} {rd}, {rt}, {rs}", self.mnemonic())
+            }
+            Inst::Sll { rd, rt, shamt } | Inst::Srl { rd, rt, shamt } | Inst::Sra { rd, rt, shamt } => {
+                write!(f, "{} {rd}, {rt}, {shamt}", self.mnemonic())
+            }
+            Inst::Mult { rs, rt } | Inst::Multu { rs, rt } | Inst::Div { rs, rt } | Inst::Divu { rs, rt } => {
+                write!(f, "{} {rs}, {rt}", self.mnemonic())
+            }
+            Inst::Mfhi { rd } | Inst::Mflo { rd } => write!(f, "{} {rd}", self.mnemonic()),
+            Inst::Addi { rt, rs, imm } | Inst::Slti { rt, rs, imm } | Inst::Sltiu { rt, rs, imm } => {
+                write!(f, "{} {rt}, {rs}, {imm}", self.mnemonic())
+            }
+            Inst::Andi { rt, rs, imm } | Inst::Ori { rt, rs, imm } | Inst::Xori { rt, rs, imm } => {
+                write!(f, "{} {rt}, {rs}, {imm:#x}", self.mnemonic())
+            }
+            Inst::Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Inst::Lw { rt, base, offset }
+            | Inst::Sw { rt, base, offset }
+            | Inst::Lb { rt, base, offset }
+            | Inst::Lbu { rt, base, offset }
+            | Inst::Sb { rt, base, offset } => {
+                write!(f, "{} {rt}, {offset}({base})", self.mnemonic())
+            }
+            Inst::Beq { rs, rt, target } | Inst::Bne { rs, rt, target } => {
+                write!(f, "{} {rs}, {rt}, @{target}", self.mnemonic())
+            }
+            Inst::Blez { rs, target }
+            | Inst::Bgtz { rs, target }
+            | Inst::Bltz { rs, target }
+            | Inst::Bgez { rs, target } => write!(f, "{} {rs}, @{target}", self.mnemonic()),
+            Inst::J { target } | Inst::Jal { target } => {
+                write!(f, "{} @{target}", self.mnemonic())
+            }
+            Inst::Jr { rs } => write!(f, "jr {rs}"),
+            Inst::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Inst::Syscall => write!(f, "syscall"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_by_name_and_number() {
+        assert_eq!(Reg::by_name("t0"), Some(Reg(8)));
+        assert_eq!(Reg::by_name("zero"), Some(Reg(0)));
+        assert_eq!(Reg::by_name("ra"), Some(Reg(31)));
+        assert_eq!(Reg::by_name("31"), Some(Reg(31)));
+        assert_eq!(Reg::by_name("32"), None);
+        assert_eq!(Reg::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(Reg(8).to_string(), "$t0");
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(Reg(29).name(), "sp");
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        let i = Inst::Add {
+            rd: Reg(8),
+            rs: Reg(9),
+            rt: Reg(10),
+        };
+        assert_eq!(i.mnemonic(), "add");
+        assert_eq!(i.to_string(), "add $t0, $t1, $t2");
+        let lw = Inst::Lw {
+            rt: Reg(8),
+            base: Reg(29),
+            offset: -4,
+        };
+        assert_eq!(lw.to_string(), "lw $t0, -4($sp)");
+        assert_eq!(Inst::Syscall.to_string(), "syscall");
+        let b = Inst::Bne {
+            rs: Reg(8),
+            rt: Reg(0),
+            target: 12,
+        };
+        assert_eq!(b.to_string(), "bne $t0, $zero, @12");
+    }
+}

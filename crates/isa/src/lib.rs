@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # lowvolt-isa
+//!
+//! A 32-bit RISC instruction set (MIPS-flavoured) with a two-pass
+//! assembler, an interpreter, and an ATOM-style profiling layer.
+//!
+//! This crate plays the role of the binary-instrumentation tools (ATOM,
+//! Pixie) in the paper's §5.3 methodology: "the execution frequency of
+//! individual assembly language instructions must be mapped to functional
+//! block use". The [`profile`] module counts per-instruction executions,
+//! maps them onto functional blocks (adder / shifter / multiplier), and
+//! computes the activity variables the energy models need:
+//!
+//! - `fga` — the fraction of executed instructions that use a block, and
+//! - `bga` — the fraction of cycles on which a block *run* begins (a run
+//!   being a maximal streak of consecutive uses), i.e. how often the
+//!   block's standby control has to toggle.
+//!
+//! # Example
+//!
+//! ```
+//! use lowvolt_isa::asm::assemble;
+//! use lowvolt_isa::cpu::Cpu;
+//! use lowvolt_isa::profile::Profiler;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(r#"
+//!     .text
+//! main:
+//!     li   $t0, 0          # sum = 0
+//!     li   $t1, 10         # i = 10
+//! loop:
+//!     add  $t0, $t0, $t1   # sum += i
+//!     addi $t1, $t1, -1
+//!     bgtz $t1, loop
+//!     li   $v0, 10         # exit
+//!     syscall
+//! "#)?;
+//! let mut cpu = Cpu::new(program);
+//! let mut profiler = Profiler::standard();
+//! cpu.run_profiled(1_000_000, &mut profiler)?;
+//! let report = profiler.report();
+//! let adder = report.unit(lowvolt_isa::blocks::FunctionalUnit::Adder);
+//! assert!(adder.fga > 0.5, "the loop is adder-dominated");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod bblocks;
+pub mod blocks;
+pub mod cpu;
+pub mod error;
+pub mod inst;
+pub mod mem;
+pub mod profile;
+
+pub use asm::assemble;
+pub use blocks::FunctionalUnit;
+pub use cpu::Cpu;
+pub use error::{AssembleError, ExecError};
+pub use inst::{Inst, Reg};
+pub use profile::Profiler;

@@ -1,0 +1,174 @@
+//! Sparse paged byte-addressable memory.
+//!
+//! The data segment lives at [`DATA_BASE`] and the stack grows down from
+//! [`STACK_TOP`]; paging keeps the gigabytes in between free.
+
+use crate::error::ExecError;
+use std::collections::HashMap;
+
+/// Base address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Initial stack pointer (word-aligned top of the stack region).
+pub const STACK_TOP: u32 = 0x7fff_fffc;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse paged memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, address: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(address >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte (unmapped memory reads as zero).
+    #[must_use]
+    pub fn read_byte(&self, address: u32) -> u8 {
+        match self.pages.get(&(address >> PAGE_BITS)) {
+            Some(page) => page[(address as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, address: u32, value: u8) {
+        self.page_mut(address)[(address as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadMemoryAccess`] if `address` is not 4-byte
+    /// aligned.
+    pub fn read_word(&self, address: u32) -> Result<u32, ExecError> {
+        if !address.is_multiple_of(4) {
+            return Err(ExecError::BadMemoryAccess {
+                address,
+                reason: "misaligned word load",
+            });
+        }
+        Ok(u32::from_le_bytes([
+            self.read_byte(address),
+            self.read_byte(address + 1),
+            self.read_byte(address + 2),
+            self.read_byte(address + 3),
+        ]))
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadMemoryAccess`] if `address` is not 4-byte
+    /// aligned.
+    pub fn write_word(&mut self, address: u32, value: u32) -> Result<(), ExecError> {
+        if !address.is_multiple_of(4) {
+            return Err(ExecError::BadMemoryAccess {
+                address,
+                reason: "misaligned word store",
+            });
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_byte(address + i as u32, b);
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory starting at `address`.
+    pub fn write_bytes(&mut self, address: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(address + i as u32, b);
+        }
+    }
+
+    /// Reads a NUL-terminated string starting at `address` (capped at 64
+    /// KiB to bound runaway reads).
+    #[must_use]
+    pub fn read_cstring(&self, address: u32) -> String {
+        let mut out = Vec::new();
+        for i in 0..65_536 {
+            let b = self.read_byte(address.wrapping_add(i));
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    /// Number of resident pages (a footprint metric).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_default_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_byte(0x1234), 0);
+        m.write_byte(0x1234, 0xab);
+        assert_eq!(m.read_byte(0x1234), 0xab);
+    }
+
+    #[test]
+    fn words_are_little_endian() {
+        let mut m = Memory::new();
+        m.write_word(DATA_BASE, 0x1234_5678).unwrap();
+        assert_eq!(m.read_byte(DATA_BASE), 0x78);
+        assert_eq!(m.read_byte(DATA_BASE + 3), 0x12);
+        assert_eq!(m.read_word(DATA_BASE).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn misalignment_rejected() {
+        let mut m = Memory::new();
+        assert!(m.read_word(2).is_err());
+        assert!(m.write_word(DATA_BASE + 1, 0).is_err());
+    }
+
+    #[test]
+    fn words_span_pages() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_BITS) - 4; // last word of page 0
+        m.write_word(addr as u32, 0xdead_beef).unwrap();
+        assert_eq!(m.read_word(addr as u32).unwrap(), 0xdead_beef);
+        // One page boundary straddle via bytes:
+        m.write_bytes((1 << PAGE_BITS) - 2, &[1, 2, 3, 4]);
+        assert_eq!(m.read_byte(1 << PAGE_BITS), 3);
+    }
+
+    #[test]
+    fn cstring_reads_until_nul() {
+        let mut m = Memory::new();
+        m.write_bytes(DATA_BASE, b"hello\0world");
+        assert_eq!(m.read_cstring(DATA_BASE), "hello");
+    }
+
+    #[test]
+    fn stack_and_data_are_far_apart() {
+        let mut m = Memory::new();
+        m.write_word(STACK_TOP, 7).unwrap();
+        m.write_word(DATA_BASE, 9).unwrap();
+        assert_eq!(m.read_word(STACK_TOP).unwrap(), 7);
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

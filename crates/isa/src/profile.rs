@@ -1,0 +1,361 @@
+//! ATOM-style execution profiling: per-instruction counts and the paper's
+//! `fga` / `bga` activity variables.
+//!
+//! From §5.3: "fga is the ratio between the total number of uses of the
+//! functional block to the total number of executed instructions. bga is
+//! the ratio of the number of blocks of functional unit uses to the total
+//! number of executed instructions (so if all the uses of a block were
+//! sequential, bga would be 1/total instructions)."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::blocks::{BlockMap, FunctionalUnit};
+use crate::inst::Inst;
+
+/// Streaming profiler fed by [`Cpu::run_profiled`](crate::cpu::Cpu::run_profiled).
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    map: BlockMap,
+    total: u64,
+    per_mnemonic: HashMap<&'static str, u64>,
+    uses: [u64; 3],
+    runs: [u64; 3],
+    last_use: [Option<u64>; 3],
+    /// A use within `window` instructions of the previous one continues
+    /// the same run (hysteresis); 1 = strict adjacency.
+    window: u64,
+}
+
+impl Profiler {
+    /// Profiler with the paper's standard instruction→block mapping.
+    #[must_use]
+    pub fn standard() -> Profiler {
+        Profiler::with_map(BlockMap::standard())
+    }
+
+    /// Profiler with a custom mapping.
+    #[must_use]
+    pub fn with_map(map: BlockMap) -> Profiler {
+        Profiler {
+            map,
+            total: 0,
+            per_mnemonic: HashMap::new(),
+            uses: [0; 3],
+            runs: [0; 3],
+            last_use: [None; 3],
+            window: 1,
+        }
+    }
+
+    /// Sets the run-detection hysteresis: a block re-used within `window`
+    /// instructions of its previous use is considered *still on* (no new
+    /// standby transition). Physically, toggling a back gate between uses
+    /// a few cycles apart would cost more control energy than the leakage
+    /// it saves, so coarser windows model realistic power-management
+    /// policies. `window = 1` (the default) is strict adjacency — the
+    /// paper's literal run definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_hysteresis(mut self, window: u64) -> Profiler {
+        assert!(window >= 1, "hysteresis window must be at least 1");
+        self.window = window;
+        self
+    }
+
+    /// Records one executed instruction.
+    pub fn record(&mut self, inst: &Inst) {
+        self.total += 1;
+        *self.per_mnemonic.entry(inst.mnemonic()).or_insert(0) += 1;
+        let units = self.map.units_for(inst);
+        for unit in FunctionalUnit::ALL {
+            let i = unit.index();
+            if units.contains(unit) {
+                self.uses[i] += 1;
+                let new_run = self.last_use[i]
+                    .is_none_or(|last| self.total - last > self.window);
+                if new_run {
+                    self.runs[i] += 1;
+                }
+                self.last_use[i] = Some(self.total);
+            }
+        }
+    }
+
+    /// Total instructions recorded so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Finalises the counters into a report (the profiler can keep
+    /// recording afterwards).
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        let units = FunctionalUnit::ALL
+            .into_iter()
+            .map(|u| {
+                let i = u.index();
+                UnitStats {
+                    unit: u,
+                    uses: self.uses[i],
+                    runs: self.runs[i],
+                    fga: ratio(self.uses[i], self.total),
+                    bga: ratio(self.runs[i], self.total),
+                }
+            })
+            .collect();
+        let mut per_mnemonic: Vec<(String, u64)> = self
+            .per_mnemonic
+            .iter()
+            .map(|(&m, &c)| (m.to_string(), c))
+            .collect();
+        per_mnemonic.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ProfileReport {
+            total: self.total,
+            units,
+            per_mnemonic,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Activity statistics for one functional unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitStats {
+    /// The unit.
+    pub unit: FunctionalUnit,
+    /// Number of instructions that used the unit.
+    pub uses: u64,
+    /// Number of maximal consecutive runs of uses.
+    pub runs: u64,
+    /// Front-gate activity: `uses / total_instructions`.
+    pub fga: f64,
+    /// Back-gate activity: `runs / total_instructions`.
+    pub bga: f64,
+}
+
+/// A finished profile — the contents of one of the paper's Tables 1–3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Total executed instructions.
+    pub total: u64,
+    /// Stats per functional unit, in [`FunctionalUnit::ALL`] order.
+    pub units: Vec<UnitStats>,
+    /// Executed-count per mnemonic, most frequent first.
+    pub per_mnemonic: Vec<(String, u64)>,
+}
+
+impl ProfileReport {
+    /// Stats for one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report was somehow built without all three units
+    /// (impossible via [`Profiler::report`]).
+    #[must_use]
+    pub fn unit(&self, unit: FunctionalUnit) -> UnitStats {
+        self.units
+            .iter()
+            .copied()
+            .find(|s| s.unit == unit)
+            .expect("reports carry all units")
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    /// Renders in the layout of the paper's Tables 1–3.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<20} {:>12} {:>10} {:>10}", "", "Number", "fga", "bga")?;
+        writeln!(f, "{:<20} {:>12}", "Total Instructions", self.total)?;
+        for s in &self.units {
+            writeln!(
+                f,
+                "{:<20} {:>12} {:>10.5} {:>10.5}",
+                s.unit.table_label(),
+                s.uses,
+                s.fga,
+                s.bga
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    fn add() -> Inst {
+        Inst::Add {
+            rd: Reg(8),
+            rs: Reg(9),
+            rt: Reg(10),
+        }
+    }
+
+    fn nop() -> Inst {
+        Inst::Nop
+    }
+
+    fn shift() -> Inst {
+        Inst::Sll {
+            rd: Reg(8),
+            rt: Reg(9),
+            shamt: 1,
+        }
+    }
+
+    #[test]
+    fn fga_counts_uses_per_instruction() {
+        let mut p = Profiler::standard();
+        for _ in 0..6 {
+            p.record(&add());
+        }
+        for _ in 0..4 {
+            p.record(&nop());
+        }
+        let r = p.report();
+        let adder = r.unit(FunctionalUnit::Adder);
+        assert_eq!(r.total, 10);
+        assert_eq!(adder.uses, 6);
+        assert!((adder.fga - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bga_counts_runs_not_uses() {
+        // Pattern: AAA..AA. → 2 runs of adder use in 8 instructions.
+        let mut p = Profiler::standard();
+        for inst in [add(), add(), add(), nop(), nop(), add(), add(), nop()] {
+            p.record(&inst);
+        }
+        let adder = p.report().unit(FunctionalUnit::Adder);
+        assert_eq!(adder.uses, 5);
+        assert_eq!(adder.runs, 2);
+        assert!((adder.bga - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_sequential_uses_give_bga_one_over_n() {
+        // The paper's sentence: "if all the uses of a block were
+        // sequential, bga would be 1/total instructions".
+        let mut p = Profiler::standard();
+        for _ in 0..50 {
+            p.record(&add());
+        }
+        let adder = p.report().unit(FunctionalUnit::Adder);
+        assert_eq!(adder.runs, 1);
+        assert!((adder.bga - 1.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_uses_make_bga_equal_fga() {
+        let mut p = Profiler::standard();
+        for _ in 0..25 {
+            p.record(&add());
+            p.record(&nop());
+        }
+        let adder = p.report().unit(FunctionalUnit::Adder);
+        assert!((adder.bga - adder.fga).abs() < 1e-12);
+    }
+
+    #[test]
+    fn units_tracked_independently() {
+        let mut p = Profiler::standard();
+        for inst in [add(), shift(), add(), shift()] {
+            p.record(&inst);
+        }
+        let r = p.report();
+        assert_eq!(r.unit(FunctionalUnit::Adder).runs, 2);
+        assert_eq!(r.unit(FunctionalUnit::Shifter).runs, 2);
+        assert_eq!(r.unit(FunctionalUnit::Multiplier).uses, 0);
+    }
+
+    #[test]
+    fn per_mnemonic_sorted_by_frequency() {
+        let mut p = Profiler::standard();
+        for _ in 0..3 {
+            p.record(&add());
+        }
+        p.record(&shift());
+        let r = p.report();
+        assert_eq!(r.per_mnemonic[0], ("add".to_string(), 3));
+        assert_eq!(r.per_mnemonic[1], ("sll".to_string(), 1));
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = Profiler::standard().report();
+        assert_eq!(r.total, 0);
+        assert_eq!(r.unit(FunctionalUnit::Adder).fga, 0.0);
+    }
+
+    #[test]
+    fn display_matches_table_layout() {
+        let mut p = Profiler::standard();
+        p.record(&add());
+        let text = p.report().to_string();
+        assert!(text.contains("Total Instructions"));
+        assert!(text.contains("Additions"));
+        assert!(text.contains("Shifts"));
+        assert!(text.contains("Multiplications"));
+    }
+}
+
+#[cfg(test)]
+mod hysteresis_tests {
+    use super::*;
+    use crate::inst::{Inst, Reg};
+
+    fn add() -> Inst {
+        Inst::Add {
+            rd: Reg(8),
+            rs: Reg(9),
+            rt: Reg(10),
+        }
+    }
+
+    #[test]
+    fn window_merges_nearby_uses_into_one_run() {
+        // Pattern A..A..A (gap of 2): strict counting sees 3 runs,
+        // window 2 sees one.
+        let pattern = [add(), Inst::Nop, Inst::Nop, add(), Inst::Nop, Inst::Nop, add()];
+        let mut strict = Profiler::standard();
+        let mut relaxed = Profiler::standard().with_hysteresis(3);
+        for inst in &pattern {
+            strict.record(inst);
+            relaxed.record(inst);
+        }
+        assert_eq!(strict.report().unit(FunctionalUnit::Adder).runs, 3);
+        assert_eq!(relaxed.report().unit(FunctionalUnit::Adder).runs, 1);
+    }
+
+    #[test]
+    fn window_one_matches_strict_adjacency() {
+        let pattern = [add(), add(), Inst::Nop, add()];
+        let mut a = Profiler::standard();
+        let mut b = Profiler::standard().with_hysteresis(1);
+        for inst in &pattern {
+            a.record(inst);
+            b.record(inst);
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis window")]
+    fn zero_window_rejected() {
+        let _ = Profiler::standard().with_hysteresis(0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests: the interpreter's arithmetic must agree with
+//! Rust's, and the profiler's activity variables must satisfy their
+//! defining inequalities on arbitrary instruction streams.
+
+use lowvolt_isa::asm::assemble;
+use lowvolt_isa::blocks::FunctionalUnit;
+use lowvolt_isa::cpu::Cpu;
+use lowvolt_isa::inst::{Inst, Reg};
+use lowvolt_isa::profile::Profiler;
+use proptest::prelude::*;
+
+/// Runs a two-operand computation through the CPU and returns the printed
+/// result.
+fn run_binop(op_lines: &str, a: i32, b: i32) -> i64 {
+    let src = format!(
+        r#"
+        .text
+        li $t0, {a}
+        li $t1, {b}
+        {op_lines}
+        li $v0, 1
+        syscall
+        li $v0, 10
+        syscall
+    "#
+    );
+    let mut cpu = Cpu::new(assemble(&src).expect("assembles"));
+    cpu.run(10_000).expect("runs");
+    cpu.output().parse().expect("integer output")
+}
+
+proptest! {
+    #[test]
+    fn add_matches_wrapping(a in any::<i32>(), b in any::<i32>()) {
+        let got = run_binop("add $a0, $t0, $t1", a, b);
+        prop_assert_eq!(got, i64::from(a.wrapping_add(b)));
+    }
+
+    #[test]
+    fn sub_matches_wrapping(a in any::<i32>(), b in any::<i32>()) {
+        let got = run_binop("sub $a0, $t0, $t1", a, b);
+        prop_assert_eq!(got, i64::from(a.wrapping_sub(b)));
+    }
+
+    #[test]
+    fn mult_matches_64bit_product(a in any::<i32>(), b in any::<i32>()) {
+        let lo = run_binop("mult $t0, $t1\nmflo $a0", a, b);
+        let hi = run_binop("mult $t0, $t1\nmfhi $a0", a, b);
+        let product = i64::from(a) * i64::from(b);
+        prop_assert_eq!(lo as i32, product as i32);
+        prop_assert_eq!(hi as i32, (product >> 32) as i32);
+    }
+
+    #[test]
+    fn div_matches_truncating(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |&b| b != 0)) {
+        prop_assume!(!(a == i32::MIN && b == -1)); // wrapping_div differs from hw edge case semantics we keep
+        let q = run_binop("div $t0, $t1\nmflo $a0", a, b);
+        let r = run_binop("div $t0, $t1\nmfhi $a0", a, b);
+        prop_assert_eq!(q as i32, a / b);
+        prop_assert_eq!(r as i32, a % b);
+    }
+
+    #[test]
+    fn logic_ops_match(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(run_binop("and $a0, $t0, $t1", a, b) as i32, a & b);
+        prop_assert_eq!(run_binop("or $a0, $t0, $t1", a, b) as i32, a | b);
+        prop_assert_eq!(run_binop("xor $a0, $t0, $t1", a, b) as i32, a ^ b);
+        prop_assert_eq!(run_binop("nor $a0, $t0, $t1", a, b) as i32, !(a | b));
+    }
+
+    #[test]
+    fn shifts_match(a in any::<i32>(), s in 0u8..32) {
+        prop_assert_eq!(
+            run_binop(&format!("sll $a0, $t0, {s}"), a, 0) as i32,
+            ((a as u32) << s) as i32
+        );
+        prop_assert_eq!(
+            run_binop(&format!("srl $a0, $t0, {s}"), a, 0) as i32,
+            ((a as u32) >> s) as i32
+        );
+        prop_assert_eq!(
+            run_binop(&format!("sra $a0, $t0, {s}"), a, 0) as i32,
+            a >> s
+        );
+        // Variable forms agree with immediate forms.
+        prop_assert_eq!(
+            run_binop("sllv $a0, $t0, $t1", a, i32::from(s)) as i32,
+            ((a as u32) << s) as i32
+        );
+    }
+
+    #[test]
+    fn comparisons_match(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(run_binop("slt $a0, $t0, $t1", a, b), i64::from(a < b));
+        prop_assert_eq!(
+            run_binop("sltu $a0, $t0, $t1", a, b),
+            i64::from((a as u32) < b as u32)
+        );
+    }
+
+    #[test]
+    fn memory_roundtrips(v in any::<i32>(), slot in 0i32..16) {
+        let src = format!(
+            r#"
+            .data
+            buf: .space 64
+            .text
+            la  $t0, buf
+            li  $t1, {v}
+            sw  $t1, {off}($t0)
+            lw  $a0, {off}($t0)
+            li  $v0, 1
+            syscall
+            li  $v0, 10
+            syscall
+        "#,
+            off = slot * 4
+        );
+        let mut cpu = Cpu::new(assemble(&src).expect("assembles"));
+        cpu.run(10_000).expect("runs");
+        prop_assert_eq!(cpu.output().parse::<i64>().unwrap() as i32, v);
+    }
+
+    /// On any instruction stream: bga <= fga <= 1, and runs can never
+    /// exceed uses.
+    #[test]
+    fn activity_invariants(pattern in proptest::collection::vec(0u8..4, 1..300)) {
+        let mut p = Profiler::standard();
+        for k in &pattern {
+            let inst = match k {
+                0 => Inst::Add { rd: Reg(8), rs: Reg(9), rt: Reg(10) },
+                1 => Inst::Sll { rd: Reg(8), rt: Reg(9), shamt: 1 },
+                2 => Inst::Mult { rs: Reg(8), rt: Reg(9) },
+                _ => Inst::Nop,
+            };
+            p.record(&inst);
+        }
+        let report = p.report();
+        prop_assert_eq!(report.total, pattern.len() as u64);
+        let mut total_uses = 0;
+        for unit in FunctionalUnit::ALL {
+            let s = report.unit(unit);
+            prop_assert!(s.runs <= s.uses);
+            prop_assert!(s.bga <= s.fga + 1e-12);
+            prop_assert!(s.fga <= 1.0);
+            total_uses += s.uses;
+        }
+        // Each of the 4 instruction kinds uses at most one unit.
+        prop_assert!(total_uses <= report.total);
+    }
+}

@@ -1,0 +1,461 @@
+//! An espresso-like two-level logic minimiser: native reference and guest
+//! assembly program.
+//!
+//! SPEC's `espresso` (the paper's Table 1 workload) spends its time in
+//! cube-cover manipulation: bitwise set operations, distance tests,
+//! containment checks and list management — add/compare/branch-dominated
+//! with essentially no multiplication. The guest program reproduces that
+//! mix with the classic Quine–McCluskey-style inner loops over cubes in
+//! positional notation (two bits per variable: `01` = complemented, `10` =
+//! true, `11` = don't-care):
+//!
+//! 1. generate pseudo-random minterms over [`VARIABLES`] variables (one
+//!    LCG multiply each — the trace of multiplier activity real espresso
+//!    also shows),
+//! 2. repeatedly merge distance-1 cube pairs (`01`/`10` in exactly one
+//!    field) into a don't-care cube, dropping the covered pair,
+//! 3. remove cubes contained in another cube, and
+//! 4. print the surviving cube count and an XOR checksum.
+
+/// Number of boolean variables per cube.
+pub const VARIABLES: usize = 8;
+
+/// Mask of the low bits of all 2-bit fields (`01` positions).
+const LOW_BITS: u32 = 0x5555;
+
+/// Maximum minterms the fixed-size guest arrays accept.
+pub const MAX_MINTERMS: usize = 512;
+
+/// The LCG that generates minterms (glibc constants, 31-bit state).
+#[must_use]
+pub fn lcg_next(state: u32) -> u32 {
+    state.wrapping_mul(1_103_515_245).wrapping_add(12_345) & 0x7fff_ffff
+}
+
+/// Expands an 8-bit minterm into a positional-notation cube.
+#[must_use]
+pub fn minterm_to_cube(minterm: u32) -> u32 {
+    let mut cube = 0u32;
+    for k in 0..VARIABLES {
+        let field = if minterm >> k & 1 == 1 { 2 } else { 1 };
+        cube |= field << (2 * k);
+    }
+    cube
+}
+
+/// Result of a minimisation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverResult {
+    /// The surviving cubes.
+    pub cubes: Vec<u32>,
+    /// XOR of the surviving cubes (the checksum the guest prints).
+    pub checksum: u32,
+}
+
+impl CoverResult {
+    /// Number of surviving cubes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.cubes.len()
+    }
+}
+
+/// Reference implementation of the exact algorithm the guest program
+/// runs: generate `minterms` pseudo-random minterms from `seed`, merge to
+/// a fixed point, then drop contained cubes.
+#[must_use]
+pub fn reference_minimise(minterms: u32, seed: u32) -> CoverResult {
+    let mut cubes: Vec<u32> = Vec::new();
+    let mut state = seed;
+    for _ in 0..minterms {
+        state = lcg_next(state);
+        let cube = minterm_to_cube(state >> 8 & 0xff);
+        if !cubes.contains(&cube) {
+            cubes.push(cube);
+        }
+    }
+    loop {
+        let len = cubes.len();
+        let mut covered = vec![false; len];
+        let mut merged_any = false;
+        for i in 0..len {
+            for j in i + 1..len {
+                let d = cubes[i] ^ cubes[j];
+                let s = d & LOW_BITS;
+                if s != 0 && s & (s - 1) == 0 && d == s | s << 1 {
+                    let merged = cubes[i] | d;
+                    covered[i] = true;
+                    covered[j] = true;
+                    if !cubes.contains(&merged) {
+                        cubes.push(merged);
+                    }
+                    merged_any = true;
+                }
+            }
+        }
+        // Drop the covered originals (merged additions beyond `len` stay).
+        let mut kept = Vec::with_capacity(cubes.len());
+        for (idx, cube) in cubes.iter().enumerate() {
+            if idx >= len || !covered[idx] {
+                kept.push(*cube);
+            }
+        }
+        cubes = kept;
+        if !merged_any {
+            break;
+        }
+    }
+    // Containment: drop cube i if some other cube (strictly) covers it.
+    let mut kept = Vec::with_capacity(cubes.len());
+    for i in 0..cubes.len() {
+        let contained = (0..cubes.len()).any(|j| {
+            i != j
+                && cubes[i] & cubes[j] == cubes[i]
+                && (cubes[i] != cubes[j] || j < i)
+        });
+        if !contained {
+            kept.push(cubes[i]);
+        }
+    }
+    let checksum = kept.iter().fold(0, |acc, c| acc ^ c);
+    CoverResult {
+        cubes: kept,
+        checksum,
+    }
+}
+
+/// Generates the guest assembly program minimising `minterms` random
+/// minterms from `seed`. Prints `count checksum`.
+///
+/// # Panics
+///
+/// Panics if `minterms` exceeds [`MAX_MINTERMS`].
+#[must_use]
+pub fn program(minterms: u32, seed: u32) -> String {
+    assert!(
+        (minterms as usize) <= MAX_MINTERMS,
+        "minterm count exceeds guest array capacity"
+    );
+    format!(
+        r#"
+# espresso-like cube-cover minimiser over {minterms} random minterms.
+#
+# Register map: s0 = cubes base, s1 = len, s5 = frozen pass length,
+# s6 = merged_any, s7 = covered base.
+        .data
+cubes:   .space 8192          # room for merge-generated cubes
+covered: .space 2048
+nmint:   .word {minterms}
+seed:    .word {seed}
+
+        .text
+main:
+        la   $s0, cubes
+        li   $s1, 0              # len
+        lw   $s2, seed
+        lw   $s3, nmint
+# ---- generate minterms, dedup on insert ----
+gen_loop:
+        blez $s3, gen_done
+        li   $t0, 1103515245     # LCG step
+        mult $s2, $t0
+        mflo $s2
+        li   $t0, 12345
+        add  $s2, $s2, $t0
+        li   $t0, 0x7fffffff
+        and  $s2, $s2, $t0
+        srl  $t1, $s2, 8
+        andi $t1, $t1, 0xff      # minterm
+        li   $t2, 0              # cube under construction
+        li   $t3, 0              # k
+exp_loop:
+        li   $t4, {vars}
+        beq  $t3, $t4, exp_done
+        srlv $t5, $t1, $t3
+        andi $t5, $t5, 1
+        li   $t6, 1
+        beqz $t5, exp_field
+        li   $t6, 2
+exp_field:
+        sll  $t5, $t3, 1
+        sllv $t6, $t6, $t5
+        or   $t2, $t2, $t6
+        addi $t3, $t3, 1
+        j    exp_loop
+exp_done:
+        jal  find_cube           # is $t2 already in cubes[0..len)?
+        bnez $v0, gen_next
+        sll  $t0, $s1, 2
+        add  $t0, $s0, $t0
+        sw   $t2, 0($t0)
+        addi $s1, $s1, 1
+gen_next:
+        addi $s3, $s3, -1
+        j    gen_loop
+gen_done:
+
+# ---- merge passes to fixed point ----
+merge_pass:
+        li   $s6, 0              # merged_any
+        move $s5, $s1            # frozen len for this pass
+        la   $s7, covered
+        li   $t0, 0
+clr_loop:
+        beq  $t0, $s5, clr_done
+        add  $t1, $s7, $t0
+        sb   $zero, 0($t1)
+        addi $t0, $t0, 1
+        j    clr_loop
+clr_done:
+        li   $s2, 0              # i
+i_loop:
+        beq  $s2, $s5, pass_done
+        addi $s3, $s2, 1         # j
+j_loop:
+        beq  $s3, $s5, i_next
+        sll  $t0, $s2, 2
+        add  $t0, $s0, $t0
+        lw   $t1, 0($t0)         # c[i]
+        sll  $t0, $s3, 2
+        add  $t0, $s0, $t0
+        lw   $t2, 0($t0)         # c[j]
+        xor  $t3, $t1, $t2       # d
+        li   $t4, 0x5555
+        and  $t4, $t3, $t4       # s
+        beqz $t4, j_next
+        addi $t5, $t4, -1
+        and  $t5, $t5, $t4
+        bnez $t5, j_next         # more than one differing field
+        sll  $t5, $t4, 1
+        or   $t5, $t5, $t4
+        bne  $t5, $t3, j_next    # field must differ in both bits (01 vs 10)
+        or   $t2, $t1, $t3       # merged cube
+        add  $t6, $s7, $s2
+        li   $t7, 1
+        sb   $t7, 0($t6)
+        add  $t6, $s7, $s3
+        sb   $t7, 0($t6)
+        li   $s6, 1
+        jal  find_cube
+        bnez $v0, j_next
+        sll  $t0, $s1, 2
+        add  $t0, $s0, $t0
+        sw   $t2, 0($t0)
+        addi $s1, $s1, 1
+j_next:
+        addi $s3, $s3, 1
+        j    j_loop
+i_next:
+        addi $s2, $s2, 1
+        j    i_loop
+pass_done:
+        # compact: keep idx >= frozen len or !covered[idx]
+        li   $t0, 0              # read
+        li   $t1, 0              # write
+cmp_loop:
+        beq  $t0, $s1, cmp_done
+        blt  $t0, $s5, cmp_chk
+        j    cmp_keep
+cmp_chk:
+        add  $t2, $s7, $t0
+        lb   $t3, 0($t2)
+        bnez $t3, cmp_skip
+cmp_keep:
+        sll  $t2, $t0, 2
+        add  $t2, $s0, $t2
+        lw   $t3, 0($t2)
+        sll  $t2, $t1, 2
+        add  $t2, $s0, $t2
+        sw   $t3, 0($t2)
+        addi $t1, $t1, 1
+cmp_skip:
+        addi $t0, $t0, 1
+        j    cmp_loop
+cmp_done:
+        move $s1, $t1
+        bnez $s6, merge_pass
+
+# ---- containment removal ----
+        li   $t0, 0              # i (read)
+        li   $t1, 0              # write
+cont_i:
+        beq  $t0, $s1, cont_done
+        sll  $t2, $t0, 2
+        add  $t2, $s0, $t2
+        lw   $t3, 0($t2)         # c[i]
+        li   $t4, 0              # j
+cont_j:
+        beq  $t4, $s1, cont_keep
+        beq  $t4, $t0, cont_jn
+        sll  $t5, $t4, 2
+        add  $t5, $s0, $t5
+        lw   $t6, 0($t5)         # c[j]
+        and  $t7, $t3, $t6
+        bne  $t7, $t3, cont_jn   # c[j] does not cover c[i]
+        bne  $t3, $t6, cont_drop # strict containment
+        blt  $t4, $t0, cont_drop # duplicate: keep only the first
+cont_jn:
+        addi $t4, $t4, 1
+        j    cont_j
+cont_drop:
+        addi $t0, $t0, 1
+        j    cont_i
+cont_keep:
+        sll  $t5, $t1, 2
+        add  $t5, $s0, $t5
+        sw   $t3, 0($t5)
+        addi $t1, $t1, 1
+        addi $t0, $t0, 1
+        j    cont_i
+cont_done:
+        move $s1, $t1
+
+# ---- output: "count checksum" ----
+        li   $s7, 0
+        li   $t0, 0
+sum_loop:
+        beq  $t0, $s1, sum_done
+        sll  $t1, $t0, 2
+        add  $t1, $s0, $t1
+        lw   $t2, 0($t1)
+        xor  $s7, $s7, $t2
+        addi $t0, $t0, 1
+        j    sum_loop
+sum_done:
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $a0, 32
+        li   $v0, 11
+        syscall
+        move $a0, $s7
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- find_cube: v0 = 1 if $t2 is in cubes[0..$s1); clobbers t8, t9, a1 ----
+find_cube:
+        li   $t8, 0
+fc_loop:
+        beq  $t8, $s1, fc_no
+        sll  $t9, $t8, 2
+        add  $t9, $s0, $t9
+        lw   $a1, 0($t9)
+        beq  $a1, $t2, fc_yes
+        addi $t8, $t8, 1
+        j    fc_loop
+fc_no:
+        li   $v0, 0
+        jr   $ra
+fc_yes:
+        li   $v0, 1
+        jr   $ra
+"#,
+        vars = VARIABLES
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_profiled;
+    use lowvolt_isa::FunctionalUnit;
+
+    #[test]
+    fn lcg_is_31_bit() {
+        let mut s = 1;
+        for _ in 0..100 {
+            s = lcg_next(s);
+            assert!(s <= 0x7fff_ffff);
+        }
+        assert_eq!(lcg_next(1), 1_103_527_590);
+    }
+
+    #[test]
+    fn minterm_expansion() {
+        // minterm 0b101 → vars 0 and 2 true (10), the rest complemented (01).
+        let cube = minterm_to_cube(0b101);
+        assert_eq!(cube & 0b11, 0b10);
+        assert_eq!(cube >> 2 & 0b11, 0b01);
+        assert_eq!(cube >> 4 & 0b11, 0b10);
+        for k in 3..VARIABLES {
+            assert_eq!(cube >> (2 * k) & 0b11, 0b01, "var {k}");
+        }
+    }
+
+    #[test]
+    fn full_space_collapses_to_single_dont_care_cube() {
+        // All 256 minterms of 8 variables merge to the universal cube.
+        let mut cubes: Vec<u32> = (0..256).map(minterm_to_cube).collect();
+        loop {
+            let len = cubes.len();
+            let mut covered = vec![false; len];
+            let mut any = false;
+            for i in 0..len {
+                for j in i + 1..len {
+                    let d = cubes[i] ^ cubes[j];
+                    let s = d & LOW_BITS;
+                    if s != 0 && s & (s - 1) == 0 && d == s | s << 1 {
+                        let m = cubes[i] | d;
+                        covered[i] = true;
+                        covered[j] = true;
+                        if !cubes.contains(&m) {
+                            cubes.push(m);
+                        }
+                        any = true;
+                    }
+                }
+            }
+            let mut kept = Vec::new();
+            for (idx, c) in cubes.iter().enumerate() {
+                if idx >= len || !covered[idx] {
+                    kept.push(*c);
+                }
+            }
+            cubes = kept;
+            if !any {
+                break;
+            }
+        }
+        cubes.sort_unstable();
+        cubes.dedup();
+        assert_eq!(cubes, vec![0xffff], "256 minterms = the constant-1 cube");
+    }
+
+    #[test]
+    fn reference_output_shrinks_cover() {
+        let r = reference_minimise(200, 42);
+        assert!(r.count() > 0);
+        // 200 random draws hit far fewer than 200 distinct minterms, and
+        // merging shrinks the cover further.
+        assert!(r.count() < 150, "count = {}", r.count());
+        assert_eq!(r.checksum, r.cubes.iter().fold(0, |a, c| a ^ c));
+    }
+
+    #[test]
+    fn guest_program_matches_reference() {
+        for (minterms, seed) in [(40u32, 7u32), (120, 42), (250, 1996)] {
+            let (cpu, _) = run_profiled(&program(minterms, seed), 200_000_000).expect("runs");
+            let reference = reference_minimise(minterms, seed);
+            let out = cpu.output().trim().to_string();
+            let mut parts = out.split(' ');
+            let count: usize = parts.next().unwrap().parse().unwrap();
+            let checksum: i64 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(count, reference.count(), "minterms={minterms}");
+            assert_eq!(checksum as u32, reference.checksum, "minterms={minterms}");
+        }
+    }
+
+    #[test]
+    fn guest_profile_is_adder_dominated() {
+        let (_, report) = run_profiled(&program(120, 42), 200_000_000).expect("runs");
+        let adder = report.unit(FunctionalUnit::Adder);
+        let mult = report.unit(FunctionalUnit::Multiplier);
+        let shifter = report.unit(FunctionalUnit::Shifter);
+        assert!(adder.fga > 0.3, "adder fga = {}", adder.fga);
+        assert!(mult.fga < 0.005, "mult fga = {}", mult.fga);
+        assert!(shifter.fga > 0.01, "shifter fga = {}", shifter.fga);
+        assert!(adder.fga > 10.0 * mult.fga);
+    }
+}

@@ -1,0 +1,335 @@
+//! A miniature lisp-style expression interpreter: native reference and
+//! guest assembly program.
+//!
+//! SPEC's `li` (a XLISP interpreter, the paper's Table 2 workload) is
+//! dominated by pointer chasing through cons cells, tag dispatch, and
+//! recursive evaluation — loads, branches and adds, with multiplication
+//! nearly absent. The guest program reproduces that profile: a recursive
+//! evaluator walking a tagged-cell expression tree (numbers, `+`, `-`,
+//! `*`, `<`, `if`) pre-encoded in the data segment, evaluated repeatedly.
+//!
+//! The tree itself is generated pseudo-randomly in Rust from a seed and
+//! embedded into the assembly source, so the Rust reference evaluator can
+//! check the guest's printed result exactly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A node of the expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal number.
+    Num(i32),
+    /// `left + right` (wrapping).
+    Add(Box<Expr>, Box<Expr>),
+    /// `left - right` (wrapping).
+    Sub(Box<Expr>, Box<Expr>),
+    /// `left * right` (wrapping, low 32 bits).
+    Mul(Box<Expr>, Box<Expr>),
+    /// `1` if `left < right` (signed) else `0`.
+    Lt(Box<Expr>, Box<Expr>),
+    /// `if cond != 0 then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates with the same wrapping semantics as the guest CPU.
+    #[must_use]
+    pub fn eval(&self) -> i32 {
+        match self {
+            Expr::Num(v) => *v,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::Lt(a, b) => i32::from(a.eval() < b.eval()),
+            Expr::If(c, a, b) => {
+                if c.eval() != 0 {
+                    a.eval()
+                } else {
+                    b.eval()
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Num(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Lt(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::If(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+}
+
+/// Generates a random expression tree of the given depth.
+///
+/// The operator mix approximates an interpreter benchmark: arithmetic and
+/// comparisons common, multiplication rare, conditionals frequent.
+#[must_use]
+pub fn generate(depth: usize, seed: u64) -> Expr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    gen_node(depth, &mut rng)
+}
+
+fn gen_node(depth: usize, rng: &mut SmallRng) -> Expr {
+    if depth == 0 {
+        return Expr::Num(rng.gen_range(-99..100));
+    }
+    let roll: u32 = rng.gen_range(0..100);
+    match roll {
+        0..=29 => Expr::Add(
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+        ),
+        30..=49 => Expr::Sub(
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+        ),
+        50..=59 => Expr::Mul(
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+        ),
+        60..=74 => Expr::Lt(
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+        ),
+        75..=94 => Expr::If(
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+            Box::new(gen_node(depth - 1, rng)),
+        ),
+        _ => Expr::Num(rng.gen_range(-99..100)),
+    }
+}
+
+/// Cell tags used in the guest encoding.
+mod tag {
+    pub const NUM: u32 = 0;
+    pub const ADD: u32 = 1;
+    pub const SUB: u32 = 2;
+    pub const MUL: u32 = 3;
+    pub const LT: u32 = 4;
+    pub const IF: u32 = 5;
+    pub const PAIR: u32 = 6;
+}
+
+/// Flattens a tree into 12-byte `[tag, left, right]` cells; child links
+/// are byte offsets from the cell-array base. Returns the cells and the
+/// root cell's offset.
+#[must_use]
+pub fn encode(expr: &Expr) -> (Vec<[u32; 3]>, u32) {
+    fn walk(e: &Expr, cells: &mut Vec<[u32; 3]>) -> u32 {
+        match e {
+            Expr::Num(v) => push(cells, [tag::NUM, *v as u32, 0]),
+            Expr::Add(a, b) => binary(tag::ADD, a, b, cells),
+            Expr::Sub(a, b) => binary(tag::SUB, a, b, cells),
+            Expr::Mul(a, b) => binary(tag::MUL, a, b, cells),
+            Expr::Lt(a, b) => binary(tag::LT, a, b, cells),
+            Expr::If(c, a, b) => {
+                let co = walk(c, cells);
+                let ao = walk(a, cells);
+                let bo = walk(b, cells);
+                let pair = push(cells, [tag::PAIR, ao, bo]);
+                push(cells, [tag::IF, co, pair])
+            }
+        }
+    }
+    fn binary(t: u32, a: &Expr, b: &Expr, cells: &mut Vec<[u32; 3]>) -> u32 {
+        let ao = walk(a, cells);
+        let bo = walk(b, cells);
+        push(cells, [t, ao, bo])
+    }
+    fn push(cells: &mut Vec<[u32; 3]>, cell: [u32; 3]) -> u32 {
+        cells.push(cell);
+        (cells.len() as u32 - 1) * 12
+    }
+    let mut cells = Vec::new();
+    let root = walk(expr, &mut cells);
+    (cells, root)
+}
+
+/// Generates the guest assembly program: evaluates the seeded tree `reps`
+/// times and prints the result once.
+#[must_use]
+pub fn program(depth: usize, seed: u64, reps: u32) -> String {
+    let expr = generate(depth, seed);
+    let (cells, root) = encode(&expr);
+    let mut data = String::new();
+    for c in &cells {
+        data.push_str(&format!("        .word {}, {}, {}\n", c[0], c[1], c[2]));
+    }
+    format!(
+        r#"
+# mini-lisp evaluator over a {n}-cell expression tree, {reps} repetitions.
+        .data
+cells:
+{data}
+        .text
+main:
+        li   $s6, {reps}
+        li   $s7, 0
+rep_loop:
+        blez $s6, rep_done
+        li   $a0, {root}
+        jal  eval
+        move $s7, $v0
+        addi $s6, $s6, -1
+        j    rep_loop
+rep_done:
+        move $a0, $s7
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- eval: $a0 = cell byte offset → $v0 = value ----
+eval:
+        la   $t0, cells
+        add  $t0, $t0, $a0
+        lw   $t1, 0($t0)         # tag
+        bnez $t1, ev_op
+        lw   $v0, 4($t0)         # number payload
+        jr   $ra
+ev_op:
+        addi $sp, $sp, -16
+        sw   $ra, 0($sp)
+        sw   $s0, 4($sp)
+        sw   $s1, 8($sp)
+        sw   $s2, 12($sp)
+        move $s2, $t1            # tag
+        lw   $s0, 4($t0)         # left offset
+        lw   $s1, 8($t0)         # right offset
+        li   $t2, 5
+        beq  $s2, $t2, ev_if
+        move $a0, $s0            # binary operator: evaluate both sides
+        jal  eval
+        move $s0, $v0
+        move $a0, $s1
+        jal  eval
+        move $s1, $v0
+        li   $t2, 1
+        beq  $s2, $t2, ev_add
+        li   $t2, 2
+        beq  $s2, $t2, ev_sub
+        li   $t2, 3
+        beq  $s2, $t2, ev_mul
+        slt  $v0, $s0, $s1       # lt
+        j    ev_ret
+ev_add:
+        add  $v0, $s0, $s1
+        j    ev_ret
+ev_sub:
+        sub  $v0, $s0, $s1
+        j    ev_ret
+ev_mul:
+        mult $s0, $s1
+        mflo $v0
+        j    ev_ret
+ev_if:
+        move $a0, $s0
+        jal  eval
+        la   $t0, cells          # reload the then/else pair cell
+        add  $t0, $t0, $s1
+        beqz $v0, ev_else
+        lw   $a0, 4($t0)
+        j    ev_if_tail
+ev_else:
+        lw   $a0, 8($t0)
+ev_if_tail:
+        jal  eval
+ev_ret:
+        lw   $ra, 0($sp)
+        lw   $s0, 4($sp)
+        lw   $s1, 8($sp)
+        lw   $s2, 12($sp)
+        addi $sp, $sp, 16
+        jr   $ra
+"#,
+        n = cells.len(),
+        data = data,
+        root = root,
+        reps = reps,
+    )
+}
+
+/// The value the guest program prints for these parameters.
+#[must_use]
+pub fn reference_result(depth: usize, seed: u64) -> i32 {
+    generate(depth, seed).eval()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_profiled;
+    use lowvolt_isa::FunctionalUnit;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(6, 42), generate(6, 42));
+        assert_ne!(generate(6, 42), generate(6, 43));
+    }
+
+    #[test]
+    fn encode_produces_one_cell_per_node_plus_if_pairs() {
+        let e = Expr::Add(Box::new(Expr::Num(1)), Box::new(Expr::Num(2)));
+        let (cells, root) = encode(&e);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(root, 24, "root is the last cell");
+        assert_eq!(cells[2][0], 1, "add tag");
+        let e = Expr::If(
+            Box::new(Expr::Num(1)),
+            Box::new(Expr::Num(2)),
+            Box::new(Expr::Num(3)),
+        );
+        let (cells, _) = encode(&e);
+        assert_eq!(cells.len(), 5, "if = 3 leaves + pair + if cell");
+    }
+
+    #[test]
+    fn eval_semantics() {
+        let e = Expr::If(
+            Box::new(Expr::Lt(Box::new(Expr::Num(3)), Box::new(Expr::Num(5)))),
+            Box::new(Expr::Mul(Box::new(Expr::Num(6)), Box::new(Expr::Num(7)))),
+            Box::new(Expr::Num(-1)),
+        );
+        assert_eq!(e.eval(), 42);
+        assert_eq!(e.size(), 8);
+        // Wrapping semantics.
+        let big = Expr::Mul(
+            Box::new(Expr::Num(i32::MAX)),
+            Box::new(Expr::Num(2)),
+        );
+        assert_eq!(big.eval(), i32::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn guest_program_matches_reference() {
+        for (depth, seed) in [(4usize, 7u64), (7, 42), (9, 1996)] {
+            let (cpu, _) = run_profiled(&program(depth, seed, 3), 100_000_000).expect("runs");
+            let got: i64 = cpu.output().parse().expect("integer result");
+            assert_eq!(
+                got as i32,
+                reference_result(depth, seed),
+                "depth={depth}, seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn guest_profile_is_interpreter_shaped() {
+        let (_, report) = run_profiled(&program(9, 42, 5), 200_000_000).expect("runs");
+        let adder = report.unit(FunctionalUnit::Adder);
+        let mult = report.unit(FunctionalUnit::Multiplier);
+        let shifter = report.unit(FunctionalUnit::Shifter);
+        // Loads/stores/branches dominate; multiplies are rare; shifts
+        // essentially absent (no shifting in the evaluator).
+        assert!(adder.fga > 0.4, "adder fga = {}", adder.fga);
+        assert!(mult.fga < 0.02, "mult fga = {}", mult.fga);
+        assert!(shifter.fga < 0.01, "shifter fga = {}", shifter.fga);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # lowvolt-workloads
+//!
+//! Guest programs and workload generators for the profiling experiments.
+//!
+//! The paper profiles SPEC `espresso`, SPEC `li`, and an IDEA data-
+//! encryption kernel (Tables 1–3) with ATOM/Pixie on real binaries. Those
+//! binaries and tools are not reproducible here, so this crate provides
+//! faithful stand-ins written in `lowvolt-isa` assembly, each paired with
+//! a native Rust reference implementation that validates the guest
+//! program's output bit-for-bit:
+//!
+//! - [`bursty`] — instruction-accurate burst/idle execution, connecting
+//!   real guest code to the §5.4 duty-cycle story.
+//! - [`espresso`] — a cube-cover two-level logic minimiser (merge +
+//!   containment passes over positional-notation cubes): branchy,
+//!   add/compare-dominated, multiplication-free, like the original.
+//! - [`li`] — a miniature s-expression interpreter evaluating a random
+//!   arithmetic/conditional tree: load/branch heavy with rare multiplies.
+//! - [`idea`] — the full IDEA block cipher (key schedule + 8.5 rounds):
+//!   the multiplication-dense contrast case.
+//! - [`fir`] — an 8-tap FIR filter: the §3 continuously-operational DSP
+//!   class, whose multiplier runs in bursts rather than toggling.
+//! - [`xserver`] — stochastic burst/idle session traces for the paper's
+//!   §5.4 X-server scenario, turning continuous-mode block activity into
+//!   system-level `(fga, bga)` operating points.
+//! - [`signals`] — correlated integer streams for datapath stimulus.
+
+pub mod bursty;
+pub mod espresso;
+pub mod fir;
+pub mod idea;
+pub mod li;
+pub mod signals;
+pub mod xserver;
+
+use lowvolt_isa::asm::assemble;
+use lowvolt_isa::cpu::Cpu;
+use lowvolt_isa::profile::{ProfileReport, Profiler};
+
+/// Assembles and runs a guest program under the standard profiler,
+/// returning the finished CPU (for output inspection) and the profile.
+///
+/// # Errors
+///
+/// Returns an error string if assembly or execution fails — guest
+/// programs shipped by this crate never do.
+pub fn run_profiled(source: &str, budget: u64) -> Result<(Cpu, ProfileReport), String> {
+    let program = assemble(source).map_err(|e| e.to_string())?;
+    let mut cpu = Cpu::new(program);
+    let mut profiler = Profiler::standard();
+    cpu.run_profiled(budget, &mut profiler)
+        .map_err(|e| e.to_string())?;
+    Ok((cpu, profiler.report()))
+}

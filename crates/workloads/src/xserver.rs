@@ -1,0 +1,247 @@
+//! Event-driven session traces for the paper's §5.4 X-server scenario.
+//!
+//! "Not all computations are continuously operational. … intermittent
+//! computation activity triggered by external events is separated by long
+//! periods of inactivity — examples include X server, communication
+//! interfaces etc." The paper reports that X-server traces show the
+//! processor off more than 95 % of the time, and evaluates SOIAS for "an
+//! X server which is active 20 % of the time" against the continuous
+//! case.
+//!
+//! This module generates per-cycle block-usage traces with that structure:
+//! the *system* alternates between busy bursts and idle gaps (geometric
+//! lengths), and during busy cycles the block is used according to a
+//! two-state Markov process matched to the block's continuous-mode
+//! `(fga, bga)` from the instruction profiler. Measuring `fga`/`bga` of
+//! the composite trace (with the profiler's run-counting rule) yields the
+//! system-level operating points plotted in Fig. 10.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cycle functional-block usage trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageTrace {
+    used: Vec<bool>,
+}
+
+impl UsageTrace {
+    /// Builds a trace from raw per-cycle usage flags.
+    #[must_use]
+    pub fn from_usage(used: Vec<bool>) -> UsageTrace {
+        UsageTrace { used }
+    }
+
+    /// Number of cycles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.used.is_empty()
+    }
+
+    /// Fraction of cycles the block is used — the trace-level `fga`.
+    #[must_use]
+    pub fn fga(&self) -> f64 {
+        if self.used.is_empty() {
+            return 0.0;
+        }
+        self.used.iter().filter(|&&u| u).count() as f64 / self.used.len() as f64
+    }
+
+    /// Run starts per cycle — the trace-level `bga` (a run is a maximal
+    /// streak of consecutive used cycles, exactly the profiler's rule).
+    #[must_use]
+    pub fn bga(&self) -> f64 {
+        if self.used.is_empty() {
+            return 0.0;
+        }
+        let mut runs = 0u64;
+        let mut prev = false;
+        for &u in &self.used {
+            if u && !prev {
+                runs += 1;
+            }
+            prev = u;
+        }
+        runs as f64 / self.used.len() as f64
+    }
+}
+
+/// Parameters of a bursty session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionModel {
+    /// Fraction of cycles the *system* is busy (the paper's X server:
+    /// 0.2, or 0.05 for the >95 %-idle traces of ref \[4\]).
+    pub duty_cycle: f64,
+    /// Mean busy-burst length in cycles.
+    pub mean_burst: f64,
+    /// Block usage probability during busy cycles (continuous-mode `fga`).
+    pub block_fga: f64,
+    /// Block run-start rate during busy cycles (continuous-mode `bga`).
+    pub block_bga: f64,
+}
+
+impl SessionModel {
+    /// The paper's X-server scenario: system busy 20 % of the time in
+    /// bursts, with the given continuous-mode block activity.
+    #[must_use]
+    pub fn x_server(block_fga: f64, block_bga: f64) -> SessionModel {
+        SessionModel {
+            duty_cycle: 0.20,
+            mean_burst: 2_000.0,
+            block_fga,
+            block_bga,
+        }
+    }
+
+    /// A continuously-busy system (duty 1.0) — the top set of Fig. 10
+    /// points, where blocks only power down between their own uses.
+    #[must_use]
+    pub fn continuous(block_fga: f64, block_bga: f64) -> SessionModel {
+        SessionModel {
+            duty_cycle: 1.0,
+            mean_burst: f64::INFINITY,
+            block_fga,
+            block_bga,
+        }
+    }
+
+    /// Generates a usage trace of `cycles` cycles.
+    ///
+    /// Within busy periods the block follows a two-state Markov chain
+    /// whose stationary on-probability is `block_fga` and whose off→on
+    /// rate reproduces `block_bga`; idle periods force the block off.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty_cycle <= 1`, `0 <= block_bga <= block_fga
+    /// <= 1`, and `mean_burst >= 1`.
+    #[must_use]
+    pub fn trace(&self, cycles: usize, seed: u64) -> UsageTrace {
+        assert!(
+            self.duty_cycle > 0.0 && self.duty_cycle <= 1.0,
+            "duty cycle must lie in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.block_fga) && self.block_bga <= self.block_fga + 1e-12,
+            "need 0 <= bga <= fga <= 1"
+        );
+        assert!(self.mean_burst >= 1.0, "bursts must average at least a cycle");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Geometric interval lengths reproducing the duty cycle.
+        let p_end_busy = 1.0 / self.mean_burst;
+        let mean_idle = if self.duty_cycle >= 1.0 {
+            0.0
+        } else {
+            self.mean_burst * (1.0 - self.duty_cycle) / self.duty_cycle
+        };
+        let p_end_idle = if mean_idle <= 0.0 { 1.0 } else { 1.0 / mean_idle };
+        // Markov chain for block usage inside bursts: stationary
+        // P(on) = fga with run-start rate bga ⇒ P(off→on) = bga/(1−fga).
+        let p_on = if self.block_fga >= 1.0 {
+            1.0
+        } else {
+            (self.block_bga / (1.0 - self.block_fga)).min(1.0)
+        };
+        let p_off = if self.block_fga <= 0.0 {
+            1.0
+        } else {
+            (self.block_bga / self.block_fga).min(1.0)
+        };
+        let mut busy = self.duty_cycle >= 1.0 || rng.gen_bool(self.duty_cycle);
+        let mut block_on = false;
+        let mut used = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            if busy {
+                block_on = if block_on {
+                    !rng.gen_bool(p_off)
+                } else {
+                    rng.gen_bool(p_on)
+                };
+            } else {
+                block_on = false;
+            }
+            used.push(busy && block_on);
+            // Interval transitions.
+            if busy {
+                if self.duty_cycle < 1.0 && rng.gen_bool(p_end_busy) {
+                    busy = false;
+                }
+            } else if rng.gen_bool(p_end_idle.min(1.0)) {
+                busy = true;
+            }
+        }
+        UsageTrace { used }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_trace_reproduces_block_activity() {
+        let m = SessionModel::continuous(0.5, 0.1);
+        let t = m.trace(200_000, 1);
+        assert!((t.fga() - 0.5).abs() < 0.03, "fga = {}", t.fga());
+        assert!((t.bga() - 0.1).abs() < 0.02, "bga = {}", t.bga());
+    }
+
+    #[test]
+    fn duty_cycle_scales_fga() {
+        let cont = SessionModel::continuous(0.6, 0.05).trace(200_000, 2);
+        let burst = SessionModel::x_server(0.6, 0.05).trace(200_000, 2);
+        let ratio = burst.fga() / cont.fga();
+        assert!((ratio - 0.2).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn bga_never_exceeds_fga() {
+        for seed in 0..10 {
+            let t = SessionModel::x_server(0.3, 0.02).trace(50_000, seed);
+            assert!(t.bga() <= t.fga() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn run_counting_matches_hand_trace() {
+        let t = UsageTrace::from_usage(vec![
+            true, true, false, true, false, false, true, true, true, false,
+        ]);
+        assert_eq!(t.len(), 10);
+        assert!((t.fga() - 0.6).abs() < 1e-12);
+        assert!((t.bga() - 0.3).abs() < 1e-12, "3 runs in 10 cycles");
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = UsageTrace::from_usage(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.fga(), 0.0);
+        assert_eq!(t.bga(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn bad_duty_rejected() {
+        let m = SessionModel {
+            duty_cycle: 0.0,
+            mean_burst: 100.0,
+            block_fga: 0.5,
+            block_bga: 0.1,
+        };
+        let _ = m.trace(10, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = SessionModel::x_server(0.4, 0.05);
+        assert_eq!(m.trace(10_000, 9), m.trace(10_000, 9));
+        assert_ne!(m.trace(10_000, 9), m.trace(10_000, 10));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based cross-validation: every guest program's output must
+//! equal its native Rust reference for arbitrary parameters, and the
+//! profiles must satisfy the activity invariants.
+
+use lowvolt_isa::FunctionalUnit;
+use lowvolt_workloads::{espresso, fir, idea, li, run_profiled};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn idea_guest_matches_reference(blocks in 1u32..12) {
+        let (cpu, report) = run_profiled(&idea::program(blocks), 50_000_000).unwrap();
+        let got: i64 = cpu.output().parse().unwrap();
+        prop_assert_eq!(got as u32, idea::reference_checksum(blocks));
+        prop_assert!(report.total > 0);
+    }
+
+    #[test]
+    fn espresso_guest_matches_reference(minterms in 5u32..80, seed in 1u32..10_000) {
+        let (cpu, _) = run_profiled(&espresso::program(minterms, seed), 500_000_000).unwrap();
+        let reference = espresso::reference_minimise(minterms, seed);
+        let out = cpu.output().trim().to_string();
+        let mut parts = out.split(' ');
+        let count: usize = parts.next().unwrap().parse().unwrap();
+        let checksum: i64 = parts.next().unwrap().parse().unwrap();
+        prop_assert_eq!(count, reference.count());
+        prop_assert_eq!(checksum as u32, reference.checksum);
+    }
+
+    #[test]
+    fn li_guest_matches_reference(depth in 2usize..8, seed in 0u64..10_000) {
+        let (cpu, _) = run_profiled(&li::program(depth, seed, 1), 50_000_000).unwrap();
+        let got: i64 = cpu.output().parse().unwrap();
+        prop_assert_eq!(got as i32, li::reference_result(depth, seed));
+    }
+
+    #[test]
+    fn fir_guest_matches_reference(samples in 1u32..60, seed in 1u32..10_000) {
+        let (cpu, _) = run_profiled(&fir::program(samples, seed), 50_000_000).unwrap();
+        let got: i64 = cpu.output().parse().unwrap();
+        prop_assert_eq!(got as u32, fir::reference_checksum(samples, seed));
+    }
+
+    /// Activity invariants hold on every profiled guest.
+    #[test]
+    fn profile_invariants(seed in 1u32..1_000) {
+        let (_, report) = run_profiled(&espresso::program(30, seed), 100_000_000).unwrap();
+        let mut total_uses = 0u64;
+        for unit in FunctionalUnit::ALL {
+            let s = report.unit(unit);
+            prop_assert!(s.runs <= s.uses);
+            prop_assert!(s.fga <= 1.0 && s.bga <= s.fga + 1e-12);
+            total_uses += s.uses;
+        }
+        // Each instruction maps to at most one profiled unit.
+        prop_assert!(total_uses <= report.total);
+    }
+}

@@ -1,0 +1,72 @@
+//! Switch-level activity extraction — the paper's Figs. 8–9 and Fig. 1.
+//!
+//! Simulates an 8-bit ripple-carry adder under random and correlated
+//! stimuli, prints the per-node transition-probability histograms
+//! (glitches included), and shows the Fig. 1 register switched-capacitance
+//! non-linearity.
+//!
+//! Run with: `cargo run --example adder_activity`
+
+use lowvolt::circuit::adder::ripple_carry_adder;
+use lowvolt::circuit::netlist::Netlist;
+use lowvolt::circuit::registers::{RegisterCapModel, RegisterStyle};
+use lowvolt::circuit::sim::Simulator;
+use lowvolt::circuit::stimulus::PatternSource;
+use lowvolt::core::report::Table;
+use lowvolt::device::units::Volts;
+
+fn main() {
+    // ---- Fig. 8: random stimuli ----
+    let mut n = Netlist::new();
+    let adder = ripple_carry_adder(&mut n, 8);
+    let inputs = adder.input_nodes();
+
+    let mut sim = Simulator::new(&n);
+    let mut random = PatternSource::random(inputs.len(), 42);
+    let fig8 = sim.measure_activity(&mut random, &inputs, 1064, 40);
+    println!("== Fig. 8: transition histogram, random inputs ==");
+    print!("{}", fig8.histogram(12));
+    println!(
+        "mean alpha = {:.3}, switched capacitance = {:.1} fF/cycle\n",
+        fig8.mean_transition_probability(),
+        fig8.switched_capacitance_per_cycle().to_femtofarads()
+    );
+
+    // ---- Fig. 9: correlated stimuli (a = 0, b counts 0..255) ----
+    let mut sim = Simulator::new(&n);
+    let mut correlated = PatternSource::concat(vec![
+        PatternSource::zeros(8),        // operand a fixed at 0
+        PatternSource::counting(8, 0),  // operand b increments
+        PatternSource::zeros(1),        // carry-in low
+    ]);
+    let fig9 = sim.measure_activity(&mut correlated, &inputs, 296, 40);
+    println!("== Fig. 9: transition histogram, correlated inputs ==");
+    print!("{}", fig9.histogram(12));
+    println!(
+        "mean alpha = {:.3}, switched capacitance = {:.1} fF/cycle",
+        fig9.mean_transition_probability(),
+        fig9.switched_capacitance_per_cycle().to_femtofarads()
+    );
+    println!(
+        "activity ratio (random / correlated) = {:.1}x — \"a very strong function of signal statistics\"\n",
+        fig8.mean_transition_probability() / fig9.mean_transition_probability()
+    );
+
+    // ---- Fig. 1: register switched capacitance vs V_DD ----
+    println!("== Fig. 1: register switched capacitance vs V_DD ==");
+    let mut table = Table::new(["V_DD (V)", "LCLR (fF)", "TSPCR (fF)", "C2MOS (fF)"]);
+    let models: Vec<RegisterCapModel> = RegisterStyle::ALL
+        .iter()
+        .map(|&s| RegisterCapModel::new(s, Volts(0.5)))
+        .collect();
+    for i in 0..=8 {
+        let vdd = Volts(1.0 + 0.25 * f64::from(i));
+        let caps: Vec<String> = models
+            .iter()
+            .map(|m| format!("{:.1}", m.switched_capacitance(vdd, 1.0).to_femtofarads()))
+            .collect();
+        table.push_row([format!("{:.2}", vdd.0), caps[0].clone(), caps[1].clone(), caps[2].clone()]);
+    }
+    print!("{table}");
+    println!("\ncapacitance rises with V_DD: constant-C power estimates undercount energy at 3 V.");
+}

@@ -1,0 +1,53 @@
+//! Architectural voltage scaling with leakage — the introduction's
+//! "trade silicon area for lower power" strategy, re-examined with the
+//! paper's leakage-aware lens.
+//!
+//! Duplicating a datapath lets each copy run slower at a lower supply
+//! (switching energy falls as V²), but every copy leaks. This example
+//! sweeps the degree of parallelism for high- and low-threshold
+//! implementations and shows the optimum is finite — and shallower the
+//! lower the threshold.
+//!
+//! Run with: `cargo run --example parallel_scaling`
+
+use lowvolt::circuit::ring::RingOscillator;
+use lowvolt::core::report::{fmt_sig, Table};
+use lowvolt::core::scaling::{ParallelScaling, DEFAULT_OVERHEAD_PER_WAY};
+use lowvolt::device::units::{Seconds, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, vt) in [("high V_T (0.45 V)", 0.45), ("low V_T (0.15 V)", 0.15)] {
+        let ring = RingOscillator::paper_default();
+        // Reference design: one unit meeting its deadline at 2.5 V.
+        let base = ring.stage_delay(Volts(2.5), Volts(vt));
+        let model = ParallelScaling::new(
+            ring,
+            Volts(vt),
+            base,
+            Seconds(1e-6),
+            DEFAULT_OVERHEAD_PER_WAY,
+        )?;
+        println!("== {label} ==");
+        let mut t = Table::new(["ways", "V_DD (V)", "E_switch", "E_leak", "E_total (J/op)"]);
+        for p in model.sweep(12) {
+            t.push_row([
+                p.ways.to_string(),
+                format!("{:.3}", p.vdd.0),
+                fmt_sig(p.switching.0, 3),
+                fmt_sig(p.leakage.0, 3),
+                fmt_sig(p.total().0, 3),
+            ]);
+        }
+        print!("{t}");
+        let best = model.best(12)?;
+        let one = model.evaluate(1)?;
+        println!(
+            "best: {} ways at {:.3} V — {:.1}x less energy than the single-unit design\n",
+            best.ways,
+            best.vdd.0,
+            one.total().0 / best.total().0
+        );
+    }
+    println!("leakage is why parallelism cannot be pushed arbitrarily far at low V_T.");
+    Ok(())
+}

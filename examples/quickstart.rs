@@ -1,0 +1,119 @@
+//! Quickstart: the paper's full tool flow on one workload.
+//!
+//! 1. Run the IDEA encryption guest program under the ATOM-style profiler
+//!    to extract per-block `fga` / `bga`.
+//! 2. Measure node transition activity `α` of the datapath blocks with
+//!    the event-driven gate-level simulator.
+//! 3. Feed both into the burst-mode energy models and compare a fixed
+//!    low-V_T SOI process against back-gated SOIAS.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lowvolt::circuit::adder::ripple_carry_adder;
+use lowvolt::circuit::multiplier::array_multiplier;
+use lowvolt::circuit::netlist::Netlist;
+use lowvolt::circuit::shifter::barrel_shifter_right;
+use lowvolt::circuit::sim::Simulator;
+use lowvolt::circuit::stimulus::PatternSource;
+use lowvolt::core::activity::ActivityVars;
+use lowvolt::core::energy::{BlockParams, BurstEnergyModel};
+use lowvolt::core::estimator::DesignEstimator;
+use lowvolt::core::report::{fmt_sig, Table};
+use lowvolt::device::soias::SoiasDevice;
+use lowvolt::device::technology::Technology;
+use lowvolt::device::units::{Hertz, Volts};
+use lowvolt::isa::FunctionalUnit;
+use lowvolt::workloads::{idea, run_profiled};
+
+/// Builds a datapath, drives it with random vectors, and returns the mean
+/// per-node transition probability.
+fn mean_alpha(build: impl FnOnce(&mut Netlist) -> Vec<lowvolt::circuit::NodeId>) -> f64 {
+    let mut n = Netlist::new();
+    let inputs = build(&mut n);
+    let mut sim = Simulator::new(&n);
+    let mut src = PatternSource::random(inputs.len(), 1996);
+    let report = sim.measure_activity(&mut src, &inputs, 300, 16);
+    report.mean_transition_probability()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- step 1: instruction-level profiling (fga, bga) ----
+    println!("== profiling IDEA (40 blocks) ==");
+    let (cpu, profile) = run_profiled(&idea::program(40), 100_000_000)?;
+    println!("guest checksum: {}", cpu.output());
+    println!("{profile}");
+
+    // ---- step 2: switch-level activity (alpha) ----
+    println!("== gate-level alpha extraction ==");
+    let alpha_adder = mean_alpha(|n| ripple_carry_adder(n, 8).input_nodes());
+    let alpha_shift = mean_alpha(|n| {
+        barrel_shifter_right(n, 8)
+            .expect("power-of-two width")
+            .input_nodes()
+    });
+    let alpha_mult = mean_alpha(|n| {
+        array_multiplier(n, 8)
+            .expect("supported width")
+            .input_nodes()
+    });
+    println!("alpha(adder)      = {alpha_adder:.3}");
+    println!("alpha(shifter)    = {alpha_shift:.3}");
+    println!("alpha(multiplier) = {alpha_mult:.3}\n");
+
+    // ---- step 3: technology comparison ----
+    println!("== technology comparison at 1 V, 1 MHz ==");
+    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6))?;
+    let device = SoiasDevice::paper_fig6();
+    let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
+    let soias = Technology::soias(device, Volts(3.0))?;
+
+    let blocks = [
+        (
+            BlockParams::adder_8bit(),
+            profile.unit(FunctionalUnit::Adder),
+            alpha_adder,
+        ),
+        (
+            BlockParams::shifter_8bit(),
+            profile.unit(FunctionalUnit::Shifter),
+            alpha_shift,
+        ),
+        (
+            BlockParams::multiplier_8x8(),
+            profile.unit(FunctionalUnit::Multiplier),
+            alpha_mult,
+        ),
+    ];
+    let mut estimator = DesignEstimator::new(model, soi.clone());
+    for (params, stats, alpha) in &blocks {
+        estimator =
+            estimator.with_block(params.clone(), ActivityVars::from_profile(stats, *alpha)?);
+    }
+    let on_soi = estimator.estimate()?;
+    let on_soias = estimator.estimate_on(&soias)?;
+
+    let mut table = Table::new(["block", "fga", "bga", "P_soi (W)", "P_soias (W)", "saving"]);
+    for (a, b) in on_soi.blocks.iter().zip(&on_soias.blocks) {
+        table.push_row([
+            a.name.clone(),
+            format!("{:.4}", a.activity.fga),
+            format!("{:.4}", a.activity.bga),
+            fmt_sig(a.power.0, 3),
+            fmt_sig(b.power.0, 3),
+            format!("{:.1}%", (1.0 - b.power.0 / a.power.0) * 100.0),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\ntotal: {} W on SOI vs {} W on SOIAS ({:.1}% saving)",
+        fmt_sig(on_soi.total_power.0, 3),
+        fmt_sig(on_soias.total_power.0, 3),
+        (1.0 - on_soias.total_power.0 / on_soi.total_power.0) * 100.0
+    );
+    println!(
+        "leakage fraction: {:.1}% (SOI) vs {:.1}% (SOIAS)",
+        on_soi.leakage_fraction * 100.0,
+        on_soias.leakage_fraction * 100.0
+    );
+    Ok(())
+}

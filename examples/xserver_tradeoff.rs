@@ -1,0 +1,123 @@
+//! The §5.4 X-server scenario — the paper's Fig. 10 plus shutdown
+//! policies.
+//!
+//! Profiles the three workloads, turns their continuous-mode block
+//! activities into system-level operating points through bursty session
+//! traces (X server active ~20 % of the time), places the points on the
+//! SOIAS-vs-SOI trade-off surface, extracts the breakeven contour, and
+//! evaluates shutdown-policy energy over the session.
+//!
+//! Run with: `cargo run --release --example xserver_tradeoff`
+
+use lowvolt::core::activity::ActivityVars;
+use lowvolt::core::energy::{BlockParams, BurstEnergyModel};
+use lowvolt::core::report::Table;
+use lowvolt::core::shutdown::{evaluate, Policy, PowerStates, SessionTrace};
+use lowvolt::core::tradeoff::{place_point, TradeoffSurface};
+use lowvolt::device::soias::SoiasDevice;
+use lowvolt::device::technology::Technology;
+use lowvolt::device::units::{Hertz, Joules, Seconds, Volts, Watts};
+use lowvolt::isa::FunctionalUnit;
+use lowvolt::workloads::xserver::SessionModel;
+use lowvolt::workloads::{espresso, run_profiled};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6))?;
+    let device = SoiasDevice::paper_fig6();
+    let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
+    let soias = Technology::soias(device, Volts(3.0))?;
+
+    // ---- continuous-mode block activity from a real instruction mix ----
+    let (_, profile) = run_profiled(&espresso::program(150, 42), 500_000_000)
+        .map_err(|e| format!("espresso guest failed: {e}"))?;
+    println!("== continuous-mode profile (espresso-like) ==\n{profile}");
+
+    // ---- system-level operating points through the session model ----
+    println!("== Fig. 10 operating points ==");
+    let mut points = Table::new([
+        "point", "fga", "bga", "log10(E_SOIAS/E_SOI)", "saving",
+    ]);
+    let blocks = [
+        (FunctionalUnit::Adder, BlockParams::adder_8bit(), 0.40),
+        (FunctionalUnit::Shifter, BlockParams::shifter_8bit(), 0.34),
+        (FunctionalUnit::Multiplier, BlockParams::multiplier_8x8(), 0.75),
+    ];
+    for (unit, params, alpha) in &blocks {
+        let stats = profile.unit(*unit);
+        for (label, duty) in [("continuous", 1.0f64), ("x-server 20%", 0.2)] {
+            let session = if duty >= 1.0 {
+                SessionModel::continuous(stats.fga, stats.bga)
+            } else {
+                SessionModel::x_server(stats.fga, stats.bga)
+            };
+            let trace = session.trace(400_000, 7);
+            let activity = ActivityVars::new(trace.fga(), trace.bga(), *alpha)?;
+            let p = place_point(
+                &model,
+                &soias,
+                &soi,
+                params,
+                format!("{unit} ({label})"),
+                activity,
+            );
+            points.push_row([
+                p.name.clone(),
+                format!("{:.4}", p.activity.fga),
+                format!("{:.4}", p.activity.bga),
+                format!("{:+.3}", p.log_ratio),
+                format!("{:.1}%", p.saving * 100.0),
+            ]);
+        }
+    }
+    print!("{points}");
+
+    // ---- the breakeven contour ----
+    println!("\n== breakeven contour (zero crossing of the surface) ==");
+    let surface = TradeoffSurface::evaluate(
+        &model,
+        &soias,
+        &soi,
+        &BlockParams::adder_8bit(),
+        0.5,
+        (1e-3, 1.0),
+        (1e-4, 1.0),
+        61,
+    )?;
+    let contour = surface.breakeven_contour();
+    if contour.is_empty() {
+        println!("SOIAS wins everywhere in the plotted region at this operating point");
+    } else {
+        for (fga, bga) in &contour {
+            println!("  fga = {fga:.3} -> breakeven bga = {bga:.4}");
+        }
+    }
+
+    // ---- shutdown policies over the session ----
+    println!("\n== shutdown policies over a >95%-idle X session ==");
+    let trace = SessionTrace::bursty(500, Seconds(0.02), Seconds(0.5), 1996);
+    println!("idle fraction: {:.1}%", trace.idle_fraction() * 100.0);
+    let states = PowerStates {
+        active: Watts(50e-3),
+        idle: Watts(5e-3),
+        sleep: Watts(5e-6),
+        wake_energy: Joules(0.5e-3),
+    };
+    let mut policy_table = Table::new(["policy", "energy (J)", "shutdowns", "sleep fraction"]);
+    let baseline = evaluate(&trace, &states, Policy::AlwaysOn).energy;
+    for policy in [
+        Policy::AlwaysOn,
+        Policy::Timeout(Seconds(0.1)),
+        Policy::Predictive,
+        Policy::Oracle,
+    ] {
+        let r = evaluate(&trace, &states, policy);
+        policy_table.push_row([
+            policy.name(),
+            format!("{:.4} ({:.0}%)", r.energy.0, r.energy.0 / baseline.0 * 100.0),
+            r.shutdowns.to_string(),
+            format!("{:.2}", r.sleep_fraction),
+        ]);
+    }
+    print!("{policy_table}");
+    Ok(())
+}

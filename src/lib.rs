@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # lowvolt
+//!
+//! Umbrella crate for the `lowvolt` low-voltage digital system design
+//! toolkit — a from-scratch reproduction of Chandrakasan, Yang, Vieri and
+//! Antoniadis, *"Design Considerations and Tools for Low-voltage Digital
+//! System Design"*, DAC 1996.
+//!
+//! Re-exports the full stack:
+//!
+//! - [`device`] — MOSFET physics (sub-threshold leakage, alpha-power-law
+//!   drive, SOIAS back gating, voltage-dependent capacitance),
+//! - [`circuit`] — gate-level netlists, event-driven simulation and
+//!   transition-activity extraction,
+//! - [`isa`] — a RISC instruction set with an ATOM-style functional-block
+//!   profiler producing the paper's `fga`/`bga` activity variables,
+//! - [`workloads`] — guest programs and session-trace generators,
+//! - [`core`] — the paper's CAD contribution: burst-mode energy models,
+//!   `V_DD`/`V_T` optimization, and technology trade-off analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lowvolt::core::energy::{BurstEnergyModel, BlockParams};
+//! use lowvolt::core::activity::ActivityVars;
+//! use lowvolt::device::{soias::SoiasDevice, technology::Technology};
+//! use lowvolt::device::units::{Hertz, Volts};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An X-server-like adder block: mostly idle, rarely re-awakened.
+//! let activity = ActivityVars::new(0.697, 0.023, 0.5)?;
+//! let block = BlockParams::adder_8bit();
+//! let device = SoiasDevice::paper_fig6();
+//! // Baseline: the same low-threshold device, permanently low-V_T.
+//! let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
+//! let soias = Technology::soias(device, Volts(3.0))?;
+//! let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6))?;
+//!
+//! let e_soi = model.energy_per_cycle(&soi, &block, activity);
+//! let e_soias = model.energy_per_cycle(&soias, &block, activity);
+//! assert!(e_soias.0 < e_soi.0, "SOIAS wins for bursty workloads");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lowvolt_circuit as circuit;
+pub use lowvolt_core as core;
+pub use lowvolt_device as device;
+pub use lowvolt_isa as isa;
+pub use lowvolt_workloads as workloads;

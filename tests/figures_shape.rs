@@ -1,0 +1,177 @@
+//! Shape tests for every reproduced figure: the qualitative claims of the
+//! paper (who wins, which way curves bend, where optima sit) must hold on
+//! our models, whatever the absolute numbers.
+
+use lowvolt::circuit::adder::ripple_carry_adder;
+use lowvolt::circuit::netlist::Netlist;
+use lowvolt::circuit::registers::{RegisterCapModel, RegisterStyle};
+use lowvolt::circuit::ring::RingOscillator;
+use lowvolt::circuit::sim::Simulator;
+use lowvolt::circuit::stimulus::PatternSource;
+use lowvolt::core::optimizer::FixedThroughputOptimizer;
+use lowvolt::device::mosfet::Mosfet;
+use lowvolt::device::soias::SoiasDevice;
+use lowvolt::device::units::{Seconds, Volts};
+
+#[test]
+fn fig1_shape_capacitance_rises_with_supply() {
+    for style in RegisterStyle::ALL {
+        let m = RegisterCapModel::new(style, Volts(0.5));
+        let c1 = m.switched_capacitance(Volts(1.0), 1.0);
+        let c3 = m.switched_capacitance(Volts(3.0), 1.0);
+        assert!(
+            c3.0 > c1.0 * 1.05,
+            "{style}: Fig. 1 requires a visible rise ({} -> {} fF)",
+            c1.to_femtofarads(),
+            c3.to_femtofarads()
+        );
+        // Magnitude: tens of femtofarads, as the Fig. 1 axis shows.
+        assert!(c3.to_femtofarads() > 10.0 && c3.to_femtofarads() < 150.0);
+    }
+}
+
+#[test]
+fn fig2_shape_subthreshold_decades() {
+    // log I_D vs V_gs is a straight line below threshold whose level
+    // shifts by orders of magnitude between V_T = 0.25 V and 0.4 V.
+    let lo = Mosfet::nmos_with_vt(Volts(0.25));
+    let hi = Mosfet::nmos_with_vt(Volts(0.4));
+    let off_ratio = lo.off_current(Volts(1.0)).0 / hi.off_current(Volts(1.0)).0;
+    assert!(off_ratio > 30.0, "ratio = {off_ratio}");
+    // Straight line in log space: equal V_gs steps, equal log-I steps.
+    let i = |v: f64| lo.drain_current(Volts(v), Volts(1.0)).0.log10();
+    let step1 = i(0.10) - i(0.05);
+    let step2 = i(0.15) - i(0.10);
+    assert!((step1 - step2).abs() / step1 < 0.05, "log-linear region");
+    // Above threshold the exponential rolls off into the power law.
+    let step_above = i(0.80) - i(0.75);
+    assert!(step_above < 0.3 * step1);
+}
+
+#[test]
+fn fig3_shape_iso_delay_supply_tracks_threshold() {
+    let ring = RingOscillator::paper_default();
+    let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+    let opt = FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid");
+    let vts: Vec<Volts> = (0..=9).map(|i| Volts(0.05 * f64::from(i))).collect();
+    let curve = opt.iso_delay_curve(&vts);
+    assert!(curve.len() >= 9);
+    // Monotone increasing, roughly affine over the mid range (the paper's
+    // measured curve is close to a straight line).
+    let slopes: Vec<f64> = curve
+        .windows(2)
+        .map(|w| (w[1].1 .0 - w[0].1 .0) / (w[1].0 .0 - w[0].0 .0))
+        .collect();
+    for s in &slopes {
+        assert!(*s > 0.0);
+    }
+    let mid = &slopes[3..];
+    let mean: f64 = mid.iter().sum::<f64>() / mid.len() as f64;
+    for s in mid {
+        assert!((s - mean).abs() / mean < 0.25, "quasi-linear mid-range");
+    }
+}
+
+#[test]
+fn fig4_shape_u_curve_with_sub_1v_optimum_and_speed_dependence() {
+    let ring = RingOscillator::paper_default();
+    let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+    let opt = FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid");
+    // Two throughputs, like the paper's 1 MHz and 0.8 MHz curves.
+    let fast = opt.optimum(Seconds(1e-6)).expect("feasible");
+    let slow = opt.optimum(Seconds(1.25e-6)).expect("feasible");
+    for p in [&fast, &slow] {
+        assert!(p.vdd.0 < 1.0, "optimum supply below 1 V: {}", p.vdd);
+    }
+    // The slower clock integrates more leakage → higher optimal V_T.
+    assert!(slow.vt.0 >= fast.vt.0);
+    // At the optimum, switching and leakage are the same order — the
+    // compromise the paper describes.
+    let balance = fast.switching.0 / fast.leakage.0;
+    assert!(balance > 0.5 && balance < 20.0, "balance = {balance}");
+}
+
+#[test]
+fn fig6_shape_backgate_modulation() {
+    let d = SoiasDevice::paper_fig6();
+    let standby = d.front_device(Volts(0.0));
+    let active = d.front_device(Volts(3.0));
+    // ~4 decades of off-current, visible drive increase.
+    let decades = (active.off_current(Volts(1.0)).0 / standby.off_current(Volts(1.0)).0).log10();
+    assert!(decades > 3.0 && decades < 5.0, "decades = {decades}");
+    let boost =
+        active.drain_current(Volts(1.0), Volts(0.1)).0 / standby.drain_current(Volts(1.0), Volts(0.1)).0;
+    assert!(boost > 1.3 && boost < 3.0, "boost = {boost}");
+}
+
+#[test]
+fn fig8_fig9_shape_signal_statistics_dominate_activity() {
+    let mut n = Netlist::new();
+    let adder = ripple_carry_adder(&mut n, 8);
+    let inputs = adder.input_nodes();
+
+    let mut sim = Simulator::new(&n);
+    let mut random = PatternSource::random(inputs.len(), 42);
+    let fig8 = sim.measure_activity(&mut random, &inputs, 520, 8);
+
+    let mut sim = Simulator::new(&n);
+    let mut correlated = PatternSource::concat(vec![
+        PatternSource::zeros(8),
+        PatternSource::counting(8, 0),
+        PatternSource::zeros(1),
+    ]);
+    let fig9 = sim.measure_activity(&mut correlated, &inputs, 520, 8);
+
+    let a8 = fig8.mean_transition_probability();
+    let a9 = fig9.mean_transition_probability();
+    assert!(
+        a8 > 3.0 * a9,
+        "correlated inputs must slash activity: {a8} vs {a9}"
+    );
+    // Fig. 8's histogram has mass well above zero; Fig. 9's bulk sits in
+    // the lowest bins.
+    let h9 = fig9.histogram(10);
+    assert!(h9.counts[0] > h9.total_nodes() / 2, "Fig. 9 mass at low alpha");
+    let h8 = fig8.histogram(10);
+    let high_mass: usize = h8.counts[3..].iter().sum();
+    assert!(high_mass > 0, "Fig. 8 has nodes at high activity");
+    // Glitching: some node must transition more than once per cycle on
+    // random stimuli is too strong for 8 bits, but activity above 0.5
+    // appears in the carry chain.
+    let max8 = fig8
+        .internal_entries()
+        .map(|e| e.transition_probability(fig8.cycles()))
+        .fold(0.0f64, f64::max);
+    assert!(max8 > 0.4, "max alpha = {max8}");
+}
+
+#[test]
+fn fig10_shape_savings_ordering() {
+    use lowvolt::core::activity::ActivityVars;
+    use lowvolt::core::energy::{BlockParams, BurstEnergyModel};
+    use lowvolt::core::tradeoff::place_point;
+    use lowvolt::device::technology::Technology;
+    use lowvolt::device::units::Hertz;
+
+    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).expect("valid");
+    let device = SoiasDevice::paper_fig6();
+    let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
+    let soias = Technology::soias(device, Volts(3.0)).expect("valid");
+    // The paper's X-server points (fga, bga) and reported savings order:
+    // multiplier (97%) > shifter (80%) > adder (43%).
+    let points = [
+        ("adder", BlockParams::adder_8bit(), 0.697, 0.023),
+        ("shifter", BlockParams::shifter_8bit(), 0.109, 0.087),
+        ("multiplier", BlockParams::multiplier_8x8(), 0.0083, 0.0083),
+    ];
+    let mut savings = Vec::new();
+    for (name, block, fga, bga) in points {
+        let a = ActivityVars::new(fga, bga, 0.5).expect("valid");
+        let p = place_point(&model, &soias, &soi, &block, name, a);
+        savings.push(p.saving);
+        assert!(p.saving > 0.0, "{name} must save");
+    }
+    assert!(savings[2] > savings[1] && savings[1] > savings[0]);
+    assert!(savings[2] > 0.9, "multiplier saving {:.2}", savings[2]);
+    assert!(savings[0] < 0.6, "adder saving {:.2}", savings[0]);
+}
