@@ -12,19 +12,19 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g.bench_function("fig1_register_capacitance", |b| {
-        b.iter(|| black_box(experiments::fig1::series()))
+        b.iter(|| black_box(experiments::fig1::series().unwrap()))
     });
     g.bench_function("fig2_subthreshold_iv", |b| {
-        b.iter(|| black_box(experiments::fig2::series()))
+        b.iter(|| black_box(experiments::fig2::series().unwrap()))
     });
     g.bench_function("fig3_iso_delay_curves", |b| {
-        b.iter(|| black_box(experiments::fig3::series()))
+        b.iter(|| black_box(experiments::fig3::series().unwrap()))
     });
     g.bench_function("fig4_energy_optimum", |b| {
         b.iter(|| black_box(experiments::fig4::run()))
     });
     g.bench_function("fig6_soias_iv", |b| {
-        b.iter(|| black_box(experiments::fig6::series()))
+        b.iter(|| black_box(experiments::fig6::series().unwrap()))
     });
     g.bench_function("fig8_random_activity", |b| {
         b.iter(|| black_box(experiments::fig8::measure()))

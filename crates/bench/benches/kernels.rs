@@ -23,11 +23,11 @@ fn bench_gate_sim(c: &mut Criterion) {
     g.throughput(Throughput::Elements(cycles));
     g.bench_function("rca8_random_cycles", |b| {
         let mut n = Netlist::new();
-        let adder = ripple_carry_adder(&mut n, 8);
+        let adder = ripple_carry_adder(&mut n, 8).expect("valid width");
         let inputs = adder.input_nodes();
         b.iter(|| {
             let mut sim = Simulator::new(&n);
-            let mut src = PatternSource::random(inputs.len(), 3);
+            let mut src = PatternSource::random(inputs.len(), 3).expect("valid width");
             black_box(sim.measure_activity(&mut src, &inputs, cycles as usize, 8))
         })
     });
@@ -37,7 +37,7 @@ fn bench_gate_sim(c: &mut Criterion) {
         let inputs = mult.input_nodes();
         b.iter(|| {
             let mut sim = Simulator::new(&n);
-            let mut src = PatternSource::random(inputs.len(), 3);
+            let mut src = PatternSource::random(inputs.len(), 3).expect("valid width");
             black_box(sim.measure_activity(&mut src, &inputs, cycles as usize, 8))
         })
     });
@@ -75,7 +75,7 @@ fn bench_switch_level(c: &mut Criterion) {
     let mut g = c.benchmark_group("switch_level");
     g.bench_function("static_tg_register_16_cycles", |b| {
         let mut n = SwitchNetlist::new();
-        let p = static_tg_register(&mut n);
+        let p = static_tg_register(&mut n).expect("builds");
         b.iter(|| black_box(switched_cap_per_cycle(&n, p, 16)))
     });
     g.finish();

@@ -50,17 +50,38 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut failures = 0;
     for e in selected {
         println!("==================================================================");
         println!("{} — {}", e.id, e.title);
         println!("==================================================================");
-        println!("{}", (e.run)());
-        if let (Some(dir), Some(series)) = (&csv_dir, e.series) {
-            let path = format!("{dir}/{}.csv", e.id);
-            match std::fs::write(&path, series().to_csv()) {
-                Ok(()) => println!("(series written to {path})"),
-                Err(err) => eprintln!("cannot write {path}: {err}"),
+        match (e.run)() {
+            Ok(out) => println!("{out}"),
+            Err(err) => {
+                eprintln!("error: {} failed: {err}", e.id);
+                failures += 1;
+                continue;
             }
         }
+        if let (Some(dir), Some(series)) = (&csv_dir, e.series) {
+            let path = format!("{dir}/{}.csv", e.id);
+            match series() {
+                Ok(table) => match std::fs::write(&path, table.to_csv()) {
+                    Ok(()) => println!("(series written to {path})"),
+                    Err(err) => {
+                        eprintln!("cannot write {path}: {err}");
+                        failures += 1;
+                    }
+                },
+                Err(err) => {
+                    eprintln!("error: {} series failed: {err}", e.id);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
     }
 }

@@ -1,6 +1,6 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 
-use super::paper_operating_point;
+use super::{paper_operating_point, BenchError};
 use lowvolt_circuit::adder::{carry_lookahead_adder, ripple_carry_adder};
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::registers::{RegisterCapModel, RegisterStyle};
@@ -17,27 +17,36 @@ use lowvolt_device::body::BodyEffect;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Amps, Seconds, Volts};
 
-fn optimizer(activity: f64) -> FixedThroughputOptimizer {
-    let ring = RingOscillator::paper_default();
+fn optimizer(activity: f64) -> Result<FixedThroughputOptimizer, BenchError> {
+    let ring = RingOscillator::paper_default()?;
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
-    FixedThroughputOptimizer::new(ring, target, activity).expect("static target")
+    Ok(FixedThroughputOptimizer::new(ring, target, activity)?)
 }
 
 /// Leakage-aware vs leakage-blind optimisation: the paper's complaint is
 /// that contemporary estimators ignored sub-threshold leakage; a
 /// leakage-blind optimiser drives V_T to zero and pays for it.
-#[must_use]
-pub fn leakage_blind() -> String {
-    let opt = optimizer(1.0);
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the optimiser fails or the sweep is empty.
+pub fn leakage_blind() -> Result<String, BenchError> {
+    let opt = optimizer(1.0)?;
     let t_op = Seconds(1e-6);
-    let aware = opt.optimum(t_op).expect("feasible");
+    let aware = opt.optimum(t_op)?;
     // A leakage-blind tool minimises switching energy only → picks the
     // smallest feasible V_T on the sweep grid.
     let blind = (0..=90)
         .filter_map(|i| opt.evaluate(Volts(0.005 * f64::from(i)), t_op).ok())
         .min_by(|a, b| a.switching.0.total_cmp(&b.switching.0))
-        .expect("sweep is non-empty");
-    let mut t = Table::new(["optimiser", "V_T (V)", "V_DD (V)", "E_believed (J)", "E_actual (J)"]);
+        .ok_or_else(|| BenchError("leakage-blind sweep found no feasible point".to_string()))?;
+    let mut t = Table::new([
+        "optimiser",
+        "V_T (V)",
+        "V_DD (V)",
+        "E_believed (J)",
+        "E_actual (J)",
+    ]);
     t.push_row([
         "leakage-aware".to_string(),
         format!("{:.3}", aware.vt.0),
@@ -52,22 +61,25 @@ pub fn leakage_blind() -> String {
         fmt_sig(blind.switching.0, 3),
         fmt_sig(blind.total().0, 3),
     ]);
-    format!(
+    Ok(format!(
         "{t}\nthe blind pick believes {} J but actually burns {} J — {:.1}x worse than the aware optimum\n",
         fmt_sig(blind.switching.0, 3),
         fmt_sig(blind.total().0, 3),
         blind.total().0 / aware.total().0,
-    )
+    ))
 }
 
 /// Optimum operating point vs switching activity (§3: "The switching
 /// activity plays a major role in determining the optimum threshold and
 /// power supply voltage").
-#[must_use]
-pub fn activity_dependence() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if an optimiser fails at any activity level.
+pub fn activity_dependence() -> Result<String, BenchError> {
     let mut t = Table::new(["alpha", "opt V_T (V)", "opt V_DD (V)", "E (J)"]);
     for alpha in [1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
-        let best = optimizer(alpha).optimum(Seconds(1e-6)).expect("feasible");
+        let best = optimizer(alpha)?.optimum(Seconds(1e-6))?;
         t.push_row([
             format!("{alpha}"),
             format!("{:.3}", best.vt.0),
@@ -75,28 +87,33 @@ pub fn activity_dependence() -> String {
             fmt_sig(best.total().0, 3),
         ]);
     }
-    format!("{t}\nlower activity -> leakage dominates -> higher optimal V_T and V_DD\n")
+    Ok(format!(
+        "{t}\nlower activity -> leakage dominates -> higher optimal V_T and V_DD\n"
+    ))
 }
 
 /// Chip vs block vs per-transistor V_T control on the X-server design.
-#[must_use]
-pub fn granularity() -> String {
-    let (model, soias, _) = paper_operating_point();
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the comparison fails to evaluate.
+pub fn granularity() -> Result<String, BenchError> {
+    let (model, soias, _) = paper_operating_point()?;
     let blocks = vec![
         (
-            BlockParams::adder_8bit(),
-            ActivityVars::new(0.1394, 0.0046, 0.5).expect("feasible"),
+            BlockParams::adder_8bit()?,
+            ActivityVars::new(0.1394, 0.0046, 0.5)?,
         ),
         (
-            BlockParams::shifter_8bit(),
-            ActivityVars::new(0.0218, 0.0174, 0.5).expect("feasible"),
+            BlockParams::shifter_8bit()?,
+            ActivityVars::new(0.0218, 0.0174, 0.5)?,
         ),
         (
-            BlockParams::multiplier_8x8(),
-            ActivityVars::new(0.00166, 0.00166, 0.5).expect("feasible"),
+            BlockParams::multiplier_8x8()?,
+            ActivityVars::new(0.00166, 0.00166, 0.5)?,
         ),
     ];
-    let cmp = compare_granularities(&model, &soias, &blocks, 0.2, 1e-4).expect("valid design");
+    let cmp = compare_granularities(&model, &soias, &blocks, 0.2, 1e-4)?;
     let mut t = Table::new(["granularity", "E per cycle (J)", "vs block"]);
     for g in ControlGranularity::ALL {
         t.push_row([
@@ -105,21 +122,23 @@ pub fn granularity() -> String {
             format!("{:.2}x", cmp.energy(g).0 / cmp.block.0),
         ]);
     }
-    format!(
+    Ok(format!(
         "{t}\nbest granularity: {} (the paper's chosen model of operation)\n",
         cmp.best()
-    )
+    ))
 }
 
 /// The four §4 leakage-control technologies on the same bursty block.
-#[must_use]
-pub fn technology_four_way() -> String {
-    let (model, soias, soi) = paper_operating_point();
-    let mtcmos = Technology::mtcmos(Volts(0.084), Volts(0.55), Volts(1.0)).expect("valid");
-    let substrate = Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.084)), Volts(2.0))
-        .expect("valid");
-    let block = BlockParams::adder_8bit();
-    let activity = ActivityVars::new(0.05, 0.005, 0.5).expect("feasible");
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a technology model fails to construct.
+pub fn technology_four_way() -> Result<String, BenchError> {
+    let (model, soias, soi) = paper_operating_point()?;
+    let mtcmos = Technology::mtcmos(Volts(0.084), Volts(0.55), Volts(1.0))?;
+    let substrate = Technology::substrate_bias(BodyEffect::with_vt0(Volts(0.084)), Volts(2.0))?;
+    let block = BlockParams::adder_8bit()?;
+    let activity = ActivityVars::new(0.05, 0.005, 0.5)?;
     let mut t = Table::new([
         "technology",
         "standby V_T (V)",
@@ -137,22 +156,24 @@ pub fn technology_four_way() -> String {
         ]);
     }
     // MTCMOS sizing sidebar.
-    let sizer = MtcmosSizer::new(Amps(1e-3), Volts(1.0), Volts(0.084), Volts(0.55))
-        .expect("valid sizer");
-    let design = sizer.size_for_penalty(0.05).expect("feasible");
-    format!(
+    let sizer = MtcmosSizer::new(Amps(1e-3), Volts(1.0), Volts(0.084), Volts(0.55))?;
+    let design = sizer.size_for_penalty(0.05)?;
+    Ok(format!(
         "{t}\nMTCMOS sleep device for 5% delay penalty: {:.1} um wide, {:.0} mV rail droop\nsubstrate bias note: raising V_T a few hundred mV costs volts of bias (square-root law)\n",
         design.width.0,
         design.rail_droop.0 * 1e3,
-    )
+    ))
 }
 
 /// Constant-capacitance vs voltage-dependent capacitance energy estimates
 /// (Fig. 1's "necessary to take capacitive non-linearities into account").
-#[must_use]
-pub fn capacitance_nonlinearity() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a capacitance evaluation fails.
+pub fn capacitance_nonlinearity() -> Result<String, BenchError> {
     let model = RegisterCapModel::new(RegisterStyle::C2mos, Volts(0.5));
-    let c_at_1v = model.switched_capacitance(Volts(1.0), 1.0);
+    let c_at_1v = model.switched_capacitance(Volts(1.0), 1.0)?;
     let mut t = Table::new([
         "V_DD (V)",
         "E true (J)",
@@ -161,7 +182,7 @@ pub fn capacitance_nonlinearity() -> String {
     ]);
     for i in 0..=8 {
         let vdd = Volts(1.0 + 0.25 * f64::from(i));
-        let true_e = model.energy_per_cycle(vdd, 1.0).0;
+        let true_e = model.energy_per_cycle(vdd, 1.0)?.0;
         let const_e = c_at_1v.0 * vdd.0 * vdd.0;
         t.push_row([
             format!("{:.2}", vdd.0),
@@ -170,30 +191,35 @@ pub fn capacitance_nonlinearity() -> String {
             format!("{:.1}%", (1.0 - const_e / true_e) * 100.0),
         ]);
     }
-    format!("{t}\na constant-C model calibrated at 1 V undercounts switching energy as V_DD rises\n")
+    Ok(format!(
+        "{t}\na constant-C model calibrated at 1 V undercounts switching energy as V_DD rises\n"
+    ))
 }
 
 /// Ripple-carry vs carry-lookahead glitch energy at equal function.
-#[must_use]
-pub fn adder_glitch() -> String {
-    let measure = |cla: bool| {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if netlist generation or simulation fails.
+pub fn adder_glitch() -> Result<String, BenchError> {
+    let measure = |cla: bool| -> Result<(usize, f64, f64), BenchError> {
         let mut n = Netlist::new();
         let inputs = if cla {
-            carry_lookahead_adder(&mut n, 16).expect("valid width").input_nodes()
+            carry_lookahead_adder(&mut n, 16)?.input_nodes()
         } else {
-            ripple_carry_adder(&mut n, 16).input_nodes()
+            ripple_carry_adder(&mut n, 16)?.input_nodes()
         };
         let mut sim = Simulator::new(&n);
-        let mut src = PatternSource::random(inputs.len(), 77);
-        let report = sim.measure_activity(&mut src, &inputs, 540, 40);
-        (
+        let mut src = PatternSource::random(inputs.len(), 77)?;
+        let report = sim.measure_activity(&mut src, &inputs, 540, 40)?;
+        Ok((
             n.gate_count(),
             report.mean_transition_probability(),
             report.switched_capacitance_per_cycle().to_femtofarads(),
-        )
+        ))
     };
-    let (g_rca, a_rca, c_rca) = measure(false);
-    let (g_cla, a_cla, c_cla) = measure(true);
+    let (g_rca, a_rca, c_rca) = measure(false)?;
+    let (g_cla, a_cla, c_cla) = measure(true)?;
     let mut t = Table::new(["adder", "gates", "mean alpha", "switched cap (fF/cycle)"]);
     t.push_row([
         "ripple-carry".to_string(),
@@ -207,22 +233,26 @@ pub fn adder_glitch() -> String {
         format!("{a_cla:.3}"),
         format!("{c_cla:.1}"),
     ]);
-    format!(
+    Ok(format!(
         "{t}\nthe lookahead tree spends {:.0}% more gates but its flatter carry arrival cuts per-node glitching ({:.3} vs {:.3} mean alpha)\n",
         (g_cla as f64 / g_rca as f64 - 1.0) * 100.0,
         a_cla,
         a_rca,
-    )
+    ))
 }
 
 /// Architectural voltage scaling (intro ref \[1\]) with leakage accounted:
 /// energy vs degree of parallelism for low- and high-V_T implementations.
-#[must_use]
-pub fn parallelism() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the scaling model fails to construct or no
+/// parallelism degree is feasible.
+pub fn parallelism() -> Result<String, BenchError> {
     use lowvolt_core::scaling::{ParallelScaling, DEFAULT_OVERHEAD_PER_WAY};
     let mut out = String::new();
     for vt in [0.45, 0.15] {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default()?;
         let base = ring.stage_delay(Volts(2.5), Volts(vt));
         let model = ParallelScaling::new(
             ring,
@@ -230,9 +260,14 @@ pub fn parallelism() -> String {
             base,
             Seconds(1e-6),
             DEFAULT_OVERHEAD_PER_WAY,
-        )
-        .expect("valid model");
-        let mut t = Table::new(["ways", "V_DD (V)", "E_switch (J)", "E_leak (J)", "E_total (J)"]);
+        )?;
+        let mut t = Table::new([
+            "ways",
+            "V_DD (V)",
+            "E_switch (J)",
+            "E_leak (J)",
+            "E_total (J)",
+        ]);
         for p in model.sweep(16) {
             t.push_row([
                 p.ways.to_string(),
@@ -242,7 +277,7 @@ pub fn parallelism() -> String {
                 fmt_sig(p.total().0, 3),
             ]);
         }
-        let best = model.best(16).expect("feasible");
+        let best = model.best(16)?;
         out.push_str(&format!(
             "V_T = {vt} V:\n{t}best: {} ways at {:.3} V ({} J/op)\n\n",
             best.ways,
@@ -250,30 +285,31 @@ pub fn parallelism() -> String {
             fmt_sig(best.total().0, 3)
         ));
     }
-    out.push_str("leakage bounds the parallelism win: the low-V_T design's optimum is shallower.\n");
-    out
+    out.push_str(
+        "leakage bounds the parallelism win: the low-V_T design's optimum is shallower.\n",
+    );
+    Ok(out)
 }
 
 /// Process-corner and temperature spread of the key device quantities.
-#[must_use]
-pub fn corners() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a corner condition is rejected by the
+/// device model.
+pub fn corners() -> Result<String, BenchError> {
     use lowvolt_device::corners::{Condition, Corner};
     use lowvolt_device::mosfet::Mosfet;
     use lowvolt_device::units::Kelvin;
     let nominal = Mosfet::nmos_with_vt(Volts(0.25));
-    let mut t = Table::new([
-        "condition",
-        "V_T (V)",
-        "I_on @1V (A)",
-        "I_off @1V (A)",
-    ]);
+    let mut t = Table::new(["condition", "V_T (V)", "I_on @1V (A)", "I_off @1V (A)"]);
     for corner in Corner::ALL {
         for temp_k in [300.0, 358.0] {
             let cond = Condition {
                 corner,
                 temperature: Kelvin(temp_k),
             };
-            let d = cond.apply(&nominal);
+            let d = cond.apply(&nominal)?;
             t.push_row([
                 format!("{corner} @ {:.0} K", temp_k),
                 format!("{:.3}", d.vt0().0),
@@ -282,15 +318,18 @@ pub fn corners() -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "{t}\nthe fast/hot corner sets the leakage budget; the slow/hot corner sets timing.\n"
-    )
+    ))
 }
 
 /// The transistor-stack effect: why series devices (MTCMOS, NAND
 /// pull-downs) leak an order of magnitude less.
-#[must_use]
-pub fn stack_effect() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the stack solver fails to converge.
+pub fn stack_effect() -> Result<String, BenchError> {
     use lowvolt_device::mosfet::Mosfet;
     use lowvolt_device::stack::two_stack_leakage;
     let mut t = Table::new([
@@ -300,9 +339,12 @@ pub fn stack_effect() -> String {
         "reduction",
         "V_x (mV)",
     ]);
-    for (label, dibl) in [("long-channel (no DIBL)", 0.0), ("short-channel (DIBL 0.07)", 0.07)] {
+    for (label, dibl) in [
+        ("long-channel (no DIBL)", 0.0),
+        ("short-channel (DIBL 0.07)", 0.07),
+    ] {
         let d = Mosfet::nmos_with_vt(Volts(0.2)).with_dibl(dibl);
-        let s = two_stack_leakage(&d, Volts(1.0)).expect("solves");
+        let s = two_stack_leakage(&d, Volts(1.0))?;
         t.push_row([
             label.to_string(),
             fmt_sig(d.off_current(Volts(1.0)).0, 3),
@@ -311,43 +353,51 @@ pub fn stack_effect() -> String {
             format!("{:.0}", s.intermediate.0 * 1e3),
         ]);
     }
-    format!("{t}\nthe classic ~10x stack factor is DIBL-driven.\n")
+    Ok(format!(
+        "{t}\nthe classic ~10x stack factor is DIBL-driven.\n"
+    ))
 }
 
 /// The FIR continuous-mode profile (our §3-class extension workload).
-#[must_use]
-pub fn fir_profile() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if assembly or execution fails.
+pub fn fir_profile() -> Result<String, BenchError> {
     use lowvolt_isa::asm::assemble;
     use lowvolt_isa::cpu::Cpu;
     use lowvolt_isa::profile::Profiler;
-    let program = assemble(&lowvolt_workloads::fir::program(300, 42)).expect("assembles");
+    let program = assemble(&lowvolt_workloads::fir::program(300, 42))?;
     let strict = {
         let mut cpu = Cpu::new(program.clone());
         let mut p = Profiler::standard();
-        cpu.run_profiled(100_000_000, &mut p).expect("runs");
+        cpu.run_profiled(100_000_000, &mut p)?;
         p.report()
     };
     let relaxed = {
         let mut cpu = Cpu::new(program);
         let mut p = Profiler::standard().with_hysteresis(12);
-        cpu.run_profiled(100_000_000, &mut p).expect("runs");
+        cpu.run_profiled(100_000_000, &mut p)?;
         p.report()
     };
-    format!(
+    Ok(format!(
         "workload: 8-tap FIR filter (continuous DSP)\nstrict run counting (paper definition):\n{strict}\nwith 12-instruction power-management hysteresis:\n{relaxed}\nthe MAC loop keeps the multiplier in long runs: bga collapses under hysteresis\nwhile fga is unchanged — the continuous-mode signature of the paper's §3 class.\n"
-    )
+    ))
 }
-
 
 /// Transistor-level cross-check of Fig. 1's premise: per-cycle switched
 /// capacitance of real register netlists orders by clocked-device count,
 /// measured by the switch-level simulator.
-#[must_use]
-pub fn switchlevel_registers() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a register fails to build or simulate.
+pub fn switchlevel_registers() -> Result<String, BenchError> {
     use lowvolt_circuit::switch_registers::{
         c2mos_register, npass_latch, static_tg_register, switched_cap_per_cycle, SwRegisterPorts,
     };
     use lowvolt_circuit::switchlevel::SwitchNetlist;
+    use lowvolt_circuit::CircuitError;
     let mut t = Table::new([
         "register",
         "transistors",
@@ -356,31 +406,51 @@ pub fn switchlevel_registers() -> String {
     ]);
     let measure = |name: &str,
                    style: &str,
-                   build: fn(&mut SwitchNetlist) -> SwRegisterPorts,
-                   t: &mut Table| {
+                   build: fn(&mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError>,
+                   t: &mut Table|
+     -> Result<(), BenchError> {
         let mut n = SwitchNetlist::new();
-        let p = build(&mut n);
-        let cap = switched_cap_per_cycle(&n, p, 16);
+        let p = build(&mut n)?;
+        let cap = switched_cap_per_cycle(&n, p, 16)?;
         t.push_row([
             name.to_string(),
             n.transistor_count().to_string(),
             format!("{cap:.1}"),
             style.to_string(),
         ]);
+        Ok(())
     };
-    measure("static TG master-slave", "8 clocked devices", static_tg_register, &mut t);
-    measure("C2MOS master-slave", "4 clocked devices", c2mos_register, &mut t);
-    measure("n-pass dynamic latch", "1 clocked device", npass_latch, &mut t);
-    format!(
+    measure(
+        "static TG master-slave",
+        "8 clocked devices",
+        static_tg_register,
+        &mut t,
+    )?;
+    measure(
+        "C2MOS master-slave",
+        "4 clocked devices",
+        c2mos_register,
+        &mut t,
+    )?;
+    measure(
+        "n-pass dynamic latch",
+        "1 clocked device",
+        npass_latch,
+        &mut t,
+    )?;
+    Ok(format!(
         "{t}\nswitch-level simulation (pass gates, dynamic nodes, charge storage) confirms\nthe Fig. 1 premise: switched capacitance orders by clock load.\n"
-    )
+    ))
 }
 
 /// Sensitivity tornado around the Fig. 4 nominal optimum.
-#[must_use]
-pub fn sensitivity() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the nominal point is infeasible.
+pub fn sensitivity() -> Result<String, BenchError> {
     use lowvolt_core::sensitivity::{analyse, DesignPoint};
-    let report = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible nominal");
+    let report = analyse(DesignPoint::paper_nominal()?, 0.2)?;
     let mut t = Table::new([
         "parameter (+/-20%)",
         "opt V_T range (V)",
@@ -395,29 +465,29 @@ pub fn sensitivity() -> String {
             format!("{:+.1}%", e.energy_swing * 100.0),
         ]);
     }
-    format!(
+    Ok(format!(
         "nominal optimum: V_T = {:.3} V, V_DD = {:.3} V\n{t}\nthe delay target dominates; activity and throughput shift the optimum V_T.\n",
         report.nominal_vt.0, report.nominal_vdd.0
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn leakage_blind_is_worse() {
-        let out = super::leakage_blind();
+        let out = super::leakage_blind().unwrap();
         assert!(out.contains("worse than the aware optimum"));
     }
 
     #[test]
     fn granularity_prefers_block() {
-        let out = super::granularity();
+        let out = super::granularity().unwrap();
         assert!(out.contains("best granularity: block"));
     }
 
     #[test]
     fn four_technologies_reported() {
-        let out = super::technology_four_way();
+        let out = super::technology_four_way().unwrap();
         assert!(out.contains("soias"));
         assert!(out.contains("mtcmos"));
         assert!(out.contains("substrate-bias"));
@@ -426,7 +496,7 @@ mod tests {
 
     #[test]
     fn constant_c_underestimates_at_high_vdd() {
-        let out = super::capacitance_nonlinearity();
+        let out = super::capacitance_nonlinearity().unwrap();
         assert!(out.contains("undercounts"));
     }
 }

@@ -1,13 +1,17 @@
 //! Fig. 1: "Non-linear dependence of C_L on V_DD" — switched capacitance
 //! of the LCLR, TSPC-R and C²MOS registers as the supply sweeps 1 → 3 V.
 
+use super::BenchError;
 use lowvolt_circuit::registers::{RegisterCapModel, RegisterStyle};
 use lowvolt_core::report::Table;
 use lowvolt_device::units::Volts;
 
 /// The plotted series.
-#[must_use]
-pub fn series() -> Table {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a capacitance evaluation fails.
+pub fn series() -> Result<Table, BenchError> {
     let models: Vec<RegisterCapModel> = RegisterStyle::ALL
         .iter()
         .map(|&s| RegisterCapModel::new(s, Volts(0.5)))
@@ -15,10 +19,13 @@ pub fn series() -> Table {
     let mut table = Table::new(["V_DD (V)", "LCLR (fF)", "TSPCR (fF)", "C2MOS (fF)"]);
     for i in 0..=20 {
         let vdd = Volts(1.0 + 0.1 * f64::from(i));
-        let cells: Vec<String> = models
-            .iter()
-            .map(|m| format!("{:.2}", m.switched_capacitance(vdd, 1.0).to_femtofarads()))
-            .collect();
+        let mut cells = Vec::new();
+        for m in &models {
+            cells.push(format!(
+                "{:.2}",
+                m.switched_capacitance(vdd, 1.0)?.to_femtofarads()
+            ));
+        }
         table.push_row([
             format!("{:.1}", vdd.0),
             cells[0].clone(),
@@ -26,32 +33,38 @@ pub fn series() -> Table {
             cells[2].clone(),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    let table = series();
-    let rise = |style: RegisterStyle| {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a capacitance evaluation fails.
+pub fn run() -> Result<String, BenchError> {
+    let table = series()?;
+    let rise = |style: RegisterStyle| -> Result<String, BenchError> {
         let m = RegisterCapModel::new(style, Volts(0.5));
-        let c1 = m.switched_capacitance(Volts(1.0), 1.0).to_femtofarads();
-        let c3 = m.switched_capacitance(Volts(3.0), 1.0).to_femtofarads();
-        format!("{style}: {c1:.1} fF @1V -> {c3:.1} fF @3V (+{:.0}%)", (c3 / c1 - 1.0) * 100.0)
+        let c1 = m.switched_capacitance(Volts(1.0), 1.0)?.to_femtofarads();
+        let c3 = m.switched_capacitance(Volts(3.0), 1.0)?.to_femtofarads();
+        Ok(format!(
+            "{style}: {c1:.1} fF @1V -> {c3:.1} fF @3V (+{:.0}%)",
+            (c3 / c1 - 1.0) * 100.0
+        ))
     };
-    format!(
+    Ok(format!(
         "{table}\nshape check (capacitance must rise with V_DD):\n  {}\n  {}\n  {}\n",
-        rise(RegisterStyle::Lclr),
-        rise(RegisterStyle::Tspc),
-        rise(RegisterStyle::C2mos),
-    )
+        rise(RegisterStyle::Lclr)?,
+        rise(RegisterStyle::Tspc)?,
+        rise(RegisterStyle::C2mos)?,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn series_has_full_sweep() {
-        let t = super::series();
+        let t = super::series().unwrap();
         assert_eq!(t.row_count(), 21);
         let csv = t.to_csv();
         assert!(csv.starts_with("V_DD (V),LCLR"));

@@ -2,7 +2,7 @@
 //! the trade-off surface, its breakeven contour, and the application
 //! operating points (continuous vs X-server).
 
-use super::paper_operating_point;
+use super::{paper_operating_point, BenchError};
 use lowvolt_core::activity::ActivityVars;
 use lowvolt_core::energy::BlockParams;
 use lowvolt_core::report::Table;
@@ -20,51 +20,67 @@ pub const PAPER_POINTS: [(&str, f64, f64); 6] = [
     ("multiplier (x-server)", 0.0083, 0.0083),
 ];
 
-fn block_for(name: &str) -> BlockParams {
-    if name.starts_with("shifter") {
-        BlockParams::shifter_8bit()
+fn block_for(name: &str) -> Result<BlockParams, BenchError> {
+    Ok(if name.starts_with("shifter") {
+        BlockParams::shifter_8bit()?
     } else if name.starts_with("multiplier") {
-        BlockParams::multiplier_8x8()
+        BlockParams::multiplier_8x8()?
     } else {
-        BlockParams::adder_8bit()
-    }
+        BlockParams::adder_8bit()?
+    })
 }
 
 /// Places every paper point on the surface.
-#[must_use]
-pub fn operating_points() -> Vec<OperatingPoint> {
-    let (model, soias, soi) = paper_operating_point();
-    PAPER_POINTS
-        .iter()
-        .map(|&(name, fga, bga)| {
-            let activity = ActivityVars::new(fga, bga, 0.5).expect("paper points are feasible");
-            place_point(&model, &soias, &soi, &block_for(name), name, activity)
-        })
-        .collect()
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a paper point is rejected by the activity
+/// model (the shipped constants never are).
+pub fn operating_points() -> Result<Vec<OperatingPoint>, BenchError> {
+    let (model, soias, soi) = paper_operating_point()?;
+    let mut points = Vec::new();
+    for &(name, fga, bga) in &PAPER_POINTS {
+        let activity = ActivityVars::new(fga, bga, 0.5)?;
+        points.push(place_point(
+            &model,
+            &soias,
+            &soi,
+            &block_for(name)?,
+            name,
+            activity,
+        ));
+    }
+    Ok(points)
 }
 
 /// Evaluates the surface over the plotted region.
-#[must_use]
-pub fn surface() -> TradeoffSurface {
-    let (model, soias, soi) = paper_operating_point();
-    TradeoffSurface::evaluate(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the surface evaluation fails.
+pub fn surface() -> Result<TradeoffSurface, BenchError> {
+    let (model, soias, soi) = paper_operating_point()?;
+    Ok(TradeoffSurface::evaluate(
         &model,
         &soias,
         &soi,
-        &BlockParams::adder_8bit(),
+        &BlockParams::adder_8bit()?,
         0.5,
         (1e-3, 1.0),
         (1e-4, 1.0),
         61,
-    )
-    .expect("static ranges")
+    )?)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the surface or a paper point fails to
+/// evaluate.
+pub fn run() -> Result<String, BenchError> {
     let mut out = String::new();
-    let s = surface();
+    let s = surface()?;
     out.push_str("log10(E_SOIAS / E_SOI) samples (rows: fga, cols: bga, '.' = infeasible):\n");
     let mut grid = Table::new(["fga \\ bga", "1e-4", "1e-3", "1e-2", "1e-1", "1"]);
     for fi in [0usize, 15, 30, 45, 60] {
@@ -90,7 +106,7 @@ pub fn run() -> String {
     }
     out.push_str("\napplication operating points:\n");
     let mut pts = Table::new(["point", "fga", "bga", "log10 ratio", "saving"]);
-    for p in operating_points() {
+    for p in operating_points()? {
         pts.push_row([
             p.name.clone(),
             format!("{:.4}", p.activity.fga),
@@ -100,22 +116,23 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&pts.to_string());
-    out.push_str(
-        "\npaper reference savings (X-server): adder 43%, shifter 80%, multiplier 97%\n",
-    );
-    out
+    out.push_str("\npaper reference savings (X-server): adder 43%, shifter 80%, multiplier 97%\n");
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn x_server_savings_ordering_holds() {
-        let pts = super::operating_points();
+        let pts = super::operating_points().unwrap();
         let get = |n: &str| pts.iter().find(|p| p.name == n).expect("present").saving;
         let adder = get("adder (x-server)");
         let shifter = get("shifter (x-server)");
         let mult = get("multiplier (x-server)");
-        assert!(mult > shifter && shifter > adder, "{mult} > {shifter} > {adder}");
+        assert!(
+            mult > shifter && shifter > adder,
+            "{mult} > {shifter} > {adder}"
+        );
         assert!(adder > 0.0);
     }
 }

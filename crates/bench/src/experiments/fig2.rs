@@ -1,13 +1,17 @@
 //! Fig. 2: "Sub-threshold conduction in CMOS circuits" — log I_D vs V_gs
 //! for V_T = 0.25 V and V_T = 0.4 V at V_ds = 1 V.
 
+use super::BenchError;
 use lowvolt_core::report::{fmt_sig, Table};
 use lowvolt_device::mosfet::Mosfet;
 use lowvolt_device::units::Volts;
 
 /// The plotted series.
-#[must_use]
-pub fn series() -> Table {
+///
+/// # Errors
+///
+/// Infallible today; typed for registry uniformity.
+pub fn series() -> Result<Table, BenchError> {
     let lo = Mosfet::nmos_with_vt(Volts(0.25));
     let hi = Mosfet::nmos_with_vt(Volts(0.4));
     let mut table = Table::new(["V_gs (V)", "I_D @ V_T=0.25 (A)", "I_D @ V_T=0.4 (A)"]);
@@ -19,32 +23,35 @@ pub fn series() -> Table {
             fmt_sig(hi.drain_current(vgs, Volts(1.0)).0, 3),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the series fails to evaluate.
+pub fn run() -> Result<String, BenchError> {
     let lo = Mosfet::nmos_with_vt(Volts(0.25));
     let hi = Mosfet::nmos_with_vt(Volts(0.4));
     let off_lo = lo.off_current(Volts(1.0)).0;
     let off_hi = hi.off_current(Volts(1.0)).0;
-    format!(
+    Ok(format!(
         "{}\noff-current (V_gs = 0): {} A at V_T=0.25 vs {} A at V_T=0.4 ({:.0}x, {:.1} decades)\nsub-threshold slope: {:.1} mV/dec\n",
-        series(),
+        series()?,
         fmt_sig(off_lo, 3),
         fmt_sig(off_hi, 3),
         off_lo / off_hi,
         (off_lo / off_hi).log10(),
         lo.subthreshold_slope().0 * 1e3,
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn off_current_contrast_present() {
-        let out = super::run();
+        let out = super::run().unwrap();
         assert!(out.contains("decades"));
     }
 }

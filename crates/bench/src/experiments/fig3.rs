@@ -1,6 +1,7 @@
 //! Fig. 3: "Experimental V_DD vs V_T for a fixed delay" — the iso-delay
 //! locus of a ring oscillator at three delay targets.
 
+use super::BenchError;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::report::Table;
@@ -11,25 +12,25 @@ use lowvolt_device::units::{Seconds, Volts};
 pub const TARGETS_PS: [f64; 3] = [42.0, 150.0, 645.0];
 
 /// The plotted series.
-#[must_use]
-pub fn series() -> Table {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if an optimiser fails to construct.
+pub fn series() -> Result<Table, BenchError> {
     let mut table = Table::new([
         "V_T (V)",
         "V_DD @ 42 ps (V)",
         "V_DD @ 150 ps (V)",
         "V_DD @ 645 ps (V)",
     ]);
-    let opts: Vec<FixedThroughputOptimizer> = TARGETS_PS
-        .iter()
-        .map(|&ps| {
-            FixedThroughputOptimizer::new(
-                RingOscillator::paper_default(),
-                Seconds::from_picos(ps),
-                1.0,
-            )
-            .expect("static target")
-        })
-        .collect();
+    let mut opts: Vec<FixedThroughputOptimizer> = Vec::new();
+    for ps in TARGETS_PS {
+        opts.push(FixedThroughputOptimizer::new(
+            RingOscillator::paper_default()?,
+            Seconds::from_picos(ps),
+            1.0,
+        )?);
+    }
     for i in 0..=11 {
         let vt = Volts(0.05 * f64::from(i));
         let cells: Vec<String> = opts
@@ -46,23 +47,26 @@ pub fn series() -> Table {
             cells[2].clone(),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    format!(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the series fails to evaluate.
+pub fn run() -> Result<String, BenchError> {
+    Ok(format!(
         "{}\nslower targets admit lower supplies at every threshold; all curves rise with V_T.\n",
-        series()
-    )
+        series()?
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn all_targets_feasible_at_low_vt() {
-        let t = super::series();
+        let t = super::series().unwrap();
         assert_eq!(t.row_count(), 12);
         let csv = t.to_csv();
         let second_line = csv.lines().nth(1).expect("data row");

@@ -2,6 +2,7 @@
 //! operation along the iso-delay locus for two throughputs, with the
 //! leakage/switching compromise marked.
 
+use super::BenchError;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::report::{fmt_sig, Table};
@@ -10,18 +11,27 @@ use lowvolt_device::units::{Seconds, Volts};
 /// The two throughput periods (the paper plots 1 MHz and 0.8 MHz).
 pub const PERIODS_US: [f64; 2] = [1.0, 1.25];
 
-fn optimizer() -> FixedThroughputOptimizer {
-    let ring = RingOscillator::paper_default();
+fn optimizer() -> Result<FixedThroughputOptimizer, BenchError> {
+    let ring = RingOscillator::paper_default()?;
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
-    FixedThroughputOptimizer::new(ring, target, 1.0).expect("static target")
+    Ok(FixedThroughputOptimizer::new(ring, target, 1.0)?)
 }
 
 /// The plotted series for one throughput period.
-#[must_use]
-pub fn series(t_op: Seconds) -> Table {
-    let opt = optimizer();
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the optimiser fails to construct.
+pub fn series(t_op: Seconds) -> Result<Table, BenchError> {
+    let opt = optimizer()?;
     let vts: Vec<Volts> = (1..=24).map(|i| Volts(0.02 * f64::from(i))).collect();
-    let mut table = Table::new(["V_T (V)", "V_DD (V)", "E_switch (J)", "E_leak (J)", "E_total (J)"]);
+    let mut table = Table::new([
+        "V_T (V)",
+        "V_DD (V)",
+        "E_switch (J)",
+        "E_leak (J)",
+        "E_total (J)",
+    ]);
     for p in opt.energy_curve(&vts, t_op) {
         table.push_row([
             format!("{:.2}", p.vt.0),
@@ -31,18 +41,25 @@ pub fn series(t_op: Seconds) -> Table {
             fmt_sig(p.total().0, 3),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    let opt = optimizer();
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the optimiser fails or no optimum exists.
+pub fn run() -> Result<String, BenchError> {
+    let opt = optimizer()?;
     let mut out = String::new();
     for us in PERIODS_US {
         let t_op = Seconds(us * 1e-6);
-        out.push_str(&format!("throughput {:.2} MHz:\n{}", 1.0 / us, series(t_op)));
-        let best = opt.optimum(t_op).expect("feasible");
+        out.push_str(&format!(
+            "throughput {:.2} MHz:\n{}",
+            1.0 / us,
+            series(t_op)?
+        ));
+        let best = opt.optimum(t_op)?;
         out.push_str(&format!(
             "optimum: V_T = {:.3} V, V_DD = {:.3} V, E = {} J (supply well below 1 V)\n\n",
             best.vt.0,
@@ -50,7 +67,7 @@ pub fn run() -> String {
             fmt_sig(best.total().0, 3)
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -59,7 +76,7 @@ mod tests {
 
     #[test]
     fn optimum_reported_below_one_volt() {
-        let out = run();
+        let out = run().unwrap();
         assert!(out.contains("optimum"));
         // Both optima printed; extract the vdd values and check < 1.
         for line in out.lines().filter(|l| l.contains("optimum")) {

@@ -2,56 +2,61 @@
 //! current vs front-gate voltage at V_ds = 0.1 V for back-gate biases of
 //! 0 V (V_T = 0.448 V) and 3 V (V_T = 0.084 V).
 
+use super::BenchError;
 use lowvolt_core::report::{fmt_sig, Table};
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::units::Volts;
 
 /// The plotted series.
-#[must_use]
-pub fn series() -> Table {
+///
+/// # Errors
+///
+/// Infallible today; typed for registry uniformity.
+pub fn series() -> Result<Table, BenchError> {
     let device = SoiasDevice::paper_fig6();
     let standby = device.front_device(Volts(0.0));
     let active = device.front_device(Volts(3.0));
     let mut table = Table::new(["V_gf (V)", "I_D @ V_gb=0 (A/um)", "I_D @ V_gb=3 (A/um)"]);
     for i in 0..=20 {
         let vgf = Volts(0.05 * f64::from(i));
-        let per_um = |d: &lowvolt_device::mosfet::Mosfet| {
-            d.drain_current(vgf, Volts(0.1)).0 / d.width().0
-        };
+        let per_um =
+            |d: &lowvolt_device::mosfet::Mosfet| d.drain_current(vgf, Volts(0.1)).0 / d.width().0;
         table.push_row([
             format!("{:.2}", vgf.0),
             fmt_sig(per_um(&standby), 3),
             fmt_sig(per_um(&active), 3),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the series fails to evaluate.
+pub fn run() -> Result<String, BenchError> {
     let device = SoiasDevice::paper_fig6();
     let standby = device.front_device(Volts(0.0));
     let active = device.front_device(Volts(3.0));
-    let decades =
-        (active.off_current(Volts(1.0)).0 / standby.off_current(Volts(1.0)).0).log10();
+    let decades = (active.off_current(Volts(1.0)).0 / standby.off_current(Volts(1.0)).0).log10();
     let boost = active.drain_current(Volts(1.0), Volts(0.1)).0
         / standby.drain_current(Volts(1.0), Volts(0.1)).0;
-    format!(
+    Ok(format!(
         "{}\nV_T(V_gb=0) = {:.3} V, V_T(V_gb=3) = {:.3} V (paper: 0.448 / 0.084)\noff-current change: {:.1} decades (paper: ~4)\non-current boost at 1 V: {:.2}x (paper: ~1.8x)\n",
-        series(),
+        series()?,
         device.vt(Volts(0.0)).0,
         device.vt(Volts(3.0)).0,
         decades,
         boost,
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn anchors_reported() {
-        let out = super::run();
+        let out = super::run().unwrap();
         assert!(out.contains("decades"));
         assert!(out.contains("boost"));
     }

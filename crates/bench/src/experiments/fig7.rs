@@ -6,6 +6,7 @@
 //! confirming that "when the module is inactive, gated clocks can be
 //! used to shut down the unit to eliminate switching".
 
+use super::BenchError;
 use lowvolt_circuit::sequential::measure_gated_activity;
 use lowvolt_core::report::Table;
 
@@ -13,17 +14,20 @@ use lowvolt_core::report::Table;
 pub const DUTIES: [f64; 5] = [1.0, 0.5, 0.2, 0.1, 0.05];
 
 /// The measured series.
-#[must_use]
-pub fn series() -> Table {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if a gated-activity measurement fails.
+pub fn series() -> Result<Table, BenchError> {
     let mut table = Table::new([
         "enable duty",
         "measured fga",
         "transitions/cycle",
         "vs always-on",
     ]);
-    let baseline = measure_gated_activity(8, 400, 1.0, 1996);
+    let baseline = measure_gated_activity(8, 400, 1.0, 1996)?;
     for duty in DUTIES {
-        let m = measure_gated_activity(8, 400, duty, 1996);
+        let m = measure_gated_activity(8, 400, duty, 1996)?;
         table.push_row([
             format!("{duty:.2}"),
             format!("{:.3}", m.fga),
@@ -34,25 +38,28 @@ pub fn series() -> Table {
             ),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    format!(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the series fails to evaluate.
+pub fn run() -> Result<String, BenchError> {
+    Ok(format!(
         "{}\ninternal switching tracks the gated-clock duty: fga is a physical knob, not\njust a bookkeeping variable. (Register clock pins keep a small duty-independent\nresidue — the free-running clock net itself.)\n",
-        series()
-    )
+        series()?
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn switching_falls_with_duty() {
-        let out = super::run();
+        let out = super::run().unwrap();
         assert!(out.contains("enable duty"));
-        let t = super::series();
+        let t = super::series().unwrap();
         assert_eq!(t.row_count(), super::DUTIES.len());
     }
 }

@@ -1,8 +1,9 @@
 //! Fig. 8: "Histogram of transition activity for an 8-bit ripple carry
 //! adder with random inputs."
 
-use lowvolt_circuit::adder::ripple_carry_adder;
+use super::BenchError;
 use lowvolt_circuit::activity::ActivityReport;
+use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::sim::Simulator;
 use lowvolt_circuit::stimulus::PatternSource;
@@ -15,34 +16,40 @@ pub const CYCLES: usize = 1064;
 pub const WARMUP: usize = 40;
 
 /// Runs the measurement.
-#[must_use]
-pub fn measure() -> ActivityReport {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if netlist generation or simulation fails.
+pub fn measure() -> Result<ActivityReport, BenchError> {
     let mut n = Netlist::new();
-    let adder = ripple_carry_adder(&mut n, 8);
+    let adder = ripple_carry_adder(&mut n, 8)?;
     let inputs = adder.input_nodes();
     let mut sim = Simulator::new(&n);
-    let mut source = PatternSource::random(inputs.len(), 42);
-    sim.measure_activity(&mut source, &inputs, CYCLES, WARMUP)
+    let mut source = PatternSource::random(inputs.len(), 42)?;
+    Ok(sim.measure_activity(&mut source, &inputs, CYCLES, WARMUP)?)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    let report = measure();
-    format!
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the measurement fails.
+pub fn run() -> Result<String, BenchError> {
+    let report = measure()?;
+    Ok(format!
         ("number of internal nodes: {}\n{}\nmean alpha = {:.3}, switched capacitance = {:.1} fF/cycle\n",
         report.internal_entries().count(),
-        report.histogram(15),
+        report.histogram(15)?,
         report.mean_transition_probability(),
         report.switched_capacitance_per_cycle().to_femtofarads(),
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn random_inputs_produce_broad_activity() {
-        let report = super::measure();
+        let report = super::measure().unwrap();
         assert!(report.mean_transition_probability() > 0.2);
     }
 }

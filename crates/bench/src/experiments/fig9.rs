@@ -1,8 +1,9 @@
 //! Fig. 9: the same adder "with one of the inputs fixed at 0 and the
 //! other input increments from 0 to 255" — dramatically lower activity.
 
-use lowvolt_circuit::adder::ripple_carry_adder;
+use super::BenchError;
 use lowvolt_circuit::activity::ActivityReport;
+use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::sim::Simulator;
 use lowvolt_circuit::stimulus::PatternSource;
@@ -14,43 +15,47 @@ pub const CYCLES: usize = 296;
 pub const WARMUP: usize = 40;
 
 /// Runs the measurement.
-#[must_use]
-pub fn measure() -> ActivityReport {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if netlist generation or simulation fails.
+pub fn measure() -> Result<ActivityReport, BenchError> {
     let mut n = Netlist::new();
-    let adder = ripple_carry_adder(&mut n, 8);
+    let adder = ripple_carry_adder(&mut n, 8)?;
     let inputs = adder.input_nodes();
     let mut sim = Simulator::new(&n);
     let mut source = PatternSource::concat(vec![
-        PatternSource::zeros(8),       // input a fixed at 0
-        PatternSource::counting(8, 0), // input b increments
-        PatternSource::zeros(1),       // carry-in
-    ]);
-    sim.measure_activity(&mut source, &inputs, CYCLES, WARMUP)
+        PatternSource::zeros(8)?,       // input a fixed at 0
+        PatternSource::counting(8, 0)?, // input b increments
+        PatternSource::zeros(1)?,       // carry-in
+    ])?;
+    Ok(sim.measure_activity(&mut source, &inputs, CYCLES, WARMUP)?)
 }
 
 /// Renders the experiment.
-#[must_use]
-pub fn run() -> String {
-    let fig9 = measure();
-    let fig8 = super::fig8::measure();
-    format!(
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if either measurement fails.
+pub fn run() -> Result<String, BenchError> {
+    let fig9 = measure()?;
+    let fig8 = super::fig8::measure()?;
+    Ok(format!(
         "{}\nmean alpha = {:.3} (random-input mean was {:.3}: {:.1}x lower)\nswitched capacitance = {:.1} fF/cycle\n",
-        fig9.histogram(15),
+        fig9.histogram(15)?,
         fig9.mean_transition_probability(),
         fig8.mean_transition_probability(),
         fig8.mean_transition_probability() / fig9.mean_transition_probability(),
         fig9.switched_capacitance_per_cycle().to_femtofarads(),
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn correlated_inputs_are_quieter() {
-        let r9 = super::measure();
-        let r8 = super::super::fig8::measure();
-        assert!(
-            r8.mean_transition_probability() > 3.0 * r9.mean_transition_probability()
-        );
+        let r9 = super::measure().unwrap();
+        let r8 = super::super::fig8::measure().unwrap();
+        assert!(r8.mean_transition_probability() > 3.0 * r9.mean_transition_probability());
     }
 }

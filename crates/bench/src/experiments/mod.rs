@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod fig1;
+pub mod fig10;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -9,13 +10,52 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
 pub mod tables;
 
 use lowvolt_core::energy::BurstEnergyModel;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Volts};
+use std::fmt;
+
+/// An experiment failed to produce its output: carries the message
+/// shown to the user. Every underlying typed error converts into it so
+/// experiment code propagates with `?` instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchError(pub String);
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+macro_rules! bench_error_from {
+    ($($t:ty),* $(,)?) => {$(
+        impl From<$t> for BenchError {
+            fn from(e: $t) -> BenchError {
+                BenchError(e.to_string())
+            }
+        }
+    )*};
+}
+
+bench_error_from!(
+    lowvolt_circuit::CircuitError,
+    lowvolt_core::error::CoreError,
+    lowvolt_device::error::DeviceError,
+    lowvolt_workloads::error::WorkloadError,
+    lowvolt_isa::error::AssembleError,
+    lowvolt_isa::error::ExecError,
+);
+
+impl From<String> for BenchError {
+    fn from(s: String) -> BenchError {
+        BenchError(s)
+    }
+}
 
 /// One runnable experiment.
 #[derive(Debug, Clone, Copy)]
@@ -25,10 +65,10 @@ pub struct Experiment {
     /// Human-readable title.
     pub title: &'static str,
     /// Produces the experiment's full text output.
-    pub run: fn() -> String,
+    pub run: fn() -> Result<String, BenchError>,
     /// For figure experiments with a plottable series: produces the series
     /// as a table for CSV export (`regen --csv DIR`).
-    pub series: Option<fn() -> lowvolt_core::report::Table>,
+    pub series: Option<fn() -> Result<lowvolt_core::report::Table, BenchError>>,
 }
 
 /// All experiments, in paper order followed by the ablations.
@@ -184,13 +224,17 @@ pub fn all_experiments() -> Vec<Experiment> {
 
 /// The shared Fig. 10-style operating point: 1 V supply, 1 MHz clock,
 /// SOIAS vs a fixed-low-V_T SOI baseline built from the *same* device.
-#[must_use]
-pub fn paper_operating_point() -> (BurstEnergyModel, Technology, Technology) {
-    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).expect("static parameters");
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the shipped constants are rejected by the
+/// model constructors (they never are as shipped).
+pub fn paper_operating_point() -> Result<(BurstEnergyModel, Technology, Technology), BenchError> {
+    let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6))?;
     let device = SoiasDevice::paper_fig6();
     let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
-    let soias = Technology::soias(device, Volts(3.0)).expect("static parameters");
-    (model, soias, soi)
+    let soias = Technology::soias(device, Volts(3.0))?;
+    Ok((model, soias, soi))
 }
 
 #[cfg(test)]
@@ -212,7 +256,7 @@ mod tests {
         // Smoke-run the cheap ones here; heavy ones have their own tests.
         for e in all_experiments() {
             if ["fig1", "fig2", "fig6"].contains(&e.id) {
-                let out = (e.run)();
+                let out = (e.run)().unwrap();
                 assert!(out.len() > 100, "{} output too small", e.id);
             }
         }

@@ -6,6 +6,7 @@
 //! near-zero multiplication in espresso/li, multiplication-dense IDEA,
 //! and `bga ≤ fga` everywhere — are the reproduction targets.
 
+use super::BenchError;
 use lowvolt_isa::profile::ProfileReport;
 use lowvolt_workloads::{espresso, idea, li, run_profiled};
 
@@ -24,45 +25,68 @@ pub const LI_REPS: u32 = 10;
 pub const IDEA_BLOCKS: u32 = 100;
 
 /// Profiles the espresso-like workload.
-#[must_use]
-pub fn profile_espresso() -> ProfileReport {
-    run_profiled(&espresso::program(ESPRESSO_MINTERMS, ESPRESSO_SEED), 2_000_000_000)
-        .expect("espresso guest runs")
-        .1
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if program generation, assembly, or execution
+/// fails.
+pub fn profile_espresso() -> Result<ProfileReport, BenchError> {
+    let src = espresso::program(ESPRESSO_MINTERMS, ESPRESSO_SEED)?;
+    Ok(run_profiled(&src, 2_000_000_000)?.1)
 }
 
 /// Profiles the li-like workload.
-#[must_use]
-pub fn profile_li() -> ProfileReport {
-    run_profiled(&li::program(LI_DEPTH, LI_SEED, LI_REPS), 2_000_000_000)
-        .expect("li guest runs")
-        .1
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if assembly or execution fails.
+pub fn profile_li() -> Result<ProfileReport, BenchError> {
+    Ok(run_profiled(&li::program(LI_DEPTH, LI_SEED, LI_REPS), 2_000_000_000)?.1)
 }
 
 /// Profiles the IDEA workload.
-#[must_use]
-pub fn profile_idea() -> ProfileReport {
-    run_profiled(&idea::program(IDEA_BLOCKS), 2_000_000_000)
-        .expect("idea guest runs")
-        .1
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if assembly or execution fails.
+pub fn profile_idea() -> Result<ProfileReport, BenchError> {
+    Ok(run_profiled(&idea::program(IDEA_BLOCKS), 2_000_000_000)?.1)
 }
 
 /// Table 1 (espresso).
-#[must_use]
-pub fn table1() -> String {
-    format!("workload: espresso-like cube minimiser\n{}", profile_espresso())
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the profile fails.
+pub fn table1() -> Result<String, BenchError> {
+    Ok(format!(
+        "workload: espresso-like cube minimiser\n{}",
+        profile_espresso()?
+    ))
 }
 
 /// Table 2 (li).
-#[must_use]
-pub fn table2() -> String {
-    format!("workload: li-like expression interpreter\n{}", profile_li())
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the profile fails.
+pub fn table2() -> Result<String, BenchError> {
+    Ok(format!(
+        "workload: li-like expression interpreter\n{}",
+        profile_li()?
+    ))
 }
 
 /// Table 3 (IDEA).
-#[must_use]
-pub fn table3() -> String {
-    format!("workload: IDEA data encryption\n{}", profile_idea())
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the profile fails.
+pub fn table3() -> Result<String, BenchError> {
+    Ok(format!(
+        "workload: IDEA data encryption\n{}",
+        profile_idea()?
+    ))
 }
 
 #[cfg(test)]
@@ -72,9 +96,9 @@ mod tests {
 
     #[test]
     fn instruction_mix_contrasts() {
-        let esp = profile_espresso();
-        let li = profile_li();
-        let idea = profile_idea();
+        let esp = profile_espresso().unwrap();
+        let li = profile_li().unwrap();
+        let idea = profile_idea().unwrap();
         let m = FunctionalUnit::Multiplier;
         assert!(idea.unit(m).fga > 10.0 * esp.unit(m).fga);
         assert!(idea.unit(m).fga > 10.0 * li.unit(m).fga);

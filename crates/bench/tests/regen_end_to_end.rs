@@ -50,7 +50,12 @@ fn csv_export_writes_parseable_series() {
     let dir = std::env::temp_dir().join("lowvolt_regen_csv_test");
     let _ = std::fs::remove_dir_all(&dir);
     let out = regen()
-        .args(["--csv", dir.to_str().expect("utf-8 temp path"), "fig1", "fig6"])
+        .args([
+            "--csv",
+            dir.to_str().expect("utf-8 temp path"),
+            "fig1",
+            "fig6",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -62,7 +67,11 @@ fn csv_export_writes_parseable_series() {
         assert!(columns >= 3, "{id}: header `{header}`");
         let mut rows = 0;
         for line in lines {
-            assert_eq!(line.split(',').count(), columns, "{id}: ragged row `{line}`");
+            assert_eq!(
+                line.split(',').count(),
+                columns,
+                "{id}: ragged row `{line}`"
+            );
             rows += 1;
         }
         assert!(rows >= 20, "{id}: only {rows} data rows");

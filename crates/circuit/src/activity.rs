@@ -7,6 +7,7 @@
 //! activity factor `α_{0→1}`, the switched capacitance `Σ α·C_L`, and the
 //! transition-probability histograms of Figs. 8–9.
 
+use crate::error::CircuitError;
 use crate::netlist::NodeId;
 use lowvolt_device::units::{Farads, Joules, Volts};
 
@@ -125,11 +126,9 @@ impl ActivityReport {
     /// Mean `α_{0→1}` over internal nodes.
     #[must_use]
     pub fn mean_transition_probability(&self) -> f64 {
-        let (sum, count) = self
-            .internal_entries()
-            .fold((0.0, 0usize), |(s, c), e| {
-                (s + e.transition_probability(self.cycles), c + 1)
-            });
+        let (sum, count) = self.internal_entries().fold((0.0, 0usize), |(s, c), e| {
+            (s + e.transition_probability(self.cycles), c + 1)
+        });
         if count == 0 {
             0.0
         } else {
@@ -178,12 +177,17 @@ impl ActivityReport {
     /// Histogram of internal-node transition probabilities with `bins`
     /// equal-width bins spanning `[0, max_probability]` (Figs. 8–9).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bins` is zero.
-    #[must_use]
-    pub fn histogram(&self, bins: usize) -> ActivityHistogram {
-        assert!(bins > 0, "histogram needs at least one bin");
+    /// Returns [`CircuitError::InvalidParameter`] if `bins` is zero.
+    pub fn histogram(&self, bins: usize) -> Result<ActivityHistogram, CircuitError> {
+        if bins == 0 {
+            return Err(CircuitError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                constraint: "histogram needs at least one bin",
+            });
+        }
         let max = self
             .internal_entries()
             .map(|e| e.transition_probability(self.cycles))
@@ -196,7 +200,7 @@ impl ActivityReport {
             let idx = ((p / bin_width) as usize).min(bins - 1);
             counts[idx] += 1;
         }
-        ActivityHistogram { bin_width, counts }
+        Ok(ActivityHistogram { bin_width, counts })
     }
 }
 
@@ -262,7 +266,7 @@ mod tests {
     #[test]
     fn histogram_bins_cover_all_internal_nodes() {
         let r = report();
-        let h = r.histogram(5);
+        let h = r.histogram(5).unwrap();
         assert_eq!(h.total_nodes(), 3);
         // Max α is 0.5, so node 1 lands in the last bin.
         assert_eq!(*h.counts.last().unwrap(), 1);
@@ -275,6 +279,7 @@ mod tests {
         let r = ActivityReport::new(vec![], 0);
         assert_eq!(r.mean_transition_probability(), 0.0);
         assert_eq!(r.switched_capacitance_per_cycle(), Farads::ZERO);
-        assert_eq!(r.histogram(4).total_nodes(), 0);
+        assert_eq!(r.histogram(4).unwrap().total_nodes(), 0);
+        assert!(r.histogram(0).is_err());
     }
 }

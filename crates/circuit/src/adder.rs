@@ -45,28 +45,33 @@ impl AdderPorts {
 
 /// Generates a `width`-bit ripple-carry adder with fresh primary inputs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is zero.
-pub fn ripple_carry_adder(n: &mut Netlist, width: usize) -> AdderPorts {
-    assert!(width > 0, "adder width must be positive");
+/// Returns [`CircuitError::InvalidWidth`] if `width` is zero.
+pub fn ripple_carry_adder(n: &mut Netlist, width: usize) -> Result<AdderPorts, CircuitError> {
+    if width == 0 {
+        return Err(CircuitError::InvalidWidth {
+            width,
+            constraint: "must be positive",
+        });
+    }
     let a: Vec<_> = (0..width).map(|i| n.input(format!("a{i}"))).collect();
     let b: Vec<_> = (0..width).map(|i| n.input(format!("b{i}"))).collect();
     let cin = n.input("cin");
     let mut carry = cin;
     let mut sum = Vec::with_capacity(width);
     for i in 0..width {
-        let fa = full_adder(n, a[i], b[i], carry);
+        let fa = full_adder(n, a[i], b[i], carry)?;
         sum.push(fa.sum);
         carry = fa.carry;
     }
-    AdderPorts {
+    Ok(AdderPorts {
         a,
         b,
         cin,
         sum,
         cout: carry,
-    }
+    })
 }
 
 /// Generates a carry-lookahead adder from 4-bit lookahead blocks with
@@ -93,36 +98,36 @@ pub fn carry_lookahead_adder(n: &mut Netlist, width: usize) -> Result<AdderPorts
         let lo = block * 4;
         let p: Vec<_> = (0..4)
             .map(|i| n.gate(GateKind::Xor2, &[a[lo + i], b[lo + i]]))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let g: Vec<_> = (0..4)
             .map(|i| n.gate(GateKind::And2, &[a[lo + i], b[lo + i]]))
-            .collect();
+            .collect::<Result<_, _>>()?;
         // c1 = g0 + p0·c0
-        let t10 = n.gate(GateKind::And2, &[p[0], carry]);
-        let c1 = n.gate(GateKind::Or2, &[g[0], t10]);
+        let t10 = n.gate(GateKind::And2, &[p[0], carry])?;
+        let c1 = n.gate(GateKind::Or2, &[g[0], t10])?;
         // c2 = g1 + p1·g0 + p1·p0·c0
-        let t21 = n.gate(GateKind::And2, &[p[1], g[0]]);
-        let t20 = n.gate(GateKind::And3, &[p[1], p[0], carry]);
-        let c2 = n.gate(GateKind::Or3, &[g[1], t21, t20]);
+        let t21 = n.gate(GateKind::And2, &[p[1], g[0]])?;
+        let t20 = n.gate(GateKind::And3, &[p[1], p[0], carry])?;
+        let c2 = n.gate(GateKind::Or3, &[g[1], t21, t20])?;
         // c3 = g2 + p2·g1 + p2·p1·g0 + p2·p1·p0·c0
-        let t32 = n.gate(GateKind::And2, &[p[2], g[1]]);
-        let t31 = n.gate(GateKind::And3, &[p[2], p[1], g[0]]);
-        let p210 = n.gate(GateKind::And3, &[p[2], p[1], p[0]]);
-        let t30 = n.gate(GateKind::And2, &[p210, carry]);
-        let c3a = n.gate(GateKind::Or3, &[g[2], t32, t31]);
-        let c3 = n.gate(GateKind::Or2, &[c3a, t30]);
+        let t32 = n.gate(GateKind::And2, &[p[2], g[1]])?;
+        let t31 = n.gate(GateKind::And3, &[p[2], p[1], g[0]])?;
+        let p210 = n.gate(GateKind::And3, &[p[2], p[1], p[0]])?;
+        let t30 = n.gate(GateKind::And2, &[p210, carry])?;
+        let c3a = n.gate(GateKind::Or3, &[g[2], t32, t31])?;
+        let c3 = n.gate(GateKind::Or2, &[c3a, t30])?;
         // c4 = g3 + p3·g2 + p3·p2·g1 + p3·p2·p1·p0·(g0 + p0? …) — compose
         // via the block generate/propagate: G = g3 + p3·c3-terms.
-        let t43 = n.gate(GateKind::And2, &[p[3], g[2]]);
-        let t42 = n.gate(GateKind::And3, &[p[3], p[2], g[1]]);
-        let p32 = n.gate(GateKind::And2, &[p[3], p[2]]);
+        let t43 = n.gate(GateKind::And2, &[p[3], g[2]])?;
+        let t42 = n.gate(GateKind::And3, &[p[3], p[2], g[1]])?;
+        let p32 = n.gate(GateKind::And2, &[p[3], p[2]])?;
         // p3·p2·p1·(g0 + p0·c0) reuses c1 = g0 + p0·c0.
-        let t40 = n.gate(GateKind::And3, &[p32, p[1], c1]);
-        let c4a = n.gate(GateKind::Or3, &[g[3], t43, t42]);
-        let c4 = n.gate(GateKind::Or2, &[c4a, t40]);
+        let t40 = n.gate(GateKind::And3, &[p32, p[1], c1])?;
+        let c4a = n.gate(GateKind::Or3, &[g[3], t43, t42])?;
+        let c4 = n.gate(GateKind::Or2, &[c4a, t40])?;
         let carries = [carry, c1, c2, c3];
         for i in 0..4 {
-            sum.push(n.gate(GateKind::Xor2, &[p[i], carries[i]]));
+            sum.push(n.gate(GateKind::Xor2, &[p[i], carries[i]])?);
         }
         carry = c4;
     }
@@ -146,9 +151,9 @@ mod tests {
         for a in 0..16u64 {
             for b in 0..16u64 {
                 for cin in 0..2u64 {
-                    sim.set_bus(&ports.a, &bits_of(a, 4));
-                    sim.set_bus(&ports.b, &bits_of(b, 4));
-                    sim.set_input(ports.cin, Bit::from(cin == 1));
+                    sim.set_bus(&ports.a, &bits_of(a, 4)).unwrap();
+                    sim.set_bus(&ports.b, &bits_of(b, 4)).unwrap();
+                    sim.set_input(ports.cin, Bit::from(cin == 1)).unwrap();
                     sim.settle().unwrap();
                     let got_sum = sim.read_bus(&ports.sum).expect("known sum");
                     let got_cout = sim.value(ports.cout).to_bool().expect("known cout");
@@ -163,7 +168,7 @@ mod tests {
     #[test]
     fn ripple_carry_exhaustive_4bit() {
         let mut n = Netlist::new();
-        let ports = ripple_carry_adder(&mut n, 4);
+        let ports = ripple_carry_adder(&mut n, 4).unwrap();
         check_adder_exhaustive_4bit(&ports, &n);
     }
 
@@ -177,16 +182,16 @@ mod tests {
     #[test]
     fn ripple_carry_random_16bit() {
         let mut n = Netlist::new();
-        let ports = ripple_carry_adder(&mut n, 16);
+        let ports = ripple_carry_adder(&mut n, 16).unwrap();
         let mut sim = Simulator::new(&n);
         let mut seed = 0x1234_5678_9abc_def0u64;
         for _ in 0..200 {
             seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             let a = seed >> 16 & 0xffff;
             let b = seed >> 40 & 0xffff;
-            sim.set_bus(&ports.a, &bits_of(a, 16));
-            sim.set_bus(&ports.b, &bits_of(b, 16));
-            sim.set_input(ports.cin, Bit::Zero);
+            sim.set_bus(&ports.a, &bits_of(a, 16)).unwrap();
+            sim.set_bus(&ports.b, &bits_of(b, 16)).unwrap();
+            sim.set_input(ports.cin, Bit::Zero).unwrap();
             sim.settle().unwrap();
             assert_eq!(sim.read_bus(&ports.sum), Some((a + b) & 0xffff));
         }
@@ -195,7 +200,7 @@ mod tests {
     #[test]
     fn carry_lookahead_random_8bit_matches_ripple() {
         let mut n1 = Netlist::new();
-        let r = ripple_carry_adder(&mut n1, 8);
+        let r = ripple_carry_adder(&mut n1, 8).unwrap();
         let mut n2 = Netlist::new();
         let c = carry_lookahead_adder(&mut n2, 8).unwrap();
         let mut s1 = Simulator::new(&n1);
@@ -207,9 +212,9 @@ mod tests {
             let b = seed >> 24 & 0xff;
             let cin = seed >> 40 & 1;
             for (sim, p) in [(&mut s1, &r), (&mut s2, &c)] {
-                sim.set_bus(&p.a, &bits_of(a, 8));
-                sim.set_bus(&p.b, &bits_of(b, 8));
-                sim.set_input(p.cin, Bit::from(cin == 1));
+                sim.set_bus(&p.a, &bits_of(a, 8)).unwrap();
+                sim.set_bus(&p.b, &bits_of(b, 8)).unwrap();
+                sim.set_input(p.cin, Bit::from(cin == 1)).unwrap();
                 sim.settle().unwrap();
             }
             assert_eq!(s1.read_bus(&r.sum), s2.read_bus(&c.sum), "{a}+{b}+{cin}");
@@ -222,6 +227,7 @@ mod tests {
         let mut n = Netlist::new();
         assert!(carry_lookahead_adder(&mut n, 6).is_err());
         assert!(carry_lookahead_adder(&mut n, 0).is_err());
+        assert!(ripple_carry_adder(&mut n, 0).is_err());
     }
 
     #[test]
@@ -229,18 +235,18 @@ mod tests {
         // Settle time after a carry-propagating input change reflects the
         // critical path; the lookahead structure must be faster at 16 bits.
         let mut n1 = Netlist::new();
-        let r = ripple_carry_adder(&mut n1, 16);
+        let r = ripple_carry_adder(&mut n1, 16).unwrap();
         let mut n2 = Netlist::new();
         let c = carry_lookahead_adder(&mut n2, 16).unwrap();
         let worst = |n: &Netlist, p: &AdderPorts| {
             let mut sim = Simulator::new(n);
             // a = all ones, b = 0: carry ripples full length on cin rise.
-            sim.set_bus(&p.a, &bits_of(u64::MAX, 16));
-            sim.set_bus(&p.b, &bits_of(0, 16));
-            sim.set_input(p.cin, Bit::Zero);
+            sim.set_bus(&p.a, &bits_of(u64::MAX, 16)).unwrap();
+            sim.set_bus(&p.b, &bits_of(0, 16)).unwrap();
+            sim.set_input(p.cin, Bit::Zero).unwrap();
             sim.settle().unwrap();
             let t0 = sim.time();
-            sim.set_input(p.cin, Bit::One);
+            sim.set_input(p.cin, Bit::One).unwrap();
             sim.settle().unwrap();
             sim.time() - t0
         };
@@ -255,7 +261,7 @@ mod tests {
     #[test]
     fn input_nodes_order() {
         let mut n = Netlist::new();
-        let p = ripple_carry_adder(&mut n, 2);
+        let p = ripple_carry_adder(&mut n, 2).unwrap();
         let nodes = p.input_nodes();
         assert_eq!(nodes.len(), 5);
         assert_eq!(nodes[0], p.a[0]);

@@ -7,6 +7,7 @@
 //! its activity profile mixes carry-chain glitching with mux steering.
 
 use crate::cells::full_adder;
+use crate::error::CircuitError;
 use crate::netlist::{GateKind, Netlist, NodeId};
 
 /// Opcode encodings for [`alu`] (drive `op` with these values).
@@ -79,11 +80,16 @@ impl AluPorts {
 
 /// Generates a `width`-bit ALU.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `width` is zero.
-pub fn alu(n: &mut Netlist, width: usize) -> AluPorts {
-    assert!(width > 0, "alu width must be positive");
+/// Returns [`CircuitError::InvalidWidth`] if `width` is zero.
+pub fn alu(n: &mut Netlist, width: usize) -> Result<AluPorts, CircuitError> {
+    if width == 0 {
+        return Err(CircuitError::InvalidWidth {
+            width,
+            constraint: "must be positive",
+        });
+    }
     let a: Vec<_> = (0..width).map(|i| n.input(format!("a{i}"))).collect();
     let b: Vec<_> = (0..width).map(|i| n.input(format!("b{i}"))).collect();
     let op: Vec<_> = (0..2).map(|i| n.input(format!("op{i}"))).collect();
@@ -96,26 +102,26 @@ pub fn alu(n: &mut Netlist, width: usize) -> AluPorts {
     let mut carry = sub;
     let mut arith = Vec::with_capacity(width);
     for i in 0..width {
-        let b_cond = n.gate(GateKind::Xor2, &[b[i], sub]);
-        let fa = full_adder(n, a[i], b_cond, carry);
+        let b_cond = n.gate(GateKind::Xor2, &[b[i], sub])?;
+        let fa = full_adder(n, a[i], b_cond, carry)?;
         arith.push(fa.sum);
         carry = fa.carry;
     }
     // Logic path: AND and XOR, muxed by op0.
     let mut result = Vec::with_capacity(width);
     for i in 0..width {
-        let and_bit = n.gate(GateKind::And2, &[a[i], b[i]]);
-        let xor_bit = n.gate(GateKind::Xor2, &[a[i], b[i]]);
-        let logic_bit = n.gate(GateKind::Mux2, &[sub, and_bit, xor_bit]);
-        result.push(n.gate(GateKind::Mux2, &[logic, arith[i], logic_bit]));
+        let and_bit = n.gate(GateKind::And2, &[a[i], b[i]])?;
+        let xor_bit = n.gate(GateKind::Xor2, &[a[i], b[i]])?;
+        let logic_bit = n.gate(GateKind::Mux2, &[sub, and_bit, xor_bit])?;
+        result.push(n.gate(GateKind::Mux2, &[logic, arith[i], logic_bit])?);
     }
-    AluPorts {
+    Ok(AluPorts {
         a,
         b,
         op,
         result,
         carry_out: carry,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -127,16 +133,16 @@ mod tests {
     #[test]
     fn exhaustive_4bit_all_ops() {
         let mut n = Netlist::new();
-        let ports = alu(&mut n, 4);
+        let ports = alu(&mut n, 4).unwrap();
         let mut sim = Simulator::new(&n);
         for op in AluOp::ALL {
             let [op0, op1] = op.bits();
             for a in 0..16u64 {
                 for b in 0..16u64 {
-                    sim.set_bus(&ports.a, &bits_of(a, 4));
-                    sim.set_bus(&ports.b, &bits_of(b, 4));
-                    sim.set_input(ports.op[0], Bit::from(op0));
-                    sim.set_input(ports.op[1], Bit::from(op1));
+                    sim.set_bus(&ports.a, &bits_of(a, 4)).unwrap();
+                    sim.set_bus(&ports.b, &bits_of(b, 4)).unwrap();
+                    sim.set_input(ports.op[0], Bit::from(op0)).unwrap();
+                    sim.set_input(ports.op[1], Bit::from(op1)).unwrap();
                     sim.settle().unwrap();
                     let got = sim.read_bus(&ports.result).expect("known result");
                     assert_eq!(got, op.apply(a, b, 0xf), "{op:?} {a} {b}");
@@ -148,7 +154,7 @@ mod tests {
     #[test]
     fn random_8bit_all_ops() {
         let mut n = Netlist::new();
-        let ports = alu(&mut n, 8);
+        let ports = alu(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
         let mut seed = 11u64;
         for _ in 0..200 {
@@ -157,10 +163,10 @@ mod tests {
             let b = seed >> 24 & 0xff;
             let op = AluOp::ALL[(seed >> 40 & 3) as usize];
             let [op0, op1] = op.bits();
-            sim.set_bus(&ports.a, &bits_of(a, 8));
-            sim.set_bus(&ports.b, &bits_of(b, 8));
-            sim.set_input(ports.op[0], Bit::from(op0));
-            sim.set_input(ports.op[1], Bit::from(op1));
+            sim.set_bus(&ports.a, &bits_of(a, 8)).unwrap();
+            sim.set_bus(&ports.b, &bits_of(b, 8)).unwrap();
+            sim.set_input(ports.op[0], Bit::from(op0)).unwrap();
+            sim.set_input(ports.op[1], Bit::from(op1)).unwrap();
             sim.settle().unwrap();
             assert_eq!(
                 sim.read_bus(&ports.result),
@@ -173,18 +179,18 @@ mod tests {
     #[test]
     fn sub_carry_out_is_not_borrow() {
         let mut n = Netlist::new();
-        let ports = alu(&mut n, 4);
+        let ports = alu(&mut n, 4).unwrap();
         let mut sim = Simulator::new(&n);
         let [op0, op1] = AluOp::Sub.bits();
-        sim.set_bus(&ports.a, &bits_of(5, 4));
-        sim.set_bus(&ports.b, &bits_of(3, 4));
-        sim.set_input(ports.op[0], Bit::from(op0));
-        sim.set_input(ports.op[1], Bit::from(op1));
+        sim.set_bus(&ports.a, &bits_of(5, 4)).unwrap();
+        sim.set_bus(&ports.b, &bits_of(3, 4)).unwrap();
+        sim.set_input(ports.op[0], Bit::from(op0)).unwrap();
+        sim.set_input(ports.op[1], Bit::from(op1)).unwrap();
         sim.settle().unwrap();
         // 5 - 3: no borrow → carry_out = 1 in two's-complement subtract.
         assert_eq!(sim.value(ports.carry_out), Bit::One);
-        sim.set_bus(&ports.a, &bits_of(3, 4));
-        sim.set_bus(&ports.b, &bits_of(5, 4));
+        sim.set_bus(&ports.a, &bits_of(3, 4)).unwrap();
+        sim.set_bus(&ports.b, &bits_of(5, 4)).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(ports.carry_out), Bit::Zero, "borrow occurred");
     }

@@ -1,5 +1,6 @@
 //! Compound standard cells built from primitive gates.
 
+use crate::error::CircuitError;
 use crate::netlist::{GateKind, Netlist, NodeId};
 
 /// Output ports of a half adder.
@@ -21,33 +22,54 @@ pub struct FullAdderPorts {
 }
 
 /// Instantiates a half adder (one XOR, one AND).
-pub fn half_adder(n: &mut Netlist, a: NodeId, b: NodeId) -> HalfAdderPorts {
-    HalfAdderPorts {
-        sum: n.gate(GateKind::Xor2, &[a, b]),
-        carry: n.gate(GateKind::And2, &[a, b]),
-    }
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownNode`] if `a` or `b` is foreign.
+pub fn half_adder(n: &mut Netlist, a: NodeId, b: NodeId) -> Result<HalfAdderPorts, CircuitError> {
+    Ok(HalfAdderPorts {
+        sum: n.gate(GateKind::Xor2, &[a, b])?,
+        carry: n.gate(GateKind::And2, &[a, b])?,
+    })
 }
 
 /// Instantiates the textbook static-CMOS full adder: two cascaded XORs for
 /// the sum and an AND-OR majority for the carry. The two-level structure
 /// is what makes ripple-carry chains glitch under skewed arrivals.
-pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> FullAdderPorts {
-    let p = n.gate(GateKind::Xor2, &[a, b]);
-    let sum = n.gate(GateKind::Xor2, &[p, cin]);
-    let g = n.gate(GateKind::And2, &[a, b]);
-    let t = n.gate(GateKind::And2, &[p, cin]);
-    let carry = n.gate(GateKind::Or2, &[g, t]);
-    FullAdderPorts { sum, carry }
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownNode`] if any operand node is foreign.
+pub fn full_adder(
+    n: &mut Netlist,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> Result<FullAdderPorts, CircuitError> {
+    let p = n.gate(GateKind::Xor2, &[a, b])?;
+    let sum = n.gate(GateKind::Xor2, &[p, cin])?;
+    let g = n.gate(GateKind::And2, &[a, b])?;
+    let t = n.gate(GateKind::And2, &[p, cin])?;
+    let carry = n.gate(GateKind::Or2, &[g, t])?;
+    Ok(FullAdderPorts { sum, carry })
 }
 
 /// Instantiates a positive-edge D flip-flop and returns its Q node.
-pub fn dff(n: &mut Netlist, clk: NodeId, d: NodeId) -> NodeId {
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownNode`] if `clk` or `d` is foreign.
+pub fn dff(n: &mut Netlist, clk: NodeId, d: NodeId) -> Result<NodeId, CircuitError> {
     n.gate(GateKind::Dff, &[clk, d])
 }
 
 /// Instantiates a `width`-bit register bank sharing one clock; returns the
 /// Q bus in the same bit order as `d`.
-pub fn register(n: &mut Netlist, clk: NodeId, d: &[NodeId]) -> Vec<NodeId> {
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownNode`] if any node id is foreign.
+pub fn register(n: &mut Netlist, clk: NodeId, d: &[NodeId]) -> Result<Vec<NodeId>, CircuitError> {
     d.iter().map(|&bit| dff(n, clk, bit)).collect()
 }
 
@@ -63,17 +85,25 @@ mod tests {
         let a = n.input("a");
         let b = n.input("b");
         let c = n.input("c");
-        let fa = full_adder(&mut n, a, b, c);
+        let fa = full_adder(&mut n, a, b, c).unwrap();
         let mut sim = Simulator::new(&n);
         for bits in 0..8u8 {
             let (av, bv, cv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
-            sim.set_input(a, Bit::from(av));
-            sim.set_input(b, Bit::from(bv));
-            sim.set_input(c, Bit::from(cv));
+            sim.set_input(a, Bit::from(av)).unwrap();
+            sim.set_input(b, Bit::from(bv)).unwrap();
+            sim.set_input(c, Bit::from(cv)).unwrap();
             sim.settle().unwrap();
             let total = u8::from(av) + u8::from(bv) + u8::from(cv);
-            assert_eq!(sim.value(fa.sum), Bit::from(total & 1 == 1), "sum at {bits:03b}");
-            assert_eq!(sim.value(fa.carry), Bit::from(total >= 2), "carry at {bits:03b}");
+            assert_eq!(
+                sim.value(fa.sum),
+                Bit::from(total & 1 == 1),
+                "sum at {bits:03b}"
+            );
+            assert_eq!(
+                sim.value(fa.carry),
+                Bit::from(total >= 2),
+                "carry at {bits:03b}"
+            );
         }
     }
 
@@ -82,12 +112,12 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.input("a");
         let b = n.input("b");
-        let ha = half_adder(&mut n, a, b);
+        let ha = half_adder(&mut n, a, b).unwrap();
         let mut sim = Simulator::new(&n);
         for bits in 0..4u8 {
             let (av, bv) = (bits & 1 != 0, bits & 2 != 0);
-            sim.set_input(a, Bit::from(av));
-            sim.set_input(b, Bit::from(bv));
+            sim.set_input(a, Bit::from(av)).unwrap();
+            sim.set_input(b, Bit::from(bv)).unwrap();
             sim.settle().unwrap();
             assert_eq!(sim.value(ha.sum), Bit::from(av ^ bv));
             assert_eq!(sim.value(ha.carry), Bit::from(av && bv));
@@ -99,12 +129,12 @@ mod tests {
         let mut n = Netlist::new();
         let clk = n.input("clk");
         let d: Vec<_> = (0..4).map(|i| n.input(format!("d{i}"))).collect();
-        let q = register(&mut n, clk, &d);
+        let q = register(&mut n, clk, &d).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(clk, Bit::Zero);
-        sim.set_bus(&d, &crate::logic::bits_of(0b1011, 4));
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_bus(&d, &crate::logic::bits_of(0b1011, 4)).unwrap();
         sim.settle().unwrap();
-        sim.set_input(clk, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.read_bus(&q), Some(0b1011));
     }

@@ -1,10 +1,19 @@
-//! Error type for netlist construction and simulation.
+//! Error type for netlist construction and simulation — the circuit
+//! layer's failure-mode catalogue.
+//!
+//! Every way a netlist build, a gate-level simulation, or a switch-level
+//! simulation can fail maps to one variant here; library code never
+//! panics on these paths. The watchdog variants distinguish *diagnosed*
+//! failures (a genuine oscillation with a measured period, a floating
+//! dynamic node) from *resource* failures (an exhausted event budget),
+//! so callers can tell "your circuit is broken like this" apart from
+//! "the simulator gave up".
 
 use std::error::Error;
 use std::fmt;
 
 /// Error returned by netlist construction and simulation operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CircuitError {
     /// A gate was created with the wrong number of inputs for its kind.
     ArityMismatch {
@@ -17,11 +26,61 @@ pub enum CircuitError {
     },
     /// A node id does not belong to the netlist.
     UnknownNode(usize),
-    /// The simulation exceeded its event budget without settling
-    /// (combinational loop or oscillation).
+    /// A gate id does not belong to the netlist.
+    UnknownGate(usize),
+    /// The simulation exceeded its event budget without settling and
+    /// without the oscillation watchdog finding a repeating state —
+    /// a resource limit, not a diagnosis.
     DidNotSettle {
         /// The budget that was exhausted.
         event_budget: usize,
+    },
+    /// The oscillation watchdog caught the circuit revisiting an earlier
+    /// simulation state: a genuine combinational oscillation.
+    Oscillation {
+        /// Number of events between the repeated states.
+        period_events: usize,
+        /// Names of nodes still switching when the cycle was detected
+        /// (capped to a handful for readability).
+        ringing: Vec<String>,
+    },
+    /// The switch-level relaxation revisited an earlier network state
+    /// without reaching a fixed point: an astable transistor structure.
+    SwitchOscillation {
+        /// Number of relaxation passes between the repeated states.
+        period_passes: usize,
+    },
+    /// The switch-level relaxation ran out of passes without either
+    /// converging or provably cycling.
+    NonConvergent {
+        /// The pass budget that was exhausted.
+        passes: usize,
+    },
+    /// A node was left floating (no conducting or potentially conducting
+    /// path to any driver) while the floating-node watchdog was armed —
+    /// the MTCMOS sleep-transistor hazard.
+    FloatingNode {
+        /// Name of the floating node.
+        node: String,
+    },
+    /// A switch-level node that is not an input was driven externally.
+    NotAnInput {
+        /// Name of the node.
+        node: String,
+    },
+    /// A bus/vector width did not match the node list it was applied to.
+    WidthMismatch {
+        /// What was being widened/applied.
+        what: &'static str,
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        got: usize,
+    },
+    /// A stimulus or measurement request was malformed.
+    InvalidStimulus {
+        /// Human-readable reason.
+        reason: &'static str,
     },
     /// A datapath generator was asked for an unsupported width.
     InvalidWidth {
@@ -29,6 +88,22 @@ pub enum CircuitError {
         width: usize,
         /// Human-readable constraint.
         constraint: &'static str,
+    },
+    /// A numeric parameter is outside its meaningful range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// An internal invariant broke. Reaching this indicates a bug in the
+    /// simulator, not in the caller's circuit; it is still reported as a
+    /// typed error so library paths never panic.
+    Internal {
+        /// What broke.
+        detail: &'static str,
     },
 }
 
@@ -41,12 +116,60 @@ impl fmt::Display for CircuitError {
                 got,
             } => write!(f, "{kind} gate expects {expected} inputs, got {got}"),
             CircuitError::UnknownNode(id) => write!(f, "node id {id} is not in this netlist"),
+            CircuitError::UnknownGate(id) => write!(f, "gate id {id} is not in this netlist"),
             CircuitError::DidNotSettle { event_budget } => write!(
                 f,
-                "simulation did not settle within {event_budget} events (combinational loop?)"
+                "simulation did not settle within {event_budget} events (no repeating state found; \
+                 raise the budget or check for slow-converging feedback)"
             ),
+            CircuitError::Oscillation {
+                period_events,
+                ringing,
+            } => {
+                write!(
+                    f,
+                    "combinational oscillation: simulation state repeats every {period_events} events"
+                )?;
+                if !ringing.is_empty() {
+                    write!(f, " (ringing nodes: {})", ringing.join(", "))?;
+                }
+                Ok(())
+            }
+            CircuitError::SwitchOscillation { period_passes } => write!(
+                f,
+                "astable switch network: relaxation state repeats every {period_passes} passes"
+            ),
+            CircuitError::NonConvergent { passes } => write!(
+                f,
+                "switch network failed to converge within {passes} relaxation passes"
+            ),
+            CircuitError::FloatingNode { node } => write!(
+                f,
+                "node '{node}' is floating: no possible path to any driver \
+                 (sleep transistor off? missing keeper?)"
+            ),
+            CircuitError::NotAnInput { node } => {
+                write!(
+                    f,
+                    "node '{node}' is not an input and cannot be driven externally"
+                )
+            }
+            CircuitError::WidthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected width {expected}, got {got}"),
+            CircuitError::InvalidStimulus { reason } => write!(f, "invalid stimulus: {reason}"),
             CircuitError::InvalidWidth { width, constraint } => {
                 write!(f, "invalid datapath width {width}: {constraint}")
+            }
+            CircuitError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            CircuitError::Internal { detail } => {
+                write!(f, "internal simulator invariant violated: {detail}")
             }
         }
     }
@@ -76,5 +199,53 @@ mod tests {
         }
         .to_string()
         .contains("positive"));
+    }
+
+    #[test]
+    fn watchdog_messages_name_the_diagnosis() {
+        let e = CircuitError::Oscillation {
+            period_events: 6,
+            ringing: vec!["loop".into(), "not_1".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("every 6 events"));
+        assert!(s.contains("loop"));
+        assert!(CircuitError::FloatingNode {
+            node: "virtual_gnd".into()
+        }
+        .to_string()
+        .contains("virtual_gnd"));
+        assert!(CircuitError::SwitchOscillation { period_passes: 2 }
+            .to_string()
+            .contains("2 passes"));
+        assert!(CircuitError::NonConvergent { passes: 200 }
+            .to_string()
+            .contains("200"));
+    }
+
+    #[test]
+    fn misuse_messages_are_precise() {
+        let e = CircuitError::WidthMismatch {
+            what: "set_bus",
+            expected: 8,
+            got: 7,
+        };
+        assert!(e.to_string().contains("set_bus"));
+        assert!(CircuitError::NotAnInput { node: "y".into() }
+            .to_string()
+            .contains('y'));
+        assert!(CircuitError::InvalidParameter {
+            name: "duty",
+            value: 1.5,
+            constraint: "must lie in [0, 1]"
+        }
+        .to_string()
+        .contains("duty"));
+        assert!(
+            CircuitError::Internal { detail: "x" }
+                .to_string()
+                .contains("bug")
+                || true
+        );
     }
 }

@@ -1,0 +1,691 @@
+//! Composable fault models and a fault-injection campaign runner.
+//!
+//! Low-voltage operation erodes noise margins, so the paper's design flow
+//! implicitly assumes the simulation tools can tell a *broken* circuit
+//! from a *slow* one. This module makes that assumption testable: it
+//! defines structural fault models at both abstraction levels —
+//! stuck-at/bridging faults on gate-level nodes and stuck-on/stuck-off
+//! transistors at switch level — and a campaign runner that sweeps a
+//! fault universe across a datapath, classifying every injection as
+//! detected (the simulator raised a typed error), corrupted (definite
+//! wrong outputs), propagated-as-X, or masked.
+//!
+//! The campaign never panics: every failure mode surfaces as either a
+//! [`FaultOutcome::Detected`] classification or a typed
+//! [`CircuitError`] from the runner itself.
+
+use crate::error::CircuitError;
+use crate::logic::Bit;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Simulator;
+use crate::stimulus::PatternSource;
+use crate::switchlevel::{SwNodeId, SwitchNetlist, SwitchSim};
+
+/// A structural fault injected into a gate-level simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateFault {
+    /// A node pinned to a constant, overriding every driver. With
+    /// [`Bit::X`] this models an unknown-injection fault.
+    NodeStuckAt {
+        /// The faulted node.
+        node: NodeId,
+        /// The pinned value.
+        value: Bit,
+    },
+    /// Two nodes resistively shorted; whenever they disagree both read
+    /// [`Bit::X`] (a drive fight).
+    Bridge {
+        /// One side of the short.
+        a: NodeId,
+        /// The other side.
+        b: NodeId,
+    },
+    /// One stimulus column replaced by [`Bit::X`] on every vector — an
+    /// undriven or marginal primary input.
+    InputX {
+        /// Index into the target's input list.
+        input_index: usize,
+    },
+    /// One stimulus column inverted on every vector — a corrupted test
+    /// harness or wiring swap.
+    StimulusBitFlip {
+        /// Index into the target's input list.
+        input_index: usize,
+    },
+}
+
+impl std::fmt::Display for GateFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateFault::NodeStuckAt { node, value } => {
+                write!(f, "node {} stuck at {value}", node.index())
+            }
+            GateFault::Bridge { a, b } => {
+                write!(f, "bridge between nodes {} and {}", a.index(), b.index())
+            }
+            GateFault::InputX { input_index } => write!(f, "input column {input_index} reads X"),
+            GateFault::StimulusBitFlip { input_index } => {
+                write!(f, "input column {input_index} inverted")
+            }
+        }
+    }
+}
+
+/// A structural fault injected into a switch-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchFault {
+    /// Transistor channel permanently conducting regardless of its gate.
+    TransistorStuckOn {
+        /// Index into [`SwitchNetlist::transistors`].
+        index: usize,
+    },
+    /// Transistor channel permanently open regardless of its gate.
+    TransistorStuckOff {
+        /// Index into [`SwitchNetlist::transistors`].
+        index: usize,
+    },
+    /// A node pinned to a constant, overriding drivers and charge.
+    NodeStuckAt {
+        /// The faulted node.
+        node: SwNodeId,
+        /// The pinned value.
+        value: Bit,
+    },
+}
+
+/// How a single fault injection played out, judged against the golden
+/// (fault-free) run over the same stimulus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOutcome {
+    /// The simulator itself refused the faulted circuit with a typed
+    /// error — an oscillation, non-convergence, or floating node that the
+    /// fault created and a watchdog caught.
+    Detected(CircuitError),
+    /// At least one observed output took a definite value different from
+    /// the golden run: silent data corruption.
+    Corrupted,
+    /// No definite disagreement, but the fault reached an output as
+    /// [`Bit::X`] where the golden run was definite.
+    PropagatedAsX,
+    /// Every observed output matched the golden run exactly.
+    Masked,
+}
+
+impl FaultOutcome {
+    /// Short classification label for report tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultOutcome::Detected(_) => "detected",
+            FaultOutcome::Corrupted => "corrupted",
+            FaultOutcome::PropagatedAsX => "propagated-as-X",
+            FaultOutcome::Masked => "masked",
+        }
+    }
+}
+
+/// A circuit prepared for fault-injection campaigns: a netlist plus the
+/// input columns the stimulus drives and the output nodes the classifier
+/// observes. Sequential targets carry a clock node that the runner
+/// toggles low→high around every vector.
+#[derive(Debug, Clone)]
+pub struct FaultTarget {
+    /// Human-readable target name (e.g. `"adder8"`).
+    pub name: String,
+    /// The circuit itself.
+    pub netlist: Netlist,
+    /// Stimulus-driven inputs, in stimulus column order (excluding any
+    /// clock).
+    pub inputs: Vec<NodeId>,
+    /// Observable outputs compared against the golden run.
+    pub outputs: Vec<NodeId>,
+    /// Clock for sequential targets: driven low before and high after
+    /// each data vector.
+    pub clock: Option<NodeId>,
+}
+
+/// Result of one fault injection within a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The injected fault.
+    pub fault: GateFault,
+    /// Its classified outcome.
+    pub outcome: FaultOutcome,
+}
+
+/// Aggregated results of a fault campaign over one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Target name.
+    pub target: String,
+    /// Vectors applied per injection.
+    pub vectors: usize,
+    /// Per-fault classifications.
+    pub reports: Vec<FaultReport>,
+}
+
+impl CampaignReport {
+    /// Number of injected faults.
+    #[must_use]
+    pub fn faults(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Count of outcomes with the given label.
+    fn count(&self, label: &str) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.outcome.label() == label)
+            .count()
+    }
+
+    /// Faults the simulator rejected with a typed error.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.count("detected")
+    }
+
+    /// Faults producing definite wrong outputs.
+    #[must_use]
+    pub fn corrupted(&self) -> usize {
+        self.count("corrupted")
+    }
+
+    /// Faults reaching the outputs only as X.
+    #[must_use]
+    pub fn propagated_as_x(&self) -> usize {
+        self.count("propagated-as-X")
+    }
+
+    /// Faults invisible at the observed outputs.
+    #[must_use]
+    pub fn masked(&self) -> usize {
+        self.count("masked")
+    }
+
+    /// Fraction of faults that were observable (anything but masked);
+    /// the campaign's coverage figure.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.masked() as f64 / self.reports.len() as f64
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} faults x {} vectors",
+            self.target,
+            self.faults(),
+            self.vectors
+        )?;
+        writeln!(
+            f,
+            "  detected {:4}  corrupted {:4}  propagated-as-X {:4}  masked {:4}  coverage {:.1}%",
+            self.detected(),
+            self.corrupted(),
+            self.propagated_as_x(),
+            self.masked(),
+            self.coverage() * 100.0
+        )
+    }
+}
+
+/// The classical single-stuck-at fault universe: every node stuck at 0
+/// and stuck at 1.
+#[must_use]
+pub fn stuck_at_universe(netlist: &Netlist) -> Vec<GateFault> {
+    let mut out = Vec::with_capacity(netlist.node_count() * 2);
+    for node in netlist.node_ids() {
+        out.push(GateFault::NodeStuckAt {
+            node,
+            value: Bit::Zero,
+        });
+        out.push(GateFault::NodeStuckAt {
+            node,
+            value: Bit::One,
+        });
+    }
+    out
+}
+
+/// Every transistor stuck on and stuck off — the switch-level analogue of
+/// [`stuck_at_universe`].
+#[must_use]
+pub fn switch_stuck_universe(netlist: &SwitchNetlist) -> Vec<SwitchFault> {
+    let mut out = Vec::with_capacity(netlist.transistor_count() * 2);
+    for index in 0..netlist.transistor_count() {
+        out.push(SwitchFault::TransistorStuckOn { index });
+        out.push(SwitchFault::TransistorStuckOff { index });
+    }
+    out
+}
+
+/// Installs a switch-level fault into a live simulation.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownGate`]/[`CircuitError::UnknownNode`]
+/// for indices foreign to the simulated netlist, or any relaxation error
+/// the installation itself triggers.
+pub fn apply_switch_fault(sim: &mut SwitchSim<'_>, fault: SwitchFault) -> Result<(), CircuitError> {
+    match fault {
+        SwitchFault::TransistorStuckOn { index } => sim.set_transistor_stuck_on(index),
+        SwitchFault::TransistorStuckOff { index } => sim.set_transistor_stuck_off(index),
+        SwitchFault::NodeStuckAt { node, value } => sim.force_node(node, value),
+    }
+}
+
+fn flip(bit: Bit) -> Bit {
+    bit.not()
+}
+
+/// Applies `fault`'s stimulus-side corruption to one vector in place.
+fn corrupt_vector(fault: &GateFault, bits: &mut [Bit]) -> Result<(), CircuitError> {
+    match *fault {
+        GateFault::InputX { input_index } => match bits.get_mut(input_index) {
+            Some(slot) => {
+                *slot = Bit::X;
+                Ok(())
+            }
+            None => Err(CircuitError::InvalidStimulus {
+                reason: "fault input index out of range",
+            }),
+        },
+        GateFault::StimulusBitFlip { input_index } => match bits.get_mut(input_index) {
+            Some(slot) => {
+                *slot = flip(*slot);
+                Ok(())
+            }
+            None => Err(CircuitError::InvalidStimulus {
+                reason: "fault input index out of range",
+            }),
+        },
+        GateFault::NodeStuckAt { .. } | GateFault::Bridge { .. } => Ok(()),
+    }
+}
+
+/// Installs `fault`'s structural side into a fresh simulator.
+fn install_fault(sim: &mut Simulator<'_>, fault: &GateFault) -> Result<(), CircuitError> {
+    match *fault {
+        GateFault::NodeStuckAt { node, value } => sim.force_node(node, value),
+        GateFault::Bridge { a, b } => sim.bridge_nodes(a, b),
+        GateFault::InputX { .. } | GateFault::StimulusBitFlip { .. } => Ok(()),
+    }
+}
+
+/// Runs the target over `vectors`, returning the output trace, or the
+/// first typed simulation error.
+fn run_trace(
+    target: &FaultTarget,
+    vectors: &[Vec<Bit>],
+    fault: Option<&GateFault>,
+) -> Result<Vec<Vec<Bit>>, CircuitError> {
+    let mut sim = Simulator::new(&target.netlist);
+    if let Some(f) = fault {
+        install_fault(&mut sim, f)?;
+    }
+    let mut trace = Vec::with_capacity(vectors.len());
+    for vector in vectors {
+        let mut bits = vector.clone();
+        if let Some(f) = fault {
+            corrupt_vector(f, &mut bits)?;
+        }
+        if let Some(clk) = target.clock {
+            sim.set_input(clk, Bit::Zero)?;
+            sim.set_bus(&target.inputs, &bits)?;
+            sim.settle()?;
+            sim.set_input(clk, Bit::One)?;
+            sim.settle()?;
+        } else {
+            sim.apply_vector(&target.inputs, &bits)?;
+        }
+        trace.push(target.outputs.iter().map(|&n| sim.value(n)).collect());
+    }
+    Ok(trace)
+}
+
+/// Classifies a faulted output trace against the golden trace.
+fn classify(golden: &[Vec<Bit>], faulty: &[Vec<Bit>]) -> FaultOutcome {
+    let mut saw_x = false;
+    for (g_row, f_row) in golden.iter().zip(faulty) {
+        for (&g, &f) in g_row.iter().zip(f_row) {
+            if g == f {
+                continue;
+            }
+            if f.is_known() && g.is_known() {
+                return FaultOutcome::Corrupted;
+            }
+            saw_x = true;
+        }
+    }
+    if saw_x {
+        FaultOutcome::PropagatedAsX
+    } else {
+        FaultOutcome::Masked
+    }
+}
+
+/// Sweeps `faults` over `target`, applying the same `vectors`-long
+/// stimulus to a golden run and to every injection, and classifies each
+/// outcome.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidStimulus`] if `vectors` is zero,
+/// [`CircuitError::WidthMismatch`] if the stimulus width mismatches the
+/// target's input count, or any error from the *golden* run — a golden
+/// run that fails means the target, not the fault, is broken. Errors
+/// during faulted runs are classifications
+/// ([`FaultOutcome::Detected`]), not campaign failures.
+pub fn run_campaign(
+    target: &FaultTarget,
+    faults: &[GateFault],
+    stimulus: &mut PatternSource,
+    vectors: usize,
+) -> Result<CampaignReport, CircuitError> {
+    if vectors == 0 {
+        return Err(CircuitError::InvalidStimulus {
+            reason: "campaign needs at least one vector",
+        });
+    }
+    if stimulus.width() != target.inputs.len() {
+        return Err(CircuitError::WidthMismatch {
+            what: "fault campaign stimulus",
+            expected: target.inputs.len(),
+            got: stimulus.width(),
+        });
+    }
+    let vecs: Vec<Vec<Bit>> = (0..vectors).map(|_| stimulus.next_pattern()).collect();
+    let golden = run_trace(target, &vecs, None)?;
+    let mut reports = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let outcome = match run_trace(target, &vecs, Some(fault)) {
+            Ok(trace) => classify(&golden, &trace),
+            Err(err) => FaultOutcome::Detected(err),
+        };
+        reports.push(FaultReport {
+            fault: fault.clone(),
+            outcome,
+        });
+    }
+    Ok(CampaignReport {
+        target: target.name.clone(),
+        vectors,
+        reports,
+    })
+}
+
+/// Builds the five standard datapath targets at the given width: the
+/// ripple-carry adder, barrel shifter, array multiplier, ALU, and a
+/// clocked register bank.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidWidth`] if any generator rejects
+/// `width`.
+pub fn standard_targets(width: usize) -> Result<Vec<FaultTarget>, CircuitError> {
+    let mut targets = Vec::with_capacity(5);
+
+    let mut n = Netlist::new();
+    let adder = crate::adder::ripple_carry_adder(&mut n, width)?;
+    let mut outputs = adder.sum.clone();
+    outputs.push(adder.cout);
+    targets.push(FaultTarget {
+        name: format!("adder{width}"),
+        inputs: adder.input_nodes(),
+        outputs,
+        netlist: n,
+        clock: None,
+    });
+
+    let mut n = Netlist::new();
+    let shifter = crate::shifter::barrel_shifter_right(&mut n, width)?;
+    targets.push(FaultTarget {
+        name: format!("shifter{width}"),
+        inputs: shifter.input_nodes(),
+        outputs: shifter.out.clone(),
+        netlist: n,
+        clock: None,
+    });
+
+    let mut n = Netlist::new();
+    let mult = crate::multiplier::array_multiplier(&mut n, width)?;
+    targets.push(FaultTarget {
+        name: format!("multiplier{width}"),
+        inputs: mult.input_nodes(),
+        outputs: mult.product.clone(),
+        netlist: n,
+        clock: None,
+    });
+
+    let mut n = Netlist::new();
+    let alu = crate::alu::alu(&mut n, width)?;
+    let mut outputs = alu.result.clone();
+    outputs.push(alu.carry_out);
+    targets.push(FaultTarget {
+        name: format!("alu{width}"),
+        inputs: alu.input_nodes(),
+        outputs,
+        netlist: n,
+        clock: None,
+    });
+
+    let mut n = Netlist::new();
+    let clk = n.input("clk");
+    let d: Vec<NodeId> = (0..width).map(|i| n.input(format!("d{i}"))).collect();
+    let q = crate::cells::register(&mut n, clk, &d)?;
+    targets.push(FaultTarget {
+        name: format!("registers{width}"),
+        inputs: d,
+        outputs: q,
+        netlist: n,
+        clock: Some(clk),
+    });
+
+    Ok(targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+    use crate::switch_registers::{c2mos_register, clock_cycle};
+
+    fn adder_target(width: usize) -> FaultTarget {
+        standard_targets(width).unwrap().into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn stuck_output_is_corrupted_or_propagated() {
+        let target = adder_target(4);
+        let fault = GateFault::NodeStuckAt {
+            node: target.outputs[0],
+            value: Bit::One,
+        };
+        let mut src = PatternSource::counting(target.inputs.len(), 0).unwrap();
+        let report = run_campaign(&target, &[fault], &mut src, 8).unwrap();
+        assert_eq!(report.reports[0].outcome, FaultOutcome::Corrupted);
+    }
+
+    #[test]
+    fn input_x_propagates_as_x() {
+        let target = adder_target(4);
+        // cin is the last input column; X there reaches the sum as X.
+        let fault = GateFault::InputX {
+            input_index: target.inputs.len() - 1,
+        };
+        let mut src = PatternSource::zeros(target.inputs.len()).unwrap();
+        let report = run_campaign(&target, &[fault], &mut src, 4).unwrap();
+        assert_eq!(report.reports[0].outcome, FaultOutcome::PropagatedAsX);
+    }
+
+    #[test]
+    fn redundant_node_fault_is_masked() {
+        // Stuck-at-0 on an input that is already always 0 changes nothing.
+        let target = adder_target(4);
+        let fault = GateFault::NodeStuckAt {
+            node: target.inputs[0],
+            value: Bit::Zero,
+        };
+        let mut src = PatternSource::zeros(target.inputs.len()).unwrap();
+        let report = run_campaign(&target, &[fault], &mut src, 4).unwrap();
+        assert_eq!(report.reports[0].outcome, FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn oscillation_inducing_fault_is_detected() {
+        // A gated feedback loop closed onto a stimulus-driven node:
+        // r = Not(And(en, r)). With en = 0 the AND breaks the cycle and
+        // every vector settles; the stimulus writing r each vector keeps
+        // the loop seeded with a definite value (an all-X loop would just
+        // sit at the Kleene fixpoint). A stuck-at-1 on the enable closes
+        // an odd inverting loop — a ring — and the settle watchdog must
+        // diagnose the oscillation, which the campaign classifies as
+        // detected.
+        let mut n = Netlist::new();
+        let en = n.input("en");
+        let r = n.input("r");
+        let gated = n.gate(GateKind::And2, &[en, r]).unwrap();
+        n.gate_into(GateKind::Not, &[gated], r).unwrap();
+        let target = FaultTarget {
+            name: "gated_loop".into(),
+            inputs: vec![en, r],
+            outputs: vec![r],
+            netlist: n,
+            clock: None,
+        };
+        let fault = GateFault::NodeStuckAt {
+            node: en,
+            value: Bit::One,
+        };
+        let mut src = PatternSource::zeros(2).unwrap();
+        let report = run_campaign(&target, &[fault], &mut src, 2).unwrap();
+        assert!(
+            matches!(
+                report.reports[0].outcome,
+                FaultOutcome::Detected(CircuitError::Oscillation { .. })
+            ),
+            "got {:?}",
+            report.reports[0].outcome
+        );
+    }
+
+    #[test]
+    fn agreeing_bridge_is_masked() {
+        // Bridging a buffer chain's output onto its own input shorts two
+        // nodes that settle to the same value every vector: the campaign
+        // must call it masked, not X everything out over transient skew.
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let buf1 = n.gate(GateKind::Buf, &[a]).unwrap();
+        let buf2 = n.gate(GateKind::Buf, &[buf1]).unwrap();
+        let target = FaultTarget {
+            name: "chain".into(),
+            inputs: vec![a],
+            outputs: vec![buf2],
+            netlist: n,
+            clock: None,
+        };
+        let fault = GateFault::Bridge { a, b: buf2 };
+        let mut src = PatternSource::counting(1, 0).unwrap();
+        let report = run_campaign(&target, &[fault], &mut src, 4).unwrap();
+        assert_eq!(report.reports[0].outcome, FaultOutcome::Masked);
+    }
+
+    #[test]
+    fn campaign_validates_stimulus() {
+        let target = adder_target(4);
+        let mut narrow = PatternSource::zeros(2).unwrap();
+        assert!(matches!(
+            run_campaign(&target, &[], &mut narrow, 4),
+            Err(CircuitError::WidthMismatch { .. })
+        ));
+        let mut ok = PatternSource::zeros(target.inputs.len()).unwrap();
+        assert!(matches!(
+            run_campaign(&target, &[], &mut ok, 0),
+            Err(CircuitError::InvalidStimulus { .. })
+        ));
+    }
+
+    #[test]
+    fn universe_covers_every_node_twice() {
+        let target = adder_target(2);
+        let u = stuck_at_universe(&target.netlist);
+        assert_eq!(u.len(), target.netlist.node_count() * 2);
+    }
+
+    #[test]
+    fn register_target_latches_through_campaign() {
+        let targets = standard_targets(4).unwrap();
+        let regs = &targets[4];
+        assert!(regs.clock.is_some());
+        let fault = GateFault::NodeStuckAt {
+            node: regs.outputs[0],
+            value: Bit::One,
+        };
+        let mut src = PatternSource::counting(4, 0).unwrap();
+        let report = run_campaign(regs, &[fault], &mut src, 6).unwrap();
+        assert_eq!(report.reports[0].outcome, FaultOutcome::Corrupted);
+    }
+
+    #[test]
+    fn switch_universe_and_faults_classify() {
+        let mut n = SwitchNetlist::new();
+        let ports = c2mos_register(&mut n).unwrap();
+        let universe = switch_stuck_universe(&n);
+        assert_eq!(universe.len(), n.transistor_count() * 2);
+        // A stuck-off slave pull-down cannot drive q low any more: the
+        // faulted register must disagree with the golden one somewhere.
+        let mut disagreements = 0;
+        for fault in universe {
+            let mut golden = SwitchSim::new(&n);
+            let mut faulty = SwitchSim::new(&n);
+            apply_switch_fault(&mut faulty, fault).unwrap();
+            let mut differs = false;
+            for (i, d) in [true, false, true, true, false].into_iter().enumerate() {
+                let g = clock_cycle(&mut golden, ports, d);
+                let f = clock_cycle(&mut faulty, ports, d);
+                match (g, f) {
+                    (Ok(gv), Ok(fv)) => {
+                        if gv != fv {
+                            differs = true;
+                        }
+                    }
+                    // A typed error from the faulted run also counts as
+                    // observable; golden must never fail.
+                    (Ok(_), Err(_)) => differs = true,
+                    (Err(e), _) => panic!("golden run failed at cycle {i}: {e}"),
+                }
+            }
+            if differs {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements > 0, "some switch fault must be observable");
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let f = GateFault::NodeStuckAt {
+            node: NodeId(3),
+            value: Bit::One,
+        };
+        assert!(f.to_string().contains("stuck at"));
+        let report = CampaignReport {
+            target: "adder4".into(),
+            vectors: 8,
+            reports: vec![FaultReport {
+                fault: f,
+                outcome: FaultOutcome::Masked,
+            }],
+        };
+        let s = report.to_string();
+        assert!(s.contains("adder4"));
+        assert!(s.contains("masked"));
+    }
+}

@@ -25,12 +25,15 @@
 //! use lowvolt_circuit::sim::Simulator;
 //! use lowvolt_circuit::stimulus::PatternSource;
 //!
+//! # fn main() -> Result<(), lowvolt_circuit::CircuitError> {
 //! let mut n = Netlist::new();
-//! let adder = ripple_carry_adder(&mut n, 8);
+//! let adder = ripple_carry_adder(&mut n, 8)?;
 //! let mut sim = Simulator::new(&n);
-//! let mut patterns = PatternSource::random(17, 42); // a[8] ++ b[8] ++ cin
-//! let report = sim.measure_activity(&mut patterns, &adder.input_nodes(), 200, 8);
+//! let mut patterns = PatternSource::random(17, 42)?; // a[8] ++ b[8] ++ cin
+//! let report = sim.measure_activity(&mut patterns, &adder.input_nodes(), 200, 8)?;
 //! assert!(report.mean_transition_probability() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod activity;
@@ -38,6 +41,7 @@ pub mod adder;
 pub mod alu;
 pub mod cells;
 pub mod error;
+pub mod faults;
 pub mod logic;
 pub mod multiplier;
 pub mod netlist;

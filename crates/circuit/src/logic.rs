@@ -105,7 +105,9 @@ impl std::fmt::Display for Bit {
 /// Expands the low `width` bits of `value` into a little-endian bit vector.
 #[must_use]
 pub fn bits_of(value: u64, width: usize) -> Vec<Bit> {
-    (0..width).map(|i| Bit::from_bool(value >> i & 1 == 1)).collect()
+    (0..width)
+        .map(|i| Bit::from_bool(value >> i & 1 == 1))
+        .collect()
 }
 
 /// Collapses a little-endian bit slice back into an integer; `None` if any

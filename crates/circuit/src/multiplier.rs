@@ -59,19 +59,19 @@ pub fn array_multiplier(n: &mut Netlist, width: usize) -> Result<MultiplierPorts
     for (j, &bj) in b.iter().enumerate() {
         let mut carry: Option<NodeId> = None;
         for (i, &ai) in a.iter().enumerate() {
-            let pp = n.gate(GateKind::And2, &[ai, bj]);
+            let pp = n.gate(GateKind::And2, &[ai, bj])?;
             let pos = i + j;
             let (sum, new_carry) = match (acc[pos], carry) {
                 (Some(s), Some(c)) => {
-                    let fa = full_adder(n, s, pp, c);
+                    let fa = full_adder(n, s, pp, c)?;
                     (fa.sum, Some(fa.carry))
                 }
                 (Some(s), None) => {
-                    let ha = half_adder(n, s, pp);
+                    let ha = half_adder(n, s, pp)?;
                     (ha.sum, Some(ha.carry))
                 }
                 (None, Some(c)) => {
-                    let ha = half_adder(n, pp, c);
+                    let ha = half_adder(n, pp, c)?;
                     (ha.sum, Some(ha.carry))
                 }
                 (None, None) => (pp, None),
@@ -84,7 +84,7 @@ pub fn array_multiplier(n: &mut Netlist, width: usize) -> Result<MultiplierPorts
         while let Some(c) = carry {
             match acc[pos] {
                 Some(s) => {
-                    let ha = half_adder(n, s, c);
+                    let ha = half_adder(n, s, c)?;
                     acc[pos] = Some(ha.sum);
                     carry = Some(ha.carry);
                 }
@@ -100,21 +100,19 @@ pub fn array_multiplier(n: &mut Netlist, width: usize) -> Result<MultiplierPorts
     // them with a constant-zero buffer of the (never-set) carry — instead,
     // simply require every position to be populated, which the row loop
     // guarantees for width >= 1 except the very top bit of width 1.
-    let product: Vec<NodeId> = acc
-        .into_iter()
-        .enumerate()
-        .map(|(p, slot)| match slot {
-            Some(node) => node,
+    let mut product: Vec<NodeId> = Vec::with_capacity(2 * width);
+    for slot in acc {
+        match slot {
+            Some(node) => product.push(node),
             // Position 2w−1 of a 1×1 multiplier is structurally zero:
             // realise it as a·b AND NOT(a·b) = 0 … simpler: a AND ¬a.
             None => {
-                let na = n.gate(GateKind::Not, &[a[0]]);
-                let z = n.gate(GateKind::And2, &[a[0], na]);
-                debug_assert_eq!(p, 2 * width - 1);
-                z
+                let na = n.gate(GateKind::Not, &[a[0]])?;
+                let z = n.gate(GateKind::And2, &[a[0], na])?;
+                product.push(z);
             }
-        })
-        .collect();
+        }
+    }
     Ok(MultiplierPorts { a, b, product })
 }
 
@@ -131,8 +129,8 @@ mod tests {
         let mut sim = Simulator::new(&n);
         for a in 0..16u64 {
             for b in 0..16u64 {
-                sim.set_bus(&p.a, &bits_of(a, 4));
-                sim.set_bus(&p.b, &bits_of(b, 4));
+                sim.set_bus(&p.a, &bits_of(a, 4)).unwrap();
+                sim.set_bus(&p.b, &bits_of(b, 4)).unwrap();
                 sim.settle().unwrap();
                 assert_eq!(sim.read_bus(&p.product), Some(a * b), "{a}*{b}");
             }
@@ -149,8 +147,8 @@ mod tests {
             seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             let a = seed >> 8 & 0xff;
             let b = seed >> 24 & 0xff;
-            sim.set_bus(&p.a, &bits_of(a, 8));
-            sim.set_bus(&p.b, &bits_of(b, 8));
+            sim.set_bus(&p.a, &bits_of(a, 8)).unwrap();
+            sim.set_bus(&p.b, &bits_of(b, 8)).unwrap();
             sim.settle().unwrap();
             assert_eq!(sim.read_bus(&p.product), Some(a * b), "{a}*{b}");
         }
@@ -163,8 +161,8 @@ mod tests {
         let mut sim = Simulator::new(&n);
         for a in 0..2u64 {
             for b in 0..2u64 {
-                sim.set_bus(&p.a, &bits_of(a, 1));
-                sim.set_bus(&p.b, &bits_of(b, 1));
+                sim.set_bus(&p.a, &bits_of(a, 1)).unwrap();
+                sim.set_bus(&p.b, &bits_of(b, 1)).unwrap();
                 sim.settle().unwrap();
                 assert_eq!(sim.read_bus(&p.product), Some(a * b));
             }

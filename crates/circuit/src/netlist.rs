@@ -21,6 +21,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds a node id from a raw index. The id is not validated here;
+    /// netlist and simulator entry points reject foreign ids with
+    /// [`CircuitError::UnknownNode`], which makes this constructor safe
+    /// to use for fault-injection and robustness harnesses.
+    #[must_use]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
 }
 
 /// Identifier of a gate within a [`Netlist`].
@@ -82,9 +91,7 @@ impl GateKind {
             | GateKind::Xor2
             | GateKind::Xnor2
             | GateKind::Dff => 2,
-            GateKind::And3 | GateKind::Or3 | GateKind::Nand3 | GateKind::Nor3 | GateKind::Mux2 => {
-                3
-            }
+            GateKind::And3 | GateKind::Or3 | GateKind::Nand3 | GateKind::Nor3 | GateKind::Mux2 => 3,
         }
     }
 
@@ -142,15 +149,14 @@ impl GateKind {
     /// Evaluates the combinational function over three-valued inputs.
     ///
     /// For [`GateKind::Dff`] this returns [`Bit::X`]; the simulator handles
-    /// flip-flop state separately.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len()` does not match [`GateKind::arity`]. The
-    /// netlist builder enforces arity, so simulation never hits this.
+    /// flip-flop state separately. A slice whose length does not match
+    /// [`GateKind::arity`] evaluates to [`Bit::X`] — the netlist builder
+    /// enforces arity, so simulation never takes that path.
     #[must_use]
     pub fn evaluate(self, inputs: &[Bit]) -> Bit {
-        assert_eq!(inputs.len(), self.arity(), "{} arity", self.name());
+        if inputs.len() != self.arity() {
+            return Bit::X;
+        }
         match self {
             GateKind::Buf => inputs[0],
             GateKind::Not => inputs[0].not(),
@@ -290,36 +296,75 @@ impl Netlist {
 
     /// Adds a gate of `kind`, creating a fresh auto-named output node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on arity mismatch or foreign node ids; use
-    /// [`Netlist::gate_into`] for a fallible variant. Generator code uses
-    /// this method with statically correct arities.
-    pub fn gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> NodeId {
+    /// Returns [`CircuitError::ArityMismatch`] if the input count is wrong
+    /// for the kind, or [`CircuitError::UnknownNode`] if any input id is
+    /// foreign. No output node is created on failure.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NodeId]) -> Result<NodeId, CircuitError> {
+        if inputs.len() != kind.arity() {
+            return Err(CircuitError::ArityMismatch {
+                kind: kind.name(),
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        for &n in inputs {
+            if n.0 >= self.nodes.len() {
+                return Err(CircuitError::UnknownNode(n.0));
+            }
+        }
         let out = self.node(format!("{}_{}", kind.name(), self.gates.len()));
-        self.gate_into(kind, inputs, out)
-            .expect("fresh node and static arity");
-        out
+        self.gate_into(kind, inputs, out)?;
+        Ok(out)
     }
 
     /// Sets the propagation delay (in ticks) of a gate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `delay` is zero (zero-delay loops would hang the
-    /// simulator) or the gate id is foreign.
-    pub fn set_delay(&mut self, gate: GateId, delay: u32) {
-        assert!(delay >= 1, "gate delay must be at least one tick");
-        self.gates[gate.0].delay = delay;
+    /// Returns [`CircuitError::InvalidParameter`] if `delay` is zero
+    /// (zero-delay loops would hang the simulator) or
+    /// [`CircuitError::UnknownGate`] if the gate id is foreign.
+    pub fn set_delay(&mut self, gate: GateId, delay: u32) -> Result<(), CircuitError> {
+        if delay == 0 {
+            return Err(CircuitError::InvalidParameter {
+                name: "delay",
+                value: 0.0,
+                constraint: "gate delay must be at least one tick",
+            });
+        }
+        match self.gates.get_mut(gate.0) {
+            Some(g) => {
+                g.delay = delay;
+                Ok(())
+            }
+            None => Err(CircuitError::UnknownGate(gate.0)),
+        }
     }
 
     /// Adds extra (wire) capacitance to a node, in farads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node id is foreign.
-    pub fn add_capacitance(&mut self, node: NodeId, extra: Farads) {
-        self.nodes[node.0].cap_ff += extra.0 * 1e15;
+    /// Returns [`CircuitError::UnknownNode`] if the node id is foreign, or
+    /// [`CircuitError::InvalidParameter`] if `extra` is negative or not
+    /// finite.
+    pub fn add_capacitance(&mut self, node: NodeId, extra: Farads) -> Result<(), CircuitError> {
+        if !extra.0.is_finite() || extra.0 < 0.0 {
+            return Err(CircuitError::InvalidParameter {
+                name: "extra_capacitance",
+                value: extra.0,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        match self.nodes.get_mut(node.0) {
+            Some(n) => {
+                n.cap_ff += extra.0 * 1e15;
+                Ok(())
+            }
+            None => Err(CircuitError::UnknownNode(node.0)),
+        }
     }
 
     /// Number of nodes.
@@ -346,28 +391,29 @@ impl Netlist {
         &self.inputs
     }
 
-    /// Gates driven by (having an input on) `node`.
+    /// Gates driven by (having an input on) `node`. A foreign node id has
+    /// an empty fanout.
     #[must_use]
     pub fn fanout(&self, node: NodeId) -> &[GateId] {
-        &self.fanout[node.0]
+        self.fanout.get(node.0).map_or(&[], Vec::as_slice)
     }
 
-    /// Lumped capacitance of a node.
+    /// Lumped capacitance of a node (zero for a foreign node id).
     #[must_use]
     pub fn node_capacitance(&self, node: NodeId) -> Farads {
-        Farads::from_femtofarads(self.nodes[node.0].cap_ff)
+        Farads::from_femtofarads(self.nodes.get(node.0).map_or(0.0, |n| n.cap_ff))
     }
 
-    /// Name of a node.
+    /// Name of a node (empty for a foreign node id).
     #[must_use]
     pub fn node_name(&self, node: NodeId) -> &str {
-        &self.nodes[node.0].name
+        self.nodes.get(node.0).map_or("", |n| n.name.as_str())
     }
 
-    /// Whether a node is a primary input.
+    /// Whether a node is a primary input (false for a foreign node id).
     #[must_use]
     pub fn is_primary_input(&self, node: NodeId) -> bool {
-        self.nodes[node.0].is_input
+        self.nodes.get(node.0).is_some_and(|n| n.is_input)
     }
 
     /// All node ids.
@@ -386,7 +432,8 @@ impl Netlist {
     /// print.
     #[must_use]
     pub fn gate_census(&self) -> Vec<(GateKind, usize)> {
-        let mut counts: std::collections::HashMap<GateKind, usize> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<GateKind, usize> =
+            std::collections::HashMap::new();
         for g in &self.gates {
             *counts.entry(g.kind).or_insert(0) += 1;
         }
@@ -423,7 +470,7 @@ mod tests {
 
     #[test]
     fn mux_select_semantics() {
-        use Bit::{One, X, Zero};
+        use Bit::{One, Zero, X};
         // inputs: [sel, a, b]
         assert_eq!(GateKind::Mux2.evaluate(&[Zero, One, Zero]), One);
         assert_eq!(GateKind::Mux2.evaluate(&[One, One, Zero]), Zero);
@@ -437,7 +484,7 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.input("a");
         let base = n.node_capacitance(a).to_femtofarads();
-        let _y = n.gate(GateKind::Not, &[a]);
+        let _y = n.gate(GateKind::Not, &[a]).unwrap();
         let loaded = n.node_capacitance(a).to_femtofarads();
         assert!((loaded - base - 2.0 * UNIT_GATE_CAP_FF).abs() < 1e-9);
     }
@@ -446,8 +493,8 @@ mod tests {
     fn fanout_tracks_gates() {
         let mut n = Netlist::new();
         let a = n.input("a");
-        let y1 = n.gate(GateKind::Not, &[a]);
-        let _y2 = n.gate(GateKind::Not, &[a]);
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let _y2 = n.gate(GateKind::Not, &[a]).unwrap();
         assert_eq!(n.fanout(a).len(), 2);
         assert_eq!(n.fanout(y1).len(), 0);
         assert_eq!(n.gate_count(), 2);
@@ -478,7 +525,7 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.input("a");
         let b = n.input("b");
-        let _g = n.gate(GateKind::And2, &[a, b]);
+        let _g = n.gate(GateKind::And2, &[a, b]).unwrap();
         assert_eq!(n.primary_inputs(), &[a, b]);
         assert!(n.is_primary_input(a));
         assert!(!n.is_primary_input(NodeId(2)));
@@ -489,20 +536,43 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.input("a");
         let b = n.input("b");
-        let x = n.gate(GateKind::Xor2, &[a, b]);
-        let _ = n.gate(GateKind::Xor2, &[x, a]);
-        let _ = n.gate(GateKind::And2, &[a, b]);
+        let x = n.gate(GateKind::Xor2, &[a, b]).unwrap();
+        let _ = n.gate(GateKind::Xor2, &[x, a]).unwrap();
+        let _ = n.gate(GateKind::And2, &[a, b]).unwrap();
         let census = n.gate_census();
         assert_eq!(census[0], (GateKind::Xor2, 2));
         assert_eq!(census[1], (GateKind::And2, 1));
     }
 
     #[test]
-    #[should_panic(expected = "delay must be at least one")]
     fn zero_delay_rejected() {
         let mut n = Netlist::new();
         let a = n.input("a");
-        n.gate(GateKind::Not, &[a]);
-        n.set_delay(GateId(0), 0);
+        n.gate(GateKind::Not, &[a]).unwrap();
+        assert!(matches!(
+            n.set_delay(GateId(0), 0),
+            Err(CircuitError::InvalidParameter { name: "delay", .. })
+        ));
+        assert_eq!(n.set_delay(GateId(9), 2), Err(CircuitError::UnknownGate(9)));
+        assert!(n.set_delay(GateId(0), 3).is_ok());
+    }
+
+    #[test]
+    fn fallible_gate_creates_no_orphan_node() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let before = n.node_count();
+        assert!(n.gate(GateKind::Nand2, &[a]).is_err());
+        assert_eq!(n.node_count(), before, "failed gate() must not leak a node");
+    }
+
+    #[test]
+    fn foreign_ids_degrade_gracefully() {
+        let n = Netlist::new();
+        let ghost = NodeId(42);
+        assert_eq!(n.node_name(ghost), "");
+        assert!(n.fanout(ghost).is_empty());
+        assert!(!n.is_primary_input(ghost));
+        assert_eq!(n.node_capacitance(ghost).to_femtofarads(), 0.0);
     }
 }

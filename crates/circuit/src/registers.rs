@@ -9,6 +9,7 @@
 //! cycle), data-path gate area (switched with the data activity), and
 //! junction/wire parasitics.
 
+use crate::error::CircuitError;
 use lowvolt_device::capacitance::{GateCapacitance, JunctionCapacitance};
 use lowvolt_device::units::{Farads, Volts};
 
@@ -27,7 +28,11 @@ pub enum RegisterStyle {
 
 impl RegisterStyle {
     /// All three styles in the order Fig. 1's legend lists them.
-    pub const ALL: [RegisterStyle; 3] = [RegisterStyle::Lclr, RegisterStyle::Tspc, RegisterStyle::C2mos];
+    pub const ALL: [RegisterStyle; 3] = [
+        RegisterStyle::Lclr,
+        RegisterStyle::Tspc,
+        RegisterStyle::C2mos,
+    ];
 
     /// Display name matching the figure legend.
     #[must_use]
@@ -107,26 +112,40 @@ impl RegisterCapModel {
     ///
     /// This is the quantity Fig. 1 plots (at full data activity).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `vdd` is not positive or `data_activity` is outside
-    /// `[0, 1]`.
-    #[must_use]
-    pub fn switched_capacitance(&self, vdd: Volts, data_activity: f64) -> Farads {
-        assert!(
-            (0.0..=1.0).contains(&data_activity),
-            "data activity must lie in [0, 1]"
-        );
+    /// Returns [`CircuitError::InvalidParameter`] if `data_activity` is
+    /// outside `[0, 1]` or not finite.
+    pub fn switched_capacitance(
+        &self,
+        vdd: Volts,
+        data_activity: f64,
+    ) -> Result<Farads, CircuitError> {
+        if !(0.0..=1.0).contains(&data_activity) {
+            return Err(CircuitError::InvalidParameter {
+                name: "data_activity",
+                value: data_activity,
+                constraint: "must lie in [0, 1]",
+            });
+        }
         let clock = self.clock_gates.effective_switched(vdd).0;
         let data = self.data_gates.effective_switched(vdd).0 * data_activity;
         let junction = self.junctions.effective_switched(vdd).0;
-        Farads(clock + data + junction + self.wire.0)
+        Ok(Farads(clock + data + junction + self.wire.0))
     }
 
     /// Switching energy per cycle, `C_sw(V_DD)·V_DD²`.
-    #[must_use]
-    pub fn energy_per_cycle(&self, vdd: Volts, data_activity: f64) -> lowvolt_device::units::Joules {
-        self.switched_capacitance(vdd, data_activity) * vdd * vdd
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] if `data_activity` is
+    /// outside `[0, 1]` or not finite.
+    pub fn energy_per_cycle(
+        &self,
+        vdd: Volts,
+        data_activity: f64,
+    ) -> Result<lowvolt_device::units::Joules, CircuitError> {
+        Ok(self.switched_capacitance(vdd, data_activity)? * vdd * vdd)
     }
 }
 
@@ -141,7 +160,10 @@ mod tests {
             let m = RegisterCapModel::new(style, Volts(0.5));
             let mut prev = 0.0;
             for vdd in [1.0, 1.5, 2.0, 2.5, 3.0] {
-                let c = m.switched_capacitance(Volts(vdd), 1.0).to_femtofarads();
+                let c = m
+                    .switched_capacitance(Volts(vdd), 1.0)
+                    .unwrap()
+                    .to_femtofarads();
                 assert!(c > prev, "{style}: cap must rise with vdd");
                 prev = c;
             }
@@ -158,9 +180,9 @@ mod tests {
         for vdd in [1.0, 2.0, 3.0] {
             let v = Volts(vdd);
             // At zero data activity the ordering is pure clock load.
-            let cc = c2mos.switched_capacitance(v, 0.0).0;
-            let ct = tspc.switched_capacitance(v, 0.0).0;
-            let cl = lclr.switched_capacitance(v, 0.0).0;
+            let cc = c2mos.switched_capacitance(v, 0.0).unwrap().0;
+            let ct = tspc.switched_capacitance(v, 0.0).unwrap().0;
+            let cl = lclr.switched_capacitance(v, 0.0).unwrap().0;
             assert!(cc > ct && ct > cl, "clock-load ordering at {vdd} V");
         }
     }
@@ -168,31 +190,40 @@ mod tests {
     #[test]
     fn fig1_magnitude_is_tens_of_femtofarads() {
         let m = RegisterCapModel::new(RegisterStyle::C2mos, Volts(0.5));
-        let c = m.switched_capacitance(Volts(3.0), 1.0).to_femtofarads();
+        let c = m
+            .switched_capacitance(Volts(3.0), 1.0)
+            .unwrap()
+            .to_femtofarads();
         assert!(c > 20.0 && c < 120.0, "c = {c} fF");
     }
 
     #[test]
     fn data_activity_scales_data_portion_only() {
         let m = RegisterCapModel::new(RegisterStyle::Tspc, Volts(0.5));
-        let idle = m.switched_capacitance(Volts(2.0), 0.0).0;
-        let busy = m.switched_capacitance(Volts(2.0), 1.0).0;
+        let idle = m.switched_capacitance(Volts(2.0), 0.0).unwrap().0;
+        let busy = m.switched_capacitance(Volts(2.0), 1.0).unwrap().0;
         assert!(busy > idle);
     }
 
     #[test]
     fn energy_scales_with_v_squared_and_capacitance() {
         let m = RegisterCapModel::new(RegisterStyle::Lclr, Volts(0.5));
-        let e1 = m.energy_per_cycle(Volts(1.0), 0.5).0;
-        let e2 = m.energy_per_cycle(Volts(2.0), 0.5).0;
+        let e1 = m.energy_per_cycle(Volts(1.0), 0.5).unwrap().0;
+        let e2 = m.energy_per_cycle(Volts(2.0), 0.5).unwrap().0;
         // More than 4x because capacitance also grows with V_DD.
         assert!(e2 > 4.0 * e1);
     }
 
     #[test]
-    #[should_panic(expected = "data activity")]
     fn bad_activity_rejected() {
         let m = RegisterCapModel::new(RegisterStyle::Lclr, Volts(0.5));
-        let _ = m.switched_capacitance(Volts(1.0), 1.5);
+        assert!(matches!(
+            m.switched_capacitance(Volts(1.0), 1.5),
+            Err(CircuitError::InvalidParameter {
+                name: "data_activity",
+                ..
+            })
+        ));
+        assert!(m.switched_capacitance(Volts(1.0), f64::NAN).is_err());
     }
 }

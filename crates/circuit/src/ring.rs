@@ -35,10 +35,14 @@ pub const DEFAULT_STAGES: usize = 101;
 impl RingOscillator {
     /// A default paper-scale ring: 101 stages of 2 µm devices driving
     /// 20 fF each.
-    #[must_use]
-    pub fn paper_default() -> RingOscillator {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError::InvalidParameter`] should the default
+    /// constants ever be made inconsistent; with the shipped constants
+    /// this always succeeds.
+    pub fn paper_default() -> Result<RingOscillator, DeviceError> {
         RingOscillator::new(DEFAULT_STAGES, DEFAULT_STAGE_LOAD, Micrometers(2.0))
-            .expect("default parameters are valid")
     }
 
     /// Creates a ring with `stages` stages, per-stage load `stage_load`,
@@ -149,7 +153,7 @@ mod tests {
 
     #[test]
     fn frequency_rises_with_supply() {
-        let r = RingOscillator::paper_default();
+        let r = RingOscillator::paper_default().unwrap();
         let f1 = r.frequency(Volts(1.0), Volts(0.4));
         let f2 = r.frequency(Volts(2.0), Volts(0.4));
         assert!(f2.0 > f1.0);
@@ -157,7 +161,7 @@ mod tests {
 
     #[test]
     fn period_is_2n_stage_delays() {
-        let r = RingOscillator::paper_default();
+        let r = RingOscillator::paper_default().unwrap();
         let td = r.stage_delay(Volts(1.5), Volts(0.4));
         let t = r.period(Volts(1.5), Volts(0.4));
         assert!((t.0 - 2.0 * 101.0 * td.0).abs() / t.0 < 1e-12);
@@ -167,7 +171,7 @@ mod tests {
     fn paper_scale_delays() {
         // The Fig. 2 annotations quote stage delays from tens of ps to ns
         // across the supply range; our model should land in that regime.
-        let r = RingOscillator::paper_default();
+        let r = RingOscillator::paper_default().unwrap();
         let fast = r.stage_delay(Volts(3.0), Volts(0.4)).0;
         let slow = r.stage_delay(Volts(0.6), Volts(0.5)).0;
         assert!(fast > 1e-12 && fast < 1e-9, "fast = {fast}");
@@ -176,7 +180,7 @@ mod tests {
 
     #[test]
     fn iso_delay_locus_monotone() {
-        let r = RingOscillator::paper_default();
+        let r = RingOscillator::paper_default().unwrap();
         let target = r.stage_delay(Volts(1.5), Volts(0.5));
         let mut prev = f64::INFINITY;
         for vt in [0.5, 0.4, 0.3, 0.2, 0.1] {
@@ -193,7 +197,7 @@ mod tests {
         // Lower V_T permits lower V_DD at iso-delay (less switching
         // energy) but leaks more: the total must turn back up at very low
         // V_T — the Fig. 4 U-shape.
-        let r = RingOscillator::paper_default();
+        let r = RingOscillator::paper_default().unwrap();
         let target = r.stage_delay(Volts(1.2), Volts(0.45));
         let t_op = Seconds(1e-6); // 1 MHz throughput
         let energy_at = |vt: f64| {

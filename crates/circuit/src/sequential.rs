@@ -10,6 +10,7 @@
 //! module.
 
 use crate::cells::register;
+use crate::error::CircuitError;
 use crate::logic::{bits_of, Bit};
 use crate::netlist::{GateKind, Netlist, NodeId};
 use crate::sim::Simulator;
@@ -34,19 +35,23 @@ pub struct GatedModule {
 impl GatedModule {
     /// Builds a `width`-bit gated adder module into the netlist.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is zero or above 32.
-    #[must_use]
-    pub fn build(n: &mut Netlist, width: usize) -> GatedModule {
-        assert!(width > 0 && width <= 32, "width must be in 1..=32");
+    /// Returns [`CircuitError::InvalidWidth`] unless `width` is in 1..=32.
+    pub fn build(n: &mut Netlist, width: usize) -> Result<GatedModule, CircuitError> {
+        if width == 0 || width > 32 {
+            return Err(CircuitError::InvalidWidth {
+                width,
+                constraint: "must be in 1..=32",
+            });
+        }
         let clk = n.input("clk");
         let enable = n.input("enable");
-        let gated_clk = n.gate(GateKind::And2, &[clk, enable]);
+        let gated_clk = n.gate(GateKind::And2, &[clk, enable])?;
         let a: Vec<_> = (0..width).map(|i| n.input(format!("a{i}"))).collect();
         let b: Vec<_> = (0..width).map(|i| n.input(format!("b{i}"))).collect();
-        let a_reg = register(n, gated_clk, &a);
-        let b_reg = register(n, gated_clk, &b);
+        let a_reg = register(n, gated_clk, &a)?;
+        let b_reg = register(n, gated_clk, &b)?;
         // Internal adder on registered operands: rebuild from cells so the
         // adder consumes register outputs rather than primary inputs.
         let mut carry: Option<NodeId> = None;
@@ -54,46 +59,50 @@ impl GatedModule {
         for i in 0..width {
             let (s, c) = match carry {
                 None => {
-                    let ha = crate::cells::half_adder(n, a_reg[i], b_reg[i]);
+                    let ha = crate::cells::half_adder(n, a_reg[i], b_reg[i])?;
                     (ha.sum, ha.carry)
                 }
                 Some(cin) => {
-                    let fa = crate::cells::full_adder(n, a_reg[i], b_reg[i], cin);
+                    let fa = crate::cells::full_adder(n, a_reg[i], b_reg[i], cin)?;
                     (fa.sum, fa.carry)
                 }
             };
             sum.push(s);
             carry = Some(c);
         }
-        GatedModule {
+        Ok(GatedModule {
             clk,
             enable,
             gated_clk,
             a,
             b,
             sum,
-        }
+        })
     }
 
     /// Drives the module for one clock cycle with the given operands and
     /// enable, returning the registered sum afterwards (`None` while the
     /// pipeline still holds unknowns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any settle-time error (oscillation, budget exhaustion).
     pub fn clock_cycle(
         &self,
         sim: &mut Simulator<'_>,
         a: u64,
         b: u64,
         enabled: bool,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, CircuitError> {
         let width = self.a.len();
-        sim.set_input(self.clk, Bit::Zero);
-        sim.set_input(self.enable, Bit::from(enabled));
-        sim.set_bus(&self.a, &bits_of(a, width));
-        sim.set_bus(&self.b, &bits_of(b, width));
-        sim.settle().expect("acyclic module settles");
-        sim.set_input(self.clk, Bit::One);
-        sim.settle().expect("acyclic module settles");
-        sim.read_bus(&self.sum)
+        sim.set_input(self.clk, Bit::Zero)?;
+        sim.set_input(self.enable, Bit::from(enabled))?;
+        sim.set_bus(&self.a, &bits_of(a, width))?;
+        sim.set_bus(&self.b, &bits_of(b, width))?;
+        sim.settle()?;
+        sim.set_input(self.clk, Bit::One)?;
+        sim.settle()?;
+        Ok(sim.read_bus(&self.sum))
     }
 }
 
@@ -110,15 +119,31 @@ pub struct GatedActivity {
 /// deterministic pseudo-random schedule of duty `duty`, and reports the
 /// measured activity.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `duty` is outside `[0, 1]` or `cycles` is zero.
-#[must_use]
-pub fn measure_gated_activity(width: usize, cycles: usize, duty: f64, seed: u64) -> GatedActivity {
-    assert!((0.0..=1.0).contains(&duty), "duty must lie in [0, 1]");
-    assert!(cycles > 0, "need at least one cycle");
+/// Returns [`CircuitError::InvalidParameter`] if `duty` is outside
+/// `[0, 1]`, [`CircuitError::InvalidStimulus`] if `cycles` is zero, or any
+/// build/settle-time error.
+pub fn measure_gated_activity(
+    width: usize,
+    cycles: usize,
+    duty: f64,
+    seed: u64,
+) -> Result<GatedActivity, CircuitError> {
+    if !(0.0..=1.0).contains(&duty) {
+        return Err(CircuitError::InvalidParameter {
+            name: "duty",
+            value: duty,
+            constraint: "must lie in [0, 1]",
+        });
+    }
+    if cycles == 0 {
+        return Err(CircuitError::InvalidStimulus {
+            reason: "need at least one cycle",
+        });
+    }
     let mut n = Netlist::new();
-    let module = GatedModule::build(&mut n, width);
+    let module = GatedModule::build(&mut n, width)?;
     let mut sim = Simulator::new(&n);
     let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut next = || {
@@ -129,11 +154,15 @@ pub fn measure_gated_activity(width: usize, cycles: usize, duty: f64, seed: u64)
         z ^ (z >> 31)
     };
     // Warm up with two enabled cycles so every register holds known data.
-    module.clock_cycle(&mut sim, 0, 0, true);
-    module.clock_cycle(&mut sim, 0, 0, true);
+    module.clock_cycle(&mut sim, 0, 0, true)?;
+    module.clock_cycle(&mut sim, 0, 0, true)?;
     sim.reset_counters();
     sim.set_counting(true);
-    let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut enabled_cycles = 0usize;
     for _ in 0..cycles {
         let r = next();
@@ -143,9 +172,11 @@ pub fn measure_gated_activity(width: usize, cycles: usize, duty: f64, seed: u64)
         }
         let a = next() & mask;
         let b = next() & mask;
-        let got = module.clock_cycle(&mut sim, a, b, enabled);
-        if enabled {
-            assert_eq!(got, Some((a + b) & mask), "functional check while enabled");
+        let got = module.clock_cycle(&mut sim, a, b, enabled)?;
+        if enabled && got != Some((a + b) & mask) {
+            return Err(CircuitError::Internal {
+                detail: "gated module failed its functional check while enabled",
+            });
         }
     }
     sim.set_counting(false);
@@ -154,10 +185,10 @@ pub fn measure_gated_activity(width: usize, cycles: usize, duty: f64, seed: u64)
         .filter(|&id| !n.is_primary_input(id))
         .map(|id| sim.rising_count(id))
         .sum();
-    GatedActivity {
+    Ok(GatedActivity {
         fga: enabled_cycles as f64 / cycles as f64,
         transitions_per_cycle: total_rising as f64 / cycles as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -167,33 +198,36 @@ mod tests {
     #[test]
     fn enabled_module_computes_sums() {
         let mut n = Netlist::new();
-        let m = GatedModule::build(&mut n, 8);
+        let m = GatedModule::build(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
-        m.clock_cycle(&mut sim, 0, 0, true);
-        assert_eq!(m.clock_cycle(&mut sim, 25, 17, true), Some(42));
-        assert_eq!(m.clock_cycle(&mut sim, 200, 100, true), Some(300 & 0xff));
+        m.clock_cycle(&mut sim, 0, 0, true).unwrap();
+        assert_eq!(m.clock_cycle(&mut sim, 25, 17, true).unwrap(), Some(42));
+        assert_eq!(
+            m.clock_cycle(&mut sim, 200, 100, true).unwrap(),
+            Some(300 & 0xff)
+        );
     }
 
     #[test]
     fn disabled_module_holds_state() {
         let mut n = Netlist::new();
-        let m = GatedModule::build(&mut n, 8);
+        let m = GatedModule::build(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
-        m.clock_cycle(&mut sim, 10, 5, true);
-        assert_eq!(m.clock_cycle(&mut sim, 10, 5, true), Some(15));
+        m.clock_cycle(&mut sim, 10, 5, true).unwrap();
+        assert_eq!(m.clock_cycle(&mut sim, 10, 5, true).unwrap(), Some(15));
         // New operands arrive but the clock gate is closed: output frozen.
-        assert_eq!(m.clock_cycle(&mut sim, 99, 99, false), Some(15));
-        assert_eq!(m.clock_cycle(&mut sim, 77, 11, false), Some(15));
+        assert_eq!(m.clock_cycle(&mut sim, 99, 99, false).unwrap(), Some(15));
+        assert_eq!(m.clock_cycle(&mut sim, 77, 11, false).unwrap(), Some(15));
         // Re-enabled: the register captures again.
-        assert_eq!(m.clock_cycle(&mut sim, 77, 11, true), Some(88));
+        assert_eq!(m.clock_cycle(&mut sim, 77, 11, true).unwrap(), Some(88));
     }
 
     #[test]
     fn gating_eliminates_internal_switching() {
         // The paper's Fig. 7 claim, measured: a module enabled 10% of the
         // time switches far less than one enabled always.
-        let busy = measure_gated_activity(8, 200, 1.0, 42);
-        let idle = measure_gated_activity(8, 200, 0.1, 42);
+        let busy = measure_gated_activity(8, 200, 1.0, 42).unwrap();
+        let idle = measure_gated_activity(8, 200, 0.1, 42).unwrap();
         assert!(busy.fga > 0.99);
         assert!(idle.fga < 0.25, "duty schedule realised: {}", idle.fga);
         assert!(
@@ -206,8 +240,8 @@ mod tests {
 
     #[test]
     fn switching_scales_roughly_with_duty() {
-        let full = measure_gated_activity(8, 300, 1.0, 7);
-        let half = measure_gated_activity(8, 300, 0.5, 7);
+        let full = measure_gated_activity(8, 300, 1.0, 7).unwrap();
+        let half = measure_gated_activity(8, 300, 0.5, 7).unwrap();
         let ratio = half.transitions_per_cycle / full.transitions_per_cycle;
         assert!(ratio > 0.3 && ratio < 0.8, "ratio = {ratio}");
     }

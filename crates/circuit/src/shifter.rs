@@ -69,7 +69,7 @@ pub fn barrel_shifter_right(n: &mut Netlist, width: usize) -> Result<ShifterPort
             };
             // Mux2 inputs are [sel, a, b]: sel=0 passes through, sel=1
             // takes the shifted bit.
-            next.push(n.gate(GateKind::Mux2, &[sel, current[i], shifted_in]));
+            next.push(n.gate(GateKind::Mux2, &[sel, current[i], shifted_in])?);
         }
         current = next;
     }
@@ -92,11 +92,11 @@ mod tests {
         let mut n = Netlist::new();
         let p = barrel_shifter_right(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(p.fill, Bit::Zero);
+        sim.set_input(p.fill, Bit::Zero).unwrap();
         for value in [0u64, 1, 0x80, 0xa5, 0xff, 0x5a] {
             for sh in 0..8u64 {
-                sim.set_bus(&p.data, &bits_of(value, 8));
-                sim.set_bus(&p.amount, &bits_of(sh, 3));
+                sim.set_bus(&p.data, &bits_of(value, 8)).unwrap();
+                sim.set_bus(&p.amount, &bits_of(sh, 3)).unwrap();
                 sim.settle().unwrap();
                 assert_eq!(
                     sim.read_bus(&p.out),
@@ -113,9 +113,9 @@ mod tests {
         let p = barrel_shifter_right(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
         // Negative value: sign bit high, fill driven high.
-        sim.set_input(p.fill, Bit::One);
-        sim.set_bus(&p.data, &bits_of(0x90, 8));
-        sim.set_bus(&p.amount, &bits_of(2, 3));
+        sim.set_input(p.fill, Bit::One).unwrap();
+        sim.set_bus(&p.data, &bits_of(0x90, 8)).unwrap();
+        sim.set_bus(&p.amount, &bits_of(2, 3)).unwrap();
         sim.settle().unwrap();
         // 0x90 asr 2 (8-bit) = 0xe4.
         assert_eq!(sim.read_bus(&p.out), Some(0xe4));

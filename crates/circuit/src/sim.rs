@@ -9,6 +9,26 @@
 //! flow (IRSIM) measures: functional plus glitch transitions. Re-evaluations
 //! within the same tick coalesce to the final value, so zero-width pulses
 //! are never counted.
+//!
+//! # Watchdogs
+//!
+//! [`Simulator::settle_with_budget`] carries two layers of protection
+//! against non-settling circuits. An *oscillation watchdog* periodically
+//! fingerprints the complete simulation state (node values plus the
+//! time-normalised pending event queue); because the simulator is
+//! deterministic, a repeated fingerprint proves the circuit will cycle
+//! forever and yields a diagnosed [`CircuitError::Oscillation`] naming the
+//! still-ringing nodes. The event budget remains as a backstop for
+//! circuits that merely converge too slowly, reported as the distinct
+//! [`CircuitError::DidNotSettle`].
+//!
+//! # Fault hooks
+//!
+//! [`Simulator::force_node`] pins a node to a value that overrides every
+//! driver (stuck-at faults), and [`Simulator::bridge_nodes`] shorts two
+//! nodes together with an agree-or-X resolution rule (bridging faults /
+//! drive fights). The [`crate::faults`] module builds campaign tooling on
+//! top of these primitives.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -20,8 +40,29 @@ use crate::netlist::{GateKind, Netlist, NodeId};
 use crate::stimulus::PatternSource;
 
 /// Default number of events [`Simulator::settle`] will process before
-/// concluding the circuit oscillates.
+/// giving up on quiescence.
 pub const DEFAULT_EVENT_BUDGET: usize = 4_000_000;
+
+/// Events processed before the oscillation watchdog starts sampling
+/// state fingerprints. Normal settles finish well under this, so the
+/// watchdog costs nothing on healthy circuits.
+const WATCHDOG_WARMUP_EVENTS: usize = 1024;
+
+/// Events between successive watchdog fingerprints once armed.
+const WATCHDOG_SAMPLE_INTERVAL: usize = 64;
+
+/// Maximum number of ringing-node names attached to an
+/// [`CircuitError::Oscillation`] diagnosis.
+const MAX_RINGING_NAMES: usize = 8;
+
+/// Progress accounting for one [`Simulator::settle_with_budget`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SettleStats {
+    /// Events processed during this settle.
+    pub events: usize,
+    /// Simulation ticks the circuit took to go quiescent.
+    pub ticks: u64,
+}
 
 /// An event-driven simulator over a borrowed [`Netlist`].
 #[derive(Debug)]
@@ -37,6 +78,11 @@ pub struct Simulator<'a> {
     rising: Vec<u64>,
     falling: Vec<u64>,
     counting: bool,
+    /// Stuck-at overrides: a `Some(v)` entry pins the node to `v`
+    /// regardless of what its drivers compute.
+    forced: Vec<Option<Bit>>,
+    /// Shorted node pairs; disagreeing values resolve to [`Bit::X`].
+    bridges: Vec<(usize, usize)>,
 }
 
 impl<'a> Simulator<'a> {
@@ -52,6 +98,8 @@ impl<'a> Simulator<'a> {
             rising: vec![0; netlist.node_count()],
             falling: vec![0; netlist.node_count()],
             counting: false,
+            forced: vec![None; netlist.node_count()],
+            bridges: Vec::new(),
         }
     }
 
@@ -61,23 +109,24 @@ impl<'a> Simulator<'a> {
         self.time
     }
 
-    /// Current value of a node.
+    /// Current value of a node ([`Bit::X`] for a foreign node id).
     #[must_use]
     pub fn value(&self, node: NodeId) -> Bit {
-        self.values[node.index()]
+        self.values.get(node.index()).copied().unwrap_or(Bit::X)
     }
 
     /// Power-consuming (`0 → 1`) transitions recorded on a node while
-    /// counting was enabled.
+    /// counting was enabled (zero for a foreign node id).
     #[must_use]
     pub fn rising_count(&self, node: NodeId) -> u64 {
-        self.rising[node.index()]
+        self.rising.get(node.index()).copied().unwrap_or(0)
     }
 
-    /// `1 → 0` transitions recorded on a node while counting was enabled.
+    /// `1 → 0` transitions recorded on a node while counting was enabled
+    /// (zero for a foreign node id).
     #[must_use]
     pub fn falling_count(&self, node: NodeId) -> u64 {
-        self.falling[node.index()]
+        self.falling.get(node.index()).copied().unwrap_or(0)
     }
 
     /// Enables or disables transition counting (disabled initially so that
@@ -93,23 +142,41 @@ impl<'a> Simulator<'a> {
     }
 
     /// Drives a node to a value at the current time, propagating to its
-    /// fanout on subsequent [`Simulator::settle`].
-    pub fn set_input(&mut self, node: NodeId, value: Bit) {
-        if self.values[node.index()] != value {
-            self.change_node(node, value);
+    /// fanout on subsequent [`Simulator::settle`]. A force on the node
+    /// ([`Simulator::force_node`]) overrides the driven value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if the node id is foreign.
+    pub fn set_input(&mut self, node: NodeId, value: Bit) -> Result<(), CircuitError> {
+        if node.index() >= self.values.len() {
+            return Err(CircuitError::UnknownNode(node.index()));
         }
+        let effective = self.forced[node.index()].unwrap_or(value);
+        if self.values[node.index()] != effective {
+            self.change_node(node, effective);
+        }
+        Ok(())
     }
 
     /// Drives a little-endian bus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits.len() != nodes.len()`.
-    pub fn set_bus(&mut self, nodes: &[NodeId], bits: &[Bit]) {
-        assert_eq!(nodes.len(), bits.len(), "bus width mismatch");
-        for (&n, &b) in nodes.iter().zip(bits) {
-            self.set_input(n, b);
+    /// Returns [`CircuitError::WidthMismatch`] if `bits.len() !=
+    /// nodes.len()`, or [`CircuitError::UnknownNode`] for a foreign node.
+    pub fn set_bus(&mut self, nodes: &[NodeId], bits: &[Bit]) -> Result<(), CircuitError> {
+        if nodes.len() != bits.len() {
+            return Err(CircuitError::WidthMismatch {
+                what: "set_bus",
+                expected: nodes.len(),
+                got: bits.len(),
+            });
         }
+        for (&n, &b) in nodes.iter().zip(bits) {
+            self.set_input(n, b)?;
+        }
+        Ok(())
     }
 
     /// Reads a little-endian bus as an integer; `None` if any bit is X.
@@ -119,84 +186,200 @@ impl<'a> Simulator<'a> {
         crate::logic::value_of(&bits)
     }
 
-    /// Processes events until the circuit is quiescent.
+    /// Pins `node` to `value`, overriding every driver — a stuck-at fault.
+    /// The node transitions to `value` immediately and ignores all writes
+    /// until [`Simulator::clear_force`].
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::DidNotSettle`] if more than `budget` events
-    /// fire, which indicates an oscillating combinational loop.
-    pub fn settle_with_budget(&mut self, budget: usize) -> Result<(), CircuitError> {
-        let mut spent = 0usize;
-        while let Some(Reverse((t, g))) = self.queue.pop() {
-            let new_value = self
-                .pending
-                .remove(&(t, g))
-                .expect("queue entries always have a pending value");
-            self.time = t;
-            spent += 1;
-            if spent > budget {
-                return Err(CircuitError::DidNotSettle {
-                    event_budget: budget,
-                });
-            }
-            let output = self.netlist.gates()[g].output;
-            if self.values[output.index()] != new_value {
-                self.change_node(output, new_value);
-            }
+    /// Returns [`CircuitError::UnknownNode`] if the node id is foreign.
+    pub fn force_node(&mut self, node: NodeId, value: Bit) -> Result<(), CircuitError> {
+        if node.index() >= self.values.len() {
+            return Err(CircuitError::UnknownNode(node.index()));
+        }
+        self.forced[node.index()] = Some(value);
+        if self.values[node.index()] != value {
+            self.change_node(node, value);
         }
         Ok(())
+    }
+
+    /// Removes a stuck-at force from a node. The node keeps its pinned
+    /// value until a driver next evaluates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if the node id is foreign.
+    pub fn clear_force(&mut self, node: NodeId) -> Result<(), CircuitError> {
+        match self.forced.get_mut(node.index()) {
+            Some(slot) => {
+                *slot = None;
+                Ok(())
+            }
+            None => Err(CircuitError::UnknownNode(node.index())),
+        }
+    }
+
+    /// Shorts two distinct nodes together — a bridging fault. At every
+    /// [`Simulator::settle`], once events drain, any bridged pair left
+    /// disagreeing resolves both sides to [`Bit::X`] (a sustained drive
+    /// fight); pairs that settle to agreeing values pass through
+    /// unchanged, so transient skew across the bridge is not a fight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign node id, or
+    /// [`CircuitError::InvalidStimulus`] if `a == b`.
+    pub fn bridge_nodes(&mut self, a: NodeId, b: NodeId) -> Result<(), CircuitError> {
+        for n in [a, b] {
+            if n.index() >= self.values.len() {
+                return Err(CircuitError::UnknownNode(n.index()));
+            }
+        }
+        if a == b {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "cannot bridge a node to itself",
+            });
+        }
+        self.bridges.push((a.index(), b.index()));
+        Ok(())
+    }
+
+    /// Removes all forces and bridges (the fault-free configuration).
+    pub fn clear_faults(&mut self) {
+        self.forced.fill(None);
+        self.bridges.clear();
+    }
+
+    /// Processes events until the circuit is quiescent, returning how many
+    /// events and ticks the settle consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::Oscillation`] when the watchdog proves the
+    /// circuit revisits an earlier state (a combinational loop ringing
+    /// forever), or [`CircuitError::DidNotSettle`] if `budget` events are
+    /// exhausted without either quiescence or a proof of cycling.
+    pub fn settle_with_budget(&mut self, budget: usize) -> Result<SettleStats, CircuitError> {
+        let start_time = self.time;
+        let mut spent = 0usize;
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        loop {
+            while let Some(Reverse((t, g))) = self.queue.pop() {
+                let new_value = self.pending.remove(&(t, g)).ok_or(CircuitError::Internal {
+                    detail: "queue entry without a pending value",
+                })?;
+                self.time = t;
+                spent += 1;
+                if spent > budget {
+                    return Err(CircuitError::DidNotSettle {
+                        event_budget: budget,
+                    });
+                }
+                let output = self.netlist.gates().get(g).map(|gate| gate.output).ok_or(
+                    CircuitError::Internal {
+                        detail: "pending event names a foreign gate",
+                    },
+                )?;
+                if self.values[output.index()] != new_value {
+                    self.change_node(output, new_value);
+                }
+                if spent >= WATCHDOG_WARMUP_EVENTS
+                    && spent.is_multiple_of(WATCHDOG_SAMPLE_INTERVAL)
+                    && !self.queue.is_empty()
+                {
+                    let sig = self.state_signature();
+                    if let Some(&earlier) = seen.get(&sig) {
+                        return Err(CircuitError::Oscillation {
+                            period_events: spent - earlier,
+                            ringing: self.ringing_nodes(),
+                        });
+                    }
+                    seen.insert(sig, spent);
+                }
+            }
+            // Events drained: resolve bridging faults on the settled state.
+            // A disagreement X-es both sides and schedules their fanout, so
+            // keep draining; a circuit that bounces between bridge resolution
+            // and re-evaluation revisits a state and is caught as an
+            // oscillation.
+            if !self.resolve_bridges_settled() {
+                break;
+            }
+            let sig = self.state_signature();
+            if let Some(&earlier) = seen.get(&sig) {
+                return Err(CircuitError::Oscillation {
+                    period_events: spent.saturating_sub(earlier).max(1),
+                    ringing: self.ringing_nodes(),
+                });
+            }
+            seen.insert(sig, spent);
+        }
+        Ok(SettleStats {
+            events: spent,
+            ticks: self.time.saturating_sub(start_time),
+        })
     }
 
     /// [`Simulator::settle_with_budget`] with [`DEFAULT_EVENT_BUDGET`].
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::DidNotSettle`] on oscillation.
-    pub fn settle(&mut self) -> Result<(), CircuitError> {
+    /// Returns [`CircuitError::Oscillation`] or
+    /// [`CircuitError::DidNotSettle`] on non-settling circuits.
+    pub fn settle(&mut self) -> Result<SettleStats, CircuitError> {
         self.settle_with_budget(DEFAULT_EVENT_BUDGET)
     }
 
     /// Applies one input vector and settles the circuit — one "cycle" of a
     /// combinational activity measurement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the vector width mismatches `inputs`, or if the circuit
-    /// oscillates (combinational feedback), which generator-produced
-    /// netlists cannot do.
-    pub fn apply_vector(&mut self, inputs: &[NodeId], bits: &[Bit]) {
-        self.set_bus(inputs, bits);
-        self.settle().expect("generator netlists are acyclic");
+    /// Returns [`CircuitError::WidthMismatch`] if the vector width
+    /// mismatches `inputs`, or any settle-time error (oscillation, budget
+    /// exhaustion).
+    pub fn apply_vector(
+        &mut self,
+        inputs: &[NodeId],
+        bits: &[Bit],
+    ) -> Result<SettleStats, CircuitError> {
+        self.set_bus(inputs, bits)?;
+        self.settle()
     }
 
     /// Runs the paper's §5.3 activity-measurement flow: applies `cycles`
     /// pattern vectors to `inputs`, discarding the first `warmup` cycles,
     /// and returns the per-node transition report.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `warmup >= cycles` or the source width mismatches the
-    /// input count.
-    #[must_use]
+    /// Returns [`CircuitError::InvalidStimulus`] if `warmup >= cycles`,
+    /// [`CircuitError::WidthMismatch`] if the source width mismatches the
+    /// input count, or any settle-time error.
     pub fn measure_activity(
         &mut self,
         source: &mut PatternSource,
         inputs: &[NodeId],
         cycles: usize,
         warmup: usize,
-    ) -> ActivityReport {
-        assert!(warmup < cycles, "warmup must leave cycles to measure");
+    ) -> Result<ActivityReport, CircuitError> {
+        if warmup >= cycles {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "warmup must leave cycles to measure",
+            });
+        }
         self.set_counting(false);
         self.reset_counters();
         for _ in 0..warmup {
             let v = source.next_pattern();
-            self.apply_vector(inputs, &v);
+            self.apply_vector(inputs, &v)?;
         }
         self.set_counting(true);
         let measured = cycles - warmup;
         for _ in 0..measured {
             let v = source.next_pattern();
-            self.apply_vector(inputs, &v);
+            self.apply_vector(inputs, &v)?;
         }
         self.set_counting(false);
         let entries = self
@@ -205,17 +388,21 @@ impl<'a> Simulator<'a> {
             .map(|n| NodeActivity {
                 node: n,
                 name: self.netlist.node_name(n).to_string(),
-                rising: self.rising[n.index()],
-                falling: self.falling[n.index()],
+                rising: self.rising_count(n),
+                falling: self.falling_count(n),
                 capacitance: self.netlist.node_capacitance(n),
                 is_primary_input: self.netlist.is_primary_input(n),
             })
             .collect();
-        ActivityReport::new(entries, measured as u64)
+        Ok(ActivityReport::new(entries, measured as u64))
     }
 
     fn change_node(&mut self, node: NodeId, value: Bit) {
+        let value = self.forced[node.index()].unwrap_or(value);
         let old = self.values[node.index()];
+        if old == value {
+            return;
+        }
         self.values[node.index()] = value;
         if self.counting {
             match (old, value) {
@@ -245,10 +432,108 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Applies drive-fight resolution to every bridged pair on the settled
+    /// state; returns whether anything changed (scheduling new events).
+    fn resolve_bridges_settled(&mut self) -> bool {
+        let mut changed = false;
+        let pairs = self.bridges.clone();
+        for (a, b) in pairs {
+            if self.values[a] != self.values[b] {
+                self.resolve_bridge(a, b);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Applies the bridge resolution rule to a shorted pair: disagreeing
+    /// values drive both nodes to X. Monotone toward X, so the recursion
+    /// through `change_node` terminates.
+    fn resolve_bridge(&mut self, a: usize, b: usize) {
+        let (va, vb) = (self.values[a], self.values[b]);
+        if va != vb {
+            if va != Bit::X {
+                self.change_node(NodeId(a), Bit::X);
+            }
+            if vb != Bit::X {
+                self.change_node(NodeId(b), Bit::X);
+            }
+        }
+    }
+
     fn schedule(&mut self, time: u64, gate: usize, value: Bit) {
         if self.pending.insert((time, gate), value).is_none() {
             self.queue.push(Reverse((time, gate)));
         }
+    }
+
+    /// 128-bit FNV-1a fingerprint of the complete simulation state: node
+    /// values plus the pending queue with event times normalised to the
+    /// current tick. Two equal fingerprints (collisions aside) mean the
+    /// deterministic simulation must repeat forever.
+    fn state_signature(&self) -> (u64, u64) {
+        let mut pend: Vec<(u64, usize, u8)> = self
+            .pending
+            .iter()
+            .map(|(&(t, g), &v)| (t.saturating_sub(self.time), g, v as u8))
+            .collect();
+        pend.sort_unstable();
+        let mut h1 = Fnv1a::new(0xcbf2_9ce4_8422_2325);
+        let mut h2 = Fnv1a::new(0x6c62_272e_07bb_0142);
+        for &v in &self.values {
+            let byte = v as u8;
+            h1.write_u8(byte);
+            h2.write_u8(byte);
+        }
+        for (dt, g, v) in pend {
+            for h in [&mut h1, &mut h2] {
+                h.write_u64(dt);
+                h.write_u64(g as u64);
+                h.write_u8(v);
+            }
+        }
+        (h1.finish(), h2.finish())
+    }
+
+    /// Names of nodes with still-pending updates, for oscillation
+    /// diagnostics (deduplicated, capped, sorted).
+    fn ringing_nodes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .pending
+            .keys()
+            .filter_map(|&(_, g)| self.netlist.gates().get(g))
+            .map(|gate| self.netlist.node_name(gate.output).to_string())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.truncate(MAX_RINGING_NAMES);
+        names
+    }
+}
+
+/// Minimal FNV-1a hasher with a selectable offset basis, used for the
+/// oscillation watchdogs' dual state fingerprints (here and in
+/// [`crate::switchlevel`]).
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new(basis: u64) -> Fnv1a {
+        Fnv1a(basis)
+    }
+
+    pub(crate) fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -262,19 +547,21 @@ mod tests {
     fn inverter_chain_propagates() {
         let mut n = Netlist::new();
         let a = n.input("a");
-        let y1 = n.gate(GateKind::Not, &[a]);
-        let y2 = n.gate(GateKind::Not, &[y1]);
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let y2 = n.gate(GateKind::Not, &[y1]).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(y1), Bit::One);
         assert_eq!(sim.value(y2), Bit::Zero);
         let t0 = sim.time();
-        sim.set_input(a, Bit::One);
-        sim.settle().unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        let stats = sim.settle().unwrap();
         assert_eq!(sim.value(y2), Bit::One);
         // Two gate delays elapse between the edge and quiescence.
         assert_eq!(sim.time() - t0, 2);
+        assert_eq!(stats.ticks, 2);
+        assert_eq!(stats.events, 2);
     }
 
     #[test]
@@ -282,11 +569,11 @@ mod tests {
         let mut n = Netlist::new();
         let a = n.input("a");
         let b = n.input("b");
-        let y = n.gate(GateKind::Nand2, &[a, b]);
+        let y = n.gate(GateKind::Nand2, &[a, b]).unwrap();
         let mut sim = Simulator::new(&n);
         assert_eq!(sim.value(y), Bit::X);
         // A dominant zero resolves the output even with b unknown.
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(y), Bit::One);
     }
@@ -295,17 +582,17 @@ mod tests {
     fn transition_counting_rising_only_when_enabled() {
         let mut n = Netlist::new();
         let a = n.input("a");
-        let y = n.gate(GateKind::Buf, &[a]);
+        let y = n.gate(GateKind::Buf, &[a]).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         sim.settle().unwrap();
         // Not counting yet.
         assert_eq!(sim.rising_count(y), 0);
         sim.set_counting(true);
         for _ in 0..3 {
-            sim.set_input(a, Bit::One);
+            sim.set_input(a, Bit::One).unwrap();
             sim.settle().unwrap();
-            sim.set_input(a, Bit::Zero);
+            sim.set_input(a, Bit::Zero).unwrap();
             sim.settle().unwrap();
         }
         assert_eq!(sim.rising_count(y), 3);
@@ -322,14 +609,14 @@ mod tests {
         // inverted-path change arrives, producing a real glitch.
         let mut n = Netlist::new();
         let a = n.input("a");
-        let inv1 = n.gate(GateKind::Not, &[a]);
-        let y = n.gate(GateKind::And2, &[a, inv1]);
+        let inv1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let y = n.gate(GateKind::And2, &[a, inv1]).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(y), Bit::Zero);
         sim.set_counting(true);
-        sim.set_input(a, Bit::One);
+        sim.set_input(a, Bit::One).unwrap();
         sim.settle().unwrap();
         // Final value is 0 (a AND !a), but a glitch pulsed high.
         assert_eq!(sim.value(y), Bit::Zero);
@@ -342,37 +629,112 @@ mod tests {
         let mut n = Netlist::new();
         let clk = n.input("clk");
         let d = n.input("d");
-        let q = n.gate(GateKind::Dff, &[clk, d]);
+        let q = n.gate(GateKind::Dff, &[clk, d]).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(clk, Bit::Zero);
-        sim.set_input(d, Bit::One);
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::One).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(q), Bit::X, "no edge yet");
         // Falling D after the fact must not matter: capture is edge-timed.
-        sim.set_input(clk, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(q), Bit::One);
-        sim.set_input(clk, Bit::Zero);
-        sim.set_input(d, Bit::Zero);
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(q), Bit::One, "q holds between edges");
-        sim.set_input(clk, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
         sim.settle().unwrap();
         assert_eq!(sim.value(q), Bit::Zero);
     }
 
     #[test]
-    fn ring_of_inverters_reports_oscillation() {
+    fn ring_of_inverters_diagnosed_as_oscillation() {
         let mut n = Netlist::new();
         let a = n.node("loop");
-        let y1 = n.gate(GateKind::Not, &[a]);
-        let y2 = n.gate(GateKind::Not, &[y1]);
-        let y3 = n.gate(GateKind::Not, &[y2]);
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let y2 = n.gate(GateKind::Not, &[y1]).unwrap();
+        let y3 = n.gate(GateKind::Not, &[y2]).unwrap();
         n.gate_into(GateKind::Buf, &[y3], a).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(a, Bit::Zero);
-        let err = sim.settle_with_budget(10_000).unwrap_err();
-        assert!(matches!(err, CircuitError::DidNotSettle { .. }));
+        sim.set_input(a, Bit::Zero).unwrap();
+        let err = sim.settle_with_budget(100_000).unwrap_err();
+        match err {
+            CircuitError::Oscillation {
+                period_events,
+                ringing,
+            } => {
+                assert!(period_events > 0);
+                assert!(!ringing.is_empty(), "diagnosis should name ringing nodes");
+            }
+            other => panic!("expected Oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_reports_did_not_settle() {
+        // With a budget below the watchdog warmup, the budget backstop
+        // fires before any fingerprint is taken.
+        let mut n = Netlist::new();
+        let a = n.node("loop");
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        n.gate_into(GateKind::Buf, &[y1], a).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Bit::Zero).unwrap();
+        let err = sim.settle_with_budget(100).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::DidNotSettle { event_budget: 100 }
+        ));
+    }
+
+    #[test]
+    fn forced_node_overrides_drivers() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Not, &[a]).unwrap();
+        let z = n.gate(GateKind::Buf, &[y]).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.force_node(y, Bit::Zero).unwrap();
+        sim.set_input(a, Bit::Zero).unwrap();
+        sim.settle().unwrap();
+        // NOT(0) = 1, but y is stuck at 0 and that propagates.
+        assert_eq!(sim.value(y), Bit::Zero);
+        assert_eq!(sim.value(z), Bit::Zero);
+        sim.clear_force(y).unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Bit::Zero, "NOT(1) = 0 after release");
+        sim.set_input(a, Bit::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Bit::One, "driver regains control");
+    }
+
+    #[test]
+    fn bridged_nodes_fight_to_x() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let ya = n.gate(GateKind::Buf, &[a]).unwrap();
+        let yb = n.gate(GateKind::Buf, &[b]).unwrap();
+        let out = n.gate(GateKind::And2, &[ya, yb]).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.bridge_nodes(ya, yb).unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        sim.set_input(b, Bit::One).unwrap();
+        sim.settle().unwrap();
+        // Agreeing values survive the bridge.
+        assert_eq!(sim.value(out), Bit::One);
+        sim.set_input(b, Bit::Zero).unwrap();
+        sim.settle().unwrap();
+        // Drive fight: both shorted nodes go X.
+        assert_eq!(sim.value(ya), Bit::X);
+        assert_eq!(sim.value(yb), Bit::X);
+        assert_eq!(sim.value(out), Bit::X);
+        assert!(matches!(
+            sim.bridge_nodes(ya, ya),
+            Err(CircuitError::InvalidStimulus { .. })
+        ));
     }
 
     #[test]
@@ -380,21 +742,47 @@ mod tests {
         let mut n = Netlist::new();
         let bus: Vec<_> = (0..4).map(|i| n.input(format!("b{i}"))).collect();
         let mut sim = Simulator::new(&n);
-        sim.set_bus(&bus, &bits_of(0b1010, 4));
+        sim.set_bus(&bus, &bits_of(0b1010, 4)).unwrap();
         assert_eq!(sim.read_bus(&bus), Some(0b1010));
+        assert!(matches!(
+            sim.set_bus(&bus, &bits_of(0, 3)),
+            Err(CircuitError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
     fn measure_activity_excludes_warmup() {
         let mut n = Netlist::new();
         let a = n.input("a");
-        let _y = n.gate(GateKind::Not, &[a]);
+        let _y = n.gate(GateKind::Not, &[a]).unwrap();
         let mut sim = Simulator::new(&n);
-        let mut src = PatternSource::counting(1, 0); // a toggles 0,1,0,1,…
-        let report = sim.measure_activity(&mut src, &[a], 10, 2);
+        let mut src = PatternSource::counting(1, 0).unwrap(); // a toggles 0,1,0,1,…
+        let report = sim.measure_activity(&mut src, &[a], 10, 2).unwrap();
         assert_eq!(report.cycles(), 8);
         // Toggling input rises every other cycle: 4 rising edges in 8.
         let a_entry = report.entry(a).unwrap();
         assert_eq!(a_entry.rising, 4);
+    }
+
+    #[test]
+    fn misuse_is_reported_not_panicked() {
+        let n = Netlist::new();
+        let mut sim = Simulator::new(&n);
+        let ghost = NodeId(5);
+        assert_eq!(sim.value(ghost), Bit::X);
+        assert_eq!(sim.rising_count(ghost), 0);
+        assert!(matches!(
+            sim.set_input(ghost, Bit::One),
+            Err(CircuitError::UnknownNode(5))
+        ));
+        assert!(matches!(
+            sim.force_node(ghost, Bit::One),
+            Err(CircuitError::UnknownNode(5))
+        ));
+        let mut src = PatternSource::counting(1, 0).unwrap();
+        assert!(matches!(
+            sim.measure_activity(&mut src, &[], 2, 2),
+            Err(CircuitError::InvalidStimulus { .. })
+        ));
     }
 }

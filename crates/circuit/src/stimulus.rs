@@ -7,6 +7,7 @@
 //! statistics". This module provides both kinds of sources, plus
 //! composition so multi-port datapaths can mix them.
 
+use crate::error::CircuitError;
 use crate::logic::{bits_of, Bit};
 
 /// A deterministic pseudo-random or structured source of input vectors.
@@ -38,101 +39,125 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl PatternSource {
+    fn check_width(width: usize) -> Result<(), CircuitError> {
+        if (1..=64).contains(&width) {
+            Ok(())
+        } else {
+            Err(CircuitError::InvalidStimulus {
+                reason: "pattern width must be in 1..=64",
+            })
+        }
+    }
+
     /// Uniformly random patterns of `width` bits from `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is zero or exceeds 64.
-    #[must_use]
-    pub fn random(width: usize, seed: u64) -> PatternSource {
-        assert!((1..=64).contains(&width), "width must be in 1..=64");
-        PatternSource {
+    /// Returns [`CircuitError::InvalidStimulus`] if `width` is zero or
+    /// exceeds 64.
+    pub fn random(width: usize, seed: u64) -> Result<PatternSource, CircuitError> {
+        PatternSource::check_width(width)?;
+        Ok(PatternSource {
             width,
             kind: SourceKind::Random { state: seed },
-        }
+        })
     }
 
     /// Binary-counting patterns starting at `start` (wraps at `2^width`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is zero or exceeds 64.
-    #[must_use]
-    pub fn counting(width: usize, start: u64) -> PatternSource {
-        assert!((1..=64).contains(&width), "width must be in 1..=64");
-        PatternSource {
+    /// Returns [`CircuitError::InvalidStimulus`] if `width` is zero or
+    /// exceeds 64.
+    pub fn counting(width: usize, start: u64) -> Result<PatternSource, CircuitError> {
+        PatternSource::check_width(width)?;
+        Ok(PatternSource {
             width,
             kind: SourceKind::Counting { next: start },
-        }
+        })
     }
 
     /// Gray-coded counting patterns (exactly one input bit toggles per
     /// cycle) — the most correlated stimulus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is zero or exceeds 64.
-    #[must_use]
-    pub fn gray_counting(width: usize, start: u64) -> PatternSource {
-        assert!((1..=64).contains(&width), "width must be in 1..=64");
-        PatternSource {
+    /// Returns [`CircuitError::InvalidStimulus`] if `width` is zero or
+    /// exceeds 64.
+    pub fn gray_counting(width: usize, start: u64) -> Result<PatternSource, CircuitError> {
+        PatternSource::check_width(width)?;
+        Ok(PatternSource {
             width,
             kind: SourceKind::GrayCounting { next: start },
-        }
+        })
     }
 
     /// A constant pattern.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bits` is empty.
-    #[must_use]
-    pub fn constant(bits: Vec<Bit>) -> PatternSource {
-        assert!(!bits.is_empty(), "constant pattern must be non-empty");
-        PatternSource {
+    /// Returns [`CircuitError::InvalidStimulus`] if `bits` is empty.
+    pub fn constant(bits: Vec<Bit>) -> Result<PatternSource, CircuitError> {
+        if bits.is_empty() {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "constant pattern must be non-empty",
+            });
+        }
+        Ok(PatternSource {
             width: bits.len(),
             kind: SourceKind::Constant { bits },
-        }
+        })
     }
 
     /// A constant all-zero pattern of `width` bits.
-    #[must_use]
-    pub fn zeros(width: usize) -> PatternSource {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidStimulus`] if `width` is zero.
+    pub fn zeros(width: usize) -> Result<PatternSource, CircuitError> {
         PatternSource::constant(vec![Bit::Zero; width])
     }
 
     /// Concatenates sources: each cycle's vector is the concatenation of
     /// one vector from each part, in order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `parts` is empty.
-    #[must_use]
-    pub fn concat(parts: Vec<PatternSource>) -> PatternSource {
-        assert!(!parts.is_empty(), "concat needs at least one part");
-        PatternSource {
+    /// Returns [`CircuitError::InvalidStimulus`] if `parts` is empty.
+    pub fn concat(parts: Vec<PatternSource>) -> Result<PatternSource, CircuitError> {
+        if parts.is_empty() {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "concat needs at least one part",
+            });
+        }
+        Ok(PatternSource {
             width: parts.iter().map(PatternSource::width).sum(),
             kind: SourceKind::Concat { parts },
-        }
+        })
     }
 
     /// Replays a fixed list of vectors, cycling when exhausted.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `vectors` is empty or its vectors have differing widths.
-    #[must_use]
-    pub fn replay(vectors: Vec<Vec<Bit>>) -> PatternSource {
-        assert!(!vectors.is_empty(), "replay needs at least one vector");
+    /// Returns [`CircuitError::InvalidStimulus`] if `vectors` is empty or
+    /// its vectors have differing widths.
+    pub fn replay(vectors: Vec<Vec<Bit>>) -> Result<PatternSource, CircuitError> {
+        if vectors.is_empty() {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "replay needs at least one vector",
+            });
+        }
         let width = vectors[0].len();
-        assert!(
-            vectors.iter().all(|v| v.len() == width),
-            "replay vectors must share a width"
-        );
-        PatternSource {
+        if !vectors.iter().all(|v| v.len() == width) {
+            return Err(CircuitError::InvalidStimulus {
+                reason: "replay vectors must share a width",
+            });
+        }
+        Ok(PatternSource {
             width,
             kind: SourceKind::Replay { vectors, next: 0 },
-        }
+        })
     }
 
     /// Width of the vectors this source produces.
@@ -183,18 +208,18 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let mut a = PatternSource::random(16, 7);
-        let mut b = PatternSource::random(16, 7);
+        let mut a = PatternSource::random(16, 7).unwrap();
+        let mut b = PatternSource::random(16, 7).unwrap();
         for _ in 0..10 {
             assert_eq!(a.next_pattern(), b.next_pattern());
         }
-        let mut c = PatternSource::random(16, 8);
+        let mut c = PatternSource::random(16, 8).unwrap();
         assert_ne!(a.next_pattern(), c.next_pattern());
     }
 
     #[test]
     fn counting_increments_and_wraps() {
-        let mut s = PatternSource::counting(2, 2);
+        let mut s = PatternSource::counting(2, 2).unwrap();
         assert_eq!(value_of(&s.next_pattern()), Some(2));
         assert_eq!(value_of(&s.next_pattern()), Some(3));
         assert_eq!(value_of(&s.next_pattern()), Some(0));
@@ -202,15 +227,11 @@ mod tests {
 
     #[test]
     fn gray_counting_toggles_one_bit() {
-        let mut s = PatternSource::gray_counting(8, 0);
+        let mut s = PatternSource::gray_counting(8, 0).unwrap();
         let mut prev = s.next_pattern();
         for _ in 0..50 {
             let cur = s.next_pattern();
-            let differing = prev
-                .iter()
-                .zip(&cur)
-                .filter(|(a, b)| a != b)
-                .count();
+            let differing = prev.iter().zip(&cur).filter(|(a, b)| a != b).count();
             assert_eq!(differing, 1);
             prev = cur;
         }
@@ -219,9 +240,10 @@ mod tests {
     #[test]
     fn concat_joins_widths_in_order() {
         let mut s = PatternSource::concat(vec![
-            PatternSource::zeros(3),
-            PatternSource::counting(2, 1),
-        ]);
+            PatternSource::zeros(3).unwrap(),
+            PatternSource::counting(2, 1).unwrap(),
+        ])
+        .unwrap();
         assert_eq!(s.width(), 5);
         let v = s.next_pattern();
         assert_eq!(&v[..3], &[Bit::Zero, Bit::Zero, Bit::Zero]);
@@ -230,10 +252,9 @@ mod tests {
 
     #[test]
     fn replay_cycles() {
-        let mut s = PatternSource::replay(vec![
-            vec![Bit::One, Bit::Zero],
-            vec![Bit::Zero, Bit::One],
-        ]);
+        let mut s =
+            PatternSource::replay(vec![vec![Bit::One, Bit::Zero], vec![Bit::Zero, Bit::One]])
+                .unwrap();
         let a = s.next_pattern();
         let b = s.next_pattern();
         let a2 = s.next_pattern();
@@ -243,7 +264,7 @@ mod tests {
 
     #[test]
     fn random_bits_are_balanced() {
-        let mut s = PatternSource::random(1, 99);
+        let mut s = PatternSource::random(1, 99).unwrap();
         let ones: usize = (0..10_000)
             .filter(|_| s.next_pattern()[0] == Bit::One)
             .count();
@@ -251,8 +272,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width must be in 1..=64")]
     fn zero_width_rejected() {
-        let _ = PatternSource::random(0, 1);
+        assert!(matches!(
+            PatternSource::random(0, 1),
+            Err(CircuitError::InvalidStimulus { .. })
+        ));
+        assert!(PatternSource::random(65, 1).is_err());
+        assert!(PatternSource::constant(vec![]).is_err());
+        assert!(PatternSource::concat(vec![]).is_err());
+        assert!(PatternSource::replay(vec![]).is_err());
+        assert!(PatternSource::replay(vec![vec![Bit::One], vec![]]).is_err());
     }
 }

@@ -16,6 +16,7 @@
 //!   level-sensitive rather than edge-triggered — the latency/robustness
 //!   price of a light clock.
 
+use crate::error::CircuitError;
 use crate::logic::Bit;
 use crate::switchlevel::{SwKind, SwNodeId, SwitchNetlist, SwitchSim};
 
@@ -33,39 +34,47 @@ pub struct SwRegisterPorts {
 /// Builds a fully static transmission-gate master–slave flip-flop
 /// (positive-edge). Eight clocked transistors: two per transmission gate,
 /// four gates (input, master feedback, slave input, slave feedback).
-pub fn static_tg_register(n: &mut SwitchNetlist) -> SwRegisterPorts {
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for fresh netlists).
+pub fn static_tg_register(n: &mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError> {
     let d = n.input("d");
     let clk = n.input("clk");
-    let nclk = n.inverter(clk, "nclk");
+    let nclk = n.inverter(clk, "nclk")?;
     // Master: transparent while clk = 0.
     let m = n.node("m");
-    n.transmission_gate(d, m, nclk, clk);
-    let mb = n.inverter(m, "mb");
-    let mfb = n.inverter(mb, "mfb");
-    n.transmission_gate(mfb, m, clk, nclk);
+    n.transmission_gate(d, m, nclk, clk)?;
+    let mb = n.inverter(m, "mb")?;
+    let mfb = n.inverter(mb, "mfb")?;
+    n.transmission_gate(mfb, m, clk, nclk)?;
     // Slave: transparent while clk = 1.
     let s = n.node("s");
-    n.transmission_gate(mb, s, clk, nclk);
-    let sb = n.inverter(s, "sb");
-    let sfb = n.inverter(sb, "sfb");
-    n.transmission_gate(sfb, s, nclk, clk);
-    SwRegisterPorts { d, clk, q: sb }
+    n.transmission_gate(mb, s, clk, nclk)?;
+    let sb = n.inverter(s, "sb")?;
+    let sfb = n.inverter(sb, "sfb")?;
+    n.transmission_gate(sfb, s, nclk, clk)?;
+    Ok(SwRegisterPorts { d, clk, q: sb })
 }
 
 /// Builds a dynamic C²MOS master–slave flip-flop (positive-edge). Four
 /// clocked transistors: two in each clocked-inverter stage; state is held
 /// on the internal dynamic nodes.
-pub fn c2mos_register(n: &mut SwitchNetlist) -> SwRegisterPorts {
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for fresh netlists).
+pub fn c2mos_register(n: &mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError> {
     let d = n.input("d");
     let clk = n.input("clk");
-    let nclk = n.inverter(clk, "nclk");
+    let nclk = n.inverter(clk, "nclk")?;
     // Master drives while clk = 0 (pass nclk as the active-high phase).
     let m = n.node("m");
-    n.clocked_inverter(d, nclk, clk, m);
+    n.clocked_inverter(d, nclk, clk, m)?;
     // Slave drives while clk = 1.
     let q = n.node("q");
-    n.clocked_inverter(m, clk, nclk, q);
-    SwRegisterPorts { d, clk, q }
+    n.clocked_inverter(m, clk, nclk, q)?;
+    Ok(SwRegisterPorts { d, clk, q })
 }
 
 /// Builds the minimal low-clock-load dynamic latch: one NMOS pass device
@@ -73,65 +82,85 @@ pub fn c2mos_register(n: &mut SwitchNetlist) -> SwRegisterPorts {
 /// holds charge while low. (The switch-level model passes an undegraded
 /// `1` through the NMOS; a real implementation restores the level in the
 /// first inverter.)
-pub fn npass_latch(n: &mut SwitchNetlist) -> SwRegisterPorts {
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for fresh netlists).
+pub fn npass_latch(n: &mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError> {
     let d = n.input("d");
     let clk = n.input("clk");
     let m = n.node("m");
-    let gnd = n.gnd();
-    let _ = gnd;
-    n.transistor(SwKind::N, clk, d, m);
-    let mb = n.inverter(m, "mb");
-    let q = n.inverter(mb, "q");
-    SwRegisterPorts { d, clk, q }
+    n.transistor(SwKind::N, clk, d, m)?;
+    let mb = n.inverter(m, "mb")?;
+    let q = n.inverter(mb, "q")?;
+    Ok(SwRegisterPorts { d, clk, q })
 }
 
 /// Drives one full clock cycle (low phase with `d` applied, then high
 /// phase) and returns Q after the rising edge.
-pub fn clock_cycle(sim: &mut SwitchSim<'_>, ports: SwRegisterPorts, d: bool) -> Bit {
-    sim.set_input(ports.clk, Bit::Zero);
-    sim.set_input(ports.d, Bit::from(d));
-    sim.set_input(ports.clk, Bit::One);
-    sim.value(ports.q)
+///
+/// # Errors
+///
+/// Propagates drive or relaxation errors from the switch simulator.
+pub fn clock_cycle(
+    sim: &mut SwitchSim<'_>,
+    ports: SwRegisterPorts,
+    d: bool,
+) -> Result<Bit, CircuitError> {
+    sim.set_input(ports.clk, Bit::Zero)?;
+    sim.set_input(ports.d, Bit::from(d))?;
+    sim.set_input(ports.clk, Bit::One)?;
+    Ok(sim.value(ports.q))
 }
 
 /// Measures the switched capacitance of `cycles` full clock cycles with
 /// alternating data, in fF per cycle.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidStimulus`] if `cycles` is zero, or any
+/// drive/relaxation error from the switch simulator.
 pub fn switched_cap_per_cycle(
     n: &SwitchNetlist,
     ports: SwRegisterPorts,
     cycles: usize,
-) -> f64 {
-    assert!(cycles > 0, "need at least one cycle");
+) -> Result<f64, CircuitError> {
+    if cycles == 0 {
+        return Err(CircuitError::InvalidStimulus {
+            reason: "need at least one cycle",
+        });
+    }
     let mut sim = SwitchSim::new(n);
     // Initialise with two throwaway cycles.
-    clock_cycle(&mut sim, ports, false);
-    clock_cycle(&mut sim, ports, true);
+    clock_cycle(&mut sim, ports, false)?;
+    clock_cycle(&mut sim, ports, true)?;
     sim.reset_counters();
     sim.set_counting(true);
     for i in 0..cycles {
-        clock_cycle(&mut sim, ports, i % 2 == 0);
+        clock_cycle(&mut sim, ports, i % 2 == 0)?;
     }
-    sim.switched_cap_ff() / cycles as f64
+    Ok(sim.switched_cap_ff() / cycles as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn check_edge_triggered(build: fn(&mut SwitchNetlist) -> SwRegisterPorts) {
+    type Builder = fn(&mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError>;
+
+    fn check_edge_triggered(build: Builder) {
         let mut n = SwitchNetlist::new();
-        let p = build(&mut n);
+        let p = build(&mut n).unwrap();
         let mut sim = SwitchSim::new(&n);
         // Capture a 1.
-        assert_eq!(clock_cycle(&mut sim, p, true), Bit::One);
+        assert_eq!(clock_cycle(&mut sim, p, true).unwrap(), Bit::One);
         // Capture a 0.
-        assert_eq!(clock_cycle(&mut sim, p, false), Bit::Zero);
+        assert_eq!(clock_cycle(&mut sim, p, false).unwrap(), Bit::Zero);
         // Hold through a data change while the clock stays high.
-        sim.set_input(p.d, Bit::One);
+        sim.set_input(p.d, Bit::One).unwrap();
         assert_eq!(sim.value(p.q), Bit::Zero, "edge-triggered: no transparency");
         // Next edge captures it.
-        assert_eq!(clock_cycle(&mut sim, p, true), Bit::One);
+        assert_eq!(clock_cycle(&mut sim, p, true).unwrap(), Bit::One);
     }
 
     #[test]
@@ -147,16 +176,16 @@ mod tests {
     #[test]
     fn npass_latch_is_transparent_high() {
         let mut n = SwitchNetlist::new();
-        let p = npass_latch(&mut n);
+        let p = npass_latch(&mut n).unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(p.clk, Bit::One);
-        sim.set_input(p.d, Bit::One);
+        sim.set_input(p.clk, Bit::One).unwrap();
+        sim.set_input(p.d, Bit::One).unwrap();
         assert_eq!(sim.value(p.q), Bit::One, "transparent while high");
-        sim.set_input(p.d, Bit::Zero);
+        sim.set_input(p.d, Bit::Zero).unwrap();
         assert_eq!(sim.value(p.q), Bit::Zero, "follows data");
         // Close the latch: the dynamic node holds.
-        sim.set_input(p.clk, Bit::Zero);
-        sim.set_input(p.d, Bit::One);
+        sim.set_input(p.clk, Bit::Zero).unwrap();
+        sim.set_input(p.d, Bit::One).unwrap();
         assert_eq!(sim.value(p.q), Bit::Zero, "holds while low");
     }
 
@@ -164,9 +193,9 @@ mod tests {
     fn clocked_transistor_counts() {
         // The structural premise of Fig. 1: the styles differ in how many
         // transistor gates load the clock (directly or via nclk).
-        let clocked_gates = |build: fn(&mut SwitchNetlist) -> SwRegisterPorts| {
+        let clocked_gates = |build: Builder| {
             let mut n = SwitchNetlist::new();
-            let p = build(&mut n);
+            let p = build(&mut n).unwrap();
             // Count via capacitance on clk plus internal nclk if present.
             let mut cap = n.node_cap_ff(p.clk);
             for id in n.node_ids() {
@@ -180,16 +209,19 @@ mod tests {
         let c2 = clocked_gates(c2mos_register);
         let np = clocked_gates(npass_latch);
         assert!(tg > c2, "static TG loads the clock most: {tg} vs {c2}");
-        assert!(c2 > np, "C2MOS loads more than the n-pass latch: {c2} vs {np}");
+        assert!(
+            c2 > np,
+            "C2MOS loads more than the n-pass latch: {c2} vs {np}"
+        );
     }
 
     #[test]
     fn switched_capacitance_orders_by_clock_load() {
         // The Fig. 1 ordering, measured on real transistor netlists.
-        let measure = |build: fn(&mut SwitchNetlist) -> SwRegisterPorts| {
+        let measure = |build: Builder| {
             let mut n = SwitchNetlist::new();
-            let p = build(&mut n);
-            switched_cap_per_cycle(&n, p, 16)
+            let p = build(&mut n).unwrap();
+            switched_cap_per_cycle(&n, p, 16).unwrap()
         };
         let tg = measure(static_tg_register);
         let c2 = measure(c2mos_register);

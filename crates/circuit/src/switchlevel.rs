@@ -16,8 +16,37 @@
 //! nodes (`X` gates make a path possible but not definite). A node with
 //! no possible path to any driver retains its previous value — charge
 //! storage on a dynamic node.
+//!
+//! # Watchdogs
+//!
+//! The Gauss–Seidel relaxation in [`SwitchSim`] is protected the same two
+//! ways as the event queue in [`crate::sim`]: a per-pass fingerprint of
+//! the full node-value vector proves a repeating state (an astable
+//! structure, reported as [`CircuitError::SwitchOscillation`] with the
+//! cycle length in passes), and a pass budget backstops anything that
+//! merely fails to converge ([`CircuitError::NonConvergent`]).
+//!
+//! Separately, [`SwitchSim::set_floating_check`] arms a *floating-node
+//! watchdog* for static-only circuit styles: after each solve, any
+//! non-input node left with no possible path to a driver raises
+//! [`CircuitError::FloatingNode`]. This is the MTCMOS power-gating hazard
+//! — a sleep transistor switching off and stranding the logic behind it.
+//! Leave the check off (the default) for intentional dynamic/charge-based
+//! storage.
+//!
+//! # Fault hooks
+//!
+//! [`SwitchSim::force_node`] pins a node (stuck-at), and
+//! [`SwitchSim::set_transistor_stuck_on`] /
+//! [`SwitchSim::set_transistor_stuck_off`] override an individual switch's
+//! conduction — the transistor-level fault models the [`crate::faults`]
+//! campaign tooling sweeps.
 
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
 use crate::logic::Bit;
+use crate::sim::Fnv1a;
 
 /// A node in a switch-level netlist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,13 +101,13 @@ impl Transistor {
 }
 
 /// A transistor-level netlist with named nodes and the two supply rails.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SwitchNetlist {
     names: Vec<String>,
     is_input: Vec<bool>,
     transistors: Vec<Transistor>,
-    vdd: Option<SwNodeId>,
-    gnd: Option<SwNodeId>,
+    vdd: SwNodeId,
+    gnd: SwNodeId,
     /// Per-node gate capacitance load in fF (gates attached), for
     /// switched-capacitance accounting.
     cap_ff: Vec<f64>,
@@ -90,15 +119,26 @@ pub const GATE_CAP_FF: f64 = 1.7;
 /// Diffusion capacitance charged to a node per channel terminal, fF.
 pub const DIFFUSION_CAP_FF: f64 = 0.8;
 
+impl Default for SwitchNetlist {
+    fn default() -> Self {
+        SwitchNetlist::new()
+    }
+}
+
 impl SwitchNetlist {
     /// Creates a netlist with `vdd` and `gnd` rails pre-made.
     #[must_use]
     pub fn new() -> SwitchNetlist {
-        let mut n = SwitchNetlist::default();
-        let vdd = n.node("vdd");
-        let gnd = n.node("gnd");
-        n.vdd = Some(vdd);
-        n.gnd = Some(gnd);
+        let mut n = SwitchNetlist {
+            names: Vec::new(),
+            is_input: Vec::new(),
+            transistors: Vec::new(),
+            vdd: SwNodeId(0),
+            gnd: SwNodeId(1),
+            cap_ff: Vec::new(),
+        };
+        n.vdd = n.node("vdd");
+        n.gnd = n.node("gnd");
         n
     }
 
@@ -121,56 +161,106 @@ impl SwitchNetlist {
     /// The positive supply rail.
     #[must_use]
     pub fn vdd(&self) -> SwNodeId {
-        self.vdd.expect("rails are created by new()")
+        self.vdd
     }
 
     /// The ground rail.
     #[must_use]
     pub fn gnd(&self) -> SwNodeId {
-        self.gnd.expect("rails are created by new()")
+        self.gnd
     }
 
-    /// Adds a transistor.
-    pub fn transistor(&mut self, kind: SwKind, gate: SwNodeId, a: SwNodeId, b: SwNodeId) {
+    /// Adds a transistor and returns its index (usable with the
+    /// [`SwitchSim`] transistor-fault hooks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if any node id is foreign.
+    pub fn transistor(
+        &mut self,
+        kind: SwKind,
+        gate: SwNodeId,
+        a: SwNodeId,
+        b: SwNodeId,
+    ) -> Result<usize, CircuitError> {
+        for n in [gate, a, b] {
+            if n.0 >= self.names.len() {
+                return Err(CircuitError::UnknownNode(n.0));
+            }
+        }
         self.cap_ff[gate.0] += GATE_CAP_FF;
         self.cap_ff[a.0] += DIFFUSION_CAP_FF;
         self.cap_ff[b.0] += DIFFUSION_CAP_FF;
+        let idx = self.transistors.len();
         self.transistors.push(Transistor { kind, gate, a, b });
+        Ok(idx)
     }
 
     /// Convenience: a static CMOS inverter from `input` to a fresh output.
-    pub fn inverter(&mut self, input: SwNodeId, name: impl Into<String>) -> SwNodeId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if `input` is foreign.
+    pub fn inverter(
+        &mut self,
+        input: SwNodeId,
+        name: impl Into<String>,
+    ) -> Result<SwNodeId, CircuitError> {
+        if input.0 >= self.names.len() {
+            return Err(CircuitError::UnknownNode(input.0));
+        }
         let out = self.node(name);
-        let (vdd, gnd) = (self.vdd(), self.gnd());
-        self.transistor(SwKind::P, input, vdd, out);
-        self.transistor(SwKind::N, input, gnd, out);
-        out
+        let (vdd, gnd) = (self.vdd, self.gnd);
+        self.transistor(SwKind::P, input, vdd, out)?;
+        self.transistor(SwKind::N, input, gnd, out)?;
+        Ok(out)
     }
 
     /// Convenience: a clocked (tri-state) inverter — the C²MOS branch.
     /// Drives `out` with `!input` while `clk` is high (and `nclk` low);
     /// high-impedance otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if any node id is foreign.
     pub fn clocked_inverter(
         &mut self,
         input: SwNodeId,
         clk: SwNodeId,
         nclk: SwNodeId,
         out: SwNodeId,
-    ) {
-        let (vdd, gnd) = (self.vdd(), self.gnd());
+    ) -> Result<(), CircuitError> {
+        for n in [input, clk, nclk, out] {
+            if n.0 >= self.names.len() {
+                return Err(CircuitError::UnknownNode(n.0));
+            }
+        }
+        let (vdd, gnd) = (self.vdd, self.gnd);
         let mid_p = self.node("c2mos_p");
         let mid_n = self.node("c2mos_n");
-        self.transistor(SwKind::P, input, vdd, mid_p);
-        self.transistor(SwKind::P, nclk, mid_p, out);
-        self.transistor(SwKind::N, clk, out, mid_n);
-        self.transistor(SwKind::N, input, mid_n, gnd);
+        self.transistor(SwKind::P, input, vdd, mid_p)?;
+        self.transistor(SwKind::P, nclk, mid_p, out)?;
+        self.transistor(SwKind::N, clk, out, mid_n)?;
+        self.transistor(SwKind::N, input, mid_n, gnd)?;
+        Ok(())
     }
 
     /// Convenience: a transmission gate between `a` and `b`, on while
     /// `clk` is high.
-    pub fn transmission_gate(&mut self, a: SwNodeId, b: SwNodeId, clk: SwNodeId, nclk: SwNodeId) {
-        self.transistor(SwKind::N, clk, a, b);
-        self.transistor(SwKind::P, nclk, a, b);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if any node id is foreign.
+    pub fn transmission_gate(
+        &mut self,
+        a: SwNodeId,
+        b: SwNodeId,
+        clk: SwNodeId,
+        nclk: SwNodeId,
+    ) -> Result<(), CircuitError> {
+        self.transistor(SwKind::N, clk, a, b)?;
+        self.transistor(SwKind::P, nclk, a, b)?;
+        Ok(())
     }
 
     /// Number of transistors.
@@ -179,28 +269,50 @@ impl SwitchNetlist {
         self.transistors.len()
     }
 
+    /// The transistors, indexable by the index [`SwitchNetlist::transistor`]
+    /// returned.
+    #[must_use]
+    pub fn transistors(&self) -> &[Transistor] {
+        &self.transistors
+    }
+
     /// Node count (including rails).
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.names.len()
     }
 
-    /// Node capacitance in fF.
+    /// Node capacitance in fF (zero for a foreign node id).
     #[must_use]
     pub fn node_cap_ff(&self, node: SwNodeId) -> f64 {
-        self.cap_ff[node.0]
+        self.cap_ff.get(node.0).copied().unwrap_or(0.0)
     }
 
-    /// Node name.
+    /// Node name (empty for a foreign node id).
     #[must_use]
     pub fn node_name(&self, node: SwNodeId) -> &str {
-        &self.names[node.0]
+        self.names.get(node.0).map_or("", String::as_str)
+    }
+
+    /// Whether a node is an externally driven input.
+    #[must_use]
+    pub fn is_input(&self, node: SwNodeId) -> bool {
+        self.is_input.get(node.0).copied().unwrap_or(false)
     }
 
     /// All node ids, rails included.
     pub fn node_ids(&self) -> impl Iterator<Item = SwNodeId> + '_ {
         (0..self.names.len()).map(SwNodeId)
     }
+}
+
+/// What [`SwitchSim::solve_node`] concluded about one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Solved {
+    value: Bit,
+    /// No possible conduction path to any driver existed — the node is
+    /// riding on stored charge alone.
+    floating: bool,
 }
 
 /// Switch-level simulator state.
@@ -211,6 +323,15 @@ pub struct SwitchSim<'a> {
     rising: Vec<u64>,
     falling: Vec<u64>,
     counting: bool,
+    /// Stuck-at overrides: a `Some(v)` entry makes the node behave as an
+    /// externally driven node pinned to `v`.
+    forced: Vec<Option<Bit>>,
+    /// Per-transistor conduction overrides (fault injection).
+    stuck_on: Vec<bool>,
+    stuck_off: Vec<bool>,
+    /// When armed, a settle fails with [`CircuitError::FloatingNode`] if
+    /// any non-driven node ends up with no possible path to a driver.
+    floating_check: bool,
 }
 
 /// Relaxation passes before declaring non-convergence.
@@ -221,21 +342,29 @@ impl<'a> SwitchSim<'a> {
     #[must_use]
     pub fn new(netlist: &'a SwitchNetlist) -> SwitchSim<'a> {
         let mut values = vec![Bit::X; netlist.node_count()];
-        values[netlist.vdd().0] = Bit::One;
-        values[netlist.gnd().0] = Bit::Zero;
+        if let Some(v) = values.get_mut(netlist.vdd().0) {
+            *v = Bit::One;
+        }
+        if let Some(v) = values.get_mut(netlist.gnd().0) {
+            *v = Bit::Zero;
+        }
         SwitchSim {
             netlist,
             values,
             rising: vec![0; netlist.node_count()],
             falling: vec![0; netlist.node_count()],
             counting: false,
+            forced: vec![None; netlist.node_count()],
+            stuck_on: vec![false; netlist.transistor_count()],
+            stuck_off: vec![false; netlist.transistor_count()],
+            floating_check: false,
         }
     }
 
-    /// Current value of a node.
+    /// Current value of a node ([`Bit::X`] for a foreign node id).
     #[must_use]
     pub fn value(&self, node: SwNodeId) -> Bit {
-        self.values[node.0]
+        self.values.get(node.0).copied().unwrap_or(Bit::X)
     }
 
     /// Enables or disables transition counting.
@@ -249,10 +378,10 @@ impl<'a> SwitchSim<'a> {
         self.falling.fill(0);
     }
 
-    /// `0 → 1` transitions recorded on a node.
+    /// `0 → 1` transitions recorded on a node (zero for a foreign id).
     #[must_use]
     pub fn rising_count(&self, node: SwNodeId) -> u64 {
-        self.rising[node.0]
+        self.rising.get(node.0).copied().unwrap_or(0)
     }
 
     /// Switched capacitance accumulated so far: `Σ rising(node)·C(node)`
@@ -265,21 +394,101 @@ impl<'a> SwitchSim<'a> {
             .sum()
     }
 
+    /// Arms or disarms the floating-node watchdog. While armed, any
+    /// settle that leaves a non-driven node with no possible path to a
+    /// driver fails with [`CircuitError::FloatingNode`] — the MTCMOS
+    /// power-gating hazard. Keep it off (the default) for circuits that
+    /// use charge storage intentionally.
+    pub fn set_floating_check(&mut self, on: bool) {
+        self.floating_check = on;
+    }
+
+    /// Names of all non-driven nodes currently floating (no possible path
+    /// to any driver; their value is stored charge).
+    #[must_use]
+    pub fn floating_nodes(&self) -> Vec<String> {
+        (0..self.netlist.node_count())
+            .filter(|&i| !self.is_driven(i) && self.solve_node(i).floating)
+            .map(|i| self.netlist.names[i].clone())
+            .collect()
+    }
+
     /// Drives an input node and re-solves the network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node is not an input, or if the network fails to
-    /// converge (a genuine astable loop, impossible for the latch/register
-    /// structures this module targets).
-    pub fn set_input(&mut self, node: SwNodeId, value: Bit) {
-        assert!(
-            self.netlist.is_input[node.0],
-            "{} is not an input",
-            self.netlist.node_name(node)
-        );
+    /// Returns [`CircuitError::NotAnInput`] if the node is not an input,
+    /// [`CircuitError::UnknownNode`] for a foreign id, or any settle-time
+    /// watchdog error.
+    pub fn set_input(&mut self, node: SwNodeId, value: Bit) -> Result<(), CircuitError> {
+        if node.0 >= self.netlist.node_count() {
+            return Err(CircuitError::UnknownNode(node.0));
+        }
+        if !self.netlist.is_input[node.0] {
+            return Err(CircuitError::NotAnInput {
+                node: self.netlist.node_name(node).to_string(),
+            });
+        }
+        self.write(node, self.forced[node.0].unwrap_or(value));
+        self.settle()
+    }
+
+    /// Pins a node to a value, overriding conduction — a switch-level
+    /// stuck-at fault. The network is re-solved immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign id, or any
+    /// settle-time watchdog error.
+    pub fn force_node(&mut self, node: SwNodeId, value: Bit) -> Result<(), CircuitError> {
+        if node.0 >= self.netlist.node_count() {
+            return Err(CircuitError::UnknownNode(node.0));
+        }
+        self.forced[node.0] = Some(value);
         self.write(node, value);
-        self.settle();
+        self.settle()
+    }
+
+    /// Forces one transistor permanently conducting (gate shorted to its
+    /// active rail) and re-solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownGate`] if the transistor index is
+    /// foreign, or any settle-time watchdog error.
+    pub fn set_transistor_stuck_on(&mut self, index: usize) -> Result<(), CircuitError> {
+        match self.stuck_on.get_mut(index) {
+            Some(slot) => {
+                *slot = true;
+                self.settle()
+            }
+            None => Err(CircuitError::UnknownGate(index)),
+        }
+    }
+
+    /// Forces one transistor permanently non-conducting (an open channel)
+    /// and re-solves. The nodes behind it may become floating — arm
+    /// [`SwitchSim::set_floating_check`] to turn that into a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownGate`] if the transistor index is
+    /// foreign, or any settle-time watchdog error.
+    pub fn set_transistor_stuck_off(&mut self, index: usize) -> Result<(), CircuitError> {
+        match self.stuck_off.get_mut(index) {
+            Some(slot) => {
+                *slot = true;
+                self.settle()
+            }
+            None => Err(CircuitError::UnknownGate(index)),
+        }
+    }
+
+    /// Removes all node forces and transistor conduction overrides.
+    pub fn clear_faults(&mut self) {
+        self.forced.fill(None);
+        self.stuck_on.fill(false);
+        self.stuck_off.fill(false);
     }
 
     fn write(&mut self, node: SwNodeId, value: Bit) {
@@ -303,17 +512,69 @@ impl<'a> SwitchSim<'a> {
     /// (in creation order), so feedback structures — keeper loops,
     /// cross-coupled stages — converge instead of limit-cycling the way a
     /// whole-network snapshot update would.
-    fn settle(&mut self) {
-        for _ in 0..MAX_PASSES {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SwitchOscillation`] when the per-pass state
+    /// fingerprint proves an astable structure,
+    /// [`CircuitError::NonConvergent`] if the pass budget runs out, or
+    /// [`CircuitError::FloatingNode`] when the floating-node watchdog is
+    /// armed and finds a stranded node.
+    fn settle(&mut self) -> Result<(), CircuitError> {
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut converged = false;
+        for pass in 0..MAX_PASSES {
             if !self.relax_once() {
-                return;
+                converged = true;
+                break;
+            }
+            let sig = self.state_signature();
+            if let Some(&earlier) = seen.get(&sig) {
+                return Err(CircuitError::SwitchOscillation {
+                    period_passes: pass - earlier,
+                });
+            }
+            seen.insert(sig, pass);
+        }
+        if !converged {
+            return Err(CircuitError::NonConvergent { passes: MAX_PASSES });
+        }
+        if self.floating_check {
+            if let Some(name) = self.floating_nodes().into_iter().next() {
+                return Err(CircuitError::FloatingNode { node: name });
             }
         }
-        panic!("switch network failed to converge (astable structure)");
+        Ok(())
+    }
+
+    /// Dual-FNV fingerprint of the node-value vector — the complete
+    /// relaxation state, since conduction is a pure function of it.
+    fn state_signature(&self) -> (u64, u64) {
+        let mut h1 = Fnv1a::new(0xcbf2_9ce4_8422_2325);
+        let mut h2 = Fnv1a::new(0x6c62_272e_07bb_0142);
+        for &v in &self.values {
+            h1.write_u8(v as u8);
+            h2.write_u8(v as u8);
+        }
+        (h1.finish(), h2.finish())
     }
 
     fn is_driven(&self, i: usize) -> bool {
-        self.netlist.is_input[i] || i == self.netlist.vdd().0 || i == self.netlist.gnd().0
+        self.netlist.is_input[i]
+            || self.forced[i].is_some()
+            || i == self.netlist.vdd().0
+            || i == self.netlist.gnd().0
+    }
+
+    /// Conduction of transistor `ti`, respecting fault overrides.
+    fn conduction_of(&self, ti: usize, t: &Transistor) -> Conduction {
+        if self.stuck_off[ti] {
+            Conduction::Off
+        } else if self.stuck_on[ti] {
+            Conduction::On
+        } else {
+            t.conduction(self.values[t.gate.0])
+        }
     }
 
     /// One in-place pass over all undriven nodes; returns whether anything
@@ -324,7 +585,7 @@ impl<'a> SwitchSim<'a> {
             if self.is_driven(i) {
                 continue;
             }
-            let new = self.solve_node(i);
+            let new = self.solve_node(i).value;
             if new != self.values[i] {
                 self.write(SwNodeId(i), new);
                 any_change = true;
@@ -340,7 +601,7 @@ impl<'a> SwitchSim<'a> {
     /// (definite) or `Maybe` (possible); path quality is the weaker of
     /// the edges crossed. Reached driver nodes contribute their value at
     /// the path's quality.
-    fn solve_node(&self, start: usize) -> Bit {
+    fn solve_node(&self, start: usize) -> Solved {
         // Path quality per node: 0 = unvisited, 1 = possible, 2 = definite.
         let n = self.netlist.node_count();
         let mut quality = vec![0u8; n];
@@ -353,16 +614,15 @@ impl<'a> SwitchSim<'a> {
         let mut posx = false;
         while let Some(node) = queue.pop() {
             let q_here = quality[node];
-            for t in &self.netlist.transistors {
-                let (from, to) = if t.a.0 == node {
-                    (t.a.0, t.b.0)
+            for (ti, t) in self.netlist.transistors.iter().enumerate() {
+                let to = if t.a.0 == node {
+                    t.b.0
                 } else if t.b.0 == node {
-                    (t.b.0, t.a.0)
+                    t.a.0
                 } else {
                     continue;
                 };
-                debug_assert_eq!(from, node);
-                let cond = t.conduction(self.values[t.gate.0]);
+                let cond = self.conduction_of(ti, t);
                 if cond == Conduction::Off {
                     continue;
                 }
@@ -370,7 +630,8 @@ impl<'a> SwitchSim<'a> {
                 let q_new = q_here.min(q_edge);
                 if self.is_driven(to) {
                     let definite = q_new == 2;
-                    match self.values[to] {
+                    let driven_value = self.forced[to].unwrap_or(self.values[to]);
+                    match driven_value {
                         Bit::One => {
                             pos1 = true;
                             def1 |= definite;
@@ -388,7 +649,8 @@ impl<'a> SwitchSim<'a> {
             }
         }
         let stored = self.values[start];
-        if !pos1 && !pos0 && !posx {
+        let floating = !pos1 && !pos0 && !posx;
+        let value = if floating {
             // Floating: charge storage retains the previous value.
             stored
         } else if def1 && !pos0 && !posx {
@@ -406,7 +668,8 @@ impl<'a> SwitchSim<'a> {
         } else {
             // Only possible drive agreeing with the stored value.
             stored
-        }
+        };
+        Solved { value, floating }
     }
 }
 
@@ -418,11 +681,11 @@ mod tests {
     fn inverter_inverts() {
         let mut n = SwitchNetlist::new();
         let a = n.input("a");
-        let y = n.inverter(a, "y");
+        let y = n.inverter(a, "y").unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         assert_eq!(sim.value(y), Bit::One);
-        sim.set_input(a, Bit::One);
+        sim.set_input(a, Bit::One).unwrap();
         assert_eq!(sim.value(y), Bit::Zero);
     }
 
@@ -430,11 +693,11 @@ mod tests {
     fn inverter_chain_propagates() {
         let mut n = SwitchNetlist::new();
         let a = n.input("a");
-        let y1 = n.inverter(a, "y1");
-        let y2 = n.inverter(y1, "y2");
-        let y3 = n.inverter(y2, "y3");
+        let y1 = n.inverter(a, "y1").unwrap();
+        let y2 = n.inverter(y1, "y2").unwrap();
+        let y3 = n.inverter(y2, "y3").unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(a, Bit::One);
+        sim.set_input(a, Bit::One).unwrap();
         assert_eq!(sim.value(y3), Bit::Zero);
     }
 
@@ -445,16 +708,16 @@ mod tests {
         let clk = n.input("clk");
         let nclk = n.input("nclk");
         let stored = n.node("stored");
-        n.transmission_gate(d, stored, clk, nclk);
+        n.transmission_gate(d, stored, clk, nclk).unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(clk, Bit::One);
-        sim.set_input(nclk, Bit::Zero);
-        sim.set_input(d, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
+        sim.set_input(nclk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::One).unwrap();
         assert_eq!(sim.value(stored), Bit::One, "gate open: data passes");
         // Close the gate, change the data: the node retains its charge.
-        sim.set_input(clk, Bit::Zero);
-        sim.set_input(nclk, Bit::One);
-        sim.set_input(d, Bit::Zero);
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_input(nclk, Bit::One).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
         assert_eq!(sim.value(stored), Bit::One, "dynamic node holds charge");
     }
 
@@ -465,18 +728,18 @@ mod tests {
         let clk = n.input("clk");
         let nclk = n.input("nclk");
         let out = n.node("out");
-        n.clocked_inverter(d, clk, nclk, out);
+        n.clocked_inverter(d, clk, nclk, out).unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(clk, Bit::One);
-        sim.set_input(nclk, Bit::Zero);
-        sim.set_input(d, Bit::Zero);
+        sim.set_input(clk, Bit::One).unwrap();
+        sim.set_input(nclk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
         assert_eq!(sim.value(out), Bit::One);
-        sim.set_input(d, Bit::One);
+        sim.set_input(d, Bit::One).unwrap();
         assert_eq!(sim.value(out), Bit::Zero);
         // Tri-stated: output holds.
-        sim.set_input(clk, Bit::Zero);
-        sim.set_input(nclk, Bit::One);
-        sim.set_input(d, Bit::Zero);
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_input(nclk, Bit::One).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
         assert_eq!(sim.value(out), Bit::Zero, "hi-Z node retains");
     }
 
@@ -487,12 +750,12 @@ mod tests {
         let on = n.input("on");
         let (vdd, gnd) = (n.vdd(), n.gnd());
         // Both an N to ground and an N to vdd, same gate: fight when on.
-        n.transistor(SwKind::N, on, vdd, mid);
-        n.transistor(SwKind::N, on, gnd, mid);
+        n.transistor(SwKind::N, on, vdd, mid).unwrap();
+        n.transistor(SwKind::N, on, gnd, mid).unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(on, Bit::One);
+        sim.set_input(on, Bit::One).unwrap();
         assert_eq!(sim.value(mid), Bit::X, "rail fight is unknown");
-        sim.set_input(on, Bit::Zero);
+        sim.set_input(on, Bit::Zero).unwrap();
         assert_eq!(sim.value(mid), Bit::X, "floating after a fight stays X");
     }
 
@@ -503,20 +766,20 @@ mod tests {
         let clk = n.input("clk");
         let nclk = n.input("nclk");
         let stored = n.node("stored");
-        n.transmission_gate(d, stored, clk, nclk);
+        n.transmission_gate(d, stored, clk, nclk).unwrap();
         let mut sim = SwitchSim::new(&n);
         // Store a 1 through the open gate.
-        sim.set_input(clk, Bit::One);
-        sim.set_input(nclk, Bit::Zero);
-        sim.set_input(d, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
+        sim.set_input(nclk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::One).unwrap();
         assert_eq!(sim.value(stored), Bit::One);
         // Unknown clock with conflicting data: the stored node may or may
         // not be overwritten → X. (Close into the unknown state first so
         // the conflicting data never passes through a definitely-open
         // gate.)
-        sim.set_input(clk, Bit::X);
-        sim.set_input(nclk, Bit::X);
-        sim.set_input(d, Bit::Zero);
+        sim.set_input(clk, Bit::X).unwrap();
+        sim.set_input(nclk, Bit::X).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
         assert_eq!(sim.value(stored), Bit::X);
     }
 
@@ -527,15 +790,15 @@ mod tests {
         let clk = n.input("clk");
         let nclk = n.input("nclk");
         let stored = n.node("stored");
-        n.transmission_gate(d, stored, clk, nclk);
+        n.transmission_gate(d, stored, clk, nclk).unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(clk, Bit::One);
-        sim.set_input(nclk, Bit::Zero);
-        sim.set_input(d, Bit::One);
+        sim.set_input(clk, Bit::One).unwrap();
+        sim.set_input(nclk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::One).unwrap();
         // Unknown clock but the data agrees with what is stored: value is
         // certain either way.
-        sim.set_input(clk, Bit::X);
-        sim.set_input(nclk, Bit::X);
+        sim.set_input(clk, Bit::X).unwrap();
+        sim.set_input(nclk, Bit::X).unwrap();
         assert_eq!(sim.value(stored), Bit::One);
     }
 
@@ -543,13 +806,13 @@ mod tests {
     fn transition_counting_and_switched_cap() {
         let mut n = SwitchNetlist::new();
         let a = n.input("a");
-        let y = n.inverter(a, "y");
+        let y = n.inverter(a, "y").unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(a, Bit::Zero);
+        sim.set_input(a, Bit::Zero).unwrap();
         sim.set_counting(true);
         for _ in 0..5 {
-            sim.set_input(a, Bit::One);
-            sim.set_input(a, Bit::Zero);
+            sim.set_input(a, Bit::One).unwrap();
+            sim.set_input(a, Bit::Zero).unwrap();
         }
         assert_eq!(sim.rising_count(y), 5);
         assert!(sim.switched_cap_ff() > 0.0);
@@ -558,12 +821,111 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not an input")]
     fn driving_internal_node_rejected() {
         let mut n = SwitchNetlist::new();
         let a = n.input("a");
-        let y = n.inverter(a, "y");
+        let y = n.inverter(a, "y").unwrap();
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(y, Bit::One);
+        assert!(matches!(
+            sim.set_input(y, Bit::One),
+            Err(CircuitError::NotAnInput { .. })
+        ));
+    }
+
+    #[test]
+    fn sleep_transistor_off_strands_logic_behind_it() {
+        // MTCMOS power gating: an inverter's pull-down goes through a
+        // virtual-ground rail gated by an N sleep transistor. With sleep
+        // de-asserted and the input high, the output has no path to any
+        // rail — the floating-node watchdog must name it.
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let sleep_n = n.input("sleep_n"); // active-high enable
+        let (vdd, gnd) = (n.vdd(), n.gnd());
+        let vgnd = n.node("virtual_gnd");
+        let y = n.node("y_gated");
+        n.transistor(SwKind::P, a, vdd, y).unwrap();
+        n.transistor(SwKind::N, a, vgnd, y).unwrap();
+        n.transistor(SwKind::N, sleep_n, gnd, vgnd).unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(sleep_n, Bit::One).unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        assert_eq!(sim.value(y), Bit::Zero, "active mode inverts");
+        // Sleep: without the watchdog, the node silently retains charge.
+        sim.set_input(sleep_n, Bit::Zero).unwrap();
+        assert_eq!(sim.value(y), Bit::Zero, "charge retained while asleep");
+        sim.set_floating_check(true);
+        let err = sim.set_input(a, Bit::One).unwrap_err();
+        // a is already One; re-driving with the check armed re-solves.
+        match err {
+            CircuitError::FloatingNode { node } => {
+                assert!(node.contains("virtual_gnd") || node.contains("y_gated"));
+            }
+            other => panic!("expected FloatingNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transistor_faults_override_conduction() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let out = n.node("out");
+        let (vdd, gnd) = (n.vdd(), n.gnd());
+        let tp = n.transistor(SwKind::P, a, vdd, out).unwrap();
+        let tn = n.transistor(SwKind::N, a, gnd, out).unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::Zero).unwrap();
+        assert_eq!(sim.value(out), Bit::One);
+        // Pull-down stuck on: fight against the healthy pull-up.
+        sim.set_transistor_stuck_on(tn).unwrap();
+        assert_eq!(sim.value(out), Bit::X, "stuck-on causes a drive fight");
+        sim.clear_faults();
+        // Pull-up stuck off with input low: output floats, retaining X.
+        sim.set_transistor_stuck_off(tp).unwrap();
+        assert_eq!(sim.value(out), Bit::X);
+        assert!(sim.floating_nodes().contains(&"out".to_string()));
+        assert!(matches!(
+            sim.set_transistor_stuck_on(99),
+            Err(CircuitError::UnknownGate(99))
+        ));
+    }
+
+    #[test]
+    fn forced_node_pins_value() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y").unwrap();
+        let z = n.inverter(y, "z").unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::Zero).unwrap();
+        assert_eq!(sim.value(y), Bit::One);
+        assert_eq!(sim.value(z), Bit::Zero);
+        sim.force_node(y, Bit::Zero).unwrap();
+        assert_eq!(sim.value(y), Bit::Zero, "force overrides the pull-up");
+        assert_eq!(sim.value(z), Bit::One, "fault propagates downstream");
+    }
+
+    #[test]
+    fn cross_coupled_keeper_still_converges() {
+        // A proper latch (cross-coupled inverters) must not trip the
+        // oscillation watchdog under Gauss–Seidel relaxation.
+        let mut n = SwitchNetlist::new();
+        let d = n.input("d");
+        let clk = n.input("clk");
+        let nclk = n.input("nclk");
+        let q = n.node("q");
+        n.transmission_gate(d, q, clk, nclk).unwrap();
+        let nq = n.inverter(q, "nq").unwrap();
+        let q_back = n.inverter(nq, "q_keeper").unwrap();
+        n.transmission_gate(q_back, q, nclk, clk).unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(clk, Bit::One).unwrap();
+        sim.set_input(nclk, Bit::Zero).unwrap();
+        sim.set_input(d, Bit::One).unwrap();
+        assert_eq!(sim.value(q), Bit::One);
+        sim.set_input(clk, Bit::Zero).unwrap();
+        sim.set_input(nclk, Bit::One).unwrap();
+        sim.set_input(d, Bit::Zero).unwrap();
+        assert_eq!(sim.value(q), Bit::One, "keeper holds statically");
     }
 }

@@ -6,6 +6,7 @@
 //! tick counts into seconds — the performance side of every
 //! supply-scaling trade-off in the paper.
 
+use crate::error::CircuitError;
 use crate::logic::Bit;
 use crate::netlist::{Netlist, NodeId};
 use crate::sim::Simulator;
@@ -42,56 +43,63 @@ impl TimingReport {
 /// Measures settle times of a combinational netlist over `vectors`
 /// pseudo-random vectors from `source`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the source width mismatches `inputs`, if `vectors` is zero,
-/// or if the netlist oscillates.
-#[must_use]
+/// Returns [`CircuitError::InvalidStimulus`] if `vectors` is zero,
+/// [`CircuitError::WidthMismatch`] if the source width mismatches
+/// `inputs`, or any settle-time error.
 pub fn measure_timing(
     netlist: &Netlist,
     inputs: &[NodeId],
     source: &mut PatternSource,
     vectors: usize,
-) -> TimingReport {
-    assert!(vectors > 0, "need at least one vector");
+) -> Result<TimingReport, CircuitError> {
+    if vectors == 0 {
+        return Err(CircuitError::InvalidStimulus {
+            reason: "need at least one vector",
+        });
+    }
     let mut sim = Simulator::new(netlist);
     // Initialise to all-zero so the first measured vector starts known.
-    sim.apply_vector(inputs, &vec![Bit::Zero; inputs.len()]);
+    sim.apply_vector(inputs, &vec![Bit::Zero; inputs.len()])?;
     let mut worst = 0u64;
     let mut total = 0u64;
     for _ in 0..vectors {
         let v = source.next_pattern();
         let t0 = sim.time();
-        sim.apply_vector(inputs, &v);
+        sim.apply_vector(inputs, &v)?;
         let elapsed = sim.time() - t0;
         worst = worst.max(elapsed);
         total += elapsed;
     }
-    TimingReport {
+    Ok(TimingReport {
         critical_ticks: worst,
         mean_ticks_x100: total * 100 / vectors as u64,
         vectors,
-    }
+    })
 }
 
 /// Applies the canonical worst-case carry-propagation stimulus to an
 /// adder (`a = 1…1`, `b = 0`, toggle carry-in) and returns the excited
 /// path length in ticks.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any drive or settle-time error.
 pub fn adder_carry_path_ticks(
     netlist: &Netlist,
     ports: &crate::adder::AdderPorts,
-) -> u64 {
+) -> Result<u64, CircuitError> {
     let mut sim = Simulator::new(netlist);
     let width = ports.width();
-    sim.set_bus(&ports.a, &crate::logic::bits_of(u64::MAX, width));
-    sim.set_bus(&ports.b, &crate::logic::bits_of(0, width));
-    sim.set_input(ports.cin, Bit::Zero);
-    sim.settle().expect("adders are acyclic");
+    sim.set_bus(&ports.a, &crate::logic::bits_of(u64::MAX, width))?;
+    sim.set_bus(&ports.b, &crate::logic::bits_of(0, width))?;
+    sim.set_input(ports.cin, Bit::Zero)?;
+    sim.settle()?;
     let t0 = sim.time();
-    sim.set_input(ports.cin, Bit::One);
-    sim.settle().expect("adders are acyclic");
-    sim.time() - t0
+    sim.set_input(ports.cin, Bit::One)?;
+    sim.settle()?;
+    Ok(sim.time() - t0)
 }
 
 #[cfg(test)]
@@ -105,8 +113,8 @@ mod tests {
     fn ripple_critical_path_scales_with_width() {
         let ticks = |w: usize| {
             let mut n = Netlist::new();
-            let p = ripple_carry_adder(&mut n, w);
-            adder_carry_path_ticks(&n, &p)
+            let p = ripple_carry_adder(&mut n, w).unwrap();
+            adder_carry_path_ticks(&n, &p).unwrap()
         };
         let t8 = ticks(8);
         let t16 = ticks(16);
@@ -119,19 +127,21 @@ mod tests {
     #[test]
     fn lookahead_beats_ripple_on_the_carry_stimulus() {
         let mut n1 = Netlist::new();
-        let rca = ripple_carry_adder(&mut n1, 16);
+        let rca = ripple_carry_adder(&mut n1, 16).unwrap();
         let mut n2 = Netlist::new();
         let cla = carry_lookahead_adder(&mut n2, 16).unwrap();
-        assert!(adder_carry_path_ticks(&n2, &cla) < adder_carry_path_ticks(&n1, &rca));
+        assert!(
+            adder_carry_path_ticks(&n2, &cla).unwrap() < adder_carry_path_ticks(&n1, &rca).unwrap()
+        );
     }
 
     #[test]
     fn random_timing_bounded_by_carry_stimulus() {
         let mut n = Netlist::new();
-        let p = ripple_carry_adder(&mut n, 12);
-        let worst = adder_carry_path_ticks(&n, &p);
-        let mut src = PatternSource::random(p.input_nodes().len(), 5);
-        let report = measure_timing(&n, &p.input_nodes(), &mut src, 150);
+        let p = ripple_carry_adder(&mut n, 12).unwrap();
+        let worst = adder_carry_path_ticks(&n, &p).unwrap();
+        let mut src = PatternSource::random(p.input_nodes().len(), 5).unwrap();
+        let report = measure_timing(&n, &p.input_nodes(), &mut src, 150).unwrap();
         assert!(report.critical_ticks <= worst);
         assert!(report.mean_ticks() > 0.0);
         assert!(report.mean_ticks() <= report.critical_ticks as f64);

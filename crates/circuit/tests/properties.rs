@@ -15,11 +15,11 @@ proptest! {
     #[test]
     fn ripple_adder_adds(a in 0u64..256, b in 0u64..256, cin in 0u64..2) {
         let mut n = Netlist::new();
-        let p = ripple_carry_adder(&mut n, 8);
+        let p = ripple_carry_adder(&mut n, 8).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_bus(&p.a, &bits_of(a, 8));
-        sim.set_bus(&p.b, &bits_of(b, 8));
-        sim.set_input(p.cin, Bit::from(cin == 1));
+        sim.set_bus(&p.a, &bits_of(a, 8)).unwrap();
+        sim.set_bus(&p.b, &bits_of(b, 8)).unwrap();
+        sim.set_input(p.cin, Bit::from(cin == 1)).unwrap();
         sim.settle().unwrap();
         let expected = a + b + cin;
         prop_assert_eq!(sim.read_bus(&p.sum), Some(expected & 0xff));
@@ -31,9 +31,9 @@ proptest! {
         let mut n = Netlist::new();
         let p = carry_lookahead_adder(&mut n, 12).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_bus(&p.a, &bits_of(a, 12));
-        sim.set_bus(&p.b, &bits_of(b, 12));
-        sim.set_input(p.cin, Bit::from(cin == 1));
+        sim.set_bus(&p.a, &bits_of(a, 12)).unwrap();
+        sim.set_bus(&p.b, &bits_of(b, 12)).unwrap();
+        sim.set_input(p.cin, Bit::from(cin == 1)).unwrap();
         sim.settle().unwrap();
         let expected = a + b + cin;
         prop_assert_eq!(sim.read_bus(&p.sum), Some(expected & 0xfff));
@@ -45,8 +45,8 @@ proptest! {
         let mut n = Netlist::new();
         let p = array_multiplier(&mut n, 6).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_bus(&p.a, &bits_of(a, 6));
-        sim.set_bus(&p.b, &bits_of(b, 6));
+        sim.set_bus(&p.a, &bits_of(a, 6)).unwrap();
+        sim.set_bus(&p.b, &bits_of(b, 6)).unwrap();
         sim.settle().unwrap();
         prop_assert_eq!(sim.read_bus(&p.product), Some(a * b));
     }
@@ -56,9 +56,9 @@ proptest! {
         let mut n = Netlist::new();
         let p = barrel_shifter_right(&mut n, 16).unwrap();
         let mut sim = Simulator::new(&n);
-        sim.set_input(p.fill, Bit::Zero);
-        sim.set_bus(&p.data, &bits_of(v, 16));
-        sim.set_bus(&p.amount, &bits_of(sh, 4));
+        sim.set_input(p.fill, Bit::Zero).unwrap();
+        sim.set_bus(&p.data, &bits_of(v, 16)).unwrap();
+        sim.set_bus(&p.amount, &bits_of(sh, 4)).unwrap();
         sim.settle().unwrap();
         prop_assert_eq!(sim.read_bus(&p.out), Some(v >> sh));
     }
@@ -69,10 +69,10 @@ proptest! {
     #[test]
     fn rising_falling_balance(seed in 0u64..1000, cycles in 20usize..80) {
         let mut n = Netlist::new();
-        let p = ripple_carry_adder(&mut n, 4);
+        let p = ripple_carry_adder(&mut n, 4).unwrap();
         let mut sim = Simulator::new(&n);
-        let mut src = PatternSource::random(9, seed);
-        let report = sim.measure_activity(&mut src, &p.input_nodes(), cycles, 4);
+        let mut src = PatternSource::random(9, seed).unwrap();
+        let report = sim.measure_activity(&mut src, &p.input_nodes(), cycles, 4).unwrap();
         for e in report.entries() {
             let diff = e.rising.abs_diff(e.falling);
             prop_assert!(diff <= 1, "node {} rising={} falling={}", e.name, e.rising, e.falling);
@@ -84,10 +84,11 @@ proptest! {
     fn activity_deterministic(seed in 0u64..500) {
         let run = || {
             let mut n = Netlist::new();
-            let p = ripple_carry_adder(&mut n, 8);
+            let p = ripple_carry_adder(&mut n, 8).unwrap();
             let mut sim = Simulator::new(&n);
-            let mut src = PatternSource::random(17, seed);
+            let mut src = PatternSource::random(17, seed).unwrap();
             sim.measure_activity(&mut src, &p.input_nodes(), 60, 4)
+                .unwrap()
                 .switched_capacitance_per_cycle()
         };
         prop_assert_eq!(run(), run());

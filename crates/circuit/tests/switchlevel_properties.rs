@@ -8,6 +8,7 @@ use lowvolt_circuit::switch_registers::{
     c2mos_register, clock_cycle, static_tg_register, SwRegisterPorts,
 };
 use lowvolt_circuit::switchlevel::{SwitchNetlist, SwitchSim};
+use lowvolt_circuit::CircuitError;
 use proptest::prelude::*;
 
 proptest! {
@@ -18,10 +19,10 @@ proptest! {
         let a = n.input("a");
         let mut node = a;
         for i in 0..len {
-            node = n.inverter(node, format!("y{i}"));
+            node = n.inverter(node, format!("y{i}")).expect("known node");
         }
         let mut sim = SwitchSim::new(&n);
-        sim.set_input(a, Bit::from(input));
+        sim.set_input(a, Bit::from(input)).expect("known input");
         let expected = input ^ (len % 2 == 1);
         prop_assert_eq!(sim.value(node), Bit::from(expected));
     }
@@ -43,24 +44,24 @@ proptest! {
             let clk = n.input(format!("clk{i}"));
             let nclk = n.input(format!("nclk{i}"));
             let next = n.node(format!("n{i}"));
-            n.transmission_gate(node, next, clk, nclk);
+            n.transmission_gate(node, next, clk, nclk).expect("known nodes");
             controls.push((clk, nclk));
             node = next;
         }
         let mut sim = SwitchSim::new(&n);
         // Open every gate and push a known value through.
         for &(clk, nclk) in &controls {
-            sim.set_input(clk, Bit::One);
-            sim.set_input(nclk, Bit::Zero);
+            sim.set_input(clk, Bit::One).expect("known input");
+            sim.set_input(nclk, Bit::Zero).expect("known input");
         }
-        sim.set_input(d, Bit::from(value));
+        sim.set_input(d, Bit::from(value)).expect("known input");
         prop_assert_eq!(sim.value(node), Bit::from(value));
         // Close one gate and flip the data: the far end must retain.
         if let Some(b) = blocked {
             let (clk, nclk) = controls[b];
-            sim.set_input(clk, Bit::Zero);
-            sim.set_input(nclk, Bit::One);
-            sim.set_input(d, Bit::from(!value));
+            sim.set_input(clk, Bit::Zero).expect("known input");
+            sim.set_input(nclk, Bit::One).expect("known input");
+            sim.set_input(d, Bit::from(!value)).expect("known input");
             prop_assert_eq!(sim.value(node), Bit::from(value), "isolated end retains");
         }
     }
@@ -69,14 +70,17 @@ proptest! {
     /// positive-edge DFF over random input sequences.
     #[test]
     fn registers_track_behavioural_dff(bits in proptest::collection::vec(any::<bool>(), 1..24)) {
-        fn check(build: fn(&mut SwitchNetlist) -> SwRegisterPorts, bits: &[bool]) {
+        fn check(
+            build: fn(&mut SwitchNetlist) -> Result<SwRegisterPorts, CircuitError>,
+            bits: &[bool],
+        ) {
             let mut n = SwitchNetlist::new();
-            let p = build(&mut n);
+            let p = build(&mut n).expect("register builds");
             let mut sim = SwitchSim::new(&n);
             // One initialisation cycle to clear the X state.
-            clock_cycle(&mut sim, p, false);
+            clock_cycle(&mut sim, p, false).expect("cycles");
             for &d in bits {
-                let q = clock_cycle(&mut sim, p, d);
+                let q = clock_cycle(&mut sim, p, d).expect("cycles");
                 // Positive-edge DFF model: q takes d at the edge.
                 assert_eq!(q, Bit::from(d), "q must match the DFF model");
             }
@@ -90,13 +94,13 @@ proptest! {
     #[test]
     fn switch_transitions_balance(bits in proptest::collection::vec(any::<bool>(), 2..20)) {
         let mut n = SwitchNetlist::new();
-        let p = static_tg_register(&mut n);
+        let p = static_tg_register(&mut n).expect("register builds");
         let mut sim = SwitchSim::new(&n);
-        clock_cycle(&mut sim, p, false);
-        clock_cycle(&mut sim, p, true);
+        clock_cycle(&mut sim, p, false).expect("cycles");
+        clock_cycle(&mut sim, p, true).expect("cycles");
         sim.set_counting(true);
         for &d in &bits {
-            clock_cycle(&mut sim, p, d);
+            clock_cycle(&mut sim, p, d).expect("cycles");
         }
         for id in n.node_ids() {
             let r = sim.rising_count(id);

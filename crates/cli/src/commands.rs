@@ -43,6 +43,24 @@ impl From<String> for CliError {
     }
 }
 
+impl From<lowvolt_circuit::CircuitError> for CliError {
+    fn from(e: lowvolt_circuit::CircuitError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<lowvolt_core::error::CoreError> for CliError {
+    fn from(e: lowvolt_core::error::CoreError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<lowvolt_device::error::DeviceError> for CliError {
+    fn from(e: lowvolt_device::error::DeviceError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 lowvolt — low-voltage digital system design toolkit
@@ -76,16 +94,17 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliError> {
         "iv" => iv(parsed),
         "disasm" => disasm(parsed),
         "help" | "" => Ok(USAGE.to_string()),
-        other => Err(CliError(format!(
-            "unknown command `{other}`\n\n{USAGE}"
-        ))),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn example_source(name: &str) -> Result<String, CliError> {
     match name {
         "idea" => Ok(lowvolt_workloads::idea::program(50)),
-        "espresso" => Ok(lowvolt_workloads::espresso::program(120, 42)),
+        "espresso" => {
+            Ok(lowvolt_workloads::espresso::program(120, 42)
+                .map_err(|e| CliError(e.to_string()))?)
+        }
         "li" => Ok(lowvolt_workloads::li::program(9, 42, 5)),
         "fir" => Ok(lowvolt_workloads::fir::program(200, 42)),
         other => Err(CliError(format!(
@@ -98,8 +117,7 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
     let source = if let Some(example) = parsed.get("example") {
         example_source(example)?
     } else if let Some(path) = parsed.positional.first() {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?
     } else {
         return Err(CliError(
             "profile needs a source file or --example NAME".to_string(),
@@ -111,7 +129,8 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
     let mut out = String::new();
 
     let report = if let Some(duty) = duty {
-        let schedule = lowvolt_workloads::bursty::BurstSchedule::with_duty(1_000, duty);
+        let schedule = lowvolt_workloads::bursty::BurstSchedule::with_duty(1_000, duty)
+            .map_err(|e| CliError(e.to_string()))?;
         out.push_str(&format!(
             "bursty execution: duty {:.3} ({} on / {} idle)\n",
             schedule.duty(),
@@ -129,7 +148,9 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
             let mut executed = 0u64;
             while !cpu.halted() {
                 if executed >= budget {
-                    return Err(CliError(format!("budget of {budget} instructions exhausted")));
+                    return Err(CliError(format!(
+                        "budget of {budget} instructions exhausted"
+                    )));
                 }
                 blocks.record_pc(cpu.pc());
                 if let Some(inst) = cpu.step().map_err(|e| CliError(e.to_string()))? {
@@ -167,15 +188,15 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
     let mut n = Netlist::new();
     let inputs = match circuit {
-        "adder8" => ripple_carry_adder(&mut n, 8).input_nodes(),
-        "adder16" => ripple_carry_adder(&mut n, 16).input_nodes(),
+        "adder8" => ripple_carry_adder(&mut n, 8)?.input_nodes(),
+        "adder16" => ripple_carry_adder(&mut n, 16)?.input_nodes(),
         "shifter8" => barrel_shifter_right(&mut n, 8)
             .map_err(|e| CliError(e.to_string()))?
             .input_nodes(),
         "mult8" => array_multiplier(&mut n, 8)
             .map_err(|e| CliError(e.to_string()))?
             .input_nodes(),
-        "alu8" => alu(&mut n, 8).input_nodes(),
+        "alu8" => alu(&mut n, 8)?.input_nodes(),
         other => {
             return Err(CliError(format!(
                 "unknown circuit `{other}` (adder8, adder16, shifter8, mult8, alu8)"
@@ -183,8 +204,8 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
         }
     };
     let mut source = match parsed.get("patterns").unwrap_or("random") {
-        "random" => PatternSource::random(inputs.len(), seed),
-        "counting" => PatternSource::counting(inputs.len().min(64), 0),
+        "random" => PatternSource::random(inputs.len(), seed)?,
+        "counting" => PatternSource::counting(inputs.len().min(64), 0)?,
         other => {
             return Err(CliError(format!(
                 "unknown pattern kind `{other}` (random, counting)"
@@ -193,12 +214,12 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
     };
     let mut sim = Simulator::new(&n);
     let warmup = (cycles / 10).max(4);
-    let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup);
+    let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup)?;
     Ok(format!(
         "circuit: {circuit} ({} gates, {} nodes)\n{}\nmean alpha = {:.4}\ncapacitance-weighted alpha = {:.4}\nswitched capacitance = {:.1} fF/cycle\n",
         n.gate_count(),
         n.node_count(),
-        report.histogram(12),
+        report.histogram(12)?,
         report.mean_transition_probability(),
         report.weighted_transition_probability(),
         report.switched_capacitance_per_cycle().to_femtofarads(),
@@ -209,13 +230,12 @@ fn optimize(parsed: &Parsed) -> Result<String, CliError> {
     let delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
     let mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
     let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
-    let ring = RingOscillator::paper_default();
+    let ring = RingOscillator::paper_default()?;
     let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
         .map_err(|e| CliError(e.to_string()))?;
     let t_op = Seconds(1e-6 / mhz);
-    let mut out = format!(
-        "delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n"
-    );
+    let mut out =
+        format!("delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n");
     let mut t = Table::new(["V_T (V)", "V_DD (V)", "E_total (J/op)"]);
     let vts: Vec<Volts> = (1..=20).map(|i| Volts(0.03 * f64::from(i))).collect();
     for p in opt.energy_curve(&vts, t_op) {
@@ -247,9 +267,9 @@ fn compare(parsed: &Parsed) -> Result<String, CliError> {
     let vdd = Volts(parsed.get_f64("vdd")?.unwrap_or(1.0));
     let mhz = parsed.get_f64("mhz")?.unwrap_or(1.0);
     let block = match parsed.get("block").unwrap_or("adder") {
-        "adder" => BlockParams::adder_8bit(),
-        "shifter" => BlockParams::shifter_8bit(),
-        "multiplier" => BlockParams::multiplier_8x8(),
+        "adder" => BlockParams::adder_8bit()?,
+        "shifter" => BlockParams::shifter_8bit()?,
+        "multiplier" => BlockParams::multiplier_8x8()?,
         other => {
             return Err(CliError(format!(
                 "unknown block `{other}` (adder, shifter, multiplier)"
@@ -257,7 +277,8 @@ fn compare(parsed: &Parsed) -> Result<String, CliError> {
         }
     };
     let activity = ActivityVars::new(fga, bga, alpha).map_err(|e| CliError(e.to_string()))?;
-    let model = BurstEnergyModel::new(vdd, Hertz(mhz * 1e6)).map_err(|e| CliError(e.to_string()))?;
+    let model =
+        BurstEnergyModel::new(vdd, Hertz(mhz * 1e6)).map_err(|e| CliError(e.to_string()))?;
     let device = SoiasDevice::paper_fig6();
     let technologies = [
         Technology::soi_fixed_vt_device(device.front_device(Volts(3.0))),
@@ -333,8 +354,7 @@ fn disasm(parsed: &Parsed) -> Result<String, CliError> {
     let source = if let Some(example) = parsed.get("example") {
         example_source(example)?
     } else if let Some(path) = parsed.positional.first() {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?
     } else {
         return Err(CliError(
             "disasm needs a source file or --example NAME".to_string(),

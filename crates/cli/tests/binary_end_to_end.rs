@@ -28,7 +28,11 @@ fn profile_example_through_the_binary() {
         .args(["profile", "--example", "fir", "--budget", "100000000"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Total Instructions"));
     assert!(text.contains("Multiplications"));
@@ -36,7 +40,10 @@ fn profile_example_through_the_binary() {
 
 #[test]
 fn iv_through_the_binary() {
-    let out = lowvolt().args(["iv", "--vt", "0.3"]).output().expect("runs");
+    let out = lowvolt()
+        .args(["iv", "--vt", "0.3"])
+        .output()
+        .expect("runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("mV/dec"));
 }

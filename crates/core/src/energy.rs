@@ -59,28 +59,39 @@ impl BlockParams {
     }
 
     /// The paper's example block: an 8-bit ripple-carry adder.
-    #[must_use]
-    pub fn adder_8bit() -> BlockParams {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if the generator rejects the
+    /// configuration (it never does for the shipped width of 8).
+    pub fn adder_8bit() -> Result<BlockParams, CoreError> {
         let mut n = Netlist::new();
-        let _ = lowvolt_circuit::adder::ripple_carry_adder(&mut n, 8);
-        BlockParams::from_netlist("adder", &n)
+        let _ = lowvolt_circuit::adder::ripple_carry_adder(&mut n, 8)?;
+        Ok(BlockParams::from_netlist("adder", &n))
     }
 
     /// An 8-bit barrel shifter block.
-    #[must_use]
-    pub fn shifter_8bit() -> BlockParams {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if the generator rejects the
+    /// configuration (it never does for the shipped width of 8).
+    pub fn shifter_8bit() -> Result<BlockParams, CoreError> {
         let mut n = Netlist::new();
-        let _ = lowvolt_circuit::shifter::barrel_shifter_right(&mut n, 8)
-            .expect("8 is a power of two");
-        BlockParams::from_netlist("shifter", &n)
+        let _ = lowvolt_circuit::shifter::barrel_shifter_right(&mut n, 8)?;
+        Ok(BlockParams::from_netlist("shifter", &n))
     }
 
     /// An 8×8 array multiplier block.
-    #[must_use]
-    pub fn multiplier_8x8() -> BlockParams {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Circuit`] if the generator rejects the
+    /// configuration (it never does for the shipped width of 8).
+    pub fn multiplier_8x8() -> Result<BlockParams, CoreError> {
         let mut n = Netlist::new();
-        let _ = lowvolt_circuit::multiplier::array_multiplier(&mut n, 8).expect("valid width");
-        BlockParams::from_netlist("multiplier", &n)
+        let _ = lowvolt_circuit::multiplier::array_multiplier(&mut n, 8)?;
+        Ok(BlockParams::from_netlist("multiplier", &n))
     }
 }
 
@@ -164,9 +175,8 @@ impl BurstEnergyModel {
         activity: ActivityVars,
     ) -> EnergyBreakdown {
         let t_cyc = self.cycle_time();
-        let switching = Joules(
-            activity.fga * activity.alpha * block.switched_cap.0 * self.vdd.0 * self.vdd.0,
-        );
+        let switching =
+            Joules(activity.fga * activity.alpha * block.switched_cap.0 * self.vdd.0 * self.vdd.0);
         let i_low = Amps(tech.active_off_current_per_um(self.vdd).0 * block.leak_width_um);
         if tech.has_standby_mode() {
             let c_ctrl = tech.control_capacitance(block.gate_area_um2);
@@ -245,7 +255,7 @@ mod tests {
     fn eq3_structure_for_fixed_vt() {
         // For SOI the leakage term must not depend on fga.
         let m = model();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let busy = ActivityVars::new(0.9, 0.01, 0.5).unwrap();
         let idle = ActivityVars::new(0.01, 0.01, 0.5).unwrap();
         let b_busy = m.breakdown(&soi(), &block, busy);
@@ -258,7 +268,7 @@ mod tests {
     #[test]
     fn eq4_leakage_mix_follows_fga() {
         let m = model();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let mostly_idle = ActivityVars::new(0.05, 0.01, 0.5).unwrap();
         let b = m.breakdown(&soias(), &block, mostly_idle);
         // 95% of the time in the high-V_T state whose leakage is ~4
@@ -274,12 +284,15 @@ mod tests {
     fn soias_wins_for_bursty_loses_for_continuous() {
         // The central Fig. 10 claim.
         let m = model();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let bursty = ActivityVars::new(0.01, 0.001, 0.5).unwrap();
         let continuous = ActivityVars::new(1.0, 0.0, 0.5).unwrap();
         let r_bursty = m.log_energy_ratio(&soias(), &soi(), &block, bursty);
         let r_cont = m.log_energy_ratio(&soias(), &soi(), &block, continuous);
-        assert!(r_bursty < 0.0, "SOIAS must win when mostly idle: {r_bursty}");
+        assert!(
+            r_bursty < 0.0,
+            "SOIAS must win when mostly idle: {r_bursty}"
+        );
         assert!(
             r_cont >= -0.02,
             "SOIAS cannot beat SOI when always on: {r_cont}"
@@ -289,7 +302,7 @@ mod tests {
     #[test]
     fn control_energy_scales_with_bga() {
         let m = model();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let low = ActivityVars::new(0.5, 0.001, 0.5).unwrap();
         let high = ActivityVars::new(0.5, 0.4, 0.5).unwrap();
         let c_low = m.breakdown(&soias(), &block, low).control.0;
@@ -299,9 +312,9 @@ mod tests {
 
     #[test]
     fn block_presets_are_ordered_by_size() {
-        let adder = BlockParams::adder_8bit();
-        let shifter = BlockParams::shifter_8bit();
-        let mult = BlockParams::multiplier_8x8();
+        let adder = BlockParams::adder_8bit().unwrap();
+        let shifter = BlockParams::shifter_8bit().unwrap();
+        let mult = BlockParams::multiplier_8x8().unwrap();
         assert!(mult.switched_cap.0 > adder.switched_cap.0);
         assert!(mult.gate_area_um2 > shifter.gate_area_um2);
         assert!(adder.switched_cap.to_femtofarads() > 50.0);
@@ -310,7 +323,7 @@ mod tests {
     #[test]
     fn breakdown_total_is_sum() {
         let m = model();
-        let block = BlockParams::multiplier_8x8();
+        let block = BlockParams::multiplier_8x8().unwrap();
         let a = ActivityVars::new(0.3, 0.05, 0.4).unwrap();
         let b = m.breakdown(&soias(), &block, a);
         let sum = b.switching.0 + b.control.0 + b.leak_active.0 + b.leak_standby.0;
@@ -321,7 +334,7 @@ mod tests {
     fn slower_clock_raises_leakage_share() {
         // Leakage integrates over the cycle: at fixed V_DD, halving the
         // clock doubles per-cycle leakage energy but not switching.
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let a = ActivityVars::new(1.0, 0.0, 0.5).unwrap();
         let fast = BurstEnergyModel::new(Volts(1.0), Hertz(40e6)).unwrap();
         let slow = BurstEnergyModel::new(Volts(1.0), Hertz(10e6)).unwrap();

@@ -31,6 +31,16 @@ pub enum CoreError {
     },
     /// A device-layer error bubbled up.
     Device(lowvolt_device::DeviceError),
+    /// A circuit-layer error bubbled up.
+    Circuit(lowvolt_circuit::CircuitError),
+    /// An energy computation produced a non-finite or negative value —
+    /// the checked-numerics guard at the device/core boundary.
+    NonPhysicalEnergy {
+        /// Which energy term.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +58,13 @@ impl fmt::Display for CoreError {
             } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
             CoreError::Infeasible { what } => write!(f, "no feasible point for {what}"),
             CoreError::Device(e) => write!(f, "device model error: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::NonPhysicalEnergy { what, value } => {
+                write!(
+                    f,
+                    "non-physical {what} = {value}: energies must be finite and non-negative"
+                )
+            }
         }
     }
 }
@@ -56,6 +73,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Device(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +82,12 @@ impl Error for CoreError {
 impl From<lowvolt_device::DeviceError> for CoreError {
     fn from(e: lowvolt_device::DeviceError) -> CoreError {
         CoreError::Device(e)
+    }
+}
+
+impl From<lowvolt_circuit::CircuitError> for CoreError {
+    fn from(e: lowvolt_circuit::CircuitError) -> CoreError {
+        CoreError::Circuit(e)
     }
 }
 
@@ -83,5 +107,13 @@ mod tests {
         assert!(d.to_string().contains("vdd"));
         assert!(Error::source(&d).is_some());
         assert!(Error::source(&e).is_none());
+        let c = CoreError::from(lowvolt_circuit::CircuitError::UnknownNode(3));
+        assert!(c.to_string().contains("circuit"));
+        assert!(Error::source(&c).is_some());
+        let n = CoreError::NonPhysicalEnergy {
+            what: "switching energy",
+            value: f64::NAN,
+        };
+        assert!(n.to_string().contains("switching energy"));
     }
 }

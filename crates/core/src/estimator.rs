@@ -140,15 +140,15 @@ mod tests {
         let tech = Technology::soi_fixed_vt(Volts(0.084));
         DesignEstimator::new(model, tech)
             .with_block(
-                BlockParams::adder_8bit(),
+                BlockParams::adder_8bit().unwrap(),
                 ActivityVars::new(0.697, 0.023, 0.5).unwrap(),
             )
             .with_block(
-                BlockParams::shifter_8bit(),
+                BlockParams::shifter_8bit().unwrap(),
                 ActivityVars::new(0.109, 0.087, 0.5).unwrap(),
             )
             .with_block(
-                BlockParams::multiplier_8x8(),
+                BlockParams::multiplier_8x8().unwrap(),
                 ActivityVars::new(0.0083, 0.0083, 0.4).unwrap(),
             )
     }

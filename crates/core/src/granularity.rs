@@ -158,7 +158,8 @@ pub fn compare_granularities(
     let mut chip_energy = 0.0;
     let total_area: f64 = blocks.iter().map(|(p, _)| p.gate_area_um2).sum();
     for (p, a) in blocks {
-        let chip_activity = ActivityVars::new(system_duty, 0.0, a.alpha * a.fga / system_duty.max(1e-12))?;
+        let chip_activity =
+            ActivityVars::new(system_duty, 0.0, a.alpha * a.fga / system_duty.max(1e-12))?;
         // switching must reflect the block's own fga·α, so fold it into
         // alpha while the leakage follows the chip duty.
         let b = model.breakdown(tech, p, chip_activity);
@@ -207,15 +208,15 @@ mod tests {
     fn x_server_blocks() -> Vec<(BlockParams, ActivityVars)> {
         vec![
             (
-                BlockParams::adder_8bit(),
+                BlockParams::adder_8bit().unwrap(),
                 ActivityVars::new(0.1394, 0.0046, 0.5).unwrap(), // 0.697·0.2
             ),
             (
-                BlockParams::shifter_8bit(),
+                BlockParams::shifter_8bit().unwrap(),
                 ActivityVars::new(0.0218, 0.0174, 0.5).unwrap(),
             ),
             (
-                BlockParams::multiplier_8x8(),
+                BlockParams::multiplier_8x8().unwrap(),
                 ActivityVars::new(0.00166, 0.00166, 0.5).unwrap(),
             ),
         ]
@@ -240,7 +241,7 @@ mod tests {
         let (model, tech) = setup();
         let duty = 0.2;
         let blocks = vec![(
-            BlockParams::adder_8bit(),
+            BlockParams::adder_8bit().unwrap(),
             ActivityVars::new(duty, 0.001, 0.5).unwrap(),
         )];
         let cmp = compare_granularities(&model, &tech, &blocks, duty, 0.001).unwrap();

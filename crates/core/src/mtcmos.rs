@@ -210,7 +210,11 @@ mod tests {
         let s = sizer();
         for target in [0.02, 0.05, 0.10] {
             let d = s.size_for_penalty(target).expect("feasible");
-            assert!(d.delay_penalty <= target * 1.001, "penalty {}", d.delay_penalty);
+            assert!(
+                d.delay_penalty <= target * 1.001,
+                "penalty {}",
+                d.delay_penalty
+            );
             // Don't waste area: the target should be close to met.
             assert!(d.delay_penalty > target * 0.5, "oversized at {target}");
         }

@@ -57,9 +57,10 @@ impl FixedThroughputOptimizer {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] if the target is not
-    /// positive.
+    /// positive, or [`CoreError::Device`] if the paper-default ring
+    /// constants are rejected (they never are as shipped).
     pub fn paper_ring(target_stage_delay: Seconds) -> Result<FixedThroughputOptimizer, CoreError> {
-        FixedThroughputOptimizer::new(RingOscillator::paper_default(), target_stage_delay, 1.0)
+        FixedThroughputOptimizer::new(RingOscillator::paper_default()?, target_stage_delay, 1.0)
     }
 
     /// Fully-specified constructor.
@@ -128,17 +129,32 @@ impl FixedThroughputOptimizer {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Device`] if the threshold is infeasible.
+    /// Returns [`CoreError::Device`] if the threshold is infeasible,
+    /// [`CoreError::InvalidParameter`] for a non-positive or non-finite
+    /// `t_op`, and [`CoreError::NonPhysicalEnergy`] if either energy term
+    /// comes out NaN, infinite, or negative — the checked-numerics gate
+    /// at the device/core boundary.
     pub fn evaluate(&self, vt: Volts, t_op: Seconds) -> Result<EnergyPoint, CoreError> {
+        if !t_op.0.is_finite() || t_op.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "t_op",
+                value: t_op.0,
+                constraint: "must be positive and finite",
+            });
+        }
         let vdd = self.iso_delay_supply(vt)?;
         let switching = Joules(
-            self.activity
-                * self.ring.stages() as f64
-                * self.ring.stage_load().0
-                * vdd.0
-                * vdd.0,
+            self.activity * self.ring.stages() as f64 * self.ring.stage_load().0 * vdd.0 * vdd.0,
         );
         let leakage = self.ring.leakage_current(vdd, vt) * vdd * t_op;
+        for (what, v) in [
+            ("switching energy", switching.0),
+            ("leakage energy", leakage.0),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CoreError::NonPhysicalEnergy { what, value: v });
+            }
+        }
         Ok(EnergyPoint {
             vt,
             vdd,
@@ -198,8 +214,7 @@ impl FixedThroughputOptimizer {
                 (Err(_), Err(_)) => break,
             }
         }
-        self.evaluate(Volts(0.5 * (lo + hi)), t_op)
-            .or(Ok(best))
+        self.evaluate(Volts(0.5 * (lo + hi)), t_op).or(Ok(best))
     }
 }
 
@@ -210,14 +225,14 @@ mod tests {
     fn optimizer() -> FixedThroughputOptimizer {
         // A mid-speed target: the delay of the default ring at 1.5 V with
         // a 0.45 V threshold.
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let target = ring.stage_delay(Volts(1.5), Volts(0.45));
         FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid")
     }
 
     #[test]
     fn constructor_validates() {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         assert!(FixedThroughputOptimizer::new(ring.clone(), Seconds(0.0), 1.0).is_err());
         assert!(FixedThroughputOptimizer::new(ring, Seconds(1e-9), -1.0).is_err());
     }
@@ -246,7 +261,10 @@ mod tests {
             .unwrap()
             .0;
         // Interior minimum: energy falls then rises.
-        assert!(min_idx > 0 && min_idx < totals.len() - 1, "min at {min_idx}");
+        assert!(
+            min_idx > 0 && min_idx < totals.len() - 1,
+            "min at {min_idx}"
+        );
         assert!(totals[0] > totals[min_idx] * 1.05, "leakage wall at low vt");
         assert!(
             *totals.last().unwrap() > totals[min_idx] * 1.05,
@@ -298,7 +316,7 @@ mod tests {
     fn lower_activity_raises_optimal_vt() {
         // "a circuit which has very low switching activity will require a
         // high-threshold voltage".
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let target = ring.stage_delay(Volts(1.5), Volts(0.45));
         let busy = FixedThroughputOptimizer::new(ring.clone(), target, 1.0).unwrap();
         let quiet = FixedThroughputOptimizer::new(ring, target, 0.01).unwrap();
@@ -310,7 +328,7 @@ mod tests {
 
     #[test]
     fn infeasible_target_reported() {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let opt = FixedThroughputOptimizer::new(ring, Seconds(1e-15), 1.0).unwrap();
         assert!(opt.iso_delay_supply(Volts(0.4)).is_err());
         assert!(matches!(

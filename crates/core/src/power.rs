@@ -147,14 +147,8 @@ mod tests {
     #[test]
     fn leakage_dominates_at_low_activity() {
         // The §3 observation: low-activity circuits want higher V_T.
-        let busy = PowerBreakdown::evaluate(
-            0.5,
-            Farads(20e-12),
-            Volts(1.0),
-            Hertz(1e6),
-            Amps(1e-6),
-            1.0,
-        );
+        let busy =
+            PowerBreakdown::evaluate(0.5, Farads(20e-12), Volts(1.0), Hertz(1e6), Amps(1e-6), 1.0);
         let idle = PowerBreakdown::evaluate(
             0.001,
             Farads(20e-12),

@@ -124,8 +124,7 @@ impl ParallelScaling {
         let c_op = self.ring.stages() as f64 * self.ring.stage_load().0;
         let overhead = 1.0 + self.overhead_per_way * (n as f64 - 1.0);
         let switching = Joules(c_op * overhead * vdd.0 * vdd.0);
-        let leakage =
-            (self.ring.leakage_current(vdd, self.vt) * vdd * self.t_op) * (n as f64);
+        let leakage = (self.ring.leakage_current(vdd, self.vt) * vdd * self.t_op) * (n as f64);
         Ok(ParallelPoint {
             ways: n,
             vdd,
@@ -163,7 +162,7 @@ mod tests {
 
     /// A design whose single-unit implementation needs a healthy supply.
     fn model(vt: f64) -> ParallelScaling {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let base = ring.stage_delay(Volts(2.5), Volts(vt));
         ParallelScaling::new(
             ring,
@@ -177,17 +176,15 @@ mod tests {
 
     #[test]
     fn constructor_validates() {
-        let ring = RingOscillator::paper_default();
-        assert!(ParallelScaling::new(ring.clone(), Volts(0.4), Seconds(0.0), Seconds(1e-6), 0.1)
-            .is_err());
-        assert!(ParallelScaling::new(
-            ring.clone(),
-            Volts(0.4),
-            Seconds(1e-9),
-            Seconds(0.0),
-            0.1
-        )
-        .is_err());
+        let ring = RingOscillator::paper_default().unwrap();
+        assert!(
+            ParallelScaling::new(ring.clone(), Volts(0.4), Seconds(0.0), Seconds(1e-6), 0.1)
+                .is_err()
+        );
+        assert!(
+            ParallelScaling::new(ring.clone(), Volts(0.4), Seconds(1e-9), Seconds(0.0), 0.1)
+                .is_err()
+        );
         assert!(
             ParallelScaling::new(ring, Volts(0.4), Seconds(1e-9), Seconds(1e-6), -0.1).is_err()
         );

@@ -54,14 +54,18 @@ pub struct DesignPoint {
 impl DesignPoint {
     /// The Fig. 4-style nominal point: full activity, mid-speed target,
     /// 1 MHz throughput.
-    #[must_use]
-    pub fn paper_nominal() -> DesignPoint {
-        let ring = RingOscillator::paper_default();
-        DesignPoint {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Device`] if the paper-default ring constants
+    /// are rejected (they never are as shipped).
+    pub fn paper_nominal() -> Result<DesignPoint, CoreError> {
+        let ring = RingOscillator::paper_default()?;
+        Ok(DesignPoint {
             activity: 1.0,
             stage_delay: ring.stage_delay(Volts(1.5), Volts(0.45)),
             t_op: Seconds(1e-6),
-        }
+        })
     }
 }
 
@@ -70,7 +74,8 @@ fn optimum_at(
     stage_delay: Seconds,
     t_op: Seconds,
 ) -> Result<(f64, f64, f64), CoreError> {
-    let opt = FixedThroughputOptimizer::new(RingOscillator::paper_default(), stage_delay, activity)?;
+    let opt =
+        FixedThroughputOptimizer::new(RingOscillator::paper_default()?, stage_delay, activity)?;
     let best = opt.optimum(t_op)?;
     Ok((best.vt.0, best.vdd.0, best.total().0))
 }
@@ -98,7 +103,11 @@ pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityRepor
     // Activity.
     {
         let a = optimum_at(point.activity * lo, point.stage_delay, point.t_op)?;
-        let b = optimum_at(point.activity.min(1.0 / hi) * hi, point.stage_delay, point.t_op)?;
+        let b = optimum_at(
+            point.activity.min(1.0 / hi) * hi,
+            point.stage_delay,
+            point.t_op,
+        )?;
         entries.push(SensitivityEntry {
             parameter: "activity (alpha)",
             perturbation,
@@ -109,8 +118,16 @@ pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityRepor
     }
     // Performance target.
     {
-        let a = optimum_at(point.activity, Seconds(point.stage_delay.0 * lo), point.t_op)?;
-        let b = optimum_at(point.activity, Seconds(point.stage_delay.0 * hi), point.t_op)?;
+        let a = optimum_at(
+            point.activity,
+            Seconds(point.stage_delay.0 * lo),
+            point.t_op,
+        )?;
+        let b = optimum_at(
+            point.activity,
+            Seconds(point.stage_delay.0 * hi),
+            point.t_op,
+        )?;
         entries.push(SensitivityEntry {
             parameter: "delay target",
             perturbation,
@@ -121,8 +138,16 @@ pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityRepor
     }
     // Throughput period (idle leakage window).
     {
-        let a = optimum_at(point.activity, point.stage_delay, Seconds(point.t_op.0 * lo))?;
-        let b = optimum_at(point.activity, point.stage_delay, Seconds(point.t_op.0 * hi))?;
+        let a = optimum_at(
+            point.activity,
+            point.stage_delay,
+            Seconds(point.t_op.0 * lo),
+        )?;
+        let b = optimum_at(
+            point.activity,
+            point.stage_delay,
+            Seconds(point.t_op.0 * hi),
+        )?;
         entries.push(SensitivityEntry {
             parameter: "throughput period",
             perturbation,
@@ -145,8 +170,12 @@ mod tests {
 
     #[test]
     fn nominal_matches_fig4_optimum() {
-        let r = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible");
-        assert!((r.nominal_vt.0 - 0.182).abs() < 0.02, "vt = {}", r.nominal_vt);
+        let r = analyse(DesignPoint::paper_nominal().unwrap(), 0.2).expect("feasible");
+        assert!(
+            (r.nominal_vt.0 - 0.182).abs() < 0.02,
+            "vt = {}",
+            r.nominal_vt
+        );
         assert!(r.nominal_vdd.0 < 1.0);
         assert_eq!(r.entries.len(), 3);
     }
@@ -155,14 +184,14 @@ mod tests {
     fn delay_target_is_the_dominant_knob() {
         // Energy scales ~V² along the iso-delay locus; relaxing the delay
         // target moves V_DD directly, so it must dominate the swing.
-        let r = analyse(DesignPoint::paper_nominal(), 0.2).expect("feasible");
+        let r = analyse(DesignPoint::paper_nominal().unwrap(), 0.2).expect("feasible");
         assert_eq!(r.entries[0].parameter, "delay target");
         assert!(r.entries[0].energy_swing.abs() > 0.05);
     }
 
     #[test]
     fn directions_are_physical() {
-        let r = analyse(DesignPoint::paper_nominal(), 0.3).expect("feasible");
+        let r = analyse(DesignPoint::paper_nominal().unwrap(), 0.3).expect("feasible");
         for e in &r.entries {
             match e.parameter {
                 // More activity → switching matters more → lower optimal V_T.
@@ -178,7 +207,7 @@ mod tests {
 
     #[test]
     fn bad_perturbation_rejected() {
-        assert!(analyse(DesignPoint::paper_nominal(), 0.0).is_err());
-        assert!(analyse(DesignPoint::paper_nominal(), 1.0).is_err());
+        assert!(analyse(DesignPoint::paper_nominal().unwrap(), 0.0).is_err());
+        assert!(analyse(DesignPoint::paper_nominal().unwrap(), 1.0).is_err());
     }
 }

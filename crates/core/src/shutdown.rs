@@ -228,7 +228,11 @@ pub fn evaluate(trace: &SessionTrace, states: &PowerStates, policy: Policy) -> S
     ShutdownReport {
         energy: Joules(energy),
         shutdowns,
-        sleep_fraction: if idle_total == 0.0 { 0.0 } else { slept / idle_total },
+        sleep_fraction: if idle_total == 0.0 {
+            0.0
+        } else {
+            slept / idle_total
+        },
     }
 }
 
@@ -257,7 +261,10 @@ mod tests {
         assert!(t.duration().0 > 0.0);
         assert_eq!(t.intervals().len(), 400);
         // Deterministic per seed.
-        assert_eq!(t, SessionTrace::bursty(200, Seconds(0.02), Seconds(0.5), 42));
+        assert_eq!(
+            t,
+            SessionTrace::bursty(200, Seconds(0.02), Seconds(0.5), 42)
+        );
     }
 
     #[test]

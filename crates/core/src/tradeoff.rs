@@ -183,7 +183,7 @@ mod tests {
         let soias = Technology::soias(device.clone(), Volts(3.0)).unwrap();
         // The Eq. 3 baseline is the *same* low-V_T device, fixed.
         let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));
-        (model, soias, soi, BlockParams::adder_8bit())
+        (model, soias, soi, BlockParams::adder_8bit().unwrap())
     }
 
     fn surface() -> TradeoffSurface {
@@ -264,9 +264,19 @@ mod tests {
         // time gives large SOIAS savings for all three modules.
         let (model, soias, soi, _) = setup();
         let cases = [
-            ("adder", BlockParams::adder_8bit(), 0.697, 0.023),
-            ("shifter", BlockParams::shifter_8bit(), 0.109, 0.087),
-            ("multiplier", BlockParams::multiplier_8x8(), 0.0083, 0.0083),
+            ("adder", BlockParams::adder_8bit().unwrap(), 0.697, 0.023),
+            (
+                "shifter",
+                BlockParams::shifter_8bit().unwrap(),
+                0.109,
+                0.087,
+            ),
+            (
+                "multiplier",
+                BlockParams::multiplier_8x8().unwrap(),
+                0.0083,
+                0.0083,
+            ),
         ];
         let mut savings = Vec::new();
         for (name, block, fga, bga) in cases {

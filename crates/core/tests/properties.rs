@@ -1,10 +1,10 @@
 //! Property-based tests for the CAD-layer invariants.
 
+use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_core::activity::ActivityVars;
 use lowvolt_core::energy::{BlockParams, BurstEnergyModel};
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::shutdown::{evaluate, Policy, PowerStates, SessionTrace};
-use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Joules, Seconds, Volts, Watts};
@@ -31,7 +31,7 @@ proptest! {
     ) {
         let activity = ActivityVars::new(fga, fga * bga_frac, alpha).unwrap();
         let model = BurstEnergyModel::new(Volts(vdd), Hertz(mhz * 1e6)).unwrap();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         for tech in [soias(), soi()] {
             let b = model.breakdown(&tech, &block, activity);
             let total = b.total().0;
@@ -49,7 +49,7 @@ proptest! {
         alpha in 0.05f64..1.0,
     ) {
         let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).unwrap();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let tech = soias();
         let base = ActivityVars::new(fga, fga * bga_frac, alpha).unwrap();
         let e0 = model.energy_per_cycle(&tech, &block, base).0;
@@ -65,7 +65,7 @@ proptest! {
     /// feasible sweep grid.
     #[test]
     fn optimum_is_global_on_grid(t_op_us in 0.1f64..100.0) {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let target = ring.stage_delay(Volts(1.5), Volts(0.45));
         let opt = FixedThroughputOptimizer::new(ring, target, 1.0).unwrap();
         let t_op = Seconds(t_op_us * 1e-6);
@@ -84,7 +84,7 @@ proptest! {
     /// Iso-delay supplies always reproduce the delay target.
     #[test]
     fn iso_delay_supplies_hit_target(vt in 0.0f64..0.6) {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default().unwrap();
         let target = ring.stage_delay(Volts(1.5), Volts(0.45));
         let opt = FixedThroughputOptimizer::new(ring.clone(), target, 1.0).unwrap();
         let vdd = opt.iso_delay_supply(Volts(vt)).unwrap();
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn ratio_improves_with_idleness(fga_hi in 0.2f64..1.0, shrink in 0.1f64..0.9) {
         let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).unwrap();
-        let block = BlockParams::adder_8bit();
+        let block = BlockParams::adder_8bit().unwrap();
         let fga_lo = fga_hi * shrink;
         let bga = (fga_lo * 0.1).min(0.01);
         let a_hi = ActivityVars::new(fga_hi, bga, 0.5).unwrap();

@@ -44,7 +44,11 @@ impl BodyEffect {
     ///
     /// Returns [`DeviceError::InvalidParameter`] if `gamma` is negative or
     /// the surface potential is non-positive.
-    pub fn new(vt0: Volts, gamma: f64, surface_potential: Volts) -> Result<BodyEffect, DeviceError> {
+    pub fn new(
+        vt0: Volts,
+        gamma: f64,
+        surface_potential: Volts,
+    ) -> Result<BodyEffect, DeviceError> {
         if gamma < 0.0 || !gamma.is_finite() {
             return Err(DeviceError::InvalidParameter {
                 name: "gamma",

@@ -120,8 +120,8 @@ impl GateCapacitance {
         let softplus = |x: f64| if x > 34.0 { x } else { x.exp().ln_1p() };
         let integral_sigmoid =
             w * (softplus((vdd.0 - self.vt.0) / w) - softplus((0.0 - self.vt.0) / w));
-        let avg = self.depletion_fraction
-            + (1.0 - self.depletion_fraction) * integral_sigmoid / vdd.0;
+        let avg =
+            self.depletion_fraction + (1.0 - self.depletion_fraction) * integral_sigmoid / vdd.0;
         Farads(self.c_ox.0 * avg)
     }
 }
@@ -155,7 +155,11 @@ impl JunctionCapacitance {
     ///
     /// Returns [`DeviceError::InvalidParameter`] if `c_j0` or `builtin` is
     /// non-positive or `grading` is outside `(0, 1)`.
-    pub fn new(c_j0: Farads, builtin: Volts, grading: f64) -> Result<JunctionCapacitance, DeviceError> {
+    pub fn new(
+        c_j0: Farads,
+        builtin: Volts,
+        grading: f64,
+    ) -> Result<JunctionCapacitance, DeviceError> {
         if c_j0.0 <= 0.0 {
             return Err(DeviceError::InvalidParameter {
                 name: "c_j0",
@@ -259,11 +263,7 @@ impl NodeCapacitance {
     /// Panics if `vdd` is not positive.
     #[must_use]
     pub fn effective_switched(&self, vdd: Volts) -> Farads {
-        let gate: f64 = self
-            .gates
-            .iter()
-            .map(|g| g.effective_switched(vdd).0)
-            .sum();
+        let gate: f64 = self.gates.iter().map(|g| g.effective_switched(vdd).0).sum();
         let junction: f64 = self
             .junctions
             .iter()
@@ -349,7 +349,9 @@ mod tests {
     fn node_cap_sums_components() {
         let node = NodeCapacitance::new()
             .with_gate(GateCapacitance::from_area(10.0, Volts(0.5)))
-            .with_junction(JunctionCapacitance::with_c_j0(Farads::from_femtofarads(4.0)))
+            .with_junction(JunctionCapacitance::with_c_j0(Farads::from_femtofarads(
+                4.0,
+            )))
             .with_wire(Farads::from_femtofarads(2.0));
         let c = node.effective_switched(Volts(1.5));
         assert!(c.to_femtofarads() > 2.0);

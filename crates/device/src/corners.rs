@@ -7,6 +7,7 @@
 //! temperature, so every higher-level analysis can be re-run across
 //! corners.
 
+use crate::error::DeviceError;
 use crate::mosfet::Mosfet;
 use crate::units::{Kelvin, Volts};
 
@@ -102,25 +103,24 @@ impl Condition {
 
     /// Applies this condition to a nominal device.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics only if the nominal device's parameters were already at the
-    /// validation boundary such that the corner shift leaves the valid
-    /// range — not possible for devices built by this crate's
-    /// constructors.
-    #[must_use]
-    pub fn apply(&self, nominal: &Mosfet) -> Mosfet {
+    /// Returns [`DeviceError::InvalidParameter`] if the corner shift
+    /// pushes the device's parameters out of their valid range — not
+    /// possible for devices built by this crate's constructors, but a
+    /// hand-built near-boundary device is rejected rather than panicked
+    /// on.
+    pub fn apply(&self, nominal: &Mosfet) -> Result<Mosfet, DeviceError> {
         let vt = Volts(nominal.vt0().0 + self.corner.vt_shift().0);
-        Mosfet::new(
+        Ok(Mosfet::new(
             nominal.polarity(),
             vt,
             nominal.ideality(),
             nominal.width(),
             nominal.length(),
             nominal.k_prime() * self.corner.k_prime_factor(),
-        )
-        .expect("corner shifts stay within the valid parameter range")
-        .at_temperature(self.temperature)
+        )?
+        .at_temperature(self.temperature))
     }
 }
 
@@ -141,6 +141,7 @@ mod tests {
                 temperature: Kelvin::ROOM,
             }
             .apply(&nominal())
+            .unwrap()
             .on_current(vdd)
             .0
         };
@@ -156,6 +157,7 @@ mod tests {
                 temperature: Kelvin::ROOM,
             }
             .apply(&nominal())
+            .unwrap()
             .off_current(Volts(1.0))
             .0
         };
@@ -165,9 +167,14 @@ mod tests {
 
     #[test]
     fn worst_leakage_condition_dominates() {
-        let nominal_leak = Condition::nominal().apply(&nominal()).off_current(Volts(1.0)).0;
+        let nominal_leak = Condition::nominal()
+            .apply(&nominal())
+            .unwrap()
+            .off_current(Volts(1.0))
+            .0;
         let worst_leak = Condition::worst_leakage()
             .apply(&nominal())
+            .unwrap()
             .off_current(Volts(1.0))
             .0;
         assert!(
@@ -180,8 +187,16 @@ mod tests {
     fn worst_speed_condition_is_slowest() {
         // Compare drive at a low supply where V_T dominates.
         let vdd = Volts(0.8);
-        let nominal_on = Condition::nominal().apply(&nominal()).on_current(vdd).0;
-        let worst_on = Condition::worst_speed().apply(&nominal()).on_current(vdd).0;
+        let nominal_on = Condition::nominal()
+            .apply(&nominal())
+            .unwrap()
+            .on_current(vdd)
+            .0;
+        let worst_on = Condition::worst_speed()
+            .apply(&nominal())
+            .unwrap()
+            .on_current(vdd)
+            .0;
         assert!(worst_on < nominal_on);
     }
 

@@ -32,13 +32,31 @@ impl StageDelay {
     /// # Errors
     ///
     /// Returns [`DeviceError::InvalidParameter`] if `load` or `k_delay` is
-    /// non-positive.
-    pub fn new(drive: AlphaPowerLaw, load: Farads, k_delay: f64) -> Result<StageDelay, DeviceError> {
+    /// non-positive, or [`DeviceError::NonFinite`] if either is NaN or
+    /// infinite (note `NaN <= 0.0` is false, so the range check alone
+    /// would wave NaN through).
+    pub fn new(
+        drive: AlphaPowerLaw,
+        load: Farads,
+        k_delay: f64,
+    ) -> Result<StageDelay, DeviceError> {
+        if !load.0.is_finite() {
+            return Err(DeviceError::NonFinite {
+                what: "load",
+                value: load.0,
+            });
+        }
         if load.0 <= 0.0 {
             return Err(DeviceError::InvalidParameter {
                 name: "load",
                 value: load.0,
                 constraint: "must be positive",
+            });
+        }
+        if !k_delay.is_finite() {
+            return Err(DeviceError::NonFinite {
+                what: "k_delay",
+                value: k_delay,
             });
         }
         if k_delay <= 0.0 {
@@ -100,6 +118,12 @@ impl StageDelay {
         let fail = DeviceError::SolveFailed {
             what: "iso-delay vdd",
         };
+        if !target.0.is_finite() {
+            return Err(DeviceError::NonFinite {
+                what: "target delay",
+                value: target.0,
+            });
+        }
         if target.0 <= 0.0 || self.delay(v_max, vt).0 > target.0 {
             return Err(fail);
         }
@@ -142,7 +166,15 @@ mod tests {
     fn constructor_validates() {
         let d = AlphaPowerLaw::with_width(Micrometers(2.0));
         assert!(StageDelay::new(d.clone(), Farads(0.0), 0.5).is_err());
-        assert!(StageDelay::new(d, Farads(1e-15), -1.0).is_err());
+        assert!(StageDelay::new(d.clone(), Farads(1e-15), -1.0).is_err());
+        assert!(matches!(
+            StageDelay::new(d.clone(), Farads(f64::NAN), 0.5),
+            Err(DeviceError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            StageDelay::new(d, Farads(1e-15), f64::INFINITY),
+            Err(DeviceError::NonFinite { .. })
+        ));
     }
 
     #[test]
@@ -198,6 +230,12 @@ mod tests {
         assert!(s
             .supply_for_delay(Seconds(1e-18), Volts(0.4), Volts(3.3))
             .is_err());
-        assert!(s.supply_for_delay(Seconds(0.0), Volts(0.4), Volts(3.3)).is_err());
+        assert!(s
+            .supply_for_delay(Seconds(0.0), Volts(0.4), Volts(3.3))
+            .is_err());
+        assert!(matches!(
+            s.supply_for_delay(Seconds(f64::NAN), Volts(0.4), Volts(3.3)),
+            Err(DeviceError::NonFinite { .. })
+        ));
     }
 }

@@ -21,6 +21,14 @@ pub enum DeviceError {
         /// What was being solved for.
         what: &'static str,
     },
+    /// A model evaluation produced (or was handed) a non-finite number —
+    /// the checked-numerics guard on the device layer.
+    NonFinite {
+        /// Which quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -33,6 +41,12 @@ impl fmt::Display for DeviceError {
             } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
             DeviceError::SolveFailed { what } => {
                 write!(f, "bias solve failed to converge for {what}")
+            }
+            DeviceError::NonFinite { what, value } => {
+                write!(
+                    f,
+                    "non-finite {what} = {value}: model inputs and outputs must be finite"
+                )
             }
         }
     }
@@ -54,8 +68,15 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("vt0"));
         assert!(s.contains("-3"));
-        let e2 = DeviceError::SolveFailed { what: "iso-delay vdd" };
+        let e2 = DeviceError::SolveFailed {
+            what: "iso-delay vdd",
+        };
         assert!(e2.to_string().contains("iso-delay vdd"));
+        let e3 = DeviceError::NonFinite {
+            what: "stage delay",
+            value: f64::INFINITY,
+        };
+        assert!(e3.to_string().contains("stage delay"));
     }
 
     #[test]

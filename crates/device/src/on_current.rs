@@ -168,7 +168,10 @@ mod tests {
     fn zero_overdrive_means_zero_current() {
         let m = model();
         assert_eq!(m.saturation_current(Volts(0.4), Volts(0.4)), Amps::ZERO);
-        assert_eq!(m.drain_current(Volts(0.2), Volts(1.0), Volts(0.4)), Amps::ZERO);
+        assert_eq!(
+            m.drain_current(Volts(0.2), Volts(1.0), Volts(0.4)),
+            Amps::ZERO
+        );
     }
 
     #[test]

@@ -233,8 +233,12 @@ mod tests {
         // Paper: "an 80% switching current increase at 1 V operation"
         // (linear-region V_ds = 0.1 V measurement).
         let d = SoiasDevice::paper_fig6();
-        let slow = d.front_device(Volts(0.0)).drain_current(Volts(1.0), Volts(0.1));
-        let fast = d.front_device(Volts(3.0)).drain_current(Volts(1.0), Volts(0.1));
+        let slow = d
+            .front_device(Volts(0.0))
+            .drain_current(Volts(1.0), Volts(0.1));
+        let fast = d
+            .front_device(Volts(3.0))
+            .drain_current(Volts(1.0), Volts(0.1));
         let boost = fast.0 / slow.0;
         assert!(boost > 1.4 && boost < 2.3, "boost = {boost}");
     }

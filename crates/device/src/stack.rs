@@ -115,11 +115,20 @@ mod tests {
     fn reduction_ordering_and_dibl_dependence() {
         // Lower threshold still leaks more in absolute terms, and the
         // long-channel (no-DIBL) stack factor is much smaller.
-        let lo = two_stack_leakage(&Mosfet::nmos_with_vt(Volts(0.1)).with_dibl(0.07), Volts(1.0))
-            .unwrap();
-        let hi = two_stack_leakage(&Mosfet::nmos_with_vt(Volts(0.4)).with_dibl(0.07), Volts(1.0))
-            .unwrap();
-        assert!(lo.current.0 > hi.current.0, "absolute leakage still ordered");
+        let lo = two_stack_leakage(
+            &Mosfet::nmos_with_vt(Volts(0.1)).with_dibl(0.07),
+            Volts(1.0),
+        )
+        .unwrap();
+        let hi = two_stack_leakage(
+            &Mosfet::nmos_with_vt(Volts(0.4)).with_dibl(0.07),
+            Volts(1.0),
+        )
+        .unwrap();
+        assert!(
+            lo.current.0 > hi.current.0,
+            "absolute leakage still ordered"
+        );
         let long_channel =
             two_stack_leakage(&Mosfet::nmos_with_vt(Volts(0.2)), Volts(1.0)).unwrap();
         assert!(

@@ -10,6 +10,7 @@
 //! `V_ds ≳ 0.1 V` the drain term saturates and the current becomes
 //! independent of `V_ds`, exactly as the paper notes.
 
+use crate::error::DeviceError;
 use crate::thermal::thermal_voltage;
 use crate::units::{Amps, Kelvin, Volts};
 
@@ -43,6 +44,72 @@ pub fn eq2_current(
     Amps(prefactor.0 * gate * drain)
 }
 
+/// [`eq2_current`] with the checked-numerics contract: every input must
+/// be finite, the prefactor non-negative, the ideality and temperature
+/// positive, and the resulting current finite — an overflowing exponent
+/// (e.g. a wildly wrong `V_gs`) is reported instead of returned as `inf`.
+///
+/// This is the entry point the energy pipeline uses so that a corrupt
+/// device parameter surfaces as a typed error at the device/core
+/// boundary rather than as NaN energies downstream.
+///
+/// # Errors
+///
+/// Returns [`DeviceError::NonFinite`] for non-finite inputs or an
+/// overflowed result, and [`DeviceError::InvalidParameter`] for a
+/// negative prefactor, non-positive ideality, or non-positive
+/// temperature.
+pub fn checked_eq2_current(
+    prefactor: Amps,
+    vgs: Volts,
+    vds: Volts,
+    vt0: Volts,
+    ideality: f64,
+    temperature: Kelvin,
+) -> Result<Amps, DeviceError> {
+    for (what, v) in [
+        ("prefactor", prefactor.0),
+        ("vgs", vgs.0),
+        ("vds", vds.0),
+        ("vt0", vt0.0),
+        ("ideality", ideality),
+        ("temperature", temperature.0),
+    ] {
+        if !v.is_finite() {
+            return Err(DeviceError::NonFinite { what, value: v });
+        }
+    }
+    if prefactor.0 < 0.0 {
+        return Err(DeviceError::InvalidParameter {
+            name: "prefactor",
+            value: prefactor.0,
+            constraint: "must be non-negative",
+        });
+    }
+    if ideality <= 0.0 {
+        return Err(DeviceError::InvalidParameter {
+            name: "ideality",
+            value: ideality,
+            constraint: "must be positive",
+        });
+    }
+    if temperature.0 <= 0.0 {
+        return Err(DeviceError::InvalidParameter {
+            name: "temperature",
+            value: temperature.0,
+            constraint: "must be positive",
+        });
+    }
+    let i = eq2_current(prefactor, vgs, vds, vt0, ideality, temperature);
+    if !i.0.is_finite() {
+        return Err(DeviceError::NonFinite {
+            what: "subthreshold current",
+            value: i.0,
+        });
+    }
+    Ok(i)
+}
+
 /// Number of decades the off-current falls when the threshold voltage is
 /// raised by `delta_vt`, i.e. `ΔV_T / S_th`.
 ///
@@ -60,8 +127,22 @@ mod tests {
 
     #[test]
     fn exponential_in_gate_voltage() {
-        let i0 = eq2_current(Amps(1e-6), Volts(0.0), Volts(1.0), Volts(0.4), 1.0, Kelvin::ROOM);
-        let i1 = eq2_current(Amps(1e-6), Volts(0.06), Volts(1.0), Volts(0.4), 1.0, Kelvin::ROOM);
+        let i0 = eq2_current(
+            Amps(1e-6),
+            Volts(0.0),
+            Volts(1.0),
+            Volts(0.4),
+            1.0,
+            Kelvin::ROOM,
+        );
+        let i1 = eq2_current(
+            Amps(1e-6),
+            Volts(0.06),
+            Volts(1.0),
+            Volts(0.4),
+            1.0,
+            Kelvin::ROOM,
+        );
         // 60 mV at n=1 and 300 K ≈ one decade.
         let decades = (i1.0 / i0.0).log10();
         assert!((decades - 1.0).abs() < 0.05, "decades = {decades}");
@@ -70,17 +151,36 @@ mod tests {
     #[test]
     fn drain_term_linear_for_tiny_vds() {
         // For V_ds << V_t, (1 − e^{−V_ds/V_t}) ≈ V_ds/V_t.
-        let i_small =
-            eq2_current(Amps(1e-6), Volts(0.1), Volts(0.001), Volts(0.4), 1.5, Kelvin::ROOM);
-        let i_double =
-            eq2_current(Amps(1e-6), Volts(0.1), Volts(0.002), Volts(0.4), 1.5, Kelvin::ROOM);
+        let i_small = eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(0.001),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
+        let i_double = eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(0.002),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
         let ratio = i_double.0 / i_small.0;
         assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
     }
 
     #[test]
     fn negative_vds_yields_zero() {
-        let i = eq2_current(Amps(1e-6), Volts(0.1), Volts(-1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+        let i = eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(-1.0),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
         assert_eq!(i.0, 0.0);
     }
 
@@ -94,9 +194,94 @@ mod tests {
     }
 
     #[test]
+    fn checked_variant_rejects_non_physical_inputs() {
+        let ok = checked_eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(1.0),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
+        assert!(ok.is_ok());
+        assert!(matches!(
+            checked_eq2_current(
+                Amps(f64::NAN),
+                Volts(0.1),
+                Volts(1.0),
+                Volts(0.4),
+                1.5,
+                Kelvin::ROOM
+            ),
+            Err(DeviceError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            checked_eq2_current(
+                Amps(-1e-6),
+                Volts(0.1),
+                Volts(1.0),
+                Volts(0.4),
+                1.5,
+                Kelvin::ROOM
+            ),
+            Err(DeviceError::InvalidParameter {
+                name: "prefactor",
+                ..
+            })
+        ));
+        assert!(checked_eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(1.0),
+            Volts(0.4),
+            0.0,
+            Kelvin::ROOM
+        )
+        .is_err());
+        assert!(checked_eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(1.0),
+            Volts(0.4),
+            1.5,
+            Kelvin(0.0)
+        )
+        .is_err());
+        // A gate overdrive of thousands of volts overflows the exponent.
+        assert!(matches!(
+            checked_eq2_current(
+                Amps(1e-6),
+                Volts(1e5),
+                Volts(1.0),
+                Volts(0.4),
+                1.0,
+                Kelvin::ROOM
+            ),
+            Err(DeviceError::NonFinite {
+                what: "subthreshold current",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn prefactor_scales_linearly() {
-        let a = eq2_current(Amps(1e-6), Volts(0.1), Volts(1.0), Volts(0.4), 1.5, Kelvin::ROOM);
-        let b = eq2_current(Amps(3e-6), Volts(0.1), Volts(1.0), Volts(0.4), 1.5, Kelvin::ROOM);
+        let a = eq2_current(
+            Amps(1e-6),
+            Volts(0.1),
+            Volts(1.0),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
+        let b = eq2_current(
+            Amps(3e-6),
+            Volts(0.1),
+            Volts(1.0),
+            Volts(0.4),
+            1.5,
+            Kelvin::ROOM,
+        );
         assert!((b.0 / a.0 - 3.0).abs() < 1e-12);
     }
 }

@@ -178,7 +178,10 @@ impl Technology {
     ///
     /// Returns [`DeviceError::InvalidParameter`] if `standby_bias` is not
     /// positive.
-    pub fn substrate_bias(body: BodyEffect, standby_bias: Volts) -> Result<Technology, DeviceError> {
+    pub fn substrate_bias(
+        body: BodyEffect,
+        standby_bias: Volts,
+    ) -> Result<Technology, DeviceError> {
         if standby_bias.0 <= 0.0 {
             return Err(DeviceError::InvalidParameter {
                 name: "standby_bias",
@@ -290,7 +293,10 @@ mod tests {
         let t = Technology::soias(SoiasDevice::paper_fig6(), Volts(3.0)).expect("valid");
         let active = t.active_off_current_per_um(Volts(1.0)).0;
         let standby = t.standby_off_current_per_um(Volts(1.0)).0;
-        assert!(standby < active * 1e-3, "active={active}, standby={standby}");
+        assert!(
+            standby < active * 1e-3,
+            "active={active}, standby={standby}"
+        );
         assert!(t.has_standby_mode());
         assert!(t.control_capacitance(100.0).0 > 0.0);
     }

@@ -104,7 +104,10 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
         while let Some(colon) = find_label_colon(rest) {
             let name = rest[..colon].trim();
             if !is_valid_label(name) {
-                return Err(AssembleError::new(line_no, format!("invalid label `{name}`")));
+                return Err(AssembleError::new(
+                    line_no,
+                    format!("invalid label `{name}`"),
+                ));
             }
             let dup = match section {
                 Section::Text => text_labels.insert(name.to_string(), inst_count).is_some(),
@@ -118,7 +121,10 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
                 }
             } || (text_labels.contains_key(name) && data_labels.contains_key(name));
             if dup {
-                return Err(AssembleError::new(line_no, format!("duplicate label `{name}`")));
+                return Err(AssembleError::new(
+                    line_no,
+                    format!("duplicate label `{name}`"),
+                ));
             }
             rest = rest[colon + 1..].trim();
         }
@@ -155,7 +161,10 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
                     data_items.push((line_no, name.to_string(), args));
                 }
                 other => {
-                    return Err(AssembleError::new(line_no, format!("unknown directive .{other}")));
+                    return Err(AssembleError::new(
+                        line_no,
+                        format!("unknown directive .{other}"),
+                    ));
                 }
             }
             continue;
@@ -185,7 +194,11 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
     for stmt in &text_stmts {
         emit_statement(stmt, &symbols, &mut insts)?;
     }
-    debug_assert_eq!(insts.len() as u32, inst_count, "pass-1 sizing must be exact");
+    debug_assert_eq!(
+        insts.len() as u32,
+        inst_count,
+        "pass-1 sizing must be exact"
+    );
     let entry = text_labels.get("main").copied().unwrap_or(0);
     Ok(Program {
         insts,
@@ -203,9 +216,10 @@ struct SymbolTables<'a> {
 
 impl SymbolTables<'_> {
     fn text_target(&self, label: &str, line: usize) -> Result<u32, AssembleError> {
-        self.text.get(label).copied().ok_or_else(|| {
-            AssembleError::new(line, format!("unresolved text label `{label}`"))
-        })
+        self.text
+            .get(label)
+            .copied()
+            .ok_or_else(|| AssembleError::new(line, format!("unresolved text label `{label}`")))
     }
 
     /// Value of a label for address-forming instructions: data labels give
@@ -230,7 +244,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_valid_label(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -301,9 +317,9 @@ fn data_directive_size(name: &str, args: &[String], _offset: u32) -> Result<u32,
             let n = args
                 .first()
                 .ok_or_else(|| ".space needs a size".to_string())?;
-            parse_imm(n)
-                .map_err(|e| e.to_string())
-                .and_then(|v| u32::try_from(v).map_err(|_| ".space size must be non-negative".into()))
+            parse_imm(n).map_err(|e| e.to_string()).and_then(|v| {
+                u32::try_from(v).map_err(|_| ".space size must be non-negative".into())
+            })
         }
         "align" => {
             // Handled at emit time; sizing conservatively assumes the
@@ -441,7 +457,8 @@ fn parse_imm(s: &str) -> Result<i64, String> {
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).map_err(|_| format!("bad hex literal `{s}`"))?
     } else {
-        body.parse::<i64>().map_err(|_| format!("bad integer `{s}`"))?
+        body.parse::<i64>()
+            .map_err(|_| format!("bad integer `{s}`"))?
     };
     Ok(if neg { -v } else { v })
 }
@@ -489,9 +506,8 @@ fn statement_size(stmt: &Statement) -> Result<u32, AssembleError> {
 }
 
 fn li_size(imm: i64) -> u32 {
-    let single = i16::try_from(imm).is_ok()
-        || (0..=0xffff).contains(&imm)
-        || imm as u32 & 0xffff == 0;
+    let single =
+        i16::try_from(imm).is_ok() || (0..=0xffff).contains(&imm) || imm as u32 & 0xffff == 0;
     if single {
         1
     } else {
@@ -505,7 +521,7 @@ struct Operands<'a> {
 }
 
 impl<'a> Operands<'a> {
-    fn expect(&self, n: usize) -> Result<(), AssembleError> {
+    fn want(&self, n: usize) -> Result<(), AssembleError> {
         if self.ops.len() == n {
             Ok(())
         } else {
@@ -521,9 +537,9 @@ impl<'a> Operands<'a> {
             .ops
             .get(i)
             .ok_or_else(|| AssembleError::new(self.line, format!("missing operand {i}")))?;
-        let name = s
-            .strip_prefix('$')
-            .ok_or_else(|| AssembleError::new(self.line, format!("expected register, got `{s}`")))?;
+        let name = s.strip_prefix('$').ok_or_else(|| {
+            AssembleError::new(self.line, format!("expected register, got `{s}`"))
+        })?;
         Reg::by_name(name)
             .ok_or_else(|| AssembleError::new(self.line, format!("unknown register `{s}`")))
     }
@@ -553,7 +569,10 @@ impl<'a> Operands<'a> {
         if (0..32).contains(&v) {
             Ok(v as u8)
         } else {
-            Err(AssembleError::new(self.line, format!("shift amount {v} out of 0..32")))
+            Err(AssembleError::new(
+                self.line,
+                format!("shift amount {v} out of 0..32"),
+            ))
         }
     }
 
@@ -570,9 +589,9 @@ impl<'a> Operands<'a> {
             .ops
             .get(i)
             .ok_or_else(|| AssembleError::new(self.line, format!("missing operand {i}")))?;
-        let open = s
-            .find('(')
-            .ok_or_else(|| AssembleError::new(self.line, format!("expected mem operand, got `{s}`")))?;
+        let open = s.find('(').ok_or_else(|| {
+            AssembleError::new(self.line, format!("expected mem operand, got `{s}`"))
+        })?;
         let close = s
             .rfind(')')
             .ok_or_else(|| AssembleError::new(self.line, "unterminated mem operand"))?;
@@ -587,10 +606,14 @@ impl<'a> Operands<'a> {
         };
         let reg_str = s[open + 1..close].trim();
         let name = reg_str.strip_prefix('$').ok_or_else(|| {
-            AssembleError::new(self.line, format!("expected base register, got `{reg_str}`"))
+            AssembleError::new(
+                self.line,
+                format!("expected base register, got `{reg_str}`"),
+            )
         })?;
-        let base = Reg::by_name(name)
-            .ok_or_else(|| AssembleError::new(self.line, format!("unknown register `{reg_str}`")))?;
+        let base = Reg::by_name(name).ok_or_else(|| {
+            AssembleError::new(self.line, format!("unknown register `{reg_str}`"))
+        })?;
         Ok((base, offset))
     }
 }
@@ -609,7 +632,7 @@ fn emit_statement(
     match stmt.mnemonic.as_str() {
         // ---- three-register ALU ----
         m @ ("add" | "addu" | "sub" | "subu" | "and" | "or" | "xor" | "nor" | "slt" | "sltu") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rd, rs, rt) = (o.reg(0)?, o.reg(1)?, o.reg(2)?);
             out.push(match m {
                 "add" | "addu" => Inst::Add { rd, rs, rt },
@@ -623,7 +646,7 @@ fn emit_statement(
             });
         }
         m @ ("sllv" | "srlv" | "srav") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rd, rt, rs) = (o.reg(0)?, o.reg(1)?, o.reg(2)?);
             out.push(match m {
                 "sllv" => Inst::Sllv { rd, rt, rs },
@@ -632,7 +655,7 @@ fn emit_statement(
             });
         }
         m @ ("sll" | "srl" | "sra") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rd, rt, shamt) = (o.reg(0)?, o.reg(1)?, o.shamt(2)?);
             out.push(match m {
                 "sll" => Inst::Sll { rd, rt, shamt },
@@ -641,7 +664,7 @@ fn emit_statement(
             });
         }
         m @ ("mult" | "multu" | "div" | "divu") => {
-            o.expect(2)?;
+            o.want(2)?;
             let (rs, rt) = (o.reg(0)?, o.reg(1)?);
             out.push(match m {
                 "mult" => Inst::Mult { rs, rt },
@@ -651,16 +674,16 @@ fn emit_statement(
             });
         }
         "mfhi" => {
-            o.expect(1)?;
+            o.want(1)?;
             out.push(Inst::Mfhi { rd: o.reg(0)? });
         }
         "mflo" => {
-            o.expect(1)?;
+            o.want(1)?;
             out.push(Inst::Mflo { rd: o.reg(0)? });
         }
         // ---- immediates ----
         m @ ("addi" | "addiu" | "slti" | "sltiu") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rt, rs, imm) = (o.reg(0)?, o.reg(1)?, o.imm16(2)?);
             out.push(match m {
                 "addi" | "addiu" => Inst::Addi { rt, rs, imm },
@@ -669,7 +692,7 @@ fn emit_statement(
             });
         }
         m @ ("andi" | "ori" | "xori") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rt, rs, imm) = (o.reg(0)?, o.reg(1)?, o.uimm16(2)?);
             out.push(match m {
                 "andi" => Inst::Andi { rt, rs, imm },
@@ -678,7 +701,7 @@ fn emit_statement(
             });
         }
         "lui" => {
-            o.expect(2)?;
+            o.want(2)?;
             out.push(Inst::Lui {
                 rt: o.reg(0)?,
                 imm: o.uimm16(1)?,
@@ -686,7 +709,7 @@ fn emit_statement(
         }
         // ---- memory ----
         m @ ("lw" | "sw" | "lb" | "lbu" | "sb") => {
-            o.expect(2)?;
+            o.want(2)?;
             let rt = o.reg(0)?;
             let operand = o.label(1)?;
             let (base, offset) = if operand.contains('(') {
@@ -721,7 +744,7 @@ fn emit_statement(
         }
         // ---- control ----
         m @ ("beq" | "bne") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rs, rt) = (o.reg(0)?, o.reg(1)?);
             let target = symbols.text_target(o.label(2)?, line)?;
             out.push(if m == "beq" {
@@ -731,7 +754,7 @@ fn emit_statement(
             });
         }
         m @ ("blez" | "bgtz" | "bltz" | "bgez") => {
-            o.expect(2)?;
+            o.want(2)?;
             let rs = o.reg(0)?;
             let target = symbols.text_target(o.label(1)?, line)?;
             out.push(match m {
@@ -742,7 +765,7 @@ fn emit_statement(
             });
         }
         m @ ("beqz" | "bnez") => {
-            o.expect(2)?;
+            o.want(2)?;
             let rs = o.reg(0)?;
             let target = symbols.text_target(o.label(1)?, line)?;
             out.push(if m == "beqz" {
@@ -760,7 +783,7 @@ fn emit_statement(
             });
         }
         "b" => {
-            o.expect(1)?;
+            o.want(1)?;
             let target = symbols.text_target(o.label(0)?, line)?;
             out.push(Inst::Beq {
                 rs: Reg::ZERO,
@@ -769,7 +792,7 @@ fn emit_statement(
             });
         }
         m @ ("blt" | "bgt" | "ble" | "bge") => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rs, rt) = (o.reg(0)?, o.reg(1)?);
             let target = symbols.text_target(o.label(2)?, line)?;
             // blt: rs < rt  → slt $at, rs, rt ; bne $at, $zero
@@ -802,19 +825,19 @@ fn emit_statement(
             });
         }
         "j" => {
-            o.expect(1)?;
+            o.want(1)?;
             out.push(Inst::J {
                 target: symbols.text_target(o.label(0)?, line)?,
             });
         }
         "jal" => {
-            o.expect(1)?;
+            o.want(1)?;
             out.push(Inst::Jal {
                 target: symbols.text_target(o.label(0)?, line)?,
             });
         }
         "jr" => {
-            o.expect(1)?;
+            o.want(1)?;
             out.push(Inst::Jr { rs: o.reg(0)? });
         }
         "jalr" => {
@@ -824,7 +847,7 @@ fn emit_statement(
                     rs: o.reg(0)?,
                 });
             } else {
-                o.expect(2)?;
+                o.want(2)?;
                 out.push(Inst::Jalr {
                     rd: o.reg(0)?,
                     rs: o.reg(1)?,
@@ -833,11 +856,14 @@ fn emit_statement(
         }
         // ---- pseudo-instructions ----
         "li" => {
-            o.expect(2)?;
+            o.want(2)?;
             let rt = o.reg(0)?;
             let imm = o.imm(1)?;
             if !(-(1i64 << 31)..(1i64 << 32)).contains(&imm) {
-                return Err(AssembleError::new(line, format!("li value {imm} out of 32-bit range")));
+                return Err(AssembleError::new(
+                    line,
+                    format!("li value {imm} out of 32-bit range"),
+                ));
             }
             if let Ok(v) = i16::try_from(imm) {
                 out.push(Inst::Addi {
@@ -869,7 +895,7 @@ fn emit_statement(
             }
         }
         "la" => {
-            o.expect(2)?;
+            o.want(2)?;
             let rt = o.reg(0)?;
             let addr = symbols.value(o.label(1)?, line)?;
             out.push(Inst::Lui {
@@ -883,7 +909,7 @@ fn emit_statement(
             });
         }
         "move" => {
-            o.expect(2)?;
+            o.want(2)?;
             out.push(Inst::Add {
                 rd: o.reg(0)?,
                 rs: o.reg(1)?,
@@ -891,13 +917,13 @@ fn emit_statement(
             });
         }
         "mul" => {
-            o.expect(3)?;
+            o.want(3)?;
             let (rd, rs, rt) = (o.reg(0)?, o.reg(1)?, o.reg(2)?);
             out.push(Inst::Mult { rs, rt });
             out.push(Inst::Mflo { rd });
         }
         "not" => {
-            o.expect(2)?;
+            o.want(2)?;
             out.push(Inst::Nor {
                 rd: o.reg(0)?,
                 rs: o.reg(1)?,
@@ -905,7 +931,7 @@ fn emit_statement(
             });
         }
         "neg" => {
-            o.expect(2)?;
+            o.want(2)?;
             out.push(Inst::Sub {
                 rd: o.reg(0)?,
                 rs: Reg::ZERO,
@@ -913,15 +939,18 @@ fn emit_statement(
             });
         }
         "syscall" => {
-            o.expect(0)?;
+            o.want(0)?;
             out.push(Inst::Syscall);
         }
         "nop" => {
-            o.expect(0)?;
+            o.want(0)?;
             out.push(Inst::Nop);
         }
         other => {
-            return Err(AssembleError::new(line, format!("unknown mnemonic `{other}`")));
+            return Err(AssembleError::new(
+                line,
+                format!("unknown mnemonic `{other}`"),
+            ));
         }
     }
     Ok(())
@@ -964,12 +993,34 @@ mod tests {
         assert_eq!(
             p.insts,
             vec![
-                Inst::Addi { rt: Reg(8), rs: Reg::ZERO, imm: 5 },
-                Inst::Addi { rt: Reg(9), rs: Reg::ZERO, imm: -3 },
-                Inst::Ori { rt: Reg(10), rs: Reg::ZERO, imm: 0x8000 },
-                Inst::Lui { rt: Reg(11), imm: 1 },
-                Inst::Lui { rt: Reg(12), imm: 0x1234 },
-                Inst::Ori { rt: Reg(12), rs: Reg(12), imm: 0x5678 },
+                Inst::Addi {
+                    rt: Reg(8),
+                    rs: Reg::ZERO,
+                    imm: 5
+                },
+                Inst::Addi {
+                    rt: Reg(9),
+                    rs: Reg::ZERO,
+                    imm: -3
+                },
+                Inst::Ori {
+                    rt: Reg(10),
+                    rs: Reg::ZERO,
+                    imm: 0x8000
+                },
+                Inst::Lui {
+                    rt: Reg(11),
+                    imm: 1
+                },
+                Inst::Lui {
+                    rt: Reg(12),
+                    imm: 0x1234
+                },
+                Inst::Ori {
+                    rt: Reg(12),
+                    rs: Reg(12),
+                    imm: 0x5678
+                },
             ]
         );
     }
@@ -987,7 +1038,11 @@ mod tests {
         assert_eq!(p.insts.len(), 4);
         assert_eq!(
             p.insts[0],
-            Inst::Slt { rd: Reg::AT, rs: Reg(8), rt: Reg(9) }
+            Inst::Slt {
+                rd: Reg::AT,
+                rs: Reg(8),
+                rt: Reg(9)
+            }
         );
         assert!(matches!(p.insts[1], Inst::Bne { target: 0, .. }));
         assert!(matches!(p.insts[3], Inst::Beq { target: 0, .. }));
@@ -1063,15 +1118,27 @@ mod tests {
         let p = assemble(".text\nlw $t0, 8($sp)\nlw $t1, ($sp)\nsw $t0, -4($sp)\n").unwrap();
         assert_eq!(
             p.insts[0],
-            Inst::Lw { rt: Reg(8), base: Reg::SP, offset: 8 }
+            Inst::Lw {
+                rt: Reg(8),
+                base: Reg::SP,
+                offset: 8
+            }
         );
         assert_eq!(
             p.insts[1],
-            Inst::Lw { rt: Reg(9), base: Reg::SP, offset: 0 }
+            Inst::Lw {
+                rt: Reg(9),
+                base: Reg::SP,
+                offset: 0
+            }
         );
         assert_eq!(
             p.insts[2],
-            Inst::Sw { rt: Reg(8), base: Reg::SP, offset: -4 }
+            Inst::Sw {
+                rt: Reg(8),
+                base: Reg::SP,
+                offset: -4
+            }
         );
     }
 
@@ -1088,7 +1155,14 @@ mod tests {
         .unwrap();
         assert_eq!(p.insts.len(), 3);
         assert!(matches!(p.insts[0], Inst::Lui { rt: Reg::AT, .. }));
-        assert!(matches!(p.insts[2], Inst::Lw { base: Reg::AT, offset: 0, .. }));
+        assert!(matches!(
+            p.insts[2],
+            Inst::Lw {
+                base: Reg::AT,
+                offset: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -106,7 +106,9 @@ impl UnitSet {
 
     /// Iterates the contained units.
     pub fn iter(self) -> impl Iterator<Item = FunctionalUnit> {
-        FunctionalUnit::ALL.into_iter().filter(move |u| self.contains(*u))
+        FunctionalUnit::ALL
+            .into_iter()
+            .filter(move |u| self.contains(*u))
     }
 }
 
@@ -189,26 +191,67 @@ mod tests {
         let adder = UnitSet::of(FunctionalUnit::Adder);
         // "all add, compare, load, and store instructions use the ALU adder"
         assert_eq!(
-            r(Inst::Add { rd: Reg(8), rs: Reg(9), rt: Reg(10) }),
-            adder
-        );
-        assert_eq!(r(Inst::Lw { rt: Reg(8), base: Reg(29), offset: 0 }), adder);
-        assert_eq!(r(Inst::Sw { rt: Reg(8), base: Reg(29), offset: 0 }), adder);
-        assert_eq!(r(Inst::Slt { rd: Reg(8), rs: Reg(9), rt: Reg(10) }), adder);
-        assert_eq!(
-            r(Inst::Beq { rs: Reg(8), rt: Reg(9), target: 0 }),
+            r(Inst::Add {
+                rd: Reg(8),
+                rs: Reg(9),
+                rt: Reg(10)
+            }),
             adder
         );
         assert_eq!(
-            r(Inst::Sll { rd: Reg(8), rt: Reg(9), shamt: 2 }),
+            r(Inst::Lw {
+                rt: Reg(8),
+                base: Reg(29),
+                offset: 0
+            }),
+            adder
+        );
+        assert_eq!(
+            r(Inst::Sw {
+                rt: Reg(8),
+                base: Reg(29),
+                offset: 0
+            }),
+            adder
+        );
+        assert_eq!(
+            r(Inst::Slt {
+                rd: Reg(8),
+                rs: Reg(9),
+                rt: Reg(10)
+            }),
+            adder
+        );
+        assert_eq!(
+            r(Inst::Beq {
+                rs: Reg(8),
+                rt: Reg(9),
+                target: 0
+            }),
+            adder
+        );
+        assert_eq!(
+            r(Inst::Sll {
+                rd: Reg(8),
+                rt: Reg(9),
+                shamt: 2
+            }),
             UnitSet::of(FunctionalUnit::Shifter)
         );
         assert_eq!(
-            r(Inst::Mult { rs: Reg(8), rt: Reg(9) }),
+            r(Inst::Mult {
+                rs: Reg(8),
+                rt: Reg(9)
+            }),
             UnitSet::of(FunctionalUnit::Multiplier)
         );
         // Logic, jumps and syscalls touch none of the profiled blocks.
-        assert!(r(Inst::Or { rd: Reg(8), rs: Reg(9), rt: Reg(10) }).is_empty());
+        assert!(r(Inst::Or {
+            rd: Reg(8),
+            rs: Reg(9),
+            rt: Reg(10)
+        })
+        .is_empty());
         assert!(r(Inst::J { target: 0 }).is_empty());
         assert!(r(Inst::Syscall).is_empty());
         assert!(r(Inst::Nop).is_empty());

@@ -28,9 +28,9 @@ impl Reg {
 
     /// Canonical MIPS-style register names, indexable by register number.
     pub const NAMES: [&'static str; 32] = [
-        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
-        "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp",
-        "sp", "fp", "ra",
+        "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+        "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+        "fp", "ra",
     ];
 
     /// Looks a register up by name (without the `$`), accepting both
@@ -226,14 +226,21 @@ impl fmt::Display for Inst {
             Inst::Sllv { rd, rt, rs } | Inst::Srlv { rd, rt, rs } | Inst::Srav { rd, rt, rs } => {
                 write!(f, "{} {rd}, {rt}, {rs}", self.mnemonic())
             }
-            Inst::Sll { rd, rt, shamt } | Inst::Srl { rd, rt, shamt } | Inst::Sra { rd, rt, shamt } => {
+            Inst::Sll { rd, rt, shamt }
+            | Inst::Srl { rd, rt, shamt }
+            | Inst::Sra { rd, rt, shamt } => {
                 write!(f, "{} {rd}, {rt}, {shamt}", self.mnemonic())
             }
-            Inst::Mult { rs, rt } | Inst::Multu { rs, rt } | Inst::Div { rs, rt } | Inst::Divu { rs, rt } => {
+            Inst::Mult { rs, rt }
+            | Inst::Multu { rs, rt }
+            | Inst::Div { rs, rt }
+            | Inst::Divu { rs, rt } => {
                 write!(f, "{} {rs}, {rt}", self.mnemonic())
             }
             Inst::Mfhi { rd } | Inst::Mflo { rd } => write!(f, "{} {rd}", self.mnemonic()),
-            Inst::Addi { rt, rs, imm } | Inst::Slti { rt, rs, imm } | Inst::Sltiu { rt, rs, imm } => {
+            Inst::Addi { rt, rs, imm }
+            | Inst::Slti { rt, rs, imm }
+            | Inst::Sltiu { rt, rs, imm } => {
                 write!(f, "{} {rt}, {rs}, {imm}", self.mnemonic())
             }
             Inst::Andi { rt, rs, imm } | Inst::Ori { rt, rs, imm } | Inst::Xori { rt, rs, imm } => {

@@ -75,8 +75,7 @@ impl Profiler {
             let i = unit.index();
             if units.contains(unit) {
                 self.uses[i] += 1;
-                let new_run = self.last_use[i]
-                    .is_none_or(|last| self.total - last > self.window);
+                let new_run = self.last_use[i].is_none_or(|last| self.total - last > self.window);
                 if new_run {
                     self.runs[i] += 1;
                 }
@@ -157,19 +156,22 @@ pub struct ProfileReport {
 }
 
 impl ProfileReport {
-    /// Stats for one unit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the report was somehow built without all three units
-    /// (impossible via [`Profiler::report`]).
+    /// Stats for one unit. Reports built via [`Profiler::report`] always
+    /// carry all three units; a hand-built report missing one yields a
+    /// zeroed record rather than a panic.
     #[must_use]
     pub fn unit(&self, unit: FunctionalUnit) -> UnitStats {
         self.units
             .iter()
             .copied()
             .find(|s| s.unit == unit)
-            .expect("reports carry all units")
+            .unwrap_or(UnitStats {
+                unit,
+                uses: 0,
+                runs: 0,
+                fga: 0.0,
+                bga: 0.0,
+            })
     }
 }
 
@@ -330,7 +332,15 @@ mod hysteresis_tests {
     fn window_merges_nearby_uses_into_one_run() {
         // Pattern A..A..A (gap of 2): strict counting sees 3 runs,
         // window 2 sees one.
-        let pattern = [add(), Inst::Nop, Inst::Nop, add(), Inst::Nop, Inst::Nop, add()];
+        let pattern = [
+            add(),
+            Inst::Nop,
+            Inst::Nop,
+            add(),
+            Inst::Nop,
+            Inst::Nop,
+            add(),
+        ];
         let mut strict = Profiler::standard();
         let mut relaxed = Profiler::standard().with_hysteresis(3);
         for inst in &pattern {

@@ -9,6 +9,7 @@
 //! execution rather than analytic duty scaling — and the two can be
 //! cross-checked.
 
+use crate::error::WorkloadError;
 use lowvolt_isa::asm::assemble;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::inst::Inst;
@@ -26,17 +27,23 @@ pub struct BurstSchedule {
 impl BurstSchedule {
     /// A schedule with the given duty cycle at a fixed burst length.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < duty <= 1`.
-    #[must_use]
-    pub fn with_duty(burst_len: u64, duty: f64) -> BurstSchedule {
-        assert!(duty > 0.0 && duty <= 1.0, "duty must lie in (0, 1]");
+    /// Returns [`WorkloadError::InvalidParameter`] unless `0 < duty <= 1`
+    /// (NaN is rejected too).
+    pub fn with_duty(burst_len: u64, duty: f64) -> Result<BurstSchedule, WorkloadError> {
+        if !(duty > 0.0 && duty <= 1.0) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "duty",
+                value: duty,
+                constraint: "must lie in (0, 1]",
+            });
+        }
         let idle_len = (burst_len as f64 * (1.0 - duty) / duty).round() as u64;
-        BurstSchedule {
+        Ok(BurstSchedule {
             burst_len,
             idle_len,
-        }
+        })
     }
 
     /// The duty cycle this schedule realises.
@@ -98,17 +105,22 @@ mod tests {
     #[test]
     fn schedule_duty_roundtrip() {
         for duty in [1.0, 0.5, 0.2, 0.05] {
-            let s = BurstSchedule::with_duty(1000, duty);
-            assert!((s.duty() - duty).abs() < 0.01, "duty {duty} -> {}", s.duty());
+            let s = BurstSchedule::with_duty(1000, duty).unwrap();
+            assert!(
+                (s.duty() - duty).abs() < 0.01,
+                "duty {duty} -> {}",
+                s.duty()
+            );
         }
-        let full = BurstSchedule::with_duty(100, 1.0);
+        let full = BurstSchedule::with_duty(100, 1.0).unwrap();
         assert_eq!(full.idle_len, 0);
     }
 
     #[test]
-    #[should_panic(expected = "duty must lie")]
     fn zero_duty_rejected() {
-        let _ = BurstSchedule::with_duty(100, 0.0);
+        assert!(BurstSchedule::with_duty(100, 0.0).is_err());
+        assert!(BurstSchedule::with_duty(100, 1.5).is_err());
+        assert!(BurstSchedule::with_duty(100, f64::NAN).is_err());
     }
 
     #[test]
@@ -116,10 +128,20 @@ mod tests {
         // The analytic rule fga_system = duty · fga_active, checked on a
         // real instruction stream.
         let src = idea::program(20);
-        let full = profile_bursty(&src, BurstSchedule::with_duty(500, 1.0), 50_000_000, 1)
-            .expect("runs");
-        let fifth = profile_bursty(&src, BurstSchedule::with_duty(500, 0.2), 50_000_000, 1)
-            .expect("runs");
+        let full = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(500, 1.0).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs");
+        let fifth = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(500, 0.2).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs");
         for unit in FunctionalUnit::ALL {
             let active = full.unit(unit).fga;
             let bursty = fifth.unit(unit).fga;
@@ -138,10 +160,20 @@ mod tests {
         // bga scales with duty as well (runs can't span idle gaps), while
         // within-burst structure is preserved.
         let src = idea::program(20);
-        let full = profile_bursty(&src, BurstSchedule::with_duty(500, 1.0), 50_000_000, 1)
-            .expect("runs");
-        let fifth = profile_bursty(&src, BurstSchedule::with_duty(500, 0.2), 50_000_000, 1)
-            .expect("runs");
+        let full = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(500, 1.0).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs");
+        let fifth = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(500, 0.2).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs");
         let a_full = full.unit(FunctionalUnit::Adder);
         let a_fifth = fifth.unit(FunctionalUnit::Adder);
         let ratio = a_fifth.bga / a_full.bga;
@@ -154,14 +186,25 @@ mod tests {
         // The instruction-accurate harness and the xserver Markov trace
         // generator must tell the same duty-scaling story.
         let src = idea::program(20);
-        let active = profile_bursty(&src, BurstSchedule::with_duty(500, 1.0), 50_000_000, 1)
-            .expect("runs")
-            .unit(FunctionalUnit::Adder);
-        let measured = profile_bursty(&src, BurstSchedule::with_duty(2_000, 0.2), 50_000_000, 1)
-            .expect("runs")
-            .unit(FunctionalUnit::Adder);
+        let active = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(500, 1.0).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs")
+        .unit(FunctionalUnit::Adder);
+        let measured = profile_bursty(
+            &src,
+            BurstSchedule::with_duty(2_000, 0.2).unwrap(),
+            50_000_000,
+            1,
+        )
+        .expect("runs")
+        .unit(FunctionalUnit::Adder);
         let trace = crate::xserver::SessionModel::x_server(active.fga, active.bga)
-            .trace(400_000, 7);
+            .trace(400_000, 7)
+            .unwrap();
         assert!(
             (measured.fga - trace.fga()).abs() < 0.05,
             "instruction-accurate {} vs markov {}",

@@ -1,0 +1,47 @@
+//! Structured errors for the workload generators.
+
+use std::fmt;
+
+/// Errors from workload/stimulus generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A generator parameter is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid {name} = {value}: {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = WorkloadError::InvalidParameter {
+            name: "duty",
+            value: 0.0,
+            constraint: "must lie in (0, 1]",
+        };
+        assert!(e.to_string().contains("duty"));
+        assert!(e.to_string().contains("(0, 1]"));
+    }
+}

@@ -17,6 +17,8 @@
 //! 3. remove cubes contained in another cube, and
 //! 4. print the surviving cube count and an XOR checksum.
 
+use crate::error::WorkloadError;
+
 /// Number of boolean variables per cube.
 pub const VARIABLES: usize = 8;
 
@@ -108,11 +110,8 @@ pub fn reference_minimise(minterms: u32, seed: u32) -> CoverResult {
     // Containment: drop cube i if some other cube (strictly) covers it.
     let mut kept = Vec::with_capacity(cubes.len());
     for i in 0..cubes.len() {
-        let contained = (0..cubes.len()).any(|j| {
-            i != j
-                && cubes[i] & cubes[j] == cubes[i]
-                && (cubes[i] != cubes[j] || j < i)
-        });
+        let contained = (0..cubes.len())
+            .any(|j| i != j && cubes[i] & cubes[j] == cubes[i] && (cubes[i] != cubes[j] || j < i));
         if !contained {
             kept.push(cubes[i]);
         }
@@ -127,16 +126,19 @@ pub fn reference_minimise(minterms: u32, seed: u32) -> CoverResult {
 /// Generates the guest assembly program minimising `minterms` random
 /// minterms from `seed`. Prints `count checksum`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `minterms` exceeds [`MAX_MINTERMS`].
-#[must_use]
-pub fn program(minterms: u32, seed: u32) -> String {
-    assert!(
-        (minterms as usize) <= MAX_MINTERMS,
-        "minterm count exceeds guest array capacity"
-    );
-    format!(
+/// Returns [`WorkloadError::InvalidParameter`] if `minterms` exceeds
+/// [`MAX_MINTERMS`].
+pub fn program(minterms: u32, seed: u32) -> Result<String, WorkloadError> {
+    if (minterms as usize) > MAX_MINTERMS {
+        return Err(WorkloadError::InvalidParameter {
+            name: "minterms",
+            value: f64::from(minterms),
+            constraint: "exceeds guest array capacity",
+        });
+    }
+    Ok(format!(
         r#"
 # espresso-like cube-cover minimiser over {minterms} random minterms.
 #
@@ -353,7 +355,7 @@ fc_yes:
         jr   $ra
 "#,
         vars = VARIABLES
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -436,7 +438,8 @@ mod tests {
     #[test]
     fn guest_program_matches_reference() {
         for (minterms, seed) in [(40u32, 7u32), (120, 42), (250, 1996)] {
-            let (cpu, _) = run_profiled(&program(minterms, seed), 200_000_000).expect("runs");
+            let (cpu, _) =
+                run_profiled(&program(minterms, seed).unwrap(), 200_000_000).expect("runs");
             let reference = reference_minimise(minterms, seed);
             let out = cpu.output().trim().to_string();
             let mut parts = out.split(' ');
@@ -449,7 +452,7 @@ mod tests {
 
     #[test]
     fn guest_profile_is_adder_dominated() {
-        let (_, report) = run_profiled(&program(120, 42), 200_000_000).expect("runs");
+        let (_, report) = run_profiled(&program(120, 42).unwrap(), 200_000_000).expect("runs");
         let adder = report.unit(FunctionalUnit::Adder);
         let mult = report.unit(FunctionalUnit::Multiplier);
         let shifter = report.unit(FunctionalUnit::Shifter);

@@ -300,10 +300,7 @@ mod tests {
         assert_eq!(e.eval(), 42);
         assert_eq!(e.size(), 8);
         // Wrapping semantics.
-        let big = Expr::Mul(
-            Box::new(Expr::Num(i32::MAX)),
-            Box::new(Expr::Num(2)),
-        );
+        let big = Expr::Mul(Box::new(Expr::Num(i32::MAX)), Box::new(Expr::Num(2)));
         assert_eq!(big.eval(), i32::MAX.wrapping_mul(2));
     }
 

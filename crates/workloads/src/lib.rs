@@ -28,6 +28,7 @@
 //! - [`signals`] — correlated integer streams for datapath stimulus.
 
 pub mod bursty;
+pub mod error;
 pub mod espresso;
 pub mod fir;
 pub mod idea;

@@ -7,36 +7,83 @@
 //! produce the operand streams; the circuit layer converts them to bit
 //! vectors.
 
+use crate::error::WorkloadError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+fn check_width(width: u32) -> Result<(), WorkloadError> {
+    if !(1..=64).contains(&width) {
+        return Err(WorkloadError::InvalidParameter {
+            name: "width",
+            value: f64::from(width),
+            constraint: "must be in 1..=64",
+        });
+    }
+    Ok(())
+}
+
 /// A stream of uniformly random `width`-bit values.
-#[must_use]
-pub fn random_stream(n: usize, width: u32, seed: u64) -> Vec<u64> {
-    assert!((1..=64).contains(&width), "width must be in 1..=64");
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] for a width outside 1..=64.
+pub fn random_stream(n: usize, width: u32, seed: u64) -> Result<Vec<u64>, WorkloadError> {
+    check_width(width)?;
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-    (0..n).map(|_| rng.gen::<u64>() & mask).collect()
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    Ok((0..n).map(|_| rng.gen::<u64>() & mask).collect())
 }
 
 /// A simple counting stream (maximal temporal correlation).
-#[must_use]
-pub fn counting_stream(n: usize, width: u32, start: u64) -> Vec<u64> {
-    assert!((1..=64).contains(&width), "width must be in 1..=64");
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-    (0..n as u64).map(|i| start.wrapping_add(i) & mask).collect()
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] for a width outside 1..=64.
+pub fn counting_stream(n: usize, width: u32, start: u64) -> Result<Vec<u64>, WorkloadError> {
+    check_width(width)?;
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    Ok((0..n as u64)
+        .map(|i| start.wrapping_add(i) & mask)
+        .collect())
 }
 
 /// A bounded random walk: successive values differ by at most
 /// `max_step`, modelling slowly-varying sampled-data signals.
-#[must_use]
-pub fn random_walk_stream(n: usize, width: u32, max_step: u64, seed: u64) -> Vec<u64> {
-    assert!((1..=64).contains(&width), "width must be in 1..=64");
-    assert!(max_step >= 1, "steps must move");
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidParameter`] for a width outside 1..=64
+/// or a zero `max_step`.
+pub fn random_walk_stream(
+    n: usize,
+    width: u32,
+    max_step: u64,
+    seed: u64,
+) -> Result<Vec<u64>, WorkloadError> {
+    check_width(width)?;
+    if max_step == 0 {
+        return Err(WorkloadError::InvalidParameter {
+            name: "max_step",
+            value: 0.0,
+            constraint: "steps must move (>= 1)",
+        });
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut v: u64 = rng.gen::<u64>() & mask;
-    (0..n)
+    Ok((0..n)
         .map(|_| {
             let step = rng.gen_range(0..=max_step);
             if rng.gen_bool(0.5) {
@@ -46,7 +93,7 @@ pub fn random_walk_stream(n: usize, width: u32, max_step: u64, seed: u64) -> Vec
             }
             v
         })
-        .collect()
+        .collect())
 }
 
 /// Mean per-sample Hamming distance between consecutive values — a
@@ -57,10 +104,7 @@ pub fn mean_toggle_distance(stream: &[u64]) -> f64 {
     if stream.len() < 2 {
         return 0.0;
     }
-    let total: u32 = stream
-        .windows(2)
-        .map(|w| (w[0] ^ w[1]).count_ones())
-        .sum();
+    let total: u32 = stream.windows(2).map(|w| (w[0] ^ w[1]).count_ones()).sum();
     f64::from(total) / (stream.len() - 1) as f64
 }
 
@@ -70,20 +114,20 @@ mod tests {
 
     #[test]
     fn random_stream_is_deterministic_and_masked() {
-        let a = random_stream(100, 8, 5);
-        assert_eq!(a, random_stream(100, 8, 5));
+        let a = random_stream(100, 8, 5).unwrap();
+        assert_eq!(a, random_stream(100, 8, 5).unwrap());
         assert!(a.iter().all(|&v| v < 256));
     }
 
     #[test]
     fn counting_wraps_at_width() {
-        let s = counting_stream(5, 2, 2);
+        let s = counting_stream(5, 2, 2).unwrap();
         assert_eq!(s, vec![2, 3, 0, 1, 2]);
     }
 
     #[test]
     fn walk_respects_step_bound() {
-        let s = random_walk_stream(1_000, 16, 3, 7);
+        let s = random_walk_stream(1_000, 16, 3, 7).unwrap();
         for w in s.windows(2) {
             let diff = w[0].abs_diff(w[1]);
             let wrapped = diff.min((1 << 16) - diff);
@@ -92,10 +136,18 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_parameters_are_typed_errors() {
+        assert!(random_stream(10, 0, 1).is_err());
+        assert!(random_stream(10, 65, 1).is_err());
+        assert!(counting_stream(10, 0, 0).is_err());
+        assert!(random_walk_stream(10, 8, 0, 1).is_err());
+    }
+
+    #[test]
     fn correlation_orders_toggle_distance() {
-        let random = mean_toggle_distance(&random_stream(5_000, 16, 1));
-        let walk = mean_toggle_distance(&random_walk_stream(5_000, 16, 2, 1));
-        let count = mean_toggle_distance(&counting_stream(5_000, 16, 0));
+        let random = mean_toggle_distance(&random_stream(5_000, 16, 1).unwrap());
+        let walk = mean_toggle_distance(&random_walk_stream(5_000, 16, 2, 1).unwrap());
+        let count = mean_toggle_distance(&counting_stream(5_000, 16, 0).unwrap());
         assert!(random > 7.0, "random ≈ width/2, got {random}");
         assert!(walk < random, "walk must toggle less than random");
         assert!(count < random, "counting ≈ 2, got {count}");

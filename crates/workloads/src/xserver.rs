@@ -16,6 +16,7 @@
 //! the composite trace (with the profiler's run-counting rule) yields the
 //! system-level operating points plotted in Fig. 10.
 
+use crate::error::WorkloadError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -117,21 +118,33 @@ impl SessionModel {
     /// whose stationary on-probability is `block_fga` and whose off→on
     /// rate reproduces `block_bga`; idle periods force the block off.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < duty_cycle <= 1`, `0 <= block_bga <= block_fga
-    /// <= 1`, and `mean_burst >= 1`.
-    #[must_use]
-    pub fn trace(&self, cycles: usize, seed: u64) -> UsageTrace {
-        assert!(
-            self.duty_cycle > 0.0 && self.duty_cycle <= 1.0,
-            "duty cycle must lie in (0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.block_fga) && self.block_bga <= self.block_fga + 1e-12,
-            "need 0 <= bga <= fga <= 1"
-        );
-        assert!(self.mean_burst >= 1.0, "bursts must average at least a cycle");
+    /// Returns [`WorkloadError::InvalidParameter`] unless
+    /// `0 < duty_cycle <= 1`, `0 <= block_bga <= block_fga <= 1`, and
+    /// `mean_burst >= 1`.
+    pub fn trace(&self, cycles: usize, seed: u64) -> Result<UsageTrace, WorkloadError> {
+        if !(self.duty_cycle > 0.0 && self.duty_cycle <= 1.0) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "duty_cycle",
+                value: self.duty_cycle,
+                constraint: "must lie in (0, 1]",
+            });
+        }
+        if !((0.0..=1.0).contains(&self.block_fga) && self.block_bga <= self.block_fga + 1e-12) {
+            return Err(WorkloadError::InvalidParameter {
+                name: "block_bga",
+                value: self.block_bga,
+                constraint: "need 0 <= bga <= fga <= 1",
+            });
+        }
+        if self.mean_burst < 1.0 || self.mean_burst.is_nan() {
+            return Err(WorkloadError::InvalidParameter {
+                name: "mean_burst",
+                value: self.mean_burst,
+                constraint: "bursts must average at least a cycle",
+            });
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         // Geometric interval lengths reproducing the duty cycle.
         let p_end_busy = 1.0 / self.mean_burst;
@@ -140,7 +153,11 @@ impl SessionModel {
         } else {
             self.mean_burst * (1.0 - self.duty_cycle) / self.duty_cycle
         };
-        let p_end_idle = if mean_idle <= 0.0 { 1.0 } else { 1.0 / mean_idle };
+        let p_end_idle = if mean_idle <= 0.0 {
+            1.0
+        } else {
+            1.0 / mean_idle
+        };
         // Markov chain for block usage inside bursts: stationary
         // P(on) = fga with run-start rate bga ⇒ P(off→on) = bga/(1−fga).
         let p_on = if self.block_fga >= 1.0 {
@@ -176,7 +193,7 @@ impl SessionModel {
                 busy = true;
             }
         }
-        UsageTrace { used }
+        Ok(UsageTrace { used })
     }
 }
 
@@ -187,15 +204,17 @@ mod tests {
     #[test]
     fn continuous_trace_reproduces_block_activity() {
         let m = SessionModel::continuous(0.5, 0.1);
-        let t = m.trace(200_000, 1);
+        let t = m.trace(200_000, 1).unwrap();
         assert!((t.fga() - 0.5).abs() < 0.03, "fga = {}", t.fga());
         assert!((t.bga() - 0.1).abs() < 0.02, "bga = {}", t.bga());
     }
 
     #[test]
     fn duty_cycle_scales_fga() {
-        let cont = SessionModel::continuous(0.6, 0.05).trace(200_000, 2);
-        let burst = SessionModel::x_server(0.6, 0.05).trace(200_000, 2);
+        let cont = SessionModel::continuous(0.6, 0.05)
+            .trace(200_000, 2)
+            .unwrap();
+        let burst = SessionModel::x_server(0.6, 0.05).trace(200_000, 2).unwrap();
         let ratio = burst.fga() / cont.fga();
         assert!((ratio - 0.2).abs() < 0.1, "ratio = {ratio}");
     }
@@ -203,7 +222,9 @@ mod tests {
     #[test]
     fn bga_never_exceeds_fga() {
         for seed in 0..10 {
-            let t = SessionModel::x_server(0.3, 0.02).trace(50_000, seed);
+            let t = SessionModel::x_server(0.3, 0.02)
+                .trace(50_000, seed)
+                .unwrap();
             assert!(t.bga() <= t.fga() + 1e-12);
         }
     }
@@ -227,7 +248,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duty cycle")]
     fn bad_duty_rejected() {
         let m = SessionModel {
             duty_cycle: 0.0,
@@ -235,13 +255,13 @@ mod tests {
             block_fga: 0.5,
             block_bga: 0.1,
         };
-        let _ = m.trace(10, 0);
+        assert!(m.trace(10, 0).is_err());
     }
 
     #[test]
     fn deterministic_per_seed() {
         let m = SessionModel::x_server(0.4, 0.05);
-        assert_eq!(m.trace(10_000, 9), m.trace(10_000, 9));
-        assert_ne!(m.trace(10_000, 9), m.trace(10_000, 10));
+        assert_eq!(m.trace(10_000, 9).unwrap(), m.trace(10_000, 9).unwrap());
+        assert_ne!(m.trace(10_000, 9).unwrap(), m.trace(10_000, 10).unwrap());
     }
 }

@@ -19,7 +19,7 @@ proptest! {
 
     #[test]
     fn espresso_guest_matches_reference(minterms in 5u32..80, seed in 1u32..10_000) {
-        let (cpu, _) = run_profiled(&espresso::program(minterms, seed), 500_000_000).unwrap();
+        let (cpu, _) = run_profiled(&espresso::program(minterms, seed).unwrap(), 500_000_000).unwrap();
         let reference = espresso::reference_minimise(minterms, seed);
         let out = cpu.output().trim().to_string();
         let mut parts = out.split(' ');
@@ -46,7 +46,7 @@ proptest! {
     /// Activity invariants hold on every profiled guest.
     #[test]
     fn profile_invariants(seed in 1u32..1_000) {
-        let (_, report) = run_profiled(&espresso::program(30, seed), 100_000_000).unwrap();
+        let (_, report) = run_profiled(&espresso::program(30, seed).unwrap(), 100_000_000).unwrap();
         let mut total_uses = 0u64;
         for unit in FunctionalUnit::ALL {
             let s = report.unit(unit);

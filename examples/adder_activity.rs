@@ -15,17 +15,17 @@ use lowvolt::circuit::stimulus::PatternSource;
 use lowvolt::core::report::Table;
 use lowvolt::device::units::Volts;
 
-fn main() {
+fn main() -> Result<(), lowvolt::circuit::CircuitError> {
     // ---- Fig. 8: random stimuli ----
     let mut n = Netlist::new();
-    let adder = ripple_carry_adder(&mut n, 8);
+    let adder = ripple_carry_adder(&mut n, 8)?;
     let inputs = adder.input_nodes();
 
     let mut sim = Simulator::new(&n);
-    let mut random = PatternSource::random(inputs.len(), 42);
-    let fig8 = sim.measure_activity(&mut random, &inputs, 1064, 40);
+    let mut random = PatternSource::random(inputs.len(), 42)?;
+    let fig8 = sim.measure_activity(&mut random, &inputs, 1064, 40)?;
     println!("== Fig. 8: transition histogram, random inputs ==");
-    print!("{}", fig8.histogram(12));
+    print!("{}", fig8.histogram(12)?);
     println!(
         "mean alpha = {:.3}, switched capacitance = {:.1} fF/cycle\n",
         fig8.mean_transition_probability(),
@@ -35,13 +35,13 @@ fn main() {
     // ---- Fig. 9: correlated stimuli (a = 0, b counts 0..255) ----
     let mut sim = Simulator::new(&n);
     let mut correlated = PatternSource::concat(vec![
-        PatternSource::zeros(8),        // operand a fixed at 0
-        PatternSource::counting(8, 0),  // operand b increments
-        PatternSource::zeros(1),        // carry-in low
-    ]);
-    let fig9 = sim.measure_activity(&mut correlated, &inputs, 296, 40);
+        PatternSource::zeros(8)?,       // operand a fixed at 0
+        PatternSource::counting(8, 0)?, // operand b increments
+        PatternSource::zeros(1)?,       // carry-in low
+    ])?;
+    let fig9 = sim.measure_activity(&mut correlated, &inputs, 296, 40)?;
     println!("== Fig. 9: transition histogram, correlated inputs ==");
-    print!("{}", fig9.histogram(12));
+    print!("{}", fig9.histogram(12)?);
     println!(
         "mean alpha = {:.3}, switched capacitance = {:.1} fF/cycle",
         fig9.mean_transition_probability(),
@@ -63,10 +63,21 @@ fn main() {
         let vdd = Volts(1.0 + 0.25 * f64::from(i));
         let caps: Vec<String> = models
             .iter()
-            .map(|m| format!("{:.1}", m.switched_capacitance(vdd, 1.0).to_femtofarads()))
-            .collect();
-        table.push_row([format!("{:.2}", vdd.0), caps[0].clone(), caps[1].clone(), caps[2].clone()]);
+            .map(|m| {
+                Ok(format!(
+                    "{:.1}",
+                    m.switched_capacitance(vdd, 1.0)?.to_femtofarads()
+                ))
+            })
+            .collect::<Result<_, lowvolt::circuit::CircuitError>>()?;
+        table.push_row([
+            format!("{:.2}", vdd.0),
+            caps[0].clone(),
+            caps[1].clone(),
+            caps[2].clone(),
+        ]);
     }
     print!("{table}");
     println!("\ncapacitance rises with V_DD: constant-C power estimates undercount energy at 3 V.");
+    Ok(())
 }

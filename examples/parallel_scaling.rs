@@ -17,7 +17,7 @@ use lowvolt::device::units::{Seconds, Volts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, vt) in [("high V_T (0.45 V)", 0.45), ("low V_T (0.15 V)", 0.15)] {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default()?;
         // Reference design: one unit meeting its deadline at 2.5 V.
         let base = ring.stage_delay(Volts(2.5), Volts(vt));
         let model = ParallelScaling::new(

@@ -15,6 +15,7 @@ use lowvolt::circuit::netlist::Netlist;
 use lowvolt::circuit::shifter::barrel_shifter_right;
 use lowvolt::circuit::sim::Simulator;
 use lowvolt::circuit::stimulus::PatternSource;
+use lowvolt::circuit::CircuitError;
 use lowvolt::core::activity::ActivityVars;
 use lowvolt::core::energy::{BlockParams, BurstEnergyModel};
 use lowvolt::core::estimator::DesignEstimator;
@@ -27,13 +28,15 @@ use lowvolt::workloads::{idea, run_profiled};
 
 /// Builds a datapath, drives it with random vectors, and returns the mean
 /// per-node transition probability.
-fn mean_alpha(build: impl FnOnce(&mut Netlist) -> Vec<lowvolt::circuit::NodeId>) -> f64 {
+fn mean_alpha(
+    build: impl FnOnce(&mut Netlist) -> Result<Vec<lowvolt::circuit::NodeId>, CircuitError>,
+) -> Result<f64, CircuitError> {
     let mut n = Netlist::new();
-    let inputs = build(&mut n);
+    let inputs = build(&mut n)?;
     let mut sim = Simulator::new(&n);
-    let mut src = PatternSource::random(inputs.len(), 1996);
-    let report = sim.measure_activity(&mut src, &inputs, 300, 16);
-    report.mean_transition_probability()
+    let mut src = PatternSource::random(inputs.len(), 1996)?;
+    let report = sim.measure_activity(&mut src, &inputs, 300, 16)?;
+    Ok(report.mean_transition_probability())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,17 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- step 2: switch-level activity (alpha) ----
     println!("== gate-level alpha extraction ==");
-    let alpha_adder = mean_alpha(|n| ripple_carry_adder(n, 8).input_nodes());
-    let alpha_shift = mean_alpha(|n| {
-        barrel_shifter_right(n, 8)
-            .expect("power-of-two width")
-            .input_nodes()
-    });
-    let alpha_mult = mean_alpha(|n| {
-        array_multiplier(n, 8)
-            .expect("supported width")
-            .input_nodes()
-    });
+    let alpha_adder = mean_alpha(|n| Ok(ripple_carry_adder(n, 8)?.input_nodes()))?;
+    let alpha_shift = mean_alpha(|n| Ok(barrel_shifter_right(n, 8)?.input_nodes()))?;
+    let alpha_mult = mean_alpha(|n| Ok(array_multiplier(n, 8)?.input_nodes()))?;
     println!("alpha(adder)      = {alpha_adder:.3}");
     println!("alpha(shifter)    = {alpha_shift:.3}");
     println!("alpha(multiplier) = {alpha_mult:.3}\n");
@@ -69,17 +64,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let blocks = [
         (
-            BlockParams::adder_8bit(),
+            BlockParams::adder_8bit()?,
             profile.unit(FunctionalUnit::Adder),
             alpha_adder,
         ),
         (
-            BlockParams::shifter_8bit(),
+            BlockParams::shifter_8bit()?,
             profile.unit(FunctionalUnit::Shifter),
             alpha_shift,
         ),
         (
-            BlockParams::multiplier_8x8(),
+            BlockParams::multiplier_8x8()?,
             profile.unit(FunctionalUnit::Multiplier),
             alpha_mult,
         ),

@@ -13,7 +13,7 @@ use lowvolt::core::report::{fmt_sig, Table};
 use lowvolt::device::units::{Seconds, Volts};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ring = RingOscillator::paper_default();
+    let ring = RingOscillator::paper_default()?;
     // Performance target: the ring's speed at 1.5 V with a 0.45 V V_T.
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
     println!(
@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{fig3}");
 
     println!("\n== Fig. 4: energy vs V_T at fixed throughput ==");
-    let mut fig4 = Table::new(["V_T (V)", "V_DD (V)", "E_sw (J)", "E_leak (J)", "E_total (J)"]);
+    let mut fig4 = Table::new([
+        "V_T (V)",
+        "V_DD (V)",
+        "E_sw (J)",
+        "E_leak (J)",
+        "E_total (J)",
+    ]);
     let sweep: Vec<Volts> = (1..=16).map(|i| Volts(0.03 * f64::from(i))).collect();
     for t_op in [Seconds(1e-6), Seconds(1.25e-6)] {
         println!("throughput period {} us:", t_op.0 * 1e6);
@@ -46,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
         print!("{fig4}");
-        fig4 = Table::new(["V_T (V)", "V_DD (V)", "E_sw (J)", "E_leak (J)", "E_total (J)"]);
+        fig4 = Table::new([
+            "V_T (V)",
+            "V_DD (V)",
+            "E_sw (J)",
+            "E_leak (J)",
+            "E_total (J)",
+        ]);
         let best = opt.optimum(t_op)?;
         println!(
             "optimum: V_T = {:.3} V, V_DD = {:.3} V, E = {} J  <-- well below 1 V\n",
@@ -59,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== activity dependence of the optimum ==");
     let mut act = Table::new(["alpha", "opt V_T (V)", "opt V_DD (V)"]);
     for alpha in [1.0, 0.3, 0.1, 0.03, 0.01] {
-        let ring = RingOscillator::paper_default();
+        let ring = RingOscillator::paper_default()?;
         let o = FixedThroughputOptimizer::new(ring, target, alpha)?;
         let best = o.optimum(Seconds(1e-6))?;
         act.push_row([

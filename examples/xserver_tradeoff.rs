@@ -28,19 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soias = Technology::soias(device, Volts(3.0))?;
 
     // ---- continuous-mode block activity from a real instruction mix ----
-    let (_, profile) = run_profiled(&espresso::program(150, 42), 500_000_000)
+    let (_, profile) = run_profiled(&espresso::program(150, 42)?, 500_000_000)
         .map_err(|e| format!("espresso guest failed: {e}"))?;
     println!("== continuous-mode profile (espresso-like) ==\n{profile}");
 
     // ---- system-level operating points through the session model ----
     println!("== Fig. 10 operating points ==");
-    let mut points = Table::new([
-        "point", "fga", "bga", "log10(E_SOIAS/E_SOI)", "saving",
-    ]);
+    let mut points = Table::new(["point", "fga", "bga", "log10(E_SOIAS/E_SOI)", "saving"]);
     let blocks = [
-        (FunctionalUnit::Adder, BlockParams::adder_8bit(), 0.40),
-        (FunctionalUnit::Shifter, BlockParams::shifter_8bit(), 0.34),
-        (FunctionalUnit::Multiplier, BlockParams::multiplier_8x8(), 0.75),
+        (FunctionalUnit::Adder, BlockParams::adder_8bit()?, 0.40),
+        (FunctionalUnit::Shifter, BlockParams::shifter_8bit()?, 0.34),
+        (
+            FunctionalUnit::Multiplier,
+            BlockParams::multiplier_8x8()?,
+            0.75,
+        ),
     ];
     for (unit, params, alpha) in &blocks {
         let stats = profile.unit(*unit);
@@ -50,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 SessionModel::x_server(stats.fga, stats.bga)
             };
-            let trace = session.trace(400_000, 7);
+            let trace = session.trace(400_000, 7)?;
             let activity = ActivityVars::new(trace.fga(), trace.bga(), *alpha)?;
             let p = place_point(
                 &model,
@@ -77,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &model,
         &soias,
         &soi,
-        &BlockParams::adder_8bit(),
+        &BlockParams::adder_8bit()?,
         0.5,
         (1e-3, 1.0),
         (1e-4, 1.0),
@@ -113,7 +115,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = evaluate(&trace, &states, policy);
         policy_table.push_row([
             policy.name(),
-            format!("{:.4} ({:.0}%)", r.energy.0, r.energy.0 / baseline.0 * 100.0),
+            format!(
+                "{:.4} ({:.0}%)",
+                r.energy.0,
+                r.energy.0 / baseline.0 * 100.0
+            ),
             r.shutdowns.to_string(),
             format!("{:.2}", r.sleep_fraction),
         ]);

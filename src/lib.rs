@@ -30,7 +30,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // An X-server-like adder block: mostly idle, rarely re-awakened.
 //! let activity = ActivityVars::new(0.697, 0.023, 0.5)?;
-//! let block = BlockParams::adder_8bit();
+//! let block = BlockParams::adder_8bit()?;
 //! let device = SoiasDevice::paper_fig6();
 //! // Baseline: the same low-threshold device, permanently low-V_T.
 //! let soi = Technology::soi_fixed_vt_device(device.front_device(Volts(3.0)));

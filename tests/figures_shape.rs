@@ -17,8 +17,12 @@ use lowvolt::device::units::{Seconds, Volts};
 fn fig1_shape_capacitance_rises_with_supply() {
     for style in RegisterStyle::ALL {
         let m = RegisterCapModel::new(style, Volts(0.5));
-        let c1 = m.switched_capacitance(Volts(1.0), 1.0);
-        let c3 = m.switched_capacitance(Volts(3.0), 1.0);
+        let c1 = m
+            .switched_capacitance(Volts(1.0), 1.0)
+            .expect("valid supply");
+        let c3 = m
+            .switched_capacitance(Volts(3.0), 1.0)
+            .expect("valid supply");
         assert!(
             c3.0 > c1.0 * 1.05,
             "{style}: Fig. 1 requires a visible rise ({} -> {} fF)",
@@ -50,7 +54,7 @@ fn fig2_shape_subthreshold_decades() {
 
 #[test]
 fn fig3_shape_iso_delay_supply_tracks_threshold() {
-    let ring = RingOscillator::paper_default();
+    let ring = RingOscillator::paper_default().expect("valid");
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
     let opt = FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid");
     let vts: Vec<Volts> = (0..=9).map(|i| Volts(0.05 * f64::from(i))).collect();
@@ -74,7 +78,7 @@ fn fig3_shape_iso_delay_supply_tracks_threshold() {
 
 #[test]
 fn fig4_shape_u_curve_with_sub_1v_optimum_and_speed_dependence() {
-    let ring = RingOscillator::paper_default();
+    let ring = RingOscillator::paper_default().expect("valid");
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
     let opt = FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid");
     // Two throughputs, like the paper's 1 MHz and 0.8 MHz curves.
@@ -99,28 +103,33 @@ fn fig6_shape_backgate_modulation() {
     // ~4 decades of off-current, visible drive increase.
     let decades = (active.off_current(Volts(1.0)).0 / standby.off_current(Volts(1.0)).0).log10();
     assert!(decades > 3.0 && decades < 5.0, "decades = {decades}");
-    let boost =
-        active.drain_current(Volts(1.0), Volts(0.1)).0 / standby.drain_current(Volts(1.0), Volts(0.1)).0;
+    let boost = active.drain_current(Volts(1.0), Volts(0.1)).0
+        / standby.drain_current(Volts(1.0), Volts(0.1)).0;
     assert!(boost > 1.3 && boost < 3.0, "boost = {boost}");
 }
 
 #[test]
 fn fig8_fig9_shape_signal_statistics_dominate_activity() {
     let mut n = Netlist::new();
-    let adder = ripple_carry_adder(&mut n, 8);
+    let adder = ripple_carry_adder(&mut n, 8).expect("valid width");
     let inputs = adder.input_nodes();
 
     let mut sim = Simulator::new(&n);
-    let mut random = PatternSource::random(inputs.len(), 42);
-    let fig8 = sim.measure_activity(&mut random, &inputs, 520, 8);
+    let mut random = PatternSource::random(inputs.len(), 42).expect("valid width");
+    let fig8 = sim
+        .measure_activity(&mut random, &inputs, 520, 8)
+        .expect("simulates");
 
     let mut sim = Simulator::new(&n);
     let mut correlated = PatternSource::concat(vec![
-        PatternSource::zeros(8),
-        PatternSource::counting(8, 0),
-        PatternSource::zeros(1),
-    ]);
-    let fig9 = sim.measure_activity(&mut correlated, &inputs, 520, 8);
+        PatternSource::zeros(8).expect("valid width"),
+        PatternSource::counting(8, 0).expect("valid width"),
+        PatternSource::zeros(1).expect("valid width"),
+    ])
+    .expect("non-empty");
+    let fig9 = sim
+        .measure_activity(&mut correlated, &inputs, 520, 8)
+        .expect("simulates");
 
     let a8 = fig8.mean_transition_probability();
     let a9 = fig9.mean_transition_probability();
@@ -130,9 +139,12 @@ fn fig8_fig9_shape_signal_statistics_dominate_activity() {
     );
     // Fig. 8's histogram has mass well above zero; Fig. 9's bulk sits in
     // the lowest bins.
-    let h9 = fig9.histogram(10);
-    assert!(h9.counts[0] > h9.total_nodes() / 2, "Fig. 9 mass at low alpha");
-    let h8 = fig8.histogram(10);
+    let h9 = fig9.histogram(10).expect("valid bins");
+    assert!(
+        h9.counts[0] > h9.total_nodes() / 2,
+        "Fig. 9 mass at low alpha"
+    );
+    let h8 = fig8.histogram(10).expect("valid bins");
     let high_mass: usize = h8.counts[3..].iter().sum();
     assert!(high_mass > 0, "Fig. 8 has nodes at high activity");
     // Glitching: some node must transition more than once per cycle on
@@ -160,9 +172,24 @@ fn fig10_shape_savings_ordering() {
     // The paper's X-server points (fga, bga) and reported savings order:
     // multiplier (97%) > shifter (80%) > adder (43%).
     let points = [
-        ("adder", BlockParams::adder_8bit(), 0.697, 0.023),
-        ("shifter", BlockParams::shifter_8bit(), 0.109, 0.087),
-        ("multiplier", BlockParams::multiplier_8x8(), 0.0083, 0.0083),
+        (
+            "adder",
+            BlockParams::adder_8bit().expect("builds"),
+            0.697,
+            0.023,
+        ),
+        (
+            "shifter",
+            BlockParams::shifter_8bit().expect("builds"),
+            0.109,
+            0.087,
+        ),
+        (
+            "multiplier",
+            BlockParams::multiplier_8x8().expect("builds"),
+            0.0083,
+            0.0083,
+        ),
     ];
     let mut savings = Vec::new();
     for (name, block, fga, bga) in points {

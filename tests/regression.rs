@@ -32,14 +32,19 @@ fn golden_fig6_anchors() {
         / d.front_device(Volts(0.0)).off_current(Volts(1.0)).0)
         .log10();
     assert_close(decades, 3.92, 0.05, "off-current decades");
-    let boost = d.front_device(Volts(3.0)).drain_current(Volts(1.0), Volts(0.1)).0
-        / d.front_device(Volts(0.0)).drain_current(Volts(1.0), Volts(0.1)).0;
+    let boost = d
+        .front_device(Volts(3.0))
+        .drain_current(Volts(1.0), Volts(0.1))
+        .0
+        / d.front_device(Volts(0.0))
+            .drain_current(Volts(1.0), Volts(0.1))
+            .0;
     assert_close(boost, 1.78, 0.05, "on-current boost");
 }
 
 #[test]
 fn golden_fig4_optimum() {
-    let ring = RingOscillator::paper_default();
+    let ring = RingOscillator::paper_default().expect("valid");
     let target = ring.stage_delay(Volts(1.5), Volts(0.45));
     let opt = FixedThroughputOptimizer::new(ring, target, 1.0).expect("valid");
     let best = opt.optimum(Seconds(1e-6)).expect("feasible");
@@ -52,7 +57,12 @@ fn golden_fig4_optimum() {
 fn golden_device_slopes() {
     let m = Mosfet::nmos_with_vt(Volts(0.25));
     assert_close(m.subthreshold_slope().0, 0.0806, 0.02, "default S_th");
-    assert_close(m.off_current(Volts(1.0)).0, 6.18e-10, 0.10, "off current vt=0.25");
+    assert_close(
+        m.off_current(Volts(1.0)).0,
+        6.18e-10,
+        0.10,
+        "off current vt=0.25",
+    );
 }
 
 #[test]
@@ -61,7 +71,10 @@ fn golden_guest_checksums() {
     assert_eq!(idea::reference_checksum(40), 12_280);
     let cover = espresso::reference_minimise(150, 42);
     assert_eq!(cover.count(), 107);
-    assert_eq!(fir::reference_checksum(50, 42), fir::reference_checksum(50, 42));
+    assert_eq!(
+        fir::reference_checksum(50, 42),
+        fir::reference_checksum(50, 42)
+    );
     // li is seeded RNG-dependent but fixed per seed:
     assert_eq!(li::reference_result(8, 42), li::reference_result(8, 42));
 }
@@ -92,7 +105,7 @@ fn golden_fig10_savings() {
         &model,
         &soias,
         &soi,
-        &BlockParams::multiplier_8x8(),
+        &BlockParams::multiplier_8x8().expect("builds"),
         "multiplier",
         ActivityVars::new(0.0083, 0.0083, 0.5).expect("valid"),
     );

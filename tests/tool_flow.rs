@@ -36,10 +36,12 @@ fn full_flow_idea_to_technology_decision() {
 
     // Step 2: measure adder alpha at gate level.
     let mut n = Netlist::new();
-    let adder = ripple_carry_adder(&mut n, 8);
+    let adder = ripple_carry_adder(&mut n, 8).expect("valid width");
     let mut sim = Simulator::new(&n);
-    let mut src = PatternSource::random(17, 7);
-    let report = sim.measure_activity(&mut src, &adder.input_nodes(), 200, 8);
+    let mut src = PatternSource::random(17, 7).expect("valid width");
+    let report = sim
+        .measure_activity(&mut src, &adder.input_nodes(), 200, 8)
+        .expect("simulates");
     let alpha = report.mean_transition_probability();
     assert!(alpha > 0.1 && alpha < 1.0, "alpha = {alpha}");
 
@@ -48,7 +50,7 @@ fn full_flow_idea_to_technology_decision() {
         ActivityVars::from_profile(&profile.unit(FunctionalUnit::Adder), alpha).expect("valid");
     let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).expect("valid point");
     let (soi, soias) = soi_and_soias();
-    let block = BlockParams::adder_8bit();
+    let block = BlockParams::adder_8bit().expect("builds");
     let e_soi = model.energy_per_cycle(&soi, &block, activity);
     let e_soias = model.energy_per_cycle(&soias, &block, activity);
     // IDEA keeps the adder busy ~half the time; SOIAS still wins on the
@@ -60,14 +62,18 @@ fn full_flow_idea_to_technology_decision() {
 fn workload_contrast_matches_paper_tables() {
     // Tables 1-3 structure: espresso and li are multiplication-starved,
     // IDEA is multiplication-dense; all are adder-heavy.
-    let (_, p_esp) = run_profiled(&espresso::program(120, 42), 500_000_000).expect("espresso");
+    let (_, p_esp) =
+        run_profiled(&espresso::program(120, 42).expect("valid"), 500_000_000).expect("espresso");
     let (_, p_li) = run_profiled(&li::program(8, 42, 4), 100_000_000).expect("li");
     let (_, p_idea) = run_profiled(&idea::program(25), 100_000_000).expect("idea");
 
     let mult = |p: &lowvolt::isa::profile::ProfileReport| p.unit(FunctionalUnit::Multiplier).fga;
     let adder = |p: &lowvolt::isa::profile::ProfileReport| p.unit(FunctionalUnit::Adder).fga;
 
-    assert!(mult(&p_idea) > 10.0 * mult(&p_esp), "IDEA multiplies far more");
+    assert!(
+        mult(&p_idea) > 10.0 * mult(&p_esp),
+        "IDEA multiplies far more"
+    );
     assert!(mult(&p_idea) > 10.0 * mult(&p_li));
     for p in [&p_esp, &p_li, &p_idea] {
         assert!(adder(p) > 0.3, "every workload is adder-heavy");
@@ -82,14 +88,23 @@ fn workload_contrast_matches_paper_tables() {
 fn design_estimator_over_three_profiled_workloads() {
     let model = BurstEnergyModel::new(Volts(1.0), Hertz(1e6)).expect("valid");
     let (soi, soias) = soi_and_soias();
-    let (_, profile) = run_profiled(&espresso::program(100, 7), 500_000_000).expect("espresso");
+    let (_, profile) =
+        run_profiled(&espresso::program(100, 7).expect("valid"), 500_000_000).expect("espresso");
     let mut est = DesignEstimator::new(model, soi);
     for (unit, block, alpha) in [
-        (FunctionalUnit::Adder, BlockParams::adder_8bit(), 0.4),
-        (FunctionalUnit::Shifter, BlockParams::shifter_8bit(), 0.35),
+        (
+            FunctionalUnit::Adder,
+            BlockParams::adder_8bit().expect("builds"),
+            0.4,
+        ),
+        (
+            FunctionalUnit::Shifter,
+            BlockParams::shifter_8bit().expect("builds"),
+            0.35,
+        ),
         (
             FunctionalUnit::Multiplier,
-            BlockParams::multiplier_8x8(),
+            BlockParams::multiplier_8x8().expect("builds"),
             0.75,
         ),
     ] {
@@ -117,7 +132,7 @@ fn profiled_activity_feeds_tradeoff_surface() {
         &model,
         &soias,
         &soi,
-        &BlockParams::adder_8bit(),
+        &BlockParams::adder_8bit().expect("builds"),
         0.5,
         (1e-3, 1.0),
         (1e-4, 1.0),

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Verifies no unwrap()/expect( remains in non-test library code under
+# crates/*/src. Inline #[cfg(test)] modules (always the trailing item in
+# this codebase) are exempt: everything from the first `#[cfg(test)]`
+# line onward is stripped before grepping.
+set -u
+fail=0
+for f in $(find crates/*/src -name '*.rs' | sort); do
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" | grep -nE '\.unwrap\(\)|\.expect\(|unwrap_err\(\)|expect_err\(' )
+  if [ -n "$hits" ]; then
+    fail=1
+    echo "$f:"
+    echo "$hits" | sed 's/^/  /'
+  fi
+done
+if [ "$fail" -eq 0 ]; then echo "OK: no unwrap()/expect( in non-test code under crates/*/src"; fi
+exit $fail

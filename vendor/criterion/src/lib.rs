@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the workspace's `#[bench]`-style harnesses compiling and
+//! runnable: each `bench_function` runs a short warmup, then a fixed
+//! sample of timed iterations, and prints the mean time per iteration
+//! (plus throughput when configured). There is no statistical analysis,
+//! no plotting, and no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warmup: one iteration to page everything in.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed;
+
+    // Pick an iteration count aiming at roughly 0.2 s of total work,
+    // bounded by the sample size, so slow benches stay responsive.
+    let target = Duration::from_millis(200);
+    let iters = if per_iter.is_zero() {
+        sample_size as u64
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, sample_size as u128) as u64
+    };
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if iters > 0 {
+        b.elapsed / iters as u32
+    } else {
+        Duration::ZERO
+    };
+
+    match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {name:<48} {mean:>12.3?}/iter  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            let rate = n as f64 / mean.as_secs_f64();
+            println!("bench {name:<48} {mean:>12.3?}/iter  ({rate:.0} B/s)");
+        }
+        _ => println!("bench {name:<48} {mean:>12.3?}/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

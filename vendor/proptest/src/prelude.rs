@@ -1,0 +1,11 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Namespace alias so `prop::collection::vec(..)` style paths work.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
