@@ -1,0 +1,238 @@
+//! `perf` — the persisted benchmark baseline for the parallel engine.
+//!
+//! Times the three parallelised hot paths — fault campaign, experiment
+//! regeneration, and the (V_DD, V_T) optimisation sweep — once under the
+//! serial policy and once under the requested thread count, verifies the
+//! outputs are identical, and writes `BENCH_sim.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf                      # full run, BENCH_sim.json in the cwd
+//! perf --quick              # smaller workloads (CI smoke)
+//! perf --threads 4          # explicit worker count for the parallel leg
+//! perf --out path/to.json   # alternative output path
+//! ```
+//!
+//! The workloads are fixed-seed and deterministic, so successive runs
+//! measure the same work; `identical: true` in every stage certifies
+//! that the parallel leg reproduced the serial output bit for bit.
+
+use lowvolt_bench::{all_experiments, run_experiments_with, BenchError};
+use lowvolt_circuit::faults::{run_campaign_with, standard_targets, stuck_at_universe};
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_core::optimizer::FixedThroughputOptimizer;
+use lowvolt_core::sensitivity::{analyse_with, DesignPoint};
+use lowvolt_device::units::Seconds;
+use lowvolt_exec::ExecPolicy;
+use std::time::Instant;
+
+/// One stage's measurements.
+struct StageResult {
+    name: &'static str,
+    serial_wall_ms: f64,
+    parallel_wall_ms: f64,
+    identical: bool,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_wall_ms > 0.0 {
+            self.serial_wall_ms / self.parallel_wall_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Times one closure invocation in milliseconds, returning its output.
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs both legs of a stage and compares their outputs.
+fn stage<R: PartialEq>(
+    name: &'static str,
+    policy: &ExecPolicy,
+    run: impl Fn(&ExecPolicy) -> Result<R, String>,
+) -> Result<StageResult, String> {
+    let serial = ExecPolicy::serial();
+    let (serial_out, serial_wall_ms) = timed(|| run(&serial));
+    let (parallel_out, parallel_wall_ms) = timed(|| run(policy));
+    let identical = serial_out? == parallel_out?;
+    Ok(StageResult {
+        name,
+        serial_wall_ms,
+        parallel_wall_ms,
+        identical,
+    })
+}
+
+/// The campaign stage: the full stuck-at universe over every standard
+/// datapath target, fixed-seed random vectors.
+fn campaign_leg(policy: &ExecPolicy, width: usize, vectors: usize) -> Result<String, String> {
+    let targets = standard_targets(width).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, target) in targets.iter().enumerate() {
+        let faults = stuck_at_universe(&target.netlist);
+        let mut stimulus = PatternSource::random(target.inputs.len(), 0xC0FFEE + i as u64)
+            .map_err(|e| e.to_string())?;
+        let report = run_campaign_with(policy, target, &faults, &mut stimulus, vectors)
+            .map_err(|e| e.to_string())?;
+        out.push_str(&report.to_string());
+    }
+    Ok(out)
+}
+
+/// The regen stage: a fixed slice of the experiment registry, one
+/// experiment per work item.
+fn regen_leg(policy: &ExecPolicy, ids: &[&str]) -> Result<String, String> {
+    let registry = all_experiments();
+    let selected: Vec<_> = registry
+        .into_iter()
+        .filter(|e| ids.contains(&e.id))
+        .collect();
+    if selected.len() != ids.len() {
+        return Err(format!(
+            "regen stage resolved {}/{} ids",
+            selected.len(),
+            ids.len()
+        ));
+    }
+    let outputs: Result<Vec<String>, BenchError> = run_experiments_with(policy, &selected)
+        .into_iter()
+        .collect();
+    Ok(outputs.map_err(|e| e.to_string())?.join("\n"))
+}
+
+/// The optimize stage: the Fig. 4 coarse grid + refinement, plus the
+/// sensitivity analysis (seven further optimisations).
+fn optimize_leg(policy: &ExecPolicy, quick: bool) -> Result<String, String> {
+    let opt = FixedThroughputOptimizer::paper_ring(Seconds::from_nanos(2.0))
+        .map_err(|e| e.to_string())?;
+    let best = opt
+        .optimum_with(policy, Seconds(1e-6))
+        .map_err(|e| e.to_string())?;
+    let mut out = format!("optimum vt={:.6} vdd={:.6}\n", best.vt.0, best.vdd.0);
+    if !quick {
+        let point = DesignPoint::paper_nominal().map_err(|e| e.to_string())?;
+        let report = analyse_with(policy, point, 0.2).map_err(|e| e.to_string())?;
+        for e in &report.entries {
+            out.push_str(&format!(
+                "sensitivity {} swing={:.6}\n",
+                e.parameter, e.energy_swing
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(threads: usize, parallelism: usize, quick: bool, stages: &[StageResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"parallelism_available\": {parallelism},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            json_escape(s.name),
+            s.serial_wall_ms,
+            s.parallel_wall_ms,
+            s.speedup(),
+            s.identical,
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        quick = true;
+    }
+    let mut take_value = |flag: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(pos) if pos + 1 < args.len() => {
+                let v = args.remove(pos + 1);
+                args.remove(pos);
+                Ok(Some(v))
+            }
+            Some(_) => Err(format!("{flag} needs a value")),
+        }
+    };
+    let out_path = take_value("--out")?.unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let policy = match take_value("--threads")? {
+        None => ExecPolicy::from_env(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => ExecPolicy::with_threads(n),
+            Err(_) => return Err(format!("--threads needs a number, got `{v}`")),
+        },
+    };
+    if let Some(unknown) = args.first() {
+        return Err(format!("unknown argument `{unknown}`"));
+    }
+
+    let parallelism = ExecPolicy::max_parallel().threads();
+    eprintln!(
+        "perf: {} worker thread(s), {} available, {} workload",
+        policy.threads(),
+        parallelism,
+        if quick { "quick" } else { "full" }
+    );
+
+    let (width, vectors) = if quick { (4, 8) } else { (8, 32) };
+    let regen_ids: &[&str] = if quick {
+        &["fig1", "fig2", "fig6"]
+    } else {
+        &[
+            "fig1", "fig2", "fig3", "fig6", "fig7", "table1", "table2", "table3",
+        ]
+    };
+
+    let stages = vec![
+        stage("campaign", &policy, |p| campaign_leg(p, width, vectors))?,
+        stage("regen", &policy, |p| regen_leg(p, regen_ids))?,
+        stage("optimize", &policy, |p| optimize_leg(p, quick))?,
+    ];
+
+    for s in &stages {
+        eprintln!(
+            "perf: {:9} serial {:8.1} ms  parallel {:8.1} ms  speedup {:.2}x  identical {}",
+            s.name,
+            s.serial_wall_ms,
+            s.parallel_wall_ms,
+            s.speedup(),
+            s.identical
+        );
+    }
+    if let Some(bad) = stages.iter().find(|s| !s.identical) {
+        return Err(format!(
+            "stage `{}` parallel output diverged from serial",
+            bad.name
+        ));
+    }
+
+    let json = render_json(policy.threads(), parallelism, quick, &stages);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("perf: wrote {out_path}");
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("perf: error: {msg}");
+        std::process::exit(1);
+    }
+}

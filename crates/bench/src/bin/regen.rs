@@ -7,21 +7,52 @@
 //! regen list              # list experiment ids
 //! regen fig4 table3       # run selected experiments
 //! regen --csv out/ fig1   # additionally write plottable series as CSV
+//! regen --threads 4       # run experiments on 4 worker threads
 //! ```
+//!
+//! Experiments run in parallel under `--threads N` (default: the
+//! `LOWVOLT_THREADS` environment variable, else all available cores),
+//! but outputs are printed in registry order, so the emitted text is
+//! identical for any thread count.
 
-use lowvolt_bench::all_experiments;
+use lowvolt_bench::{all_experiments, run_experiments_with};
+use lowvolt_exec::ExecPolicy;
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(pos) if pos + 1 < args.len() => {
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut csv_dir: Option<String> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        if pos + 1 >= args.len() {
-            eprintln!("--csv needs a directory");
+    let csv_dir = match take_flag_value(&mut args, "--csv") {
+        Ok(dir) => dir,
+        Err(msg) => {
+            eprintln!("{msg} (a directory)");
             std::process::exit(2);
         }
-        csv_dir = Some(args.remove(pos + 1));
-        args.remove(pos);
-    }
+    };
+    let policy = match take_flag_value(&mut args, "--threads") {
+        Ok(None) => ExecPolicy::from_env(),
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) => ExecPolicy::with_threads(n),
+            Err(_) => {
+                eprintln!("--threads needs a number, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg} (a worker count)");
+            std::process::exit(2);
+        }
+    };
     let experiments = all_experiments();
     if args.first().is_some_and(|a| a == "list") {
         for e in &experiments {
@@ -30,12 +61,12 @@ fn main() {
         return;
     }
     let selected: Vec<_> = if args.is_empty() {
-        experiments.iter().collect()
+        experiments.clone()
     } else {
         let mut picked = Vec::new();
         for arg in &args {
             match experiments.iter().find(|e| e.id == *arg) {
-                Some(e) => picked.push(e),
+                Some(e) => picked.push(*e),
                 None => {
                     eprintln!("unknown experiment `{arg}`; try `regen list`");
                     std::process::exit(2);
@@ -50,12 +81,15 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Generate every output in parallel, then print serially in input
+    // order so stdout matches the serial run byte for byte.
+    let outputs = run_experiments_with(&policy, &selected);
     let mut failures = 0;
-    for e in selected {
+    for (e, result) in selected.iter().zip(outputs) {
         println!("==================================================================");
         println!("{} — {}", e.id, e.title);
         println!("==================================================================");
-        match (e.run)() {
+        match result {
             Ok(out) => println!("{out}"),
             Err(err) => {
                 eprintln!("error: {} failed: {err}", e.id);

@@ -16,6 +16,7 @@ use lowvolt_core::energy::BurstEnergyModel;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Volts};
+use lowvolt_exec::{parallel_map, ExecPolicy};
 use std::fmt;
 
 /// An experiment failed to produce its output: carries the message
@@ -220,6 +221,18 @@ pub fn all_experiments() -> Vec<Experiment> {
             series: None,
         },
     ]
+}
+
+/// Runs `selected` experiments under `policy`, one experiment per work
+/// item, returning each experiment's output (or failure) **at its input
+/// index** — callers print the results in order, so the emitted text is
+/// identical whatever the thread count.
+#[must_use]
+pub fn run_experiments_with(
+    policy: &ExecPolicy,
+    selected: &[Experiment],
+) -> Vec<Result<String, BenchError>> {
+    parallel_map(policy, selected, |_, e| (e.run)())
 }
 
 /// The shared Fig. 10-style operating point: 1 V supply, 1 MHz clock,

@@ -12,4 +12,4 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiments, Experiment};
+pub use experiments::{all_experiments, run_experiments_with, BenchError, Experiment};

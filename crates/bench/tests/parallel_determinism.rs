@@ -1,0 +1,40 @@
+//! The experiment harness under the parallel runner must emit exactly
+//! the serial outputs, in registry order, for any thread count.
+
+use lowvolt_bench::{all_experiments, run_experiments_with, Experiment};
+use lowvolt_exec::ExecPolicy;
+
+fn cheap_subset() -> Vec<Experiment> {
+    // The fast closed-form experiments; the heavyweight simulations have
+    // their own coverage and would slow the suite.
+    all_experiments()
+        .into_iter()
+        .filter(|e| ["fig1", "fig2", "fig6"].contains(&e.id))
+        .collect()
+}
+
+#[test]
+fn experiments_identical_for_any_thread_count() {
+    let selected = cheap_subset();
+    assert_eq!(selected.len(), 3, "expected registry ids present");
+    let serial = run_experiments_with(&ExecPolicy::serial(), &selected);
+    for threads in [2, 3, 8] {
+        let parallel = run_experiments_with(&ExecPolicy::with_threads(threads), &selected);
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+    for (e, out) in selected.iter().zip(&serial) {
+        let text = out.as_ref().expect("experiment runs");
+        assert!(text.len() > 100, "{} output too small", e.id);
+    }
+}
+
+#[test]
+fn results_land_at_input_indices() {
+    // Order the subset differently and check outputs follow the inputs,
+    // not the registry.
+    let mut selected = cheap_subset();
+    selected.reverse();
+    let out = run_experiments_with(&ExecPolicy::with_threads(4), &selected);
+    let direct: Vec<_> = selected.iter().map(|e| (e.run)()).collect();
+    assert_eq!(out, direct);
+}

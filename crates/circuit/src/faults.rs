@@ -20,6 +20,7 @@ use crate::netlist::{Netlist, NodeId};
 use crate::sim::Simulator;
 use crate::stimulus::PatternSource;
 use crate::switchlevel::{SwNodeId, SwitchNetlist, SwitchSim};
+use lowvolt_exec::{parallel_map, ExecPolicy};
 
 /// A structural fault injected into a gate-level simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -388,6 +389,29 @@ pub fn run_campaign(
     stimulus: &mut PatternSource,
     vectors: usize,
 ) -> Result<CampaignReport, CircuitError> {
+    run_campaign_with(&ExecPolicy::serial(), target, faults, stimulus, vectors)
+}
+
+/// [`run_campaign`] with an explicit execution policy: injections are
+/// partitioned over the policy's worker threads, one fresh simulator per
+/// injection as in the serial path. The stimulus is expanded and the
+/// golden run executed up front on the calling thread, so the report is
+/// **bit-identical** to the serial campaign for any thread count — the
+/// per-fault results land at their fault's index regardless of which
+/// worker classified them.
+///
+/// # Errors
+///
+/// Exactly the serial [`run_campaign`] contract: stimulus validation
+/// errors or a failing *golden* run abort the campaign; faulted-run
+/// errors are [`FaultOutcome::Detected`] classifications.
+pub fn run_campaign_with(
+    policy: &ExecPolicy,
+    target: &FaultTarget,
+    faults: &[GateFault],
+    stimulus: &mut PatternSource,
+    vectors: usize,
+) -> Result<CampaignReport, CircuitError> {
     if vectors == 0 {
         return Err(CircuitError::InvalidStimulus {
             reason: "campaign needs at least one vector",
@@ -401,18 +425,19 @@ pub fn run_campaign(
         });
     }
     let vecs: Vec<Vec<Bit>> = (0..vectors).map(|_| stimulus.next_pattern()).collect();
+    // The golden run also warms the netlist's CSR fanout index, so the
+    // workers share the prebuilt adjacency read-only.
     let golden = run_trace(target, &vecs, None)?;
-    let mut reports = Vec::with_capacity(faults.len());
-    for fault in faults {
+    let reports = parallel_map(policy, faults, |_, fault| {
         let outcome = match run_trace(target, &vecs, Some(fault)) {
             Ok(trace) => classify(&golden, &trace),
             Err(err) => FaultOutcome::Detected(err),
         };
-        reports.push(FaultReport {
+        FaultReport {
             fault: fault.clone(),
             outcome,
-        });
-    }
+        }
+    });
     Ok(CampaignReport {
         target: target.name.clone(),
         vectors,

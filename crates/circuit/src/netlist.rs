@@ -7,6 +7,8 @@
 //! capacitance. These per-node capacitances are what turn transition
 //! counts into switched capacitance (the paper's `α·C_L` product).
 
+use std::sync::OnceLock;
+
 use crate::error::CircuitError;
 use crate::logic::Bit;
 use lowvolt_device::units::Farads;
@@ -217,13 +219,77 @@ pub const DRAIN_JUNCTION_CAP_FF: f64 = 2.4;
 /// Local interconnect capacitance per node, fF.
 pub const WIRE_CAP_FF: f64 = 1.6;
 
+/// Flat compressed-sparse-row fanout adjacency: gate ids of every node's
+/// fanout stored contiguously, indexed by a per-node offset table. One
+/// slice lookup per driven node in the simulator's inner loop, with all
+/// fanout lists packed into two cache-friendly arrays instead of one
+/// heap-allocated `Vec` per node.
+#[derive(Debug, Default)]
+pub(crate) struct FanoutIndex {
+    /// `offsets[n]..offsets[n + 1]` bounds node `n`'s slice of `gates`.
+    offsets: Vec<u32>,
+    /// All fanout gate ids, grouped by driving node, insertion order
+    /// preserved within each group.
+    gates: Vec<GateId>,
+}
+
+impl FanoutIndex {
+    /// Builds the CSR layout from the netlist's edge list with a stable
+    /// counting sort, so each node's fanout keeps gate-insertion order
+    /// (the order the old per-node `Vec`s held).
+    fn build(node_count: usize, edges: &[(u32, u32)]) -> FanoutIndex {
+        let mut offsets = vec![0u32; node_count + 1];
+        for &(node, _) in edges {
+            offsets[node as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets.clone();
+        let mut gates = vec![GateId(0); edges.len()];
+        for &(node, gate) in edges {
+            let slot = cursor[node as usize];
+            gates[slot as usize] = GateId(gate as usize);
+            cursor[node as usize] = slot + 1;
+        }
+        FanoutIndex { offsets, gates }
+    }
+
+    /// The fanout slice of one node (empty for a foreign index).
+    pub(crate) fn fanout(&self, node: usize) -> &[GateId] {
+        match (self.offsets.get(node), self.offsets.get(node + 1)) {
+            (Some(&start), Some(&end)) => &self.gates[start as usize..end as usize],
+            _ => &[],
+        }
+    }
+}
+
 /// A gate-level netlist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Netlist {
     nodes: Vec<Node>,
     gates: Vec<Gate>,
-    fanout: Vec<Vec<GateId>>,
+    /// Fanout edges `(driving node, gate)` in insertion order; the CSR
+    /// index is derived from this list on first query.
+    edges: Vec<(u32, u32)>,
+    /// Lazily built CSR fanout, invalidated by any structural mutation.
+    /// `OnceLock` keeps the netlist shareable across campaign worker
+    /// threads (`&Netlist` is `Sync`).
+    fanout_index: OnceLock<FanoutIndex>,
     inputs: Vec<NodeId>,
+}
+
+impl Clone for Netlist {
+    fn clone(&self) -> Netlist {
+        Netlist {
+            nodes: self.nodes.clone(),
+            gates: self.gates.clone(),
+            edges: self.edges.clone(),
+            // The clone rebuilds its CSR on first use.
+            fanout_index: OnceLock::new(),
+            inputs: self.inputs.clone(),
+        }
+    }
 }
 
 impl Netlist {
@@ -241,7 +307,7 @@ impl Netlist {
             cap_ff: WIRE_CAP_FF,
             is_input: false,
         });
-        self.fanout.push(Vec::new());
+        self.fanout_index = OnceLock::new();
         id
     }
 
@@ -282,8 +348,9 @@ impl Netlist {
         let id = GateId(self.gates.len());
         for (i, &n) in inputs.iter().enumerate() {
             self.nodes[n.0].cap_ff += kind.input_load_units(i) * UNIT_GATE_CAP_FF;
-            self.fanout[n.0].push(id);
+            self.edges.push((n.0 as u32, id.0 as u32));
         }
+        self.fanout_index = OnceLock::new();
         self.nodes[output.0].cap_ff += DRAIN_JUNCTION_CAP_FF;
         self.gates.push(Gate {
             kind,
@@ -393,9 +460,20 @@ impl Netlist {
 
     /// Gates driven by (having an input on) `node`. A foreign node id has
     /// an empty fanout.
+    ///
+    /// Served from the flat CSR index ([`FanoutIndex`]), built on first
+    /// query after the last structural mutation.
     #[must_use]
     pub fn fanout(&self, node: NodeId) -> &[GateId] {
-        self.fanout.get(node.0).map_or(&[], Vec::as_slice)
+        self.fanout_index().fanout(node.0)
+    }
+
+    /// The CSR fanout index, building it if a mutation invalidated it.
+    /// The simulator grabs this once at construction so its inner loop
+    /// pays no lazy-init check.
+    pub(crate) fn fanout_index(&self) -> &FanoutIndex {
+        self.fanout_index
+            .get_or_init(|| FanoutIndex::build(self.nodes.len(), &self.edges))
     }
 
     /// Lumped capacitance of a node (zero for a foreign node id).
@@ -564,6 +642,22 @@ mod tests {
         let before = n.node_count();
         assert!(n.gate(GateKind::Nand2, &[a]).is_err());
         assert_eq!(n.node_count(), before, "failed gate() must not leak a node");
+    }
+
+    #[test]
+    fn fanout_csr_invalidated_by_mutation() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        // Force the CSR index to build, then mutate the structure.
+        assert_eq!(n.fanout(a).len(), 1);
+        let _y2 = n.gate(GateKind::Not, &[a]).unwrap();
+        assert_eq!(n.fanout(a).len(), 2, "stale CSR index after gate()");
+        // Clones must rebuild their own index, not alias a stale one.
+        let mut m = n.clone();
+        let _y3 = m.gate(GateKind::Not, &[a]).unwrap();
+        assert_eq!(m.fanout(a).len(), 3);
+        assert_eq!(n.fanout(a).len(), 2, "clone mutation must not leak back");
     }
 
     #[test]

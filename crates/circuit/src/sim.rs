@@ -36,8 +36,63 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::activity::{ActivityReport, NodeActivity};
 use crate::error::CircuitError;
 use crate::logic::Bit;
-use crate::netlist::{GateKind, Netlist, NodeId};
+use crate::netlist::{FanoutIndex, GateKind, Netlist, NodeId};
 use crate::stimulus::PatternSource;
+
+/// A scheduled gate update. The pending value rides inside the heap
+/// entry, so applying an event is a single pop — no side-table lookup.
+/// Entries order by `(time, gate, seq)`; `seq` is a global schedule
+/// counter, so several entries for the same `(time, gate)` pop adjacently
+/// with the most recently scheduled last. That last entry carries the
+/// value that stands, which reproduces the old same-tick coalescing
+/// ("exactly one update per gate per tick, final value wins") without a
+/// `HashMap` remove per event.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    time: u64,
+    gate: u32,
+    seq: u64,
+    value: Bit,
+}
+
+impl Ev {
+    fn key(&self) -> (u64, u32, u64) {
+        (self.time, self.gate, self.seq)
+    }
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Ev) -> bool {
+        // `seq` is unique per entry, so key equality is entry identity.
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Gate data flattened for the simulation inner loop: fixed-size input
+/// array (max arity is 3) instead of a heap `Vec` per gate, laid out
+/// contiguously by gate id.
+#[derive(Debug, Clone, Copy)]
+struct FlatGate {
+    kind: GateKind,
+    inputs: [NodeId; 3],
+    arity: u8,
+    output: NodeId,
+    delay: u32,
+}
 
 /// Default number of events [`Simulator::settle`] will process before
 /// giving up on quiescence.
@@ -68,12 +123,16 @@ pub struct SettleStats {
 #[derive(Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
+    /// CSR fanout adjacency, resolved once at construction.
+    fanout: &'a FanoutIndex,
+    /// Flattened gate table (see [`FlatGate`]), indexed by gate id.
+    gates: Vec<FlatGate>,
     values: Vec<Bit>,
-    queue: BinaryHeap<Reverse<(u64, usize)>>,
-    /// Value captured at schedule time for each pending `(time, gate)`
-    /// event; later same-tick re-evaluations overwrite it, so exactly one
-    /// update per gate per tick is applied.
-    pending: HashMap<(u64, usize), Bit>,
+    /// Pending gate updates, values carried in the entries.
+    queue: BinaryHeap<Reverse<Ev>>,
+    /// Monotone schedule counter; makes heap entries totally ordered and
+    /// lets same-`(time, gate)` entries resolve to the newest value.
+    seq: u64,
     time: u64,
     rising: Vec<u64>,
     falling: Vec<u64>,
@@ -83,23 +142,48 @@ pub struct Simulator<'a> {
     forced: Vec<Option<Bit>>,
     /// Shorted node pairs; disagreeing values resolve to [`Bit::X`].
     bridges: Vec<(usize, usize)>,
+    /// Scratch buffer reused by every watchdog fingerprint
+    /// ([`Simulator::state_signature`]): `(dt, gate, seq, value)` rows
+    /// collected from the queue, sorted in place. Reuse keeps the
+    /// periodic sampling allocation-free after the first fingerprint.
+    sig_scratch: Vec<(u64, u32, u64, u8)>,
 }
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator with every node in the unknown state.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Simulator<'a> {
+        let gates = netlist
+            .gates()
+            .iter()
+            .map(|g| {
+                let mut inputs = [NodeId(0); 3];
+                for (slot, &n) in inputs.iter_mut().zip(&g.inputs) {
+                    *slot = n;
+                }
+                FlatGate {
+                    kind: g.kind,
+                    inputs,
+                    arity: g.inputs.len() as u8,
+                    output: g.output,
+                    delay: g.delay,
+                }
+            })
+            .collect();
         Simulator {
             netlist,
+            fanout: netlist.fanout_index(),
+            gates,
             values: vec![Bit::X; netlist.node_count()],
             queue: BinaryHeap::new(),
-            pending: HashMap::new(),
+            seq: 0,
             time: 0,
             rising: vec![0; netlist.node_count()],
             falling: vec![0; netlist.node_count()],
             counting: false,
             forced: vec![None; netlist.node_count()],
             bridges: Vec::new(),
+            sig_scratch: Vec::new(),
         }
     }
 
@@ -265,10 +349,20 @@ impl<'a> Simulator<'a> {
         let mut spent = 0usize;
         let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
         loop {
-            while let Some(Reverse((t, g))) = self.queue.pop() {
-                let new_value = self.pending.remove(&(t, g)).ok_or(CircuitError::Internal {
-                    detail: "queue entry without a pending value",
-                })?;
+            while let Some(Reverse(ev)) = self.queue.pop() {
+                let (t, g) = (ev.time, ev.gate);
+                let mut new_value = ev.value;
+                // Entries for the same (time, gate) are adjacent in pop
+                // order with the newest schedule last; drain them so the
+                // value that stands is the final same-tick re-evaluation
+                // and exactly one update per gate per tick is applied.
+                while let Some(&Reverse(next)) = self.queue.peek() {
+                    if next.time != t || next.gate != g {
+                        break;
+                    }
+                    new_value = next.value;
+                    self.queue.pop();
+                }
                 self.time = t;
                 spent += 1;
                 if spent > budget {
@@ -276,7 +370,7 @@ impl<'a> Simulator<'a> {
                         event_budget: budget,
                     });
                 }
-                let output = self.netlist.gates().get(g).map(|gate| gate.output).ok_or(
+                let output = self.gates.get(g as usize).map(|gate| gate.output).ok_or(
                     CircuitError::Internal {
                         detail: "pending event names a foreign gate",
                     },
@@ -411,8 +505,8 @@ impl<'a> Simulator<'a> {
                 _ => {}
             }
         }
-        for &g in self.netlist.fanout(node) {
-            let gate = &self.netlist.gates()[g.index()];
+        for &g in self.fanout.fanout(node.index()) {
+            let gate = self.gates[g.index()];
             let fire_at = self.time + u64::from(gate.delay);
             if gate.kind == GateKind::Dff {
                 // Only a clean rising clock edge captures data.
@@ -421,12 +515,14 @@ impl<'a> Simulator<'a> {
                     self.schedule(fire_at, g.index(), captured);
                 }
             } else {
-                let inputs: Vec<Bit> = gate
-                    .inputs
-                    .iter()
-                    .map(|&n| self.values[n.index()])
-                    .collect();
-                let evaluated = gate.kind.evaluate(&inputs);
+                // Inputs gathered into a stack array: no per-event heap
+                // allocation in the hot loop (max arity is 3).
+                let arity = usize::from(gate.arity);
+                let mut inputs = [Bit::X; 3];
+                for (slot, &n) in inputs.iter_mut().zip(&gate.inputs[..arity]) {
+                    *slot = self.values[n.index()];
+                }
+                let evaluated = gate.kind.evaluate(&inputs[..arity]);
                 self.schedule(fire_at, g.index(), evaluated);
             }
         }
@@ -462,22 +558,35 @@ impl<'a> Simulator<'a> {
     }
 
     fn schedule(&mut self, time: u64, gate: usize, value: Bit) {
-        if self.pending.insert((time, gate), value).is_none() {
-            self.queue.push(Reverse((time, gate)));
-        }
+        self.seq += 1;
+        self.queue.push(Reverse(Ev {
+            time,
+            gate: gate as u32,
+            seq: self.seq,
+            value,
+        }));
     }
 
     /// 128-bit FNV-1a fingerprint of the complete simulation state: node
     /// values plus the pending queue with event times normalised to the
     /// current tick. Two equal fingerprints (collisions aside) mean the
     /// deterministic simulation must repeat forever.
-    fn state_signature(&self) -> (u64, u64) {
-        let mut pend: Vec<(u64, usize, u8)> = self
-            .pending
-            .iter()
-            .map(|(&(t, g), &v)| (t.saturating_sub(self.time), g, v as u8))
-            .collect();
-        pend.sort_unstable();
+    ///
+    /// Pending rows are canonicalised before hashing: entries are sorted
+    /// into `(dt, gate, seq)` order in the reused scratch buffer and only
+    /// the newest entry per `(dt, gate)` — the value that will stand when
+    /// the group pops — contributes. The schedule counter itself never
+    /// enters the hash (it grows forever and would mask revisited
+    /// states).
+    fn state_signature(&mut self) -> (u64, u64) {
+        let now = self.time;
+        self.sig_scratch.clear();
+        self.sig_scratch.extend(
+            self.queue
+                .iter()
+                .map(|&Reverse(ev)| (ev.time.saturating_sub(now), ev.gate, ev.seq, ev.value as u8)),
+        );
+        self.sig_scratch.sort_unstable();
         let mut h1 = Fnv1a::new(0xcbf2_9ce4_8422_2325);
         let mut h2 = Fnv1a::new(0x6c62_272e_07bb_0142);
         for &v in &self.values {
@@ -485,23 +594,33 @@ impl<'a> Simulator<'a> {
             h1.write_u8(byte);
             h2.write_u8(byte);
         }
-        for (dt, g, v) in pend {
+        let rows = &self.sig_scratch;
+        let mut i = 0;
+        while i < rows.len() {
+            let (dt, g, _, _) = rows[i];
+            // Skip to the newest same-(dt, gate) entry; its value stands.
+            while i + 1 < rows.len() && rows[i + 1].0 == dt && rows[i + 1].1 == g {
+                i += 1;
+            }
+            let v = rows[i].3;
             for h in [&mut h1, &mut h2] {
                 h.write_u64(dt);
-                h.write_u64(g as u64);
+                h.write_u64(u64::from(g));
                 h.write_u8(v);
             }
+            i += 1;
         }
         (h1.finish(), h2.finish())
     }
 
     /// Names of nodes with still-pending updates, for oscillation
-    /// diagnostics (deduplicated, capped, sorted).
+    /// diagnostics (deduplicated, capped, sorted). Only called on the
+    /// error path, so this is the one place node names are materialised.
     fn ringing_nodes(&self) -> Vec<String> {
         let mut names: Vec<String> = self
-            .pending
-            .keys()
-            .filter_map(|&(_, g)| self.netlist.gates().get(g))
+            .queue
+            .iter()
+            .filter_map(|&Reverse(ev)| self.gates.get(ev.gate as usize))
             .map(|gate| self.netlist.node_name(gate.output).to_string())
             .collect();
         names.sort_unstable();

@@ -1,0 +1,63 @@
+//! The parallel engine's core guarantee, end to end: a fault campaign
+//! partitioned over worker threads produces a report **bit-identical**
+//! to the serial sweep, for any thread count.
+
+use lowvolt_circuit::faults::{
+    run_campaign, run_campaign_with, standard_targets, stuck_at_universe, CampaignReport,
+};
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_exec::ExecPolicy;
+
+fn serial_reports(width: usize, vectors: usize) -> Vec<CampaignReport> {
+    let targets = standard_targets(width).expect("standard targets build");
+    targets
+        .iter()
+        .map(|target| {
+            let faults = stuck_at_universe(&target.netlist);
+            let mut src = PatternSource::random(target.inputs.len(), 0xD5EED).expect("stimulus");
+            run_campaign(target, &faults, &mut src, vectors).expect("serial campaign")
+        })
+        .collect()
+}
+
+#[test]
+fn campaign_identical_for_any_thread_count() {
+    let width = 4;
+    let vectors = 8;
+    let serial = serial_reports(width, vectors);
+    let targets = standard_targets(width).expect("standard targets build");
+    for threads in [1, 2, 3, 8] {
+        let policy = ExecPolicy::with_threads(threads);
+        for (target, expected) in targets.iter().zip(&serial) {
+            let faults = stuck_at_universe(&target.netlist);
+            let mut src = PatternSource::random(target.inputs.len(), 0xD5EED).expect("stimulus");
+            let got = run_campaign_with(&policy, target, &faults, &mut src, vectors)
+                .expect("parallel campaign");
+            // Structural equality: same faults in the same order with the
+            // same classifications…
+            assert_eq!(&got, expected, "threads = {threads}, {}", target.name);
+            // …and the rendered summary matches byte for byte.
+            assert_eq!(
+                got.to_string(),
+                expected.to_string(),
+                "threads = {threads}, {}",
+                target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_default_policy_matches_serial() {
+    // Whatever the machine's parallelism, the env-derived default policy
+    // must agree with the serial reference.
+    let targets = standard_targets(2).expect("standard targets build");
+    let target = &targets[0];
+    let faults = stuck_at_universe(&target.netlist);
+    let mut src = PatternSource::random(target.inputs.len(), 7).expect("stimulus");
+    let serial = run_campaign(target, &faults, &mut src, 4).expect("serial");
+    let mut src = PatternSource::random(target.inputs.len(), 7).expect("stimulus");
+    let parallel =
+        run_campaign_with(&ExecPolicy::from_env(), target, &faults, &mut src, 4).expect("parallel");
+    assert_eq!(serial, parallel);
+}

@@ -60,6 +60,15 @@ impl Parsed {
                 .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
+
+    /// The worker-thread count from `--threads N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag if the value is not an integer.
+    pub fn threads(&self) -> Result<Option<usize>, String> {
+        Ok(self.get_u64("threads")?.map(|n| n as usize))
+    }
 }
 
 /// Parses raw arguments (without the program name).

@@ -6,6 +6,7 @@ use std::fmt;
 use crate::args::Parsed;
 use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
+use lowvolt_circuit::faults::{run_campaign_with, standard_targets, stuck_at_universe};
 use lowvolt_circuit::multiplier::array_multiplier;
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::ring::RingOscillator;
@@ -21,6 +22,7 @@ use lowvolt_device::mosfet::Mosfet;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Seconds, Volts};
+use lowvolt_exec::ExecPolicy;
 use lowvolt_isa::bblocks::BlockProfile;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::profile::Profiler;
@@ -71,11 +73,17 @@ USAGE:
   lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
                    [--patterns random|counting] [--cycles N] [--seed N]
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
+                   [--threads N]
+  lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
   lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
                    [--vdd V] [--mhz F]
   lowvolt iv       [--vt V] [--soias] [--vds V]
   lowvolt disasm   (<file.s> | --example idea|espresso|li|fir)
   lowvolt help
+
+`--threads N` selects the worker count for parallel sweeps (N = 0 or the
+LOWVOLT_THREADS environment variable mean \"all available cores\");
+results are identical for any thread count.
 
 Run any experiment of the paper with the separate `regen` binary.";
 
@@ -90,12 +98,23 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliError> {
         "profile" => profile(parsed),
         "activity" => activity(parsed),
         "optimize" => optimize(parsed),
+        "campaign" => campaign(parsed),
         "compare" => compare(parsed),
         "iv" => iv(parsed),
         "disasm" => disasm(parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
+}
+
+/// Resolves the execution policy for a command: `--threads N` when
+/// given (0 = all cores), else the `LOWVOLT_THREADS` environment
+/// variable, else the machine's available parallelism.
+fn exec_policy(parsed: &Parsed) -> Result<ExecPolicy, CliError> {
+    Ok(match parsed.threads()? {
+        Some(n) => ExecPolicy::with_threads(n),
+        None => ExecPolicy::from_env(),
+    })
 }
 
 fn example_source(name: &str) -> Result<String, CliError> {
@@ -230,6 +249,7 @@ fn optimize(parsed: &Parsed) -> Result<String, CliError> {
     let delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
     let mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
     let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
+    let policy = exec_policy(parsed)?;
     let ring = RingOscillator::paper_default()?;
     let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
         .map_err(|e| CliError(e.to_string()))?;
@@ -246,13 +266,52 @@ fn optimize(parsed: &Parsed) -> Result<String, CliError> {
         ]);
     }
     out.push_str(&t.to_string());
-    let best = opt.optimum(t_op).map_err(|e| CliError(e.to_string()))?;
+    let best = opt
+        .optimum_with(&policy, t_op)
+        .map_err(|e| CliError(e.to_string()))?;
     out.push_str(&format!(
         "\noptimum: V_T = {:.3} V, V_DD = {:.3} V, {} J/op\n",
         best.vt.0,
         best.vdd.0,
         fmt_sig(best.total().0, 3)
     ));
+    Ok(out)
+}
+
+fn campaign(parsed: &Parsed) -> Result<String, CliError> {
+    let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+    let vectors = parsed.get_u64("vectors")?.unwrap_or(32) as usize;
+    let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let policy = exec_policy(parsed)?;
+    let targets = standard_targets(width)?;
+    let mut out = format!(
+        "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n\n",
+        policy.threads()
+    );
+    let mut t = Table::new([
+        "target",
+        "faults",
+        "detected",
+        "corrupted",
+        "as-X",
+        "masked",
+        "coverage",
+    ]);
+    for (i, target) in targets.iter().enumerate() {
+        let faults = stuck_at_universe(&target.netlist);
+        let mut stimulus = PatternSource::random(target.inputs.len(), seed.wrapping_add(i as u64))?;
+        let report = run_campaign_with(&policy, target, &faults, &mut stimulus, vectors)?;
+        t.push_row([
+            report.target.clone(),
+            report.faults().to_string(),
+            report.detected().to_string(),
+            report.corrupted().to_string(),
+            report.propagated_as_x().to_string(),
+            report.masked().to_string(),
+            format!("{:.1}%", report.coverage() * 100.0),
+        ]);
+    }
+    out.push_str(&t.to_string());
     Ok(out)
 }
 
@@ -442,6 +501,52 @@ mod tests {
             .and_then(|s| s.parse().ok())
             .expect("vdd parses");
         assert!(vdd < 1.2, "vdd = {vdd}");
+    }
+
+    #[test]
+    fn optimize_accepts_threads_flag() {
+        let serial = run(&["optimize", "--delay-ps", "150", "--threads", "1"]).unwrap();
+        let parallel = run(&["optimize", "--delay-ps", "150", "--threads", "4"]).unwrap();
+        assert_eq!(serial, parallel, "thread count must not change results");
+        let err = run(&["optimize", "--threads", "two"]).unwrap_err();
+        assert!(err.0.contains("--threads"));
+    }
+
+    #[test]
+    fn campaign_reports_coverage_table() {
+        let out = run(&["campaign", "--width", "2", "--vectors", "4"]).unwrap();
+        assert!(out.contains("stuck-at fault campaign"));
+        assert!(out.contains("adder2"));
+        assert!(out.contains("coverage"));
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let serial = run(&[
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "4",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        let parallel = run(&[
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "4",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        // The reported thread count differs; everything after the header
+        // (the per-target coverage table) must not.
+        let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
+        assert_eq!(table(&serial).as_deref(), table(&parallel).as_deref());
+        assert!(table(&serial).is_some());
     }
 
     #[test]

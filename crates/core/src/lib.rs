@@ -45,6 +45,16 @@
 pub mod activity;
 pub mod energy;
 pub mod error;
+/// The parallel execution engine (re-exported from `lowvolt-exec`, the
+/// bottom of the crate stack, so the circuit layer can share it):
+/// [`exec::ExecPolicy`] selects a worker count
+/// (`LOWVOLT_THREADS`-aware), [`exec::parallel_map`] runs a chunked
+/// scoped-thread map with deterministic, input-ordered results. The
+/// optimizer grid, sensitivity analysis, and tradeoff surface all accept
+/// a policy via their `*_with` constructors.
+pub mod exec {
+    pub use lowvolt_exec::*;
+}
 pub mod estimator;
 pub mod granularity;
 pub mod mtcmos;

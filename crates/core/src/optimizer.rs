@@ -13,6 +13,7 @@
 use crate::error::CoreError;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_device::units::{Joules, Seconds, Volts};
+use lowvolt_exec::{parallel_map, ExecPolicy};
 
 /// One evaluated operating point of the fixed-throughput sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,19 +173,41 @@ impl FixedThroughputOptimizer {
     }
 
     /// Finds the energy-minimising `(V_DD, V_T)` point: a coarse grid over
-    /// `V_T ∈ [0, 0.8 V]` refined by golden-section search.
+    /// `V_T ∈ [0, 0.8 V]` refined by golden-section search. Runs the grid
+    /// serially; see [`FixedThroughputOptimizer::optimum_with`] for the
+    /// parallel variant.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Infeasible`] if no threshold admits the delay
     /// target.
     pub fn optimum(&self, t_op: Seconds) -> Result<EnergyPoint, CoreError> {
-        let coarse: Vec<EnergyPoint> = (0..=160)
-            .filter_map(|i| {
-                let vt = Volts(0.005 * f64::from(i));
-                self.evaluate(vt, t_op).ok()
-            })
-            .collect();
+        self.optimum_with(&ExecPolicy::serial(), t_op)
+    }
+
+    /// [`FixedThroughputOptimizer::optimum`] with the coarse grid fanned
+    /// out over `policy`'s worker threads. Grid points are independent
+    /// supply-solve + energy evaluations; results come back in grid
+    /// order, so the argmin — and therefore the refined optimum — is
+    /// identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] if no threshold admits the delay
+    /// target.
+    pub fn optimum_with(
+        &self,
+        policy: &ExecPolicy,
+        t_op: Seconds,
+    ) -> Result<EnergyPoint, CoreError> {
+        let grid: Vec<u32> = (0..=160).collect();
+        let coarse: Vec<EnergyPoint> = parallel_map(policy, &grid, |_, &i| {
+            let vt = Volts(0.005 * f64::from(i));
+            self.evaluate(vt, t_op).ok()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let best = coarse
             .iter()
             .min_by(|a, b| a.total().0.total_cmp(&b.total().0))

@@ -13,6 +13,7 @@ use crate::error::CoreError;
 use crate::optimizer::FixedThroughputOptimizer;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_device::units::{Seconds, Volts};
+use lowvolt_exec::{try_parallel_map, ExecPolicy};
 
 /// One parameter's influence on the optimum.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,14 +81,33 @@ fn optimum_at(
     Ok((best.vt.0, best.vdd.0, best.total().0))
 }
 
-/// Runs the analysis: each parameter is swung by ±`perturbation`
-/// (relative) around the design point, re-optimising everything else.
+/// Runs the analysis serially: each parameter is swung by
+/// ±`perturbation` (relative) around the design point, re-optimising
+/// everything else. See [`analyse_with`] for the parallel variant.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the nominal or any perturbed point is
 /// infeasible (choose a `perturbation` below 1).
 pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityReport, CoreError> {
+    analyse_with(&ExecPolicy::serial(), point, perturbation)
+}
+
+/// [`analyse`] with the seven re-optimisations (nominal plus low/high
+/// per parameter) fanned out over `policy`'s worker threads. Each point
+/// is an independent grid + golden-section optimisation; results are
+/// assembled in the fixed parameter order, so the report is identical
+/// for any thread count.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the nominal or any perturbed point is
+/// infeasible (choose a `perturbation` below 1).
+pub fn analyse_with(
+    policy: &ExecPolicy,
+    point: DesignPoint,
+    perturbation: f64,
+) -> Result<SensitivityReport, CoreError> {
     if !(0.0 < perturbation && perturbation < 1.0) {
         return Err(CoreError::InvalidParameter {
             name: "perturbation",
@@ -95,66 +115,67 @@ pub fn analyse(point: DesignPoint, perturbation: f64) -> Result<SensitivityRepor
             constraint: "must lie in (0, 1)",
         });
     }
-    let (nominal_vt, nominal_vdd, nominal_e) =
-        optimum_at(point.activity, point.stage_delay, point.t_op)?;
     let lo = 1.0 - perturbation;
     let hi = 1.0 + perturbation;
-    let mut entries = Vec::new();
-    // Activity.
-    {
-        let a = optimum_at(point.activity * lo, point.stage_delay, point.t_op)?;
-        let b = optimum_at(
+    // Nominal first, then (low, high) per parameter; the index order also
+    // fixes which error surfaces when several points are infeasible.
+    let jobs: [(f64, Seconds, Seconds); 7] = [
+        (point.activity, point.stage_delay, point.t_op),
+        (point.activity * lo, point.stage_delay, point.t_op),
+        (
             point.activity.min(1.0 / hi) * hi,
             point.stage_delay,
             point.t_op,
-        )?;
-        entries.push(SensitivityEntry {
-            parameter: "activity (alpha)",
-            perturbation,
-            vt_range: (a.0, b.0),
-            vdd_range: (a.1, b.1),
-            energy_swing: (b.2 - a.2) / nominal_e,
-        });
-    }
-    // Performance target.
-    {
-        let a = optimum_at(
+        ),
+        (
             point.activity,
             Seconds(point.stage_delay.0 * lo),
             point.t_op,
-        )?;
-        let b = optimum_at(
+        ),
+        (
             point.activity,
             Seconds(point.stage_delay.0 * hi),
             point.t_op,
-        )?;
-        entries.push(SensitivityEntry {
-            parameter: "delay target",
-            perturbation,
-            vt_range: (a.0, b.0),
-            vdd_range: (a.1, b.1),
-            energy_swing: (b.2 - a.2) / nominal_e,
-        });
-    }
-    // Throughput period (idle leakage window).
-    {
-        let a = optimum_at(
+        ),
+        (
             point.activity,
             point.stage_delay,
             Seconds(point.t_op.0 * lo),
-        )?;
-        let b = optimum_at(
+        ),
+        (
             point.activity,
             point.stage_delay,
             Seconds(point.t_op.0 * hi),
-        )?;
-        entries.push(SensitivityEntry {
-            parameter: "throughput period",
-            perturbation,
-            vt_range: (a.0, b.0),
-            vdd_range: (a.1, b.1),
-            energy_swing: (b.2 - a.2) / nominal_e,
-        });
+        ),
+    ];
+    let optima = try_parallel_map(policy, &jobs, |_, &(activity, delay, t_op)| {
+        optimum_at(activity, delay, t_op)
+    })?;
+    let (nominal_vt, nominal_vdd, nominal_e) = match optima.first() {
+        Some(&n) => n,
+        None => {
+            return Err(CoreError::InvalidParameter {
+                name: "jobs",
+                value: 0.0,
+                constraint: "internal: sensitivity job list cannot be empty",
+            })
+        }
+    };
+    let mut entries = Vec::new();
+    for (parameter, pair) in [
+        ("activity (alpha)", optima.get(1..3)),
+        ("delay target", optima.get(3..5)),
+        ("throughput period", optima.get(5..7)),
+    ] {
+        if let Some([a, b]) = pair {
+            entries.push(SensitivityEntry {
+                parameter,
+                perturbation,
+                vt_range: (a.0, b.0),
+                vdd_range: (a.1, b.1),
+                energy_swing: (b.2 - a.2) / nominal_e,
+            });
+        }
     }
     entries.sort_by(|x, y| y.energy_swing.abs().total_cmp(&x.energy_swing.abs()));
     Ok(SensitivityReport {

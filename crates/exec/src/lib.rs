@@ -1,0 +1,286 @@
+#![warn(missing_docs)]
+
+//! # lowvolt-exec
+//!
+//! A deterministic parallel execution engine for the toolkit's
+//! embarrassingly parallel hot paths: fault-injection campaigns, the
+//! experiment harness, and the `(V_DD, V_T)` design-space sweeps.
+//!
+//! The engine is a chunked work pool over [`std::thread::scope`] — no
+//! external dependencies, no global state, no detached threads. Work
+//! items are claimed in chunks from an atomic cursor and every result is
+//! returned **at its input index**, so the output of [`parallel_map`] is
+//! byte-for-byte identical for 1, 2, or N worker threads. Parallelism
+//! changes wall-clock time, never results.
+//!
+//! ```
+//! use lowvolt_exec::{parallel_map, ExecPolicy};
+//!
+//! let items: Vec<u64> = (0..100).collect();
+//! let serial = parallel_map(&ExecPolicy::serial(), &items, |_, &x| x * x);
+//! let parallel = parallel_map(&ExecPolicy::with_threads(4), &items, |_, &x| x * x);
+//! assert_eq!(serial, parallel);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`ExecPolicy::from_env`] for the
+/// worker-thread count. Unset, empty, `0`, or unparsable values fall
+/// back to the machine's available parallelism.
+pub const THREADS_ENV_VAR: &str = "LOWVOLT_THREADS";
+
+/// How many worker threads a parallel region may use.
+///
+/// A policy is just a validated thread count; it is `Copy`, cheap to
+/// pass down call stacks, and carries no pool state (threads are scoped
+/// to each [`parallel_map`] call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    threads: NonZeroUsize,
+}
+
+impl ExecPolicy {
+    /// A single-threaded policy: work runs inline on the calling thread,
+    /// spawning nothing. This is the reference behaviour every parallel
+    /// run must reproduce bit-identically.
+    #[must_use]
+    pub fn serial() -> ExecPolicy {
+        ExecPolicy {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A policy with an explicit thread count; `0` means "use all
+    /// available parallelism".
+    #[must_use]
+    pub fn with_threads(threads: usize) -> ExecPolicy {
+        match NonZeroUsize::new(threads) {
+            Some(n) => ExecPolicy { threads: n },
+            None => ExecPolicy::max_parallel(),
+        }
+    }
+
+    /// A policy using the machine's full available parallelism (1 if it
+    /// cannot be determined).
+    #[must_use]
+    pub fn max_parallel() -> ExecPolicy {
+        ExecPolicy {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// Resolves the policy from the environment: `LOWVOLT_THREADS=N`
+    /// selects N workers, anything else (unset, empty, `0`, garbage)
+    /// selects the available parallelism.
+    #[must_use]
+    pub fn from_env() -> ExecPolicy {
+        match std::env::var(THREADS_ENV_VAR) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => ExecPolicy::with_threads(n),
+                _ => ExecPolicy::max_parallel(),
+            },
+            Err(_) => ExecPolicy::max_parallel(),
+        }
+    }
+
+    /// The worker-thread count this policy permits.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Whether this policy runs inline without spawning.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads.get() == 1
+    }
+}
+
+impl Default for ExecPolicy {
+    /// Defaults to [`ExecPolicy::from_env`].
+    fn default() -> ExecPolicy {
+        ExecPolicy::from_env()
+    }
+}
+
+/// Number of chunks each worker should expect to claim on average; more
+/// chunks per worker smooths imbalance (fault campaigns mix cheap masked
+/// runs with expensive oscillation diagnoses) at the cost of more cursor
+/// traffic.
+const CHUNKS_PER_WORKER: usize = 8;
+
+fn chunk_size(items: usize, workers: usize) -> usize {
+    (items / (workers * CHUNKS_PER_WORKER)).max(1)
+}
+
+/// Applies `f` to every item of `items`, in parallel under `policy`,
+/// returning the results **in input order**.
+///
+/// `f` receives `(index, &item)` so callers can seed per-item state from
+/// the index. Results are written to each item's slot, so the returned
+/// vector is identical whatever the thread count — parallelism is an
+/// implementation detail, not an observable.
+///
+/// A panic inside `f` on a worker thread is re-raised on the calling
+/// thread (the standard [`std::thread::scope`] contract); the library's
+/// own closures are panic-free and surface failures as values.
+pub fn parallel_map<T, R, F>(policy: &ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = policy.threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Claim a chunk, compute it into a local buffer, then take
+                // the slot lock once per chunk to deposit results at their
+                // input indices. The lock is held only for the copy-out, so
+                // contention stays negligible next to simulation work.
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let local: Vec<R> = items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(start + off, t))
+                        .collect();
+                    if let Ok(mut guard) = slots.lock() {
+                        for (off, r) in local.into_iter().enumerate() {
+                            guard[start + off] = Some(r);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Every index in 0..len was claimed by exactly one worker and scope
+    // exit joined them all, so every slot is filled; `flatten` cannot
+    // drop anything here.
+    let filled: &mut Vec<Option<R>> = match slots.into_inner() {
+        Ok(s) => s,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    std::mem::take(filled).into_iter().flatten().collect()
+}
+
+/// [`parallel_map`] for fallible work: applies `f` to every item and
+/// collects into a single `Result`, keeping the **first** (lowest-index)
+/// error — the same error a serial loop with `?` would have returned.
+///
+/// # Errors
+///
+/// Returns the lowest-index `Err` produced by `f`, if any.
+pub fn try_parallel_map<T, R, E, F>(policy: &ExecPolicy, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in parallel_map(policy, items, f) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial = parallel_map(&ExecPolicy::serial(), &items, |i, &x| (i, x * 3));
+        for threads in [2, 3, 4, 16] {
+            let par = parallel_map(&ExecPolicy::with_threads(threads), &items, |i, &x| {
+                (i, x * 3)
+            });
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(parallel_map(&ExecPolicy::with_threads(4), &none, |_, &x| x).is_empty());
+        let one = [7u8];
+        assert_eq!(
+            parallel_map(&ExecPolicy::with_threads(4), &one, |_, &x| x + 1),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<usize> = (0..313).collect(); // not a multiple of any chunk
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(&ExecPolicy::with_threads(5), &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1u32, 2, 3];
+        let out = parallel_map(&ExecPolicy::with_threads(64), &items, |_, &x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn try_map_keeps_first_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let res: Result<Vec<usize>, usize> =
+            try_parallel_map(&ExecPolicy::with_threads(4), &items, |_, &x| {
+                if x % 30 == 29 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+        assert_eq!(res.unwrap_err(), 29, "lowest-index error wins");
+        let ok: Result<Vec<usize>, usize> =
+            try_parallel_map(&ExecPolicy::serial(), &items[..20], |_, &x| Ok(x));
+        assert_eq!(ok.unwrap().len(), 20);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert!(ExecPolicy::serial().is_serial());
+        assert_eq!(ExecPolicy::serial().threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(3).threads(), 3);
+        assert!(ExecPolicy::with_threads(0).threads() >= 1);
+        assert!(ExecPolicy::max_parallel().threads() >= 1);
+        assert!(ExecPolicy::default().threads() >= 1);
+    }
+
+    #[test]
+    fn chunking_covers_all_sizes() {
+        for n in [1usize, 2, 7, 8, 9, 63, 64, 65, 1000] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = parallel_map(&ExecPolicy::with_threads(4), &items, |_, &x| x);
+            assert_eq!(out, items, "n = {n}");
+        }
+        assert_eq!(chunk_size(1, 4), 1);
+        assert!(chunk_size(10_000, 4) > 1);
+    }
+}

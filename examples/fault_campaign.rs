@@ -11,18 +11,24 @@
 //! Run with: `cargo run --release --example fault_campaign`
 
 use lowvolt::circuit::faults::{
-    run_campaign, standard_targets, stuck_at_universe, FaultOutcome, GateFault,
+    run_campaign, run_campaign_with, standard_targets, stuck_at_universe, FaultOutcome, GateFault,
 };
 use lowvolt::circuit::stimulus::PatternSource;
 use lowvolt::circuit::CircuitError;
+use lowvolt::exec::ExecPolicy;
 
 fn main() -> Result<(), CircuitError> {
+    // Injections are partitioned over LOWVOLT_THREADS workers (default:
+    // all cores); the report is bit-identical for any thread count.
+    let policy = ExecPolicy::from_env();
+    println!("running with {} worker thread(s)\n", policy.threads());
+
     // ---- the 8-bit adder, in depth ----
     let targets = standard_targets(8)?;
     let adder = &targets[0];
     let faults = stuck_at_universe(&adder.netlist);
     let mut src = PatternSource::random(adder.inputs.len(), 1996)?;
-    let report = run_campaign(adder, &faults, &mut src, 64)?;
+    let report = run_campaign_with(&policy, adder, &faults, &mut src, 64)?;
     println!("== single-stuck-at sweep, 8-bit ripple-carry adder ==");
     print!("{report}");
 
@@ -62,7 +68,7 @@ fn main() -> Result<(), CircuitError> {
     for target in &standard_targets(4)? {
         let faults = stuck_at_universe(&target.netlist);
         let mut src = PatternSource::random(target.inputs.len(), 42)?;
-        let report = run_campaign(target, &faults, &mut src, 32)?;
+        let report = run_campaign_with(&policy, target, &faults, &mut src, 32)?;
         print!("{report}");
     }
     println!("\nevery fault above was classified — zero panics by construction.");

@@ -17,7 +17,9 @@
 //!   profiler producing the paper's `fga`/`bga` activity variables,
 //! - [`workloads`] — guest programs and session-trace generators,
 //! - [`core`] — the paper's CAD contribution: burst-mode energy models,
-//!   `V_DD`/`V_T` optimization, and technology trade-off analysis.
+//!   `V_DD`/`V_T` optimization, and technology trade-off analysis,
+//! - [`exec`] — the deterministic parallel execution engine behind fault
+//!   campaigns, the experiment harness, and the design-space sweeps.
 //!
 //! # Quickstart
 //!
@@ -47,5 +49,6 @@
 pub use lowvolt_circuit as circuit;
 pub use lowvolt_core as core;
 pub use lowvolt_device as device;
+pub use lowvolt_exec as exec;
 pub use lowvolt_isa as isa;
 pub use lowvolt_workloads as workloads;
