@@ -44,6 +44,16 @@ impl GateId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds a gate id from a raw index. As with
+    /// [`NodeId::from_index`], the id is not validated here; netlist
+    /// entry points reject foreign ids with
+    /// [`CircuitError::UnknownGate`], and tolerant consumers (power
+    /// intent, lint) treat out-of-range ids as no-ops or diagnostics.
+    #[must_use]
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index)
+    }
 }
 
 /// The logic function a gate computes.
@@ -388,6 +398,12 @@ impl Netlist {
 
     /// Sets the propagation delay (in ticks) of a gate.
     ///
+    /// CSR-cache note: this mutator deliberately does **not** clear
+    /// `fanout_index` — delay changes touch no node or edge, and the
+    /// fanout CSR encodes only node→gate adjacency. Every mutator that
+    /// *does* change adjacency (`node`, `input` via `node`, `gate_into`,
+    /// `gate` via both) resets the `OnceLock`.
+    ///
     /// # Errors
     ///
     /// Returns [`CircuitError::InvalidParameter`] if `delay` is zero
@@ -411,6 +427,10 @@ impl Netlist {
     }
 
     /// Adds extra (wire) capacitance to a node, in farads.
+    ///
+    /// CSR-cache note: like [`Netlist::set_delay`], this changes no
+    /// adjacency, so the cached fanout index stays valid and is not
+    /// cleared.
     ///
     /// # Errors
     ///

@@ -3,6 +3,8 @@
 
 use std::process::ExitCode;
 
+use lowvolt_cli::CliFailure;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = lowvolt_cli::parse(&args);
@@ -10,6 +12,13 @@ fn main() -> ExitCode {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS
+        }
+        // A completed report whose gate failed is still the command's
+        // output (text or --json): stdout, with the exit code carrying
+        // the verdict — so `lint --json` stays machine-readable in CI.
+        Err(CliFailure::Gate(report)) => {
+            println!("{report}");
+            ExitCode::from(1)
         }
         Err(e) => {
             eprintln!("error: {e}");

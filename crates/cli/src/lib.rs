@@ -21,4 +21,4 @@ pub mod args;
 pub mod commands;
 
 pub use args::{parse, Parsed};
-pub use commands::{run_command, CliError};
+pub use commands::{run_command, CliError, CliFailure};

@@ -23,6 +23,35 @@ fn errors_go_to_stderr_with_nonzero_exit() {
 }
 
 #[test]
+fn lint_gate_failure_prints_report_to_stdout_with_exit_1() {
+    let out = lowvolt()
+        .args(["lint", "--fixture", "sleep", "--json"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    // The JSON report is the command's output, not an error message:
+    // stdout must carry it unprefixed so tools can parse it.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"LV020\""), "{stdout}");
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn lint_clean_through_the_binary() {
+    let out = lowvolt()
+        .args(["lint", "--circuit", "adder", "--deny", "warnings"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("adder8: clean"));
+}
+
+#[test]
 fn profile_example_through_the_binary() {
     let out = lowvolt()
         .args(["profile", "--example", "fir", "--budget", "100000000"])

@@ -1,0 +1,153 @@
+//! Lint engine configuration: rule filters and numeric thresholds.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::diagnostic::Rule;
+use lowvolt_device::units::Watts;
+
+/// A rule name that neither the `LVnnn` id table nor the kebab-case
+/// alias table recognises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRule(pub String);
+
+impl fmt::Display for UnknownRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown lint rule '{}'", self.0)
+    }
+}
+
+impl std::error::Error for UnknownRule {}
+
+/// Configuration for a [`crate::engine::Linter`] run.
+///
+/// Filters compose in this order: a rule in `allow` is dropped entirely;
+/// a surviving rule in `deny` is escalated to error severity;
+/// `deny_warnings` then decides whether remaining warnings fail the
+/// gate (see [`crate::LintReport::passes_gate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Treat any surviving warning as a gate failure.
+    pub deny_warnings: bool,
+    /// Rules to suppress entirely.
+    pub allow: BTreeSet<Rule>,
+    /// Rules to escalate to error severity.
+    pub deny: BTreeSet<Rule>,
+    /// Standby-leakage budget per power domain (and for the whole
+    /// design when no intent is attached).
+    pub standby_budget: Watts,
+    /// Fraction of the budget above which LV030 fires as a warning even
+    /// though the budget itself is still met.
+    pub leakage_warn_fraction: f64,
+    /// Maximum acceptable active-delay penalty from a sleep device
+    /// before LV025 fires (the paper's §4 MTCMOS sizing trade-off).
+    pub max_sleep_penalty: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            deny_warnings: false,
+            allow: BTreeSet::new(),
+            deny: BTreeSet::new(),
+            // 1 µW standby: generous for a few-hundred-gate datapath at
+            // a healthy V_T, but decisively blown by a low-V_T always-on
+            // block (the Fig. 5 standby-leakage scenario).
+            standby_budget: Watts(1e-6),
+            leakage_warn_fraction: 0.25,
+            max_sleep_penalty: 0.10,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Adds rules (by id or name, comma- or repeated-flag style) to the
+    /// allow set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownRule`] for any name that is not a rule.
+    pub fn allow_named(mut self, names: &str) -> Result<LintConfig, UnknownRule> {
+        for rule in parse_rule_list(names)? {
+            self.allow.insert(rule);
+        }
+        Ok(self)
+    }
+
+    /// Adds rules to the deny (escalate-to-error) set. The special name
+    /// `warnings` sets [`LintConfig::deny_warnings`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownRule`] for any name that is neither `warnings`
+    /// nor a rule.
+    pub fn deny_named(mut self, names: &str) -> Result<LintConfig, UnknownRule> {
+        for part in names.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part.eq_ignore_ascii_case("warnings") {
+                self.deny_warnings = true;
+            } else if let Some(rule) = Rule::parse(part) {
+                self.deny.insert(rule);
+            } else {
+                return Err(UnknownRule(part.to_string()));
+            }
+        }
+        Ok(self)
+    }
+
+    /// Sets the standby-leakage budget.
+    #[must_use]
+    pub fn with_standby_budget(mut self, budget: Watts) -> LintConfig {
+        self.standby_budget = budget;
+        self
+    }
+}
+
+fn parse_rule_list(names: &str) -> Result<Vec<Rule>, UnknownRule> {
+    let mut rules = Vec::new();
+    for part in names.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match Rule::parse(part) {
+            Some(rule) => rules.push(rule),
+            None => return Err(UnknownRule(part.to_string())),
+        }
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_filters_parse_ids_and_names() {
+        let cfg = LintConfig::default()
+            .allow_named("LV003, x-contamination")
+            .and_then(|c| c.deny_named("warnings,LV011"));
+        let cfg = cfg.expect("valid rule names");
+        assert!(cfg.allow.contains(&Rule::DanglingOutput));
+        assert!(cfg.allow.contains(&Rule::XContamination));
+        assert!(cfg.deny_warnings);
+        assert!(cfg.deny.contains(&Rule::UnconstrainedInput));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected_with_its_name() {
+        let err = LintConfig::default().allow_named("LV042").unwrap_err();
+        assert_eq!(err, UnknownRule("LV042".into()));
+        assert!(err.to_string().contains("LV042"));
+        assert!(LintConfig::default().deny_named("nope").is_err());
+    }
+
+    #[test]
+    fn empty_segments_are_ignored() {
+        let cfg = LintConfig::default().allow_named(",, LV001 ,").expect("ok");
+        assert_eq!(cfg.allow.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The lint engine: fans the four pass families out over the
+//! deterministic execution engine, then applies the configured rule
+//! filters and a stable sort.
+
+use std::cmp::Reverse;
+
+use lowvolt_exec::{parallel_map, ExecPolicy};
+
+use crate::config::LintConfig;
+use crate::diagnostic::{Diagnostic, LintReport, Pass, Severity};
+use crate::passes::run_pass;
+use crate::target::LintTarget;
+
+/// Runs lint passes over targets.
+#[derive(Debug, Clone, Default)]
+pub struct Linter {
+    /// The configuration every run of this linter uses.
+    pub config: LintConfig,
+}
+
+impl Linter {
+    /// A linter with the given configuration.
+    #[must_use]
+    pub fn new(config: LintConfig) -> Linter {
+        Linter { config }
+    }
+
+    /// A linter with [`LintConfig::default`].
+    #[must_use]
+    pub fn with_defaults() -> Linter {
+        Linter::default()
+    }
+
+    /// Lints one target with the environment's execution policy.
+    #[must_use]
+    pub fn lint(&self, target: &LintTarget) -> LintReport {
+        self.lint_with(&ExecPolicy::from_env(), target)
+    }
+
+    /// Lints one target, running the four passes in parallel under
+    /// `policy`. Results are deterministic regardless of thread count:
+    /// `parallel_map` returns pass outputs in input order and the final
+    /// sort is total.
+    #[must_use]
+    pub fn lint_with(&self, policy: &ExecPolicy, target: &LintTarget) -> LintReport {
+        let per_pass: Vec<Vec<Diagnostic>> = parallel_map(policy, &Pass::ALL, |_, &pass| {
+            run_pass(pass, target, &self.config)
+        });
+        let mut diagnostics: Vec<Diagnostic> = per_pass
+            .into_iter()
+            .flatten()
+            .filter(|d| !self.config.allow.contains(&d.rule))
+            .map(|mut d| {
+                if self.config.deny.contains(&d.rule) {
+                    d.severity = Severity::Error;
+                }
+                d
+            })
+            .collect();
+        diagnostics.sort_by(|a, b| {
+            (Reverse(a.severity), a.rule.id(), &a.location, &a.message).cmp(&(
+                Reverse(b.severity),
+                b.rule.id(),
+                &b.location,
+                &b.message,
+            ))
+        });
+        LintReport {
+            target: target.name.clone(),
+            diagnostics,
+        }
+    }
+
+    /// Lints many targets, parallelising across targets (each target's
+    /// passes then run serially — the outer fan-out already saturates
+    /// the policy's workers).
+    #[must_use]
+    pub fn lint_all(&self, policy: &ExecPolicy, targets: &[LintTarget]) -> Vec<LintReport> {
+        parallel_map(policy, targets, |_, t| {
+            self.lint_with(&ExecPolicy::serial(), t)
+        })
+    }
+}

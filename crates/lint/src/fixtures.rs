@@ -1,0 +1,203 @@
+//! Seeded-defect fixtures: the adder datapath with one deliberate
+//! defect per pass family. These are what the CI lint-gate runs with an
+//! expectation of *failure*, and what the acceptance tests use to prove
+//! each pass actually detects its defect class.
+
+use lowvolt_circuit::netlist::GateKind;
+use lowvolt_circuit::switchlevel::{SwKind, SwitchNetlist};
+use lowvolt_device::units::Volts;
+
+use crate::intent::{DomainKind, PowerDomain, PowerIntent, SleepSpec};
+use crate::target::{default_gated_intent, standard_lint_targets, LintTarget, SwitchView};
+use crate::LintError;
+
+/// Which deliberate defect to seed into the adder datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// A floating net feeding logic that reaches a declared output
+    /// (structural + X-reachability families: LV001, LV010).
+    FloatingNode,
+    /// A combinational feedback loop with no flip-flop (LV004).
+    CombinationalLoop,
+    /// A sleep network that cannot cut off, plus a switch-level pull-up
+    /// that bypasses the sleep header (power-intent family: LV020,
+    /// LV026).
+    IncompleteSleep,
+    /// An always-on low-`V_T` domain that blows the standby-leakage
+    /// budget (LV030).
+    LeakageBudget,
+}
+
+impl Defect {
+    /// All defects, one per pass family.
+    pub const ALL: [Defect; 4] = [
+        Defect::FloatingNode,
+        Defect::CombinationalLoop,
+        Defect::IncompleteSleep,
+        Defect::LeakageBudget,
+    ];
+
+    /// CLI name of the defect.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Defect::FloatingNode => "floating",
+            Defect::CombinationalLoop => "loop",
+            Defect::IncompleteSleep => "sleep",
+            Defect::LeakageBudget => "leakage",
+        }
+    }
+
+    /// Parses a CLI defect name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Defect> {
+        Defect::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+/// Builds the 8-bit adder datapath with the given defect seeded in.
+///
+/// # Errors
+///
+/// Returns [`LintError`] only if the underlying generators fail, which
+/// the fixed parameters here do not provoke.
+pub fn seeded_defect(defect: Defect) -> Result<LintTarget, LintError> {
+    let mut targets = standard_lint_targets(8)?;
+    // standard_lint_targets puts the adder first; take it by name so a
+    // reordering there cannot silently change the fixture.
+    let pos = targets
+        .iter()
+        .position(|t| t.name.starts_with("adder"))
+        .unwrap_or(0);
+    let mut target = targets.swap_remove(pos);
+    target.name = format!("{}+{}", target.name, defect.name());
+
+    match defect {
+        Defect::FloatingNode => {
+            // A net nobody drives, XORed into a new declared output: the
+            // float is an LV001 error and the output it reaches is LV010.
+            let float = target.netlist.node("float_net");
+            let sum0 = target.outputs[0];
+            let bad = target
+                .netlist
+                .gate(GateKind::Xor2, &[sum0, float])
+                .map_err(LintError::Circuit)?;
+            target.outputs.push(bad);
+            // The new gate joins the gated domain like everything else.
+            target.intent = Some(default_gated_intent(&target.netlist)?);
+        }
+        Defect::CombinationalLoop => {
+            // sum[7] NAND fb -> y, and y buffered straight back into fb:
+            // a two-node combinational cycle with no flip-flop.
+            let sum_hi = target.outputs[7];
+            let fb = target.netlist.node("fb");
+            let y = target
+                .netlist
+                .gate(GateKind::Nand2, &[sum_hi, fb])
+                .map_err(LintError::Circuit)?;
+            target
+                .netlist
+                .gate_into(GateKind::Buf, &[y], fb)
+                .map_err(LintError::Circuit)?;
+            target.intent = Some(default_gated_intent(&target.netlist)?);
+        }
+        Defect::IncompleteSleep => {
+            // Thresholds reversed: the "sleep" device turns off *less*
+            // than the logic it gates, so standby current never stops.
+            let sleep = SleepSpec {
+                low_vt: Volts(0.30),
+                high_vt: Volts(0.18),
+                vdd: Volts(1.0),
+                peak_current: lowvolt_device::units::Amps(2e-4),
+                width: lowvolt_device::units::Micrometers(20.0),
+            };
+            target.intent = Some(PowerIntent::single(
+                PowerDomain {
+                    name: "core".to_string(),
+                    kind: DomainKind::Gated { sleep },
+                    body: None,
+                },
+                &target.netlist,
+            ));
+            target.switch_view = Some(bypassed_sleep_view()?);
+        }
+        Defect::LeakageBudget => {
+            // The Fig. 5 trap: V_T scaled down to 50 mV for speed with no
+            // power gating. ~40 gates of leaking width at that threshold
+            // is microwatts of standby power, over the 1 µW default
+            // budget.
+            target.intent = Some(PowerIntent::single(
+                PowerDomain {
+                    name: "core".to_string(),
+                    kind: DomainKind::AlwaysOn {
+                        logic_vt: Volts(0.05),
+                        vdd: Volts(1.0),
+                    },
+                    body: None,
+                },
+                &target.netlist,
+            ));
+        }
+    }
+    Ok(target)
+}
+
+/// A tiny switch-level power-gating fabric with a deliberate hole: two
+/// inverters nominally on the virtual rail behind a PMOS sleep header,
+/// but the second inverter's pull-up was wired to the real supply — a
+/// sneak path the LV026 reachability check must find.
+fn bypassed_sleep_view() -> Result<SwitchView, LintError> {
+    let mut n = SwitchNetlist::new();
+    let sleep_b = n.input("sleep_b");
+    let vvdd = n.node("vvdd");
+    let (vdd, gnd) = (n.vdd(), n.gnd());
+    let header = n
+        .transistor(SwKind::P, sleep_b, vdd, vvdd)
+        .map_err(LintError::Circuit)?;
+
+    let a1 = n.input("a1");
+    let y1 = n.node("y1");
+    n.transistor(SwKind::P, a1, vvdd, y1)
+        .map_err(LintError::Circuit)?;
+    n.transistor(SwKind::N, a1, y1, gnd)
+        .map_err(LintError::Circuit)?;
+
+    let a2 = n.input("a2");
+    let y2 = n.node("y2");
+    // The defect: pull-up tied to the real rail instead of vvdd.
+    n.transistor(SwKind::P, a2, vdd, y2)
+        .map_err(LintError::Circuit)?;
+    n.transistor(SwKind::N, a2, y2, gnd)
+        .map_err(LintError::Circuit)?;
+
+    Ok(SwitchView {
+        netlist: n,
+        sleep_transistors: vec![header],
+        gated_nodes: vec![y1, y2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defect_names_round_trip() {
+        for d in Defect::ALL {
+            assert_eq!(Defect::parse(d.name()), Some(d));
+            assert_eq!(Defect::parse(&d.name().to_uppercase()), Some(d));
+        }
+        assert_eq!(Defect::parse("nope"), None);
+    }
+
+    #[test]
+    fn fixtures_build() {
+        for d in Defect::ALL {
+            let t = seeded_defect(d).expect("fixture builds");
+            assert!(t.name.contains(d.name()));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Power-intent annotations for a netlist: which gates belong to which
+//! power domain, how each gated domain's sleep network is specified, and
+//! which cross-domain nets carry isolation.
+//!
+//! This is the static metadata the power-intent pass cross-checks
+//! against the `lowvolt_core::mtcmos` sizing model and the
+//! `lowvolt_device::body` back-gate model — the same role UPF/CPF plays
+//! in a commercial flow, scaled down to this toolkit.
+
+use std::collections::BTreeSet;
+
+use lowvolt_circuit::netlist::{GateId, Netlist, NodeId};
+use lowvolt_core::mtcmos::{MtcmosSizer, SleepTransistorDesign};
+use lowvolt_core::CoreError;
+use lowvolt_device::units::{Amps, Micrometers, Volts};
+
+/// Index of a [`PowerDomain`] inside a [`PowerIntent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub usize);
+
+/// The MTCMOS sleep network of a gated domain: a high-`V_T` series
+/// device (paper §4, Fig. 6) between the real and virtual rails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepSpec {
+    /// Threshold of the gated logic devices.
+    pub low_vt: Volts,
+    /// Threshold of the sleep device; must exceed `low_vt` for the
+    /// network to cut off in standby.
+    pub high_vt: Volts,
+    /// Supply voltage of the domain.
+    pub vdd: Volts,
+    /// Peak current the gated block draws through the sleep device.
+    pub peak_current: Amps,
+    /// Chosen sleep-device width.
+    pub width: Micrometers,
+}
+
+impl SleepSpec {
+    /// Builds a spec whose width is sized by the MTCMOS model for a
+    /// target active-delay penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the thresholds or
+    /// supply are infeasible, or if no finite width meets the penalty.
+    pub fn sized_for_penalty(
+        low_vt: Volts,
+        high_vt: Volts,
+        vdd: Volts,
+        peak_current: Amps,
+        max_penalty: f64,
+    ) -> Result<SleepSpec, CoreError> {
+        let sizer = MtcmosSizer::new(peak_current, vdd, low_vt, high_vt)?;
+        let design: SleepTransistorDesign = sizer.size_for_penalty(max_penalty)?;
+        Ok(SleepSpec {
+            low_vt,
+            high_vt,
+            vdd,
+            peak_current,
+            width: design.width,
+        })
+    }
+}
+
+/// A back-gate (body-bias) specification for a domain, checked against
+/// the square-root body-effect law in `lowvolt_device::body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyBiasSpec {
+    /// Zero-bias threshold of the domain's devices.
+    pub vt0: Volts,
+    /// Body-effect coefficient γ.
+    pub gamma: f64,
+    /// Surface potential `2φ_F`.
+    pub surface_potential: Volts,
+    /// Standby `V_T` shift the designer wants from reverse body bias.
+    pub standby_shift: Volts,
+    /// Largest reverse bias the rail generator can deliver.
+    pub max_bias: Volts,
+    /// Name of the shared body-bias rail this domain connects to.
+    pub rail: String,
+}
+
+/// Whether a domain is permanently powered or sits behind a sleep
+/// device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainKind {
+    /// Always powered; leakage is governed only by the logic `V_T`.
+    AlwaysOn {
+        /// Threshold of the domain's logic devices.
+        logic_vt: Volts,
+        /// Supply voltage.
+        vdd: Volts,
+    },
+    /// Power-gated through an MTCMOS sleep network.
+    Gated {
+        /// The sleep network specification.
+        sleep: SleepSpec,
+    },
+}
+
+/// One power domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerDomain {
+    /// Human-readable name (appears in diagnostics).
+    pub name: String,
+    /// Always-on or gated.
+    pub kind: DomainKind,
+    /// Optional back-gate specification.
+    pub body: Option<BodyBiasSpec>,
+}
+
+/// The full power-intent annotation for one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIntent {
+    /// The domains, indexed by [`DomainId`].
+    pub domains: Vec<PowerDomain>,
+    /// Domain index for each gate, parallel to `Netlist::gates()`. A
+    /// length mismatch or out-of-range entry is reported as LV024
+    /// rather than panicking.
+    pub assignment: Vec<usize>,
+    /// Node indices that carry an isolation cell on a gated→always-on
+    /// crossing.
+    pub isolated: BTreeSet<usize>,
+}
+
+impl PowerIntent {
+    /// Intent placing every gate of `netlist` in the single given
+    /// domain.
+    #[must_use]
+    pub fn single(domain: PowerDomain, netlist: &Netlist) -> PowerIntent {
+        PowerIntent {
+            domains: vec![domain],
+            assignment: vec![0; netlist.gate_count()],
+            isolated: BTreeSet::new(),
+        }
+    }
+
+    /// Appends a domain and returns its id.
+    pub fn add_domain(&mut self, domain: PowerDomain) -> DomainId {
+        self.domains.push(domain);
+        DomainId(self.domains.len() - 1)
+    }
+
+    /// Moves one gate into a domain. Out-of-range gate ids are ignored
+    /// (and will surface as LV024 if the assignment is malformed).
+    pub fn assign(&mut self, gate: GateId, domain: DomainId) {
+        if let Some(slot) = self.assignment.get_mut(gate.index()) {
+            *slot = domain.0;
+        }
+    }
+
+    /// Marks a net as carrying an isolation cell.
+    pub fn mark_isolated(&mut self, node: NodeId) {
+        self.isolated.insert(node.index());
+    }
+
+    /// The domain a gate is assigned to, if the assignment covers it
+    /// and points at a real domain.
+    #[must_use]
+    pub fn domain_of(&self, gate: usize) -> Option<(DomainId, &PowerDomain)> {
+        let idx = *self.assignment.get(gate)?;
+        self.domains.get(idx).map(|d| (DomainId(idx), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_gate_netlist() -> Netlist {
+        use lowvolt_circuit::netlist::GateKind;
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.gate(GateKind::And2, &[a, b]).expect("and");
+        let _y = n.gate(GateKind::Not, &[x]).expect("not");
+        n
+    }
+
+    #[test]
+    fn sized_sleep_spec_is_feasible() {
+        let spec =
+            SleepSpec::sized_for_penalty(Volts(0.2), Volts(0.55), Volts(1.0), Amps(2e-4), 0.05)
+                .expect("feasible sizing");
+        assert!(spec.width.0 > 0.0);
+        // Reversed thresholds are infeasible by construction.
+        assert!(SleepSpec::sized_for_penalty(
+            Volts(0.55),
+            Volts(0.2),
+            Volts(1.0),
+            Amps(2e-4),
+            0.05
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_intent_covers_every_gate() {
+        let n = two_gate_netlist();
+        let intent = PowerIntent::single(
+            PowerDomain {
+                name: "core".into(),
+                kind: DomainKind::AlwaysOn {
+                    logic_vt: Volts(0.4),
+                    vdd: Volts(1.0),
+                },
+                body: None,
+            },
+            &n,
+        );
+        assert_eq!(intent.assignment.len(), n.gate_count());
+        for g in 0..n.gate_count() {
+            let (id, d) = intent.domain_of(g).expect("assigned");
+            assert_eq!(id, DomainId(0));
+            assert_eq!(d.name, "core");
+        }
+        assert_eq!(intent.domain_of(99), None);
+    }
+
+    #[test]
+    fn assign_and_isolate() {
+        let n = two_gate_netlist();
+        let mut intent = PowerIntent::single(
+            PowerDomain {
+                name: "aon".into(),
+                kind: DomainKind::AlwaysOn {
+                    logic_vt: Volts(0.4),
+                    vdd: Volts(1.0),
+                },
+                body: None,
+            },
+            &n,
+        );
+        let gated = intent.add_domain(PowerDomain {
+            name: "gated".into(),
+            kind: DomainKind::AlwaysOn {
+                logic_vt: Volts(0.4),
+                vdd: Volts(1.0),
+            },
+            body: None,
+        });
+        intent.assign(GateId::from_index(0), gated);
+        assert_eq!(intent.assignment[0], 1);
+        // Out-of-range assignment is a no-op, not a panic.
+        intent.assign(GateId::from_index(50), gated);
+        let node = NodeId::from_index(2);
+        intent.mark_isolated(node);
+        assert!(intent.isolated.contains(&2));
+    }
+}

@@ -1,0 +1,110 @@
+#![warn(missing_docs)]
+
+//! # lowvolt-lint
+//!
+//! Static netlist and power-intent analysis — checks that run *without
+//! simulating*. Low-voltage designs fail in ways simulation alone won't
+//! catch until deep inside a run: sub-threshold leakage paths, sleep
+//! transistor (MTCMOS) networks that don't actually cut off standby
+//! current, and body-bias domains that drift apart. Waiting for the
+//! event simulator's oscillation watchdog or an X-propagation failure to
+//! surface a netlist error wastes a full simulation; this crate finds
+//! the same classes of defect structurally, before any vector is
+//! applied.
+//!
+//! Four pass families, run in parallel by the [`engine::Linter`] via the
+//! deterministic execution engine (`lowvolt_core::exec`):
+//!
+//! 1. **Structural DRC** ([`passes::structural`]) — undriven/floating
+//!    nodes, multi-driver conflicts, dangling gate outputs, and
+//!    combinational loops found by Tarjan's SCC algorithm over the
+//!    netlist's CSR fanout index.
+//! 2. **X-reachability** ([`passes::xreach`]) — which declared outputs
+//!    can be contaminated by `X` from unconstrained inputs or floating
+//!    nets, by forward reachability over the fanout index.
+//! 3. **Power intent** ([`passes::power`]) — every MTCMOS-gated domain
+//!    has a sleep device that can actually cut off (the paper's §4
+//!    multi-threshold option demands `V_T,sleep > V_T,logic`), no
+//!    always-on logic consumes a gated domain's output without
+//!    isolation, body-bias domains are internally consistent, and — on
+//!    the switch-level view — no conduction path from the supply rail
+//!    bypasses every sleep transistor.
+//! 4. **Leakage bounds** ([`passes::leakage`]) — worst-case standby
+//!    leakage of each power domain from the Eq. 2/Eq. 3 device models,
+//!    checked against a configurable budget.
+//!
+//! Every finding is a structured [`Diagnostic`] (severity, stable rule
+//! id, netlist location, message, fix hint), collected into a
+//! [`LintReport`] renderable as human text or JSON. The `lowvolt lint`
+//! CLI subcommand exposes the engine with `--deny`/`--allow` rule
+//! filters and is wired into CI so the five standard datapaths must
+//! lint clean.
+//!
+//! # Example
+//!
+//! ```
+//! use lowvolt_lint::engine::Linter;
+//! use lowvolt_lint::target::standard_lint_targets;
+//!
+//! # fn main() -> Result<(), lowvolt_lint::LintError> {
+//! let linter = Linter::with_defaults();
+//! for target in standard_lint_targets(8)? {
+//!     let report = linter.lint(&target);
+//!     assert!(report.is_clean(), "{report}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod diagnostic;
+pub mod engine;
+pub mod fixtures;
+pub mod intent;
+pub mod passes;
+pub mod target;
+
+pub use config::{LintConfig, UnknownRule};
+pub use diagnostic::{Diagnostic, LintReport, Location, Pass, Rule, Severity};
+pub use engine::Linter;
+pub use fixtures::{seeded_defect, Defect};
+pub use intent::{BodyBiasSpec, DomainId, DomainKind, PowerDomain, PowerIntent, SleepSpec};
+pub use target::{standard_lint_targets, LintTarget, SwitchView};
+
+use lowvolt_circuit::CircuitError;
+use lowvolt_core::error::CoreError;
+
+/// An error while *building* lint inputs (targets, intent). The analysis
+/// passes themselves never fail — malformed structures become
+/// diagnostics, not errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintError {
+    /// A circuit generator rejected its configuration.
+    Circuit(CircuitError),
+    /// A power-intent model (e.g. sleep-transistor sizing) rejected its
+    /// parameters.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Circuit(e) => write!(f, "{e}"),
+            LintError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<CircuitError> for LintError {
+    fn from(e: CircuitError) -> LintError {
+        LintError::Circuit(e)
+    }
+}
+
+impl From<CoreError> for LintError {
+    fn from(e: CoreError) -> LintError {
+        LintError::Core(e)
+    }
+}

@@ -1,0 +1,38 @@
+//! Static lint report over a deliberately broken power-gating design.
+//!
+//! Seeds the `IncompleteSleep` defect into the 8-bit adder datapath:
+//! the sleep header's thresholds are reversed (the "sleep" device turns
+//! off *less* than the logic it gates — LV020) and one inverter's
+//! pull-up is wired straight to the real supply, bypassing the header
+//! entirely (LV026). Then lints the result and prints both the human
+//! report and the machine-readable JSON a CI gate would consume — all
+//! without simulating a single event.
+//!
+//! Run with: `cargo run --release --example lint_report`
+
+use lowvolt::lint::{seeded_defect, Defect, LintError, Linter};
+
+fn main() -> Result<(), LintError> {
+    let target = seeded_defect(Defect::IncompleteSleep)?;
+    let linter = Linter::with_defaults();
+    let report = linter.lint(&target);
+
+    println!("== human report ==");
+    println!("{report}");
+
+    println!("== JSON (what `lowvolt lint --json` emits per target) ==");
+    println!("{}", report.to_json());
+
+    println!();
+    println!(
+        "verdict: {} error(s), {} warning(s) — gate {}",
+        report.errors(),
+        report.warnings(),
+        if report.passes_gate(true) {
+            "PASSES"
+        } else {
+            "FAILS (as intended: the sleep network is defective)"
+        }
+    );
+    Ok(())
+}

@@ -19,7 +19,10 @@
 //! - [`core`] — the paper's CAD contribution: burst-mode energy models,
 //!   `V_DD`/`V_T` optimization, and technology trade-off analysis,
 //! - [`exec`] — the deterministic parallel execution engine behind fault
-//!   campaigns, the experiment harness, and the design-space sweeps.
+//!   campaigns, the experiment harness, and the design-space sweeps,
+//! - [`lint`] — static netlist and power-intent analysis (structural
+//!   DRC, X-reachability, MTCMOS/body-bias checks, leakage budgets)
+//!   that catches low-voltage design errors before any simulation.
 //!
 //! # Quickstart
 //!
@@ -51,4 +54,5 @@ pub use lowvolt_core as core;
 pub use lowvolt_device as device;
 pub use lowvolt_exec as exec;
 pub use lowvolt_isa as isa;
+pub use lowvolt_lint as lint;
 pub use lowvolt_workloads as workloads;
