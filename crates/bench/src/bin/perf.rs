@@ -19,20 +19,24 @@
 //! that the parallel leg reproduced the serial output bit for bit.
 
 use lowvolt_bench::{all_experiments, run_experiments_with, BenchError};
-use lowvolt_circuit::faults::{run_campaign_with, standard_targets, stuck_at_universe};
+use lowvolt_circuit::faults::{run_campaign_recorded, standard_targets, stuck_at_universe};
 use lowvolt_circuit::stimulus::PatternSource;
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::sensitivity::{analyse_with, DesignPoint};
 use lowvolt_device::units::Seconds;
 use lowvolt_exec::ExecPolicy;
+use lowvolt_obs::{names, MetricsRegistry, Recorder};
 use std::time::Instant;
 
-/// One stage's measurements.
+/// One stage's measurements. Counters come from the serial leg's
+/// metrics registry — the same `lowvolt_obs::names` catalog the CLI's
+/// `--metrics-json` emits, so the two outputs cannot drift apart.
 struct StageResult {
     name: &'static str,
     serial_wall_ms: f64,
     parallel_wall_ms: f64,
     identical: bool,
+    counters: Vec<(&'static str, u64)>,
 }
 
 impl StageResult {
@@ -52,34 +56,51 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Runs both legs of a stage and compares their outputs.
+/// Runs both legs of a stage and compares their outputs. The serial leg
+/// carries a metrics registry; its nonzero counters become the stage's
+/// counter columns. The parallel leg runs unrecorded, so the timing
+/// comparison is not skewed by collection overhead on one side only.
 fn stage<R: PartialEq>(
     name: &'static str,
     policy: &ExecPolicy,
-    run: impl Fn(&ExecPolicy) -> Result<R, String>,
+    run: impl Fn(&ExecPolicy, &dyn Recorder) -> Result<R, String>,
 ) -> Result<StageResult, String> {
     let serial = ExecPolicy::serial();
-    let (serial_out, serial_wall_ms) = timed(|| run(&serial));
-    let (parallel_out, parallel_wall_ms) = timed(|| run(policy));
+    let registry = MetricsRegistry::new();
+    let (serial_out, serial_wall_ms) = timed(|| run(&serial, &registry));
+    let (parallel_out, parallel_wall_ms) = timed(|| run(policy, lowvolt_obs::noop()));
     let identical = serial_out? == parallel_out?;
+    let counters = registry
+        .snapshot()
+        .counters()
+        .iter()
+        .filter(|&&(_, v)| v > 0)
+        .copied()
+        .collect();
     Ok(StageResult {
         name,
         serial_wall_ms,
         parallel_wall_ms,
         identical,
+        counters,
     })
 }
 
 /// The campaign stage: the full stuck-at universe over every standard
 /// datapath target, fixed-seed random vectors.
-fn campaign_leg(policy: &ExecPolicy, width: usize, vectors: usize) -> Result<String, String> {
+fn campaign_leg(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    width: usize,
+    vectors: usize,
+) -> Result<String, String> {
     let targets = standard_targets(width).map_err(|e| e.to_string())?;
     let mut out = String::new();
     for (i, target) in targets.iter().enumerate() {
         let faults = stuck_at_universe(&target.netlist);
         let mut stimulus = PatternSource::random(target.inputs.len(), 0xC0FFEE + i as u64)
             .map_err(|e| e.to_string())?;
-        let report = run_campaign_with(policy, target, &faults, &mut stimulus, vectors)
+        let report = run_campaign_recorded(policy, rec, target, &faults, &mut stimulus, vectors)
             .map_err(|e| e.to_string())?;
         out.push_str(&report.to_string());
     }
@@ -140,8 +161,14 @@ fn render_json(threads: usize, parallelism: usize, quick: bool, stages: &[StageR
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"stages\": [\n");
     for (i, s) in stages.iter().enumerate() {
+        let counters = s
+            .counters
+            .iter()
+            .map(|(name, v)| format!("\"{}\": {v}", json_escape(name)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \"counters\": {{{counters}}}}}{}\n",
             json_escape(s.name),
             s.serial_wall_ms,
             s.parallel_wall_ms,
@@ -202,9 +229,13 @@ fn run() -> Result<(), String> {
     };
 
     let stages = vec![
-        stage("campaign", &policy, |p| campaign_leg(p, width, vectors))?,
-        stage("regen", &policy, |p| regen_leg(p, regen_ids))?,
-        stage("optimize", &policy, |p| optimize_leg(p, quick))?,
+        stage(names::STAGE_CAMPAIGN, &policy, |p, rec| {
+            campaign_leg(p, rec, width, vectors)
+        })?,
+        stage(names::STAGE_REGEN, &policy, |p, _| regen_leg(p, regen_ids))?,
+        stage(names::STAGE_OPTIMIZE, &policy, |p, _| {
+            optimize_leg(p, quick)
+        })?,
     ];
 
     for s in &stages {

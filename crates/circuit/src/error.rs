@@ -98,6 +98,13 @@ pub enum CircuitError {
         /// Human-readable constraint.
         constraint: &'static str,
     },
+    /// A gate kind has no combinational switch-level lowering (sequential
+    /// cells are built from the switch-register library instead of being
+    /// lowered structurally).
+    NoSwitchLowering {
+        /// Name of the kind that cannot be lowered.
+        kind: &'static str,
+    },
     /// An internal invariant broke. Reaching this indicates a bug in the
     /// simulator, not in the caller's circuit; it is still reported as a
     /// typed error so library paths never panic.
@@ -168,6 +175,11 @@ impl fmt::Display for CircuitError {
                 value,
                 constraint,
             } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            CircuitError::NoSwitchLowering { kind } => write!(
+                f,
+                "gate kind {kind} has no switch-level lowering (combinational kinds only; \
+                 build sequential cells from the switch-register library)"
+            ),
             CircuitError::Internal { detail } => {
                 write!(f, "internal simulator invariant violated: {detail}")
             }

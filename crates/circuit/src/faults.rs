@@ -20,7 +20,8 @@ use crate::netlist::{Netlist, NodeId};
 use crate::sim::Simulator;
 use crate::stimulus::PatternSource;
 use crate::switchlevel::{SwNodeId, SwitchNetlist, SwitchSim};
-use lowvolt_exec::{parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_recorded, ExecPolicy};
+use lowvolt_obs::{names, span, Recorder};
 
 /// A structural fault injected into a gate-level simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -325,8 +326,10 @@ fn run_trace(
     target: &FaultTarget,
     vectors: &[Vec<Bit>],
     fault: Option<&GateFault>,
+    rec: &dyn Recorder,
 ) -> Result<Vec<Vec<Bit>>, CircuitError> {
     let mut sim = Simulator::new(&target.netlist);
+    sim.set_recorder(rec);
     if let Some(f) = fault {
         install_fault(&mut sim, f)?;
     }
@@ -412,6 +415,36 @@ pub fn run_campaign_with(
     stimulus: &mut PatternSource,
     vectors: usize,
 ) -> Result<CampaignReport, CircuitError> {
+    run_campaign_recorded(
+        policy,
+        lowvolt_obs::noop(),
+        target,
+        faults,
+        stimulus,
+        vectors,
+    )
+}
+
+/// [`run_campaign_with`] with campaign metrics flushed to `rec`: the
+/// `campaign.*` counters (injections, vector applications, one count per
+/// outcome class), a `campaign.run` span with a `.golden` child, the
+/// execution engine's `exec.*` chunk/region metrics, and — because every
+/// per-injection simulator carries the recorder — the aggregate `sim.*`
+/// counters across all faulted runs. Every counter except `exec.chunks`
+/// is identical for any thread count: the per-settle deltas are fixed by
+/// the deterministic simulation and atomic addition commutes.
+///
+/// # Errors
+///
+/// Exactly the [`run_campaign`] contract.
+pub fn run_campaign_recorded(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    target: &FaultTarget,
+    faults: &[GateFault],
+    stimulus: &mut PatternSource,
+    vectors: usize,
+) -> Result<CampaignReport, CircuitError> {
     if vectors == 0 {
         return Err(CircuitError::InvalidStimulus {
             reason: "campaign needs at least one vector",
@@ -424,12 +457,16 @@ pub fn run_campaign_with(
             got: stimulus.width(),
         });
     }
+    let timer = span(rec, names::SPAN_CAMPAIGN_RUN);
     let vecs: Vec<Vec<Bit>> = (0..vectors).map(|_| stimulus.next_pattern()).collect();
     // The golden run also warms the netlist's CSR fanout index, so the
     // workers share the prebuilt adjacency read-only.
-    let golden = run_trace(target, &vecs, None)?;
-    let reports = parallel_map(policy, faults, |_, fault| {
-        let outcome = match run_trace(target, &vecs, Some(fault)) {
+    let golden = {
+        let _golden_timer = timer.child("golden");
+        run_trace(target, &vecs, None, rec)?
+    };
+    let reports = parallel_map_recorded(policy, rec, faults, |_, fault| {
+        let outcome = match run_trace(target, &vecs, Some(fault), rec) {
             Ok(trace) => classify(&golden, &trace),
             Err(err) => FaultOutcome::Detected(err),
         };
@@ -438,11 +475,25 @@ pub fn run_campaign_with(
             outcome,
         }
     });
-    Ok(CampaignReport {
+    drop(timer);
+    let report = CampaignReport {
         target: target.name.clone(),
         vectors,
         reports,
-    })
+    };
+    if rec.is_enabled() {
+        rec.add(names::CAMPAIGN_TARGETS, 1);
+        rec.add(names::CAMPAIGN_INJECTIONS, faults.len() as u64);
+        rec.add(names::CAMPAIGN_VECTORS, (vectors * faults.len()) as u64);
+        rec.add(names::CAMPAIGN_DETECTED, report.detected() as u64);
+        rec.add(names::CAMPAIGN_CORRUPTED, report.corrupted() as u64);
+        rec.add(
+            names::CAMPAIGN_PROPAGATED_X,
+            report.propagated_as_x() as u64,
+        );
+        rec.add(names::CAMPAIGN_MASKED, report.masked() as u64);
+    }
+    Ok(report)
 }
 
 /// Builds the five standard datapath targets at the given width: the
@@ -523,6 +574,57 @@ mod tests {
 
     fn adder_target(width: usize) -> FaultTarget {
         standard_targets(width).unwrap().into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn recorded_campaign_counters_are_exact_and_thread_invariant() {
+        use lowvolt_obs::MetricsRegistry;
+
+        let target = adder_target(4);
+        let faults = stuck_at_universe(&target.netlist);
+        assert!(faults.len() > 4);
+
+        let run = |threads: usize| {
+            let reg = MetricsRegistry::new();
+            let mut src = PatternSource::counting(target.inputs.len(), 1).unwrap();
+            let policy = ExecPolicy::with_threads(threads);
+            let report =
+                run_campaign_recorded(&policy, &reg, &target, &faults, &mut src, 6).unwrap();
+            (reg.snapshot(), report)
+        };
+
+        let (snap1, report) = run(1);
+        assert_eq!(snap1.counter(names::CAMPAIGN_TARGETS), 1);
+        assert_eq!(
+            snap1.counter(names::CAMPAIGN_INJECTIONS),
+            faults.len() as u64
+        );
+        assert_eq!(
+            snap1.counter(names::CAMPAIGN_VECTORS),
+            (6 * faults.len()) as u64
+        );
+        let outcomes = snap1.counter(names::CAMPAIGN_DETECTED)
+            + snap1.counter(names::CAMPAIGN_CORRUPTED)
+            + snap1.counter(names::CAMPAIGN_PROPAGATED_X)
+            + snap1.counter(names::CAMPAIGN_MASKED);
+        assert_eq!(outcomes, faults.len() as u64);
+        assert_eq!(
+            snap1.counter(names::CAMPAIGN_MASKED),
+            report.masked() as u64
+        );
+        // The per-injection simulators flush into the same registry.
+        assert!(snap1.counter(names::SIM_SETTLE_ITERATIONS) > 0);
+        assert!(snap1.counter(names::SIM_EVENTS_PROCESSED) > 0);
+        assert!(snap1.span(names::SPAN_CAMPAIGN_RUN).is_some());
+        assert!(snap1.span("campaign.run.golden").is_some());
+
+        let (snap4, _) = run(4);
+        for &name in names::COUNTERS {
+            if name == names::EXEC_CHUNKS {
+                continue; // chunk count depends on worker claiming order
+            }
+            assert_eq!(snap1.counter(name), snap4.counter(name), "counter {name}");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod cells;
 pub mod error;
 pub mod faults;
 pub mod logic;
+pub mod lower;
 pub mod multiplier;
 pub mod netlist;
 pub mod registers;

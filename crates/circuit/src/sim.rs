@@ -33,6 +33,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use lowvolt_obs::{names, span, Recorder};
+
 use crate::activity::{ActivityReport, NodeActivity};
 use crate::error::CircuitError;
 use crate::logic::Bit;
@@ -147,6 +149,21 @@ pub struct Simulator<'a> {
     /// collected from the queue, sorted in place. Reuse keeps the
     /// periodic sampling allocation-free after the first fingerprint.
     sig_scratch: Vec<(u64, u32, u64, u8)>,
+    /// Metrics sink; defaults to the zero-cost noop. The hot loop never
+    /// touches it — locals are flushed once per settle.
+    recorder: &'a dyn Recorder,
+    /// Value of `seq` at the last metrics flush, so heap pushes made
+    /// between settles (stimulus scheduling) are attributed to the next
+    /// settle instead of being lost.
+    seq_flushed: u64,
+}
+
+/// Per-settle instrumentation locals, flushed to the recorder in one
+/// batch whether the settle succeeds or errors.
+#[derive(Debug, Default)]
+struct SettleTally {
+    events: usize,
+    fingerprints: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -184,7 +201,19 @@ impl<'a> Simulator<'a> {
             forced: vec![None; netlist.node_count()],
             bridges: Vec::new(),
             sig_scratch: Vec::new(),
+            recorder: lowvolt_obs::noop(),
+            seq_flushed: 0,
         }
+    }
+
+    /// Attaches a metrics recorder. Settles flush `sim.events.processed`,
+    /// `sim.heap.pushes`, `sim.settle.iterations`, and
+    /// `sim.watchdog.fingerprints`; [`Simulator::measure_activity`] adds
+    /// `sim.alpha.nodes` and the per-net transition totals. All flushes
+    /// happen at settle boundaries, so the event loop itself is
+    /// identical with or without a live recorder.
+    pub fn set_recorder(&mut self, rec: &'a dyn Recorder) {
+        self.recorder = rec;
     }
 
     /// Current simulation time in ticks.
@@ -345,6 +374,28 @@ impl<'a> Simulator<'a> {
     /// forever), or [`CircuitError::DidNotSettle`] if `budget` events are
     /// exhausted without either quiescence or a proof of cycling.
     pub fn settle_with_budget(&mut self, budget: usize) -> Result<SettleStats, CircuitError> {
+        let timer = span(self.recorder, names::SPAN_SIM_SETTLE);
+        let mut tally = SettleTally::default();
+        let result = self.settle_inner(budget, &mut tally);
+        drop(timer);
+        if self.recorder.is_enabled() {
+            self.recorder.add(names::SIM_SETTLE_ITERATIONS, 1);
+            self.recorder
+                .add(names::SIM_EVENTS_PROCESSED, tally.events as u64);
+            self.recorder
+                .add(names::SIM_HEAP_PUSHES, self.seq - self.seq_flushed);
+            self.seq_flushed = self.seq;
+            self.recorder
+                .add(names::SIM_WATCHDOG_FINGERPRINTS, tally.fingerprints);
+        }
+        result
+    }
+
+    fn settle_inner(
+        &mut self,
+        budget: usize,
+        tally: &mut SettleTally,
+    ) -> Result<SettleStats, CircuitError> {
         let start_time = self.time;
         let mut spent = 0usize;
         let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
@@ -366,6 +417,7 @@ impl<'a> Simulator<'a> {
                 self.time = t;
                 spent += 1;
                 if spent > budget {
+                    tally.events = spent;
                     return Err(CircuitError::DidNotSettle {
                         event_budget: budget,
                     });
@@ -382,8 +434,10 @@ impl<'a> Simulator<'a> {
                     && spent.is_multiple_of(WATCHDOG_SAMPLE_INTERVAL)
                     && !self.queue.is_empty()
                 {
+                    tally.fingerprints += 1;
                     let sig = self.state_signature();
                     if let Some(&earlier) = seen.get(&sig) {
+                        tally.events = spent;
                         return Err(CircuitError::Oscillation {
                             period_events: spent - earlier,
                             ringing: self.ringing_nodes(),
@@ -400,8 +454,10 @@ impl<'a> Simulator<'a> {
             if !self.resolve_bridges_settled() {
                 break;
             }
+            tally.fingerprints += 1;
             let sig = self.state_signature();
             if let Some(&earlier) = seen.get(&sig) {
+                tally.events = spent;
                 return Err(CircuitError::Oscillation {
                     period_events: spent.saturating_sub(earlier).max(1),
                     ringing: self.ringing_nodes(),
@@ -409,6 +465,7 @@ impl<'a> Simulator<'a> {
             }
             seen.insert(sig, spent);
         }
+        tally.events = spent;
         Ok(SettleStats {
             events: spent,
             ticks: self.time.saturating_sub(start_time),
@@ -463,6 +520,7 @@ impl<'a> Simulator<'a> {
                 reason: "warmup must leave cycles to measure",
             });
         }
+        let timer = span(self.recorder, names::SPAN_SIM_MEASURE_ACTIVITY);
         self.set_counting(false);
         self.reset_counters();
         for _ in 0..warmup {
@@ -476,7 +534,7 @@ impl<'a> Simulator<'a> {
             self.apply_vector(inputs, &v)?;
         }
         self.set_counting(false);
-        let entries = self
+        let entries: Vec<NodeActivity> = self
             .netlist
             .node_ids()
             .map(|n| NodeActivity {
@@ -488,6 +546,19 @@ impl<'a> Simulator<'a> {
                 is_primary_input: self.netlist.is_primary_input(n),
             })
             .collect();
+        drop(timer);
+        if self.recorder.is_enabled() {
+            let internal = entries.iter().filter(|e| !e.is_primary_input).count();
+            self.recorder.add(names::SIM_ALPHA_NODES, internal as u64);
+            self.recorder.add(
+                names::SIM_TRANSITIONS_RISING,
+                entries.iter().map(|e| e.rising).sum(),
+            );
+            self.recorder.add(
+                names::SIM_TRANSITIONS_FALLING,
+                entries.iter().map(|e| e.falling).sum(),
+            );
+        }
         Ok(ActivityReport::new(entries, measured as u64))
     }
 
@@ -881,6 +952,92 @@ mod tests {
         // Toggling input rises every other cycle: 4 rising edges in 8.
         let a_entry = report.entry(a).unwrap();
         assert_eq!(a_entry.rising, 4);
+    }
+
+    #[test]
+    fn recorder_flushes_settle_counters() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let _y2 = n.gate(GateKind::Not, &[y1]).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_recorder(&reg);
+        sim.set_input(a, Bit::Zero).unwrap();
+        let s1 = sim.settle().unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        let s2 = sim.settle().unwrap();
+        assert_eq!(reg.counter(names::SIM_SETTLE_ITERATIONS), 2);
+        assert_eq!(
+            reg.counter(names::SIM_EVENTS_PROCESSED),
+            (s1.events + s2.events) as u64
+        );
+        assert!(reg.counter(names::SIM_HEAP_PUSHES) >= reg.counter(names::SIM_EVENTS_PROCESSED));
+        let snap = reg.snapshot();
+        assert_eq!(snap.span(names::SPAN_SIM_SETTLE).map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn recorder_flushes_on_error_paths_too() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut n = Netlist::new();
+        let a = n.node("loop");
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        n.gate_into(GateKind::Buf, &[y1], a).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_recorder(&reg);
+        sim.set_input(a, Bit::Zero).unwrap();
+        let _ = sim.settle_with_budget(100_000).unwrap_err();
+        assert!(reg.counter(names::SIM_EVENTS_PROCESSED) >= WATCHDOG_WARMUP_EVENTS as u64);
+        assert!(reg.counter(names::SIM_WATCHDOG_FINGERPRINTS) > 0);
+        assert_eq!(reg.counter(names::SIM_SETTLE_ITERATIONS), 1);
+    }
+
+    #[test]
+    fn recorder_counts_activity_extraction() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let _y = n.gate(GateKind::Not, &[a]).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_recorder(&reg);
+        let mut src = PatternSource::counting(1, 0).unwrap();
+        let report = sim.measure_activity(&mut src, &[a], 10, 2).unwrap();
+        // One internal node (the inverter output).
+        assert_eq!(reg.counter(names::SIM_ALPHA_NODES), 1);
+        let total_rising: u64 = report.entries().iter().map(|e| e.rising).sum();
+        assert_eq!(reg.counter(names::SIM_TRANSITIONS_RISING), total_rising);
+        assert!(reg
+            .snapshot()
+            .span(names::SPAN_SIM_MEASURE_ACTIVITY)
+            .is_some());
+    }
+
+    #[test]
+    fn recorder_counters_are_deterministic_across_runs() {
+        use lowvolt_obs::MetricsRegistry;
+        let run = || {
+            let reg = MetricsRegistry::new();
+            let mut n = Netlist::new();
+            let adder = crate::adder::ripple_carry_adder(&mut n, 8).unwrap();
+            let inputs = adder.input_nodes();
+            let mut sim = Simulator::new(&n);
+            sim.set_recorder(&reg);
+            let mut src = PatternSource::random(inputs.len(), 7).unwrap();
+            sim.measure_activity(&mut src, &inputs, 64, 8).unwrap();
+            (
+                reg.counter(names::SIM_EVENTS_PROCESSED),
+                reg.counter(names::SIM_HEAP_PUSHES),
+                reg.counter(names::SIM_SETTLE_ITERATIONS),
+                reg.counter(names::SIM_TRANSITIONS_RISING),
+            )
+        };
+        let first = run();
+        assert!(first.0 > 0);
+        assert_eq!(first, run());
     }
 
     #[test]

@@ -44,6 +44,8 @@
 
 use std::collections::HashMap;
 
+use lowvolt_obs::{names, span, Recorder};
+
 use crate::error::CircuitError;
 use crate::logic::Bit;
 use crate::sim::Fnv1a;
@@ -320,6 +322,10 @@ struct Solved {
 pub struct SwitchSim<'a> {
     netlist: &'a SwitchNetlist,
     values: Vec<Bit>,
+    /// Node values at the last settle boundary — the baseline the
+    /// activity counters diff against, so counting sees net per-vector
+    /// changes rather than relaxation churn.
+    settled_values: Vec<Bit>,
     rising: Vec<u64>,
     falling: Vec<u64>,
     counting: bool,
@@ -332,6 +338,14 @@ pub struct SwitchSim<'a> {
     /// When armed, a settle fails with [`CircuitError::FloatingNode`] if
     /// any non-driven node ends up with no possible path to a driver.
     floating_check: bool,
+    /// Metrics sink; defaults to the zero-cost noop and is flushed once
+    /// per settle, never per node write.
+    recorder: &'a dyn Recorder,
+    /// Lifetime total of 0↔1 node transitions (independent of the
+    /// per-node counting flag, which only gates the activity arrays).
+    transitions: u64,
+    /// Value of `transitions` at the last metrics flush.
+    transitions_flushed: u64,
 }
 
 /// Relaxation passes before declaring non-convergence.
@@ -350,6 +364,7 @@ impl<'a> SwitchSim<'a> {
         }
         SwitchSim {
             netlist,
+            settled_values: values.clone(),
             values,
             rising: vec![0; netlist.node_count()],
             falling: vec![0; netlist.node_count()],
@@ -358,7 +373,17 @@ impl<'a> SwitchSim<'a> {
             stuck_on: vec![false; netlist.transistor_count()],
             stuck_off: vec![false; netlist.transistor_count()],
             floating_check: false,
+            recorder: lowvolt_obs::noop(),
+            transitions: 0,
+            transitions_flushed: 0,
         }
+    }
+
+    /// Attaches a metrics recorder. Each settle flushes
+    /// `switch.settles`, `switch.relax.passes`, and the 0↔1
+    /// `switch.transitions` observed since the previous flush.
+    pub fn set_recorder(&mut self, rec: &'a dyn Recorder) {
+        self.recorder = rec;
     }
 
     /// Current value of a node ([`Bit::X`] for a foreign node id).
@@ -368,6 +393,15 @@ impl<'a> SwitchSim<'a> {
     }
 
     /// Enables or disables transition counting.
+    ///
+    /// Counting is settle-granular: each settle compares the converged
+    /// node values against the previous settle's, and tallies the *net*
+    /// `0 → 1` / `1 → 0` changes. Transient rewrites during relaxation
+    /// (including excursions through `X`, e.g. a pass-gate output whose
+    /// select complement lags a pass) are deliberately excluded — the
+    /// counters estimate the activity of the settled waveform, which is
+    /// what the gate-level engine's hazard-free component measures too
+    /// (see `tests/differential.rs`).
     pub fn set_counting(&mut self, on: bool) {
         self.counting = on;
     }
@@ -378,7 +412,8 @@ impl<'a> SwitchSim<'a> {
         self.falling.fill(0);
     }
 
-    /// `0 → 1` transitions recorded on a node (zero for a foreign id).
+    /// Net `0 → 1` transitions recorded on a node at settle boundaries
+    /// (zero for a foreign id).
     #[must_use]
     pub fn rising_count(&self, node: SwNodeId) -> u64 {
         self.rising.get(node.0).copied().unwrap_or(0)
@@ -430,6 +465,42 @@ impl<'a> SwitchSim<'a> {
             });
         }
         self.write(node, self.forced[node.0].unwrap_or(value));
+        self.settle()
+    }
+
+    /// Drives several input nodes at once, then re-solves the network a
+    /// single time — the batch form of [`SwitchSim::set_input`]. For an
+    /// `n`-bit vector this does one relaxation instead of `n`, and the
+    /// fixed point is the same because conduction is a pure function of
+    /// the final input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WidthMismatch`] if the slices differ in
+    /// length, [`CircuitError::UnknownNode`] / [`CircuitError::NotAnInput`]
+    /// for a bad node (checked before any write, so a failed call changes
+    /// nothing), or any settle-time watchdog error.
+    pub fn set_inputs(&mut self, nodes: &[SwNodeId], values: &[Bit]) -> Result<(), CircuitError> {
+        if nodes.len() != values.len() {
+            return Err(CircuitError::WidthMismatch {
+                what: "set_inputs",
+                expected: nodes.len(),
+                got: values.len(),
+            });
+        }
+        for &node in nodes {
+            if node.0 >= self.netlist.node_count() {
+                return Err(CircuitError::UnknownNode(node.0));
+            }
+            if !self.netlist.is_input[node.0] {
+                return Err(CircuitError::NotAnInput {
+                    node: self.netlist.node_name(node).to_string(),
+                });
+            }
+        }
+        for (&node, &value) in nodes.iter().zip(values) {
+            self.write(node, self.forced[node.0].unwrap_or(value));
+        }
         self.settle()
     }
 
@@ -496,12 +567,10 @@ impl<'a> SwitchSim<'a> {
         if old == value {
             return;
         }
-        if self.counting {
-            match (old, value) {
-                (Bit::Zero, Bit::One) => self.rising[node.0] += 1,
-                (Bit::One, Bit::Zero) => self.falling[node.0] += 1,
-                _ => {}
-            }
+        // The 0↔1 churn total feeds the metrics recorder; the per-node
+        // activity counters are diffed at settle boundaries instead.
+        if matches!((old, value), (Bit::Zero, Bit::One) | (Bit::One, Bit::Zero)) {
+            self.transitions += 1;
         }
         self.values[node.0] = value;
     }
@@ -521,9 +590,39 @@ impl<'a> SwitchSim<'a> {
     /// [`CircuitError::FloatingNode`] when the floating-node watchdog is
     /// armed and finds a stranded node.
     fn settle(&mut self) -> Result<(), CircuitError> {
+        let timer = span(self.recorder, names::SPAN_SWITCH_SETTLE);
+        let mut passes = 0usize;
+        let result = self.settle_inner(&mut passes);
+        drop(timer);
+        if result.is_ok() {
+            if self.counting {
+                for i in 0..self.values.len() {
+                    match (self.settled_values[i], self.values[i]) {
+                        (Bit::Zero, Bit::One) => self.rising[i] += 1,
+                        (Bit::One, Bit::Zero) => self.falling[i] += 1,
+                        _ => {}
+                    }
+                }
+            }
+            self.settled_values.copy_from_slice(&self.values);
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.add(names::SWITCH_SETTLES, 1);
+            self.recorder.add(names::SWITCH_RELAX_PASSES, passes as u64);
+            self.recorder.add(
+                names::SWITCH_TRANSITIONS,
+                self.transitions - self.transitions_flushed,
+            );
+            self.transitions_flushed = self.transitions;
+        }
+        result
+    }
+
+    fn settle_inner(&mut self, passes: &mut usize) -> Result<(), CircuitError> {
         let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
         let mut converged = false;
         for pass in 0..MAX_PASSES {
+            *passes += 1;
             if !self.relax_once() {
                 converged = true;
                 break;
@@ -699,6 +798,79 @@ mod tests {
         let mut sim = SwitchSim::new(&n);
         sim.set_input(a, Bit::One).unwrap();
         assert_eq!(sim.value(y3), Bit::Zero);
+    }
+
+    #[test]
+    fn batch_set_inputs_matches_sequential_fixed_point() {
+        let build = || {
+            let mut n = SwitchNetlist::new();
+            let a = n.input("a");
+            let b = n.input("b");
+            let na = n.inverter(a, "na").unwrap();
+            let nb = n.inverter(b, "nb").unwrap();
+            let y = n.inverter(na, "y").unwrap();
+            (n, a, b, na, nb, y)
+        };
+        let (n1, a1, b1, ..) = build();
+        let mut seq = SwitchSim::new(&n1);
+        seq.set_input(a1, Bit::One).unwrap();
+        seq.set_input(b1, Bit::Zero).unwrap();
+        let (n2, a2, b2, ..) = build();
+        let mut batch = SwitchSim::new(&n2);
+        batch.set_inputs(&[a2, b2], &[Bit::One, Bit::Zero]).unwrap();
+        for i in 0..n1.node_count() {
+            assert_eq!(
+                seq.value(SwNodeId(i)),
+                batch.value(SwNodeId(i)),
+                "node {i} differs between batch and sequential drive"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_set_inputs_validates_before_writing() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y").unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input(a, Bit::Zero).unwrap();
+        assert!(matches!(
+            sim.set_inputs(&[a], &[Bit::One, Bit::Zero]),
+            Err(CircuitError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            sim.set_inputs(&[a, y], &[Bit::One, Bit::One]),
+            Err(CircuitError::NotAnInput { .. })
+        ));
+        assert_eq!(sim.value(a), Bit::Zero, "failed batch changed nothing");
+        assert!(matches!(
+            sim.set_inputs(&[SwNodeId(999)], &[Bit::One]),
+            Err(CircuitError::UnknownNode(999))
+        ));
+    }
+
+    #[test]
+    fn recorder_flushes_switch_counters() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y1 = n.inverter(a, "y1").unwrap();
+        let _y2 = n.inverter(y1, "y2").unwrap();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_recorder(&reg);
+        sim.set_input(a, Bit::Zero).unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        assert_eq!(reg.counter(names::SWITCH_SETTLES), 2);
+        assert!(reg.counter(names::SWITCH_RELAX_PASSES) >= 2);
+        // Second drive flips a, y1, y2: three transitions flushed.
+        assert!(reg.counter(names::SWITCH_TRANSITIONS) >= 3);
+        assert_eq!(
+            reg.snapshot()
+                .span(names::SPAN_SWITCH_SETTLE)
+                .map(|s| s.count),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Differential testing: the gate-level event simulator against the
+//! switch-level relaxation engine on the same lowered circuit.
+//!
+//! The paper's §5.3 methodology calibrates fast activity extraction
+//! against a slower reference simulator. Here that is a checkable
+//! property: [`lowvolt_circuit::lower`] expands a datapath to its
+//! static CMOS transistor network, both engines replay the identical
+//! seeded stimulus, and every gate-level node must settle to the same
+//! value in both — every cycle, not just at the end. The extracted
+//! activity (rising transitions per mapped node) must agree within a
+//! tolerance that covers the engines' different transient accounting
+//! (event-driven hazards vs relaxation-pass rewrites).
+
+use lowvolt_circuit::adder::ripple_carry_adder;
+use lowvolt_circuit::logic::Bit;
+use lowvolt_circuit::lower::lower;
+use lowvolt_circuit::netlist::Netlist;
+use lowvolt_circuit::shifter::barrel_shifter_right;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_circuit::switchlevel::SwitchSim;
+
+/// The three mean per-node alpha estimates one differential run yields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AlphaEstimates {
+    /// Settled-value toggles per cycle, tracked by the harness from the
+    /// gate-level engine's post-settle node values — hazard-free by
+    /// construction.
+    settled: f64,
+    /// The gate-level engine's own rising counters, which also tally
+    /// unit-delay hazard glitches (e.g. a mux whose select arrives
+    /// before its rippled data).
+    gate_counter: f64,
+    /// The switch-level engine's own rising counters, accumulated
+    /// during relaxation.
+    switch_counter: f64,
+}
+
+/// Replays `cycles` seeded random vectors through both engines,
+/// asserting node-for-node value agreement each settled cycle, and
+/// returns the mean per-node alpha estimates over the post-warmup
+/// window.
+fn run_differential(n: &Netlist, seed: u64, cycles: usize, warmup: usize) -> AlphaEstimates {
+    let low = lower(n).expect("combinational lowering");
+    let inputs = n.primary_inputs().to_vec();
+    let sw_inputs = low.switch_nodes(&inputs).expect("all inputs map");
+    let mut gate_sim = Simulator::new(n);
+    let mut sw_sim = SwitchSim::new(low.netlist());
+    // Two sources, one seed: both engines see the identical stimulus.
+    let mut gate_src = PatternSource::random(inputs.len(), seed).expect("stimulus");
+    let mut sw_src = PatternSource::random(inputs.len(), seed).expect("stimulus");
+    let mut prev: Vec<Bit> = vec![Bit::X; n.node_count()];
+    let mut settled_rising: Vec<u64> = vec![0; n.node_count()];
+    for cycle in 0..cycles {
+        if cycle == warmup {
+            gate_sim.set_counting(true);
+            sw_sim.set_counting(true);
+        }
+        let vector = gate_src.next_pattern();
+        assert_eq!(
+            vector,
+            sw_src.next_pattern(),
+            "sources must stay in lockstep"
+        );
+        gate_sim
+            .apply_vector(&inputs, &vector)
+            .expect("gate-level settles");
+        sw_sim
+            .set_inputs(&sw_inputs, &vector)
+            .expect("switch-level settles");
+        for (gnode, snode) in low.mapped_nodes() {
+            let settled = gate_sim.value(gnode);
+            assert_eq!(
+                settled,
+                sw_sim.value(snode),
+                "node `{}` diverges on cycle {cycle}",
+                n.node_name(gnode)
+            );
+            let i = gnode.index();
+            if cycle >= warmup && prev[i] == Bit::Zero && settled == Bit::One {
+                settled_rising[i] += 1;
+            }
+            prev[i] = settled;
+        }
+    }
+    // The switch-level counters are settle-granular, so on agreeing
+    // waveforms they must reproduce the harness's settled-toggle count
+    // exactly, node for node.
+    for (gnode, snode) in low.mapped_nodes() {
+        assert_eq!(
+            settled_rising[gnode.index()],
+            sw_sim.rising_count(snode),
+            "settled rising count diverges on node `{}`",
+            n.node_name(gnode)
+        );
+    }
+    let measured = (cycles - warmup) as f64;
+    let mut est = AlphaEstimates {
+        settled: 0.0,
+        gate_counter: 0.0,
+        switch_counter: 0.0,
+    };
+    let mut internal = 0.0;
+    for (gnode, snode) in low.mapped_nodes() {
+        if n.is_primary_input(gnode) {
+            continue;
+        }
+        est.settled += settled_rising[gnode.index()] as f64 / measured;
+        est.gate_counter += gate_sim.rising_count(gnode) as f64 / measured;
+        est.switch_counter += sw_sim.rising_count(snode) as f64 / measured;
+        internal += 1.0;
+    }
+    est.settled /= internal;
+    est.gate_counter /= internal;
+    est.switch_counter /= internal;
+    est
+}
+
+/// Agreement bound between the hazard-free settled alpha and the
+/// switch-level engine's own counters: relaxation visits nodes in
+/// creation order (roughly topological), so at most a few transient
+/// rewrites per vector separate the two.
+const ALPHA_TOLERANCE: f64 = 0.1;
+
+fn assert_alphas_consistent(name: &str, est: AlphaEstimates) {
+    let rel = (est.switch_counter - est.settled).abs() / est.settled.max(1e-12);
+    assert!(
+        rel <= ALPHA_TOLERANCE,
+        "{name}: switch-level alpha diverges from settled alpha beyond {ALPHA_TOLERANCE} \
+         (settled {:.4}, switch {:.4}, rel {rel:.4})",
+        est.settled,
+        est.switch_counter
+    );
+    // The gate-level counters include unit-delay hazards on top of the
+    // settled transitions, so they can only over-count.
+    assert!(
+        est.gate_counter >= est.settled - 1e-12,
+        "{name}: gate-level counters under-count settled transitions \
+         (settled {:.4}, gate {:.4})",
+        est.settled,
+        est.gate_counter
+    );
+    eprintln!(
+        "{name}: settled {:.4}  gate {:.4}  switch {:.4}  rel {rel:.4}",
+        est.settled, est.gate_counter, est.switch_counter
+    );
+}
+
+#[test]
+fn adder_agrees_across_abstraction_levels() {
+    let mut n = Netlist::new();
+    ripple_carry_adder(&mut n, 4).expect("adder builds");
+    assert_alphas_consistent("rca4", run_differential(&n, 0xD1FF, 64, 8));
+}
+
+#[test]
+fn shifter_agrees_across_abstraction_levels() {
+    let mut n = Netlist::new();
+    barrel_shifter_right(&mut n, 8).expect("shifter builds");
+    assert_alphas_consistent("bshift8", run_differential(&n, 0x5EED, 64, 8));
+}
+
+#[test]
+fn differential_is_seed_deterministic() {
+    let mut n = Netlist::new();
+    ripple_carry_adder(&mut n, 4).expect("adder builds");
+    let first = run_differential(&n, 42, 32, 4);
+    let second = run_differential(&n, 42, 32, 4);
+    assert_eq!(first, second, "same seed must reproduce both estimates");
+}

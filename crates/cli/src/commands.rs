@@ -6,7 +6,7 @@ use std::fmt;
 use crate::args::Parsed;
 use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
-use lowvolt_circuit::faults::{run_campaign_with, standard_targets, stuck_at_universe};
+use lowvolt_circuit::faults::{run_campaign_recorded, standard_targets, stuck_at_universe};
 use lowvolt_circuit::multiplier::array_multiplier;
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::ring::RingOscillator;
@@ -29,6 +29,7 @@ use lowvolt_isa::profile::Profiler;
 use lowvolt_lint::{
     seeded_defect, standard_lint_targets, Defect, LintConfig, Linter, Rule, UnknownRule,
 };
+use lowvolt_obs::{names, span, MetricsRegistry, Recorder};
 
 /// A command failed: carries the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,24 +122,34 @@ lowvolt — low-voltage digital system design toolkit
 
 USAGE:
   lowvolt profile  (<file.s> | --example idea|espresso|li|fir) [--budget N]
-                   [--hysteresis N] [--blocks] [--duty D]
+                   [--hysteresis N] [--blocks] [--duty D] [--metrics-json PATH]
+  lowvolt sim      --circuit adder8|adder16|shifter8|mult8|alu8
+                   [--patterns random|counting] [--cycles N] [--seed N]
+                   [--metrics-json PATH]
   lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
                    [--patterns random|counting] [--cycles N] [--seed N]
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
                    [--threads N]
   lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
+                   [--metrics-json PATH]
   lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
                    [--vdd V] [--mhz F]
   lowvolt iv       [--vt V] [--soias] [--vds V]
   lowvolt lint     [--circuit NAME|all] [--width N] [--fixture floating|loop|sleep|leakage]
                    [--json] [--deny warnings|RULES] [--allow RULES]
                    [--leakage-budget-uw F] [--threads N] [--rules]
+                   [--metrics-json PATH]
   lowvolt disasm   (<file.s> | --example idea|espresso|li|fir)
   lowvolt help
 
 `--threads N` selects the worker count for parallel sweeps (N = 0 or the
 LOWVOLT_THREADS environment variable mean \"all available cores\");
 results are identical for any thread count.
+
+`--metrics-json PATH` collects internal counters and span timings while
+the command runs and writes them as JSON to PATH (`-` replaces the
+normal report on stdout with the metrics JSON). Counter totals are
+identical for any thread count; only wall-clock fields vary.
 
 Run any experiment of the paper with the separate `regen` binary.";
 
@@ -155,6 +166,7 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliFailure> {
     }
     match parsed.command.as_str() {
         "profile" => profile(parsed),
+        "sim" => sim(parsed),
         "activity" => activity(parsed),
         "optimize" => optimize(parsed),
         "campaign" => campaign(parsed),
@@ -175,6 +187,56 @@ fn exec_policy(parsed: &Parsed) -> Result<ExecPolicy, CliError> {
         Some(n) => ExecPolicy::with_threads(n),
         None => ExecPolicy::from_env(),
     })
+}
+
+/// Metrics collection for one command invocation, driven by
+/// `--metrics-json PATH`. Without the flag the recorder is the shared
+/// noop and instrumentation costs nothing; with it, a
+/// [`MetricsRegistry`] collects counters and spans, and [`Metrics::finish`]
+/// either writes the JSON report to PATH or (PATH = `-`) returns it as
+/// the command's stdout output in place of the normal report.
+#[derive(Debug)]
+struct Metrics {
+    registry: Option<MetricsRegistry>,
+    dest: Option<String>,
+}
+
+impl Metrics {
+    fn from_args(parsed: &Parsed) -> Result<Metrics, CliError> {
+        let dest = match parsed.get("metrics-json") {
+            None => None,
+            Some("") => {
+                return Err(CliError(
+                    "--metrics-json expects a file path (or `-` for stdout)".to_string(),
+                ))
+            }
+            Some(path) => Some(path.to_string()),
+        };
+        Ok(Metrics {
+            registry: dest.as_ref().map(|_| MetricsRegistry::new()),
+            dest,
+        })
+    }
+
+    fn recorder(&self) -> &dyn Recorder {
+        match &self.registry {
+            Some(reg) => reg,
+            None => lowvolt_obs::noop(),
+        }
+    }
+
+    fn finish(&self, out: String) -> Result<String, CliError> {
+        let (Some(reg), Some(dest)) = (&self.registry, &self.dest) else {
+            return Ok(out);
+        };
+        let json = reg.snapshot().to_json();
+        if dest == "-" {
+            return Ok(json);
+        }
+        std::fs::write(dest, json)
+            .map_err(|e| CliError(format!("cannot write metrics to {dest}: {e}")))?;
+        Ok(out)
+    }
 }
 
 fn example_source(name: &str) -> Result<String, CliError> {
@@ -205,6 +267,8 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
     let budget = parsed.get_u64("budget")?.unwrap_or(200_000_000);
     let hysteresis = parsed.get_u64("hysteresis")?.unwrap_or(1);
     let duty = parsed.get_f64("duty")?;
+    let metrics = Metrics::from_args(parsed)?;
+    let rec = metrics.recorder();
     let mut out = String::new();
 
     let report = if let Some(duty) = duty {
@@ -216,9 +280,12 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
             schedule.burst_len,
             schedule.idle_len
         ));
-        lowvolt_workloads::bursty::profile_bursty(&source, schedule, budget, hysteresis)
-            .map_err(CliError)?
+        lowvolt_workloads::bursty::profile_bursty_recorded(
+            &source, schedule, budget, hysteresis, rec,
+        )
+        .map_err(CliError)?
     } else {
+        let timer = span(rec, names::SPAN_PROFILE_RUN);
         let program = lowvolt_isa::assemble(&source).map_err(|e| CliError(e.to_string()))?;
         let mut cpu = Cpu::new(program.clone());
         let mut profiler = Profiler::standard().with_hysteresis(hysteresis);
@@ -237,6 +304,7 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
                     executed += 1;
                 }
             }
+            blocks.flush_metrics(rec);
             out.push_str("hot basic blocks (dynamic instructions):\n");
             let mut t = Table::new(["range", "static len", "dynamic instrs"]);
             for (b, dynamic) in blocks.hottest(5) {
@@ -252,19 +320,22 @@ fn profile(parsed: &Parsed) -> Result<String, CliError> {
             cpu.run_profiled(budget, &mut profiler)
                 .map_err(|e| CliError(e.to_string()))?;
         }
+        drop(timer);
+        profiler.flush_metrics(rec);
         if !cpu.output().is_empty() {
             out.push_str(&format!("program output: {}\n\n", cpu.output()));
         }
         profiler.report()
     };
     out.push_str(&report.to_string());
-    Ok(out)
+    metrics.finish(out)
 }
 
-fn activity(parsed: &Parsed) -> Result<String, CliError> {
-    let circuit = parsed.get("circuit").unwrap_or("adder8");
-    let cycles = parsed.get_u64("cycles")?.unwrap_or(520) as usize;
-    let seed = parsed.get_u64("seed")?.unwrap_or(42);
+/// Builds one of the named demo circuits, returning its netlist and
+/// stimulus-facing input nodes.
+fn build_circuit(
+    circuit: &str,
+) -> Result<(Netlist, Vec<lowvolt_circuit::netlist::NodeId>), CliError> {
     let mut n = Netlist::new();
     let inputs = match circuit {
         "adder8" => ripple_carry_adder(&mut n, 8)?.input_nodes(),
@@ -282,15 +353,54 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
             )))
         }
     };
-    let mut source = match parsed.get("patterns").unwrap_or("random") {
-        "random" => PatternSource::random(inputs.len(), seed)?,
-        "counting" => PatternSource::counting(inputs.len().min(64), 0)?,
-        other => {
-            return Err(CliError(format!(
-                "unknown pattern kind `{other}` (random, counting)"
-            )))
-        }
-    };
+    Ok((n, inputs))
+}
+
+fn pattern_source(parsed: &Parsed, width: usize, seed: u64) -> Result<PatternSource, CliError> {
+    match parsed.get("patterns").unwrap_or("random") {
+        "random" => Ok(PatternSource::random(width, seed)?),
+        "counting" => Ok(PatternSource::counting(width.min(64), 0)?),
+        other => Err(CliError(format!(
+            "unknown pattern kind `{other}` (random, counting)"
+        ))),
+    }
+}
+
+/// Event-driven simulation of a demo circuit under a pattern stream,
+/// reporting settle statistics and extracted switching activity. The
+/// instrumentation showcase: with `--metrics-json` the simulator's
+/// internal counters (`sim.events.processed`, `sim.settle.iterations`,
+/// `sim.heap.pushes`, per-net transitions) and per-stage spans land in
+/// the metrics report.
+fn sim(parsed: &Parsed) -> Result<String, CliError> {
+    let metrics = Metrics::from_args(parsed)?;
+    let circuit = parsed.get("circuit").unwrap_or("adder8");
+    let cycles = parsed.get_u64("cycles")?.unwrap_or(256) as usize;
+    let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let (n, inputs) = build_circuit(circuit)?;
+    let mut source = pattern_source(parsed, inputs.len(), seed)?;
+    let mut sim = Simulator::new(&n);
+    sim.set_recorder(metrics.recorder());
+    let warmup = (cycles / 10).max(4);
+    let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup)?;
+    let out = format!(
+        "circuit: {circuit} ({} gates, {} nodes)\nsimulated {} cycles ({} warmup)\nmean alpha = {:.4}\nswitched capacitance = {:.1} fF/cycle\n",
+        n.gate_count(),
+        n.node_count(),
+        cycles,
+        warmup,
+        report.mean_transition_probability(),
+        report.switched_capacitance_per_cycle().to_femtofarads(),
+    );
+    metrics.finish(out)
+}
+
+fn activity(parsed: &Parsed) -> Result<String, CliError> {
+    let circuit = parsed.get("circuit").unwrap_or("adder8");
+    let cycles = parsed.get_u64("cycles")?.unwrap_or(520) as usize;
+    let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let (n, inputs) = build_circuit(circuit)?;
+    let mut source = pattern_source(parsed, inputs.len(), seed)?;
     let mut sim = Simulator::new(&n);
     let warmup = (cycles / 10).max(4);
     let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup)?;
@@ -343,6 +453,7 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     let vectors = parsed.get_u64("vectors")?.unwrap_or(32) as usize;
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
     let policy = exec_policy(parsed)?;
+    let metrics = Metrics::from_args(parsed)?;
     let targets = standard_targets(width)?;
     let mut out = format!(
         "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n\n",
@@ -360,7 +471,14 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     for (i, target) in targets.iter().enumerate() {
         let faults = stuck_at_universe(&target.netlist);
         let mut stimulus = PatternSource::random(target.inputs.len(), seed.wrapping_add(i as u64))?;
-        let report = run_campaign_with(&policy, target, &faults, &mut stimulus, vectors)?;
+        let report = run_campaign_recorded(
+            &policy,
+            metrics.recorder(),
+            target,
+            &faults,
+            &mut stimulus,
+            vectors,
+        )?;
         t.push_row([
             report.target.clone(),
             report.faults().to_string(),
@@ -372,7 +490,7 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
         ]);
     }
     out.push_str(&t.to_string());
-    Ok(out)
+    metrics.finish(out)
 }
 
 fn compare(parsed: &Parsed) -> Result<String, CliError> {
@@ -545,8 +663,9 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
         }
     };
 
+    let metrics = Metrics::from_args(parsed).map_err(CliFailure::Error)?;
     let deny_warnings = config.deny_warnings;
-    let reports = Linter::new(config).lint_all(&policy, &targets);
+    let reports = Linter::new(config).lint_all_recorded(&policy, metrics.recorder(), &targets);
     let failed = reports
         .iter()
         .filter(|r| !r.passes_gate(deny_warnings))
@@ -579,6 +698,7 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
         ));
         s
     };
+    let out = metrics.finish(out).map_err(CliFailure::Error)?;
     if failed > 0 {
         Err(CliFailure::Gate(out))
     } else {
@@ -711,6 +831,95 @@ mod tests {
         assert_eq!(serial, parallel, "thread count must not change results");
         let err = run(&["optimize", "--threads", "two"]).unwrap_err();
         assert!(err.0.contains("--threads"));
+    }
+
+    #[test]
+    fn sim_reports_activity_summary() {
+        let out = run(&["sim", "--circuit", "adder8", "--cycles", "64"]).unwrap();
+        assert!(out.contains("simulated 64 cycles"));
+        assert!(out.contains("mean alpha"));
+        let err = run(&["sim", "--circuit", "gpu"]).unwrap_err();
+        assert!(err.0.contains("gpu"));
+    }
+
+    #[test]
+    fn sim_metrics_json_on_stdout_is_complete_and_thread_invariant() {
+        let run_sim = |threads: &str| {
+            run(&[
+                "sim",
+                "--circuit",
+                "adder8",
+                "--cycles",
+                "64",
+                "--metrics-json",
+                "-",
+                "--threads",
+                threads,
+            ])
+            .unwrap()
+        };
+        let json = run_sim("1");
+        // The metrics JSON replaces the report and carries the ISSUE's
+        // headline metrics plus per-stage wall-clock spans.
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        for key in [
+            "\"sim.events.processed\"",
+            "\"sim.settle.iterations\"",
+            "\"sim.heap.pushes\"",
+            "\"sim.alpha.nodes\"",
+            "\"sim.settle\"",
+            "\"sim.measure_activity\"",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Byte-identical across thread counts once wall-clock fields are
+        // masked (the sim pipeline is single-threaded; counters are
+        // deterministic by construction).
+        let masked: Vec<String> = ["1", "2", "8"]
+            .iter()
+            .map(|t| lowvolt_obs::normalize_timings(&run_sim(t)))
+            .collect();
+        assert_eq!(masked[0], masked[1]);
+        assert_eq!(masked[0], masked[2]);
+    }
+
+    #[test]
+    fn campaign_metrics_json_writes_to_a_file() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign_metrics.json");
+        let out = run(&[
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "4",
+            "--metrics-json",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The normal report still goes to stdout; metrics land in the file.
+        assert!(out.contains("coverage"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"campaign.injections\""));
+        assert!(json.contains("\"campaign.run\""));
+        assert!(json.contains("\"exec.items\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_and_profile_accept_metrics_json() {
+        let json = run(&["lint", "--circuit", "adder", "--metrics-json", "-"]).unwrap();
+        assert!(json.contains("\"lint.passes\": 4"), "{json}");
+        assert!(json.contains("lint.pass.structural"), "{json}");
+
+        let json = run(&["profile", "--example", "fir", "--metrics-json", "-"]).unwrap();
+        assert!(json.contains("\"profile.instructions\""), "{json}");
+        assert!(json.contains("\"profile.run\""), "{json}");
+
+        let err = run(&["sim", "--metrics-json", "--cycles"]).unwrap_err();
+        assert!(err.0.contains("--metrics-json"), "{}", err.0);
     }
 
     #[test]

@@ -76,3 +76,29 @@ fn iv_through_the_binary() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("mV/dec"));
 }
+
+#[test]
+fn sim_metrics_json_through_the_binary() {
+    let out = lowvolt()
+        .args([
+            "sim",
+            "--circuit",
+            "alu8",
+            "--cycles",
+            "32",
+            "--metrics-json",
+            "-",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"sim.events.processed\""), "{stdout}");
+    assert!(stdout.contains("\"sim.settle.iterations\""), "{stdout}");
+    assert!(stdout.contains("\"wall_ms\""), "{stdout}");
+}

@@ -63,6 +63,51 @@ impl Table {
         }
         out
     }
+
+    /// Serialises as a JSON array of objects, one per row, keyed by the
+    /// column headers. Keys keep header order, cells stay strings, and
+    /// output is byte-deterministic — the golden-figure snapshot tests
+    /// compare this form verbatim.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(out: &mut String, s: &str) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut out = String::from("[\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (i, (h, cell)) in self.headers.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                esc(&mut out, h);
+                out.push_str(": ");
+                esc(&mut out, cell);
+            }
+            out.push('}');
+            if r + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
 }
 
 impl fmt::Display for Table {
@@ -142,6 +187,21 @@ mod tests {
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));
         assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn json_rows_are_keyed_by_headers() {
+        let mut t = Table::new(["name", "value"]);
+        t.push_row(["adder", "1.5"]);
+        t.push_row(["with \"quote\"", "a\nb"]);
+        let json = t.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("{\"name\": \"adder\", \"value\": \"1.5\"}"));
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("a\\nb"));
+        // Empty tables are a valid, empty array.
+        assert_eq!(Table::new(["a"]).to_json(), "[\n]\n");
     }
 
     #[test]

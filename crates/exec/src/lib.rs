@@ -25,6 +25,9 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use lowvolt_obs::{names, span, Recorder};
 
 /// Environment variable consulted by [`ExecPolicy::from_env`] for the
 /// worker-thread count. Unset, empty, `0`, or unparsable values fall
@@ -132,9 +135,49 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_recorded(policy, lowvolt_obs::noop(), items, f)
+}
+
+/// [`parallel_map`] with execution-engine metrics flushed to `rec`:
+/// `exec.regions` / `exec.items` / `exec.chunks` counters plus
+/// `exec.region`, `exec.worker` (per-worker busy time) and `exec.chunk`
+/// (per-chunk wall time) spans. With a disabled recorder this is
+/// byte-for-byte the uninstrumented engine — the clock is never read
+/// and no per-item work is added either way (counters flush once per
+/// chunk, not per item).
+///
+/// `exec.items` and `exec.regions` are thread-count invariant;
+/// `exec.chunks` deliberately is not (it reports how the pool actually
+/// carved the work).
+pub fn parallel_map_recorded<T, R, F>(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    items: &[T],
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let enabled = rec.is_enabled();
+    if enabled {
+        rec.add(names::EXEC_REGIONS, 1);
+        rec.add(names::EXEC_ITEMS, items.len() as u64);
+    }
+    let region = span(rec, names::SPAN_EXEC_REGION);
     let workers = policy.threads().min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if enabled && !items.is_empty() {
+            rec.add(names::EXEC_CHUNKS, 1);
+        }
+        let worker = span(rec, names::SPAN_EXEC_WORKER);
+        let chunk = span(rec, names::SPAN_EXEC_CHUNK);
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        drop(chunk);
+        drop(worker);
+        drop(region);
+        return out;
     }
     let chunk = chunk_size(items.len(), workers);
     let cursor = AtomicUsize::new(0);
@@ -148,11 +191,15 @@ where
                 // the slot lock once per chunk to deposit results at their
                 // input indices. The lock is held only for the copy-out, so
                 // contention stays negligible next to simulation work.
+                let worker_start = enabled.then(Instant::now);
+                let mut claimed: u64 = 0;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
                     }
+                    claimed += 1;
+                    let chunk_start = enabled.then(Instant::now);
                     let end = (start + chunk).min(items.len());
                     let local: Vec<R> = items[start..end]
                         .iter()
@@ -164,10 +211,22 @@ where
                             guard[start + off] = Some(r);
                         }
                     }
+                    if let Some(t0) = chunk_start {
+                        rec.record_nanos(names::SPAN_EXEC_CHUNK, elapsed_nanos(t0));
+                    }
+                }
+                if enabled {
+                    if claimed > 0 {
+                        rec.add(names::EXEC_CHUNKS, claimed);
+                    }
+                    if let Some(t0) = worker_start {
+                        rec.record_nanos(names::SPAN_EXEC_WORKER, elapsed_nanos(t0));
+                    }
                 }
             });
         }
     });
+    drop(region);
     // Every index in 0..len was claimed by exactly one worker and scope
     // exit joined them all, so every slot is filled; `flatten` cannot
     // drop anything here.
@@ -176,6 +235,10 @@ where
         Err(poisoned) => poisoned.into_inner(),
     };
     std::mem::take(filled).into_iter().flatten().collect()
+}
+
+fn elapsed_nanos(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// [`parallel_map`] for fallible work: applies `f` to every item and
@@ -271,6 +334,60 @@ mod tests {
         assert!(ExecPolicy::with_threads(0).threads() >= 1);
         assert!(ExecPolicy::max_parallel().threads() >= 1);
         assert!(ExecPolicy::default().threads() >= 1);
+    }
+
+    #[test]
+    fn recorded_map_counts_items_and_chunks() {
+        use lowvolt_obs::MetricsRegistry;
+        let items: Vec<usize> = (0..500).collect();
+        let reg = MetricsRegistry::new();
+        let out = parallel_map_recorded(&ExecPolicy::with_threads(4), &reg, &items, |_, &x| x + 1);
+        assert_eq!(out.len(), 500);
+        assert_eq!(reg.counter(names::EXEC_ITEMS), 500);
+        assert_eq!(reg.counter(names::EXEC_REGIONS), 1);
+        assert!(
+            reg.counter(names::EXEC_CHUNKS) >= 4,
+            "multiple chunks claimed"
+        );
+        let snap = reg.snapshot();
+        assert!(snap.span(names::SPAN_EXEC_REGION).is_some());
+        assert!(snap.span(names::SPAN_EXEC_WORKER).is_some());
+        assert_eq!(
+            snap.span(names::SPAN_EXEC_CHUNK).map(|s| s.count),
+            Some(reg.counter(names::EXEC_CHUNKS))
+        );
+    }
+
+    #[test]
+    fn recorded_map_serial_and_empty_inputs() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let items = [10u32, 20];
+        let out = parallel_map_recorded(&ExecPolicy::serial(), &reg, &items, |_, &x| x);
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(reg.counter(names::EXEC_ITEMS), 2);
+        assert_eq!(reg.counter(names::EXEC_CHUNKS), 1);
+        let none: Vec<u8> = Vec::new();
+        let out = parallel_map_recorded(&ExecPolicy::serial(), &reg, &none, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(reg.counter(names::EXEC_REGIONS), 2);
+        assert_eq!(
+            reg.counter(names::EXEC_CHUNKS),
+            1,
+            "empty region claims no chunk"
+        );
+    }
+
+    #[test]
+    fn recorded_and_plain_map_agree() {
+        use lowvolt_obs::MetricsRegistry;
+        let items: Vec<u64> = (0..257).collect();
+        let plain = parallel_map(&ExecPolicy::with_threads(3), &items, |i, &x| x * i as u64);
+        let reg = MetricsRegistry::new();
+        let rec = parallel_map_recorded(&ExecPolicy::with_threads(3), &reg, &items, |i, &x| {
+            x * i as u64
+        });
+        assert_eq!(plain, rec);
     }
 
     #[test]

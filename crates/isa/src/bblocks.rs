@@ -157,6 +157,18 @@ impl BlockProfile {
             .sum()
     }
 
+    /// Flushes `profile.blocks` — the number of distinct basic blocks
+    /// that executed at least once — into a metrics recorder. Call once
+    /// per finished profile; [`BlockProfile::record_pc`] stays
+    /// recorder-free.
+    pub fn flush_metrics(&self, rec: &dyn lowvolt_obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let observed = self.counts.iter().filter(|&&c| c > 0).count() as u64;
+        rec.add(lowvolt_obs::names::PROFILE_BLOCKS, observed);
+    }
+
     /// The hottest blocks by dynamic instruction count, descending.
     #[must_use]
     pub fn hottest(&self, top: usize) -> Vec<(BasicBlock, u64)> {
@@ -203,6 +215,24 @@ mod tests {
             cpu.step().expect("test program runs");
         }
         profile
+    }
+
+    #[test]
+    fn flush_metrics_counts_only_executed_blocks() {
+        use lowvolt_obs::{names, MetricsRegistry};
+
+        let profile = run_with_blocks(looped_program());
+        let reg = MetricsRegistry::new();
+        profile.flush_metrics(&reg);
+        let observed = profile.counts.iter().filter(|&&c| c > 0).count() as u64;
+        assert!(observed > 0);
+        assert_eq!(reg.counter(names::PROFILE_BLOCKS), observed);
+
+        // An un-run profile observes zero blocks.
+        let cold = BlockProfile::new(&looped_program());
+        let reg2 = MetricsRegistry::new();
+        cold.flush_metrics(&reg2);
+        assert_eq!(reg2.counter(names::PROFILE_BLOCKS), 0);
     }
 
     #[test]

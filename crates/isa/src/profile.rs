@@ -12,6 +12,7 @@ use std::fmt;
 
 use crate::blocks::{BlockMap, FunctionalUnit};
 use crate::inst::Inst;
+use lowvolt_obs::{names, Recorder};
 
 /// Streaming profiler fed by [`Cpu::run_profiled`](crate::cpu::Cpu::run_profiled).
 #[derive(Debug, Clone)]
@@ -88,6 +89,26 @@ impl Profiler {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Flushes the profiler's aggregate counters into a metrics recorder:
+    /// `profile.instructions`, the unit-use and unit-run sums behind the
+    /// `fga`/`bga` numerators, and one `profile.extractions.fga`/`.bga`
+    /// tick per functional unit the report extracts.
+    ///
+    /// The hot path ([`Profiler::record`]) never touches the recorder;
+    /// call this once per finished profile, next to
+    /// [`Profiler::report`].
+    pub fn flush_metrics(&self, rec: &dyn Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.add(names::PROFILE_INSTRUCTIONS, self.total);
+        rec.add(names::PROFILE_UNIT_USES, self.uses.iter().sum());
+        rec.add(names::PROFILE_UNIT_RUNS, self.runs.iter().sum());
+        let units = FunctionalUnit::ALL.len() as u64;
+        rec.add(names::PROFILE_EXTRACTIONS_FGA, units);
+        rec.add(names::PROFILE_EXTRACTIONS_BGA, units);
     }
 
     /// Finalises the counters into a report (the profiler can keep
@@ -294,6 +315,28 @@ mod tests {
         let r = p.report();
         assert_eq!(r.per_mnemonic[0], ("add".to_string(), 3));
         assert_eq!(r.per_mnemonic[1], ("sll".to_string(), 1));
+    }
+
+    #[test]
+    fn flush_metrics_reports_totals_and_extraction_counts() {
+        use lowvolt_obs::MetricsRegistry;
+
+        let mut p = Profiler::standard();
+        for inst in [add(), add(), nop(), shift(), add()] {
+            p.record(&inst);
+        }
+        let reg = MetricsRegistry::new();
+        p.flush_metrics(&reg);
+        assert_eq!(reg.counter(names::PROFILE_INSTRUCTIONS), 5);
+        assert_eq!(reg.counter(names::PROFILE_UNIT_USES), 4);
+        // Adder runs: AA.-A → 2; shifter runs: 1.
+        assert_eq!(reg.counter(names::PROFILE_UNIT_RUNS), 3);
+        assert_eq!(reg.counter(names::PROFILE_EXTRACTIONS_FGA), 3);
+        assert_eq!(reg.counter(names::PROFILE_EXTRACTIONS_BGA), 3);
+
+        // Disabled recorders stay untouched (and cost no flush work).
+        p.flush_metrics(lowvolt_obs::noop());
+        assert_eq!(reg.counter(names::PROFILE_INSTRUCTIONS), 5);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use std::cmp::Reverse;
 
-use lowvolt_exec::{parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_recorded, ExecPolicy};
+use lowvolt_obs::{names, span, Recorder};
 
 use crate::config::LintConfig;
 use crate::diagnostic::{Diagnostic, LintReport, Pass, Severity};
@@ -43,9 +44,30 @@ impl Linter {
     /// sort is total.
     #[must_use]
     pub fn lint_with(&self, policy: &ExecPolicy, target: &LintTarget) -> LintReport {
-        let per_pass: Vec<Vec<Diagnostic>> = parallel_map(policy, &Pass::ALL, |_, &pass| {
-            run_pass(pass, target, &self.config)
-        });
+        self.lint_recorded(policy, lowvolt_obs::noop(), target)
+    }
+
+    /// [`Linter::lint_with`] with lint metrics flushed to `rec`: one
+    /// `lint.pass.<name>` span per pass family, plus the `lint.targets`,
+    /// `lint.passes`, and `lint.diagnostics` counters (diagnostics are
+    /// counted after allow/deny filtering, matching what the report
+    /// carries). Counter totals are thread-invariant; only span
+    /// durations vary.
+    #[must_use]
+    pub fn lint_recorded(
+        &self,
+        policy: &ExecPolicy,
+        rec: &dyn Recorder,
+        target: &LintTarget,
+    ) -> LintReport {
+        let per_pass: Vec<Vec<Diagnostic>> =
+            parallel_map_recorded(policy, rec, &Pass::ALL, |_, &pass| {
+                let _timer = span(
+                    rec,
+                    format!("{}.{}", names::SPAN_LINT_PASS_PREFIX, pass.name()),
+                );
+                run_pass(pass, target, &self.config)
+            });
         let mut diagnostics: Vec<Diagnostic> = per_pass
             .into_iter()
             .flatten()
@@ -65,6 +87,11 @@ impl Linter {
                 &b.message,
             ))
         });
+        if rec.is_enabled() {
+            rec.add(names::LINT_TARGETS, 1);
+            rec.add(names::LINT_PASSES, Pass::ALL.len() as u64);
+            rec.add(names::LINT_DIAGNOSTICS, diagnostics.len() as u64);
+        }
         LintReport {
             target: target.name.clone(),
             diagnostics,
@@ -76,8 +103,21 @@ impl Linter {
     /// the policy's workers).
     #[must_use]
     pub fn lint_all(&self, policy: &ExecPolicy, targets: &[LintTarget]) -> Vec<LintReport> {
-        parallel_map(policy, targets, |_, t| {
-            self.lint_with(&ExecPolicy::serial(), t)
+        self.lint_all_recorded(policy, lowvolt_obs::noop(), targets)
+    }
+
+    /// [`Linter::lint_all`] with metrics: the outer target fan-out goes
+    /// through the recorded execution engine and every inner
+    /// (serial-policy) lint run flushes its own pass spans and counters.
+    #[must_use]
+    pub fn lint_all_recorded(
+        &self,
+        policy: &ExecPolicy,
+        rec: &dyn Recorder,
+        targets: &[LintTarget],
+    ) -> Vec<LintReport> {
+        parallel_map_recorded(policy, rec, targets, |_, t| {
+            self.lint_recorded(&ExecPolicy::serial(), rec, t)
         })
     }
 }

@@ -208,3 +208,52 @@ fn lint_all_covers_every_target_in_order() {
         assert!(r.is_clean(), "{r}");
     }
 }
+
+#[test]
+fn recorded_lint_flushes_counters_and_pass_spans() {
+    use lowvolt_obs::{names, MetricsRegistry};
+
+    let target = seeded_defect(Defect::IncompleteSleep).expect("fixture");
+    let linter = Linter::with_defaults();
+
+    let run = |threads: usize| {
+        let reg = MetricsRegistry::new();
+        let report = linter.lint_recorded(&ExecPolicy::with_threads(threads), &reg, &target);
+        (reg.snapshot(), report)
+    };
+
+    let (snap, report) = run(1);
+    assert_eq!(snap.counter(names::LINT_TARGETS), 1);
+    assert_eq!(snap.counter(names::LINT_PASSES), 4);
+    assert_eq!(
+        snap.counter(names::LINT_DIAGNOSTICS),
+        report.diagnostics.len() as u64
+    );
+    for pass in ["structural", "x-reachability", "power-intent", "leakage"] {
+        let name = format!("{}.{pass}", names::SPAN_LINT_PASS_PREFIX);
+        assert!(snap.span(&name).is_some(), "missing span {name}");
+    }
+
+    // Counter totals are thread-invariant (exec.chunks excepted).
+    let (snap4, _) = run(4);
+    for &name in names::COUNTERS {
+        if name == names::EXEC_CHUNKS {
+            continue;
+        }
+        assert_eq!(snap.counter(name), snap4.counter(name), "counter {name}");
+    }
+}
+
+#[test]
+fn recorded_lint_all_covers_every_target() {
+    use lowvolt_obs::{names, MetricsRegistry};
+
+    let targets = standard_lint_targets(4).expect("targets");
+    let reg = MetricsRegistry::new();
+    let reports =
+        Linter::with_defaults().lint_all_recorded(&ExecPolicy::with_threads(2), &reg, &targets);
+    assert_eq!(reports.len(), targets.len());
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter(names::LINT_TARGETS), targets.len() as u64);
+    assert_eq!(snap.counter(names::LINT_PASSES), (4 * targets.len()) as u64);
+}

@@ -1,0 +1,191 @@
+//! The stable metric-name catalog.
+//!
+//! Naming convention: `subsystem.noun[.qualifier]`, all lowercase,
+//! dot-separated, no runtime formatting for counters. Every counter a
+//! recorder can be asked to bump appears in [`COUNTERS`], which is kept
+//! sorted so lookups are a binary search and the JSON report's key order
+//! is the catalog order. Span (timer) names are free-form dotted strings
+//! but the fixed ones used by the toolkit are also declared here so CLI
+//! output and `BENCH_sim.json` cannot drift apart.
+
+/// Events popped and applied by the gate-level event simulator.
+pub const SIM_EVENTS_PROCESSED: &str = "sim.events.processed";
+/// Events pushed onto the simulator's binary heap (including those later
+/// superseded by same-tick coalescing).
+pub const SIM_HEAP_PUSHES: &str = "sim.heap.pushes";
+/// Calls into the simulator's settle loop (one per input vector applied).
+pub const SIM_SETTLE_ITERATIONS: &str = "sim.settle.iterations";
+/// Oscillation-watchdog state fingerprints taken during settling.
+pub const SIM_WATCHDOG_FINGERPRINTS: &str = "sim.watchdog.fingerprints";
+/// Internal nodes contributing to an extracted activity (`α`) report.
+pub const SIM_ALPHA_NODES: &str = "sim.alpha.nodes";
+/// Rising transitions counted across all nets during activity extraction.
+pub const SIM_TRANSITIONS_RISING: &str = "sim.transitions.rising";
+/// Falling transitions counted across all nets during activity extraction.
+pub const SIM_TRANSITIONS_FALLING: &str = "sim.transitions.falling";
+
+/// Settle invocations of the switch-level simulator.
+pub const SWITCH_SETTLES: &str = "switch.settles";
+/// Gauss–Seidel relaxation passes across all switch-level settles.
+pub const SWITCH_RELAX_PASSES: &str = "switch.relax.passes";
+/// Node value transitions observed by the switch-level simulator.
+pub const SWITCH_TRANSITIONS: &str = "switch.transitions";
+
+/// Fault-campaign targets run.
+pub const CAMPAIGN_TARGETS: &str = "campaign.targets";
+/// Faults injected across all campaign targets.
+pub const CAMPAIGN_INJECTIONS: &str = "campaign.injections";
+/// Stimulus-vector applications summed over all faulted runs
+/// (`vectors x injections` per campaign).
+pub const CAMPAIGN_VECTORS: &str = "campaign.vectors";
+/// Injections classified `Detected`.
+pub const CAMPAIGN_DETECTED: &str = "campaign.detected";
+/// Injections classified `Corrupted`.
+pub const CAMPAIGN_CORRUPTED: &str = "campaign.corrupted";
+/// Injections classified `PropagatedAsX`.
+pub const CAMPAIGN_PROPAGATED_X: &str = "campaign.propagated_x";
+/// Injections classified `Masked`.
+pub const CAMPAIGN_MASKED: &str = "campaign.masked";
+
+/// Work items submitted to `parallel_map` regions.
+pub const EXEC_ITEMS: &str = "exec.items";
+/// Chunks claimed from the work-pool cursor (varies with thread count —
+/// the one deliberately thread-dependent counter in the catalog).
+pub const EXEC_CHUNKS: &str = "exec.chunks";
+/// Parallel regions entered.
+pub const EXEC_REGIONS: &str = "exec.regions";
+
+/// Lint targets analysed.
+pub const LINT_TARGETS: &str = "lint.targets";
+/// Lint passes executed (four per target).
+pub const LINT_PASSES: &str = "lint.passes";
+/// Diagnostics emitted after allow/deny filtering.
+pub const LINT_DIAGNOSTICS: &str = "lint.diagnostics";
+
+/// Instructions recorded by the ISA profiler.
+pub const PROFILE_INSTRUCTIONS: &str = "profile.instructions";
+/// Functional-unit uses summed over all units (the `fga` numerator).
+pub const PROFILE_UNIT_USES: &str = "profile.unit.uses";
+/// Functional-unit runs summed over all units (the `bga` numerator).
+pub const PROFILE_UNIT_RUNS: &str = "profile.unit.runs";
+/// `fga` values extracted (one per functional unit per report).
+pub const PROFILE_EXTRACTIONS_FGA: &str = "profile.extractions.fga";
+/// `bga` values extracted (one per functional unit per report).
+pub const PROFILE_EXTRACTIONS_BGA: &str = "profile.extractions.bga";
+/// Basic blocks observed by block-level profiling.
+pub const PROFILE_BLOCKS: &str = "profile.blocks";
+
+/// Every counter the registry stores, **sorted**. The JSON report emits
+/// exactly this set in exactly this order; [`counter_index`] binary
+/// searches it.
+pub const COUNTERS: &[&str] = &[
+    CAMPAIGN_CORRUPTED,
+    CAMPAIGN_DETECTED,
+    CAMPAIGN_INJECTIONS,
+    CAMPAIGN_MASKED,
+    CAMPAIGN_PROPAGATED_X,
+    CAMPAIGN_TARGETS,
+    CAMPAIGN_VECTORS,
+    EXEC_CHUNKS,
+    EXEC_ITEMS,
+    EXEC_REGIONS,
+    LINT_DIAGNOSTICS,
+    LINT_PASSES,
+    LINT_TARGETS,
+    PROFILE_BLOCKS,
+    PROFILE_EXTRACTIONS_BGA,
+    PROFILE_EXTRACTIONS_FGA,
+    PROFILE_INSTRUCTIONS,
+    PROFILE_UNIT_RUNS,
+    PROFILE_UNIT_USES,
+    SIM_ALPHA_NODES,
+    SIM_EVENTS_PROCESSED,
+    SIM_HEAP_PUSHES,
+    SIM_SETTLE_ITERATIONS,
+    SIM_TRANSITIONS_FALLING,
+    SIM_TRANSITIONS_RISING,
+    SIM_WATCHDOG_FINGERPRINTS,
+    SWITCH_RELAX_PASSES,
+    SWITCH_SETTLES,
+    SWITCH_TRANSITIONS,
+];
+
+/// Catalog position of `name`, or `None` for names outside the catalog.
+#[must_use]
+pub fn counter_index(name: &str) -> Option<usize> {
+    COUNTERS.binary_search(&name).ok()
+}
+
+/// Span name for one gate-level settle (one input vector to quiescence).
+pub const SPAN_SIM_SETTLE: &str = "sim.settle";
+/// Span name for a full activity-extraction run.
+pub const SPAN_SIM_MEASURE_ACTIVITY: &str = "sim.measure_activity";
+/// Span name for one switch-level settle.
+pub const SPAN_SWITCH_SETTLE: &str = "switch.settle";
+/// Span name for one fault-campaign target.
+pub const SPAN_CAMPAIGN_RUN: &str = "campaign.run";
+/// Span name for a whole `parallel_map` region (serial or parallel).
+pub const SPAN_EXEC_REGION: &str = "exec.region";
+/// Span name accumulating each worker's busy time inside a region;
+/// `Σ exec.worker / (threads × exec.region)` is the thread utilization.
+pub const SPAN_EXEC_WORKER: &str = "exec.worker";
+/// Span name accumulating per-chunk wall time inside a region.
+pub const SPAN_EXEC_CHUNK: &str = "exec.chunk";
+/// Prefix for per-pass lint spans: `lint.pass.<pass name>`.
+pub const SPAN_LINT_PASS_PREFIX: &str = "lint.pass";
+/// Span name for one profiled program execution.
+pub const SPAN_PROFILE_RUN: &str = "profile.run";
+
+/// `perf` stage: fault campaign over the standard targets.
+pub const STAGE_CAMPAIGN: &str = "campaign";
+/// `perf` stage: figure-table regeneration sweep.
+pub const STAGE_REGEN: &str = "regen";
+/// `perf` stage: design-space optimization sweep.
+pub const STAGE_OPTIMIZE: &str = "optimize";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        for w in COUNTERS.windows(2) {
+            assert!(w[0] < w[1], "catalog must be sorted: {} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn counter_index_finds_every_catalog_entry() {
+        for (i, name) in COUNTERS.iter().enumerate() {
+            assert_eq!(counter_index(name), Some(i));
+        }
+        assert_eq!(counter_index("no.such.metric"), None);
+    }
+
+    #[test]
+    fn names_follow_the_dotted_lowercase_convention() {
+        for name in COUNTERS {
+            assert!(name.contains('.'), "{name}: needs a subsystem prefix");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "{name}: lowercase dotted only"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn issue_required_metrics_are_present() {
+        // The metrics the CLI acceptance gate greps for.
+        for required in [
+            "sim.events.processed",
+            "sim.heap.pushes",
+            "sim.settle.iterations",
+            "sim.watchdog.fingerprints",
+            "sim.alpha.nodes",
+        ] {
+            assert!(counter_index(required).is_some(), "{required}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The live recorder: lock-free counters over the static catalog plus a
+//! mutex-guarded timer map (touched once per completed span, never per
+//! event).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::names;
+use crate::report::{MetricsReport, SpanStat};
+use crate::Recorder;
+
+/// Number of power-of-two histogram buckets a [`TimerStat`] keeps.
+/// Bucket `i` counts durations in `[2^i, 2^(i+1))` nanoseconds; bucket
+/// 47 (~1.6 days) absorbs everything longer.
+pub const TIMER_BUCKETS: usize = 48;
+
+/// Aggregated durations for one span name: count, total, min/max, and a
+/// log₂ histogram. Everything is in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct TimerStat {
+    /// Completed spans recorded under this name.
+    pub count: u64,
+    /// Sum of all recorded durations.
+    pub total_nanos: u64,
+    /// Shortest recorded duration.
+    pub min_nanos: u64,
+    /// Longest recorded duration.
+    pub max_nanos: u64,
+    buckets: [u64; TIMER_BUCKETS],
+}
+
+impl Default for TimerStat {
+    fn default() -> TimerStat {
+        TimerStat {
+            count: 0,
+            total_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+            buckets: [0; TIMER_BUCKETS],
+        }
+    }
+}
+
+impl TimerStat {
+    fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        let bucket = (64 - u64::leading_zeros(nanos | 1) - 1) as usize;
+        self.buckets[bucket.min(TIMER_BUCKETS - 1)] += 1;
+    }
+
+    /// Mean duration in nanoseconds (0 for an empty stat).
+    #[must_use]
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The log₂ histogram: `buckets()[i]` counts durations in
+    /// `[2^i, 2^(i+1))` ns.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; TIMER_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// The enabled [`Recorder`]: counter adds are relaxed atomic increments
+/// into a fixed slot array indexed by the sorted [`names::COUNTERS`]
+/// catalog (no allocation, no lock); span durations take one short mutex
+/// section per *completed span*, which instrumented code only produces
+/// at coarse boundaries.
+///
+/// Counter totals are deterministic under any thread interleaving
+/// because addition commutes; span counts likewise. Only the recorded
+/// durations themselves are wall-clock dependent.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<AtomicU64>,
+    timers: Mutex<BTreeMap<String, TimerStat>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry covering the full counter catalog.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        let mut counters = Vec::with_capacity(names::COUNTERS.len());
+        counters.resize_with(names::COUNTERS.len(), AtomicU64::default);
+        MetricsRegistry {
+            counters,
+            timers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Current value of the counter named `name` (0 for names outside
+    /// the catalog).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        names::counter_index(name).map_or(0, |i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Snapshots every counter and timer into an immutable report.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsReport {
+        let counters = names::COUNTERS
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, self.counters[i].load(Ordering::Relaxed)))
+            .collect();
+        let spans = match self.timers.lock() {
+            Ok(guard) => guard
+                .iter()
+                .map(|(name, stat)| SpanStat {
+                    name: name.clone(),
+                    count: stat.count,
+                    total_nanos: stat.total_nanos,
+                    min_nanos: if stat.count == 0 { 0 } else { stat.min_nanos },
+                    max_nanos: stat.max_nanos,
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        MetricsReport { counters, spans }
+    }
+
+    /// Full aggregated stats (including the histogram) for one span
+    /// name, if any span completed under it.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Option<TimerStat> {
+        match self.timers.lock() {
+            Ok(guard) => guard.get(name).cloned(),
+            Err(_) => None,
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        if let Some(i) = names::counter_index(counter) {
+            self.counters[i].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn record_nanos(&self, name: &str, nanos: u64) {
+        if let Ok(mut guard) = self.timers.lock() {
+            match guard.get_mut(name) {
+                Some(stat) => stat.record(nanos),
+                None => {
+                    let mut stat = TimerStat::default();
+                    stat.record(nanos);
+                    guard.insert(name.to_string(), stat);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_unknown_names_are_ignored() {
+        let reg = MetricsRegistry::new();
+        reg.add(names::SIM_EVENTS_PROCESSED, 5);
+        reg.add(names::SIM_EVENTS_PROCESSED, 7);
+        assert_eq!(reg.counter(names::SIM_EVENTS_PROCESSED), 12);
+        assert_eq!(reg.counter("bogus.metric"), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add(names::EXEC_ITEMS, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter(names::EXEC_ITEMS), 8000);
+    }
+
+    #[test]
+    fn timer_stat_tracks_count_total_min_max() {
+        let reg = MetricsRegistry::new();
+        reg.record_nanos("t", 100);
+        reg.record_nanos("t", 300);
+        let stat = reg.timer("t").expect("recorded");
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_nanos, 400);
+        assert_eq!(stat.min_nanos, 100);
+        assert_eq!(stat.max_nanos, 300);
+        assert_eq!(stat.mean_nanos(), 200);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut stat = TimerStat::default();
+        stat.record(1); // bucket 0: [1, 2)
+        stat.record(2); // bucket 1: [2, 4)
+        stat.record(3); // bucket 1
+        stat.record(1024); // bucket 10
+        assert_eq!(stat.buckets()[0], 1);
+        assert_eq!(stat.buckets()[1], 2);
+        assert_eq!(stat.buckets()[10], 1);
+        assert_eq!(stat.count, 4);
+        // Zero lands in the lowest bucket, the max duration in the top.
+        stat.record(0);
+        stat.record(u64::MAX);
+        assert_eq!(stat.buckets()[0], 2);
+        assert_eq!(stat.buckets()[TIMER_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn snapshot_covers_the_whole_catalog() {
+        let reg = MetricsRegistry::new();
+        reg.add(names::LINT_DIAGNOSTICS, 3);
+        let rep = reg.snapshot();
+        assert_eq!(rep.counters().len(), names::COUNTERS.len());
+        assert_eq!(rep.counter(names::LINT_DIAGNOSTICS), 3);
+        assert_eq!(rep.counter(names::SIM_HEAP_PUSHES), 0);
+    }
+
+    #[test]
+    fn snapshot_spans_are_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.record_nanos("z.last", 1);
+        reg.record_nanos("a.first", 1);
+        reg.record_nanos("m.mid", 1);
+        let rep = reg.snapshot();
+        let order: Vec<&str> = rep.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(order, vec!["a.first", "m.mid", "z.last"]);
+    }
+}

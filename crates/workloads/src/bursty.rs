@@ -14,6 +14,7 @@ use lowvolt_isa::asm::assemble;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::inst::Inst;
 use lowvolt_isa::profile::{ProfileReport, Profiler};
+use lowvolt_obs::{names, span, Recorder};
 
 /// Parameters of a bursty execution run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +70,26 @@ pub fn profile_bursty(
     budget: u64,
     hysteresis: u64,
 ) -> Result<ProfileReport, String> {
+    profile_bursty_recorded(source, schedule, budget, hysteresis, lowvolt_obs::noop())
+}
+
+/// [`profile_bursty`] with profiler metrics flushed to `rec`: the whole
+/// run is timed under a `profile.run` span and the finished profiler's
+/// aggregate counters (`profile.instructions`, unit uses/runs, and the
+/// `fga`/`bga` extraction ticks) are flushed once at the end — the
+/// per-instruction hot loop never touches the recorder.
+///
+/// # Errors
+///
+/// Exactly the [`profile_bursty`] contract.
+pub fn profile_bursty_recorded(
+    source: &str,
+    schedule: BurstSchedule,
+    budget: u64,
+    hysteresis: u64,
+    rec: &dyn Recorder,
+) -> Result<ProfileReport, String> {
+    let _timer = span(rec, names::SPAN_PROFILE_RUN);
     let program = assemble(source).map_err(|e| e.to_string())?;
     let mut cpu = Cpu::new(program);
     let mut profiler = Profiler::standard().with_hysteresis(hysteresis);
@@ -93,6 +114,7 @@ pub fn profile_bursty(
             None => break,
         }
     }
+    profiler.flush_metrics(rec);
     Ok(profiler.report())
 }
 
@@ -121,6 +143,30 @@ mod tests {
         assert!(BurstSchedule::with_duty(100, 0.0).is_err());
         assert!(BurstSchedule::with_duty(100, 1.5).is_err());
         assert!(BurstSchedule::with_duty(100, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn recorded_bursty_profile_flushes_metrics() {
+        use lowvolt_obs::{names, MetricsRegistry};
+
+        let src = idea::program(4);
+        let reg = MetricsRegistry::new();
+        let report = profile_bursty_recorded(
+            &src,
+            BurstSchedule::with_duty(100, 0.5).unwrap(),
+            50_000_000,
+            1,
+            &reg,
+        )
+        .expect("runs");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(names::PROFILE_INSTRUCTIONS), report.total);
+        assert!(snap.counter(names::PROFILE_UNIT_USES) > 0);
+        assert_eq!(snap.counter(names::PROFILE_EXTRACTIONS_FGA), 3);
+        let run = snap
+            .span(names::SPAN_PROFILE_RUN)
+            .expect("profile.run span");
+        assert_eq!(run.count, 1);
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   campaigns, the experiment harness, and the design-space sweeps,
 //! - [`lint`] — static netlist and power-intent analysis (structural
 //!   DRC, X-reachability, MTCMOS/body-bias checks, leakage budgets)
-//!   that catches low-voltage design errors before any simulation.
+//!   that catches low-voltage design errors before any simulation,
+//! - [`obs`] — zero-dependency observability: lock-free counters and
+//!   span timers behind a [`obs::Recorder`] trait (no-op by default),
+//!   the stable metric-name catalog, and the JSON metrics report the
+//!   CLI's `--metrics-json` emits.
 //!
 //! # Quickstart
 //!
@@ -55,4 +59,5 @@ pub use lowvolt_device as device;
 pub use lowvolt_exec as exec;
 pub use lowvolt_isa as isa;
 pub use lowvolt_lint as lint;
+pub use lowvolt_obs as obs;
 pub use lowvolt_workloads as workloads;

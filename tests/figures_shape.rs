@@ -202,3 +202,50 @@ fn fig10_shape_savings_ordering() {
     assert!(savings[2] > 0.9, "multiplier saving {:.2}", savings[2]);
     assert!(savings[0] < 0.6, "adder saving {:.2}", savings[0]);
 }
+
+// ---------------------------------------------------------------------------
+// Golden snapshots: Fig. 3 and Fig. 4 as canonical JSON, compared byte for
+// byte. The models are deterministic and the formatting fixed-width, so any
+// diff is a real behaviour change. Regenerate with LOWVOLT_BLESS=1 after
+// verifying the new numbers are intended.
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("LOWVOLT_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}; run with LOWVOLT_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden {name} drifted — if the change is intended, regenerate with LOWVOLT_BLESS=1"
+    );
+}
+
+#[test]
+fn fig3_golden_json_reproduces_byte_for_byte() {
+    let json = lowvolt_bench::experiments::fig3::series()
+        .expect("series evaluates")
+        .to_json();
+    assert_matches_golden("fig3.json", &json);
+}
+
+#[test]
+fn fig4_golden_json_reproduces_byte_for_byte() {
+    // The 1 MHz curve — the paper's headline U-shape.
+    let json = lowvolt_bench::experiments::fig4::series(Seconds(1e-6))
+        .expect("series evaluates")
+        .to_json();
+    assert_matches_golden("fig4.json", &json);
+}
