@@ -16,7 +16,7 @@ use lowvolt_core::energy::BurstEnergyModel;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Volts};
-use lowvolt_exec::{parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_isolated, ExecPolicy, FaultPolicy, ItemStatus};
 use std::fmt;
 
 /// An experiment failed to produce its output: carries the message
@@ -226,13 +226,27 @@ pub fn all_experiments() -> Vec<Experiment> {
 /// Runs `selected` experiments under `policy`, one experiment per work
 /// item, returning each experiment's output (or failure) **at its input
 /// index** — callers print the results in order, so the emitted text is
-/// identical whatever the thread count.
+/// identical whatever the thread count. Each experiment runs under
+/// panic isolation: a panicking experiment becomes a [`BenchError`] at
+/// its slot while every other experiment still completes.
 #[must_use]
 pub fn run_experiments_with(
     policy: &ExecPolicy,
     selected: &[Experiment],
 ) -> Vec<Result<String, BenchError>> {
-    parallel_map(policy, selected, |_, e| (e.run)())
+    parallel_map_isolated(
+        policy,
+        &FaultPolicy::default(),
+        lowvolt_obs::noop(),
+        selected,
+        |_, e, _| ItemStatus::Done((e.run)()),
+    )
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(result) => result,
+        Err(e) => Err(BenchError(e.to_string())),
+    })
+    .collect()
 }
 
 /// The shared Fig. 10-style operating point: 1 V supply, 1 MHz clock,

@@ -105,6 +105,15 @@ pub enum CircuitError {
         /// Name of the kind that cannot be lowered.
         kind: &'static str,
     },
+    /// Settling was abandoned because the run's cooperative cancellation
+    /// token fired (per-item deadline exceeded or cancelled by the
+    /// caller) — a scheduling decision by the fault-tolerant execution
+    /// layer, not a property of the circuit.
+    Cancelled {
+        /// Progress made before cancellation was observed: events
+        /// applied at gate level, relaxation passes at switch level.
+        after_events: usize,
+    },
     /// An internal invariant broke. Reaching this indicates a bug in the
     /// simulator, not in the caller's circuit; it is still reported as a
     /// typed error so library paths never panic.
@@ -179,6 +188,11 @@ impl fmt::Display for CircuitError {
                 f,
                 "gate kind {kind} has no switch-level lowering (combinational kinds only; \
                  build sequential cells from the switch-register library)"
+            ),
+            CircuitError::Cancelled { after_events } => write!(
+                f,
+                "simulation cancelled by its deadline/cancellation token after {after_events} \
+                 events or passes"
             ),
             CircuitError::Internal { detail } => {
                 write!(f, "internal simulator invariant violated: {detail}")

@@ -20,7 +20,10 @@ use crate::netlist::{Netlist, NodeId};
 use crate::sim::Simulator;
 use crate::stimulus::PatternSource;
 use crate::switchlevel::{SwNodeId, SwitchNetlist, SwitchSim};
-use lowvolt_exec::{parallel_map_recorded, ExecPolicy};
+use lowvolt_exec::{
+    fnv64, parallel_map_isolated, parallel_map_recorded, run_checkpointed, ByteCache, CacheKey,
+    CancelToken, CheckpointSpec, ExecError, ExecPolicy, FaultPolicy, ItemStatus,
+};
 use lowvolt_obs::{names, span, Recorder};
 
 /// A structural fault injected into a gate-level simulation.
@@ -111,6 +114,12 @@ pub enum FaultOutcome {
     PropagatedAsX,
     /// Every observed output matched the golden run exactly.
     Masked,
+    /// The injection's simulation itself failed at the execution layer —
+    /// it panicked on every attempt or exhausted its per-item deadline —
+    /// so no classification exists. Only the resilient runner produces
+    /// this; the classic runner would have aborted (panic) or waited
+    /// forever instead.
+    Errored(ExecError),
 }
 
 impl FaultOutcome {
@@ -122,6 +131,7 @@ impl FaultOutcome {
             FaultOutcome::Corrupted => "corrupted",
             FaultOutcome::PropagatedAsX => "propagated-as-X",
             FaultOutcome::Masked => "masked",
+            FaultOutcome::Errored(_) => "errored",
         }
     }
 }
@@ -205,6 +215,14 @@ impl CampaignReport {
         self.count("masked")
     }
 
+    /// Injections whose simulation failed at the execution layer
+    /// (panicked every attempt or timed out); zero outside the
+    /// resilient runner.
+    #[must_use]
+    pub fn errored(&self) -> usize {
+        self.count("errored")
+    }
+
     /// Fraction of faults that were observable (anything but masked);
     /// the campaign's coverage figure.
     #[must_use]
@@ -225,7 +243,7 @@ impl std::fmt::Display for CampaignReport {
             self.faults(),
             self.vectors
         )?;
-        writeln!(
+        write!(
             f,
             "  detected {:4}  corrupted {:4}  propagated-as-X {:4}  masked {:4}  coverage {:.1}%",
             self.detected(),
@@ -233,7 +251,11 @@ impl std::fmt::Display for CampaignReport {
             self.propagated_as_x(),
             self.masked(),
             self.coverage() * 100.0
-        )
+        )?;
+        if self.errored() > 0 {
+            write!(f, "  errored {:4}", self.errored())?;
+        }
+        writeln!(f)
     }
 }
 
@@ -321,15 +343,19 @@ fn install_fault(sim: &mut Simulator<'_>, fault: &GateFault) -> Result<(), Circu
 }
 
 /// Runs the target over `vectors`, returning the output trace, or the
-/// first typed simulation error.
+/// first typed simulation error. The cancellation token is polled by
+/// the simulator's watchdog loop; pass [`CancelToken::never`] for an
+/// uncancellable run.
 fn run_trace(
     target: &FaultTarget,
     vectors: &[Vec<Bit>],
     fault: Option<&GateFault>,
     rec: &dyn Recorder,
+    cancel: &CancelToken,
 ) -> Result<Vec<Vec<Bit>>, CircuitError> {
     let mut sim = Simulator::new(&target.netlist);
     sim.set_recorder(rec);
+    sim.set_cancel_token(cancel);
     if let Some(f) = fault {
         install_fault(&mut sim, f)?;
     }
@@ -463,10 +489,10 @@ pub fn run_campaign_recorded(
     // workers share the prebuilt adjacency read-only.
     let golden = {
         let _golden_timer = timer.child("golden");
-        run_trace(target, &vecs, None, rec)?
+        run_trace(target, &vecs, None, rec, CancelToken::never())?
     };
     let reports = parallel_map_recorded(policy, rec, faults, |_, fault| {
-        let outcome = match run_trace(target, &vecs, Some(fault), rec) {
+        let outcome = match run_trace(target, &vecs, Some(fault), rec, CancelToken::never()) {
             Ok(trace) => classify(&golden, &trace),
             Err(err) => FaultOutcome::Detected(err),
         };
@@ -494,6 +520,273 @@ pub fn run_campaign_recorded(
         rec.add(names::CAMPAIGN_MASKED, report.masked() as u64);
     }
     Ok(report)
+}
+
+/// Options steering the fault-tolerant campaign runner
+/// [`run_campaign_resilient`]: per-injection retry/deadline policy,
+/// an optional golden-trace cache, and optional checkpoint-journal
+/// bookkeeping.
+#[derive(Debug, Default)]
+pub struct CampaignOptions<'a> {
+    /// Retry and cooperative-deadline policy applied to every injection.
+    pub fault: FaultPolicy,
+    /// Golden-trace cache plus the stimulus seed that keys it; `None`
+    /// recomputes the golden run unconditionally.
+    pub cache: Option<(&'a ByteCache, u64)>,
+    /// Checkpoint journal bookkeeping; `None` runs uncheckpointed.
+    pub checkpoint: Option<CheckpointSpec<'a>>,
+}
+
+/// Result of a fault-tolerant campaign: per-injection outcome slots
+/// (with `None` where an interruption cap skipped the injection) plus
+/// replay/compute accounting and non-fatal diagnostics.
+#[derive(Debug)]
+pub struct ResilientCampaign {
+    /// Target name.
+    pub target: String,
+    /// Vectors applied per injection.
+    pub vectors: usize,
+    /// One slot per fault, in fault order; `None` only when the run was
+    /// interrupted by [`CheckpointSpec::max_new_items`] before reaching
+    /// the injection.
+    pub reports: Vec<Option<FaultReport>>,
+    /// Injections restored from the checkpoint journal without
+    /// simulating.
+    pub replayed: usize,
+    /// Injections actually simulated this run.
+    pub computed: usize,
+    /// Injections skipped by the interruption cap.
+    pub skipped: usize,
+    /// Whether the golden trace came from the cache instead of a fresh
+    /// simulation.
+    pub golden_from_cache: bool,
+    /// Non-fatal diagnostics: discarded journal tails, undecodable
+    /// records, cache or journal write failures.
+    pub warnings: Vec<String>,
+}
+
+impl ResilientCampaign {
+    /// Whether the run stopped early and needs a resume pass to finish.
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.skipped > 0
+    }
+
+    /// The completed run as a classic [`CampaignReport`]; `None` while
+    /// any injection is still unexecuted.
+    #[must_use]
+    pub fn report(&self) -> Option<CampaignReport> {
+        let reports: Option<Vec<FaultReport>> = self.reports.iter().cloned().collect();
+        Some(CampaignReport {
+            target: self.target.clone(),
+            vectors: self.vectors,
+            reports: reports?,
+        })
+    }
+}
+
+/// Content half of the golden-trace cache key: the netlist's structural
+/// hash mixed with the observation interface (input/output/clock node
+/// ids) and the expanded stimulus itself, so a cache entry can only hit
+/// when the golden run it stores would be recomputed identically.
+fn golden_cache_content(target: &FaultTarget, vecs: &[Vec<Bit>]) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&target.netlist.structural_hash().to_le_bytes());
+    bytes.extend_from_slice(&(target.inputs.len() as u64).to_le_bytes());
+    for n in &target.inputs {
+        bytes.extend_from_slice(&(n.index() as u64).to_le_bytes());
+    }
+    bytes.extend_from_slice(&(target.outputs.len() as u64).to_le_bytes());
+    for n in &target.outputs {
+        bytes.extend_from_slice(&(n.index() as u64).to_le_bytes());
+    }
+    match target.clock {
+        Some(clk) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&(clk.index() as u64).to_le_bytes());
+        }
+        None => bytes.push(0),
+    }
+    bytes.extend_from_slice(&crate::persist::encode_trace(vecs));
+    fnv64(&bytes)
+}
+
+/// [`run_campaign_recorded`] hardened for long campaigns: every
+/// injection runs under panic isolation with bounded retries and an
+/// optional per-item deadline, completed injections stream into a
+/// checkpoint journal so a killed campaign resumes where it stopped,
+/// and the golden trace is served from a content-addressed cache when
+/// one is supplied.
+///
+/// Determinism contract: an interrupted run resumed to completion
+/// produces `reports` byte-identical to an uninterrupted run, for any
+/// thread count on either side — outcomes land at their fault's index
+/// and journal replay keys on that index. A permanently failing
+/// injection (panicking every attempt or exceeding its deadline)
+/// degrades to [`FaultOutcome::Errored`] at its slot; it never aborts
+/// the campaign and is retried on resume rather than journaled.
+///
+/// Counters: `campaign.injections` counts slots resolved this run
+/// (replayed + computed), `campaign.vectors` counts only vectors
+/// actually simulated, and the outcome-class counters tally the
+/// outcomes present in `reports` — so an interrupted run's counters
+/// reflect what it really did.
+///
+/// # Errors
+///
+/// The [`run_campaign`] contract: stimulus validation errors or a
+/// failing *golden* run abort the campaign. Faulted-run failures of any
+/// kind are classifications, never campaign failures.
+pub fn run_campaign_resilient(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    target: &FaultTarget,
+    faults: &[GateFault],
+    stimulus: &mut PatternSource,
+    vectors: usize,
+    options: CampaignOptions<'_>,
+) -> Result<ResilientCampaign, CircuitError> {
+    if vectors == 0 {
+        return Err(CircuitError::InvalidStimulus {
+            reason: "campaign needs at least one vector",
+        });
+    }
+    if stimulus.width() != target.inputs.len() {
+        return Err(CircuitError::WidthMismatch {
+            what: "fault campaign stimulus",
+            expected: target.inputs.len(),
+            got: stimulus.width(),
+        });
+    }
+    let CampaignOptions {
+        fault,
+        cache,
+        checkpoint,
+    } = options;
+    let timer = span(rec, names::SPAN_CAMPAIGN_RUN);
+    let vecs: Vec<Vec<Bit>> = (0..vectors).map(|_| stimulus.next_pattern()).collect();
+    let mut warnings = Vec::new();
+    let mut golden_from_cache = false;
+    let golden = {
+        let _golden_timer = timer.child("golden");
+        let key = cache.map(|(c, seed)| {
+            (
+                c,
+                CacheKey {
+                    content: golden_cache_content(target, &vecs),
+                    seed,
+                },
+            )
+        });
+        let cached = key.and_then(|(c, k)| {
+            let bytes = c.load(k, rec)?;
+            match crate::persist::decode_trace(&bytes) {
+                Some(trace)
+                    if trace.len() == vectors
+                        && trace.iter().all(|row| row.len() == target.outputs.len()) =>
+                {
+                    Some(trace)
+                }
+                _ => {
+                    warnings.push(format!(
+                        "golden-trace cache entry {} decoded to the wrong shape; recomputing",
+                        k.file_name()
+                    ));
+                    None
+                }
+            }
+        });
+        match cached {
+            Some(trace) => {
+                golden_from_cache = true;
+                trace
+            }
+            None => {
+                let trace = run_trace(target, &vecs, None, rec, CancelToken::never())?;
+                if let Some((c, k)) = key {
+                    if let Err(e) = c.store(k, &crate::persist::encode_trace(&trace)) {
+                        warnings.push(format!("golden-trace cache store failed: {e}"));
+                    }
+                }
+                trace
+            }
+        }
+    };
+    let classify_item = |f: &GateFault, token: &CancelToken| -> ItemStatus<FaultOutcome> {
+        match run_trace(target, &vecs, Some(f), rec, token) {
+            Ok(trace) => ItemStatus::Done(classify(&golden, &trace)),
+            Err(CircuitError::Cancelled { .. }) if token.is_cancelled() => ItemStatus::TimedOut,
+            Err(err) => ItemStatus::Done(FaultOutcome::Detected(err)),
+        }
+    };
+    let (slots, replayed, computed, skipped) = match checkpoint {
+        Some(spec) => {
+            let out = run_checkpointed(
+                policy,
+                &fault,
+                rec,
+                faults,
+                spec,
+                |o: &FaultOutcome| crate::persist::encode_outcome(o),
+                crate::persist::decode_outcome,
+                |_, f, token| classify_item(f, token),
+            );
+            warnings.extend(out.warnings);
+            (out.results, out.replayed, out.computed, out.skipped)
+        }
+        None => {
+            let res = parallel_map_isolated(policy, &fault, rec, faults, |_, f, token| {
+                classify_item(f, token)
+            });
+            let computed = res.len();
+            (
+                res.into_iter().map(Some).collect::<Vec<_>>(),
+                0,
+                computed,
+                0,
+            )
+        }
+    };
+    drop(timer);
+    let reports: Vec<Option<FaultReport>> = slots
+        .into_iter()
+        .zip(faults)
+        .map(|(slot, f)| {
+            slot.map(|res| FaultReport {
+                fault: f.clone(),
+                outcome: match res {
+                    Ok(o) => o,
+                    Err(e) => FaultOutcome::Errored(e),
+                },
+            })
+        })
+        .collect();
+    if rec.is_enabled() {
+        let count = |label: &str| {
+            reports
+                .iter()
+                .flatten()
+                .filter(|r| r.outcome.label() == label)
+                .count() as u64
+        };
+        rec.add(names::CAMPAIGN_TARGETS, 1);
+        rec.add(names::CAMPAIGN_INJECTIONS, (replayed + computed) as u64);
+        rec.add(names::CAMPAIGN_VECTORS, (vectors * computed) as u64);
+        rec.add(names::CAMPAIGN_DETECTED, count("detected"));
+        rec.add(names::CAMPAIGN_CORRUPTED, count("corrupted"));
+        rec.add(names::CAMPAIGN_PROPAGATED_X, count("propagated-as-X"));
+        rec.add(names::CAMPAIGN_MASKED, count("masked"));
+    }
+    Ok(ResilientCampaign {
+        target: target.name.clone(),
+        vectors,
+        reports,
+        replayed,
+        computed,
+        skipped,
+        golden_from_cache,
+        warnings,
+    })
 }
 
 /// Builds the five standard datapath targets at the given width: the
@@ -794,6 +1087,111 @@ mod tests {
             }
         }
         assert!(disagreements > 0, "some switch fault must be observable");
+    }
+
+    #[test]
+    fn resilient_matches_classic_runner_without_options() {
+        let target = adder_target(2);
+        let faults = stuck_at_universe(&target.netlist);
+        let mut src = PatternSource::counting(target.inputs.len(), 1).unwrap();
+        let classic = run_campaign(&target, &faults, &mut src, 4).unwrap();
+        let mut src = PatternSource::counting(target.inputs.len(), 1).unwrap();
+        let resilient = run_campaign_resilient(
+            &ExecPolicy::with_threads(2),
+            lowvolt_obs::noop(),
+            &target,
+            &faults,
+            &mut src,
+            4,
+            CampaignOptions::default(),
+        )
+        .unwrap();
+        assert!(!resilient.interrupted());
+        assert_eq!(resilient.replayed, 0);
+        assert_eq!(resilient.computed, faults.len());
+        assert!(!resilient.golden_from_cache);
+        assert!(resilient.warnings.is_empty());
+        assert_eq!(resilient.report().unwrap(), classic);
+    }
+
+    #[test]
+    fn item_deadline_degrades_to_errored_outcomes() {
+        let target = adder_target(2);
+        let faults = stuck_at_universe(&target.netlist);
+        let options = CampaignOptions {
+            fault: FaultPolicy {
+                item_timeout_ms: Some(0),
+                backoff_base_ms: 0,
+                ..FaultPolicy::default()
+            },
+            ..CampaignOptions::default()
+        };
+        let mut src = PatternSource::counting(target.inputs.len(), 1).unwrap();
+        let res = run_campaign_resilient(
+            &ExecPolicy::serial(),
+            lowvolt_obs::noop(),
+            &target,
+            &faults[..3],
+            &mut src,
+            4,
+            options,
+        )
+        .unwrap();
+        // The golden run carries no deadline, so the campaign proceeds;
+        // every injection hits the already-fired token and degrades to a
+        // typed per-item error instead of aborting anything.
+        assert_eq!(res.reports.len(), 3);
+        for r in &res.reports {
+            let report = r.as_ref().unwrap();
+            assert!(
+                matches!(
+                    report.outcome,
+                    FaultOutcome::Errored(ExecError::ItemTimedOut { .. })
+                ),
+                "got {report:?}"
+            );
+        }
+        assert_eq!(res.report().unwrap().errored(), 3);
+        let rendered = res.report().unwrap().to_string();
+        assert!(rendered.contains("errored"), "{rendered}");
+    }
+
+    #[test]
+    fn golden_trace_cache_hits_on_second_run() {
+        use lowvolt_obs::MetricsRegistry;
+        let dir = std::env::temp_dir().join(format!("lowvolt-golden-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ByteCache::open(&dir).unwrap();
+        let target = adder_target(2);
+        let faults = stuck_at_universe(&target.netlist);
+        let run = || {
+            let reg = MetricsRegistry::new();
+            let mut src = PatternSource::counting(target.inputs.len(), 1).unwrap();
+            let res = run_campaign_resilient(
+                &ExecPolicy::serial(),
+                &reg,
+                &target,
+                &faults,
+                &mut src,
+                4,
+                CampaignOptions {
+                    cache: Some((&cache, 1)),
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap();
+            (res, reg)
+        };
+        let (first, reg1) = run();
+        assert!(!first.golden_from_cache);
+        assert_eq!(reg1.counter(names::CACHE_MISSES), 1);
+        assert_eq!(reg1.counter(names::CACHE_HITS), 0);
+        let (second, reg2) = run();
+        assert!(second.golden_from_cache);
+        assert_eq!(reg2.counter(names::CACHE_HITS), 1);
+        assert_eq!(reg2.counter(names::CACHE_MISSES), 0);
+        assert_eq!(second.report(), first.report());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod logic;
 pub mod lower;
 pub mod multiplier;
 pub mod netlist;
+pub mod persist;
 pub mod registers;
 pub mod ring;
 pub mod sequential;

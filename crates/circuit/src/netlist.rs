@@ -525,6 +525,35 @@ impl Netlist {
         Farads::from_femtofarads(self.nodes.iter().map(|n| n.cap_ff).sum())
     }
 
+    /// FNV-1a hash of the netlist's *logical* structure: node count,
+    /// input flags, and every gate's kind, connectivity, and delay.
+    /// Node names and capacitances are deliberately excluded — two
+    /// netlists with equal structural hashes produce identical
+    /// simulation traces for identical stimulus, which is exactly the
+    /// property the golden-trace cache keys on.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        let mut bytes: Vec<u8> = Vec::with_capacity(16 + self.gates.len() * 24);
+        bytes.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for n in &self.nodes {
+            bytes.push(u8::from(n.is_input));
+        }
+        bytes.extend_from_slice(&(self.gates.len() as u64).to_le_bytes());
+        for g in &self.gates {
+            bytes.extend_from_slice(g.kind.name().as_bytes());
+            bytes.push(0xFF);
+            bytes.extend_from_slice(&g.delay.to_le_bytes());
+            bytes.extend_from_slice(&(g.output.0 as u64).to_le_bytes());
+            for i in &g.inputs {
+                bytes.extend_from_slice(&(i.0 as u64).to_le_bytes());
+            }
+        }
+        for i in &self.inputs {
+            bytes.extend_from_slice(&(i.0 as u64).to_le_bytes());
+        }
+        lowvolt_exec::fnv64(&bytes)
+    }
+
     /// Gate-kind census: `(kind, count)` pairs for every kind present,
     /// most frequent first — the composition summary synthesis reports
     /// print.
@@ -678,6 +707,31 @@ mod tests {
         let _y3 = m.gate(GateKind::Not, &[a]).unwrap();
         assert_eq!(m.fanout(a).len(), 3);
         assert_eq!(n.fanout(a).len(), 2, "clone mutation must not leak back");
+    }
+
+    #[test]
+    fn structural_hash_ignores_names_but_sees_structure() {
+        let build = |name: &str| {
+            let mut n = Netlist::new();
+            let a = n.input(format!("{name}_a"));
+            let b = n.input(format!("{name}_b"));
+            let x = n.gate(GateKind::Xor2, &[a, b]).unwrap();
+            (n, x)
+        };
+        let (n1, _) = build("first");
+        let (n2, _) = build("second");
+        assert_eq!(
+            n1.structural_hash(),
+            n2.structural_hash(),
+            "names are not structure"
+        );
+        let (mut n3, _) = build("first");
+        n3.set_delay(GateId(0), 5).unwrap();
+        assert_ne!(n1.structural_hash(), n3.structural_hash(), "delay is");
+        let (mut n4, _) = build("first");
+        let a = NodeId(0);
+        let _ = n4.gate(GateKind::Not, &[a]).unwrap();
+        assert_ne!(n1.structural_hash(), n4.structural_hash(), "gates are");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use lowvolt_exec::CancelToken;
 use lowvolt_obs::{names, span, Recorder};
 
 use crate::activity::{ActivityReport, NodeActivity};
@@ -152,6 +153,10 @@ pub struct Simulator<'a> {
     /// Metrics sink; defaults to the zero-cost noop. The hot loop never
     /// touches it — locals are flushed once per settle.
     recorder: &'a dyn Recorder,
+    /// Cooperative cancellation token, polled at the oscillation
+    /// watchdog's sampling cadence. Defaults to the never-fired token,
+    /// whose poll is a single relaxed load.
+    cancel: &'a CancelToken,
     /// Value of `seq` at the last metrics flush, so heap pushes made
     /// between settles (stimulus scheduling) are attributed to the next
     /// settle instead of being lost.
@@ -202,6 +207,7 @@ impl<'a> Simulator<'a> {
             bridges: Vec::new(),
             sig_scratch: Vec::new(),
             recorder: lowvolt_obs::noop(),
+            cancel: CancelToken::never(),
             seq_flushed: 0,
         }
     }
@@ -214,6 +220,16 @@ impl<'a> Simulator<'a> {
     /// identical with or without a live recorder.
     pub fn set_recorder(&mut self, rec: &'a dyn Recorder) {
         self.recorder = rec;
+    }
+
+    /// Attaches a cooperative cancellation token. Settles poll it on
+    /// entry and at the oscillation watchdog's sampling cadence
+    /// ([`WATCHDOG_SAMPLE_INTERVAL`] events), failing with
+    /// [`CircuitError::Cancelled`] once it fires — the hook the
+    /// fault-tolerant execution layer uses to time out runaway items
+    /// without killing their worker threads.
+    pub fn set_cancel_token(&mut self, token: &'a CancelToken) {
+        self.cancel = token;
     }
 
     /// Current simulation time in ticks.
@@ -371,8 +387,10 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`CircuitError::Oscillation`] when the watchdog proves the
     /// circuit revisits an earlier state (a combinational loop ringing
-    /// forever), or [`CircuitError::DidNotSettle`] if `budget` events are
-    /// exhausted without either quiescence or a proof of cycling.
+    /// forever), [`CircuitError::DidNotSettle`] if `budget` events are
+    /// exhausted without either quiescence or a proof of cycling, or
+    /// [`CircuitError::Cancelled`] when an attached cancellation token
+    /// ([`Simulator::set_cancel_token`]) fires mid-settle.
     pub fn settle_with_budget(&mut self, budget: usize) -> Result<SettleStats, CircuitError> {
         let timer = span(self.recorder, names::SPAN_SIM_SETTLE);
         let mut tally = SettleTally::default();
@@ -400,6 +418,15 @@ impl<'a> Simulator<'a> {
         let mut spent = 0usize;
         let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
         loop {
+            // Polled once per drain pass (covers settle entry and every
+            // bridge-resolution round) and every sample interval inside
+            // the event loop below.
+            if self.cancel.is_cancelled() {
+                tally.events = spent;
+                return Err(CircuitError::Cancelled {
+                    after_events: spent,
+                });
+            }
             while let Some(Reverse(ev)) = self.queue.pop() {
                 let (t, g) = (ev.time, ev.gate);
                 let mut new_value = ev.value;
@@ -429,6 +456,12 @@ impl<'a> Simulator<'a> {
                 )?;
                 if self.values[output.index()] != new_value {
                     self.change_node(output, new_value);
+                }
+                if spent.is_multiple_of(WATCHDOG_SAMPLE_INTERVAL) && self.cancel.is_cancelled() {
+                    tally.events = spent;
+                    return Err(CircuitError::Cancelled {
+                        after_events: spent,
+                    });
                 }
                 if spent >= WATCHDOG_WARMUP_EVENTS
                     && spent.is_multiple_of(WATCHDOG_SAMPLE_INTERVAL)
@@ -876,6 +909,38 @@ mod tests {
             err,
             CircuitError::DidNotSettle { event_budget: 100 }
         ));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_even_a_ring_oscillator() {
+        // A ring oscillator never settles; a cancelled token must stop
+        // it with Cancelled — not Oscillation, not budget exhaustion.
+        let mut n = Netlist::new();
+        let a = n.node("loop");
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let y2 = n.gate(GateKind::Not, &[y1]).unwrap();
+        let y3 = n.gate(GateKind::Not, &[y2]).unwrap();
+        n.gate_into(GateKind::Buf, &[y3], a).unwrap();
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let mut sim = Simulator::new(&n);
+        sim.set_cancel_token(&token);
+        sim.set_input(a, Bit::Zero).unwrap();
+        let err = sim.settle_with_budget(100_000).unwrap_err();
+        assert!(matches!(err, CircuitError::Cancelled { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let token = CancelToken::unbounded();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let y = n.gate(GateKind::Not, &[a]).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_cancel_token(&token);
+        sim.set_input(a, Bit::Zero).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.value(y), Bit::One);
     }
 
     #[test]

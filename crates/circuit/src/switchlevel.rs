@@ -44,6 +44,7 @@
 
 use std::collections::HashMap;
 
+use lowvolt_exec::CancelToken;
 use lowvolt_obs::{names, span, Recorder};
 
 use crate::error::CircuitError;
@@ -341,6 +342,10 @@ pub struct SwitchSim<'a> {
     /// Metrics sink; defaults to the zero-cost noop and is flushed once
     /// per settle, never per node write.
     recorder: &'a dyn Recorder,
+    /// Cooperative cancellation token, polled once per relaxation pass
+    /// alongside the oscillation/floating watchdogs. Defaults to the
+    /// never-fired token.
+    cancel: &'a CancelToken,
     /// Lifetime total of 0↔1 node transitions (independent of the
     /// per-node counting flag, which only gates the activity arrays).
     transitions: u64,
@@ -374,9 +379,17 @@ impl<'a> SwitchSim<'a> {
             stuck_off: vec![false; netlist.transistor_count()],
             floating_check: false,
             recorder: lowvolt_obs::noop(),
+            cancel: CancelToken::never(),
             transitions: 0,
             transitions_flushed: 0,
         }
+    }
+
+    /// Attaches a cooperative cancellation token, polled once per
+    /// relaxation pass; a fired token fails the settle with
+    /// [`CircuitError::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: &'a CancelToken) {
+        self.cancel = token;
     }
 
     /// Attaches a metrics recorder. Each settle flushes
@@ -622,6 +635,9 @@ impl<'a> SwitchSim<'a> {
         let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
         let mut converged = false;
         for pass in 0..MAX_PASSES {
+            if self.cancel.is_cancelled() {
+                return Err(CircuitError::Cancelled { after_events: pass });
+            }
             *passes += 1;
             if !self.relax_once() {
                 converged = true;
@@ -786,6 +802,23 @@ mod tests {
         assert_eq!(sim.value(y), Bit::One);
         sim.set_input(a, Bit::One).unwrap();
         assert_eq!(sim.value(y), Bit::Zero);
+    }
+
+    #[test]
+    fn fired_cancel_token_aborts_relaxation() {
+        let mut n = SwitchNetlist::new();
+        let a = n.input("a");
+        let y = n.inverter(a, "y").unwrap();
+        let token = CancelToken::unbounded();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_cancel_token(&token);
+        sim.set_input(a, Bit::Zero).unwrap();
+        assert_eq!(sim.value(y), Bit::One, "unfired token changes nothing");
+        token.cancel();
+        assert!(matches!(
+            sim.set_input(a, Bit::One),
+            Err(CircuitError::Cancelled { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::fmt;
 use crate::args::Parsed;
 use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
-use lowvolt_circuit::faults::{run_campaign_recorded, standard_targets, stuck_at_universe};
+use lowvolt_circuit::faults::{
+    run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, ResilientCampaign,
+};
 use lowvolt_circuit::multiplier::array_multiplier;
 use lowvolt_circuit::netlist::Netlist;
 use lowvolt_circuit::ring::RingOscillator;
@@ -22,7 +24,7 @@ use lowvolt_device::mosfet::Mosfet;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Seconds, Volts};
-use lowvolt_exec::ExecPolicy;
+use lowvolt_exec::{ByteCache, CheckpointJournal, CheckpointSpec, ExecPolicy, FaultPolicy};
 use lowvolt_isa::bblocks::BlockProfile;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::profile::Profiler;
@@ -131,6 +133,8 @@ USAGE:
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
                    [--threads N]
   lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
+                   [--checkpoint PATH [--resume] [--interrupt-after N]]
+                   [--max-retries N] [--item-timeout-ms MS] [--cache DIR]
                    [--metrics-json PATH]
   lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
                    [--vdd V] [--mhz F]
@@ -150,6 +154,15 @@ results are identical for any thread count.
 the command runs and writes them as JSON to PATH (`-` replaces the
 normal report on stdout with the metrics JSON). Counter totals are
 identical for any thread count; only wall-clock fields vary.
+
+`campaign` is fault-tolerant: `--checkpoint PATH` journals every
+completed injection so a killed run finishes later with `--resume`
+(the resumed coverage table is byte-identical to an uninterrupted
+run's); `--max-retries N` and `--item-timeout-ms MS` bound each
+injection, degrading persistent failures to typed per-injection
+errors; `--cache DIR` reuses golden traces across invocations;
+`--interrupt-after N` stops after N new injections (the deterministic
+interruption hook the resume tests use).
 
 Run any experiment of the paper with the separate `regen` binary.";
 
@@ -452,13 +465,88 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
     let vectors = parsed.get_u64("vectors")?.unwrap_or(32) as usize;
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let max_retries = parsed.get_u64("max-retries")?.unwrap_or(0) as u32;
+    let item_timeout_ms = parsed.get_u64("item-timeout-ms")?;
+    let interrupt_after = parsed.get_u64("interrupt-after")?.map(|n| n as usize);
+    let resume = parsed.has("resume");
+    let checkpoint_path = match parsed.get("checkpoint") {
+        Some("") => {
+            return Err(CliError(
+                "--checkpoint expects a journal file path".to_string(),
+            ))
+        }
+        other => other.map(str::to_string),
+    };
+    if resume && checkpoint_path.is_none() {
+        return Err(CliError("--resume requires --checkpoint PATH".to_string()));
+    }
+    if interrupt_after.is_some() && checkpoint_path.is_none() {
+        return Err(CliError(
+            "--interrupt-after requires --checkpoint PATH (the interrupted work \
+             would otherwise be unrecoverable)"
+                .to_string(),
+        ));
+    }
+    let cache = match parsed.get("cache") {
+        Some("") => return Err(CliError("--cache expects a directory path".to_string())),
+        Some(dir) => Some(ByteCache::open(dir).map_err(|e| CliError(e.to_string()))?),
+        None => None,
+    };
     let policy = exec_policy(parsed)?;
     let metrics = Metrics::from_args(parsed)?;
     let targets = standard_targets(width)?;
+
+    let mut warnings: Vec<String> = Vec::new();
+    let mut journal_state: Option<(CheckpointJournal, std::collections::HashMap<u64, Vec<u8>>)> =
+        match &checkpoint_path {
+            Some(path) if resume => {
+                let (journal, replay) =
+                    CheckpointJournal::resume(path).map_err(|e| CliError(e.to_string()))?;
+                warnings.extend(replay.warning.clone());
+                let completed = replay.completed();
+                Some((journal, completed))
+            }
+            Some(path) => Some((
+                CheckpointJournal::create(path).map_err(|e| CliError(e.to_string()))?,
+                std::collections::HashMap::new(),
+            )),
+            None => None,
+        };
+
+    // Header block: everything before the first blank line may vary
+    // between a fresh, interrupted, and resumed run; the coverage table
+    // after it must not (the CI resume gate diffs the table).
     let mut out = format!(
-        "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n\n",
+        "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n",
         policy.threads()
     );
+    if let (Some(path), Some((_, completed))) = (&checkpoint_path, &journal_state) {
+        out.push_str(&format!(
+            "checkpoint: {path} ({} completed injection(s) on file)\n",
+            completed.len()
+        ));
+    }
+    if let Some(c) = &cache {
+        out.push_str(&format!("golden-trace cache: {}\n", c.dir().display()));
+    }
+    if max_retries > 0 || item_timeout_ms.is_some() {
+        out.push_str(&format!(
+            "fault policy: {max_retries} retries, item timeout {}\n",
+            match item_timeout_ms {
+                Some(ms) => format!("{ms} ms"),
+                None => "unbounded".to_string(),
+            }
+        ));
+    }
+    out.push('\n');
+
+    let label_count = |res: &ResilientCampaign, label: &str| {
+        res.reports
+            .iter()
+            .flatten()
+            .filter(|r| r.outcome.label() == label)
+            .count()
+    };
     let mut t = Table::new([
         "target",
         "faults",
@@ -466,30 +554,81 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
         "corrupted",
         "as-X",
         "masked",
+        "errored",
         "coverage",
     ]);
+    let mut index_base = 0u64;
+    let mut budget = interrupt_after;
+    let mut pending_total = 0usize;
     for (i, target) in targets.iter().enumerate() {
         let faults = stuck_at_universe(&target.netlist);
-        let mut stimulus = PatternSource::random(target.inputs.len(), seed.wrapping_add(i as u64))?;
-        let report = run_campaign_recorded(
+        let target_seed = seed.wrapping_add(i as u64);
+        let mut stimulus = PatternSource::random(target.inputs.len(), target_seed)?;
+        let options = CampaignOptions {
+            fault: FaultPolicy {
+                max_retries,
+                item_timeout_ms,
+                ..FaultPolicy::default()
+            },
+            cache: cache.as_ref().map(|c| (c, target_seed)),
+            checkpoint: journal_state
+                .as_mut()
+                .map(|(journal, completed)| CheckpointSpec {
+                    journal,
+                    completed,
+                    index_base,
+                    max_new_items: budget,
+                }),
+        };
+        let res = run_campaign_resilient(
             &policy,
             metrics.recorder(),
             target,
             &faults,
             &mut stimulus,
             vectors,
+            options,
         )?;
+        warnings.extend(res.warnings.clone());
+        if let Some(b) = budget {
+            budget = Some(b.saturating_sub(res.computed));
+        }
+        pending_total += res.skipped;
+        index_base += faults.len() as u64;
+        let masked = label_count(&res, "masked");
+        let resolved = res.reports.iter().flatten().count();
+        let coverage = if resolved == faults.len() {
+            format!(
+                "{:.1}%",
+                (1.0 - masked as f64 / faults.len() as f64) * 100.0
+            )
+        } else {
+            "--".to_string()
+        };
         t.push_row([
-            report.target.clone(),
-            report.faults().to_string(),
-            report.detected().to_string(),
-            report.corrupted().to_string(),
-            report.propagated_as_x().to_string(),
-            report.masked().to_string(),
-            format!("{:.1}%", report.coverage() * 100.0),
+            res.target.clone(),
+            faults.len().to_string(),
+            label_count(&res, "detected").to_string(),
+            label_count(&res, "corrupted").to_string(),
+            label_count(&res, "propagated-as-X").to_string(),
+            masked.to_string(),
+            label_count(&res, "errored").to_string(),
+            coverage,
         ]);
     }
     out.push_str(&t.to_string());
+    if pending_total > 0 {
+        out.push_str(&format!(
+            "\ncampaign interrupted: {pending_total} injection(s) pending; \
+             rerun with --resume --checkpoint to finish\n"
+        ));
+    }
+    if !warnings.is_empty() {
+        out.push('\n');
+        for w in &warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+    }
     metrics.finish(out)
 }
 
@@ -957,6 +1096,80 @@ mod tests {
         let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
         assert_eq!(table(&serial).as_deref(), table(&parallel).as_deref());
         assert!(table(&serial).is_some());
+    }
+
+    #[test]
+    fn campaign_checkpoint_interrupt_and_resume_match_clean_run() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.lvjr");
+        let _ = std::fs::remove_file(&journal);
+        let base = ["campaign", "--width", "2", "--vectors", "4"];
+        let with = |extra: &[&str]| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend_from_slice(extra);
+            run(&args).unwrap()
+        };
+        let clean = with(&["--threads", "2"]);
+        let interrupted = with(&[
+            "--threads",
+            "1",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--interrupt-after",
+            "10",
+        ]);
+        assert!(
+            interrupted.contains("campaign interrupted"),
+            "{interrupted}"
+        );
+        assert!(interrupted.contains("--"), "partial coverage shown");
+        let resumed = with(&[
+            "--threads",
+            "3",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--resume",
+        ]);
+        // The resumed run finishes the journal and its coverage table is
+        // byte-identical to the uninterrupted run's.
+        let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
+        assert_eq!(table(&clean), table(&resumed));
+        assert!(!resumed.contains("campaign interrupted"), "{resumed}");
+        assert!(resumed.contains("completed injection(s) on file"));
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn campaign_golden_cache_hits_across_invocations() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = [
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "4",
+            "--cache",
+            dir.to_str().unwrap(),
+            "--metrics-json",
+            "-",
+        ];
+        let first = run(&args).unwrap();
+        assert!(first.contains("\"cache.misses\": 5"), "{first}");
+        let second = run(&args).unwrap();
+        assert!(second.contains("\"cache.hits\": 5"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_flag_validation() {
+        let err = run(&["campaign", "--resume"]).unwrap_err();
+        assert!(err.0.contains("--checkpoint"), "{}", err.0);
+        let err = run(&["campaign", "--interrupt-after", "5"]).unwrap_err();
+        assert!(err.0.contains("--checkpoint"), "{}", err.0);
+        let err = run(&["campaign", "--checkpoint"]).unwrap_err();
+        assert!(err.0.contains("journal file path"), "{}", err.0);
     }
 
     #[test]

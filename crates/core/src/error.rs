@@ -41,6 +41,13 @@ pub enum CoreError {
         /// The rejected value.
         value: f64,
     },
+    /// A parallel sweep's work item failed at the execution layer: it
+    /// panicked on every attempt or exhausted its deadline. The sweep
+    /// degrades to this typed error instead of propagating the panic.
+    Worker {
+        /// Rendered [`lowvolt_exec::ExecError`].
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -65,6 +72,7 @@ impl fmt::Display for CoreError {
                     "non-physical {what} = {value}: energies must be finite and non-negative"
                 )
             }
+            CoreError::Worker { detail } => write!(f, "sweep worker failed: {detail}"),
         }
     }
 }
@@ -88,6 +96,14 @@ impl From<lowvolt_device::DeviceError> for CoreError {
 impl From<lowvolt_circuit::CircuitError> for CoreError {
     fn from(e: lowvolt_circuit::CircuitError) -> CoreError {
         CoreError::Circuit(e)
+    }
+}
+
+impl From<lowvolt_exec::ExecError> for CoreError {
+    fn from(e: lowvolt_exec::ExecError) -> CoreError {
+        CoreError::Worker {
+            detail: e.to_string(),
+        }
     }
 }
 

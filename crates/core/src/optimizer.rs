@@ -13,7 +13,7 @@
 use crate::error::CoreError;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_device::units::{Joules, Seconds, Volts};
-use lowvolt_exec::{parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_isolated, ExecPolicy, FaultPolicy, ItemStatus};
 
 /// One evaluated operating point of the fixed-throughput sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -194,20 +194,30 @@ impl FixedThroughputOptimizer {
     /// # Errors
     ///
     /// Returns [`CoreError::Infeasible`] if no threshold admits the delay
-    /// target.
+    /// target, or [`CoreError::Worker`] if a grid worker panicked (the
+    /// panic is isolated to its grid point, never propagated).
     pub fn optimum_with(
         &self,
         policy: &ExecPolicy,
         t_op: Seconds,
     ) -> Result<EnergyPoint, CoreError> {
         let grid: Vec<u32> = (0..=160).collect();
-        let coarse: Vec<EnergyPoint> = parallel_map(policy, &grid, |_, &i| {
-            let vt = Volts(0.005 * f64::from(i));
-            self.evaluate(vt, t_op).ok()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let slots = parallel_map_isolated(
+            policy,
+            &FaultPolicy::default(),
+            lowvolt_obs::noop(),
+            &grid,
+            |_, &i, _| {
+                let vt = Volts(0.005 * f64::from(i));
+                ItemStatus::Done(self.evaluate(vt, t_op).ok())
+            },
+        );
+        let mut coarse: Vec<EnergyPoint> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            if let Some(point) = slot.map_err(CoreError::from)? {
+                coarse.push(point);
+            }
+        }
         let best = coarse
             .iter()
             .min_by(|a, b| a.total().0.total_cmp(&b.total().0))

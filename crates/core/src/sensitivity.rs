@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use crate::optimizer::FixedThroughputOptimizer;
 use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_device::units::{Seconds, Volts};
-use lowvolt_exec::{try_parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_isolated, ExecPolicy, FaultPolicy, ItemStatus};
 
 /// One parameter's influence on the optimum.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,9 +148,17 @@ pub fn analyse_with(
             Seconds(point.t_op.0 * hi),
         ),
     ];
-    let optima = try_parallel_map(policy, &jobs, |_, &(activity, delay, t_op)| {
-        optimum_at(activity, delay, t_op)
-    })?;
+    let slots = parallel_map_isolated(
+        policy,
+        &FaultPolicy::default(),
+        lowvolt_obs::noop(),
+        &jobs,
+        |_, &(activity, delay, t_op), _| ItemStatus::Done(optimum_at(activity, delay, t_op)),
+    );
+    let mut optima = Vec::with_capacity(slots.len());
+    for slot in slots {
+        optima.push(slot.map_err(CoreError::from)??);
+    }
     let (nominal_vt, nominal_vdd, nominal_e) = match optima.first() {
         Some(&n) => n,
         None => {

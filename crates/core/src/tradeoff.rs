@@ -10,7 +10,7 @@ use crate::activity::ActivityVars;
 use crate::energy::{BlockParams, BurstEnergyModel};
 use crate::error::CoreError;
 use lowvolt_device::technology::Technology;
-use lowvolt_exec::{try_parallel_map, ExecPolicy};
+use lowvolt_exec::{parallel_map_isolated, ExecPolicy, FaultPolicy, ItemStatus};
 
 /// A named application operating point placed on the surface.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,18 +117,31 @@ impl TradeoffSurface {
         };
         let fga_axis = log_axis(fga_range);
         let bga_axis = log_axis(bga_range);
-        let values = try_parallel_map(policy, &fga_axis, |_, &fga| {
-            let mut row = Vec::with_capacity(points);
-            for &bga in &bga_axis {
-                if bga > fga {
-                    row.push(f64::NAN);
-                    continue;
+        let slots = parallel_map_isolated(
+            policy,
+            &FaultPolicy::default(),
+            lowvolt_obs::noop(),
+            &fga_axis,
+            |_, &fga, _| {
+                let mut row = Vec::with_capacity(points);
+                for &bga in &bga_axis {
+                    if bga > fga {
+                        row.push(f64::NAN);
+                        continue;
+                    }
+                    let activity = match ActivityVars::new(fga, bga, alpha) {
+                        Ok(a) => a,
+                        Err(e) => return ItemStatus::Done(Err(e)),
+                    };
+                    row.push(model.log_energy_ratio(tech_a, tech_b, block, activity));
                 }
-                let activity = ActivityVars::new(fga, bga, alpha)?;
-                row.push(model.log_energy_ratio(tech_a, tech_b, block, activity));
-            }
-            Ok::<Vec<f64>, CoreError>(row)
-        })?;
+                ItemStatus::Done(Ok::<Vec<f64>, CoreError>(row))
+            },
+        );
+        let mut values = Vec::with_capacity(slots.len());
+        for slot in slots {
+            values.push(slot.map_err(CoreError::from)??);
+        }
         Ok(TradeoffSurface {
             fga_axis,
             bga_axis,

@@ -1,0 +1,294 @@
+//! Content-addressed byte cache with checksum validation and corruption
+//! quarantine — the store behind golden-trace reuse across campaign
+//! runs.
+//!
+//! Entries are opaque byte payloads addressed by a [`CacheKey`]
+//! (content hash + stimulus seed). Lookups can *never* fail loudly: an
+//! absent entry is a miss, and a present-but-invalid entry (bad magic,
+//! key mismatch, failed checksum, truncation) is quarantined by
+//! renaming it to `<name>.corrupt` and reported as a miss, so a corrupt
+//! cache degrades to recomputation instead of wrong results.
+//!
+//! ## Entry format
+//!
+//! ```text
+//! 8 bytes   magic b"LVGC0001"
+//! u64 LE    key.content
+//! u64 LE    key.seed
+//! u32 LE    payload length
+//! n bytes   payload
+//! u64 LE    FNV-1a 64 over everything above
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lowvolt_obs::{names, Recorder};
+
+use crate::fnv64;
+
+const MAGIC: &[u8; 8] = b"LVGC0001";
+const HEADER: usize = 8 + 8 + 8 + 4;
+const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Address of one cache entry: a content hash (everything that
+/// determines the cached bytes except the stimulus) plus the stimulus
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Hash of the producing computation's inputs (e.g. a netlist
+    /// structural hash mixed with harness parameters).
+    pub content: u64,
+    /// Stimulus seed the cached bytes were produced under.
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// The entry's file name inside the cache directory:
+    /// `<content>-<seed>.bin`, both halves zero-padded hex.
+    #[must_use]
+    pub fn file_name(self) -> String {
+        format!("{:016x}-{:016x}.bin", self.content, self.seed)
+    }
+}
+
+/// A cache-maintenance failure (lookups never error — a bad entry is a
+/// miss).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Filesystem failure creating the cache directory or storing an
+    /// entry.
+    Io {
+        /// Path being created or written.
+        path: String,
+        /// Rendered OS error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io { path, detail } => write!(f, "{path}: cache I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CacheError {
+    CacheError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// An on-disk content-addressed store of opaque byte payloads.
+#[derive(Debug, Clone)]
+pub struct ByteCache {
+    dir: PathBuf,
+}
+
+impl ByteCache {
+    /// Opens (creating if necessary) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ByteCache, CacheError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
+        Ok(ByteCache { dir })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up `key`, bumping `cache.hits` / `cache.misses`. Invalid
+    /// entries are quarantined to `<name>.corrupt` and count as misses;
+    /// this method never panics and never errors.
+    #[must_use]
+    pub fn load(&self, key: CacheKey, rec: &dyn Recorder) -> Option<Vec<u8>> {
+        let enabled = rec.is_enabled();
+        let path = self.dir.join(key.file_name());
+        let Ok(bytes) = fs::read(&path) else {
+            if enabled {
+                rec.add(names::CACHE_MISSES, 1);
+            }
+            return None;
+        };
+        match decode_entry(&bytes, key) {
+            Some(payload) => {
+                if enabled {
+                    rec.add(names::CACHE_HITS, 1);
+                }
+                Some(payload)
+            }
+            None => {
+                let mut quarantine = path.clone().into_os_string();
+                quarantine.push(".corrupt");
+                let _ = fs::rename(&path, &quarantine);
+                if enabled {
+                    rec.add(names::CACHE_MISSES, 1);
+                }
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, replacing any existing entry. The
+    /// entry is written to a temporary file then renamed into place, so
+    /// concurrent readers never observe a partial entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] on write or rename failure.
+    pub fn store(&self, key: CacheKey, payload: &[u8]) -> Result<(), CacheError> {
+        let final_path = self.dir.join(key.file_name());
+        let tmp_path = self.dir.join(format!("{}.tmp", key.file_name()));
+        let bytes = encode_entry(key, payload);
+        fs::write(&tmp_path, &bytes).map_err(|e| io_err(&tmp_path, &e))?;
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))
+    }
+}
+
+fn encode_entry(key: CacheKey, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER + payload.len() + 8);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&key.content.to_le_bytes());
+    bytes.extend_from_slice(&key.seed.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let sum = fnv64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+fn decode_entry(bytes: &[u8], key: CacheKey) -> Option<Vec<u8>> {
+    if bytes.len() < HEADER + 8 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let content = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let seed = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    if content != key.content || seed != key.seed {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[24..28].try_into().ok()?) as usize;
+    if len > MAX_PAYLOAD || bytes.len() != HEADER + len + 8 {
+        return None;
+    }
+    let stored = u64::from_le_bytes(bytes[HEADER + len..].try_into().ok()?);
+    if stored != fnv64(&bytes[..HEADER + len]) {
+        return None;
+    }
+    Some(bytes[HEADER..HEADER + len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowvolt_obs::MetricsRegistry;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lowvolt-cache-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn store_then_load_hits() {
+        let dir = tmp_dir("hit");
+        let cache = ByteCache::open(&dir).expect("open");
+        let key = CacheKey {
+            content: 0xDEAD_BEEF,
+            seed: 42,
+        };
+        let reg = MetricsRegistry::new();
+        assert_eq!(cache.load(key, &reg), None, "cold cache misses");
+        cache.store(key, b"golden trace bytes").expect("store");
+        assert_eq!(
+            cache.load(key, &reg).as_deref(),
+            Some(b"golden trace bytes".as_slice())
+        );
+        assert_eq!(reg.counter(names::CACHE_HITS), 1);
+        assert_eq!(reg.counter(names::CACHE_MISSES), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_entries() {
+        let dir = tmp_dir("seeds");
+        let cache = ByteCache::open(&dir).expect("open");
+        let a = CacheKey {
+            content: 1,
+            seed: 10,
+        };
+        let b = CacheKey {
+            content: 1,
+            seed: 11,
+        };
+        cache.store(a, b"aaa").expect("store a");
+        cache.store(b, b"bbb").expect("store b");
+        let rec = lowvolt_obs::noop();
+        assert_eq!(cache.load(a, rec).as_deref(), Some(b"aaa".as_slice()));
+        assert_eq!(cache.load(b, rec).as_deref(), Some(b"bbb".as_slice()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_as_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = ByteCache::open(&dir).expect("open");
+        let key = CacheKey {
+            content: 7,
+            seed: 7,
+        };
+        cache.store(key, b"precious").expect("store");
+        let entry = dir.join(key.file_name());
+        let mut bytes = fs::read(&entry).expect("read entry");
+        let mid = HEADER + 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&entry, &bytes).expect("write corrupt");
+        let reg = MetricsRegistry::new();
+        assert_eq!(cache.load(key, &reg), None, "corrupt entry is a miss");
+        assert_eq!(reg.counter(names::CACHE_MISSES), 1);
+        assert!(
+            !entry.exists(),
+            "corrupt entry removed from addressable set"
+        );
+        let mut quarantined = entry.clone().into_os_string();
+        quarantined.push(".corrupt");
+        assert!(
+            PathBuf::from(quarantined).exists(),
+            "corrupt entry preserved for forensics"
+        );
+        // The slot is reusable after quarantine.
+        cache.store(key, b"precious").expect("re-store");
+        assert_eq!(
+            cache.load(key, &reg).as_deref(),
+            Some(b"precious".as_slice())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_under_wrong_key_is_a_miss() {
+        let dir = tmp_dir("wrongkey");
+        let cache = ByteCache::open(&dir).expect("open");
+        let key = CacheKey {
+            content: 1,
+            seed: 2,
+        };
+        let other = CacheKey {
+            content: 9,
+            seed: 9,
+        };
+        // Simulate a mis-filed entry: bytes of `other` under `key`'s name.
+        fs::write(dir.join(key.file_name()), encode_entry(other, b"xx")).expect("plant");
+        assert_eq!(cache.load(key, lowvolt_obs::noop()), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

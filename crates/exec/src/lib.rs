@@ -29,6 +29,29 @@ use std::time::Instant;
 
 use lowvolt_obs::{names, span, Recorder};
 
+pub mod cache;
+pub mod fault;
+pub mod journal;
+
+pub use cache::{ByteCache, CacheError, CacheKey};
+pub use fault::{parallel_map_isolated, CancelToken, ExecError, FaultPolicy, ItemStatus};
+pub use journal::{
+    run_checkpointed, CheckpointJournal, CheckpointOutcome, CheckpointSpec, JournalError,
+    JournalReplay,
+};
+
+/// FNV-1a 64-bit hash of `bytes` — the checksum primitive shared by the
+/// checkpoint journal, the byte cache, and callers deriving cache keys.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Environment variable consulted by [`ExecPolicy::from_env`] for the
 /// worker-thread count. Unset, empty, `0`, or unparsable values fall
 /// back to the machine's available parallelism.
@@ -164,6 +187,11 @@ where
     if enabled {
         rec.add(names::EXEC_REGIONS, 1);
         rec.add(names::EXEC_ITEMS, items.len() as u64);
+    }
+    if items.is_empty() {
+        // An empty region counts as a region but spawns nothing, claims
+        // no chunks, and opens no worker/chunk spans.
+        return Vec::new();
     }
     let region = span(rec, names::SPAN_EXEC_REGION);
     let workers = policy.threads().min(items.len());
@@ -388,6 +416,44 @@ mod tests {
             x * i as u64
         });
         assert_eq!(plain, rec);
+    }
+
+    #[test]
+    fn empty_input_returns_without_spawning() {
+        use lowvolt_obs::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let none: Vec<u64> = Vec::new();
+        let out = parallel_map_recorded(&ExecPolicy::with_threads(8), &reg, &none, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(reg.counter(names::EXEC_REGIONS), 1);
+        assert_eq!(reg.counter(names::EXEC_ITEMS), 0);
+        assert_eq!(reg.counter(names::EXEC_CHUNKS), 0);
+        // The early return precedes every span: no worker (or even
+        // region) timer means no thread was spawned or clock read.
+        let snap = reg.snapshot();
+        assert!(snap.span(names::SPAN_EXEC_REGION).is_none());
+        assert!(snap.span(names::SPAN_EXEC_WORKER).is_none());
+        assert!(snap.span(names::SPAN_EXEC_CHUNK).is_none());
+    }
+
+    #[test]
+    fn fewer_items_than_threads_runs_inline() {
+        use lowvolt_obs::MetricsRegistry;
+        // workers = threads.min(items): a single item runs inline as one
+        // chunk, and tiny inputs never spawn more workers than items.
+        let reg = MetricsRegistry::new();
+        let one = [99u32];
+        let out = parallel_map_recorded(&ExecPolicy::with_threads(64), &reg, &one, |_, &x| x + 1);
+        assert_eq!(out, vec![100]);
+        assert_eq!(reg.counter(names::EXEC_CHUNKS), 1, "single inline chunk");
+        for n in 1..6usize {
+            let items: Vec<usize> = (0..n).collect();
+            let out = parallel_map(&ExecPolicy::with_threads(64), &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 7
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 7).collect::<Vec<_>>());
+        }
     }
 
     #[test]

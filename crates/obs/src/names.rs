@@ -31,6 +31,16 @@ pub const SWITCH_RELAX_PASSES: &str = "switch.relax.passes";
 /// Node value transitions observed by the switch-level simulator.
 pub const SWITCH_TRANSITIONS: &str = "switch.transitions";
 
+/// Golden-trace cache lookups that found a valid entry.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Golden-trace cache lookups that missed (absent, corrupt, or
+/// mismatched entries all count as misses; corrupt files are also
+/// quarantined).
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Records appended to a checkpoint journal (one per completed work
+/// item whose result was persisted).
+pub const CHECKPOINT_RECORDS: &str = "checkpoint.records";
+
 /// Fault-campaign targets run.
 pub const CAMPAIGN_TARGETS: &str = "campaign.targets";
 /// Faults injected across all campaign targets.
@@ -54,6 +64,15 @@ pub const EXEC_ITEMS: &str = "exec.items";
 pub const EXEC_CHUNKS: &str = "exec.chunks";
 /// Parallel regions entered.
 pub const EXEC_REGIONS: &str = "exec.regions";
+/// Work items whose closure panicked (caught and isolated by the fault
+/// layer; each attempt that panics counts once).
+pub const EXEC_PANICS: &str = "exec.panics";
+/// Retry attempts performed by the fault layer (a first attempt is not
+/// a retry).
+pub const EXEC_RETRIES: &str = "exec.retries";
+/// Work-item attempts that hit their cooperative deadline and were
+/// cancelled.
+pub const EXEC_TIMEOUTS: &str = "exec.timeouts";
 
 /// Lint targets analysed.
 pub const LINT_TARGETS: &str = "lint.targets";
@@ -79,6 +98,8 @@ pub const PROFILE_BLOCKS: &str = "profile.blocks";
 /// exactly this set in exactly this order; [`counter_index`] binary
 /// searches it.
 pub const COUNTERS: &[&str] = &[
+    CACHE_HITS,
+    CACHE_MISSES,
     CAMPAIGN_CORRUPTED,
     CAMPAIGN_DETECTED,
     CAMPAIGN_INJECTIONS,
@@ -86,9 +107,13 @@ pub const COUNTERS: &[&str] = &[
     CAMPAIGN_PROPAGATED_X,
     CAMPAIGN_TARGETS,
     CAMPAIGN_VECTORS,
+    CHECKPOINT_RECORDS,
     EXEC_CHUNKS,
     EXEC_ITEMS,
+    EXEC_PANICS,
     EXEC_REGIONS,
+    EXEC_RETRIES,
+    EXEC_TIMEOUTS,
     LINT_DIAGNOSTICS,
     LINT_PASSES,
     LINT_TARGETS,
@@ -184,6 +209,21 @@ mod tests {
             "sim.settle.iterations",
             "sim.watchdog.fingerprints",
             "sim.alpha.nodes",
+        ] {
+            assert!(counter_index(required).is_some(), "{required}");
+        }
+    }
+
+    #[test]
+    fn fault_layer_counters_are_present() {
+        // The counters the CI resume-gate asserts on.
+        for required in [
+            "exec.panics",
+            "exec.retries",
+            "exec.timeouts",
+            "cache.hits",
+            "cache.misses",
+            "checkpoint.records",
         ] {
             assert!(counter_index(required).is_some(), "{required}");
         }
