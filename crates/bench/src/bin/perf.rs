@@ -19,7 +19,10 @@
 //! that the parallel leg reproduced the serial output bit for bit.
 
 use lowvolt_bench::{all_experiments, run_experiments_with, BenchError};
-use lowvolt_circuit::faults::{run_campaign_recorded, standard_targets, stuck_at_universe};
+use lowvolt_circuit::compiled::run_campaign_packed;
+use lowvolt_circuit::faults::{
+    run_campaign_recorded, standard_targets, stuck_at_universe, CampaignOptions,
+};
 use lowvolt_circuit::stimulus::PatternSource;
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::sensitivity::{analyse_with, DesignPoint};
@@ -33,6 +36,9 @@ use std::time::Instant;
 /// `--metrics-json` emits, so the two outputs cannot drift apart.
 struct StageResult {
     name: &'static str,
+    /// Which simulation engine the stage exercised; `None` for stages
+    /// that are not engine-selectable (regen, optimize).
+    engine: Option<&'static str>,
     serial_wall_ms: f64,
     parallel_wall_ms: f64,
     identical: bool,
@@ -45,6 +51,22 @@ impl StageResult {
             self.serial_wall_ms / self.parallel_wall_ms
         } else {
             1.0
+        }
+    }
+
+    /// Campaign throughput: completed injections per second of serial
+    /// wall clock (the engine-to-engine comparison, independent of
+    /// thread count). `None` when the stage recorded no injections.
+    fn injections_per_sec(&self) -> Option<f64> {
+        let injections = self
+            .counters
+            .iter()
+            .find(|(name, _)| *name == names::CAMPAIGN_INJECTIONS)
+            .map(|&(_, v)| v)?;
+        if self.serial_wall_ms > 0.0 {
+            Some(injections as f64 / (self.serial_wall_ms / 1e3))
+        } else {
+            None
         }
     }
 }
@@ -62,6 +84,7 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// comparison is not skewed by collection overhead on one side only.
 fn stage<R: PartialEq>(
     name: &'static str,
+    engine: Option<&'static str>,
     policy: &ExecPolicy,
     run: impl Fn(&ExecPolicy, &dyn Recorder) -> Result<R, String>,
 ) -> Result<StageResult, String> {
@@ -79,6 +102,7 @@ fn stage<R: PartialEq>(
         .collect();
     Ok(StageResult {
         name,
+        engine,
         serial_wall_ms,
         parallel_wall_ms,
         identical,
@@ -87,12 +111,17 @@ fn stage<R: PartialEq>(
 }
 
 /// The campaign stage: the full stuck-at universe over every standard
-/// datapath target, fixed-seed random vectors.
+/// datapath target, fixed-seed random vectors. `compiled` switches the
+/// bit-parallel levelized engine in for the event-driven one; the
+/// rendered reports are byte-identical between the two, so the
+/// event/compiled rows in `BENCH_sim.json` time the same classification
+/// work.
 fn campaign_leg(
     policy: &ExecPolicy,
     rec: &dyn Recorder,
     width: usize,
     vectors: usize,
+    compiled: bool,
 ) -> Result<String, String> {
     let targets = standard_targets(width).map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -100,9 +129,27 @@ fn campaign_leg(
         let faults = stuck_at_universe(&target.netlist);
         let mut stimulus = PatternSource::random(target.inputs.len(), 0xC0FFEE + i as u64)
             .map_err(|e| e.to_string())?;
-        let report = run_campaign_recorded(policy, rec, target, &faults, &mut stimulus, vectors)
+        if compiled {
+            let res = run_campaign_packed(
+                policy,
+                rec,
+                target,
+                &faults,
+                &mut stimulus,
+                vectors,
+                CampaignOptions::default(),
+            )
             .map_err(|e| e.to_string())?;
-        out.push_str(&report.to_string());
+            let report = res
+                .report()
+                .ok_or_else(|| "compiled campaign left injections unresolved".to_string())?;
+            out.push_str(&report.to_string());
+        } else {
+            let report =
+                run_campaign_recorded(policy, rec, target, &faults, &mut stimulus, vectors)
+                    .map_err(|e| e.to_string())?;
+            out.push_str(&report.to_string());
+        }
     }
     Ok(out)
 }
@@ -167,8 +214,16 @@ fn render_json(threads: usize, parallelism: usize, quick: bool, stages: &[StageR
             .map(|(name, v)| format!("\"{}\": {v}", json_escape(name)))
             .collect::<Vec<_>>()
             .join(", ");
+        let engine = s
+            .engine
+            .map(|e| format!("\"engine\": \"{}\", ", json_escape(e)))
+            .unwrap_or_default();
+        let throughput = s
+            .injections_per_sec()
+            .map(|r| format!("\"injections_per_sec\": {r:.1}, "))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}, \"counters\": {{{counters}}}}}{}\n",
+            "    {{\"name\": \"{}\", {engine}\"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \"speedup\": {:.3}, {throughput}\"identical\": {}, \"counters\": {{{counters}}}}}{}\n",
             json_escape(s.name),
             s.serial_wall_ms,
             s.parallel_wall_ms,
@@ -229,19 +284,34 @@ fn run() -> Result<(), String> {
     };
 
     let stages = vec![
-        stage(names::STAGE_CAMPAIGN, &policy, |p, rec| {
-            campaign_leg(p, rec, width, vectors)
+        stage(names::STAGE_CAMPAIGN, Some("event"), &policy, |p, rec| {
+            campaign_leg(p, rec, width, vectors, false)
         })?,
-        stage(names::STAGE_REGEN, &policy, |p, _| regen_leg(p, regen_ids))?,
-        stage(names::STAGE_OPTIMIZE, &policy, |p, _| {
+        stage(
+            names::STAGE_CAMPAIGN,
+            Some("compiled"),
+            &policy,
+            |p, rec| campaign_leg(p, rec, width, vectors, true),
+        )?,
+        stage(names::STAGE_REGEN, None, &policy, |p, _| {
+            regen_leg(p, regen_ids)
+        })?,
+        stage(names::STAGE_OPTIMIZE, None, &policy, |p, _| {
             optimize_leg(p, quick)
         })?,
     ];
 
     for s in &stages {
+        let label = match s.engine {
+            Some(e) => format!("{}[{e}]", s.name),
+            None => s.name.to_string(),
+        };
+        let throughput = s
+            .injections_per_sec()
+            .map(|r| format!("  {r:.0} inj/s"))
+            .unwrap_or_default();
         eprintln!(
-            "perf: {:9} serial {:8.1} ms  parallel {:8.1} ms  speedup {:.2}x  identical {}",
-            s.name,
+            "perf: {label:18} serial {:8.1} ms  parallel {:8.1} ms  speedup {:.2}x  identical {}{throughput}",
             s.serial_wall_ms,
             s.parallel_wall_ms,
             s.speedup(),

@@ -121,6 +121,14 @@ pub enum CircuitError {
         /// What broke.
         detail: &'static str,
     },
+    /// The netlist cannot be compiled into a levelized bit-parallel form
+    /// (combinational cycle, register-to-register feedback, or a fault
+    /// kind the packed evaluator does not model). Callers should fall
+    /// back to the event-driven engine.
+    Unlevelizable {
+        /// Why levelization was refused.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -197,6 +205,11 @@ impl fmt::Display for CircuitError {
             CircuitError::Internal { detail } => {
                 write!(f, "internal simulator invariant violated: {detail}")
             }
+            CircuitError::Unlevelizable { reason } => write!(
+                f,
+                "netlist cannot be levelized for the compiled engine: {reason} \
+                 (use the event-driven engine instead)"
+            ),
         }
     }
 }
@@ -273,5 +286,10 @@ mod tests {
                 .contains("bug")
                 || true
         );
+        assert!(CircuitError::Unlevelizable {
+            reason: "combinational cycle"
+        }
+        .to_string()
+        .contains("combinational cycle"));
     }
 }

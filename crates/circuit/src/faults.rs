@@ -589,7 +589,7 @@ impl ResilientCampaign {
 /// hash mixed with the observation interface (input/output/clock node
 /// ids) and the expanded stimulus itself, so a cache entry can only hit
 /// when the golden run it stores would be recomputed identically.
-fn golden_cache_content(target: &FaultTarget, vecs: &[Vec<Bit>]) -> u64 {
+pub(crate) fn golden_cache_content(target: &FaultTarget, vecs: &[Vec<Bit>]) -> u64 {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&target.netlist.structural_hash().to_le_bytes());
     bytes.extend_from_slice(&(target.inputs.len() as u64).to_le_bytes());

@@ -40,6 +40,7 @@ pub mod activity;
 pub mod adder;
 pub mod alu;
 pub mod cells;
+pub mod compiled;
 pub mod error;
 pub mod faults;
 pub mod logic;

@@ -280,6 +280,10 @@ fn put_circuit_error(out: &mut Vec<u8>, err: &CircuitError) {
             out.push(15);
             put_string(out, detail);
         }
+        CircuitError::Unlevelizable { reason } => {
+            out.push(16);
+            put_string(out, reason);
+        }
     }
 }
 
@@ -341,6 +345,9 @@ fn read_circuit_error(r: &mut Reader<'_>) -> Option<CircuitError> {
         },
         15 => CircuitError::Internal {
             detail: intern(&r.string()?)?,
+        },
+        16 => CircuitError::Unlevelizable {
+            reason: intern(&r.string()?)?,
         },
         _ => return None,
     })
@@ -449,6 +456,36 @@ pub fn decode_outcome(bytes: &[u8]) -> Option<FaultOutcome> {
     Some(outcome)
 }
 
+/// Encodes one packed-campaign checkpoint record: the per-fault
+/// classification bytes for a single 64-vector stimulus word, prefixed
+/// with the fault count. Class values are the compiled engine's
+/// word-local verdicts (`0` masked, `1` X-divergence, `2` definite
+/// corruption, `3`/`4` detected-malformed-fault markers).
+#[must_use]
+pub fn encode_word_classes(classes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + classes.len());
+    put_u32(&mut out, classes.len() as u32);
+    out.extend_from_slice(classes);
+    out
+}
+
+/// Decodes an [`encode_word_classes`] payload; `None` on truncation,
+/// trailing bytes, or a class byte outside the compiled engine's
+/// vocabulary.
+#[must_use]
+pub fn decode_word_classes(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return None;
+    }
+    let classes = r.take(n)?.to_vec();
+    if !r.done() || classes.iter().any(|&c| c > 4) {
+        return None;
+    }
+    Some(classes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +567,9 @@ mod tests {
             CircuitError::NoSwitchLowering { kind: "dff" },
             CircuitError::Cancelled { after_events: 1234 },
             CircuitError::Internal { detail: "x" },
+            CircuitError::Unlevelizable {
+                reason: "combinational cycle",
+            },
         ];
         for err in variants {
             let bytes = encode_circuit_error(&err);
@@ -569,6 +609,29 @@ mod tests {
             assert_eq!(decode_outcome(&long), None);
         }
         assert_eq!(decode_outcome(&[99]), None, "unknown tag");
+    }
+
+    #[test]
+    fn word_classes_round_trip_and_reject_corruption() {
+        for classes in [vec![], vec![0u8, 1, 2, 3, 4], vec![2; 40]] {
+            let bytes = encode_word_classes(&classes);
+            assert_eq!(decode_word_classes(&bytes), Some(classes.clone()));
+            for cut in 0..bytes.len() {
+                assert_eq!(decode_word_classes(&bytes[..cut]), None, "cut {cut}");
+            }
+            let mut long = bytes.clone();
+            long.push(0);
+            assert_eq!(decode_word_classes(&long), None);
+        }
+        // A class byte outside the vocabulary is rejected.
+        let mut bad = encode_word_classes(&[0]);
+        let last = bad.len() - 1;
+        bad[last] = 9;
+        assert_eq!(decode_word_classes(&bad), None);
+        // A huge length prefix must not allocate.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        assert_eq!(decode_word_classes(&huge), None);
     }
 
     #[test]

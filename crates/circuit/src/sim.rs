@@ -101,9 +101,12 @@ struct FlatGate {
 /// giving up on quiescence.
 pub const DEFAULT_EVENT_BUDGET: usize = 4_000_000;
 
-/// Events processed before the oscillation watchdog starts sampling
-/// state fingerprints. Normal settles finish well under this, so the
-/// watchdog costs nothing on healthy circuits.
+/// Minimum events processed before the oscillation watchdog starts
+/// sampling state fingerprints. The effective warmup is the larger of
+/// this floor and half the settle budget: a healthy-but-large settle
+/// (deep carry chains, packed campaign fan-out) should never pay for
+/// fingerprinting, while a genuine oscillation still leaves the second
+/// half of the budget for the watchdog to catch the repeating state.
 const WATCHDOG_WARMUP_EVENTS: usize = 1024;
 
 /// Events between successive watchdog fingerprints once armed.
@@ -463,7 +466,7 @@ impl<'a> Simulator<'a> {
                         after_events: spent,
                     });
                 }
-                if spent >= WATCHDOG_WARMUP_EVENTS
+                if spent >= WATCHDOG_WARMUP_EVENTS.max(budget / 2)
                     && spent.is_multiple_of(WATCHDOG_SAMPLE_INTERVAL)
                     && !self.queue.is_empty()
                 {
@@ -892,6 +895,54 @@ mod tests {
             }
             other => panic!("expected Oscillation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watchdog_stays_disarmed_through_long_healthy_settles() {
+        use lowvolt_obs::MetricsRegistry;
+        // A 2000-buffer chain settles in well over WATCHDOG_WARMUP_EVENTS
+        // events but far under half the default budget, so the delayed
+        // arming must take zero fingerprints — large healthy settles pay
+        // nothing for the oscillation watchdog.
+        let reg = MetricsRegistry::new();
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let mut node = a;
+        for _ in 0..2000 {
+            node = n.gate(GateKind::Buf, &[node]).unwrap();
+        }
+        let mut sim = Simulator::new(&n);
+        sim.set_recorder(&reg);
+        sim.set_input(a, Bit::Zero).unwrap();
+        sim.settle().unwrap();
+        sim.set_input(a, Bit::One).unwrap();
+        sim.settle().unwrap();
+        assert!(reg.counter(names::SIM_EVENTS_PROCESSED) > WATCHDOG_WARMUP_EVENTS as u64);
+        assert_eq!(reg.counter(names::SIM_WATCHDOG_FINGERPRINTS), 0);
+    }
+
+    #[test]
+    fn delayed_watchdog_still_diagnoses_oscillation_past_half_budget() {
+        use lowvolt_obs::MetricsRegistry;
+        // Fingerprinting now starts at max(warmup, budget / 2): the ring
+        // must still be caught, and only after half the budget is spent.
+        let reg = MetricsRegistry::new();
+        let mut n = Netlist::new();
+        let a = n.node("loop");
+        let y1 = n.gate(GateKind::Not, &[a]).unwrap();
+        let y2 = n.gate(GateKind::Not, &[y1]).unwrap();
+        let y3 = n.gate(GateKind::Not, &[y2]).unwrap();
+        n.gate_into(GateKind::Buf, &[y3], a).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_recorder(&reg);
+        sim.set_input(a, Bit::Zero).unwrap();
+        let err = sim.settle_with_budget(100_000).unwrap_err();
+        assert!(
+            matches!(err, CircuitError::Oscillation { .. }),
+            "got {err:?}"
+        );
+        assert!(reg.counter(names::SIM_EVENTS_PROCESSED) >= 50_000);
+        assert!(reg.counter(names::SIM_WATCHDOG_FINGERPRINTS) > 0);
     }
 
     #[test]

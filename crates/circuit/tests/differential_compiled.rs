@@ -1,0 +1,164 @@
+//! Differential testing: the event-driven fault-campaign engine against
+//! the compiled bit-parallel levelized engine.
+//!
+//! The compiled engine packs 64 stimulus vectors per machine word and
+//! re-evaluates only each fault's difference frontier, so it must be
+//! checked against the event engine it replaces, not against intuition:
+//! every stuck-at fault on every standard datapath must classify
+//! identically, the rendered campaign reports must match byte for byte
+//! at every thread count, and the settled per-node activity must equal
+//! an event-side harness that samples settled values (the event
+//! engine's own counters also tally glitches, which the compiled
+//! engine's settled semantics deliberately exclude).
+
+use std::collections::HashMap;
+
+use lowvolt_circuit::compiled::{run_campaign_packed, CompiledNetlist};
+use lowvolt_circuit::faults::{
+    run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, FaultTarget,
+};
+use lowvolt_circuit::logic::Bit;
+use lowvolt_circuit::sim::Simulator;
+use lowvolt_circuit::stimulus::PatternSource;
+use lowvolt_circuit::NodeId;
+use lowvolt_exec::ExecPolicy;
+
+const VECTORS: usize = 96; // two packed words, the second half-full
+const SEED: u64 = 0xD1FF;
+
+fn event_reference(target: &FaultTarget, seed: u64) -> lowvolt_circuit::faults::ResilientCampaign {
+    let faults = stuck_at_universe(&target.netlist);
+    let mut stimulus =
+        PatternSource::random(target.inputs.len(), seed).expect("stimulus width is nonzero");
+    run_campaign_resilient(
+        &ExecPolicy::serial(),
+        lowvolt_obs::noop(),
+        target,
+        &faults,
+        &mut stimulus,
+        VECTORS,
+        CampaignOptions::default(),
+    )
+    .expect("event campaign runs")
+}
+
+/// Every fault on every standard datapath classifies identically under
+/// both engines, at 1, 2, and 8 worker threads, and the rendered
+/// campaign reports are byte-identical.
+#[test]
+fn packed_campaign_matches_event_on_all_standard_targets() {
+    let targets = standard_targets(4).expect("standard targets build");
+    for (i, target) in targets.iter().enumerate() {
+        let seed = SEED.wrapping_add(i as u64);
+        let event = event_reference(target, seed);
+        let event_report = event.report().expect("event campaign completed");
+        let faults = stuck_at_universe(&target.netlist);
+        for threads in [1usize, 2, 8] {
+            let policy = ExecPolicy::with_threads(threads);
+            let mut stimulus = PatternSource::random(target.inputs.len(), seed)
+                .expect("stimulus width is nonzero");
+            let packed = run_campaign_packed(
+                &policy,
+                lowvolt_obs::noop(),
+                target,
+                &faults,
+                &mut stimulus,
+                VECTORS,
+                CampaignOptions::default(),
+            )
+            .expect("packed campaign runs");
+            assert_eq!(event.reports.len(), packed.reports.len());
+            for (f, (e, p)) in faults.iter().zip(event.reports.iter().zip(&packed.reports)) {
+                let e = e.as_ref().expect("event outcome resolved");
+                let p = p.as_ref().expect("packed outcome resolved");
+                assert_eq!(
+                    e.outcome, p.outcome,
+                    "target {} threads {threads} fault {f:?}",
+                    target.name
+                );
+            }
+            let packed_report = packed.report().expect("packed campaign completed");
+            assert_eq!(
+                event_report.to_string(),
+                packed_report.to_string(),
+                "rendered report diverged on {} at {threads} thread(s)",
+                target.name
+            );
+        }
+    }
+}
+
+/// Samples settled node values from the event simulator, cycle by
+/// cycle, and counts known-0→known-1 / known-1→known-0 transitions in
+/// the measured window — the same settled semantics the compiled
+/// engine's activity counters use.
+fn settled_counts(
+    target: &FaultTarget,
+    seed: u64,
+    cycles: usize,
+    warmup: usize,
+) -> HashMap<NodeId, (u64, u64)> {
+    let mut source =
+        PatternSource::random(target.inputs.len(), seed).expect("stimulus width is nonzero");
+    let mut sim = Simulator::new(&target.netlist);
+    let nodes: Vec<NodeId> = target.netlist.node_ids().collect();
+    let mut prev: HashMap<NodeId, Bit> = nodes.iter().map(|&n| (n, Bit::X)).collect();
+    let mut counts: HashMap<NodeId, (u64, u64)> = nodes.iter().map(|&n| (n, (0, 0))).collect();
+    for cycle in 0..cycles {
+        let bits = source.next_pattern();
+        sim.apply_vector(&target.inputs, &bits)
+            .expect("vector settles");
+        for &n in &nodes {
+            let cur = sim.value(n);
+            if cycle >= warmup {
+                let c = counts.get_mut(&n).expect("node seeded");
+                match (prev[&n], cur) {
+                    (Bit::Zero, Bit::One) => c.0 += 1,
+                    (Bit::One, Bit::Zero) => c.1 += 1,
+                    _ => {}
+                }
+            }
+            prev.insert(n, cur);
+        }
+    }
+    counts
+}
+
+/// The compiled engine's per-node settled activity equals the
+/// event-side settled harness exactly, on every standard datapath —
+/// including the clocked register file, whose undriven clock leaves the
+/// flip-flops inert (X) in both engines.
+#[test]
+fn packed_settled_activity_matches_event_settled_sampling() {
+    let (cycles, warmup) = (70usize, 6usize); // crosses a 64-lane word boundary
+    let targets = standard_targets(4).expect("standard targets build");
+    for (i, target) in targets.iter().enumerate() {
+        let seed = SEED.wrapping_add(0x51A0 + i as u64);
+        let expected = settled_counts(target, seed, cycles, warmup);
+        let comp = CompiledNetlist::compile(&target.netlist).expect("standard targets levelize");
+        let mut source =
+            PatternSource::random(target.inputs.len(), seed).expect("stimulus width is nonzero");
+        let report = comp
+            .measure_activity(
+                &target.netlist,
+                lowvolt_obs::noop(),
+                &mut source,
+                &target.inputs,
+                cycles,
+                warmup,
+            )
+            .expect("packed activity runs");
+        assert_eq!(report.cycles(), (cycles - warmup) as u64);
+        for e in report.entries() {
+            let &(rising, falling) = expected.get(&e.node).expect("entry for every node");
+            assert_eq!(
+                (e.rising, e.falling),
+                (rising, falling),
+                "settled activity diverged on {} node {}",
+                target.name,
+                e.name
+            );
+        }
+        assert_eq!(report.entries().len(), expected.len());
+    }
+}

@@ -6,6 +6,7 @@ use std::fmt;
 use crate::args::Parsed;
 use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
+use lowvolt_circuit::compiled::{run_campaign_packed, CompiledNetlist};
 use lowvolt_circuit::faults::{
     run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, ResilientCampaign,
 };
@@ -127,12 +128,13 @@ USAGE:
                    [--hysteresis N] [--blocks] [--duty D] [--metrics-json PATH]
   lowvolt sim      --circuit adder8|adder16|shifter8|mult8|alu8
                    [--patterns random|counting] [--cycles N] [--seed N]
-                   [--metrics-json PATH]
+                   [--engine event|compiled] [--metrics-json PATH]
   lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
                    [--patterns random|counting] [--cycles N] [--seed N]
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
                    [--threads N]
   lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
+                   [--engine event|compiled]
                    [--checkpoint PATH [--resume] [--interrupt-after N]]
                    [--max-retries N] [--item-timeout-ms MS] [--cache DIR]
                    [--metrics-json PATH]
@@ -163,6 +165,18 @@ injection, degrading persistent failures to typed per-injection
 errors; `--cache DIR` reuses golden traces across invocations;
 `--interrupt-after N` stops after N new injections (the deterministic
 interruption hook the resume tests use).
+
+`--engine compiled` selects the bit-parallel levelized engine: gates
+are topologically levelized, 64 stimulus vectors are packed per machine
+word, and each fault re-evaluates only its difference frontier against
+the golden planes. Classifications, the coverage table, and settled
+activity are byte-identical to the event engine on supported circuits;
+structures only the event engine can simulate (combinational cycles,
+bridge faults, gated flip-flop clocks, register feedback) are refused
+with an explanatory error. Under `--engine compiled` the checkpoint,
+`--interrupt-after`, and resume unit is a 64-vector stimulus *word*,
+not an injection, and a journal written by one engine is not replayed
+by the other (the mismatched records are recomputed with a warning).
 
 Run any experiment of the paper with the separate `regen` binary.";
 
@@ -379,6 +393,25 @@ fn pattern_source(parsed: &Parsed, width: usize, seed: u64) -> Result<PatternSou
     }
 }
 
+/// Which simulation engine a command should run on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// The event-driven simulator (default; handles every circuit).
+    Event,
+    /// The bit-parallel levelized engine (64 vectors per word).
+    Compiled,
+}
+
+fn engine_flag(parsed: &Parsed) -> Result<Engine, CliError> {
+    match parsed.get("engine").unwrap_or("event") {
+        "event" => Ok(Engine::Event),
+        "compiled" => Ok(Engine::Compiled),
+        other => Err(CliError(format!(
+            "unknown engine `{other}` (event, compiled)"
+        ))),
+    }
+}
+
 /// Event-driven simulation of a demo circuit under a pattern stream,
 /// reporting settle statistics and extracted switching activity. The
 /// instrumentation showcase: with `--metrics-json` the simulator's
@@ -390,14 +423,36 @@ fn sim(parsed: &Parsed) -> Result<String, CliError> {
     let circuit = parsed.get("circuit").unwrap_or("adder8");
     let cycles = parsed.get_u64("cycles")?.unwrap_or(256) as usize;
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
+    let engine = engine_flag(parsed)?;
     let (n, inputs) = build_circuit(circuit)?;
     let mut source = pattern_source(parsed, inputs.len(), seed)?;
-    let mut sim = Simulator::new(&n);
-    sim.set_recorder(metrics.recorder());
     let warmup = (cycles / 10).max(4);
-    let report = sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup)?;
+    let report = match engine {
+        Engine::Event => {
+            let mut sim = Simulator::new(&n);
+            sim.set_recorder(metrics.recorder());
+            sim.measure_activity(&mut source, &inputs, cycles + warmup, warmup)?
+        }
+        Engine::Compiled => {
+            let comp = CompiledNetlist::compile(&n)?;
+            comp.measure_activity(
+                &n,
+                metrics.recorder(),
+                &mut source,
+                &inputs,
+                cycles + warmup,
+                warmup,
+            )?
+        }
+    };
+    // The compiled engine reports settled activity only; the event engine
+    // additionally counts glitch transitions, so alpha may differ.
+    let engine_line = match engine {
+        Engine::Event => "",
+        Engine::Compiled => "engine: compiled (bit-parallel, settled activity)\n",
+    };
     let out = format!(
-        "circuit: {circuit} ({} gates, {} nodes)\nsimulated {} cycles ({} warmup)\nmean alpha = {:.4}\nswitched capacitance = {:.1} fF/cycle\n",
+        "circuit: {circuit} ({} gates, {} nodes)\n{engine_line}simulated {} cycles ({} warmup)\nmean alpha = {:.4}\nswitched capacitance = {:.1} fF/cycle\n",
         n.gate_count(),
         n.node_count(),
         cycles,
@@ -492,6 +547,7 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
         Some(dir) => Some(ByteCache::open(dir).map_err(|e| CliError(e.to_string()))?),
         None => None,
     };
+    let engine = engine_flag(parsed)?;
     let policy = exec_policy(parsed)?;
     let metrics = Metrics::from_args(parsed)?;
     let targets = standard_targets(width)?;
@@ -520,6 +576,11 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
         "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n",
         policy.threads()
     );
+    if engine == Engine::Compiled {
+        out.push_str(
+            "engine: compiled (bit-parallel levelized; checkpoint unit = 64-vector word)\n",
+        );
+    }
     if let (Some(path), Some((_, completed))) = (&checkpoint_path, &journal_state) {
         out.push_str(&format!(
             "checkpoint: {path} ({} completed injection(s) on file)\n",
@@ -580,21 +641,37 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
                     max_new_items: budget,
                 }),
         };
-        let res = run_campaign_resilient(
-            &policy,
-            metrics.recorder(),
-            target,
-            &faults,
-            &mut stimulus,
-            vectors,
-            options,
-        )?;
+        let res = match engine {
+            Engine::Event => run_campaign_resilient(
+                &policy,
+                metrics.recorder(),
+                target,
+                &faults,
+                &mut stimulus,
+                vectors,
+                options,
+            )?,
+            Engine::Compiled => run_campaign_packed(
+                &policy,
+                metrics.recorder(),
+                target,
+                &faults,
+                &mut stimulus,
+                vectors,
+                options,
+            )?,
+        };
         warnings.extend(res.warnings.clone());
         if let Some(b) = budget {
             budget = Some(b.saturating_sub(res.computed));
         }
         pending_total += res.skipped;
-        index_base += faults.len() as u64;
+        // The journal item (and thus the index space) is an injection for
+        // the event engine but a packed 64-vector word for the compiled one.
+        index_base += match engine {
+            Engine::Event => faults.len() as u64,
+            Engine::Compiled => vectors.div_ceil(64) as u64,
+        };
         let masked = label_count(&res, "masked");
         let resolved = res.reports.iter().flatten().count();
         let coverage = if resolved == faults.len() {
@@ -618,8 +695,12 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     }
     out.push_str(&t.to_string());
     if pending_total > 0 {
+        let unit = match engine {
+            Engine::Event => "injection",
+            Engine::Compiled => "stimulus word",
+        };
         out.push_str(&format!(
-            "\ncampaign interrupted: {pending_total} injection(s) pending; \
+            "\ncampaign interrupted: {pending_total} {unit}(s) pending; \
              rerun with --resume --checkpoint to finish\n"
         ));
     }
@@ -1170,6 +1251,167 @@ mod tests {
         assert!(err.0.contains("--checkpoint"), "{}", err.0);
         let err = run(&["campaign", "--checkpoint"]).unwrap_err();
         assert!(err.0.contains("journal file path"), "{}", err.0);
+    }
+
+    #[test]
+    fn sim_compiled_engine_reports_and_flushes_counters() {
+        let out = run(&[
+            "sim",
+            "--circuit",
+            "adder8",
+            "--cycles",
+            "64",
+            "--engine",
+            "compiled",
+        ])
+        .unwrap();
+        assert!(out.contains("engine: compiled"), "{out}");
+        assert!(out.contains("simulated 64 cycles"), "{out}");
+        assert!(out.contains("mean alpha"), "{out}");
+        let json = run(&[
+            "sim",
+            "--circuit",
+            "adder8",
+            "--cycles",
+            "64",
+            "--engine",
+            "compiled",
+            "--metrics-json",
+            "-",
+        ])
+        .unwrap();
+        assert!(json.contains("\"compiled.words\""), "{json}");
+        assert!(json.contains("\"compiled.gate_evals\""), "{json}");
+        let err = run(&["sim", "--engine", "vliw"]).unwrap_err();
+        assert!(err.0.contains("unknown engine `vliw`"), "{}", err.0);
+    }
+
+    #[test]
+    fn campaign_compiled_coverage_table_matches_event() {
+        let event = run(&["campaign", "--width", "2", "--vectors", "4"]).unwrap();
+        let compiled = run(&[
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "4",
+            "--engine",
+            "compiled",
+        ])
+        .unwrap();
+        assert!(compiled.contains("engine: compiled"), "{compiled}");
+        let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
+        assert_eq!(table(&event), table(&compiled));
+        assert!(table(&event).is_some());
+    }
+
+    #[test]
+    fn campaign_compiled_is_thread_count_invariant() {
+        let base = [
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "70",
+            "--engine",
+            "compiled",
+        ];
+        let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
+        let runs: Vec<String> = ["1", "2", "8"]
+            .iter()
+            .map(|t| {
+                let mut args = base.to_vec();
+                args.extend_from_slice(&["--threads", t]);
+                run(&args).unwrap()
+            })
+            .collect();
+        assert_eq!(table(&runs[0]), table(&runs[1]));
+        assert_eq!(table(&runs[0]), table(&runs[2]));
+        assert!(table(&runs[0]).is_some());
+    }
+
+    #[test]
+    fn campaign_compiled_checkpoint_interrupt_and_resume_match_clean_run() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_compiled_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.lvjr");
+        let _ = std::fs::remove_file(&journal);
+        // 70 vectors = 2 packed words per target; interrupting after 3
+        // words leaves later targets unresolved.
+        let base = [
+            "campaign",
+            "--width",
+            "2",
+            "--vectors",
+            "70",
+            "--engine",
+            "compiled",
+        ];
+        let with = |extra: &[&str]| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend_from_slice(extra);
+            run(&args).unwrap()
+        };
+        let clean = with(&["--threads", "2"]);
+        let interrupted = with(&[
+            "--threads",
+            "1",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--interrupt-after",
+            "3",
+        ]);
+        assert!(
+            interrupted.contains("campaign interrupted"),
+            "{interrupted}"
+        );
+        assert!(
+            interrupted.contains("stimulus word(s) pending"),
+            "{interrupted}"
+        );
+        assert!(interrupted.contains("--"), "partial coverage shown");
+        let resumed = with(&[
+            "--threads",
+            "3",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--resume",
+        ]);
+        let table = |s: &str| s.split("\n\n").nth(1).map(str::to_string);
+        assert_eq!(table(&clean), table(&resumed));
+        assert!(!resumed.contains("campaign interrupted"), "{resumed}");
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn campaign_compiled_golden_cache_interop_with_event() {
+        let dir = std::env::temp_dir().join("lowvolt_cli_compiled_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_engine = |engine: &str| {
+            run(&[
+                "campaign",
+                "--width",
+                "2",
+                "--vectors",
+                "4",
+                "--engine",
+                engine,
+                "--cache",
+                dir.to_str().unwrap(),
+                "--metrics-json",
+                "-",
+            ])
+            .unwrap()
+        };
+        // The compiled engine populates the same golden-trace cache the
+        // event engine reads (and vice versa): identical key and payload.
+        let first = with_engine("compiled");
+        assert!(first.contains("\"cache.misses\": 5"), "{first}");
+        let event = with_engine("event");
+        assert!(event.contains("\"cache.hits\": 5"), "{event}");
+        let again = with_engine("compiled");
+        assert!(again.contains("\"cache.hits\": 5"), "{again}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -41,6 +41,19 @@ pub const CACHE_MISSES: &str = "cache.misses";
 /// item whose result was persisted).
 pub const CHECKPOINT_RECORDS: &str = "checkpoint.records";
 
+/// (fault, word) evaluations in the compiled bit-parallel engine that
+/// early-exited because their difference frontier went all-zero before
+/// reaching the last level.
+pub const COMPILED_FAULT_DROPOUTS: &str = "compiled.fault_dropouts";
+/// Gate evaluations performed by the compiled bit-parallel engine
+/// (golden passes plus fault re-evaluations; each processes 64 packed
+/// vectors).
+pub const COMPILED_GATE_EVALS: &str = "compiled.gate_evals";
+/// 64-vector stimulus words evaluated by the compiled bit-parallel
+/// engine (replayed checkpoint words are not re-evaluated and do not
+/// count).
+pub const COMPILED_WORDS: &str = "compiled.words";
+
 /// Fault-campaign targets run.
 pub const CAMPAIGN_TARGETS: &str = "campaign.targets";
 /// Faults injected across all campaign targets.
@@ -108,6 +121,9 @@ pub const COUNTERS: &[&str] = &[
     CAMPAIGN_TARGETS,
     CAMPAIGN_VECTORS,
     CHECKPOINT_RECORDS,
+    COMPILED_FAULT_DROPOUTS,
+    COMPILED_GATE_EVALS,
+    COMPILED_WORDS,
     EXEC_CHUNKS,
     EXEC_ITEMS,
     EXEC_PANICS,
