@@ -1,8 +1,9 @@
 //! `perf` — the persisted benchmark baseline for the parallel engine.
 //!
-//! Times the three parallelised hot paths — fault campaign, experiment
-//! regeneration, and the (V_DD, V_T) optimisation sweep — once under the
-//! serial policy and once under the requested thread count, verifies the
+//! Times the four parallelised hot paths — fault campaign, experiment
+//! regeneration, the (V_DD, V_T) optimisation sweep, and the static
+//! timing sweep over the standard datapaths — once under the serial
+//! policy and once under the requested thread count, verifies the
 //! outputs are identical, and writes `BENCH_sim.json`.
 //!
 //! Usage:
@@ -29,6 +30,7 @@ use lowvolt_core::sensitivity::{analyse_with, DesignPoint};
 use lowvolt_device::units::Seconds;
 use lowvolt_exec::ExecPolicy;
 use lowvolt_obs::{names, MetricsRegistry, Recorder};
+use lowvolt_sta::{analyze, StaConfig, NOMINAL_VDD, NOMINAL_VT};
 use std::time::Instant;
 
 /// One stage's measurements. Counters come from the serial leg's
@@ -197,6 +199,29 @@ fn optimize_leg(policy: &ExecPolicy, quick: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// The STA stage: full text reports (critical path, endpoints, node
+/// slack) for every standard datapath at the nominal operating point —
+/// the endpoint summaries parallelise through the policy.
+fn sta_leg(policy: &ExecPolicy, rec: &dyn Recorder, width: usize) -> Result<String, String> {
+    let targets = standard_targets(width).map_err(|e| e.to_string())?;
+    let config = StaConfig::at(NOMINAL_VDD, NOMINAL_VT);
+    let mut out = String::new();
+    for target in &targets {
+        let report = analyze(
+            policy,
+            rec,
+            &target.name,
+            &target.netlist,
+            &target.outputs,
+            config,
+        )
+        .map_err(|e| e.to_string())?;
+        out.push_str(&report.to_string());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -298,6 +323,9 @@ fn run() -> Result<(), String> {
         })?,
         stage(names::STAGE_OPTIMIZE, None, &policy, |p, _| {
             optimize_leg(p, quick)
+        })?,
+        stage(names::STAGE_STA, None, &policy, |p, rec| {
+            sta_leg(p, rec, width)
         })?,
     ];
 

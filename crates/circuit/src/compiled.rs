@@ -189,6 +189,41 @@ struct CompiledDff {
     q: u32,
 }
 
+/// Accumulates every structure the compiled engine cannot model, so a
+/// refusal names all of them in one error instead of stopping at the
+/// first. Each finding carries its historical static category string
+/// plus a named detail; a single finding keeps the historical
+/// [`CircuitError::Unlevelizable`] shape (exact static reason, the
+/// contract differential tests match on), while several findings become
+/// [`CircuitError::UnlevelizableMany`] with one named entry each. The
+/// static timing analyzer reuses this collector through
+/// [`CompiledNetlist::compile`] for its cycle refusal.
+#[derive(Debug, Default)]
+struct IssueCollector {
+    /// `(historical static reason, named detail)` per finding.
+    issues: Vec<(&'static str, String)>,
+}
+
+impl IssueCollector {
+    fn push(&mut self, category: &'static str, detail: String) {
+        self.issues.push((category, detail));
+    }
+
+    /// The refusal built from the collected findings; `Ok(())` when
+    /// nothing was collected.
+    fn into_result(self) -> Result<(), CircuitError> {
+        match self.issues.len() {
+            0 => Ok(()),
+            1 => Err(CircuitError::Unlevelizable {
+                reason: self.issues[0].0,
+            }),
+            _ => Err(CircuitError::UnlevelizableMany {
+                reasons: self.issues.into_iter().map(|(_, d)| d).collect(),
+            }),
+        }
+    }
+}
+
 /// A netlist levelized for bit-parallel evaluation: the combinational
 /// gates in topological-level order as flat struct-of-arrays tables
 /// (kind, input slots, output slot), plus the cut flip-flop edges and a
@@ -210,6 +245,10 @@ pub struct CompiledNetlist {
     /// CSR of compiled-gate positions reading each node.
     reader_starts: Vec<usize>,
     readers: Vec<u32>,
+    /// Original netlist gate index per compiled gate — the key that
+    /// maps compiled positions back to gate-keyed annotations such as
+    /// power-intent domain assignments.
+    source: Vec<u32>,
     /// Level of every node (0 for inputs, flip-flop outputs, and
     /// undriven nodes).
     node_level: Vec<u32>,
@@ -227,25 +266,37 @@ impl CompiledNetlist {
     /// Returns [`CircuitError::Unlevelizable`] if the combinational core
     /// contains a cycle, a node has more than one driver, or a gate
     /// drives a primary input — all structures only the event-driven
-    /// engine can simulate.
+    /// engine can simulate. When several such structures exist they are
+    /// all collected and named in one
+    /// [`CircuitError::UnlevelizableMany`], so a netlist can be fixed in
+    /// a single pass.
     pub fn compile(netlist: &Netlist) -> Result<CompiledNetlist, CircuitError> {
         let node_count = netlist.node_count();
         let gates = netlist.gates();
+        let mut issues = IssueCollector::default();
         let mut has_driver = vec![false; node_count];
         let mut dffs = Vec::new();
         let mut comb: Vec<usize> = Vec::new();
         for (gi, g) in gates.iter().enumerate() {
             let out = g.output.index();
             if has_driver[out] {
-                return Err(CircuitError::Unlevelizable {
-                    reason: "a node is driven by more than one gate",
-                });
+                issues.push(
+                    "a node is driven by more than one gate",
+                    format!(
+                        "node '{}' is driven by more than one gate",
+                        netlist.node_name(g.output)
+                    ),
+                );
             }
             has_driver[out] = true;
             if netlist.is_primary_input(g.output) {
-                return Err(CircuitError::Unlevelizable {
-                    reason: "a gate drives a primary input",
-                });
+                issues.push(
+                    "a gate drives a primary input",
+                    format!(
+                        "a gate drives primary input '{}'",
+                        netlist.node_name(g.output)
+                    ),
+                );
             }
             if g.kind == GateKind::Dff {
                 dffs.push(CompiledDff {
@@ -282,10 +333,20 @@ impl CompiledNetlist {
             .map(|(ci, _)| ci as u32)
             .collect();
         let mut gate_level_by_ci: Vec<u32> = vec![0; comb.len()];
+        let mut done = vec![false; comb.len()];
+        let mut done_count = 0usize;
         let mut head = 0usize;
         while head < queue.len() {
             let ci = queue[head] as usize;
             head += 1;
+            // A multiply-driven node (already collected above) can make
+            // a reader's in-degree hit zero more than once; process each
+            // gate at most once.
+            if done[ci] {
+                continue;
+            }
+            done[ci] = true;
+            done_count += 1;
             let gi = comb[ci];
             let lvl = 1 + gates[gi]
                 .inputs
@@ -298,17 +359,27 @@ impl CompiledNetlist {
             node_level[out] = Some(lvl);
             for &rdr in &node_comb_readers[out] {
                 let rdr = rdr as usize;
-                indeg[rdr] -= 1;
-                if indeg[rdr] == 0 {
+                indeg[rdr] = indeg[rdr].saturating_sub(1);
+                if indeg[rdr] == 0 && !done[rdr] {
                     queue.push(rdr as u32);
                 }
             }
         }
-        if head != comb.len() {
-            return Err(CircuitError::Unlevelizable {
-                reason: "combinational cycle",
-            });
+        if done_count != comb.len() {
+            // Name the cycle members: outputs of gates never dequeued.
+            let stuck: Vec<&str> = comb
+                .iter()
+                .enumerate()
+                .filter(|&(ci, _)| !done[ci])
+                .map(|(_, &gi)| netlist.node_name(gates[gi].output))
+                .take(8)
+                .collect();
+            issues.push(
+                "combinational cycle",
+                format!("combinational cycle through node(s) {}", stuck.join(", ")),
+            );
         }
+        issues.into_result()?;
 
         // Compiled order: (level, original gate id) — deterministic and
         // cache-friendly per-level sweeps.
@@ -324,6 +395,7 @@ impl CompiledNetlist {
         let mut in2 = Vec::with_capacity(comb.len());
         let mut outs = Vec::with_capacity(comb.len());
         let mut gate_level = Vec::with_capacity(comb.len());
+        let mut source = Vec::with_capacity(comb.len());
         let mut level_starts = vec![0usize; level_count + 1];
         for &ci in &order {
             let gi = comb[ci as usize];
@@ -335,6 +407,7 @@ impl CompiledNetlist {
             in2.push(g.inputs.get(2).map_or(a, |n| n.index() as u32));
             outs.push(g.output.index() as u32);
             gate_level.push(gate_level_by_ci[ci as usize]);
+            source.push(gi as u32);
             level_starts[gate_level_by_ci[ci as usize] as usize] += 1;
         }
         // Prefix-sum the per-level counts into range starts.
@@ -377,6 +450,7 @@ impl CompiledNetlist {
             level_starts,
             reader_starts,
             readers,
+            source,
             node_level: node_level.into_iter().map(|l| l.unwrap_or(0)).collect(),
             dffs,
         })
@@ -398,6 +472,82 @@ impl CompiledNetlist {
     #[must_use]
     pub fn dff_count(&self) -> usize {
         self.dffs.len()
+    }
+
+    /// Number of nodes in the source netlist (levelized node ids are the
+    /// netlist's node indices).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Kind of compiled gate `p`. Compiled positions are level-ascending
+    /// (all of level 1, then level 2, …), so a plain `0..gate_count()`
+    /// sweep is a topological order — the property the static timing
+    /// analyzer's forward/backward passes rely on.
+    #[must_use]
+    pub fn gate_kind(&self, p: usize) -> GateKind {
+        self.kinds[p]
+    }
+
+    /// Input node indices of compiled gate `p`; only the first
+    /// [`GateKind::arity`] entries are meaningful (unary gates repeat
+    /// their single input in the unused slots).
+    #[must_use]
+    pub fn gate_inputs(&self, p: usize) -> [usize; 3] {
+        [
+            self.in0[p] as usize,
+            self.in1[p] as usize,
+            self.in2[p] as usize,
+        ]
+    }
+
+    /// Output node index of compiled gate `p`.
+    #[must_use]
+    pub fn gate_output(&self, p: usize) -> usize {
+        self.outs[p] as usize
+    }
+
+    /// Original netlist gate index of compiled gate `p`, for looking up
+    /// gate-keyed annotations (e.g. power-intent domain assignments).
+    #[must_use]
+    pub fn gate_source(&self, p: usize) -> usize {
+        self.source[p] as usize
+    }
+
+    /// Topological level of compiled gate `p` (levels start at 1; level
+    /// 0 is the node plane).
+    #[must_use]
+    pub fn gate_level(&self, p: usize) -> usize {
+        self.gate_level[p] as usize
+    }
+
+    /// Topological level of node `n`: 0 for primary inputs, flip-flop
+    /// outputs, and undriven nodes; the driving gate's level otherwise.
+    #[must_use]
+    pub fn node_level(&self, n: usize) -> usize {
+        self.node_level[n] as usize
+    }
+
+    /// Number of compiled-gate input pins reading node `n` — the fanout
+    /// count the static timing analyzer prices capacitive load from.
+    #[must_use]
+    pub fn node_fanout(&self, n: usize) -> usize {
+        self.reader_starts[n + 1] - self.reader_starts[n]
+    }
+
+    /// Node indices of every cut flip-flop's data (`d`) input — the
+    /// register capture endpoints of the combinational DAG.
+    #[must_use]
+    pub fn dff_data_nodes(&self) -> Vec<usize> {
+        self.dffs.iter().map(|d| d.d as usize).collect()
+    }
+
+    /// Node indices of every cut flip-flop's state (`q`) output — the
+    /// level-0 register launch points of the combinational DAG.
+    #[must_use]
+    pub fn dff_state_nodes(&self) -> Vec<usize> {
+        self.dffs.iter().map(|d| d.q as usize).collect()
     }
 
     #[inline]
@@ -424,8 +574,17 @@ impl CompiledNetlist {
     }
 
     /// Checks the netlist/target pairing against the packed campaign's
-    /// supported shapes (see the module docs for the full list).
-    fn validate_campaign(&self, target: &FaultTarget) -> Result<(), CircuitError> {
+    /// supported shapes (see the module docs for the full list). Every
+    /// violation is collected and named, so a refusal lists all of the
+    /// target's unsupported structures at once; `bridge_faults` folds
+    /// the fault-universe check into the same report.
+    fn validate_campaign(
+        &self,
+        target: &FaultTarget,
+        bridge_faults: bool,
+    ) -> Result<(), CircuitError> {
+        let mut issues = IssueCollector::default();
+        let name_of = |n: usize| target.netlist.node_name(NodeId::from_index(n));
         match target.clock {
             Some(clk) => {
                 let clk = clk.index();
@@ -433,42 +592,80 @@ impl CompiledNetlist {
                     return Err(CircuitError::UnknownNode(clk));
                 }
                 if target.inputs.iter().any(|n| n.index() == clk) {
-                    return Err(CircuitError::Unlevelizable {
-                        reason: "the campaign clock overlaps the stimulus inputs",
-                    });
+                    issues.push(
+                        "the campaign clock overlaps the stimulus inputs",
+                        format!(
+                            "the campaign clock '{}' overlaps the stimulus inputs",
+                            name_of(clk)
+                        ),
+                    );
                 }
                 if self.node_level[clk] > 0 || self.dffs.iter().any(|d| d.q as usize == clk) {
-                    return Err(CircuitError::Unlevelizable {
-                        reason: "the campaign clock is itself a driven node",
-                    });
+                    issues.push(
+                        "the campaign clock is itself a driven node",
+                        format!(
+                            "the campaign clock '{}' is itself a driven node",
+                            name_of(clk)
+                        ),
+                    );
                 }
-                if self.dffs.iter().any(|d| d.clk as usize != clk) {
-                    return Err(CircuitError::Unlevelizable {
-                        reason: "gated or derived flip-flop clocks need the event engine",
-                    });
+                let gated: Vec<&str> = self
+                    .dffs
+                    .iter()
+                    .filter(|d| d.clk as usize != clk)
+                    .map(|d| name_of(d.q as usize))
+                    .take(8)
+                    .collect();
+                if !gated.is_empty() {
+                    issues.push(
+                        "gated or derived flip-flop clocks need the event engine",
+                        format!(
+                            "gated or derived flip-flop clocks need the event engine \
+                             (flip-flop(s) {})",
+                            gated.join(", ")
+                        ),
+                    );
                 }
                 if self.state_feedback() {
-                    return Err(CircuitError::Unlevelizable {
-                        reason: "register-to-register feedback needs the event engine",
-                    });
+                    issues.push(
+                        "register-to-register feedback needs the event engine",
+                        "register-to-register feedback needs the event engine".to_string(),
+                    );
                 }
             }
             None => {
                 // Without a declared clock the event engine never
                 // toggles one either, so flip-flops are inert (stuck at
                 // X) — but only if nothing can edge their clock pins.
-                for dff in &self.dffs {
-                    let clk = dff.clk as usize;
-                    if self.node_level[clk] > 0 || target.inputs.iter().any(|n| n.index() == clk) {
-                        return Err(CircuitError::Unlevelizable {
-                            reason:
-                                "flip-flops without a declared campaign clock need the event engine",
-                        });
-                    }
+                let edged: Vec<&str> = self
+                    .dffs
+                    .iter()
+                    .filter(|d| {
+                        let clk = d.clk as usize;
+                        self.node_level[clk] > 0 || target.inputs.iter().any(|n| n.index() == clk)
+                    })
+                    .map(|d| name_of(d.q as usize))
+                    .take(8)
+                    .collect();
+                if !edged.is_empty() {
+                    issues.push(
+                        "flip-flops without a declared campaign clock need the event engine",
+                        format!(
+                            "flip-flops without a declared campaign clock need the event \
+                             engine (flip-flop(s) {})",
+                            edged.join(", ")
+                        ),
+                    );
                 }
             }
         }
-        Ok(())
+        if bridge_faults {
+            issues.push(
+                "bridge faults need the event engine",
+                "bridge faults need the event engine".to_string(),
+            );
+        }
+        issues.into_result()
     }
 
     /// Whether any flip-flop output combinationally reaches any
@@ -1075,12 +1272,10 @@ pub fn run_campaign_packed(
         });
     }
     let comp = CompiledNetlist::compile(&target.netlist)?;
-    comp.validate_campaign(target)?;
-    if faults.iter().any(|f| matches!(f, GateFault::Bridge { .. })) {
-        return Err(CircuitError::Unlevelizable {
-            reason: "bridge faults need the event engine",
-        });
-    }
+    comp.validate_campaign(
+        target,
+        faults.iter().any(|f| matches!(f, GateFault::Bridge { .. })),
+    )?;
     let CampaignOptions {
         fault,
         cache,
@@ -1389,6 +1584,15 @@ mod tests {
         assert_eq!(comp.dff_count(), 0);
         // Levels ascend through the compiled tables.
         assert!(comp.gate_level.windows(2).all(|w| w[0] <= w[1]));
+        // The public levelization accessors the STA crate builds on.
+        assert_eq!(comp.node_count(), n.node_count());
+        assert_eq!(comp.gate_kind(0), GateKind::And2);
+        assert_eq!(comp.gate_level(0), 1);
+        assert_eq!(comp.gate_inputs(0)[..2], [a.index(), b.index()]);
+        assert_eq!(comp.node_level(comp.gate_output(0)), 1);
+        assert_eq!(comp.node_fanout(a.index()), 2);
+        assert!(comp.dff_data_nodes().is_empty());
+        assert!(comp.dff_state_nodes().is_empty());
     }
 
     #[test]
@@ -1404,6 +1608,69 @@ mod tests {
                 reason: "combinational cycle"
             }
         );
+    }
+
+    #[test]
+    fn compile_collects_and_names_every_refusal() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let fb = n.node("fb");
+        let x = n.gate(GateKind::And2, &[a, fb]).unwrap();
+        n.gate_into(GateKind::Not, &[x], fb).unwrap();
+        // A second refusal alongside the cycle: a gate driving a
+        // primary input. One error must name both.
+        n.gate_into(GateKind::Buf, &[fb], a).unwrap();
+        match CompiledNetlist::compile(&n).unwrap_err() {
+            CircuitError::UnlevelizableMany { reasons } => {
+                assert_eq!(reasons.len(), 2, "{reasons:?}");
+                assert!(reasons.iter().any(|r| r.contains("primary input 'a'")));
+                assert!(reasons
+                    .iter()
+                    .any(|r| r.contains("combinational cycle") && r.contains("fb")));
+            }
+            other => panic!("expected UnlevelizableMany, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaign_validation_collects_multiple_issues() {
+        // Register feedback AND a bridge fault: one refusal names both.
+        let mut n = Netlist::new();
+        let clk = n.input("clk");
+        let a = n.input("a");
+        let d = n.node("d");
+        let q = n.gate(GateKind::Dff, &[clk, d]).unwrap();
+        n.gate_into(GateKind::Not, &[q], d).unwrap();
+        let y = n.gate(GateKind::And2, &[q, a]).unwrap();
+        let target = FaultTarget {
+            name: "feedback".into(),
+            netlist: n,
+            inputs: vec![a],
+            outputs: vec![y],
+            clock: Some(clk),
+        };
+        let faults = vec![GateFault::Bridge { a, b: y }];
+        let mut src = PatternSource::random(1, 1).unwrap();
+        let err = run_campaign_packed(
+            &ExecPolicy::serial(),
+            lowvolt_obs::noop(),
+            &target,
+            &faults,
+            &mut src,
+            8,
+            CampaignOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            CircuitError::UnlevelizableMany { reasons } => {
+                assert_eq!(reasons.len(), 2, "{reasons:?}");
+                assert!(reasons
+                    .iter()
+                    .any(|r| r.contains("register-to-register feedback")));
+                assert!(reasons.iter().any(|r| r.contains("bridge faults")));
+            }
+            other => panic!("expected UnlevelizableMany, got {other:?}"),
+        }
     }
 
     #[test]

@@ -129,6 +129,17 @@ pub enum CircuitError {
         /// Why levelization was refused.
         reason: &'static str,
     },
+    /// The netlist (or netlist/campaign pairing) has **several**
+    /// structures only the event-driven engine can simulate. Each entry
+    /// names one offending structure — multiply-driven nodes, driven
+    /// primary inputs, cycle members, gated clocks, register feedback,
+    /// bridge faults — so a netlist can be fixed in a single pass
+    /// instead of one refusal at a time. A single offending structure is
+    /// still reported as [`CircuitError::Unlevelizable`].
+    UnlevelizableMany {
+        /// One named reason per unsupported structure found.
+        reasons: Vec<String>,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -209,6 +220,13 @@ impl fmt::Display for CircuitError {
                 f,
                 "netlist cannot be levelized for the compiled engine: {reason} \
                  (use the event-driven engine instead)"
+            ),
+            CircuitError::UnlevelizableMany { reasons } => write!(
+                f,
+                "netlist cannot be levelized for the compiled engine: {} issues: {} \
+                 (use the event-driven engine instead)",
+                reasons.len(),
+                reasons.join("; ")
             ),
         }
     }
@@ -291,5 +309,19 @@ mod tests {
         }
         .to_string()
         .contains("combinational cycle"));
+    }
+
+    #[test]
+    fn multi_reason_refusals_name_every_structure() {
+        let e = CircuitError::UnlevelizableMany {
+            reasons: vec![
+                "node 'x' is driven by more than one gate".into(),
+                "combinational cycle through node 'fb'".into(),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 issues"));
+        assert!(s.contains("node 'x'"));
+        assert!(s.contains("node 'fb'"));
     }
 }

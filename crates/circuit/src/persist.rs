@@ -284,6 +284,13 @@ fn put_circuit_error(out: &mut Vec<u8>, err: &CircuitError) {
             out.push(16);
             put_string(out, reason);
         }
+        CircuitError::UnlevelizableMany { reasons } => {
+            out.push(17);
+            put_u32(out, reasons.len() as u32);
+            for r in reasons {
+                put_string(out, r);
+            }
+        }
     }
 }
 
@@ -349,6 +356,17 @@ fn read_circuit_error(r: &mut Reader<'_>) -> Option<CircuitError> {
         16 => CircuitError::Unlevelizable {
             reason: intern(&r.string()?)?,
         },
+        17 => {
+            let count = r.u32()? as usize;
+            if count > r.remaining() {
+                return None;
+            }
+            let mut reasons = Vec::with_capacity(count);
+            for _ in 0..count {
+                reasons.push(r.string()?);
+            }
+            CircuitError::UnlevelizableMany { reasons }
+        }
         _ => return None,
     })
 }
@@ -569,6 +587,12 @@ mod tests {
             CircuitError::Internal { detail: "x" },
             CircuitError::Unlevelizable {
                 reason: "combinational cycle",
+            },
+            CircuitError::UnlevelizableMany {
+                reasons: vec![
+                    "node 'x' is driven by more than one gate".into(),
+                    "combinational cycle through node 'fb'".into(),
+                ],
             },
         ];
         for err in variants {

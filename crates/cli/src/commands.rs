@@ -18,21 +18,22 @@ use lowvolt_circuit::sim::Simulator;
 use lowvolt_circuit::stimulus::PatternSource;
 use lowvolt_core::activity::ActivityVars;
 use lowvolt_core::energy::{BlockParams, BurstEnergyModel};
-use lowvolt_core::optimizer::FixedThroughputOptimizer;
+use lowvolt_core::optimizer::{CriticalPathModel, FixedThroughputOptimizer};
 use lowvolt_core::report::{fmt_sig, Table};
 use lowvolt_device::body::BodyEffect;
 use lowvolt_device::mosfet::Mosfet;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
-use lowvolt_device::units::{Hertz, Seconds, Volts};
+use lowvolt_device::units::{Hertz, Micrometers, Seconds, Volts};
 use lowvolt_exec::{ByteCache, CheckpointJournal, CheckpointSpec, ExecPolicy, FaultPolicy};
 use lowvolt_isa::bblocks::BlockProfile;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::profile::Profiler;
 use lowvolt_lint::{
-    seeded_defect, standard_lint_targets, Defect, LintConfig, Linter, Rule, UnknownRule,
+    seeded_defect, standard_lint_targets, Defect, LintConfig, LintTarget, Linter, Rule, UnknownRule,
 };
 use lowvolt_obs::{names, span, MetricsRegistry, Recorder};
+use lowvolt_sta::{analyze, load_profile, StaConfig, NOMINAL_VDD, NOMINAL_VT};
 
 /// A command failed: carries the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,7 +133,10 @@ USAGE:
   lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
                    [--patterns random|counting] [--cycles N] [--seed N]
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
-                   [--threads N]
+                   [--threads N] [--sta [--circuit NAME] [--width N]]
+  lowvolt sta      [--circuit adder|shifter|multiplier|alu|registers|all]
+                   [--width N] [--vdd V] [--vt V] [--required-ps PS]
+                   [--json] [--threads N] [--metrics-json PATH]
   lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
                    [--engine event|compiled]
                    [--checkpoint PATH [--resume] [--interrupt-after N]]
@@ -141,7 +145,8 @@ USAGE:
   lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
                    [--vdd V] [--mhz F]
   lowvolt iv       [--vt V] [--soias] [--vds V]
-  lowvolt lint     [--circuit NAME|all] [--width N] [--fixture floating|loop|sleep|leakage]
+  lowvolt lint     [--circuit NAME|all] [--width N]
+                   [--fixture floating|loop|sleep|leakage|slack]
                    [--json] [--deny warnings|RULES] [--allow RULES]
                    [--leakage-budget-uw F] [--threads N] [--rules]
                    [--metrics-json PATH]
@@ -178,6 +183,20 @@ with an explanatory error. Under `--engine compiled` the checkpoint,
 not an injection, and a journal written by one engine is not replayed
 by the other (the mismatched records are recomputed with a warning).
 
+`sta` runs zero-simulation static timing analysis over a standard
+datapath: the critical path as a named gate chain, per-endpoint arrival
+and slack, all priced from the alpha-power-law delay model at the
+`--vdd`/`--vt` operating point. `--required-ps` sets an explicit
+required time (default: the critical delay itself, pinning worst slack
+to zero).
+
+`optimize --sta` replaces the 101-stage ring-oscillator proxy with the
+chosen circuit's own critical path from static timing analysis:
+`--delay-ps` then budgets each critical-path gate (the whole-path
+target is PS x path depth), switching energy prices the circuit's
+switched capacitance, and leakage its gate count — an optimum per
+circuit rather than per proxy.
+
 Run any experiment of the paper with the separate `regen` binary.";
 
 /// Dispatches a parsed command line.
@@ -196,6 +215,7 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliFailure> {
         "sim" => sim(parsed),
         "activity" => activity(parsed),
         "optimize" => optimize(parsed),
+        "sta" => sta(parsed),
         "campaign" => campaign(parsed),
         "compare" => compare(parsed),
         "iv" => iv(parsed),
@@ -483,17 +503,125 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// Selects standard lint/timing targets by exact name (`adder8`) or
+/// family name (`adder`); `all` returns every standard datapath.
+fn select_standard_targets(name: &str, width: usize) -> Result<Vec<LintTarget>, CliError> {
+    let all = standard_lint_targets(width)?;
+    match name {
+        "all" => Ok(all),
+        name => {
+            let chosen: Vec<_> = all
+                .into_iter()
+                .filter(|t| t.name == name || t.name.trim_end_matches(char::is_numeric) == name)
+                .collect();
+            if chosen.is_empty() {
+                return Err(CliError(format!(
+                    "unknown circuit `{name}` (adder, shifter, multiplier, alu, registers, all)"
+                )));
+            }
+            Ok(chosen)
+        }
+    }
+}
+
+/// Static timing analysis over the standard datapaths: named critical
+/// path, per-endpoint arrival/required/slack, text or JSON.
+fn sta(parsed: &Parsed) -> Result<String, CliError> {
+    let metrics = Metrics::from_args(parsed)?;
+    let policy = exec_policy(parsed)?;
+    let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+    let vdd = Volts(parsed.get_f64("vdd")?.unwrap_or(NOMINAL_VDD.0));
+    let vt = Volts(parsed.get_f64("vt")?.unwrap_or(NOMINAL_VT.0));
+    let mut config = StaConfig::at(vdd, vt);
+    if let Some(ps) = parsed.get_f64("required-ps")? {
+        if !(ps.is_finite() && ps > 0.0) {
+            return Err(CliError(format!(
+                "--required-ps must be a positive number, got {ps}"
+            )));
+        }
+        config = config.with_required(Seconds::from_picos(ps));
+    }
+    let targets = select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?;
+    let mut reports = Vec::with_capacity(targets.len());
+    for t in &targets {
+        reports.push(
+            analyze(
+                &policy,
+                metrics.recorder(),
+                &t.name,
+                &t.netlist,
+                &t.outputs,
+                config,
+            )
+            .map_err(|e| CliError(e.to_string()))?,
+        );
+    }
+    let out = if parsed.has("json") {
+        let mut s = String::from("[");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_json());
+        }
+        s.push(']');
+        s
+    } else {
+        let mut s = String::new();
+        for r in &reports {
+            s.push_str(&r.to_string());
+            s.push('\n');
+        }
+        s
+    };
+    metrics.finish(out)
+}
+
 fn optimize(parsed: &Parsed) -> Result<String, CliError> {
     let delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
     let mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
     let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
     let policy = exec_policy(parsed)?;
-    let ring = RingOscillator::paper_default()?;
-    let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
-        .map_err(|e| CliError(e.to_string()))?;
+    let (opt, mut out) = if parsed.has("sta") {
+        let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+        let name = parsed.get("circuit").unwrap_or("adder");
+        if name == "all" {
+            return Err(CliError(
+                "optimize --sta wants one circuit, not `all`".to_string(),
+            ));
+        }
+        let targets = select_standard_targets(name, width)?;
+        let target = &targets[0];
+        let profile =
+            load_profile(&target.netlist, &target.outputs).map_err(|e| CliError(e.to_string()))?;
+        let model = CriticalPathModel::new(
+            Micrometers(2.0),
+            profile.path_load,
+            profile.switched_cap,
+            profile.gates,
+        )?;
+        let path_target = Seconds::from_picos(delay_ps * profile.depth as f64);
+        let opt = FixedThroughputOptimizer::for_critical_path(model, path_target, activity)?;
+        let header = format!(
+            "sta mode: {} — critical path {} gates ({:.1} fF), switched cap {:.1} fF over {} gates\ndelay target {delay_ps} ps/gate ({:.1} ps whole-path), throughput {mhz} MHz, activity {activity}\n\n",
+            target.name,
+            profile.depth,
+            profile.path_load.to_femtofarads(),
+            profile.switched_cap.to_femtofarads(),
+            profile.gates,
+            path_target.0 * 1e12,
+        );
+        (opt, header)
+    } else {
+        let ring = RingOscillator::paper_default()?;
+        let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
+            .map_err(|e| CliError(e.to_string()))?;
+        let header = format!(
+            "delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n"
+        );
+        (opt, header)
+    };
     let t_op = Seconds(1e-6 / mhz);
-    let mut out =
-        format!("delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n");
     let mut t = Table::new(["V_T (V)", "V_DD (V)", "E_total (J/op)"]);
     let vts: Vec<Volts> = (1..=20).map(|i| Volts(0.03 * f64::from(i))).collect();
     for p in opt.energy_curve(&vts, t_op) {
@@ -858,29 +986,13 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
     let targets = if let Some(fixture) = parsed.get("fixture") {
         let defect = Defect::parse(fixture).ok_or_else(|| {
             CliError(format!(
-                "unknown fixture `{fixture}` (floating, loop, sleep, leakage)"
+                "unknown fixture `{fixture}` (floating, loop, sleep, leakage, slack)"
             ))
         })?;
         vec![seeded_defect(defect)?]
     } else {
         let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
-        let all = standard_lint_targets(width)?;
-        match parsed.get("circuit").unwrap_or("all") {
-            "all" => all,
-            name => {
-                let chosen: Vec<_> = all
-                    .into_iter()
-                    .filter(|t| t.name == name || t.name.trim_end_matches(char::is_numeric) == name)
-                    .collect();
-                if chosen.is_empty() {
-                    return Err(CliError(format!(
-                        "unknown circuit `{name}` (adder, shifter, multiplier, alu, registers, all)"
-                    ))
-                    .into());
-                }
-                chosen
-            }
-        }
+        select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?
     };
 
     let metrics = Metrics::from_args(parsed).map_err(CliFailure::Error)?;
@@ -1054,6 +1166,109 @@ mod tests {
     }
 
     #[test]
+    fn sta_names_the_critical_path() {
+        let out = run(&["sta", "--circuit", "adder"]).unwrap();
+        assert!(out.contains("static timing report: adder8"), "{out}");
+        assert!(out.contains("critical path ("), "{out}");
+        assert!(out.contains("critical delay"), "{out}");
+        assert!(out.contains("endpoints ("), "{out}");
+    }
+
+    #[test]
+    fn sta_critical_delay_tracks_the_operating_point() {
+        let delay = |args: &[&str]| -> f64 {
+            let out = run(args).unwrap();
+            out.split("critical delay ")
+                .nth(1)
+                .and_then(|s| s.split(" ps").next())
+                .and_then(|s| s.parse().ok())
+                .expect("critical delay parses")
+        };
+        let base = delay(&["sta", "--circuit", "adder"]);
+        let starved = delay(&["sta", "--circuit", "adder", "--vdd", "0.7"]);
+        assert!(
+            starved > base,
+            "lower V_DD must be slower: {starved} vs {base}"
+        );
+        let fast = delay(&["sta", "--circuit", "adder", "--vt", "0.1"]);
+        assert!(fast < base, "lower V_T must be faster: {fast} vs {base}");
+    }
+
+    #[test]
+    fn sta_covers_all_standard_datapaths() {
+        let out = run(&["sta"]).unwrap();
+        for name in ["adder8", "shifter8", "multiplier8", "alu8", "registers8"] {
+            assert!(
+                out.contains(&format!("static timing report: {name}")),
+                "{out}"
+            );
+        }
+        let err = run(&["sta", "--circuit", "gpu"]).unwrap_err();
+        assert!(err.0.contains("gpu"));
+        let err = run(&["sta", "--required-ps", "-3"]).unwrap_err();
+        assert!(err.0.contains("--required-ps"), "{}", err.0);
+    }
+
+    #[test]
+    fn sta_json_and_threads_are_stable() {
+        let json = run(&["sta", "--json"]).unwrap();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"critical_ps\""), "{json}");
+        assert!(json.contains("\"node_slack\""), "{json}");
+        let t1 = run(&["sta", "--threads", "1"]).unwrap();
+        let t2 = run(&["sta", "--threads", "2"]).unwrap();
+        let t8 = run(&["sta", "--threads", "8"]).unwrap();
+        assert_eq!(t1, t2, "thread count must not change the report");
+        assert_eq!(t1, t8, "thread count must not change the report");
+        let j1 = run(&["sta", "--json", "--threads", "1"]).unwrap();
+        let j8 = run(&["sta", "--json", "--threads", "8"]).unwrap();
+        assert_eq!(j1, j8, "thread count must not change the JSON");
+    }
+
+    #[test]
+    fn sta_required_time_sets_the_slack_reference() {
+        let out = run(&["sta", "--circuit", "adder", "--required-ps", "100000"]).unwrap();
+        assert!(out.contains("required 100000.000 ps"), "{out}");
+    }
+
+    #[test]
+    fn sta_metrics_json_records_the_analysis() {
+        let json = run(&["sta", "--circuit", "adder", "--metrics-json", "-"]).unwrap();
+        assert!(json.contains("\"sta.nodes\""), "{json}");
+        assert!(json.contains("\"sta.critical_ps\""), "{json}");
+        assert!(json.contains("\"sta.analyze\""), "{json}");
+    }
+
+    #[test]
+    fn optimize_sta_mode_constrains_the_real_datapath() {
+        let ring = run(&["optimize", "--delay-ps", "150"]).unwrap();
+        let sta = run(&[
+            "optimize",
+            "--delay-ps",
+            "150",
+            "--sta",
+            "--circuit",
+            "adder",
+        ])
+        .unwrap();
+        assert!(sta.contains("sta mode: adder8"), "{sta}");
+        assert!(sta.contains("whole-path"), "{sta}");
+        let optimum = |s: &str| {
+            s.split("optimum: ")
+                .nth(1)
+                .map(str::to_string)
+                .expect("optimum line present")
+        };
+        assert_ne!(
+            optimum(&ring),
+            optimum(&sta),
+            "the datapath-backed optimum must differ from the ring proxy"
+        );
+        let err = run(&["optimize", "--sta", "--circuit", "all"]).unwrap_err();
+        assert!(err.0.contains("one circuit"), "{}", err.0);
+    }
+
+    #[test]
     fn sim_reports_activity_summary() {
         let out = run(&["sim", "--circuit", "adder8", "--cycles", "64"]).unwrap();
         assert!(out.contains("simulated 64 cycles"));
@@ -1131,8 +1346,9 @@ mod tests {
     #[test]
     fn lint_and_profile_accept_metrics_json() {
         let json = run(&["lint", "--circuit", "adder", "--metrics-json", "-"]).unwrap();
-        assert!(json.contains("\"lint.passes\": 4"), "{json}");
+        assert!(json.contains("\"lint.passes\": 5"), "{json}");
         assert!(json.contains("lint.pass.structural"), "{json}");
+        assert!(json.contains("lint.pass.timing"), "{json}");
 
         let json = run(&["profile", "--example", "fir", "--metrics-json", "-"]).unwrap();
         assert!(json.contains("\"profile.instructions\""), "{json}");
@@ -1451,11 +1667,13 @@ mod tests {
 
     #[test]
     fn lint_fixtures_fail_the_gate() {
-        for fixture in ["floating", "loop", "sleep", "leakage"] {
+        for fixture in ["floating", "loop", "sleep", "leakage", "slack"] {
             let err = run(&["lint", "--fixture", fixture]).unwrap_err();
             assert!(err.0.contains("error"), "fixture {fixture}: {}", err.0);
             assert!(err.0.contains("failing the gate"), "{}", err.0);
         }
+        let err = run(&["lint", "--fixture", "slack"]).unwrap_err();
+        assert!(err.0.contains("LV040"), "{}", err.0);
         let err = run(&["lint", "--fixture", "nonsuch"]).unwrap_err();
         assert!(err.0.contains("nonsuch"));
     }

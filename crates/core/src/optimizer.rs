@@ -6,13 +6,29 @@
 //! reduction is offset by an increase in the leakage currents, resulting
 //! in an optimum threshold voltage and power supply voltage."
 //!
-//! The optimiser holds the stage delay of a ring oscillator constant
-//! (Fig. 3's iso-delay locus), integrates leakage over the throughput
-//! period, and finds the energy-minimising `(V_DD, V_T)` (Fig. 4).
+//! The optimiser holds a delay constraint fixed (Fig. 3's iso-delay
+//! locus), integrates leakage over the throughput period, and finds the
+//! energy-minimising `(V_DD, V_T)` (Fig. 4). Two performance models can
+//! supply the constraint:
+//!
+//! - the paper's **ring-oscillator proxy** ([`RingOscillator`]): hold
+//!   one stage's delay at the target — the measurement structure the
+//!   paper's figures are drawn from; or
+//! - a circuit's own **critical path** ([`CriticalPathModel`]), as
+//!   extracted by static timing analysis (`lowvolt-sta`): hold the worst
+//!   register-to-register/output path at the target, price switching on
+//!   the whole circuit's switched capacitance and leakage on its gate
+//!   count. Because every gate delay under uniform pricing shares the
+//!   same `k·V_DD/I_on(V_DD, V_T)` voltage factor, the worst path is
+//!   operating-point invariant and lumps exactly into one
+//!   alpha-power-law stage driving the path's total capacitance.
 
 use crate::error::CoreError;
 use lowvolt_circuit::ring::RingOscillator;
-use lowvolt_device::units::{Joules, Seconds, Volts};
+use lowvolt_device::delay::StageDelay;
+use lowvolt_device::mosfet::Mosfet;
+use lowvolt_device::on_current::AlphaPowerLaw;
+use lowvolt_device::units::{Amps, Farads, Joules, Micrometers, Seconds, Volts};
 use lowvolt_exec::{parallel_map_isolated, ExecPolicy, FaultPolicy, ItemStatus};
 
 /// One evaluated operating point of the fixed-throughput sweep.
@@ -36,12 +52,102 @@ impl EnergyPoint {
     }
 }
 
-/// Fixed-throughput `V_DD`/`V_T` optimiser over a ring-oscillator
-/// performance model.
+/// Lumped performance model of one circuit's worst timing path, the
+/// static-timing-analysis alternative to the ring proxy. The delay
+/// constraint is a single alpha-power-law stage driving the critical
+/// path's total capacitance; switching energy prices the whole circuit's
+/// switched capacitance and leakage prices one off-device per gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathModel {
+    path: StageDelay,
+    switched_cap: Farads,
+    /// Leakage template; its threshold is overridden per query.
+    leak_template: Mosfet,
+    gates: usize,
+}
+
+impl CriticalPathModel {
+    /// Builds the model from a circuit's load summary: drive devices of
+    /// `width`, total worst-path load `path_load`, whole-circuit switched
+    /// capacitance `switched_cap`, and `gates` leaking devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a gateless circuit or
+    /// non-positive switched capacitance, and [`CoreError::Device`] when
+    /// the device layer rejects the path load or width.
+    pub fn new(
+        width: Micrometers,
+        path_load: Farads,
+        switched_cap: Farads,
+        gates: usize,
+    ) -> Result<CriticalPathModel, CoreError> {
+        if gates == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "gates",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if !switched_cap.0.is_finite() || switched_cap.0 <= 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "switched_cap",
+                value: switched_cap.0,
+                constraint: "must be positive and finite",
+            });
+        }
+        let path = StageDelay::new(AlphaPowerLaw::with_width(width), path_load, 0.5)?;
+        Ok(CriticalPathModel {
+            path,
+            switched_cap,
+            leak_template: Mosfet::nmos_with_vt(Volts(0.4)).with_width(width),
+            gates,
+        })
+    }
+
+    /// Leaking device count.
+    #[must_use]
+    pub fn gates(&self) -> usize {
+        self.gates
+    }
+
+    /// Whole-circuit switched capacitance.
+    #[must_use]
+    pub fn switched_cap(&self) -> Farads {
+        self.switched_cap
+    }
+
+    /// Worst-path delay at an operating point (infinite when
+    /// `V_DD <= V_T`).
+    #[must_use]
+    pub fn path_delay(&self, vdd: Volts, vt: Volts) -> Seconds {
+        self.path.delay(vdd, vt)
+    }
+
+    /// Total idle leakage: one off-device per gate at threshold `vt`.
+    #[must_use]
+    pub fn leakage_current(&self, vdd: Volts, vt: Volts) -> Amps {
+        let device = self.leak_template.clone().with_vt(vt);
+        Amps(self.gates as f64 * device.off_current(vdd).0)
+    }
+}
+
+/// Which performance model supplies the delay constraint and energy
+/// terms.
+#[derive(Debug, Clone, PartialEq)]
+enum Model {
+    Ring(RingOscillator),
+    Path(CriticalPathModel),
+}
+
+/// Fixed-throughput `V_DD`/`V_T` optimiser over a ring-oscillator proxy
+/// or an STA-derived critical-path model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FixedThroughputOptimizer {
-    ring: RingOscillator,
-    target_stage_delay: Seconds,
+    model: Model,
+    /// Per-stage delay target for the ring proxy; whole-path target for
+    /// the critical-path model.
+    target_delay: Seconds,
     v_max: Volts,
     /// Node activity scaling of the switching term (`α`); the ring's own
     /// oscillation corresponds to 1.
@@ -64,7 +170,7 @@ impl FixedThroughputOptimizer {
         FixedThroughputOptimizer::new(RingOscillator::paper_default()?, target_stage_delay, 1.0)
     }
 
-    /// Fully-specified constructor.
+    /// Fully-specified ring-proxy constructor.
     ///
     /// # Errors
     ///
@@ -75,10 +181,39 @@ impl FixedThroughputOptimizer {
         target_stage_delay: Seconds,
         activity: f64,
     ) -> Result<FixedThroughputOptimizer, CoreError> {
-        if target_stage_delay.0 <= 0.0 {
+        FixedThroughputOptimizer::build(Model::Ring(ring), target_stage_delay, activity)
+    }
+
+    /// Optimiser whose delay constraint is a circuit's own critical path
+    /// instead of the ring proxy: `target_path_delay` constrains the
+    /// whole worst path, and the energy terms come from the circuit's
+    /// switched capacitance and gate count. Because the switching-to-
+    /// leakage ratio is now the circuit's own, the optimal `(V_DD, V_T)`
+    /// is per-circuit — the paper's "circuit which has very low
+    /// switching activity will require a high-threshold voltage" made
+    /// concrete per design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive delay
+    /// target or activity outside `(0, +∞)`.
+    pub fn for_critical_path(
+        model: CriticalPathModel,
+        target_path_delay: Seconds,
+        activity: f64,
+    ) -> Result<FixedThroughputOptimizer, CoreError> {
+        FixedThroughputOptimizer::build(Model::Path(model), target_path_delay, activity)
+    }
+
+    fn build(
+        model: Model,
+        target_delay: Seconds,
+        activity: f64,
+    ) -> Result<FixedThroughputOptimizer, CoreError> {
+        if target_delay.0 <= 0.0 {
             return Err(CoreError::InvalidParameter {
-                name: "target_stage_delay",
-                value: target_stage_delay.0,
+                name: "target_delay",
+                value: target_delay.0,
                 constraint: "must be positive",
             });
         }
@@ -90,17 +225,18 @@ impl FixedThroughputOptimizer {
             });
         }
         Ok(FixedThroughputOptimizer {
-            ring,
-            target_stage_delay,
+            model,
+            target_delay,
             v_max: DEFAULT_V_MAX,
             activity,
         })
     }
 
-    /// The delay target.
+    /// The delay target: per-stage for the ring proxy, whole-path for
+    /// the critical-path model.
     #[must_use]
-    pub fn target_stage_delay(&self) -> Seconds {
-        self.target_stage_delay
+    pub fn target_delay(&self) -> Seconds {
+        self.target_delay
     }
 
     /// Supply voltage meeting the delay target at a threshold — one point
@@ -111,9 +247,11 @@ impl FixedThroughputOptimizer {
     /// Returns [`CoreError::Device`] if even `V_max` is too slow at this
     /// threshold.
     pub fn iso_delay_supply(&self, vt: Volts) -> Result<Volts, CoreError> {
-        Ok(self
-            .ring
-            .supply_for_stage_delay(self.target_stage_delay, vt, self.v_max)?)
+        let vdd = match &self.model {
+            Model::Ring(r) => r.supply_for_stage_delay(self.target_delay, vt, self.v_max)?,
+            Model::Path(m) => m.path.supply_for_delay(self.target_delay, vt, self.v_max)?,
+        };
+        Ok(vdd)
     }
 
     /// Sweeps the iso-delay locus over thresholds (skipping infeasible
@@ -144,10 +282,15 @@ impl FixedThroughputOptimizer {
             });
         }
         let vdd = self.iso_delay_supply(vt)?;
-        let switching = Joules(
-            self.activity * self.ring.stages() as f64 * self.ring.stage_load().0 * vdd.0 * vdd.0,
-        );
-        let leakage = self.ring.leakage_current(vdd, vt) * vdd * t_op;
+        let (cap, leak) = match &self.model {
+            Model::Ring(r) => (
+                r.stages() as f64 * r.stage_load().0,
+                r.leakage_current(vdd, vt),
+            ),
+            Model::Path(m) => (m.switched_cap().0, m.leakage_current(vdd, vt)),
+        };
+        let switching = Joules(self.activity * cap * vdd.0 * vdd.0);
+        let leakage = leak * vdd * t_op;
         for (what, v) in [
             ("switching energy", switching.0),
             ("leakage energy", leakage.0),
@@ -368,5 +511,88 @@ mod tests {
             opt.optimum(Seconds(1e-6)),
             Err(CoreError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn critical_path_model_validates() {
+        let w = Micrometers(2.0);
+        assert!(CriticalPathModel::new(w, Farads(3e-13), Farads(1e-12), 0).is_err());
+        assert!(CriticalPathModel::new(w, Farads(3e-13), Farads(0.0), 40).is_err());
+        assert!(CriticalPathModel::new(w, Farads(0.0), Farads(1e-12), 40).is_err());
+        assert!(CriticalPathModel::new(w, Farads(3e-13), Farads(1e-12), 40).is_ok());
+    }
+
+    #[test]
+    fn path_model_iso_supply_meets_the_whole_path_target() {
+        let unit = 20e-15;
+        let model = CriticalPathModel::new(
+            Micrometers(2.0),
+            Farads(30.0 * unit),
+            Farads(60.0 * unit),
+            45,
+        )
+        .unwrap();
+        let opt =
+            FixedThroughputOptimizer::for_critical_path(model.clone(), Seconds(5e-9), 1.0).unwrap();
+        let vdd = opt.iso_delay_supply(Volts(0.3)).unwrap();
+        let d = model.path_delay(vdd, Volts(0.3));
+        assert!((d.0 - 5e-9).abs() / 5e-9 < 1e-3, "path delay {}", d.0);
+    }
+
+    #[test]
+    fn ring_equivalent_path_model_reproduces_the_ring_optimum() {
+        // A "circuit" with exactly the ring proxy's shape — one unit load
+        // on the constraint stage, 101 gates each switching 20 fF — must
+        // land on the same optimum: the STA mode generalises the ring, it
+        // does not replace its physics.
+        let ring = RingOscillator::paper_default().unwrap();
+        let target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        let model = CriticalPathModel::new(
+            Micrometers(2.0),
+            ring.stage_load(),
+            Farads(ring.stages() as f64 * ring.stage_load().0),
+            ring.stages(),
+        )
+        .unwrap();
+        let ring_opt = FixedThroughputOptimizer::new(ring, target, 1.0).unwrap();
+        let path_opt = FixedThroughputOptimizer::for_critical_path(model, target, 1.0).unwrap();
+        let t_op = Seconds(1e-6);
+        let a = ring_opt.optimum(t_op).unwrap();
+        let b = path_opt.optimum(t_op).unwrap();
+        assert!((a.vt.0 - b.vt.0).abs() < 1e-3, "{} vs {}", a.vt, b.vt);
+        assert!((a.vdd.0 - b.vdd.0).abs() < 1e-3, "{} vs {}", a.vdd, b.vdd);
+    }
+
+    #[test]
+    fn fanout_heavy_circuit_shifts_the_optimum_below_the_ring_proxy() {
+        // Three units of load per gate instead of the ring's one: three
+        // times the switching energy per leaking device, so switching
+        // dominates more and the per-circuit optimum sits at a lower
+        // threshold (and supply) than the ring proxy predicts.
+        let ring = RingOscillator::paper_default().unwrap();
+        let stage_target = ring.stage_delay(Volts(1.5), Volts(0.45));
+        let unit = ring.stage_load().0;
+        let (gates, depth) = (40usize, 12usize);
+        let model = CriticalPathModel::new(
+            Micrometers(2.0),
+            Farads(depth as f64 * 3.0 * unit),
+            Farads(gates as f64 * 3.0 * unit),
+            gates,
+        )
+        .unwrap();
+        // Same per-unit-load delay budget, so the iso-delay locus is the
+        // ring's and any optimum shift is purely the energy ratio.
+        let path_target = Seconds(stage_target.0 * depth as f64 * 3.0);
+        let ring_opt = FixedThroughputOptimizer::new(ring, stage_target, 1.0).unwrap();
+        let path_opt =
+            FixedThroughputOptimizer::for_critical_path(model, path_target, 1.0).unwrap();
+        let v_r = ring_opt.iso_delay_supply(Volts(0.3)).unwrap();
+        let v_p = path_opt.iso_delay_supply(Volts(0.3)).unwrap();
+        assert!((v_r.0 - v_p.0).abs() < 1e-3, "same locus: {v_r} vs {v_p}");
+        let t_op = Seconds(1e-6);
+        let r = ring_opt.optimum(t_op).unwrap();
+        let c = path_opt.optimum(t_op).unwrap();
+        assert!(c.vt.0 < r.vt.0 - 0.005, "circuit {} vs ring {}", c.vt, r.vt);
+        assert!(c.vdd.0 < r.vdd.0, "circuit {} vs ring {}", c.vdd, r.vdd);
     }
 }

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::diagnostic::Rule;
-use lowvolt_device::units::Watts;
+use lowvolt_device::units::{Seconds, Watts};
 
 /// A rule name that neither the `LVnnn` id table nor the kebab-case
 /// alias table recognises.
@@ -42,6 +42,10 @@ pub struct LintConfig {
     /// Maximum acceptable active-delay penalty from a sleep device
     /// before LV025 fires (the paper's §4 MTCMOS sizing trade-off).
     pub max_sleep_penalty: f64,
+    /// Required arrival time the timing pass applies at every endpoint
+    /// (LV040 fires on endpoints that miss it; LV041 when only the
+    /// MTCMOS delay penalty makes them miss it).
+    pub timing_required: Seconds,
 }
 
 impl Default for LintConfig {
@@ -56,6 +60,11 @@ impl Default for LintConfig {
             standby_budget: Watts(1e-6),
             leakage_warn_fraction: 0.25,
             max_sleep_penalty: 0.10,
+            // Generous for the standard width-8 datapaths at the nominal
+            // (1.0 V, 0.2 V) operating point — even the multiplier's
+            // critical path with the 5%-penalty sleep device fits — but
+            // decisively missed once a domain runs near threshold.
+            timing_required: Seconds(10e-9),
         }
     }
 }
@@ -102,6 +111,13 @@ impl LintConfig {
     #[must_use]
     pub fn with_standby_budget(mut self, budget: Watts) -> LintConfig {
         self.standby_budget = budget;
+        self
+    }
+
+    /// Sets the required arrival time the timing pass checks against.
+    #[must_use]
+    pub fn with_timing_required(mut self, required: Seconds) -> LintConfig {
+        self.timing_required = required;
         self
     }
 }

@@ -34,7 +34,7 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The four analysis pass families. Passes are independent and run in
+/// The five analysis pass families. Passes are independent and run in
 /// parallel under an `ExecPolicy`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pass {
@@ -46,15 +46,18 @@ pub enum Pass {
     PowerIntent,
     /// Worst-case standby leakage vs. the configured budget.
     Leakage,
+    /// Slack-aware static timing at each domain's operating point.
+    Timing,
 }
 
 impl Pass {
     /// All passes, in the order the engine schedules them.
-    pub const ALL: [Pass; 4] = [
+    pub const ALL: [Pass; 5] = [
         Pass::Structural,
         Pass::XReachability,
         Pass::PowerIntent,
         Pass::Leakage,
+        Pass::Timing,
     ];
 
     /// Short kebab-case name used in output.
@@ -65,6 +68,7 @@ impl Pass {
             Pass::XReachability => "x-reachability",
             Pass::PowerIntent => "power-intent",
             Pass::Leakage => "leakage",
+            Pass::Timing => "timing",
         }
     }
 }
@@ -110,11 +114,17 @@ pub enum Rule {
     SleepBypass,
     /// LV030: standby leakage above the configured budget.
     LeakageBudget,
+    /// LV040: an endpoint whose worst-path arrival exceeds the required
+    /// time at its domain's operating point.
+    NegativeSlack,
+    /// LV041: timing that is met only without the MTCMOS sleep device's
+    /// active-delay penalty — the sized sleep network eats all the slack.
+    SlackInfeasibleSleep,
 }
 
 impl Rule {
     /// Every rule, ordered by id.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 16] = [
         Rule::FloatingNode,
         Rule::MultipleDrivers,
         Rule::DanglingOutput,
@@ -129,6 +139,8 @@ impl Rule {
         Rule::UndersizedSleepDevice,
         Rule::SleepBypass,
         Rule::LeakageBudget,
+        Rule::NegativeSlack,
+        Rule::SlackInfeasibleSleep,
     ];
 
     /// The stable `LVnnn` identifier.
@@ -149,6 +161,8 @@ impl Rule {
             Rule::UndersizedSleepDevice => "LV025",
             Rule::SleepBypass => "LV026",
             Rule::LeakageBudget => "LV030",
+            Rule::NegativeSlack => "LV040",
+            Rule::SlackInfeasibleSleep => "LV041",
         }
     }
 
@@ -170,6 +184,8 @@ impl Rule {
             Rule::UndersizedSleepDevice => "undersized-sleep-device",
             Rule::SleepBypass => "sleep-bypass",
             Rule::LeakageBudget => "leakage-budget",
+            Rule::NegativeSlack => "negative-slack",
+            Rule::SlackInfeasibleSleep => "slack-infeasible-sleep",
         }
     }
 
@@ -190,6 +206,7 @@ impl Rule {
             | Rule::UndersizedSleepDevice
             | Rule::SleepBypass => Pass::PowerIntent,
             Rule::LeakageBudget => Pass::Leakage,
+            Rule::NegativeSlack | Rule::SlackInfeasibleSleep => Pass::Timing,
         }
     }
 
@@ -201,8 +218,10 @@ impl Rule {
             Rule::DanglingOutput
             | Rule::XContamination
             | Rule::UnconstrainedInput
-            | Rule::UndersizedSleepDevice => Severity::Warning,
-            Rule::FloatingNode
+            | Rule::UndersizedSleepDevice
+            | Rule::SlackInfeasibleSleep => Severity::Warning,
+            Rule::NegativeSlack
+            | Rule::FloatingNode
             | Rule::MultipleDrivers
             | Rule::CombinationalLoop
             | Rule::IncompleteSleepCutoff
@@ -237,6 +256,12 @@ impl Rule {
             Rule::UndersizedSleepDevice => "sleep device too small: delay penalty over the ceiling",
             Rule::SleepBypass => "supply path bypasses every sleep transistor",
             Rule::LeakageBudget => "worst-case standby leakage exceeds the budget",
+            Rule::NegativeSlack => {
+                "endpoint misses the required time at its domain's operating point"
+            }
+            Rule::SlackInfeasibleSleep => {
+                "timing met only without the sleep device's active-delay penalty"
+            }
         }
     }
 

@@ -26,15 +26,19 @@ pub enum Defect {
     /// An always-on low-`V_T` domain that blows the standby-leakage
     /// budget (LV030).
     LeakageBudget,
+    /// An always-on domain run so close to threshold that every endpoint
+    /// misses the required time (timing family: LV040).
+    NegativeSlack,
 }
 
 impl Defect {
     /// All defects, one per pass family.
-    pub const ALL: [Defect; 4] = [
+    pub const ALL: [Defect; 5] = [
         Defect::FloatingNode,
         Defect::CombinationalLoop,
         Defect::IncompleteSleep,
         Defect::LeakageBudget,
+        Defect::NegativeSlack,
     ];
 
     /// CLI name of the defect.
@@ -45,6 +49,7 @@ impl Defect {
             Defect::CombinationalLoop => "loop",
             Defect::IncompleteSleep => "sleep",
             Defect::LeakageBudget => "leakage",
+            Defect::NegativeSlack => "slack",
         }
     }
 
@@ -135,6 +140,24 @@ pub fn seeded_defect(defect: Defect) -> Result<LintTarget, LintError> {
                     kind: DomainKind::AlwaysOn {
                         logic_vt: Volts(0.05),
                         vdd: Volts(1.0),
+                    },
+                    body: None,
+                },
+                &target.netlist,
+            ));
+        }
+        Defect::NegativeSlack => {
+            // Voltage scaled for energy with V_T left high: 30 mV of
+            // overdrive makes every gate tens of times slower than at
+            // the nominal point, so the whole datapath misses the
+            // default required time — the slack side of the paper's
+            // Figs. 3-4 trade-off.
+            target.intent = Some(PowerIntent::single(
+                PowerDomain {
+                    name: "core".to_string(),
+                    kind: DomainKind::AlwaysOn {
+                        logic_vt: Volts(0.30),
+                        vdd: Volts(0.33),
                     },
                     body: None,
                 },

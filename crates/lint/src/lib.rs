@@ -12,7 +12,7 @@
 //! the same classes of defect structurally, before any vector is
 //! applied.
 //!
-//! Four pass families, run in parallel by the [`engine::Linter`] via the
+//! Five pass families, run in parallel by the [`engine::Linter`] via the
 //! deterministic execution engine (`lowvolt_core::exec`):
 //!
 //! 1. **Structural DRC** ([`passes::structural`]) — undriven/floating
@@ -32,6 +32,11 @@
 //! 4. **Leakage bounds** ([`passes::leakage`]) — worst-case standby
 //!    leakage of each power domain from the Eq. 2/Eq. 3 device models,
 //!    checked against a configurable budget.
+//! 5. **Slack-aware timing** ([`passes::timing`]) — zero-simulation
+//!    static timing (`lowvolt_sta`) with each gate priced at its own
+//!    domain's `(V_DD, V_T)`, flagging endpoints that miss the required
+//!    time (LV040) and MTCMOS sleep sizings whose active-delay penalty
+//!    eats all the slack (LV041).
 //!
 //! Every finding is a structured [`Diagnostic`] (severity, stable rule
 //! id, netlist location, message, fix hint), collected into a

@@ -1,4 +1,4 @@
-//! The four analysis pass families. Each pass is a pure function
+//! The five analysis pass families. Each pass is a pure function
 //! `(&LintTarget, &LintConfig) -> Vec<Diagnostic>` — no simulation, no
 //! I/O, no shared state — which is what lets the engine fan the passes
 //! out over `lowvolt_exec::parallel_map` with deterministic results.
@@ -6,6 +6,7 @@
 pub mod leakage;
 pub mod power;
 pub mod structural;
+pub mod timing;
 pub mod xreach;
 
 use crate::config::LintConfig;
@@ -20,5 +21,6 @@ pub fn run_pass(pass: Pass, target: &LintTarget, config: &LintConfig) -> Vec<Dia
         Pass::XReachability => xreach::run(target),
         Pass::PowerIntent => power::run(target, config),
         Pass::Leakage => leakage::run(target, config),
+        Pass::Timing => timing::run(target, config),
     }
 }

@@ -224,12 +224,18 @@ fn recorded_lint_flushes_counters_and_pass_spans() {
 
     let (snap, report) = run(1);
     assert_eq!(snap.counter(names::LINT_TARGETS), 1);
-    assert_eq!(snap.counter(names::LINT_PASSES), 4);
+    assert_eq!(snap.counter(names::LINT_PASSES), 5);
     assert_eq!(
         snap.counter(names::LINT_DIAGNOSTICS),
         report.diagnostics.len() as u64
     );
-    for pass in ["structural", "x-reachability", "power-intent", "leakage"] {
+    for pass in [
+        "structural",
+        "x-reachability",
+        "power-intent",
+        "leakage",
+        "timing",
+    ] {
         let name = format!("{}.{pass}", names::SPAN_LINT_PASS_PREFIX);
         assert!(snap.span(&name).is_some(), "missing span {name}");
     }
@@ -255,5 +261,5 @@ fn recorded_lint_all_covers_every_target() {
     assert_eq!(reports.len(), targets.len());
     let snap = reg.snapshot();
     assert_eq!(snap.counter(names::LINT_TARGETS), targets.len() as u64);
-    assert_eq!(snap.counter(names::LINT_PASSES), (4 * targets.len()) as u64);
+    assert_eq!(snap.counter(names::LINT_PASSES), (5 * targets.len()) as u64);
 }

@@ -24,6 +24,16 @@ pub const SIM_TRANSITIONS_RISING: &str = "sim.transitions.rising";
 /// Falling transitions counted across all nets during activity extraction.
 pub const SIM_TRANSITIONS_FALLING: &str = "sim.transitions.falling";
 
+/// Picoseconds of critical-path delay reported by the most recent
+/// static timing analysis (rounded to the nearest integer picosecond;
+/// infinite delays — V_DD at or below V_T — record 0 and are flagged in
+/// the report instead).
+pub const STA_CRITICAL_PS: &str = "sta.critical_ps";
+/// Topological levels traversed by a static timing analysis.
+pub const STA_LEVELS: &str = "sta.levels";
+/// Netlist nodes covered by a static timing analysis.
+pub const STA_NODES: &str = "sta.nodes";
+
 /// Settle invocations of the switch-level simulator.
 pub const SWITCH_SETTLES: &str = "switch.settles";
 /// Gauss–Seidel relaxation passes across all switch-level settles.
@@ -89,7 +99,7 @@ pub const EXEC_TIMEOUTS: &str = "exec.timeouts";
 
 /// Lint targets analysed.
 pub const LINT_TARGETS: &str = "lint.targets";
-/// Lint passes executed (four per target).
+/// Lint passes executed (five per target).
 pub const LINT_PASSES: &str = "lint.passes";
 /// Diagnostics emitted after allow/deny filtering.
 pub const LINT_DIAGNOSTICS: &str = "lint.diagnostics";
@@ -146,6 +156,9 @@ pub const COUNTERS: &[&str] = &[
     SIM_TRANSITIONS_FALLING,
     SIM_TRANSITIONS_RISING,
     SIM_WATCHDOG_FINGERPRINTS,
+    STA_CRITICAL_PS,
+    STA_LEVELS,
+    STA_NODES,
     SWITCH_RELAX_PASSES,
     SWITCH_SETTLES,
     SWITCH_TRANSITIONS,
@@ -176,6 +189,9 @@ pub const SPAN_EXEC_CHUNK: &str = "exec.chunk";
 pub const SPAN_LINT_PASS_PREFIX: &str = "lint.pass";
 /// Span name for one profiled program execution.
 pub const SPAN_PROFILE_RUN: &str = "profile.run";
+/// Span name for one static-timing analysis (compile + forward +
+/// backward + endpoint summaries).
+pub const SPAN_STA_ANALYZE: &str = "sta.analyze";
 
 /// `perf` stage: fault campaign over the standard targets.
 pub const STAGE_CAMPAIGN: &str = "campaign";
@@ -183,6 +199,8 @@ pub const STAGE_CAMPAIGN: &str = "campaign";
 pub const STAGE_REGEN: &str = "regen";
 /// `perf` stage: design-space optimization sweep.
 pub const STAGE_OPTIMIZE: &str = "optimize";
+/// `perf` stage: static timing analysis over the standard datapaths.
+pub const STAGE_STA: &str = "sta";
 
 #[cfg(test)]
 mod tests {

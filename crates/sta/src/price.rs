@@ -1,0 +1,104 @@
+//! Per-gate delay pricing from the alpha-power-law device model.
+
+use crate::StaError;
+use lowvolt_circuit::ring::DEFAULT_STAGE_LOAD;
+use lowvolt_device::delay::StageDelay;
+use lowvolt_device::on_current::AlphaPowerLaw;
+use lowvolt_device::units::{Farads, Micrometers, Seconds, Volts};
+
+/// Prices one gate's propagation delay from its fanout count.
+///
+/// A gate driving `n` readers sees a load of `n` unit loads (a gate with
+/// no readers still drives one unit — its own output wire). The default
+/// constants — 2 µm drive width, 20 fF unit load, `k_delay = 0.5` — are
+/// exactly the ring-oscillator proxy's
+/// ([`lowvolt_circuit::ring::DEFAULT_STAGE_LOAD`]), so a critical path
+/// priced here is directly comparable to the `101`-stage ring the
+/// optimizer otherwise uses as its delay constraint.
+#[derive(Debug, Clone)]
+pub struct DelayPricer {
+    drive: AlphaPowerLaw,
+    unit_load: Farads,
+    k_delay: f64,
+}
+
+impl DelayPricer {
+    /// The pricer with the paper-scale ring-oscillator constants.
+    #[must_use]
+    pub fn paper_default() -> DelayPricer {
+        DelayPricer {
+            drive: AlphaPowerLaw::with_width(Micrometers(2.0)),
+            unit_load: DEFAULT_STAGE_LOAD,
+            k_delay: 0.5,
+        }
+    }
+
+    /// A pricer with an explicit drive width and per-fanout unit load.
+    pub fn new(
+        width: Micrometers,
+        unit_load: Farads,
+        k_delay: f64,
+    ) -> Result<DelayPricer, StaError> {
+        let pricer = DelayPricer {
+            drive: AlphaPowerLaw::with_width(width),
+            unit_load,
+            k_delay,
+        };
+        // Validate the load/k once through the device layer so a bad
+        // pricer fails at construction, not per gate.
+        pricer.stage(1)?;
+        Ok(pricer)
+    }
+
+    /// The [`StageDelay`] for a gate with `fanout` readers.
+    pub fn stage(&self, fanout: usize) -> Result<StageDelay, StaError> {
+        let readers = fanout.max(1) as f64;
+        let stage = StageDelay::new(
+            self.drive.clone(),
+            Farads(self.unit_load.0 * readers),
+            self.k_delay,
+        )?;
+        Ok(stage)
+    }
+
+    /// Propagation delay at `(vdd, vt)` for a gate with `fanout` readers.
+    ///
+    /// Infinite when the operating point cannot switch (`V_DD <= V_T`).
+    pub fn delay(&self, vdd: Volts, vt: Volts, fanout: usize) -> Result<Seconds, StaError> {
+        Ok(self.stage(fanout)?.delay(vdd, vt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_scales_delay_linearly_in_load() {
+        let p = DelayPricer::paper_default();
+        let d1 = p.delay(Volts(1.0), Volts(0.2), 1).unwrap();
+        let d3 = p.delay(Volts(1.0), Volts(0.2), 3).unwrap();
+        assert!((d3.0 / d1.0 - 3.0).abs() < 1e-9, "CV/I is linear in C");
+    }
+
+    #[test]
+    fn zero_fanout_is_priced_as_one_unit_load() {
+        let p = DelayPricer::paper_default();
+        let d0 = p.delay(Volts(1.0), Volts(0.2), 0).unwrap();
+        let d1 = p.delay(Volts(1.0), Volts(0.2), 1).unwrap();
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn subthreshold_operating_point_prices_infinite() {
+        let p = DelayPricer::paper_default();
+        let d = p.delay(Volts(0.2), Volts(0.3), 1).unwrap();
+        assert!(d.0.is_infinite());
+    }
+
+    #[test]
+    fn bad_unit_load_is_rejected_at_construction() {
+        assert!(DelayPricer::new(Micrometers(2.0), Farads(0.0), 0.5).is_err());
+        assert!(DelayPricer::new(Micrometers(2.0), Farads(20e-15), -1.0).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Differential tests pinning the analyzer against independent oracles:
+//! under constant unit pricing the critical path must be exactly the
+//! levelizer's deepest level on every standard datapath, and reports
+//! must be byte-identical across thread counts.
+
+use lowvolt_circuit::faults::standard_targets;
+use lowvolt_device::units::Seconds;
+use lowvolt_exec::ExecPolicy;
+use lowvolt_sta::{analyze, analyze_priced, StaConfig};
+
+/// With every gate priced at the same constant delay, the worst path is
+/// purely structural: the critical delay collapses to `levels × unit`
+/// and the traced chain holds one gate per level. The levelizer is an
+/// independent oracle — it never looks at delays.
+#[test]
+fn constant_pricing_reduces_sta_to_levelization() {
+    for target in standard_targets(8).expect("standard targets build") {
+        let report = analyze_priced(
+            &ExecPolicy::serial(),
+            lowvolt_obs::noop(),
+            &target.name,
+            &target.netlist,
+            &target.outputs,
+            StaConfig::nominal(),
+            &|_, _| Ok(Seconds(1e-12)),
+        )
+        .expect("standard targets are analyzable");
+        assert_eq!(
+            report.critical_path.len(),
+            report.levels,
+            "{}: critical path must visit one gate per level",
+            target.name
+        );
+        assert!(
+            (report.critical.0 - report.levels as f64 * 1e-12).abs() < 1e-24,
+            "{}: critical delay {} != levels {} x 1 ps",
+            target.name,
+            report.critical.0,
+            report.levels
+        );
+        // Structural depth of the worst endpoint agrees with the chain.
+        let worst = report
+            .endpoints
+            .iter()
+            .max_by(|a, b| a.arrival.0.total_cmp(&b.arrival.0))
+            .expect("at least one endpoint");
+        assert_eq!(worst.depth, report.levels, "{}", target.name);
+    }
+}
+
+/// Endpoint summaries parallelise; the rendered text and JSON must not
+/// depend on the worker count.
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    for target in standard_targets(8).expect("standard targets build") {
+        let run = |threads: usize| {
+            let report = analyze(
+                &ExecPolicy::with_threads(threads),
+                lowvolt_obs::noop(),
+                &target.name,
+                &target.netlist,
+                &target.outputs,
+                StaConfig::nominal(),
+            )
+            .expect("standard targets are analyzable");
+            (report.to_string(), report.to_json())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "{}: 2 threads diverged", target.name);
+        assert_eq!(serial, run(8), "{}: 8 threads diverged", target.name);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the static timing analyzer: the reported
+//! critical delay dominates every topological path, delays respond
+//! monotonically to the operating point, and the slack arithmetic is
+//! internally consistent on random DAGs.
+
+use lowvolt_circuit::netlist::{GateKind, Netlist, NodeId};
+use lowvolt_device::units::{Seconds, Volts};
+use lowvolt_exec::ExecPolicy;
+use lowvolt_sta::{analyze, DelayPricer, StaConfig};
+use proptest::prelude::*;
+
+/// Splitmix-style step: deterministic, seedable, independent of the
+/// strategy's shrinking behaviour.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 33
+}
+
+/// A random acyclic combinational netlist plus the structure the tests
+/// need to re-derive timing facts independently of the analyzer: each
+/// gate's output and operand nodes, in construction order.
+struct RandomDag {
+    netlist: Netlist,
+    /// `(output, operands)` per gate, construction order.
+    gates: Vec<(NodeId, Vec<NodeId>)>,
+    /// Sink nodes declared as primary outputs.
+    outputs: Vec<NodeId>,
+}
+
+fn random_dag(seed: u64, gate_count: usize) -> RandomDag {
+    const KINDS: [GateKind; 13] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::And3,
+        GateKind::Or2,
+        GateKind::Or3,
+        GateKind::Nand2,
+        GateKind::Nand3,
+        GateKind::Nor2,
+        GateKind::Nor3,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+    ];
+    let mut state = seed.wrapping_mul(2).wrapping_add(1);
+    let mut n = Netlist::new();
+    let width = 3 + (next_rand(&mut state) % 6) as usize;
+    let inputs: Vec<NodeId> = (0..width).map(|i| n.input(format!("in{i}"))).collect();
+    let mut pool = inputs.clone();
+    let mut gates = Vec::with_capacity(gate_count);
+    for _ in 0..gate_count {
+        let kind = KINDS[(next_rand(&mut state) as usize) % KINDS.len()];
+        let operands: Vec<NodeId> = (0..kind.arity())
+            .map(|_| pool[(next_rand(&mut state) as usize) % pool.len()])
+            .collect();
+        let out = n.gate(kind, &operands).expect("acyclic by construction");
+        gates.push((out, operands));
+        pool.push(out);
+    }
+    // Every node nothing reads is a sink; declaring all of them keeps
+    // every gate on a path to some endpoint.
+    let max_index = pool.iter().map(|n| n.index()).max().unwrap_or(0);
+    let mut read = vec![false; max_index + 1];
+    for (_, ops) in &gates {
+        for op in ops {
+            read[op.index()] = true;
+        }
+    }
+    let outputs: Vec<NodeId> = gates
+        .iter()
+        .map(|&(out, _)| out)
+        .filter(|o| !read[o.index()])
+        .collect();
+    RandomDag {
+        netlist: n,
+        gates,
+        outputs,
+    }
+}
+
+/// Fanout exactly as the analyzer prices it: the number of gate input
+/// pins reading the node (duplicate operands count twice), floored to 1
+/// inside the pricer for sink nodes.
+fn pin_fanout(dag: &RandomDag, node: NodeId) -> usize {
+    dag.gates
+        .iter()
+        .flat_map(|(_, ops)| ops.iter())
+        .filter(|op| op.index() == node.index())
+        .count()
+}
+
+fn run_sta(dag: &RandomDag, config: StaConfig) -> lowvolt_sta::StaReport {
+    analyze(
+        &ExecPolicy::serial(),
+        lowvolt_obs::noop(),
+        "random",
+        &dag.netlist,
+        &dag.outputs,
+        config,
+    )
+    .expect("random DAGs are acyclic and have sinks")
+}
+
+proptest! {
+    /// The critical delay upper-bounds the priced delay sum of ANY
+    /// topological path, not just the one the analyzer traced: walk
+    /// backwards from a random endpoint choosing a random operand at
+    /// every gate, summing the same per-gate prices the analyzer used.
+    #[test]
+    fn critical_delay_dominates_random_path_sums(
+        seed in 0u64..300,
+        gates in 1usize..40,
+        walk_seed in 0u64..16,
+    ) {
+        let dag = random_dag(seed, gates);
+        let report = run_sta(&dag, StaConfig::nominal());
+        prop_assert!(report.feasible);
+
+        let pricer = DelayPricer::paper_default();
+        let mut driver = std::collections::HashMap::new();
+        for (gi, (out, ops)) in dag.gates.iter().enumerate() {
+            driver.insert(out.index(), (gi, ops.clone()));
+        }
+        let mut state = walk_seed.wrapping_mul(2).wrapping_add(seed);
+        let start = dag.outputs[(next_rand(&mut state) as usize) % dag.outputs.len()];
+        let mut cur = start;
+        let mut sum = 0.0f64;
+        while let Some((_, ops)) = driver.get(&cur.index()) {
+            let fanout = pin_fanout(&dag, cur);
+            sum += pricer
+                .delay(StaConfig::nominal().vdd, StaConfig::nominal().vt, fanout)
+                .expect("nominal point is feasible")
+                .0;
+            cur = ops[(next_rand(&mut state) as usize) % ops.len()];
+        }
+        prop_assert!(
+            sum <= report.critical.0 * (1.0 + 1e-9) + 1e-18,
+            "walked path {sum} exceeds critical {}",
+            report.critical.0
+        );
+    }
+
+    /// More supply never slows the circuit; a higher threshold never
+    /// speeds it up.
+    #[test]
+    fn critical_delay_is_monotone_in_the_operating_point(
+        seed in 0u64..200,
+        gates in 1usize..40,
+        vdd_step in 0.05f64..0.8,
+        vt_step in 0.02f64..0.15,
+    ) {
+        let dag = random_dag(seed, gates);
+        let base = run_sta(&dag, StaConfig::at(Volts(0.9), Volts(0.2)));
+        let more_supply = run_sta(&dag, StaConfig::at(Volts(0.9 + vdd_step), Volts(0.2)));
+        prop_assert!(
+            more_supply.critical.0 <= base.critical.0,
+            "raising V_DD slowed the circuit: {} -> {}",
+            base.critical.0,
+            more_supply.critical.0
+        );
+        let higher_vt = run_sta(&dag, StaConfig::at(Volts(0.9), Volts(0.2 + vt_step)));
+        prop_assert!(
+            higher_vt.critical.0 >= base.critical.0,
+            "raising V_T sped the circuit up: {} -> {}",
+            base.critical.0,
+            higher_vt.critical.0
+        );
+    }
+
+    /// `slack = required - arrival` holds at every node and endpoint,
+    /// and the worst endpoint slack matches the report header.
+    #[test]
+    fn slack_arithmetic_is_consistent(
+        seed in 0u64..200,
+        gates in 1usize..40,
+        required_ns in 0.01f64..100.0,
+    ) {
+        let dag = random_dag(seed, gates);
+        let report = run_sta(
+            &dag,
+            StaConfig::nominal().with_required(Seconds(required_ns * 1e-9)),
+        );
+        prop_assert_eq!(report.node_slacks.len(), report.nodes);
+        for ns in &report.node_slacks {
+            if ns.required.0.is_finite() {
+                prop_assert!(
+                    (ns.slack.0 - (ns.required.0 - ns.arrival.0)).abs() < 1e-18,
+                    "node {}",
+                    ns.node
+                );
+            }
+        }
+        let mut worst = f64::INFINITY;
+        for ep in &report.endpoints {
+            prop_assert!((ep.slack.0 - (ep.required.0 - ep.arrival.0)).abs() < 1e-18);
+            worst = worst.min(ep.slack.0);
+        }
+        prop_assert!((worst - report.worst_slack.0).abs() < 1e-18);
+    }
+}

@@ -21,8 +21,13 @@
 //! - [`exec`] — the deterministic parallel execution engine behind fault
 //!   campaigns, the experiment harness, and the design-space sweeps,
 //! - [`lint`] — static netlist and power-intent analysis (structural
-//!   DRC, X-reachability, MTCMOS/body-bias checks, leakage budgets)
-//!   that catches low-voltage design errors before any simulation,
+//!   DRC, X-reachability, MTCMOS/body-bias checks, leakage budgets,
+//!   slack-aware timing) that catches low-voltage design errors before
+//!   any simulation,
+//! - [`sta`] — zero-simulation static timing analysis over levelized
+//!   netlists: per-circuit critical paths, per-node slack, and the
+//!   lumped load profiles that let the optimizer constrain a real
+//!   datapath instead of the ring proxy,
 //! - [`obs`] — zero-dependency observability: lock-free counters and
 //!   span timers behind a [`obs::Recorder`] trait (no-op by default),
 //!   the stable metric-name catalog, and the JSON metrics report the
@@ -60,4 +65,5 @@ pub use lowvolt_exec as exec;
 pub use lowvolt_isa as isa;
 pub use lowvolt_lint as lint;
 pub use lowvolt_obs as obs;
+pub use lowvolt_sta as sta;
 pub use lowvolt_workloads as workloads;
