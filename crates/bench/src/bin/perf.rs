@@ -1,10 +1,13 @@
 //! `perf` — the persisted benchmark baseline for the parallel engine.
 //!
-//! Times the four parallelised hot paths — fault campaign, experiment
+//! Times the parallelised hot paths — fault campaign, experiment
 //! regeneration, the (V_DD, V_T) optimisation sweep, and the static
 //! timing sweep over the standard datapaths — once under the serial
 //! policy and once under the requested thread count, verifies the
-//! outputs are identical, and writes `BENCH_sim.json`.
+//! outputs are identical, and writes `BENCH_sim.json`. Three further
+//! stages exercise the netlist-interchange subsystem at scale: a BLIF
+//! round-trip parse, a packed fault campaign on a seeded generated
+//! netlist, and static timing analysis of a 10⁵-gate generated netlist.
 //!
 //! Usage:
 //!
@@ -22,13 +25,16 @@
 use lowvolt_bench::{all_experiments, run_experiments_with, BenchError};
 use lowvolt_circuit::compiled::run_campaign_packed;
 use lowvolt_circuit::faults::{
-    run_campaign_recorded, standard_targets, stuck_at_universe, CampaignOptions,
+    run_campaign_recorded, standard_targets, stuck_at_universe, CampaignOptions, FaultTarget,
 };
 use lowvolt_circuit::stimulus::PatternSource;
 use lowvolt_core::optimizer::FixedThroughputOptimizer;
 use lowvolt_core::sensitivity::{analyse_with, DesignPoint};
 use lowvolt_device::units::Seconds;
 use lowvolt_exec::ExecPolicy;
+use lowvolt_io::{
+    circuits_equivalent, generate, parse_str, write_blif, Format, GeneratorConfig, ImportedCircuit,
+};
 use lowvolt_obs::{names, MetricsRegistry, Recorder};
 use lowvolt_sta::{analyze, StaConfig, NOMINAL_VDD, NOMINAL_VT};
 use std::time::Instant;
@@ -222,6 +228,74 @@ fn sta_leg(policy: &ExecPolicy, rec: &dyn Recorder, width: usize) -> Result<Stri
     Ok(out)
 }
 
+/// The parse stage: a seeded generated netlist is rendered to BLIF once
+/// up front; each leg re-parses the text and checks structural
+/// equivalence against the source, timing the streaming parser end to
+/// end. Parsing is inherently serial, so this row is a throughput
+/// baseline, not a speedup measurement.
+fn parse_leg(source: &ImportedCircuit, text: &str) -> Result<String, String> {
+    let parsed = parse_str(Format::Blif, &source.name, text).map_err(|e| e.to_string())?;
+    circuits_equivalent(source, &parsed)?;
+    Ok(format!(
+        "parsed {} nodes {} gates hash {:016x}",
+        parsed.netlist.node_count(),
+        parsed.netlist.gate_count(),
+        parsed.netlist.structural_hash()
+    ))
+}
+
+/// Adapts a generated circuit to the fault-campaign target shape.
+fn fault_target(c: &ImportedCircuit) -> FaultTarget {
+    FaultTarget {
+        name: c.name.clone(),
+        netlist: c.netlist.clone(),
+        inputs: c.inputs.clone(),
+        outputs: c.outputs.clone(),
+        clock: c.clock,
+    }
+}
+
+/// The generated-campaign stage: the full stuck-at universe of a large
+/// seeded random netlist under the compiled bit-parallel engine — the
+/// scale row the interchange subsystem exists for.
+fn generated_campaign_leg(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    target: &FaultTarget,
+    vectors: usize,
+) -> Result<String, String> {
+    let faults = stuck_at_universe(&target.netlist);
+    let mut stimulus =
+        PatternSource::wide_random(target.inputs.len(), 0xD1CE).map_err(|e| e.to_string())?;
+    let res = run_campaign_packed(
+        policy,
+        rec,
+        target,
+        &faults,
+        &mut stimulus,
+        vectors,
+        CampaignOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let report = res
+        .report()
+        .ok_or_else(|| "generated campaign left injections unresolved".to_string())?;
+    Ok(report.to_string())
+}
+
+/// The generated-STA stage: one full static timing report over a
+/// 10⁵-gate seeded netlist at the nominal operating point.
+fn generated_sta_leg(
+    policy: &ExecPolicy,
+    rec: &dyn Recorder,
+    c: &ImportedCircuit,
+) -> Result<String, String> {
+    let config = StaConfig::at(NOMINAL_VDD, NOMINAL_VT);
+    let report =
+        analyze(policy, rec, &c.name, &c.netlist, &c.outputs, config).map_err(|e| e.to_string())?;
+    Ok(report.to_string())
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -308,6 +382,21 @@ fn run() -> Result<(), String> {
         ]
     };
 
+    // Generated-netlist workloads, seeded so every run measures the
+    // same circuits. The campaign and STA sizes mirror the CLI
+    // acceptance invocations (`--generate N --seed 42`).
+    let (parse_gates, gen_gates, gen_vectors, sta_gates) = if quick {
+        (2_000, 1_500, 8, 10_000)
+    } else {
+        (20_000, 10_000, 32, 100_000)
+    };
+    let parse_circuit =
+        generate(&GeneratorConfig::new(parse_gates, 0xB11F)).map_err(|e| e.to_string())?;
+    let parse_text = write_blif(&parse_circuit).map_err(|e| e.to_string())?;
+    let gen_target =
+        fault_target(&generate(&GeneratorConfig::new(gen_gates, 42)).map_err(|e| e.to_string())?);
+    let sta_circuit = generate(&GeneratorConfig::new(sta_gates, 42)).map_err(|e| e.to_string())?;
+
     let stages = vec![
         stage(names::STAGE_CAMPAIGN, Some("event"), &policy, |p, rec| {
             campaign_leg(p, rec, width, vectors, false)
@@ -327,6 +416,18 @@ fn run() -> Result<(), String> {
         stage(names::STAGE_STA, None, &policy, |p, rec| {
             sta_leg(p, rec, width)
         })?,
+        stage(names::STAGE_PARSE, None, &policy, |_, _| {
+            parse_leg(&parse_circuit, &parse_text)
+        })?,
+        stage(
+            names::STAGE_CAMPAIGN_GENERATED,
+            Some("compiled"),
+            &policy,
+            |p, rec| generated_campaign_leg(p, rec, &gen_target, gen_vectors),
+        )?,
+        stage(names::STAGE_STA_GENERATED, None, &policy, |p, rec| {
+            generated_sta_leg(p, rec, &sta_circuit)
+        })?,
     ];
 
     for s in &stages {
@@ -339,7 +440,7 @@ fn run() -> Result<(), String> {
             .map(|r| format!("  {r:.0} inj/s"))
             .unwrap_or_default();
         eprintln!(
-            "perf: {label:18} serial {:8.1} ms  parallel {:8.1} ms  speedup {:.2}x  identical {}{throughput}",
+            "perf: {label:28} serial {:8.1} ms  parallel {:8.1} ms  speedup {:.2}x  identical {}{throughput}",
             s.serial_wall_ms,
             s.parallel_wall_ms,
             s.speedup(),

@@ -63,6 +63,38 @@ impl PatternSource {
         })
     }
 
+    /// Uniformly random patterns of any width: widths past the 64-bit
+    /// word limit are built as a [`PatternSource::concat`] of 64-bit
+    /// random lanes with per-lane seeds derived from `seed`, so imported
+    /// and generated circuits with hundreds of inputs can be driven by
+    /// the same one-call API the built-in datapaths use. For `width <=
+    /// 64` this is exactly [`PatternSource::random`] — byte-identical
+    /// streams, so existing seeds keep their meaning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidStimulus`] if `width` is zero.
+    pub fn wide_random(width: usize, seed: u64) -> Result<PatternSource, CircuitError> {
+        if width <= 64 {
+            return PatternSource::random(width, seed);
+        }
+        let mut parts = Vec::with_capacity(width.div_ceil(64));
+        let mut remaining = width;
+        let mut lane = 0u64;
+        while remaining > 0 {
+            let w = remaining.min(64);
+            // SplitMix64's increment constant keeps the derived lane
+            // seeds decorrelated from each other and from `seed` itself.
+            let lane_seed = seed
+                .wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(lane);
+            parts.push(PatternSource::random(w, lane_seed)?);
+            remaining -= w;
+            lane += 1;
+        }
+        PatternSource::concat(parts)
+    }
+
     /// Binary-counting patterns starting at `start` (wraps at `2^width`).
     ///
     /// # Errors
@@ -282,5 +314,33 @@ mod tests {
         assert!(PatternSource::concat(vec![]).is_err());
         assert!(PatternSource::replay(vec![]).is_err());
         assert!(PatternSource::replay(vec![vec![Bit::One], vec![]]).is_err());
+    }
+
+    #[test]
+    fn wide_random_matches_random_up_to_64() {
+        let mut narrow = PatternSource::random(64, 7).unwrap();
+        let mut wide = PatternSource::wide_random(64, 7).unwrap();
+        for _ in 0..32 {
+            assert_eq!(narrow.next_pattern(), wide.next_pattern());
+        }
+    }
+
+    #[test]
+    fn wide_random_spans_any_width() {
+        for width in [65, 128, 200, 1000] {
+            let mut a = PatternSource::wide_random(width, 3).unwrap();
+            let mut b = PatternSource::wide_random(width, 3).unwrap();
+            assert_eq!(a.width(), width);
+            let (va, vb) = (a.next_pattern(), b.next_pattern());
+            assert_eq!(va.len(), width);
+            assert_eq!(va, vb, "same seed, same stream");
+            // Lanes must not mirror each other: the first two 64-bit
+            // lanes of a 128-wide stream differing proves the per-lane
+            // seeds decorrelate.
+            if width == 128 {
+                assert_ne!(va[..64], va[64..]);
+            }
+        }
+        assert!(PatternSource::wide_random(0, 1).is_err());
     }
 }

@@ -8,7 +8,8 @@ use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
 use lowvolt_circuit::compiled::{run_campaign_packed, CompiledNetlist};
 use lowvolt_circuit::faults::{
-    run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, ResilientCampaign,
+    run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, FaultTarget,
+    ResilientCampaign,
 };
 use lowvolt_circuit::multiplier::array_multiplier;
 use lowvolt_circuit::netlist::Netlist;
@@ -26,6 +27,7 @@ use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
 use lowvolt_device::units::{Hertz, Micrometers, Seconds, Volts};
 use lowvolt_exec::{ByteCache, CheckpointJournal, CheckpointSpec, ExecPolicy, FaultPolicy};
+use lowvolt_io::{generate, parse_path, GeneratorConfig, ImportedCircuit, IoError};
 use lowvolt_isa::bblocks::BlockProfile;
 use lowvolt_isa::cpu::Cpu;
 use lowvolt_isa::profile::Profiler;
@@ -127,31 +129,42 @@ lowvolt — low-voltage digital system design toolkit
 USAGE:
   lowvolt profile  (<file.s> | --example idea|espresso|li|fir) [--budget N]
                    [--hysteresis N] [--blocks] [--duty D] [--metrics-json PATH]
-  lowvolt sim      --circuit adder8|adder16|shifter8|mult8|alu8
+  lowvolt sim      (--circuit adder8|adder16|shifter8|mult8|alu8 | SOURCE)
                    [--patterns random|counting] [--cycles N] [--seed N]
                    [--engine event|compiled] [--metrics-json PATH]
-  lowvolt activity --circuit adder8|adder16|shifter8|mult8|alu8
+  lowvolt activity (--circuit adder8|adder16|shifter8|mult8|alu8 | SOURCE)
                    [--patterns random|counting] [--cycles N] [--seed N]
   lowvolt optimize [--delay-ps PS] [--throughput-mhz F] [--activity A]
-                   [--threads N] [--sta [--circuit NAME] [--width N]]
-  lowvolt sta      [--circuit adder|shifter|multiplier|alu|registers|all]
+                   [--threads N] [--sta [--circuit NAME | SOURCE] [--width N]]
+  lowvolt sta      [--circuit adder|shifter|multiplier|alu|registers|all | SOURCE]
                    [--width N] [--vdd V] [--vt V] [--required-ps PS]
                    [--json] [--threads N] [--metrics-json PATH]
-  lowvolt campaign [--width N] [--vectors N] [--seed N] [--threads N]
+  lowvolt campaign [--width N | SOURCE] [--vectors N] [--seed N] [--threads N]
                    [--engine event|compiled]
                    [--checkpoint PATH [--resume] [--interrupt-after N]]
                    [--max-retries N] [--item-timeout-ms MS] [--cache DIR]
                    [--metrics-json PATH]
+  lowvolt circuits
   lowvolt compare  --fga F --bga B [--alpha A] [--block adder|shifter|multiplier]
                    [--vdd V] [--mhz F]
   lowvolt iv       [--vt V] [--soias] [--vds V]
-  lowvolt lint     [--circuit NAME|all] [--width N]
+  lowvolt lint     [--circuit NAME|all | SOURCE] [--width N]
                    [--fixture floating|loop|sleep|leakage|slack]
                    [--json] [--deny warnings|RULES] [--allow RULES]
                    [--leakage-budget-uw F] [--threads N] [--rules]
                    [--metrics-json PATH]
   lowvolt disasm   (<file.s> | --example idea|espresso|li|fir)
   lowvolt help
+
+SOURCE selects a circuit beyond the built-ins, anywhere --circuit is
+accepted: `--netlist PATH` imports a gate-level netlist (.blif
+structural BLIF or .bench/.isc ISCAS-85/89, format by extension;
+malformed input exits 2 with a single PATH:LINE:COL-anchored message on
+stderr), and `--generate N` synthesizes a seeded deterministic random
+netlist with N gates (`--seed S`, `--gen-inputs K`, `--dff-fraction F`
+shape it; the same seed reproduces the identical circuit on any host).
+`lowvolt circuits` prints the full catalog: built-in datapaths,
+standard families, import formats, and generator knobs.
 
 `--threads N` selects the worker count for parallel sweeps (N = 0 or the
 LOWVOLT_THREADS environment variable mean \"all available cores\");
@@ -217,6 +230,7 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliFailure> {
         "optimize" => optimize(parsed),
         "sta" => sta(parsed),
         "campaign" => campaign(parsed),
+        "circuits" => circuits(),
         "compare" => compare(parsed),
         "iv" => iv(parsed),
         "disasm" => disasm(parsed),
@@ -405,11 +419,127 @@ fn build_circuit(
 
 fn pattern_source(parsed: &Parsed, width: usize, seed: u64) -> Result<PatternSource, CliError> {
     match parsed.get("patterns").unwrap_or("random") {
-        "random" => Ok(PatternSource::random(width, seed)?),
+        "random" => Ok(PatternSource::wide_random(width, seed)?),
         "counting" => Ok(PatternSource::counting(width.min(64), 0)?),
         other => Err(CliError(format!(
             "unknown pattern kind `{other}` (random, counting)"
         ))),
+    }
+}
+
+/// Resolves the circuit source the `--netlist` / `--generate` flags
+/// select: `--netlist PATH` imports a BLIF or ISCAS bench file,
+/// `--generate N` (with `--seed S`, `--gen-inputs K`,
+/// `--dff-fraction F`) synthesizes a seeded random netlist. Returns
+/// `None` when neither flag is present, in which case the command falls
+/// back to its `--circuit` selection.
+///
+/// Parse failures surface as a single `PATH:LINE:COL: message` error —
+/// the binary routes that to stderr with exit 2, with no partial
+/// report on stdout.
+fn imported_source(parsed: &Parsed) -> Result<Option<ImportedCircuit>, CliError> {
+    let netlist_flag = parsed.get("netlist");
+    let generate_count = parsed.get_u64("generate")?;
+    match (netlist_flag, generate_count) {
+        (Some(_), Some(_)) => Err(CliError(
+            "--netlist and --generate are mutually exclusive".to_string(),
+        )),
+        (Some(""), None) => Err(CliError(
+            "--netlist expects a file path (.blif or .bench)".to_string(),
+        )),
+        (Some(path), None) => match parse_path(std::path::Path::new(path)) {
+            Ok(c) => Ok(Some(c)),
+            // Anchor parse errors at PATH:LINE:COL; file errors already
+            // name the path in their Display form.
+            Err(e @ IoError::Parse { .. }) => Err(CliError(format!("{path}:{e}"))),
+            Err(e) => Err(CliError(e.to_string())),
+        },
+        (None, Some(gates)) => {
+            let mut cfg = GeneratorConfig::new(
+                usize::try_from(gates).unwrap_or(usize::MAX),
+                parsed.get_u64("seed")?.unwrap_or(42),
+            );
+            if let Some(k) = parsed.get_u64("gen-inputs")? {
+                cfg.inputs = usize::try_from(k).unwrap_or(usize::MAX);
+            }
+            if let Some(f) = parsed.get_f64("dff-fraction")? {
+                cfg.dff_fraction = f;
+            }
+            Ok(Some(generate(&cfg).map_err(|e| CliError(e.to_string()))?))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
+/// `lowvolt circuits`: the catalog of circuit sources — built-in
+/// datapaths (with their sizes), standard lint/STA families, supported
+/// import formats, and the generator knobs.
+fn circuits() -> Result<String, CliError> {
+    let mut out = String::from("built-in datapaths (sim/activity --circuit NAME):\n");
+    let mut t = Table::new(["name", "gates", "nodes", "inputs"]);
+    for name in ["adder8", "adder16", "shifter8", "mult8", "alu8"] {
+        let (n, inputs) = build_circuit(name)?;
+        t.push_row([
+            name.to_string(),
+            n.gate_count().to_string(),
+            n.node_count().to_string(),
+            inputs.len().to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+
+    out.push_str("\nstandard families (lint/sta/optimize --circuit NAME, sized by --width):\n");
+    let mut t = Table::new(["name", "gates @ width 8", "sequential"]);
+    for target in standard_lint_targets(8)? {
+        t.push_row([
+            target.name.trim_end_matches(char::is_numeric).to_string(),
+            target.netlist.gate_count().to_string(),
+            if target.clock.is_some() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+
+    out.push_str(
+        "\nimport formats (--netlist PATH, detected by extension):\n\
+         \x20 .blif         structural BLIF: .model/.inputs/.outputs/.names covers,\n\
+         \x20               .latch (rising-edge, one global clock) -> flip-flops\n\
+         \x20 .bench, .isc  ISCAS-85/89: INPUT/OUTPUT, AND OR NAND NOR XOR XNOR NOT\n\
+         \x20               BUF at any fanin, DFF with an implicit global clock\n\
+         \nsynthetic circuits (--generate N, deterministic per seed):\n\
+         \x20 --generate N       gate count (1..=2000000)\n\
+         \x20 --seed S           PRNG seed (default 42); same seed, same netlist\n\
+         \x20 --gen-inputs K     primary inputs (default 16, 1..=4096)\n\
+         \x20 --dff-fraction F   flip-flop share 0.0..=0.5 (default 0.1; 0 = pure\n\
+         \x20                    combinational, no clock)\n\
+         \nEvery lint, campaign (either engine), sim, sta, and optimize --sta run\n\
+         accepts --netlist or --generate in place of --circuit.\n",
+    );
+    Ok(out)
+}
+
+/// An imported circuit as a fault-campaign target.
+fn imported_fault_target(c: &ImportedCircuit) -> FaultTarget {
+    FaultTarget {
+        name: c.name.clone(),
+        netlist: c.netlist.clone(),
+        inputs: c.inputs.clone(),
+        outputs: c.outputs.clone(),
+        clock: c.clock,
+    }
+}
+
+/// An imported circuit as a lint target: no power intent (the imported
+/// formats carry none), so the power pass's intent checks are skipped
+/// and leakage is priced for the whole design at the default threshold.
+fn imported_lint_target(c: &ImportedCircuit) -> LintTarget {
+    LintTarget {
+        name: c.name.clone(),
+        netlist: c.netlist.clone(),
+        inputs: c.inputs.clone(),
+        outputs: c.outputs.clone(),
+        clock: c.clock,
+        intent: None,
+        switch_view: None,
     }
 }
 
@@ -440,11 +570,17 @@ fn engine_flag(parsed: &Parsed) -> Result<Engine, CliError> {
 /// the metrics report.
 fn sim(parsed: &Parsed) -> Result<String, CliError> {
     let metrics = Metrics::from_args(parsed)?;
-    let circuit = parsed.get("circuit").unwrap_or("adder8");
     let cycles = parsed.get_u64("cycles")?.unwrap_or(256) as usize;
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
     let engine = engine_flag(parsed)?;
-    let (n, inputs) = build_circuit(circuit)?;
+    let (circuit, n, inputs) = match imported_source(parsed)? {
+        Some(c) => (c.name.clone(), c.netlist, c.inputs),
+        None => {
+            let name = parsed.get("circuit").unwrap_or("adder8");
+            let (n, inputs) = build_circuit(name)?;
+            (name.to_string(), n, inputs)
+        }
+    };
     let mut source = pattern_source(parsed, inputs.len(), seed)?;
     let warmup = (cycles / 10).max(4);
     let report = match engine {
@@ -484,10 +620,16 @@ fn sim(parsed: &Parsed) -> Result<String, CliError> {
 }
 
 fn activity(parsed: &Parsed) -> Result<String, CliError> {
-    let circuit = parsed.get("circuit").unwrap_or("adder8");
     let cycles = parsed.get_u64("cycles")?.unwrap_or(520) as usize;
     let seed = parsed.get_u64("seed")?.unwrap_or(42);
-    let (n, inputs) = build_circuit(circuit)?;
+    let (circuit, n, inputs) = match imported_source(parsed)? {
+        Some(c) => (c.name.clone(), c.netlist, c.inputs),
+        None => {
+            let name = parsed.get("circuit").unwrap_or("adder8");
+            let (n, inputs) = build_circuit(name)?;
+            (name.to_string(), n, inputs)
+        }
+    };
     let mut source = pattern_source(parsed, inputs.len(), seed)?;
     let mut sim = Simulator::new(&n);
     let warmup = (cycles / 10).max(4);
@@ -541,7 +683,10 @@ fn sta(parsed: &Parsed) -> Result<String, CliError> {
         }
         config = config.with_required(Seconds::from_picos(ps));
     }
-    let targets = select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?;
+    let targets = match imported_source(parsed)? {
+        Some(c) => vec![imported_lint_target(&c)],
+        None => select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?,
+    };
     let mut reports = Vec::with_capacity(targets.len());
     for t in &targets {
         reports.push(
@@ -583,15 +728,21 @@ fn optimize(parsed: &Parsed) -> Result<String, CliError> {
     let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
     let policy = exec_policy(parsed)?;
     let (opt, mut out) = if parsed.has("sta") {
-        let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
-        let name = parsed.get("circuit").unwrap_or("adder");
-        if name == "all" {
-            return Err(CliError(
-                "optimize --sta wants one circuit, not `all`".to_string(),
-            ));
-        }
-        let targets = select_standard_targets(name, width)?;
-        let target = &targets[0];
+        let target = match imported_source(parsed)? {
+            Some(c) => imported_lint_target(&c),
+            None => {
+                let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+                let name = parsed.get("circuit").unwrap_or("adder");
+                if name == "all" {
+                    return Err(CliError(
+                        "optimize --sta wants one circuit, not `all`".to_string(),
+                    ));
+                }
+                let mut targets = select_standard_targets(name, width)?;
+                targets.swap_remove(0)
+            }
+        };
+        let target = &target;
         let profile =
             load_profile(&target.netlist, &target.outputs).map_err(|e| CliError(e.to_string()))?;
         let model = CriticalPathModel::new(
@@ -678,7 +829,11 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     let engine = engine_flag(parsed)?;
     let policy = exec_policy(parsed)?;
     let metrics = Metrics::from_args(parsed)?;
-    let targets = standard_targets(width)?;
+    let imported = imported_source(parsed)?;
+    let targets = match &imported {
+        Some(c) => vec![imported_fault_target(c)],
+        None => standard_targets(width)?,
+    };
 
     let mut warnings: Vec<String> = Vec::new();
     let mut journal_state: Option<(CheckpointJournal, std::collections::HashMap<u64, Vec<u8>>)> =
@@ -700,10 +855,18 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     // Header block: everything before the first blank line may vary
     // between a fresh, interrupted, and resumed run; the coverage table
     // after it must not (the CI resume gate diffs the table).
-    let mut out = format!(
-        "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n",
-        policy.threads()
-    );
+    let mut out = match &imported {
+        Some(c) => format!(
+            "stuck-at fault campaign: {} ({} gates), {vectors} vectors/injection, {} worker thread(s)\n",
+            c.name,
+            c.netlist.gate_count(),
+            policy.threads()
+        ),
+        None => format!(
+            "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n",
+            policy.threads()
+        ),
+    };
     if engine == Engine::Compiled {
         out.push_str(
             "engine: compiled (bit-parallel levelized; checkpoint unit = 64-vector word)\n",
@@ -752,7 +915,7 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
     for (i, target) in targets.iter().enumerate() {
         let faults = stuck_at_universe(&target.netlist);
         let target_seed = seed.wrapping_add(i as u64);
-        let mut stimulus = PatternSource::random(target.inputs.len(), target_seed)?;
+        let mut stimulus = PatternSource::wide_random(target.inputs.len(), target_seed)?;
         let options = CampaignOptions {
             fault: FaultPolicy {
                 max_retries,
@@ -990,6 +1153,8 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
             ))
         })?;
         vec![seeded_defect(defect)?]
+    } else if let Some(c) = imported_source(parsed).map_err(CliFailure::Error)? {
+        vec![imported_lint_target(&c)]
     } else {
         let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
         select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?

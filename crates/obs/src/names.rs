@@ -201,6 +201,12 @@ pub const STAGE_REGEN: &str = "regen";
 pub const STAGE_OPTIMIZE: &str = "optimize";
 /// `perf` stage: static timing analysis over the standard datapaths.
 pub const STAGE_STA: &str = "sta";
+/// `perf` stage: BLIF round-trip parse of a generated netlist.
+pub const STAGE_PARSE: &str = "parse";
+/// `perf` stage: packed fault campaign on a large generated netlist.
+pub const STAGE_CAMPAIGN_GENERATED: &str = "campaign-generated";
+/// `perf` stage: static timing analysis of a large generated netlist.
+pub const STAGE_STA_GENERATED: &str = "sta-generated";
 
 #[cfg(test)]
 mod tests {

@@ -28,6 +28,10 @@
 //!   netlists: per-circuit critical paths, per-node slack, and the
 //!   lumped load profiles that let the optimizer constrain a real
 //!   datapath instead of the ring proxy,
+//! - [`io`] — netlist interchange: streaming BLIF and ISCAS-85/89
+//!   bench parsers, a round-tripping BLIF writer, and a seeded
+//!   deterministic random-netlist generator that scales every analysis
+//!   to 10⁵-gate circuits,
 //! - [`obs`] — zero-dependency observability: lock-free counters and
 //!   span timers behind a [`obs::Recorder`] trait (no-op by default),
 //!   the stable metric-name catalog, and the JSON metrics report the
@@ -62,6 +66,7 @@ pub use lowvolt_circuit as circuit;
 pub use lowvolt_core as core;
 pub use lowvolt_device as device;
 pub use lowvolt_exec as exec;
+pub use lowvolt_io as io;
 pub use lowvolt_isa as isa;
 pub use lowvolt_lint as lint;
 pub use lowvolt_obs as obs;
