@@ -134,6 +134,41 @@ impl FaultOutcome {
             FaultOutcome::Errored(_) => "errored",
         }
     }
+
+    /// Severity rank used by [`FaultOutcome::merge`]; higher dominates.
+    fn merge_rank(&self) -> u8 {
+        match self {
+            // A word-level execution failure leaves no classes for any
+            // lane, so it dominates even detection (mirroring the packed
+            // runner, which degrades the whole target to `Errored` when
+            // any stimulus word exhausts its retries or deadline).
+            FaultOutcome::Errored(_) => 5,
+            FaultOutcome::Detected(CircuitError::UnknownNode(_)) => 4,
+            FaultOutcome::Detected(_) => 3,
+            FaultOutcome::Corrupted => 2,
+            FaultOutcome::PropagatedAsX => 1,
+            FaultOutcome::Masked => 0,
+        }
+    }
+
+    /// Combines the outcomes of the *same* fault classified over two
+    /// disjoint stimulus subsets (e.g. two shards of a campaign's vector
+    /// range), returning what a single run over the union would report.
+    ///
+    /// The precedence mirrors the packed engine's per-word class fold,
+    /// descending: `Errored`, `Detected(UnknownNode)`, `Detected(_)`,
+    /// `Corrupted`, `PropagatedAsX`, `Masked`. The operation is
+    /// associative and commutative (a max over a total order), which is
+    /// exactly what makes shard-merged campaign results bit-identical
+    /// to unsharded ones regardless of how the vector range was split.
+    #[must_use]
+    pub fn merge(self, other: FaultOutcome) -> FaultOutcome {
+        if other.merge_rank() > self.merge_rank() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// A circuit prepared for fault-injection campaigns: a netlist plus the
@@ -867,6 +902,61 @@ mod tests {
 
     fn adder_target(width: usize) -> FaultTarget {
         standard_targets(width).unwrap().into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn outcome_merge_is_a_max_over_the_word_class_precedence() {
+        let detected_unknown = || FaultOutcome::Detected(CircuitError::UnknownNode(3));
+        let detected_stim = || {
+            FaultOutcome::Detected(CircuitError::InvalidStimulus {
+                reason: "fault input index out of range",
+            })
+        };
+        let errored = || {
+            FaultOutcome::Errored(ExecError::ItemPanicked {
+                index: 0,
+                attempts: 1,
+                message: "boom".to_string(),
+            })
+        };
+        // Ascending precedence; merge must pick the later element of any
+        // pair, in either argument order.
+        let ladder = [
+            FaultOutcome::Masked,
+            FaultOutcome::PropagatedAsX,
+            FaultOutcome::Corrupted,
+            detected_stim(),
+            detected_unknown(),
+            errored(),
+        ];
+        for (i, low) in ladder.iter().enumerate() {
+            for high in &ladder[i..] {
+                assert_eq!(
+                    low.clone().merge(high.clone()).label(),
+                    high.label(),
+                    "{} vs {}",
+                    low.label(),
+                    high.label()
+                );
+                assert_eq!(
+                    high.clone().merge(low.clone()).label(),
+                    high.label(),
+                    "commutativity: {} vs {}",
+                    high.label(),
+                    low.label()
+                );
+            }
+        }
+        // Within `Detected`, unknown-node dominates bad-input (the packed
+        // fold checks the unknown-node class first).
+        assert_eq!(
+            detected_stim().merge(detected_unknown()),
+            detected_unknown()
+        );
+        assert_eq!(
+            FaultOutcome::Masked.merge(FaultOutcome::Masked),
+            FaultOutcome::Masked
+        );
     }
 
     #[test]

@@ -6,36 +6,30 @@ use std::fmt;
 use crate::args::Parsed;
 use lowvolt_circuit::adder::ripple_carry_adder;
 use lowvolt_circuit::alu::alu;
-use lowvolt_circuit::compiled::{run_campaign_packed, CompiledNetlist};
-use lowvolt_circuit::faults::{
-    run_campaign_resilient, standard_targets, stuck_at_universe, CampaignOptions, FaultTarget,
-    ResilientCampaign,
-};
+use lowvolt_circuit::compiled::CompiledNetlist;
 use lowvolt_circuit::multiplier::array_multiplier;
 use lowvolt_circuit::netlist::Netlist;
-use lowvolt_circuit::ring::RingOscillator;
 use lowvolt_circuit::shifter::barrel_shifter_right;
 use lowvolt_circuit::sim::Simulator;
 use lowvolt_circuit::stimulus::PatternSource;
 use lowvolt_core::activity::ActivityVars;
 use lowvolt_core::energy::{BlockParams, BurstEnergyModel};
-use lowvolt_core::optimizer::{CriticalPathModel, FixedThroughputOptimizer};
 use lowvolt_core::report::{fmt_sig, Table};
 use lowvolt_device::body::BodyEffect;
 use lowvolt_device::mosfet::Mosfet;
 use lowvolt_device::soias::SoiasDevice;
 use lowvolt_device::technology::Technology;
-use lowvolt_device::units::{Hertz, Micrometers, Seconds, Volts};
-use lowvolt_exec::{ByteCache, CheckpointJournal, CheckpointSpec, ExecPolicy, FaultPolicy};
-use lowvolt_io::{generate, parse_path, GeneratorConfig, ImportedCircuit, IoError};
-use lowvolt_isa::bblocks::BlockProfile;
-use lowvolt_isa::cpu::Cpu;
-use lowvolt_isa::profile::Profiler;
-use lowvolt_lint::{
-    seeded_defect, standard_lint_targets, Defect, LintConfig, LintTarget, Linter, Rule, UnknownRule,
+use lowvolt_device::units::{Hertz, Volts};
+use lowvolt_exec::{ByteCache, ExecPolicy};
+use lowvolt_io::ImportedCircuit;
+use lowvolt_lint::{standard_lint_targets, Rule, UnknownRule};
+use lowvolt_obs::{MetricsRegistry, Recorder};
+use lowvolt_serve::client::{self, Event as SubmitEvent};
+use lowvolt_serve::jobs::{
+    self, CampaignPersist, Engine, JobError, NullSink, ProgramSource, RunMode, SourceSpec,
 };
-use lowvolt_obs::{names, span, MetricsRegistry, Recorder};
-use lowvolt_sta::{analyze, load_profile, StaConfig, NOMINAL_VDD, NOMINAL_VT};
+use lowvolt_serve::json::Json;
+use lowvolt_serve::server::Server;
 
 /// A command failed: carries the message shown to the user.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +64,12 @@ impl From<lowvolt_core::error::CoreError> for CliError {
 impl From<lowvolt_device::error::DeviceError> for CliError {
     fn from(e: lowvolt_device::error::DeviceError) -> CliError {
         CliError(e.to_string())
+    }
+}
+
+impl From<JobError> for CliError {
+    fn from(e: JobError) -> CliError {
+        CliError(e.0)
     }
 }
 
@@ -154,6 +154,8 @@ USAGE:
                    [--leakage-budget-uw F] [--threads N] [--rules]
                    [--metrics-json PATH]
   lowvolt disasm   (<file.s> | --example idea|espresso|li|fir)
+  lowvolt serve    [--listen ADDR] [--state DIR]
+  lowvolt submit   --connect ADDR --request JSON [--metrics-json PATH]
   lowvolt help
 
 SOURCE selects a circuit beyond the built-ins, anywhere --circuit is
@@ -210,6 +212,15 @@ target is PS x path depth), switching energy prices the circuit's
 switched capacitance, and leakage its gate count — an optimum per
 circuit rather than per proxy.
 
+`serve` starts the job daemon: a TCP service speaking one JSON object
+per line that runs the same five job kinds (campaign, optimize, lint,
+sta, profile) with byte-identical payloads. Campaign jobs execute in
+journal-backed shards under `--state DIR`, so a killed daemon resumes
+completed work when the job is resubmitted. `submit` sends one request
+line (`--request '{\"job\":\"campaign\",...}'`) to a running daemon,
+streams progress to stderr, and prints the result payload to stdout
+exactly as the equivalent direct command would.
+
 Run any experiment of the paper with the separate `regen` binary.";
 
 /// Dispatches a parsed command line.
@@ -223,6 +234,9 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliFailure> {
     if parsed.command == "lint" {
         return lint(parsed);
     }
+    if parsed.command == "submit" {
+        return submit(parsed);
+    }
     match parsed.command.as_str() {
         "profile" => profile(parsed),
         "sim" => sim(parsed),
@@ -234,6 +248,7 @@ pub fn run_command(parsed: &Parsed) -> Result<String, CliFailure> {
         "compare" => compare(parsed),
         "iv" => iv(parsed),
         "disasm" => disasm(parsed),
+        "serve" => serve(parsed),
         "help" | "" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -300,95 +315,26 @@ impl Metrics {
     }
 }
 
-fn example_source(name: &str) -> Result<String, CliError> {
-    match name {
-        "idea" => Ok(lowvolt_workloads::idea::program(50)),
-        "espresso" => {
-            Ok(lowvolt_workloads::espresso::program(120, 42)
-                .map_err(|e| CliError(e.to_string()))?)
-        }
-        "li" => Ok(lowvolt_workloads::li::program(9, 42, 5)),
-        "fir" => Ok(lowvolt_workloads::fir::program(200, 42)),
-        other => Err(CliError(format!(
-            "unknown example `{other}` (idea, espresso, li, fir)"
-        ))),
-    }
-}
-
 fn profile(parsed: &Parsed) -> Result<String, CliError> {
     let source = if let Some(example) = parsed.get("example") {
-        example_source(example)?
+        ProgramSource::Example(example.to_string())
     } else if let Some(path) = parsed.positional.first() {
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?
+        ProgramSource::Text(
+            std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?,
+        )
     } else {
         return Err(CliError(
             "profile needs a source file or --example NAME".to_string(),
         ));
     };
-    let budget = parsed.get_u64("budget")?.unwrap_or(200_000_000);
-    let hysteresis = parsed.get_u64("hysteresis")?.unwrap_or(1);
-    let duty = parsed.get_f64("duty")?;
+    let mut spec = jobs::ProfileSpec::new(source);
+    spec.budget = parsed.get_u64("budget")?.unwrap_or(200_000_000);
+    spec.hysteresis = parsed.get_u64("hysteresis")?.unwrap_or(1);
+    spec.duty = parsed.get_f64("duty")?;
+    spec.blocks = parsed.has("blocks");
     let metrics = Metrics::from_args(parsed)?;
-    let rec = metrics.recorder();
-    let mut out = String::new();
-
-    let report = if let Some(duty) = duty {
-        let schedule = lowvolt_workloads::bursty::BurstSchedule::with_duty(1_000, duty)
-            .map_err(|e| CliError(e.to_string()))?;
-        out.push_str(&format!(
-            "bursty execution: duty {:.3} ({} on / {} idle)\n",
-            schedule.duty(),
-            schedule.burst_len,
-            schedule.idle_len
-        ));
-        lowvolt_workloads::bursty::profile_bursty_recorded(
-            &source, schedule, budget, hysteresis, rec,
-        )
-        .map_err(CliError)?
-    } else {
-        let timer = span(rec, names::SPAN_PROFILE_RUN);
-        let program = lowvolt_isa::assemble(&source).map_err(|e| CliError(e.to_string()))?;
-        let mut cpu = Cpu::new(program.clone());
-        let mut profiler = Profiler::standard().with_hysteresis(hysteresis);
-        if parsed.has("blocks") {
-            let mut blocks = BlockProfile::new(&program);
-            let mut executed = 0u64;
-            while !cpu.halted() {
-                if executed >= budget {
-                    return Err(CliError(format!(
-                        "budget of {budget} instructions exhausted"
-                    )));
-                }
-                blocks.record_pc(cpu.pc());
-                if let Some(inst) = cpu.step().map_err(|e| CliError(e.to_string()))? {
-                    profiler.record(&inst);
-                    executed += 1;
-                }
-            }
-            blocks.flush_metrics(rec);
-            out.push_str("hot basic blocks (dynamic instructions):\n");
-            let mut t = Table::new(["range", "static len", "dynamic instrs"]);
-            for (b, dynamic) in blocks.hottest(5) {
-                t.push_row([
-                    format!("[{}..{})", b.start, b.end),
-                    b.len().to_string(),
-                    dynamic.to_string(),
-                ]);
-            }
-            out.push_str(&t.to_string());
-            out.push('\n');
-        } else {
-            cpu.run_profiled(budget, &mut profiler)
-                .map_err(|e| CliError(e.to_string()))?;
-        }
-        drop(timer);
-        profiler.flush_metrics(rec);
-        if !cpu.output().is_empty() {
-            out.push_str(&format!("program output: {}\n\n", cpu.output()));
-        }
-        profiler.report()
-    };
-    out.push_str(&report.to_string());
+    let out = jobs::run_profile_job(metrics.recorder(), &spec)?;
     metrics.finish(out)
 }
 
@@ -427,17 +373,10 @@ fn pattern_source(parsed: &Parsed, width: usize, seed: u64) -> Result<PatternSou
     }
 }
 
-/// Resolves the circuit source the `--netlist` / `--generate` flags
-/// select: `--netlist PATH` imports a BLIF or ISCAS bench file,
-/// `--generate N` (with `--seed S`, `--gen-inputs K`,
-/// `--dff-fraction F`) synthesizes a seeded random netlist. Returns
-/// `None` when neither flag is present, in which case the command falls
-/// back to its `--circuit` selection.
-///
-/// Parse failures surface as a single `PATH:LINE:COL: message` error —
-/// the binary routes that to stderr with exit 2, with no partial
-/// report on stdout.
-fn imported_source(parsed: &Parsed) -> Result<Option<ImportedCircuit>, CliError> {
+/// Builds the job-layer circuit source from the `--netlist` /
+/// `--generate` flags: [`SourceSpec::Builtin`] when neither is present
+/// (the command falls back to its `--circuit` selection).
+fn source_spec(parsed: &Parsed) -> Result<SourceSpec, CliError> {
     let netlist_flag = parsed.get("netlist");
     let generate_count = parsed.get_u64("generate")?;
     match (netlist_flag, generate_count) {
@@ -447,28 +386,27 @@ fn imported_source(parsed: &Parsed) -> Result<Option<ImportedCircuit>, CliError>
         (Some(""), None) => Err(CliError(
             "--netlist expects a file path (.blif or .bench)".to_string(),
         )),
-        (Some(path), None) => match parse_path(std::path::Path::new(path)) {
-            Ok(c) => Ok(Some(c)),
-            // Anchor parse errors at PATH:LINE:COL; file errors already
-            // name the path in their Display form.
-            Err(e @ IoError::Parse { .. }) => Err(CliError(format!("{path}:{e}"))),
-            Err(e) => Err(CliError(e.to_string())),
-        },
-        (None, Some(gates)) => {
-            let mut cfg = GeneratorConfig::new(
-                usize::try_from(gates).unwrap_or(usize::MAX),
-                parsed.get_u64("seed")?.unwrap_or(42),
-            );
-            if let Some(k) = parsed.get_u64("gen-inputs")? {
-                cfg.inputs = usize::try_from(k).unwrap_or(usize::MAX);
-            }
-            if let Some(f) = parsed.get_f64("dff-fraction")? {
-                cfg.dff_fraction = f;
-            }
-            Ok(Some(generate(&cfg).map_err(|e| CliError(e.to_string()))?))
-        }
-        (None, None) => Ok(None),
+        (Some(path), None) => Ok(SourceSpec::Netlist {
+            path: path.to_string(),
+        }),
+        (None, Some(gates)) => Ok(SourceSpec::Generate {
+            gates,
+            seed: parsed.get_u64("seed")?.unwrap_or(42),
+            inputs: parsed.get_u64("gen-inputs")?,
+            dff_fraction: parsed.get_f64("dff-fraction")?,
+        }),
+        (None, None) => Ok(SourceSpec::Builtin),
     }
+}
+
+/// Resolves the `--netlist` / `--generate` flags to an imported
+/// circuit, or `None` when neither flag is present.
+///
+/// Parse failures surface as a single `PATH:LINE:COL: message` error —
+/// the binary routes that to stderr with exit 2, with no partial
+/// report on stdout.
+fn imported_source(parsed: &Parsed) -> Result<Option<ImportedCircuit>, CliError> {
+    Ok(source_spec(parsed)?.resolve()?)
 }
 
 /// `lowvolt circuits`: the catalog of circuit sources — built-in
@@ -517,49 +455,8 @@ fn circuits() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// An imported circuit as a fault-campaign target.
-fn imported_fault_target(c: &ImportedCircuit) -> FaultTarget {
-    FaultTarget {
-        name: c.name.clone(),
-        netlist: c.netlist.clone(),
-        inputs: c.inputs.clone(),
-        outputs: c.outputs.clone(),
-        clock: c.clock,
-    }
-}
-
-/// An imported circuit as a lint target: no power intent (the imported
-/// formats carry none), so the power pass's intent checks are skipped
-/// and leakage is priced for the whole design at the default threshold.
-fn imported_lint_target(c: &ImportedCircuit) -> LintTarget {
-    LintTarget {
-        name: c.name.clone(),
-        netlist: c.netlist.clone(),
-        inputs: c.inputs.clone(),
-        outputs: c.outputs.clone(),
-        clock: c.clock,
-        intent: None,
-        switch_view: None,
-    }
-}
-
-/// Which simulation engine a command should run on.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Engine {
-    /// The event-driven simulator (default; handles every circuit).
-    Event,
-    /// The bit-parallel levelized engine (64 vectors per word).
-    Compiled,
-}
-
 fn engine_flag(parsed: &Parsed) -> Result<Engine, CliError> {
-    match parsed.get("engine").unwrap_or("event") {
-        "event" => Ok(Engine::Event),
-        "compiled" => Ok(Engine::Compiled),
-        other => Err(CliError(format!(
-            "unknown engine `{other}` (event, compiled)"
-        ))),
-    }
+    Ok(Engine::parse(parsed.get("engine").unwrap_or("event"))?)
 }
 
 /// Event-driven simulation of a demo circuit under a pattern stream,
@@ -645,154 +542,36 @@ fn activity(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
-/// Selects standard lint/timing targets by exact name (`adder8`) or
-/// family name (`adder`); `all` returns every standard datapath.
-fn select_standard_targets(name: &str, width: usize) -> Result<Vec<LintTarget>, CliError> {
-    let all = standard_lint_targets(width)?;
-    match name {
-        "all" => Ok(all),
-        name => {
-            let chosen: Vec<_> = all
-                .into_iter()
-                .filter(|t| t.name == name || t.name.trim_end_matches(char::is_numeric) == name)
-                .collect();
-            if chosen.is_empty() {
-                return Err(CliError(format!(
-                    "unknown circuit `{name}` (adder, shifter, multiplier, alu, registers, all)"
-                )));
-            }
-            Ok(chosen)
-        }
-    }
-}
-
 /// Static timing analysis over the standard datapaths: named critical
 /// path, per-endpoint arrival/required/slack, text or JSON.
 fn sta(parsed: &Parsed) -> Result<String, CliError> {
     let metrics = Metrics::from_args(parsed)?;
     let policy = exec_policy(parsed)?;
-    let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
-    let vdd = Volts(parsed.get_f64("vdd")?.unwrap_or(NOMINAL_VDD.0));
-    let vt = Volts(parsed.get_f64("vt")?.unwrap_or(NOMINAL_VT.0));
-    let mut config = StaConfig::at(vdd, vt);
-    if let Some(ps) = parsed.get_f64("required-ps")? {
-        if !(ps.is_finite() && ps > 0.0) {
-            return Err(CliError(format!(
-                "--required-ps must be a positive number, got {ps}"
-            )));
-        }
-        config = config.with_required(Seconds::from_picos(ps));
-    }
-    let targets = match imported_source(parsed)? {
-        Some(c) => vec![imported_lint_target(&c)],
-        None => select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?,
-    };
-    let mut reports = Vec::with_capacity(targets.len());
-    for t in &targets {
-        reports.push(
-            analyze(
-                &policy,
-                metrics.recorder(),
-                &t.name,
-                &t.netlist,
-                &t.outputs,
-                config,
-            )
-            .map_err(|e| CliError(e.to_string()))?,
-        );
-    }
-    let out = if parsed.has("json") {
-        let mut s = String::from("[");
-        for (i, r) in reports.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&r.to_json());
-        }
-        s.push(']');
-        s
-    } else {
-        let mut s = String::new();
-        for r in &reports {
-            s.push_str(&r.to_string());
-            s.push('\n');
-        }
-        s
-    };
+    let mut spec = jobs::StaSpec::new(source_spec(parsed)?);
+    spec.circuit = parsed.get("circuit").unwrap_or("all").to_string();
+    spec.width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+    spec.vdd = parsed.get_f64("vdd")?;
+    spec.vt = parsed.get_f64("vt")?;
+    spec.required_ps = parsed.get_f64("required-ps")?;
+    spec.json = parsed.has("json");
+    let out = jobs::run_sta_job(&policy, metrics.recorder(), &spec)?;
     metrics.finish(out)
 }
 
 fn optimize(parsed: &Parsed) -> Result<String, CliError> {
-    let delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
-    let mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
-    let activity = parsed.get_f64("activity")?.unwrap_or(1.0);
-    let policy = exec_policy(parsed)?;
-    let (opt, mut out) = if parsed.has("sta") {
-        let target = match imported_source(parsed)? {
-            Some(c) => imported_lint_target(&c),
-            None => {
-                let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
-                let name = parsed.get("circuit").unwrap_or("adder");
-                if name == "all" {
-                    return Err(CliError(
-                        "optimize --sta wants one circuit, not `all`".to_string(),
-                    ));
-                }
-                let mut targets = select_standard_targets(name, width)?;
-                targets.swap_remove(0)
-            }
-        };
-        let target = &target;
-        let profile =
-            load_profile(&target.netlist, &target.outputs).map_err(|e| CliError(e.to_string()))?;
-        let model = CriticalPathModel::new(
-            Micrometers(2.0),
-            profile.path_load,
-            profile.switched_cap,
-            profile.gates,
-        )?;
-        let path_target = Seconds::from_picos(delay_ps * profile.depth as f64);
-        let opt = FixedThroughputOptimizer::for_critical_path(model, path_target, activity)?;
-        let header = format!(
-            "sta mode: {} — critical path {} gates ({:.1} fF), switched cap {:.1} fF over {} gates\ndelay target {delay_ps} ps/gate ({:.1} ps whole-path), throughput {mhz} MHz, activity {activity}\n\n",
-            target.name,
-            profile.depth,
-            profile.path_load.to_femtofarads(),
-            profile.switched_cap.to_femtofarads(),
-            profile.gates,
-            path_target.0 * 1e12,
-        );
-        (opt, header)
-    } else {
-        let ring = RingOscillator::paper_default()?;
-        let opt = FixedThroughputOptimizer::new(ring, Seconds::from_picos(delay_ps), activity)
-            .map_err(|e| CliError(e.to_string()))?;
-        let header = format!(
-            "delay target {delay_ps} ps/stage, throughput {mhz} MHz, activity {activity}\n\n"
-        );
-        (opt, header)
-    };
-    let t_op = Seconds(1e-6 / mhz);
-    let mut t = Table::new(["V_T (V)", "V_DD (V)", "E_total (J/op)"]);
-    let vts: Vec<Volts> = (1..=20).map(|i| Volts(0.03 * f64::from(i))).collect();
-    for p in opt.energy_curve(&vts, t_op) {
-        t.push_row([
-            format!("{:.2}", p.vt.0),
-            format!("{:.3}", p.vdd.0),
-            fmt_sig(p.total().0, 3),
-        ]);
+    let mut spec = jobs::OptimizeSpec::new();
+    spec.delay_ps = parsed.get_f64("delay-ps")?.unwrap_or(150.0);
+    spec.throughput_mhz = parsed.get_f64("throughput-mhz")?.unwrap_or(1.0);
+    spec.activity = parsed.get_f64("activity")?.unwrap_or(1.0);
+    if parsed.has("sta") {
+        spec.sta = Some(jobs::OptimizeStaTarget {
+            source: source_spec(parsed)?,
+            circuit: parsed.get("circuit").unwrap_or("adder").to_string(),
+            width: parsed.get_u64("width")?.unwrap_or(8) as usize,
+        });
     }
-    out.push_str(&t.to_string());
-    let best = opt
-        .optimum_with(&policy, t_op)
-        .map_err(|e| CliError(e.to_string()))?;
-    out.push_str(&format!(
-        "\noptimum: V_T = {:.3} V, V_DD = {:.3} V, {} J/op\n",
-        best.vt.0,
-        best.vdd.0,
-        fmt_sig(best.total().0, 3)
-    ));
-    Ok(out)
+    let policy = exec_policy(parsed)?;
+    Ok(jobs::run_optimize_job(&policy, &spec, &mut NullSink)?)
 }
 
 fn campaign(parsed: &Parsed) -> Result<String, CliError> {
@@ -826,182 +605,25 @@ fn campaign(parsed: &Parsed) -> Result<String, CliError> {
         Some(dir) => Some(ByteCache::open(dir).map_err(|e| CliError(e.to_string()))?),
         None => None,
     };
-    let engine = engine_flag(parsed)?;
     let policy = exec_policy(parsed)?;
     let metrics = Metrics::from_args(parsed)?;
-    let imported = imported_source(parsed)?;
-    let targets = match &imported {
-        Some(c) => vec![imported_fault_target(c)],
-        None => standard_targets(width)?,
+    let mut spec = jobs::CampaignSpec::new(source_spec(parsed)?);
+    spec.width = width;
+    spec.vectors = vectors;
+    spec.seed = seed;
+    spec.engine = engine_flag(parsed)?;
+    spec.max_retries = max_retries;
+    spec.item_timeout_ms = item_timeout_ms;
+    let persist = CampaignPersist {
+        checkpoint: checkpoint_path.as_deref(),
+        resume,
+        cache: cache.as_ref(),
+        mode: RunMode::Once { interrupt_after },
+        announce: true,
     };
-
-    let mut warnings: Vec<String> = Vec::new();
-    let mut journal_state: Option<(CheckpointJournal, std::collections::HashMap<u64, Vec<u8>>)> =
-        match &checkpoint_path {
-            Some(path) if resume => {
-                let (journal, replay) =
-                    CheckpointJournal::resume(path).map_err(|e| CliError(e.to_string()))?;
-                warnings.extend(replay.warning.clone());
-                let completed = replay.completed();
-                Some((journal, completed))
-            }
-            Some(path) => Some((
-                CheckpointJournal::create(path).map_err(|e| CliError(e.to_string()))?,
-                std::collections::HashMap::new(),
-            )),
-            None => None,
-        };
-
-    // Header block: everything before the first blank line may vary
-    // between a fresh, interrupted, and resumed run; the coverage table
-    // after it must not (the CI resume gate diffs the table).
-    let mut out = match &imported {
-        Some(c) => format!(
-            "stuck-at fault campaign: {} ({} gates), {vectors} vectors/injection, {} worker thread(s)\n",
-            c.name,
-            c.netlist.gate_count(),
-            policy.threads()
-        ),
-        None => format!(
-            "stuck-at fault campaign: width {width}, {vectors} vectors/injection, {} worker thread(s)\n",
-            policy.threads()
-        ),
-    };
-    if engine == Engine::Compiled {
-        out.push_str(
-            "engine: compiled (bit-parallel levelized; checkpoint unit = 64-vector word)\n",
-        );
-    }
-    if let (Some(path), Some((_, completed))) = (&checkpoint_path, &journal_state) {
-        out.push_str(&format!(
-            "checkpoint: {path} ({} completed injection(s) on file)\n",
-            completed.len()
-        ));
-    }
-    if let Some(c) = &cache {
-        out.push_str(&format!("golden-trace cache: {}\n", c.dir().display()));
-    }
-    if max_retries > 0 || item_timeout_ms.is_some() {
-        out.push_str(&format!(
-            "fault policy: {max_retries} retries, item timeout {}\n",
-            match item_timeout_ms {
-                Some(ms) => format!("{ms} ms"),
-                None => "unbounded".to_string(),
-            }
-        ));
-    }
-    out.push('\n');
-
-    let label_count = |res: &ResilientCampaign, label: &str| {
-        res.reports
-            .iter()
-            .flatten()
-            .filter(|r| r.outcome.label() == label)
-            .count()
-    };
-    let mut t = Table::new([
-        "target",
-        "faults",
-        "detected",
-        "corrupted",
-        "as-X",
-        "masked",
-        "errored",
-        "coverage",
-    ]);
-    let mut index_base = 0u64;
-    let mut budget = interrupt_after;
-    let mut pending_total = 0usize;
-    for (i, target) in targets.iter().enumerate() {
-        let faults = stuck_at_universe(&target.netlist);
-        let target_seed = seed.wrapping_add(i as u64);
-        let mut stimulus = PatternSource::wide_random(target.inputs.len(), target_seed)?;
-        let options = CampaignOptions {
-            fault: FaultPolicy {
-                max_retries,
-                item_timeout_ms,
-                ..FaultPolicy::default()
-            },
-            cache: cache.as_ref().map(|c| (c, target_seed)),
-            checkpoint: journal_state
-                .as_mut()
-                .map(|(journal, completed)| CheckpointSpec {
-                    journal,
-                    completed,
-                    index_base,
-                    max_new_items: budget,
-                }),
-        };
-        let res = match engine {
-            Engine::Event => run_campaign_resilient(
-                &policy,
-                metrics.recorder(),
-                target,
-                &faults,
-                &mut stimulus,
-                vectors,
-                options,
-            )?,
-            Engine::Compiled => run_campaign_packed(
-                &policy,
-                metrics.recorder(),
-                target,
-                &faults,
-                &mut stimulus,
-                vectors,
-                options,
-            )?,
-        };
-        warnings.extend(res.warnings.clone());
-        if let Some(b) = budget {
-            budget = Some(b.saturating_sub(res.computed));
-        }
-        pending_total += res.skipped;
-        // The journal item (and thus the index space) is an injection for
-        // the event engine but a packed 64-vector word for the compiled one.
-        index_base += match engine {
-            Engine::Event => faults.len() as u64,
-            Engine::Compiled => vectors.div_ceil(64) as u64,
-        };
-        let masked = label_count(&res, "masked");
-        let resolved = res.reports.iter().flatten().count();
-        let coverage = if resolved == faults.len() {
-            format!(
-                "{:.1}%",
-                (1.0 - masked as f64 / faults.len() as f64) * 100.0
-            )
-        } else {
-            "--".to_string()
-        };
-        t.push_row([
-            res.target.clone(),
-            faults.len().to_string(),
-            label_count(&res, "detected").to_string(),
-            label_count(&res, "corrupted").to_string(),
-            label_count(&res, "propagated-as-X").to_string(),
-            masked.to_string(),
-            label_count(&res, "errored").to_string(),
-            coverage,
-        ]);
-    }
-    out.push_str(&t.to_string());
-    if pending_total > 0 {
-        let unit = match engine {
-            Engine::Event => "injection",
-            Engine::Compiled => "stimulus word",
-        };
-        out.push_str(&format!(
-            "\ncampaign interrupted: {pending_total} {unit}(s) pending; \
-             rerun with --resume --checkpoint to finish\n"
-        ));
-    }
-    if !warnings.is_empty() {
-        out.push('\n');
-        for w in &warnings {
-            out.push_str(&format!("warning: {w}\n"));
-        }
-    }
-    metrics.finish(out)
+    let outcome =
+        jobs::run_campaign_job(&policy, metrics.recorder(), &spec, &persist, &mut NullSink)?;
+    metrics.finish(outcome.payload)
 }
 
 fn compare(parsed: &Parsed) -> Result<String, CliError> {
@@ -1128,75 +750,20 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
     if parsed.has("rules") {
         return Ok(rule_catalog());
     }
-    let mut config = LintConfig::default();
-    if let Some(names) = parsed.get("allow") {
-        config = config.allow_named(names)?;
-    }
-    if let Some(names) = parsed.get("deny") {
-        config = config.deny_named(names)?;
-    }
-    if let Some(uw) = parsed.get_f64("leakage-budget-uw")? {
-        if !(uw.is_finite() && uw > 0.0) {
-            return Err(CliError(format!(
-                "--leakage-budget-uw must be a positive number, got {uw}"
-            ))
-            .into());
-        }
-        config = config.with_standby_budget(lowvolt_device::units::Watts(uw * 1e-6));
-    }
     let policy = exec_policy(parsed)?;
-
-    let targets = if let Some(fixture) = parsed.get("fixture") {
-        let defect = Defect::parse(fixture).ok_or_else(|| {
-            CliError(format!(
-                "unknown fixture `{fixture}` (floating, loop, sleep, leakage, slack)"
-            ))
-        })?;
-        vec![seeded_defect(defect)?]
-    } else if let Some(c) = imported_source(parsed).map_err(CliFailure::Error)? {
-        vec![imported_lint_target(&c)]
-    } else {
-        let width = parsed.get_u64("width")?.unwrap_or(8) as usize;
-        select_standard_targets(parsed.get("circuit").unwrap_or("all"), width)?
-    };
-
+    let mut spec = jobs::LintSpec::new(source_spec(parsed).map_err(CliFailure::Error)?);
+    spec.fixture = parsed.get("fixture").map(str::to_string);
+    spec.circuit = parsed.get("circuit").unwrap_or("all").to_string();
+    spec.width = parsed.get_u64("width")?.unwrap_or(8) as usize;
+    spec.json = parsed.has("json");
+    spec.allow = parsed.get("allow").map(str::to_string);
+    spec.deny = parsed.get("deny").map(str::to_string);
+    spec.leakage_budget_uw = parsed.get_f64("leakage-budget-uw")?;
     let metrics = Metrics::from_args(parsed).map_err(CliFailure::Error)?;
-    let deny_warnings = config.deny_warnings;
-    let reports = Linter::new(config).lint_all_recorded(&policy, metrics.recorder(), &targets);
-    let failed = reports
-        .iter()
-        .filter(|r| !r.passes_gate(deny_warnings))
-        .count();
-
-    let out = if parsed.has("json") {
-        let mut s = String::from("[");
-        for (i, r) in reports.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&r.to_json());
-        }
-        s.push(']');
-        s
-    } else {
-        let mut s = String::new();
-        for r in &reports {
-            s.push_str(&r.to_string());
-            s.push('\n');
-        }
-        s.push_str(&format!(
-            "{} target(s) linted, {failed} failing the gate{}\n",
-            reports.len(),
-            if deny_warnings {
-                " (warnings denied)"
-            } else {
-                ""
-            }
-        ));
-        s
-    };
-    let out = metrics.finish(out).map_err(CliFailure::Error)?;
-    if failed > 0 {
+    let outcome = jobs::run_lint_job(&policy, metrics.recorder(), &spec)
+        .map_err(|e| CliFailure::Error(e.into()))?;
+    let out = metrics.finish(outcome.payload).map_err(CliFailure::Error)?;
+    if outcome.gate_failed {
         Err(CliFailure::Gate(out))
     } else {
         Ok(out)
@@ -1205,7 +772,7 @@ fn lint(parsed: &Parsed) -> Result<String, CliFailure> {
 
 fn disasm(parsed: &Parsed) -> Result<String, CliError> {
     let source = if let Some(example) = parsed.get("example") {
-        example_source(example)?
+        jobs::example_source(example)?
     } else if let Some(path) = parsed.positional.first() {
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?
     } else {
@@ -1220,6 +787,116 @@ fn disasm(parsed: &Parsed) -> Result<String, CliError> {
         program.entry,
         program.listing()
     ))
+}
+
+/// `lowvolt serve`: bind the job daemon and block until a `shutdown`
+/// command arrives. The listening line is printed (and flushed) before
+/// the accept loop starts, so scripts can parse the bound port from a
+/// `--listen 127.0.0.1:0` ephemeral bind.
+fn serve(parsed: &Parsed) -> Result<String, CliError> {
+    let listen = match parsed.get("listen") {
+        Some("") => {
+            return Err(CliError(
+                "--listen expects HOST:PORT (use 127.0.0.1:0 for an ephemeral port)".to_string(),
+            ))
+        }
+        Some(addr) => addr,
+        None => "127.0.0.1:7651",
+    };
+    let state_dir = match parsed.get("state") {
+        Some("") => return Err(CliError("--state expects a directory path".to_string())),
+        Some(dir) => dir.to_string(),
+        None => ".lowvolt-serve".to_string(),
+    };
+    let server = Server::bind(listen, &state_dir).map_err(|e| CliError(e.to_string()))?;
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "lowvolt-serve listening on {}\nstate: {state_dir}",
+            server.local_addr()
+        );
+        let _ = stdout.flush();
+    }
+    server.run().map_err(|e| CliError(e.to_string()))?;
+    Ok("lowvolt-serve: shut down".to_string())
+}
+
+/// `lowvolt submit`: send one request line to a running daemon, stream
+/// progress/warning events to stderr, and print the result payload to
+/// stdout — byte-identical to the equivalent direct command.
+fn submit(parsed: &Parsed) -> Result<String, CliFailure> {
+    let addr = match parsed.get("connect") {
+        Some("") | None => {
+            return Err(CliFailure::Error(CliError(
+                "submit requires --connect HOST:PORT".to_string(),
+            )))
+        }
+        Some(addr) => addr,
+    };
+    let request = match parsed.get("request") {
+        Some("") | None => {
+            return Err(CliFailure::Error(CliError(
+                "submit requires --request JSON (one job or command object)".to_string(),
+            )))
+        }
+        Some(json) => json,
+    };
+    let metrics_dest = match parsed.get("metrics-json") {
+        Some("") => {
+            return Err(CliFailure::Error(CliError(
+                "--metrics-json expects a file path (or `-` for stdout)".to_string(),
+            )))
+        }
+        other => other.map(str::to_string),
+    };
+    let quiet = parsed.has("quiet");
+    // A control command (`{"cmd": ...}`) has a single reply line, not a
+    // job event stream: relay the daemon's answer verbatim.
+    if let Ok(v) = Json::parse(request) {
+        if let Some(cmd) = v.get("cmd").and_then(Json::as_str) {
+            let answer =
+                client::control(addr, cmd).map_err(|e| CliFailure::Error(CliError(e.0)))?;
+            if let Ok(event) = Json::parse(&answer) {
+                if event.get("event").and_then(Json::as_str) == Some("error") {
+                    let message = event
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("daemon reported an error")
+                        .to_string();
+                    return Err(CliFailure::Error(CliError(message)));
+                }
+            }
+            return Ok(answer);
+        }
+    }
+    let mut on_event = |event: &SubmitEvent| {
+        if quiet {
+            return;
+        }
+        match event {
+            SubmitEvent::Accepted { id } => eprintln!("job {id} accepted"),
+            SubmitEvent::Progress { done, total } => eprintln!("progress: {done}/{total}"),
+            SubmitEvent::Warning { message } => eprintln!("warning: {message}"),
+        }
+    };
+    let outcome = client::submit_line(addr, request, &mut on_event)
+        .map_err(|e| CliFailure::Error(CliError(e.0)))?;
+    let payload = match &metrics_dest {
+        Some(dest) if dest == "-" => outcome.metrics.clone(),
+        Some(dest) => {
+            std::fs::write(dest, &outcome.metrics).map_err(|e| {
+                CliFailure::Error(CliError(format!("cannot write metrics to {dest}: {e}")))
+            })?;
+            outcome.payload
+        }
+        None => outcome.payload,
+    };
+    if outcome.status == "gate_failed" {
+        return Err(CliFailure::Gate(payload));
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]

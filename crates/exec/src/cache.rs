@@ -153,6 +153,29 @@ impl ByteCache {
         fs::write(&tmp_path, &bytes).map_err(|e| io_err(&tmp_path, &e))?;
         fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))
     }
+
+    /// Removes orphaned `*.tmp` files left behind by a writer that died
+    /// between [`ByteCache::store`]'s write and rename (e.g. a killed
+    /// daemon). Valid entries and quarantined `*.corrupt` files are
+    /// untouched. Returns how many orphans were removed; unreadable
+    /// directory entries are skipped rather than reported, because a
+    /// sweep runs opportunistically at startup.
+    pub fn sweep_temp_files(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0usize;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_tmp = path
+                .extension()
+                .is_some_and(|ext| ext.eq_ignore_ascii_case("tmp"));
+            if is_tmp && path.is_file() && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
 }
 
 fn encode_entry(key: CacheKey, payload: &[u8]) -> Vec<u8> {
@@ -196,6 +219,33 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("lowvolt-cache-{name}-{}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn sweep_removes_only_orphaned_tmp_files() {
+        let dir = tmp_dir("sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ByteCache::open(&dir).expect("open");
+        let key = CacheKey {
+            content: 0xFEED,
+            seed: 1,
+        };
+        cache.store(key, b"payload").expect("store");
+        std::fs::write(
+            dir.join("0000000000000001-0000000000000002.bin.tmp"),
+            b"torn",
+        )
+        .expect("write orphan");
+        std::fs::write(dir.join("junk.corrupt"), b"quarantined").expect("write corrupt");
+        assert_eq!(cache.sweep_temp_files(), 1, "exactly the orphan goes");
+        assert_eq!(cache.sweep_temp_files(), 0, "idempotent");
+        let reg = MetricsRegistry::new();
+        assert!(
+            cache.load(key, &reg).is_some(),
+            "valid entries survive the sweep"
+        );
+        assert!(dir.join("junk.corrupt").exists(), "quarantine survives");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

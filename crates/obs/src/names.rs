@@ -104,6 +104,17 @@ pub const LINT_PASSES: &str = "lint.passes";
 /// Diagnostics emitted after allow/deny filtering.
 pub const LINT_DIAGNOSTICS: &str = "lint.diagnostics";
 
+/// Client connections accepted by the `lowvolt serve` daemon.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Jobs executed by the daemon (every kind, successful or not).
+pub const SERVE_JOBS: &str = "serve.jobs";
+/// Protocol lines rejected with a structured `error` event (malformed
+/// JSON, unknown job kinds, oversized lines).
+pub const SERVE_REQUESTS_BAD: &str = "serve.requests.bad";
+/// Shard rounds executed by sharded campaign jobs (one per bounded
+/// journal pass; each round emits one progress event).
+pub const SERVE_SHARD_ROUNDS: &str = "serve.shard_rounds";
+
 /// Instructions recorded by the ISA profiler.
 pub const PROFILE_INSTRUCTIONS: &str = "profile.instructions";
 /// Functional-unit uses summed over all units (the `fga` numerator).
@@ -149,6 +160,10 @@ pub const COUNTERS: &[&str] = &[
     PROFILE_INSTRUCTIONS,
     PROFILE_UNIT_RUNS,
     PROFILE_UNIT_USES,
+    SERVE_CONNECTIONS,
+    SERVE_JOBS,
+    SERVE_REQUESTS_BAD,
+    SERVE_SHARD_ROUNDS,
     SIM_ALPHA_NODES,
     SIM_EVENTS_PROCESSED,
     SIM_HEAP_PUSHES,
